@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Alignment-scheme ablation (§8.1 / §9): wall time of
+ *
+ *   native            — one uninstrumented execution,
+ *   counter-native    — one instrumented execution (counter upkeep),
+ *   LDX               — counter-coupled dual execution,
+ *   DualEx-indexing   — instruction-lockstep dual execution with
+ *                       execution-index maintenance and monitor
+ *                       comparison (Kim et al. 2015 model).
+ *
+ * Expected shape: LDX within a few percent of native; the indexing
+ * baseline orders of magnitude slower (the paper reports LDX as three
+ * orders of magnitude faster than DualEx).
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "taint/indexing.h"
+
+using namespace ldx;
+
+int
+main()
+{
+    std::cout << "== Ablation: alignment scheme cost "
+                 "(counter vs execution indexing) ==\n\n";
+    std::vector<std::string> names = {"401.bzip2", "429.mcf",
+                                      "456.hmmer", "462.libquantum",
+                                      "473.astar"};
+    TextTable table({"Program", "native(ms)", "counter(ms)", "LDX(ms)",
+                     "indexing(ms)", "LDX ovh (vs 2x)", "indexing slowdown"});
+    RunningStats ldx_ovh, idx_slow;
+
+    for (const std::string &name : names) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        int scale = w->defaultScale * 4;
+        workloads::workloadModule(*w, false);
+        workloads::workloadModule(*w, true);
+
+        double native =
+            bench::timeSeconds([&] { bench::runNative(*w, scale); });
+        double counter = bench::timeSeconds(
+            [&] { bench::runInstrumentedNative(*w, scale); });
+        double ldx_time = bench::timeSeconds(
+            [&] { bench::runDual(*w, scale, {}, /*threaded=*/true); });
+        // The indexing baseline pays per-instruction monitor IPC, so
+        // run it (and its native reference) at scale 1.
+        double native1 =
+            bench::timeSeconds([&] { bench::runNative(*w, 1); });
+        double indexing = bench::timeSeconds(
+            [&] {
+                taint::runIndexedDualExecution(
+                    workloads::workloadModule(*w, false), w->world(1));
+            },
+            1);
+
+        ldx_ovh.add(ldx_time / (2.0 * native));
+        idx_slow.add(indexing / native1);
+        table.addRow({name, formatDouble(native * 1e3, 2),
+                      formatDouble(counter * 1e3, 2),
+                      formatDouble(ldx_time * 1e3, 2),
+                      formatDouble(indexing * 1e3, 2) + " (scale 1)",
+                      formatPercent(ldx_time / (2.0 * native) - 1.0),
+                      formatDouble(indexing / native1, 1) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\nGeomean: LDX overhead "
+              << formatPercent(ldx_ovh.geomean() - 1.0)
+              << ", indexing slowdown "
+              << formatDouble(idx_slow.geomean(), 1) << "x\n";
+    std::cout << "(Paper: LDX ~6% overhead; DualEx-style indexing three "
+                 "orders of magnitude.)\n";
+    return 0;
+}

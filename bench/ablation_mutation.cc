@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Mutation-strategy ablation (§8.3 "Input Mutation"): re-run every
+ * leaking mutation case under the four strategies and count correct
+ * detections. The paper observes that no strategy supersedes
+ * off-by-one (which provably flips every one-to-one mapping); zeroing
+ * or bit-flips can coincide with the original value or collapse into
+ * the same equivalence class.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "ldx/mutation.h"
+#include "support/table.h"
+
+using namespace ldx;
+
+int
+main()
+{
+    std::cout << "== Ablation: mutation strategies ==\n\n";
+    const core::MutationStrategy strategies[] = {
+        core::MutationStrategy::OffByOne,
+        core::MutationStrategy::Zero,
+        core::MutationStrategy::BitFlip,
+        core::MutationStrategy::Random,
+    };
+
+    TextTable table({"Strategy", "detected", "cases", "rate"});
+    for (core::MutationStrategy strategy : strategies) {
+        int detected = 0, cases = 0;
+        for (const workloads::Workload &w : workloads::allWorkloads()) {
+            for (const workloads::MutationCase &mc : w.mutationCases) {
+                if (!mc.expectLeak)
+                    continue;
+                core::EngineConfig cfg;
+                cfg.sinks = w.sinks;
+                cfg.sources = mc.sources;
+                cfg.strategy = strategy;
+                cfg.wallClockCap = 60.0;
+                core::DualEngine engine(
+                    workloads::workloadModule(w, true),
+                    w.world(w.defaultScale), cfg);
+                auto res = engine.run();
+                ++cases;
+                if (res.causality())
+                    ++detected;
+            }
+        }
+        table.addRow({core::mutationStrategyName(strategy),
+                      std::to_string(detected), std::to_string(cases),
+                      formatPercent(cases ? static_cast<double>(detected) /
+                                                cases
+                                          : 0.0)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(Paper: other strategies do not supersede "
+                 "off-by-one.)\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "ldx/engine.h"
+#include "os/kernel.h"
+#include "vm/machine.h"
+#include "workloads/workloads.h"
+
+namespace ldx::bench {
+
+/** Wall-clock seconds of @p fn, minimum over @p reps repetitions. */
+template <typename Fn>
+double
+timeSeconds(Fn &&fn, int reps = 3)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        if (s < best)
+            best = s;
+    }
+    return best;
+}
+
+/** Run a workload natively (uninstrumented, no coupling). */
+inline vm::StepStatus
+runNative(const workloads::Workload &w, int scale)
+{
+    os::Kernel kernel(w.world(scale));
+    vm::Machine machine(workloads::workloadModule(w, false), kernel, {});
+    return machine.run();
+}
+
+/** Run a workload natively on the instrumented module. */
+inline vm::StepStatus
+runInstrumentedNative(const workloads::Workload &w, int scale)
+{
+    os::Kernel kernel(w.world(scale));
+    vm::Machine machine(workloads::workloadModule(w, true), kernel, {});
+    return machine.run();
+}
+
+/** Dual-execute a workload. */
+inline core::DualResult
+runDual(const workloads::Workload &w, int scale,
+        std::vector<core::SourceSpec> sources, bool threaded,
+        std::uint64_t sched_delta = 0)
+{
+    core::EngineConfig cfg;
+    cfg.sinks = w.sinks;
+    cfg.sources = std::move(sources);
+    cfg.threaded = threaded;
+    cfg.slaveSchedSeedDelta = sched_delta;
+    cfg.wallClockCap = 60.0;
+    core::DualEngine engine(workloads::workloadModule(w, true),
+                            w.world(scale), cfg);
+    return engine.run();
+}
+
+/** Count the source lines of a workload's MiniC text. */
+inline int
+countLoc(const workloads::Workload &w)
+{
+    int loc = 0;
+    bool nonblank = false;
+    for (char c : w.source) {
+        if (c == '\n') {
+            if (nonblank)
+                ++loc;
+            nonblank = false;
+        } else if (c != ' ' && c != '\t') {
+            nonblank = true;
+        }
+    }
+    return loc;
+}
+
+} // namespace ldx::bench

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Table 3 — "Effectiveness of causality inference": per program, the
+ * number of tainted sinks reported by the TaintGrind model, the
+ * LIBDFT model, and LDX, over the total sink events of the run.
+ *
+ * Expected shape (paper): LDX >= TaintGrind >= LIBDFT everywhere —
+ * data dependences are strong causalities (so LDX subsumes both), the
+ * baselines miss control-dependence-induced causality, and LIBDFT
+ * additionally drops taint at unmodeled library routines (its numbers
+ * are a subset of TaintGrind's). The paper measured the baselines at
+ * 31.47% (TaintGrind) and 20% (LIBDFT) of LDX's detections.
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "support/table.h"
+#include "taint/tracker.h"
+
+using namespace ldx;
+
+namespace {
+
+taint::TaintRunResult
+baselineRun(const workloads::Workload &w, taint::TaintPolicy policy)
+{
+    taint::TaintRunOptions opts;
+    opts.policy = policy;
+    opts.sources = w.sources;
+    core::SinkConfig sinks = w.sinks;
+    opts.sinkChannel = [sinks](const std::string &channel) {
+        return sinks.matchesChannel(channel);
+    };
+    opts.retTokenSinks = w.sinks.retTokens;
+    opts.allocSizeSinks = w.sinks.allocSizes;
+    return taint::runTaintAnalysis(workloads::workloadModule(w, false),
+                                   w.world(w.defaultScale), opts);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "== Table 3: tainted sinks — TaintGrind / LIBDFT / "
+                 "LDX / total ==\n\n";
+    TextTable table({"Program", "TaintGrind", "LIBDFT", "LDX",
+                     "Total sinks"});
+
+    std::uint64_t sum_tg = 0, sum_ld = 0, sum_ldx = 0;
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        auto tg = baselineRun(w, taint::TaintPolicy::taintgrind());
+        auto ld = baselineRun(w, taint::TaintPolicy::libdft());
+
+        // The paper mutates several inputs per program (Table 1's
+        // "Mutated inputs" column reaches 54); we run the field-level
+        // and the whole-value off-by-one mutations and count the
+        // distinct sinks flagged by any of them.
+        std::size_t ldx_count = 0;
+        for (int whole = 0; whole < 2; ++whole) {
+            std::vector<core::SourceSpec> sources;
+            for (const core::SourceSpec &src : w.sources)
+                sources.push_back(whole ? src.wholeValue() : src);
+            auto res = bench::runDual(w, w.defaultScale, sources,
+                                      /*threaded=*/false);
+            // Count dynamic sink events (termination divergence is a
+            // side signal, not a sink); report the strongest mutation.
+            std::size_t events = 0;
+            for (const core::Finding &f : res.findings) {
+                if (f.kind != core::CauseKind::TerminationDiff)
+                    ++events;
+            }
+            ldx_count = std::max(ldx_count, events);
+        }
+
+        sum_tg += tg.taintedSinks.size();
+        sum_ld += ld.taintedSinks.size();
+        sum_ldx += ldx_count;
+
+        table.addRow({
+            w.name,
+            std::to_string(tg.taintedSinks.size()),
+            std::to_string(ld.taintedSinks.size()),
+            std::to_string(ldx_count),
+            std::to_string(tg.totalSinks),
+        });
+    }
+    table.print(std::cout);
+
+    auto pct = [&](std::uint64_t v) {
+        return sum_ldx ? formatPercent(static_cast<double>(v) /
+                                       static_cast<double>(sum_ldx))
+                       : std::string("n/a");
+    };
+    std::cout << "\nTotals: TaintGrind=" << sum_tg << " ("
+              << pct(sum_tg) << " of LDX)  LIBDFT=" << sum_ld << " ("
+              << pct(sum_ld) << " of LDX)  LDX=" << sum_ldx << "\n";
+    std::cout << "(Paper: TaintGrind 31.47% and LIBDFT 20% of LDX's "
+                 "tainted sinks;\n LDX reports no false positives — "
+                 "every finding is a one-to-one mapping.)\n";
+    return 0;
+}

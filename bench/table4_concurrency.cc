@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 4 — "Effectiveness of concurrent programs": each threaded
+ * program is dual-executed 100 times with its input mutation and a
+ * different scheduler-jitter seed per run (modeling real scheduling
+ * nondeterminism). Reported: min / max / sample stddev of the number
+ * of syscall differences and of the number of tainted sinks.
+ *
+ * Expected shape (paper): syscall diffs vary across runs (low-level
+ * races move the divergence points) but tainted-sink counts are
+ * stable — except for x264, whose bits-per-tick statistic, and axel,
+ * whose per-run connection behaviour, wiggle slightly.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+using namespace ldx;
+
+int
+main()
+{
+    constexpr int kRuns = 100;
+    std::cout << "== Table 4: concurrency effectiveness (" << kRuns
+              << " dual executions per program) ==\n\n";
+    TextTable table({"Program", "diffs min/max/stddev",
+                     "tainted sinks min/max/stddev"});
+
+    for (const workloads::Workload *w :
+         workloads::workloadsIn(workloads::Category::Concurrent)) {
+        RunningStats diffs, sinks;
+        for (int run = 0; run < kRuns; ++run) {
+            auto res = bench::runDual(
+                *w, w->defaultScale, w->sources, /*threaded=*/false,
+                /*sched_delta=*/static_cast<std::uint64_t>(run + 1));
+            diffs.add(static_cast<double>(res.syscallDiffs));
+            sinks.add(static_cast<double>(res.taintedSinkCount()));
+        }
+        auto fmt = [](const RunningStats &s) {
+            return formatDouble(s.min(), 0) + " / " +
+                   formatDouble(s.max(), 0) + " / " +
+                   formatDouble(s.stddev(), 2);
+        };
+        table.addRow({w->name, fmt(diffs), fmt(sinks)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(Paper: tainted sinks rarely change across runs "
+                 "while syscall diffs do;\n x264 and axel show small "
+                 "tainted-sink variation from racy statistics and\n "
+                 "per-run connections.)\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The paper's running example (Figs. 2-3): an employee-record program
+ * whose secret 'title' selects between SRaise() and MRaise(); the
+ * computed raise reaches a remote site. This example prints the
+ * instrumented IR of the three functions (showing the counter
+ * compensation the paper draws along CFG edges) and then the dual
+ * execution's verdict for mutating the title.
+ */
+#include <iostream>
+
+#include "instrument/instrument.h"
+#include "ir/printer.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+
+int
+main()
+{
+    using namespace ldx;
+
+    const char *program = R"(
+int SRaise(int salary, char *contract) {
+    char buf[16];
+    int fd = open(contract, 0);
+    read(fd, buf, 8);
+    close(fd);
+    return salary / 100 + (buf[0] - '0');
+}
+
+int MRaise(int salary, int age) {
+    int raise = SRaise(salary, "/contract_m.txt");
+    if (age > 10) {
+        int fd = open("/seniors.txt", 2);
+        write(fd, "senior\n", 7);
+        close(fd);
+    }
+    return raise + 100;
+}
+
+int main() {
+    char title[16];
+    char name[16];
+    int raise = 0;
+    getenv("TITLE", title, 16);
+    getenv("NAME", name, 16);
+    if (title[0] == 'S') {
+        raise = SRaise(4000, "/contract_s.txt");
+    } else {
+        raise = MRaise(4000, 5);
+    }
+    char buf[32];
+    itoa(raise, buf);
+    int s = socket();
+    connect(s, "hr.example.com");
+    send(s, name, strlen(name));
+    send(s, buf, strlen(buf));
+    return 0;
+}
+)";
+
+    auto module = lang::compileSource(program);
+    instrument::CounterInstrumenter pass(*module);
+    pass.run();
+
+    std::cout << "== instrumented IR (note the cnt += compensation on "
+                 "branch edges) ==\n";
+    ir::printModule(std::cout, *module);
+
+    for (const char *fn : {"SRaise", "MRaise", "main"}) {
+        std::cout << "FCNT(" << fn << ") = "
+                  << pass.fcnt().at(module->findFunction(fn)->id())
+                  << "\n";
+    }
+
+    os::WorldSpec world;
+    world.env["TITLE"] = "STAFF";
+    world.env["NAME"] = "alice";
+    world.files["/contract_s.txt"] = "3xxxxxxx";
+    world.files["/contract_m.txt"] = "5xxxxxxx";
+    world.peers["hr.example.com"] = {};
+
+    std::cout << "\n== dual execution: mutate TITLE (STAFF -> "
+                 "slave variant) ==\n";
+    core::EngineConfig cfg;
+    cfg.sources = {core::SourceSpec::env("TITLE")};
+    cfg.recordTrace = true;
+    core::DualEngine engine(*module, world, cfg);
+    auto result = engine.run();
+
+    std::cout << "\nsynchronization actions (cf. the paper's "
+                 "Fig. 3):\n";
+    for (const core::TraceEvent &evt : result.trace)
+        std::cout << "  " << evt.describe() << "\n";
+
+    std::cout << "misaligned syscalls tolerated: "
+              << result.syscallDiffs << "\n";
+    std::cout << "findings:\n";
+    for (const core::Finding &f : result.findings)
+        std::cout << "  " << f.describe() << "\n";
+    std::cout << (result.causality()
+                      ? "=> the raise leaks the title (via control "
+                        "dependence)\n"
+                      : "=> no leak\n");
+    return 0;
+}

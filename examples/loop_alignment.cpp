@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The paper's loop example (Figs. 4-5): the trip counts of two nested
+ * loops come from the input; LDX aligns the executions iteration by
+ * iteration at the back-edge barriers, resets the counter so it stays
+ * bounded, and raises it above every in-loop value on exit. The
+ * example shows the barrier pairings and the realignment at the final
+ * send() even when the two executions iterate different numbers of
+ * times.
+ */
+#include <iostream>
+
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+
+int
+main()
+{
+    using namespace ldx;
+
+    const char *program = R"(
+int main() {
+    char buf[8];
+    int fd = open("/nm.txt", 0);
+    read(fd, buf, 2);
+    int n = buf[0] - '0';
+    int m = buf[1] - '0';
+    int total = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < m; j = j + 1) {
+            char one[2];
+            read(fd, one, 1);
+            total = total + one[0];
+        }
+        int lg = open("/log.txt", 2);
+        write(lg, "x", 1);
+        close(lg);
+    }
+    char out[24];
+    itoa(total, out);
+    int s = socket();
+    connect(s, "sink.example.com");
+    send(s, out, strlen(out));
+    return 0;
+}
+)";
+
+    auto module = lang::compileSource(program);
+    instrument::CounterInstrumenter pass(*module);
+    auto stats = pass.run();
+    std::cout << "instrumented loops: " << stats.loops
+              << " (both carry syscalls, so both get barriers)\n";
+
+    auto world = [](char n, char m) {
+        os::WorldSpec w;
+        w.files["/nm.txt"] = std::string{n, m} + std::string(64, 'z');
+        w.peers["sink.example.com"] = {};
+        return w;
+    };
+
+    {
+        std::cout << "\n== equal trip counts (n=2, m=3): aligned ==\n";
+        core::EngineConfig cfg;
+        core::DualEngine engine(*module, world('2', '3'), cfg);
+        auto res = engine.run();
+        std::cout << "barrier pairings: " << res.barrierPairings
+                  << ", syscall diffs: " << res.syscallDiffs
+                  << ", causality: "
+                  << (res.causality() ? "yes" : "no") << "\n";
+    }
+
+    {
+        std::cout << "\n== mutated trip count (the paper's Fig. 5 "
+                     "setting) ==\n";
+        core::EngineConfig cfg;
+        cfg.sources = {core::SourceSpec::file("/nm.txt", 0)};
+        cfg.sinks.file = false; // the network send is the sink
+        cfg.recordTrace = true;
+        core::DualEngine engine(*module, world('2', '3'), cfg);
+        auto res = engine.run();
+        std::cout << "synchronization actions (cf. the paper's "
+                     "Fig. 5):\n";
+        for (const core::TraceEvent &evt : res.trace)
+            std::cout << "  " << evt.describe() << "\n";
+        std::cout << "barrier pairings: " << res.barrierPairings
+                  << ", syscall diffs tolerated: " << res.syscallDiffs
+                  << "\n";
+        for (const core::Finding &f : res.findings)
+            std::cout << "  " << f.describe() << "\n";
+        std::cout << (res.causality()
+                          ? "=> loop bound leaks to the sink\n"
+                          : "=> no causality\n");
+    }
+    return 0;
+}

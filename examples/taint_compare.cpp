@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Figure 1 of the paper as running code: the four canonical cases
+ * comparing counterfactual causality (LDX) against program-dependence
+ * tracking (the TaintGrind/LIBDFT baselines).
+ *
+ *   (a) data dependence        -> strong CC: both approaches detect;
+ *   (b) control dependence     -> strong CC: only LDX detects;
+ *   (c) control dependence     -> weak CC: baselines with control-dep
+ *       tracking over-report; LDX stays silent;
+ *   (d) "absence of update"    -> strong CC missed even by
+ *       control-dep tracking; LDX detects.
+ */
+#include <iostream>
+
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+#include "taint/tracker.h"
+
+using namespace ldx;
+
+namespace {
+
+struct Case
+{
+    const char *name;
+    const char *source;
+    const char *master_secret;
+    const char *expectation;
+};
+
+void
+runCase(const Case &c)
+{
+    os::WorldSpec world;
+    world.env["X"] = c.master_secret;
+    std::vector<core::SourceSpec> sources = {core::SourceSpec::env("X")};
+
+    // LDX.
+    auto module = lang::compileSource(c.source);
+    instrument::CounterInstrumenter pass(*module);
+    pass.run();
+    core::EngineConfig cfg;
+    cfg.sources = sources;
+    core::DualEngine engine(*module, world, cfg);
+    bool ldx = engine.run().causality();
+
+    // Dependence-based baselines on an uninstrumented module.
+    auto plain = lang::compileSource(c.source);
+    auto taint_run = [&](taint::TaintPolicy policy) {
+        taint::TaintRunOptions opts;
+        opts.policy = policy;
+        opts.sources = sources;
+        return !taint::runTaintAnalysis(*plain, world, opts)
+                    .taintedSinks.empty();
+    };
+    bool data_dep = taint_run(taint::TaintPolicy::taintgrind());
+    bool ctl_dep = taint_run(taint::TaintPolicy::controlAugmented());
+
+    std::cout << c.name << "\n  LDX: " << (ldx ? "reports" : "silent")
+              << "   data-dep taint: "
+              << (data_dep ? "reports" : "silent")
+              << "   data+control taint: "
+              << (ctl_dep ? "reports" : "silent") << "\n  ("
+              << c.expectation << ")\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const Case cases[] = {
+        {"(a) strong CC by data dependence",
+         R"(int main() {
+    char b[8];
+    getenv("X", b, 8);
+    int y = b[0] + 1;
+    char o[8]; o[0] = y; print(o, 1);
+    return 0;
+})",
+         "5", "everyone detects"},
+        {"(b) strong CC by control dependence",
+         R"(int main() {
+    char b[8];
+    getenv("X", b, 8);
+    int s = 0;
+    if (b[0] == '1') { s = 10; } else { s = 20; }
+    char o[8]; o[0] = s; print(o, 1);
+    return 0;
+})",
+         "1", "only LDX and control-dep tracking detect"},
+        {"(c) weak CC: many-to-one mapping",
+         R"(int main() {
+    char b[8];
+    getenv("X", b, 8);
+    int s = atoi(b);
+    int x = 0;
+    if (s > 10) { x = 1; }
+    char o[8]; o[0] = x + '0'; print(o, 1);
+    return 0;
+})",
+         "50",
+         "LDX correctly silent; control-dep tracking over-reports"},
+        {"(d) strong CC through a non-update",
+         R"(int main() {
+    char b[8];
+    getenv("X", b, 8);
+    int s = b[0] - '0';
+    int x = 0;
+    if (s != 1) { x = 1; }
+    char o[8]; o[0] = x + '0'; print(o, 1);
+    return 0;
+})",
+         "1", "only LDX detects (x is never written on this path)"},
+    };
+
+    for (const Case &c : cases)
+        runCase(c);
+    return 0;
+}

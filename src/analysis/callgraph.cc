@@ -1,0 +1,100 @@
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace ldx::analysis {
+
+CallGraph::CallGraph(const ir::Module &m)
+{
+    int n = static_cast<int>(m.numFunctions());
+    callees_.resize(n);
+    recursive_.assign(n, false);
+    scc_.assign(n, -1);
+
+    for (int f = 0; f < n; ++f) {
+        const ir::Function &fn = m.function(f);
+        for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+            for (const ir::Instr &instr :
+                 fn.block(static_cast<int>(b)).instrs()) {
+                if (instr.op == ir::Opcode::Call) {
+                    auto &v = callees_[f];
+                    if (std::find(v.begin(), v.end(), instr.callee) ==
+                        v.end())
+                        v.push_back(instr.callee);
+                    if (instr.callee == f)
+                        recursive_[f] = true;
+                }
+            }
+        }
+    }
+
+    // Tarjan SCC (iterative to survive deep call chains).
+    std::vector<int> index(n, -1), low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<int> stack;
+    int next_index = 0;
+    int next_scc = 0;
+    std::vector<std::vector<int>> scc_members;
+
+    struct Frame { int node; std::size_t child; };
+    for (int root = 0; root < n; ++root) {
+        if (index[root] != -1)
+            continue;
+        std::vector<Frame> frames{{root, 0}};
+        index[root] = low[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+        while (!frames.empty()) {
+            Frame &fr = frames.back();
+            int u = fr.node;
+            if (fr.child < callees_[u].size()) {
+                int v = callees_[u][fr.child++];
+                if (index[v] == -1) {
+                    index[v] = low[v] = next_index++;
+                    stack.push_back(v);
+                    on_stack[v] = true;
+                    frames.push_back({v, 0});
+                } else if (on_stack[v]) {
+                    low[u] = std::min(low[u], index[v]);
+                }
+            } else {
+                if (low[u] == index[u]) {
+                    std::vector<int> members;
+                    int w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        on_stack[w] = false;
+                        scc_[w] = next_scc;
+                        members.push_back(w);
+                    } while (w != u);
+                    scc_members.push_back(std::move(members));
+                    ++next_scc;
+                }
+                frames.pop_back();
+                if (!frames.empty()) {
+                    int parent = frames.back().node;
+                    low[parent] = std::min(low[parent], low[u]);
+                }
+            }
+        }
+    }
+
+    // Mark SCCs of size > 1 as recursive.
+    for (const auto &members : scc_members) {
+        if (members.size() > 1) {
+            for (int f : members)
+                recursive_[f] = true;
+        }
+    }
+
+    // Tarjan emits SCCs in reverse topological order already
+    // (callees' SCCs complete before callers'). Flatten.
+    for (const auto &members : scc_members) {
+        for (int f : members)
+            order_.push_back(f);
+    }
+}
+
+} // namespace ldx::analysis

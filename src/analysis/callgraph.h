@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Call graph with SCC condensation. InstrumentProg (Algorithm 1)
+ * visits functions in reverse topological call-graph order so callee
+ * FCNT values are known; functions inside a nontrivial SCC (or with a
+ * self edge) are recursive and their call sites are treated like
+ * indirect calls (§6: counter push/reset/pop).
+ */
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ldx::analysis {
+
+/** Static call graph over the functions of a module. */
+class CallGraph
+{
+  public:
+    explicit CallGraph(const ir::Module &m);
+
+    /** Direct callees of function @p f (no duplicates). */
+    const std::vector<int> &callees(int f) const { return callees_[f]; }
+
+    /** True if @p f participates in recursion (SCC > 1 or self edge). */
+    bool isRecursive(int f) const { return recursive_[f]; }
+
+    /** SCC index of @p f (condensation node). */
+    int sccOf(int f) const { return scc_[f]; }
+
+    /**
+     * Function ids in reverse topological order of the SCC DAG:
+     * callees before callers. Functions in the same SCC appear in
+     * arbitrary relative order (their FCNT is not used anyway).
+     */
+    const std::vector<int> &reverseTopoOrder() const { return order_; }
+
+  private:
+    std::vector<std::vector<int>> callees_;
+    std::vector<bool> recursive_;
+    std::vector<int> scc_;
+    std::vector<int> order_;
+};
+
+} // namespace ldx::analysis

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Bridge from IR functions to the analysis DiGraph form.
+ */
+#pragma once
+
+#include "analysis/graph.h"
+#include "ir/ir.h"
+
+namespace ldx::analysis {
+
+/** Build the CFG digraph of @p fn (nodes are block ids). */
+inline DiGraph
+buildCfg(const ir::Function &fn)
+{
+    DiGraph g(static_cast<int>(fn.numBlocks()));
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        for (int succ : fn.block(static_cast<int>(b)).successors())
+            g.addEdge(static_cast<int>(b), succ);
+    }
+    return g;
+}
+
+} // namespace ldx::analysis

@@ -1,0 +1,64 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+
+namespace ldx::analysis {
+
+DominatorTree::DominatorTree(const DiGraph &g, int entry)
+    : entry_(entry), idom_(g.numNodes(), -1), reachable_(g.numNodes(), false)
+{
+    std::vector<int> rpo = reversePostOrder(g, entry);
+    std::vector<int> rpo_index(g.numNodes(), -1);
+    for (std::size_t i = 0; i < rpo.size(); ++i) {
+        rpo_index[rpo[i]] = static_cast<int>(i);
+        reachable_[rpo[i]] = true;
+    }
+    auto preds = g.predecessors();
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom_[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    idom_[entry] = entry;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int node : rpo) {
+            if (node == entry)
+                continue;
+            int new_idom = -1;
+            for (int p : preds[node]) {
+                if (!reachable_[p] || idom_[p] < 0)
+                    continue;
+                new_idom = new_idom < 0 ? p : intersect(new_idom, p);
+            }
+            if (new_idom >= 0 && idom_[node] != new_idom) {
+                idom_[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom_[entry] = -1; // canonical: entry has no idom
+}
+
+bool
+DominatorTree::dominates(int a, int b) const
+{
+    if (!reachable_[a] || !reachable_[b])
+        return false;
+    int cur = b;
+    while (cur != -1) {
+        if (cur == a)
+            return true;
+        cur = idom_[cur];
+    }
+    return false;
+}
+
+} // namespace ldx::analysis

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Dominator tree over a function CFG (Cooper-Harvey-Kennedy iterative
+ * algorithm). Used to identify natural-loop back edges.
+ */
+#pragma once
+
+#include <vector>
+
+#include "analysis/graph.h"
+
+namespace ldx::analysis {
+
+/** Immediate-dominator table for a CFG rooted at @p entry. */
+class DominatorTree
+{
+  public:
+    /** Build for @p g rooted at @p entry. */
+    DominatorTree(const DiGraph &g, int entry);
+
+    /** Immediate dominator of @p node (-1 for the entry / unreachable). */
+    int idom(int node) const { return idom_[node]; }
+
+    /** True if @p a dominates @p b (reflexive). */
+    bool dominates(int a, int b) const;
+
+    /** True if @p node is reachable from the entry. */
+    bool reachable(int node) const { return reachable_[node]; }
+
+    int entry() const { return entry_; }
+
+  private:
+    int entry_;
+    std::vector<int> idom_;
+    std::vector<bool> reachable_;
+};
+
+} // namespace ldx::analysis

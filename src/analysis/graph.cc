@@ -1,0 +1,111 @@
+#include "analysis/graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace ldx::analysis {
+
+bool
+DiGraph::removeEdge(int from, int to)
+{
+    auto &v = succ[from];
+    auto it = std::find(v.begin(), v.end(), to);
+    if (it == v.end())
+        return false;
+    v.erase(it);
+    return true;
+}
+
+bool
+DiGraph::hasEdge(int from, int to) const
+{
+    const auto &v = succ[from];
+    return std::find(v.begin(), v.end(), to) != v.end();
+}
+
+std::vector<std::vector<int>>
+DiGraph::predecessors() const
+{
+    std::vector<std::vector<int>> preds(succ.size());
+    for (int u = 0; u < numNodes(); ++u) {
+        for (int v : succ[u])
+            preds[v].push_back(u);
+    }
+    return preds;
+}
+
+std::optional<std::vector<int>>
+topoOrder(const DiGraph &g)
+{
+    int n = g.numNodes();
+    std::vector<int> indeg(n, 0);
+    for (int u = 0; u < n; ++u) {
+        for (int v : g.succ[u])
+            ++indeg[v];
+    }
+    std::vector<int> work;
+    for (int u = 0; u < n; ++u) {
+        if (indeg[u] == 0)
+            work.push_back(u);
+    }
+    std::vector<int> order;
+    order.reserve(n);
+    for (std::size_t i = 0; i < work.size(); ++i) {
+        int u = work[i];
+        order.push_back(u);
+        for (int v : g.succ[u]) {
+            if (--indeg[v] == 0)
+                work.push_back(v);
+        }
+    }
+    if (static_cast<int>(order.size()) != n)
+        return std::nullopt; // cycle
+    return order;
+}
+
+std::vector<int>
+reversePostOrder(const DiGraph &g, int entry)
+{
+    std::vector<int> post;
+    std::vector<char> state(g.numNodes(), 0);
+    // Iterative DFS computing postorder.
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(entry, 0);
+    state[entry] = 1;
+    while (!stack.empty()) {
+        auto &[u, idx] = stack.back();
+        if (idx < g.succ[u].size()) {
+            int v = g.succ[u][idx++];
+            if (!state[v]) {
+                state[v] = 1;
+                stack.emplace_back(v, 0);
+            }
+        } else {
+            post.push_back(u);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+std::vector<bool>
+reachableFrom(const DiGraph &g, int entry)
+{
+    std::vector<bool> seen(g.numNodes(), false);
+    std::vector<int> work{entry};
+    seen[entry] = true;
+    while (!work.empty()) {
+        int u = work.back();
+        work.pop_back();
+        for (int v : g.succ[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                work.push_back(v);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace ldx::analysis

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Lightweight directed-graph helpers used by the CFG analyses and by
+ * the instrumenter, which must topologically sort a *modified* CFG
+ * (loop edges removed, dummy edges added — Algorithm 3).
+ */
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace ldx::analysis {
+
+/** Adjacency-list digraph over nodes 0..n-1. */
+struct DiGraph
+{
+    explicit DiGraph(int n)
+        : succ(n)
+    {}
+
+    int numNodes() const { return static_cast<int>(succ.size()); }
+
+    void
+    addEdge(int from, int to)
+    {
+        succ[from].push_back(to);
+    }
+
+    /** Remove one instance of edge from→to; returns true if present. */
+    bool removeEdge(int from, int to);
+
+    /** True if the edge exists. */
+    bool hasEdge(int from, int to) const;
+
+    /** Predecessor lists. */
+    std::vector<std::vector<int>> predecessors() const;
+
+    std::vector<std::vector<int>> succ;
+};
+
+/**
+ * Kahn topological sort. Returns std::nullopt when the graph has a
+ * cycle. Nodes unreachable from anywhere still appear in the order.
+ */
+std::optional<std::vector<int>> topoOrder(const DiGraph &g);
+
+/** Reverse postorder from @p entry (standard CFG iteration order). */
+std::vector<int> reversePostOrder(const DiGraph &g, int entry);
+
+/** Nodes reachable from @p entry. */
+std::vector<bool> reachableFrom(const DiGraph &g, int entry);
+
+} // namespace ldx::analysis

@@ -1,0 +1,129 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diag.h"
+
+namespace ldx::analysis {
+
+LoopInfo::LoopInfo(const DiGraph &g, int entry)
+    : innermost_(g.numNodes(), -1)
+{
+    DominatorTree dom(g, entry);
+    auto preds = g.predecessors();
+
+    // Collect back edges per header (a back edge u->h has h dom u).
+    std::map<int, std::vector<int>> latches_of;
+    for (int u = 0; u < g.numNodes(); ++u) {
+        if (!dom.reachable(u))
+            continue;
+        for (int v : g.succ[u]) {
+            if (dom.dominates(v, u))
+                latches_of[v].push_back(u);
+        }
+    }
+
+    // Irreducibility check: removing all dominance back edges must
+    // leave an acyclic graph over the reachable nodes.
+    {
+        DiGraph acyclic(g.numNodes());
+        for (int u = 0; u < g.numNodes(); ++u) {
+            if (!dom.reachable(u))
+                continue;
+            for (int v : g.succ[u]) {
+                if (!dom.dominates(v, u))
+                    acyclic.addEdge(u, v);
+            }
+        }
+        if (!topoOrder(acyclic))
+            fatal("irreducible control flow is not supported");
+    }
+
+    // Natural loop of each header: header + nodes that reach a latch
+    // without passing through the header.
+    for (auto &[header, latches] : latches_of) {
+        Loop loop;
+        loop.header = header;
+        loop.latches = latches;
+        loop.body.assign(g.numNodes(), false);
+        loop.body[header] = true;
+        std::vector<int> work;
+        for (int latch : latches) {
+            if (!loop.body[latch]) {
+                loop.body[latch] = true;
+                work.push_back(latch);
+            }
+        }
+        while (!work.empty()) {
+            int u = work.back();
+            work.pop_back();
+            for (int p : preds[u]) {
+                if (dom.reachable(p) && !loop.body[p]) {
+                    loop.body[p] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+        for (int u = 0; u < g.numNodes(); ++u) {
+            if (!loop.body[u])
+                continue;
+            for (int v : g.succ[u]) {
+                if (!loop.body[v])
+                    loop.exitEdges.push_back(Edge{u, v});
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    // Nesting: loop A is the parent of B if A's body strictly contains
+    // B's header and A != B. Choose the smallest such container.
+    auto body_size = [&](const Loop &l) {
+        return std::count(l.body.begin(), l.body.end(), true);
+    };
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        long best_size = -1;
+        for (std::size_t j = 0; j < loops_.size(); ++j) {
+            if (i == j)
+                continue;
+            if (loops_[j].body[loops_[i].header] &&
+                loops_[j].header != loops_[i].header) {
+                long sz = body_size(loops_[j]);
+                if (best_size < 0 || sz < best_size) {
+                    best_size = sz;
+                    loops_[i].parent = static_cast<int>(j);
+                }
+            }
+        }
+    }
+    for (auto &loop : loops_) {
+        int d = 1;
+        for (int p = loop.parent; p >= 0; p = loops_[p].parent)
+            ++d;
+        loop.depth = d;
+    }
+
+    // Innermost loop per node: deepest loop whose body contains it.
+    for (int u = 0; u < g.numNodes(); ++u) {
+        int best = -1;
+        for (std::size_t i = 0; i < loops_.size(); ++i) {
+            if (loops_[i].body[u] &&
+                (best < 0 || loops_[i].depth > loops_[best].depth))
+                best = static_cast<int>(i);
+        }
+        innermost_[u] = best;
+    }
+}
+
+std::vector<Edge>
+LoopInfo::backEdges() const
+{
+    std::vector<Edge> edges;
+    for (const Loop &loop : loops_) {
+        for (int latch : loop.latches)
+            edges.push_back(Edge{latch, loop.header});
+    }
+    return edges;
+}
+
+} // namespace ldx::analysis

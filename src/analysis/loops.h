@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Natural-loop detection. Algorithm 3 of the paper instruments back
+ * edges (barrier + counter reset) and loop exit edges (counter raise),
+ * so the instrumenter needs headers, latches, bodies and exit edges.
+ *
+ * Only reducible CFGs are supported: every retreating edge must target
+ * a node that dominates its source. The MiniC frontend only emits
+ * reducible control flow; hand-built irreducible IR is rejected.
+ */
+#pragma once
+
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "analysis/graph.h"
+
+namespace ldx::analysis {
+
+/** A CFG edge. */
+struct Edge
+{
+    int from = -1;
+    int to = -1;
+
+    bool
+    operator==(const Edge &o) const
+    {
+        return from == o.from && to == o.to;
+    }
+};
+
+/** One natural loop. */
+struct Loop
+{
+    int header = -1;
+    std::vector<int> latches;    ///< sources of back edges to header
+    std::vector<bool> body;      ///< membership bitmap (includes header)
+    std::vector<Edge> exitEdges; ///< edges from body to outside
+    int parent = -1;             ///< index of enclosing loop, -1 if top
+    int depth = 1;               ///< nesting depth (outermost = 1)
+
+    bool contains(int node) const { return body[node]; }
+};
+
+/** Loop forest of a function CFG. */
+class LoopInfo
+{
+  public:
+    /**
+     * Build from @p g rooted at @p entry.
+     * @throws ldx::FatalError on irreducible control flow.
+     */
+    LoopInfo(const DiGraph &g, int entry);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** All back edges (latch -> header). */
+    std::vector<Edge> backEdges() const;
+
+    /** Index of the innermost loop containing @p node, or -1. */
+    int innermostLoop(int node) const { return innermost_[node]; }
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<int> innermost_;
+};
+
+} // namespace ldx::analysis

@@ -1,0 +1,358 @@
+#include "instrument/instrument.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/callgraph.h"
+#include "analysis/cfg.h"
+#include "analysis/loops.h"
+#include "ir/builder.h"
+#include "support/diag.h"
+
+namespace ldx::instrument {
+
+namespace {
+
+/** Ordered edge key. */
+using EdgeKey = std::pair<int, int>;
+
+ir::Instr
+makeCntAdd(std::int64_t delta)
+{
+    ir::Instr i;
+    i.op = ir::Opcode::CntAdd;
+    i.imm = delta;
+    return i;
+}
+
+} // namespace
+
+bool
+isInstrumented(const ir::Module &m)
+{
+    for (std::size_t f = 0; f < m.numFunctions(); ++f) {
+        const ir::Function &fn = m.function(static_cast<int>(f));
+        for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+            for (const ir::Instr &instr :
+                 fn.block(static_cast<int>(b)).instrs()) {
+                switch (instr.op) {
+                  case ir::Opcode::CntAdd:
+                  case ir::Opcode::SyncBarrier:
+                  case ir::Opcode::CntPush:
+                  case ir::Opcode::CntPop:
+                    return true;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+InstrumentStats
+CounterInstrumenter::run()
+{
+    checkInvariant(!ran_, "CounterInstrumenter::run called twice");
+    ran_ = true;
+    if (isInstrumented(module_))
+        fatal("module is already instrumented");
+
+    InstrumentStats stats;
+    for (std::size_t f = 0; f < module_.numFunctions(); ++f) {
+        const ir::Function &fn = module_.function(static_cast<int>(f));
+        for (std::size_t b = 0; b < fn.numBlocks(); ++b)
+            stats.originalInstrs +=
+                fn.block(static_cast<int>(b)).instrs().size();
+    }
+
+    analysis::CallGraph cg(module_);
+    recursive_.assign(module_.numFunctions(), false);
+    for (std::size_t f = 0; f < module_.numFunctions(); ++f) {
+        recursive_[f] = cg.isRecursive(static_cast<int>(f));
+        if (recursive_[f])
+            ++stats.recursiveFunctions;
+    }
+
+    // Reverse topological call-graph order: callees first
+    // (InstrumentProg, Algorithm 1).
+    for (int f : cg.reverseTopoOrder())
+        instrumentFunction(module_.function(f), stats);
+
+    int main_fn = module_.mainFunction();
+    if (main_fn >= 0)
+        stats.maxStaticCnt = fcnt_[main_fn];
+    return stats;
+}
+
+void
+CounterInstrumenter::normalizeSingleExit(ir::Function &fn)
+{
+    std::vector<int> ret_blocks;
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        if (fn.block(static_cast<int>(b)).terminator().op ==
+            ir::Opcode::Ret)
+            ret_blocks.push_back(static_cast<int>(b));
+    }
+    if (ret_blocks.size() <= 1)
+        return;
+
+    int ret_reg = fn.newReg();
+    ir::BasicBlock &exit = fn.newBlock();
+    {
+        ir::Instr ret;
+        ret.op = ir::Opcode::Ret;
+        ret.a = ir::Operand::makeReg(ret_reg);
+        exit.instrs().push_back(ret);
+    }
+    for (int b : ret_blocks) {
+        ir::Instr &old = fn.block(b).terminator();
+        ir::Instr move;
+        move.op = ir::Opcode::Move;
+        move.dst = ret_reg;
+        move.a = old.a.isNone() ? ir::Operand::makeImm(0) : old.a;
+        move.loc = old.loc;
+        ir::Instr br;
+        br.op = ir::Opcode::Br;
+        br.target0 = exit.id();
+        br.loc = old.loc;
+        old = move;
+        fn.block(b).instrs().push_back(br);
+    }
+}
+
+void
+CounterInstrumenter::instrumentFunction(ir::Function &fn,
+                                        InstrumentStats &stats)
+{
+    normalizeSingleExit(fn);
+
+    // ------------------------------------------------ in-block pass
+    // Insert cnt += 1 before each syscall, push/pop around indirect
+    // and recursive calls, and compute per-block static increments.
+    std::vector<std::int64_t> inc(fn.numBlocks(), 0);
+    // "Active" blocks contain counter-relevant work: syscalls, calls
+    // with nonzero FCNT, or push/pop sites. Loops whose bodies have no
+    // active block need no barriers (§5: "we only need to instrument
+    // loops that include syscalls"), which keeps hot compute loops
+    // free of synchronization.
+    std::vector<bool> active(fn.numBlocks(), false);
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        auto &instrs = fn.block(static_cast<int>(b)).instrs();
+        std::vector<ir::Instr> out;
+        out.reserve(instrs.size() + 4);
+        for (ir::Instr &instr : instrs) {
+            switch (instr.op) {
+              case ir::Opcode::Syscall: {
+                ir::Instr add = makeCntAdd(1);
+                add.loc = instr.loc;
+                out.push_back(add);
+                ++stats.insertedOps;
+                instr.site = static_cast<int>(sites_.size());
+                SiteInfo site;
+                site.id = instr.site;
+                site.fn = fn.id();
+                site.sysNo = instr.imm;
+                site.loc = instr.loc;
+                sites_.push_back(site);
+                ++stats.syscallSites;
+                inc[b] += 1;
+                active[b] = true;
+                out.push_back(std::move(instr));
+                break;
+              }
+              case ir::Opcode::Call: {
+                bool rec = recursive_[static_cast<std::size_t>(
+                    instr.callee)];
+                if (rec) {
+                    ir::Instr push;
+                    push.op = ir::Opcode::CntPush;
+                    push.loc = instr.loc;
+                    ir::Instr pop;
+                    pop.op = ir::Opcode::CntPop;
+                    pop.loc = instr.loc;
+                    out.push_back(push);
+                    out.push_back(std::move(instr));
+                    out.push_back(pop);
+                    stats.insertedOps += 2;
+                    active[b] = true;
+                } else {
+                    inc[b] += fcnt_[instr.callee];
+                    if (fcnt_[instr.callee] > 0)
+                        active[b] = true;
+                    out.push_back(std::move(instr));
+                }
+                break;
+              }
+              case ir::Opcode::ICall: {
+                ir::Instr push;
+                push.op = ir::Opcode::CntPush;
+                push.loc = instr.loc;
+                ir::Instr pop;
+                pop.op = ir::Opcode::CntPop;
+                pop.loc = instr.loc;
+                out.push_back(push);
+                out.push_back(std::move(instr));
+                out.push_back(pop);
+                stats.insertedOps += 2;
+                ++stats.indirectCallSites;
+                active[b] = true;
+                break;
+              }
+              default:
+                out.push_back(std::move(instr));
+                break;
+            }
+        }
+        instrs = std::move(out);
+    }
+
+    // --------------------------------------------------- loop shape
+    analysis::DiGraph cfg = analysis::buildCfg(fn);
+    analysis::LoopInfo loops(cfg, ir::Function::entryBlockId);
+
+    std::set<EdgeKey> back_edges;
+    std::map<EdgeKey, int> back_edge_header; // edge -> header block
+    std::set<EdgeKey> barrier_edges;         // back edges needing sync
+    for (const analysis::Loop &loop : loops.loops()) {
+        bool loop_active = false;
+        for (std::size_t b = 0; b < fn.numBlocks() &&
+                                b < loop.body.size();
+             ++b) {
+            if (loop.body[b] && active[b])
+                loop_active = true;
+        }
+        if (loop_active)
+            ++stats.loops;
+        for (int latch : loop.latches) {
+            back_edges.insert({latch, loop.header});
+            back_edge_header[{latch, loop.header}] = loop.header;
+            if (loop_active)
+                barrier_edges.insert({latch, loop.header});
+        }
+    }
+    std::set<EdgeKey> exit_edges;
+    std::set<EdgeKey> dummy_edges;
+    for (const analysis::Loop &loop : loops.loops()) {
+        for (const analysis::Edge &e : loop.exitEdges) {
+            if (back_edges.count({e.from, e.to}))
+                continue; // back-edge classification wins
+            exit_edges.insert({e.from, e.to});
+            for (int latch : loop.latches)
+                dummy_edges.insert({latch, e.to});
+        }
+    }
+
+    // Acyclic graph: original edges minus back/exit edges plus dummies.
+    analysis::DiGraph acyclic(cfg.numNodes());
+    for (int u = 0; u < cfg.numNodes(); ++u) {
+        for (int v : cfg.succ[u]) {
+            EdgeKey key{u, v};
+            if (!back_edges.count(key) && !exit_edges.count(key))
+                acyclic.addEdge(u, v);
+        }
+    }
+    for (const EdgeKey &e : dummy_edges) {
+        if (!acyclic.hasEdge(e.first, e.second))
+            acyclic.addEdge(e.first, e.second);
+    }
+
+    auto order = analysis::topoOrder(acyclic);
+    checkInvariant(order.has_value(),
+                   "loop removal left a cycle in " + fn.name());
+
+    // -------------------------------------- static counter values
+    std::vector<std::int64_t> cnt_in(fn.numBlocks(), 0);
+    std::vector<std::int64_t> cnt_out(fn.numBlocks(), 0);
+    auto preds = acyclic.predecessors();
+    for (int n : *order) {
+        std::int64_t v = 0;
+        for (int p : preds[static_cast<std::size_t>(n)])
+            v = std::max(v, cnt_out[static_cast<std::size_t>(p)]);
+        cnt_in[static_cast<std::size_t>(n)] = v;
+        cnt_out[static_cast<std::size_t>(n)] =
+            v + inc[static_cast<std::size_t>(n)];
+    }
+
+    // ------------------------------------------ edge instrumentation
+    struct EdgeWork
+    {
+        int from;
+        int to;
+        bool barrier;
+        std::int64_t delta;
+    };
+    std::vector<EdgeWork> work;
+    for (int u = 0; u < cfg.numNodes(); ++u) {
+        for (int v : cfg.succ[u]) {
+            EdgeKey key{u, v};
+            std::int64_t delta = cnt_in[static_cast<std::size_t>(v)] -
+                                 cnt_out[static_cast<std::size_t>(u)];
+            if (back_edges.count(key)) {
+                int header = back_edge_header[key];
+                std::int64_t reset =
+                    cnt_in[static_cast<std::size_t>(header)] -
+                    cnt_out[static_cast<std::size_t>(u)];
+                if (barrier_edges.count(key))
+                    work.push_back({u, v, true, reset});
+                else if (reset != 0)
+                    work.push_back({u, v, false, reset});
+            } else if (delta != 0) {
+                work.push_back({u, v, false, delta});
+            }
+        }
+    }
+
+    for (const EdgeWork &w : work) {
+        // Split the edge: new block with the compensation code.
+        ir::BasicBlock &split = fn.newBlock();
+        if (w.barrier) {
+            ir::Instr sync;
+            sync.op = ir::Opcode::SyncBarrier;
+            sync.imm = static_cast<std::int64_t>(sites_.size());
+            sync.a = ir::Operand::makeImm(w.delta);
+            sync.site = static_cast<int>(sites_.size());
+            SiteInfo site;
+            site.id = sync.site;
+            site.fn = fn.id();
+            site.isBarrier = true;
+            sites_.push_back(site);
+            split.instrs().push_back(sync);
+            ++stats.insertedOps;
+        } else {
+            split.instrs().push_back(makeCntAdd(w.delta));
+            ++stats.insertedOps;
+        }
+        ir::Instr br;
+        br.op = ir::Opcode::Br;
+        br.target0 = w.to;
+        split.instrs().push_back(br);
+
+        ir::Instr &term = fn.block(w.from).terminator();
+        if (term.op == ir::Opcode::Br) {
+            term.target0 = split.id();
+        } else if (term.op == ir::Opcode::CondBr) {
+            if (term.target0 == w.to)
+                term.target0 = split.id();
+            if (term.target1 == w.to)
+                term.target1 = split.id();
+        } else {
+            panic("edge from a non-branch terminator");
+        }
+    }
+
+    // FCNT: total increment along any path (single exit block).
+    int exit_block = -1;
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        if (fn.block(static_cast<int>(b)).terminator().op ==
+            ir::Opcode::Ret) {
+            checkInvariant(exit_block < 0,
+                           "multiple exits after normalization");
+            exit_block = static_cast<int>(b);
+        }
+    }
+    checkInvariant(exit_block >= 0, "function without a ret block");
+    fcnt_[fn.id()] = cnt_out[static_cast<std::size_t>(exit_block)];
+}
+
+} // namespace ldx::instrument

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The paper's counter instrumentation (Algorithms 1 and 3, §6).
+ *
+ * After the pass runs, the module maintains at runtime a per-thread
+ * counter with the property that, at any syscall, the counter value
+ * equals the maximum number of syscalls along any acyclic path from
+ * program entry to that syscall — identical across executions that
+ * reach the same point, regardless of which branches they took.
+ *
+ * Mechanics:
+ *  - `cnt += 1` is inserted before every syscall;
+ *  - non-loop CFG edges where the static counter value changes get a
+ *    compensating `cnt += delta` (edge splitting);
+ *  - calls to non-recursive functions contribute their statically
+ *    known total increment FCNT (realized by the callee's own
+ *    instrumentation as it runs);
+ *  - loop back edges get a rendezvous barrier followed by a counter
+ *    reset to the loop-header value; loop exit edges raise the
+ *    counter above every in-loop value (Algorithm 3);
+ *  - indirect calls and calls to recursive functions save the counter
+ *    on a stack and reset it to zero, restoring on return (§6), so
+ *    alignment inside starts afresh and the caller needs no FCNT.
+ *
+ * Every syscall and barrier receives a unique static site id; the
+ * dual-execution engine aligns on (counter value, site id).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ldx::instrument {
+
+/** What a static site id refers to. */
+struct SiteInfo
+{
+    int id = -1;
+    int fn = -1;
+    bool isBarrier = false;
+    std::int64_t sysNo = -1;  ///< syscall number (-1 for barriers)
+    ir::SourceLoc loc;
+};
+
+/** Table 1 instrumentation statistics for one module. */
+struct InstrumentStats
+{
+    std::uint64_t originalInstrs = 0;
+    std::uint64_t insertedOps = 0;      ///< "Inst." column
+    int loops = 0;                      ///< instrumented loops
+    int recursiveFunctions = 0;         ///< "Recur." column
+    int indirectCallSites = 0;          ///< "FPTR" column
+    int syscallSites = 0;               ///< "Total" syscalls column
+    std::int64_t maxStaticCnt = 0;      ///< "Max. Cnt." (FCNT of main)
+
+    /** Fraction of instructions added by instrumentation. */
+    double
+    instrumentedRatio() const
+    {
+        return originalInstrs
+            ? static_cast<double>(insertedOps) /
+              static_cast<double>(originalInstrs)
+            : 0.0;
+    }
+};
+
+/**
+ * Counter instrumentation pass. Mutates the module in place; a module
+ * must be instrumented at most once.
+ */
+class CounterInstrumenter
+{
+  public:
+    explicit CounterInstrumenter(ir::Module &module)
+        : module_(module)
+    {}
+
+    /** Run the pass over every function; returns the statistics. */
+    InstrumentStats run();
+
+    /** Site descriptors indexed by site id (valid after run()). */
+    const std::vector<SiteInfo> &sites() const { return sites_; }
+
+    /** Per-function total counter increment (FCNT). */
+    const std::map<int, std::int64_t> &fcnt() const { return fcnt_; }
+
+  private:
+    void instrumentFunction(ir::Function &fn, InstrumentStats &stats);
+
+    /** Rewrite multi-ret functions to a single exit block. */
+    void normalizeSingleExit(ir::Function &fn);
+
+    ir::Module &module_;
+    std::vector<SiteInfo> sites_;
+    std::map<int, std::int64_t> fcnt_;
+    std::vector<bool> recursive_;
+    bool ran_ = false;
+};
+
+/** True if @p m contains counter opcodes already. */
+bool isInstrumented(const ir::Module &m);
+
+} // namespace ldx::instrument

@@ -1,0 +1,229 @@
+#include "ir/builder.h"
+
+#include "support/diag.h"
+
+namespace ldx::ir {
+
+Instr &
+IRBuilder::append(Instr instr)
+{
+    instr.loc = loc_;
+    BasicBlock &bb = fn_.block(block_);
+    checkInvariant(!bb.isTerminated(),
+                   "appending to a terminated block in " + fn_.name());
+    bb.instrs().push_back(std::move(instr));
+    return bb.instrs().back();
+}
+
+int
+IRBuilder::emitConst(std::int64_t v)
+{
+    Instr i;
+    i.op = Opcode::Const;
+    i.dst = fn_.newReg();
+    i.imm = v;
+    return append(std::move(i)).dst;
+}
+
+int
+IRBuilder::emitMove(Operand src)
+{
+    Instr i;
+    i.op = Opcode::Move;
+    i.dst = fn_.newReg();
+    i.a = src;
+    return append(std::move(i)).dst;
+}
+
+void
+IRBuilder::emitMoveTo(int dst_reg, Operand src)
+{
+    Instr i;
+    i.op = Opcode::Move;
+    i.dst = dst_reg;
+    i.a = src;
+    append(std::move(i));
+}
+
+int
+IRBuilder::emitBinary(Opcode op, Operand a, Operand b)
+{
+    Instr i;
+    i.op = op;
+    i.dst = fn_.newReg();
+    i.a = a;
+    i.b = b;
+    return append(std::move(i)).dst;
+}
+
+int
+IRBuilder::emitUnary(Opcode op, Operand a)
+{
+    Instr i;
+    i.op = op;
+    i.dst = fn_.newReg();
+    i.a = a;
+    return append(std::move(i)).dst;
+}
+
+int
+IRBuilder::emitLoad(Operand addr, int size)
+{
+    Instr i;
+    i.op = Opcode::Load;
+    i.dst = fn_.newReg();
+    i.a = addr;
+    i.size = size;
+    return append(std::move(i)).dst;
+}
+
+void
+IRBuilder::emitStore(Operand addr, Operand val, int size)
+{
+    Instr i;
+    i.op = Opcode::Store;
+    i.a = addr;
+    i.b = val;
+    i.size = size;
+    append(std::move(i));
+}
+
+int
+IRBuilder::emitAlloca(std::int64_t size)
+{
+    Instr i;
+    i.op = Opcode::Alloca;
+    i.dst = fn_.newReg();
+    i.imm = size;
+    return append(std::move(i)).dst;
+}
+
+int
+IRBuilder::emitGlobalAddr(int global_id)
+{
+    Instr i;
+    i.op = Opcode::GlobalAddr;
+    i.dst = fn_.newReg();
+    i.imm = global_id;
+    return append(std::move(i)).dst;
+}
+
+int
+IRBuilder::emitCall(int callee, std::vector<Operand> args)
+{
+    Instr i;
+    i.op = Opcode::Call;
+    i.dst = fn_.newReg();
+    i.callee = callee;
+    i.args = std::move(args);
+    return append(std::move(i)).dst;
+}
+
+int
+IRBuilder::emitICall(Operand fnptr, std::vector<Operand> args)
+{
+    Instr i;
+    i.op = Opcode::ICall;
+    i.dst = fn_.newReg();
+    i.a = fnptr;
+    i.args = std::move(args);
+    return append(std::move(i)).dst;
+}
+
+int
+IRBuilder::emitFnAddr(int callee)
+{
+    Instr i;
+    i.op = Opcode::FnAddr;
+    i.dst = fn_.newReg();
+    i.callee = callee;
+    return append(std::move(i)).dst;
+}
+
+int
+IRBuilder::emitLibCall(LibRoutine r, std::vector<Operand> args)
+{
+    Instr i;
+    i.op = Opcode::LibCall;
+    i.dst = fn_.newReg();
+    i.imm = static_cast<std::int64_t>(r);
+    i.args = std::move(args);
+    return append(std::move(i)).dst;
+}
+
+int
+IRBuilder::emitSyscall(std::int64_t sys_no, std::vector<Operand> args)
+{
+    Instr i;
+    i.op = Opcode::Syscall;
+    i.dst = fn_.newReg();
+    i.imm = sys_no;
+    i.args = std::move(args);
+    return append(std::move(i)).dst;
+}
+
+void
+IRBuilder::emitBr(int target)
+{
+    Instr i;
+    i.op = Opcode::Br;
+    i.target0 = target;
+    append(std::move(i));
+}
+
+void
+IRBuilder::emitCondBr(Operand cond, int then_bb, int else_bb)
+{
+    Instr i;
+    i.op = Opcode::CondBr;
+    i.a = cond;
+    i.target0 = then_bb;
+    i.target1 = else_bb;
+    append(std::move(i));
+}
+
+void
+IRBuilder::emitRet(Operand val)
+{
+    Instr i;
+    i.op = Opcode::Ret;
+    i.a = val;
+    append(std::move(i));
+}
+
+void
+IRBuilder::emitCntAdd(std::int64_t delta)
+{
+    Instr i;
+    i.op = Opcode::CntAdd;
+    i.imm = delta;
+    append(std::move(i));
+}
+
+void
+IRBuilder::emitSyncBarrier(std::int64_t site_id, std::int64_t reset_delta)
+{
+    Instr i;
+    i.op = Opcode::SyncBarrier;
+    i.imm = site_id;
+    i.a = Operand::makeImm(reset_delta);
+    append(std::move(i));
+}
+
+void
+IRBuilder::emitCntPush()
+{
+    Instr i;
+    i.op = Opcode::CntPush;
+    append(std::move(i));
+}
+
+void
+IRBuilder::emitCntPop()
+{
+    Instr i;
+    i.op = Opcode::CntPop;
+    append(std::move(i));
+}
+
+} // namespace ldx::ir

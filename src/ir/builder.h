@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Convenience builder for constructing IR, used by the MiniC code
+ * generator, the instrumenter, and hand-built test programs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ldx::ir {
+
+/** Appends instructions to a current block of a function. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Function &fn)
+        : fn_(fn)
+    {}
+
+    /** Switch the insertion point to block @p id. */
+    void setBlock(int id) { block_ = id; }
+    int currentBlock() const { return block_; }
+
+    Function &function() { return fn_; }
+
+    /** Set the source location stamped on subsequent instructions. */
+    void setLoc(SourceLoc loc) { loc_ = loc; }
+
+    // -- Straight-line instructions (each returns the dst register). --
+    int emitConst(std::int64_t v);
+    int emitMove(Operand src);
+    /** Move @p src into an existing register (codegen "phi" slots). */
+    void emitMoveTo(int dst_reg, Operand src);
+    int emitBinary(Opcode op, Operand a, Operand b);
+    int emitUnary(Opcode op, Operand a);
+    int emitLoad(Operand addr, int size = 8);
+    void emitStore(Operand addr, Operand val, int size = 8);
+    int emitAlloca(std::int64_t size);
+    int emitGlobalAddr(int global_id);
+    int emitCall(int callee, std::vector<Operand> args);
+    int emitICall(Operand fnptr, std::vector<Operand> args);
+    int emitFnAddr(int callee);
+    int emitLibCall(LibRoutine r, std::vector<Operand> args);
+    int emitSyscall(std::int64_t sys_no, std::vector<Operand> args);
+
+    // -- Terminators. --
+    void emitBr(int target);
+    void emitCondBr(Operand cond, int then_bb, int else_bb);
+    void emitRet(Operand val = Operand::none());
+
+    // -- Counter opcodes (used by the instrumenter and tests). --
+    void emitCntAdd(std::int64_t delta);
+    void emitSyncBarrier(std::int64_t site_id, std::int64_t reset_delta);
+    void emitCntPush();
+    void emitCntPop();
+
+    /** Shorthand operand constructors. */
+    static Operand reg(int r) { return Operand::makeReg(r); }
+    static Operand imm(std::int64_t v) { return Operand::makeImm(v); }
+
+  private:
+    Instr &append(Instr instr);
+
+    Function &fn_;
+    int block_ = Function::entryBlockId;
+    SourceLoc loc_;
+};
+
+} // namespace ldx::ir

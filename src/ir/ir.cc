@@ -1,0 +1,194 @@
+#include "ir/ir.h"
+
+#include "support/diag.h"
+
+namespace ldx::ir {
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Const: return "const";
+      case Opcode::Move: return "move";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Neg: return "neg";
+      case Opcode::Not: return "not";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::CmpGt: return "cmpgt";
+      case Opcode::CmpGe: return "cmpge";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Alloca: return "alloca";
+      case Opcode::GlobalAddr: return "gaddr";
+      case Opcode::Call: return "call";
+      case Opcode::ICall: return "icall";
+      case Opcode::FnAddr: return "fnaddr";
+      case Opcode::LibCall: return "libcall";
+      case Opcode::Syscall: return "syscall";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "condbr";
+      case Opcode::Ret: return "ret";
+      case Opcode::CntAdd: return "cnt.add";
+      case Opcode::SyncBarrier: return "cnt.sync";
+      case Opcode::CntPush: return "cnt.push";
+      case Opcode::CntPop: return "cnt.pop";
+    }
+    return "?";
+}
+
+const char *
+libRoutineName(LibRoutine r)
+{
+    switch (r) {
+      case LibRoutine::Memcpy: return "memcpy";
+      case LibRoutine::Memset: return "memset";
+      case LibRoutine::Strlen: return "strlen";
+      case LibRoutine::Strcmp: return "strcmp";
+      case LibRoutine::Strcpy: return "strcpy";
+      case LibRoutine::Strcat: return "strcat";
+      case LibRoutine::Atoi: return "atoi";
+      case LibRoutine::Itoa: return "itoa";
+      case LibRoutine::Malloc: return "malloc";
+      case LibRoutine::Free: return "free";
+    }
+    return "?";
+}
+
+const Instr &
+BasicBlock::terminator() const
+{
+    checkInvariant(!instrs_.empty(), "terminator() on empty block");
+    return instrs_.back();
+}
+
+Instr &
+BasicBlock::terminator()
+{
+    checkInvariant(!instrs_.empty(), "terminator() on empty block");
+    return instrs_.back();
+}
+
+std::vector<int>
+BasicBlock::successors() const
+{
+    if (instrs_.empty() || !instrs_.back().isTerminator())
+        return {};
+    const Instr &t = instrs_.back();
+    switch (t.op) {
+      case Opcode::Br:
+        return {t.target0};
+      case Opcode::CondBr:
+        if (t.target0 == t.target1)
+            return {t.target0};
+        return {t.target0, t.target1};
+      default:
+        return {};
+    }
+}
+
+bool
+BasicBlock::isTerminated() const
+{
+    return !instrs_.empty() && instrs_.back().isTerminator();
+}
+
+BasicBlock &
+Function::newBlock()
+{
+    int id = static_cast<int>(blocks_.size());
+    blocks_.push_back(std::make_unique<BasicBlock>(id));
+    return *blocks_.back();
+}
+
+std::vector<std::vector<int>>
+Function::predecessors() const
+{
+    std::vector<std::vector<int>> preds(blocks_.size());
+    for (const auto &bb : blocks_) {
+        for (int succ : bb->successors())
+            preds[succ].push_back(bb->id());
+    }
+    return preds;
+}
+
+Function &
+Module::addFunction(const std::string &name, int num_params)
+{
+    if (findFunction(name))
+        fatal("duplicate function: " + name);
+    int id = static_cast<int>(functions_.size());
+    functions_.push_back(std::make_unique<Function>(id, name, num_params));
+    functions_.back()->reserveRegs(num_params);
+    return *functions_.back();
+}
+
+Function *
+Module::findFunction(const std::string &name)
+{
+    for (auto &f : functions_) {
+        if (f->name() == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+const Function *
+Module::findFunction(const std::string &name) const
+{
+    for (const auto &f : functions_) {
+        if (f->name() == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+int
+Module::addGlobal(const std::string &name, std::int64_t size,
+                  std::string init)
+{
+    if (findGlobal(name) >= 0)
+        fatal("duplicate global: " + name);
+    Global g;
+    g.name = name;
+    g.size = size;
+    g.init = std::move(init);
+    globals_.push_back(std::move(g));
+    return static_cast<int>(globals_.size()) - 1;
+}
+
+int
+Module::findGlobal(const std::string &name) const
+{
+    for (std::size_t i = 0; i < globals_.size(); ++i) {
+        if (globals_[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Module::mainFunction() const
+{
+    const Function *f = findFunction("main");
+    return f ? f->id() : -1;
+}
+
+} // namespace ldx::ir

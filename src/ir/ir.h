@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The ldx intermediate representation.
+ *
+ * A small register-machine IR with explicit basic blocks. It is the
+ * substrate the paper's counter-instrumentation algorithms (Alg. 1 and
+ * Alg. 3) operate on: functions carry CFGs, calls may be direct or
+ * indirect, and the syscall boundary is an explicit opcode. The
+ * instrumenter inserts the counter opcodes (CntAdd, SyncBarrier,
+ * CntPush, CntPop); an uninstrumented module never contains them.
+ *
+ * Values are 64-bit integers. Memory is flat and byte addressable
+ * (see vm/memory.h); Load/Store carry an access width of 1 or 8 bytes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ldx::ir {
+
+/** Source position carried through from the MiniC frontend. */
+struct SourceLoc
+{
+    int line = 0;
+    int col = 0;
+};
+
+/** Instruction opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Data movement.
+    Const,      ///< dst = imm
+    Move,       ///< dst = a
+    // Arithmetic / logic (dst = a OP b unless unary).
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Neg,        ///< dst = -a
+    Not,        ///< dst = ~a
+    // Comparisons produce 0/1.
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+    // Memory.
+    Load,       ///< dst = mem[a] (width = size)
+    Store,      ///< mem[a] = b  (width = size)
+    Alloca,     ///< dst = address of imm bytes of fresh stack space
+    GlobalAddr, ///< dst = address of global #imm
+    // Calls.
+    Call,       ///< dst = callee(args...)           (direct)
+    ICall,      ///< dst = (*a)(args...)             (indirect)
+    FnAddr,     ///< dst = address token of function #callee
+    LibCall,    ///< dst = library routine #imm(args...)
+    Syscall,    ///< dst = syscall #imm(args...)
+    // Terminators.
+    Br,         ///< goto target0
+    CondBr,     ///< if (a) goto target0 else goto target1
+    Ret,        ///< return a (or void when a is absent)
+    // Counter instrumentation (inserted by instrument::CounterInstrumenter).
+    CntAdd,     ///< cnt += imm (imm may be negative on backedges)
+    SyncBarrier,///< iteration rendezvous at backedge site #imm
+    CntPush,    ///< push cnt on the counter stack; cnt = 0
+    CntPop,     ///< pop the counter stack into cnt
+};
+
+/** True if @p op ends a basic block. */
+bool isTerminator(Opcode op);
+
+/** Human-readable mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** An instruction operand: a virtual register or an immediate. */
+struct Operand
+{
+    enum class Kind : std::uint8_t { None, Reg, Imm };
+
+    Kind kind = Kind::None;
+    int reg = -1;
+    std::int64_t imm = 0;
+
+    static Operand none() { return Operand{}; }
+
+    static Operand
+    makeReg(int r)
+    {
+        Operand o;
+        o.kind = Kind::Reg;
+        o.reg = r;
+        return o;
+    }
+
+    static Operand
+    makeImm(std::int64_t v)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = v;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/** Library routines executed natively by the VM (see vm/machine.cc). */
+enum class LibRoutine : std::int64_t
+{
+    Memcpy,   ///< memcpy(dst, src, n) -> dst
+    Memset,   ///< memset(dst, byte, n) -> dst
+    Strlen,   ///< strlen(s)
+    Strcmp,   ///< strcmp(a, b)
+    Strcpy,   ///< strcpy(dst, src) -> dst
+    Strcat,   ///< strcat(dst, src) -> dst
+    Atoi,     ///< atoi(s)
+    Itoa,     ///< itoa(v, buf) -> buf (decimal, NUL terminated)
+    Malloc,   ///< malloc(n) -> heap pointer
+    Free,     ///< free(p)
+};
+
+/** Name of a library routine. */
+const char *libRoutineName(LibRoutine r);
+
+/**
+ * One IR instruction. A fat struct covering all opcodes keeps the
+ * interpreter loop simple and cache friendly; unused fields stay at
+ * their defaults.
+ */
+struct Instr
+{
+    Opcode op = Opcode::Const;
+    int dst = -1;                 ///< destination register or -1
+    Operand a;                    ///< first operand
+    Operand b;                    ///< second operand
+    std::vector<Operand> args;    ///< call/syscall arguments
+    int callee = -1;              ///< function index (Call / FnAddr)
+    std::int64_t imm = 0;         ///< Const / CntAdd / sys no / lib id /
+                                  ///< alloca size / global id / site id
+    int size = 8;                 ///< Load/Store width in bytes (1 or 8)
+    int target0 = -1;             ///< branch target block
+    int target1 = -1;             ///< CondBr false target
+    int site = -1;                ///< static site id (instrumentation)
+    SourceLoc loc;                ///< original source position
+
+    bool isTerminator() const { return ir::isTerminator(op); }
+};
+
+/** A basic block: straight-line instructions ending in a terminator. */
+class BasicBlock
+{
+  public:
+    explicit BasicBlock(int id)
+        : id_(id)
+    {}
+
+    int id() const { return id_; }
+
+    std::vector<Instr> &instrs() { return instrs_; }
+    const std::vector<Instr> &instrs() const { return instrs_; }
+
+    /** The terminator (last instruction). Block must be non-empty. */
+    const Instr &terminator() const;
+    Instr &terminator();
+
+    /** Successor block ids derived from the terminator. */
+    std::vector<int> successors() const;
+
+    /** True once a terminator has been appended. */
+    bool isTerminated() const;
+
+  private:
+    int id_;
+    std::vector<Instr> instrs_;
+};
+
+/** A function: parameters arrive in registers r0..r(nparams-1). */
+class Function
+{
+  public:
+    Function(int id, std::string name, int num_params)
+        : id_(id), name_(std::move(name)), numParams_(num_params)
+    {}
+
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+    int numParams() const { return numParams_; }
+
+    /** Number of virtual registers in use. */
+    int numRegs() const { return numRegs_; }
+
+    /** Allocate a fresh virtual register. */
+    int
+    newReg()
+    {
+        return numRegs_++;
+    }
+
+    /** Reserve at least @p n registers (used by codegen for params). */
+    void
+    reserveRegs(int n)
+    {
+        if (n > numRegs_)
+            numRegs_ = n;
+    }
+
+    /** Append a new empty block and return it. */
+    BasicBlock &newBlock();
+
+    BasicBlock &block(int id) { return *blocks_[id]; }
+    const BasicBlock &block(int id) const { return *blocks_[id]; }
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    /** Entry block id (always 0). */
+    static constexpr int entryBlockId = 0;
+
+    /** Predecessor lists recomputed from terminators. */
+    std::vector<std::vector<int>> predecessors() const;
+
+  private:
+    int id_;
+    std::string name_;
+    int numParams_;
+    int numRegs_ = 0;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+/** A global variable: fixed size with optional initial bytes. */
+struct Global
+{
+    std::string name;
+    std::int64_t size = 8;
+    std::string init; ///< initial bytes (zero padded to size)
+};
+
+/** A whole program. */
+class Module
+{
+  public:
+    /** Create a function; names must be unique. */
+    Function &addFunction(const std::string &name, int num_params);
+
+    Function &function(int id) { return *functions_[id]; }
+    const Function &function(int id) const { return *functions_[id]; }
+    std::size_t numFunctions() const { return functions_.size(); }
+
+    /** Lookup by name; returns nullptr when absent. */
+    Function *findFunction(const std::string &name);
+    const Function *findFunction(const std::string &name) const;
+
+    /** Add a global; returns its id. */
+    int addGlobal(const std::string &name, std::int64_t size,
+                  std::string init = "");
+
+    const Global &global(int id) const { return globals_[id]; }
+    std::size_t numGlobals() const { return globals_.size(); }
+
+    /** Lookup global id by name; -1 when absent. */
+    int findGlobal(const std::string &name) const;
+
+    /** Id of the entry function ("main"); -1 when absent. */
+    int mainFunction() const;
+
+  private:
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::vector<Global> globals_;
+};
+
+} // namespace ldx::ir

@@ -1,0 +1,158 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace ldx::ir {
+
+namespace {
+
+std::string
+formatOperand(const Operand &o)
+{
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        return "r" + std::to_string(o.reg);
+      case Operand::Kind::Imm:
+        return std::to_string(o.imm);
+      case Operand::Kind::None:
+        return "_";
+    }
+    return "?";
+}
+
+std::string
+formatArgs(const std::vector<Operand> &args)
+{
+    std::string out = "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += formatOperand(args[i]);
+    }
+    return out + ")";
+}
+
+} // namespace
+
+std::string
+formatInstr(const Module &m, const Instr &instr)
+{
+    std::ostringstream os;
+    auto dst = [&]() -> std::string {
+        return instr.dst >= 0 ? "r" + std::to_string(instr.dst) + " = " : "";
+    };
+    switch (instr.op) {
+      case Opcode::Const:
+        os << dst() << "const " << instr.imm;
+        break;
+      case Opcode::Move:
+      case Opcode::Neg:
+      case Opcode::Not:
+        os << dst() << opcodeName(instr.op) << ' '
+           << formatOperand(instr.a);
+        break;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr: case Opcode::CmpEq: case Opcode::CmpNe:
+      case Opcode::CmpLt: case Opcode::CmpLe: case Opcode::CmpGt:
+      case Opcode::CmpGe:
+        os << dst() << opcodeName(instr.op) << ' '
+           << formatOperand(instr.a) << ", " << formatOperand(instr.b);
+        break;
+      case Opcode::Load:
+        os << dst() << "load." << instr.size << " ["
+           << formatOperand(instr.a) << ']';
+        break;
+      case Opcode::Store:
+        os << "store." << instr.size << " [" << formatOperand(instr.a)
+           << "], " << formatOperand(instr.b);
+        break;
+      case Opcode::Alloca:
+        os << dst() << "alloca " << instr.imm;
+        break;
+      case Opcode::GlobalAddr:
+        os << dst() << "gaddr @"
+           << m.global(static_cast<int>(instr.imm)).name;
+        break;
+      case Opcode::Call:
+        os << dst() << "call @" << m.function(instr.callee).name()
+           << formatArgs(instr.args);
+        break;
+      case Opcode::ICall:
+        os << dst() << "icall *" << formatOperand(instr.a)
+           << formatArgs(instr.args);
+        break;
+      case Opcode::FnAddr:
+        os << dst() << "fnaddr @" << m.function(instr.callee).name();
+        break;
+      case Opcode::LibCall:
+        os << dst() << "lib."
+           << libRoutineName(static_cast<LibRoutine>(instr.imm))
+           << formatArgs(instr.args);
+        break;
+      case Opcode::Syscall:
+        os << dst() << "syscall #" << instr.imm << formatArgs(instr.args);
+        break;
+      case Opcode::Br:
+        os << "br bb" << instr.target0;
+        break;
+      case Opcode::CondBr:
+        os << "condbr " << formatOperand(instr.a) << ", bb"
+           << instr.target0 << ", bb" << instr.target1;
+        break;
+      case Opcode::Ret:
+        os << "ret";
+        if (!instr.a.isNone())
+            os << ' ' << formatOperand(instr.a);
+        break;
+      case Opcode::CntAdd:
+        os << "cnt += " << instr.imm;
+        break;
+      case Opcode::SyncBarrier:
+        os << "sync site#" << instr.imm << ", cnt += " << instr.a.imm;
+        break;
+      case Opcode::CntPush:
+        os << "cnt.push";
+        break;
+      case Opcode::CntPop:
+        os << "cnt.pop";
+        break;
+    }
+    return os.str();
+}
+
+void
+printFunction(std::ostream &os, const Module &m, const Function &fn)
+{
+    os << "func @" << fn.name() << "(params=" << fn.numParams()
+       << ", regs=" << fn.numRegs() << ") {\n";
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        const BasicBlock &bb = fn.block(static_cast<int>(b));
+        os << "  bb" << bb.id() << ":\n";
+        for (const Instr &instr : bb.instrs())
+            os << "    " << formatInstr(m, instr) << '\n';
+    }
+    os << "}\n";
+}
+
+void
+printModule(std::ostream &os, const Module &m)
+{
+    for (std::size_t g = 0; g < m.numGlobals(); ++g) {
+        const Global &gl = m.global(static_cast<int>(g));
+        os << "global @" << gl.name << " : " << gl.size << " bytes\n";
+    }
+    for (std::size_t f = 0; f < m.numFunctions(); ++f)
+        printFunction(os, m, m.function(static_cast<int>(f)));
+}
+
+std::string
+moduleToString(const Module &m)
+{
+    std::ostringstream os;
+    printModule(os, m);
+    return os.str();
+}
+
+} // namespace ldx::ir

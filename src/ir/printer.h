@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Textual dump of IR modules and functions, for debugging and for
+ * golden tests of the instrumenter's output.
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace ldx::ir {
+
+/** Print one instruction (no trailing newline). */
+std::string formatInstr(const Module &m, const Instr &instr);
+
+/** Print a whole function. */
+void printFunction(std::ostream &os, const Module &m, const Function &fn);
+
+/** Print a whole module. */
+void printModule(std::ostream &os, const Module &m);
+
+/** Render a module to a string. */
+std::string moduleToString(const Module &m);
+
+} // namespace ldx::ir

@@ -1,0 +1,110 @@
+#include "ir/verifier.h"
+
+#include "support/diag.h"
+#include "support/strings.h"
+
+namespace ldx::ir {
+
+namespace {
+
+void
+checkOperand(const Function &fn, const Operand &o, const std::string &where,
+             std::vector<std::string> &problems)
+{
+    if (o.isReg() && (o.reg < 0 || o.reg >= fn.numRegs())) {
+        problems.push_back(where + ": register r" + std::to_string(o.reg) +
+                           " out of range");
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verifyModule(const Module &m, bool require_main)
+{
+    std::vector<std::string> problems;
+
+    if (require_main && m.mainFunction() < 0)
+        problems.push_back("module has no 'main' function");
+
+    for (std::size_t fi = 0; fi < m.numFunctions(); ++fi) {
+        const Function &fn = m.function(static_cast<int>(fi));
+        if (fn.numBlocks() == 0) {
+            problems.push_back("function " + fn.name() + " has no blocks");
+            continue;
+        }
+        for (std::size_t bi = 0; bi < fn.numBlocks(); ++bi) {
+            const BasicBlock &bb = fn.block(static_cast<int>(bi));
+            std::string where = fn.name() + "/bb" + std::to_string(bi);
+            if (bb.instrs().empty()) {
+                problems.push_back(where + " is empty");
+                continue;
+            }
+            if (!bb.terminator().isTerminator())
+                problems.push_back(where + " lacks a terminator");
+            for (std::size_t ii = 0; ii < bb.instrs().size(); ++ii) {
+                const Instr &instr = bb.instrs()[ii];
+                std::string iw = where + "/#" + std::to_string(ii);
+                if (instr.isTerminator() && ii + 1 != bb.instrs().size())
+                    problems.push_back(iw + ": terminator mid-block");
+                if (instr.dst >= fn.numRegs()) {
+                    problems.push_back(iw + ": dst register out of range");
+                }
+                checkOperand(fn, instr.a, iw, problems);
+                checkOperand(fn, instr.b, iw, problems);
+                for (const Operand &arg : instr.args)
+                    checkOperand(fn, arg, iw, problems);
+                switch (instr.op) {
+                  case Opcode::Br:
+                    if (instr.target0 < 0 ||
+                        instr.target0 >= static_cast<int>(fn.numBlocks()))
+                        problems.push_back(iw + ": bad branch target");
+                    break;
+                  case Opcode::CondBr:
+                    if (instr.target0 < 0 ||
+                        instr.target0 >= static_cast<int>(fn.numBlocks()) ||
+                        instr.target1 < 0 ||
+                        instr.target1 >= static_cast<int>(fn.numBlocks()))
+                        problems.push_back(iw + ": bad condbr target");
+                    if (!instr.a.isReg() && !instr.a.isImm())
+                        problems.push_back(iw + ": condbr lacks condition");
+                    break;
+                  case Opcode::Call:
+                  case Opcode::FnAddr:
+                    if (instr.callee < 0 ||
+                        instr.callee >= static_cast<int>(m.numFunctions()))
+                        problems.push_back(iw + ": bad callee");
+                    else if (instr.op == Opcode::Call &&
+                             static_cast<int>(instr.args.size()) !=
+                                 m.function(instr.callee).numParams())
+                        problems.push_back(iw + ": call arity mismatch");
+                    break;
+                  case Opcode::GlobalAddr:
+                    if (instr.imm < 0 ||
+                        instr.imm >=
+                            static_cast<std::int64_t>(m.numGlobals()))
+                        problems.push_back(iw + ": bad global id");
+                    break;
+                  case Opcode::Load:
+                  case Opcode::Store:
+                    if (instr.size != 1 && instr.size != 8)
+                        problems.push_back(iw + ": bad access width");
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+    return problems;
+}
+
+void
+verifyOrDie(const Module &m, bool require_main)
+{
+    auto problems = verifyModule(m, require_main);
+    if (!problems.empty())
+        fatal("IR verification failed:\n  " + joinStrings(problems, "\n  "));
+}
+
+} // namespace ldx::ir

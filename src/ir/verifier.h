@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Structural well-formedness checks for IR modules. Run after codegen
+ * and after instrumentation; catches malformed CFGs early.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ldx::ir {
+
+/**
+ * Verify @p m. Returns the list of problems found (empty when valid).
+ *
+ * Checks: every block is non-empty and ends in exactly one terminator,
+ * no terminator appears mid-block, branch targets and callees are in
+ * range, register indices are within the function's register count,
+ * Load/Store widths are 1 or 8, and the entry function exists if
+ * @p require_main.
+ */
+std::vector<std::string> verifyModule(const Module &m,
+                                      bool require_main = true);
+
+/** Verify and fatal() with a combined message on failure. */
+void verifyOrDie(const Module &m, bool require_main = true);
+
+} // namespace ldx::ir

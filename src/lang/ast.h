@@ -1,0 +1,111 @@
+/**
+ * @file
+ * MiniC abstract syntax tree.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ldx::lang {
+
+/** Value types. Arrays are declaration forms, not value types. */
+enum class Type
+{
+    Int,     ///< 64-bit integer
+    Char,    ///< byte (widened to 64-bit in registers)
+    IntPtr,  ///< pointer to int (element size 8)
+    CharPtr, ///< pointer to char (element size 1)
+    FnPtr,   ///< function pointer ('fn')
+};
+
+/** Element size addressed through a value of type @p t. */
+int elemSizeOf(Type t);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind
+    {
+        Num,     ///< integer literal (value)
+        Str,     ///< string literal (str)
+        Var,     ///< identifier (name)
+        Unary,   ///< op in {-, !, ~, *, &} applied to lhs
+        Binary,  ///< op is a binary operator token id
+        Call,    ///< name(args...) — user fn, builtin, or fn-ptr var
+        Index,   ///< lhs[rhs]
+    };
+
+    Kind kind;
+    int line = 0;
+
+    std::int64_t value = 0;   // Num
+    std::string str;          // Str
+    std::string name;         // Var / Call
+    int op = 0;               // Unary/Binary operator (Tok as int)
+    ExprPtr lhs;              // Unary sub / Binary left / Index base
+    ExprPtr rhs;              // Binary right / Index subscript
+    std::vector<ExprPtr> args; // Call
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Local or global variable declaration. */
+struct VarDecl
+{
+    Type type = Type::Int;
+    std::string name;
+    bool isArray = false;
+    std::int64_t arraySize = 0;
+    ExprPtr init;            ///< optional scalar initializer
+    std::string strInit;     ///< char-array string initializer
+    bool hasStrInit = false;
+    int line = 0;
+};
+
+/** Statement node. */
+struct Stmt
+{
+    enum class Kind
+    {
+        Block, Decl, Assign, If, While, DoWhile, For,
+        Break, Continue, Return, ExprStmt,
+    };
+
+    Kind kind;
+    int line = 0;
+
+    std::vector<StmtPtr> body;   // Block
+    VarDecl decl;                // Decl
+    ExprPtr lhs;                 // Assign target (lvalue)
+    ExprPtr expr;                // Assign rhs / If-While cond / Return /
+                                 // ExprStmt
+    StmtPtr thenStmt;            // If then / loop body
+    StmtPtr elseStmt;            // If else
+    StmtPtr forInit;             // For
+    StmtPtr forStep;             // For
+};
+
+/** Function definition. */
+struct FuncDecl
+{
+    std::string name;
+    std::vector<VarDecl> params; ///< scalars only
+    StmtPtr body;                ///< Block
+    int line = 0;
+};
+
+/** A parsed translation unit. */
+struct Program
+{
+    std::vector<VarDecl> globals;
+    std::vector<FuncDecl> functions;
+};
+
+} // namespace ldx::lang

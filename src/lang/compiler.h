@@ -1,0 +1,30 @@
+/**
+ * @file
+ * MiniC to IR code generation.
+ *
+ * Conventions produced here matter to the rest of the system:
+ *  - every function has exactly one Ret block (the instrumenter's
+ *    FCNT computation requires a single exit, Algorithm 1 line 17);
+ *  - loops are emitted with a dedicated latch block, so each natural
+ *    loop has exactly one back edge (latch -> header);
+ *  - arrays and address-taken locals live in stack memory (allocas
+ *    hoisted to the entry block); other scalars live in registers;
+ *  - builtin calls lower to Syscall / LibCall instructions.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/ir.h"
+#include "lang/ast.h"
+
+namespace ldx::lang {
+
+/** Compile a parsed program. @throws ldx::FatalError on sema errors. */
+std::unique_ptr<ir::Module> compile(const Program &prog);
+
+/** Parse + compile + verify MiniC source. */
+std::unique_ptr<ir::Module> compileSource(const std::string &source);
+
+} // namespace ldx::lang

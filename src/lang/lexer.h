@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MiniC lexer. MiniC is the C-like source language the workload
+ * corpus is written in; it exercises every control construct the
+ * paper's instrumentation handles (loops, recursion, function
+ * pointers, threads).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldx::lang {
+
+/** Token kinds. */
+enum class Tok
+{
+    End,
+    // Literals and names.
+    Ident, Number, String, CharLit,
+    // Keywords.
+    KwInt, KwChar, KwFn, KwIf, KwElse, KwWhile, KwFor, KwDo,
+    KwBreak, KwContinue, KwReturn,
+    // Punctuation.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi,
+    // Operators.
+    Assign,                     // =
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    AndAnd, OrOr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/** A lexed token. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;        ///< identifier / raw literal text
+    std::int64_t value = 0;  ///< Number / CharLit value
+    std::string str;         ///< decoded String contents
+    int line = 0;
+    int col = 0;
+};
+
+/** Name of a token kind (diagnostics). */
+const char *tokName(Tok kind);
+
+/**
+ * Lex @p source into tokens (trailing End token included).
+ * @throws ldx::FatalError with line/column info on bad input.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace ldx::lang

@@ -1,0 +1,476 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+#include "support/diag.h"
+
+namespace ldx::lang {
+
+int
+elemSizeOf(Type t)
+{
+    switch (t) {
+      case Type::Char:
+      case Type::CharPtr:
+        return 1;
+      default:
+        return 8;
+    }
+}
+
+namespace {
+
+/** Token-stream parser. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : toks_(std::move(tokens))
+    {}
+
+    Program
+    parseProgram()
+    {
+        Program prog;
+        while (peek().kind != Tok::End) {
+            Type t = parseType();
+            Token name = expect(Tok::Ident, "name");
+            if (peek().kind == Tok::LParen) {
+                prog.functions.push_back(parseFunction(name.text));
+            } else {
+                prog.globals.push_back(
+                    parseVarDeclTail(t, name.text, name.line));
+            }
+        }
+        return prog;
+    }
+
+  private:
+    const Token &peek(std::size_t k = 0) const
+    {
+        std::size_t i = pos_ + k;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+
+    Token
+    take()
+    {
+        Token t = peek();
+        if (pos_ + 1 < toks_.size())
+            ++pos_;
+        return t;
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (peek().kind == kind) {
+            take();
+            return true;
+        }
+        return false;
+    }
+
+    Token
+    expect(Tok kind, const std::string &what)
+    {
+        if (peek().kind != kind) {
+            fatal("parse error at " + std::to_string(peek().line) + ":" +
+                  std::to_string(peek().col) + ": expected " + what +
+                  ", found " + tokName(peek().kind));
+        }
+        return take();
+    }
+
+    bool
+    startsType() const
+    {
+        Tok k = peek().kind;
+        return k == Tok::KwInt || k == Tok::KwChar || k == Tok::KwFn;
+    }
+
+    Type
+    parseType()
+    {
+        if (accept(Tok::KwFn))
+            return Type::FnPtr;
+        if (accept(Tok::KwInt))
+            return accept(Tok::Star) ? Type::IntPtr : Type::Int;
+        expect(Tok::KwChar, "type");
+        return accept(Tok::Star) ? Type::CharPtr : Type::Char;
+    }
+
+    VarDecl
+    parseVarDeclTail(Type t, std::string name, int line)
+    {
+        VarDecl d;
+        d.type = t;
+        d.name = std::move(name);
+        d.line = line;
+        if (accept(Tok::LBracket)) {
+            d.isArray = true;
+            if (peek().kind == Tok::Number)
+                d.arraySize = take().value;
+            expect(Tok::RBracket, "']'");
+        }
+        if (accept(Tok::Assign)) {
+            if (d.isArray && peek().kind == Tok::String) {
+                d.strInit = take().str;
+                d.hasStrInit = true;
+                if (d.arraySize == 0) {
+                    d.arraySize =
+                        static_cast<std::int64_t>(d.strInit.size()) + 1;
+                }
+            } else {
+                d.init = parseExpr();
+            }
+        }
+        if (d.isArray && d.arraySize <= 0) {
+            fatal("parse error at line " + std::to_string(line) +
+                  ": array '" + d.name + "' needs a size");
+        }
+        expect(Tok::Semi, "';'");
+        return d;
+    }
+
+    FuncDecl
+    parseFunction(std::string name)
+    {
+        FuncDecl fn;
+        fn.name = std::move(name);
+        fn.line = peek().line;
+        expect(Tok::LParen, "'('");
+        if (!accept(Tok::RParen)) {
+            do {
+                Type t = parseType();
+                Token pname = expect(Tok::Ident, "parameter name");
+                VarDecl p;
+                p.type = t;
+                p.name = pname.text;
+                p.line = pname.line;
+                fn.params.push_back(std::move(p));
+            } while (accept(Tok::Comma));
+            expect(Tok::RParen, "')'");
+        }
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        Token open = expect(Tok::LBrace, "'{'");
+        auto block = std::make_unique<Stmt>();
+        block->kind = Stmt::Kind::Block;
+        block->line = open.line;
+        while (!accept(Tok::RBrace))
+            block->body.push_back(parseStmt());
+        return block;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case Tok::LBrace:
+            return parseBlock();
+          case Tok::KwIf: {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::If;
+            s->line = take().line;
+            expect(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->thenStmt = parseStmt();
+            if (accept(Tok::KwElse))
+                s->elseStmt = parseStmt();
+            return s;
+          }
+          case Tok::KwWhile: {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::While;
+            s->line = take().line;
+            expect(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            expect(Tok::RParen, "')'");
+            s->thenStmt = parseStmt();
+            return s;
+          }
+          case Tok::KwDo: {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::DoWhile;
+            s->line = take().line;
+            s->thenStmt = parseStmt();
+            if (!accept(Tok::KwWhile))
+                expect(Tok::KwWhile, "'while'");
+            expect(Tok::LParen, "'('");
+            s->expr = parseExpr();
+            expect(Tok::RParen, "')'");
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          case Tok::KwFor: {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::For;
+            s->line = take().line;
+            expect(Tok::LParen, "'('");
+            if (!accept(Tok::Semi)) {
+                s->forInit = parseSimpleStmt();
+                expect(Tok::Semi, "';'");
+            }
+            if (peek().kind != Tok::Semi)
+                s->expr = parseExpr();
+            expect(Tok::Semi, "';'");
+            if (peek().kind != Tok::RParen)
+                s->forStep = parseSimpleStmt();
+            expect(Tok::RParen, "')'");
+            s->thenStmt = parseStmt();
+            return s;
+          }
+          case Tok::KwBreak: {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Break;
+            s->line = take().line;
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          case Tok::KwContinue: {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Continue;
+            s->line = take().line;
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          case Tok::KwReturn: {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Return;
+            s->line = take().line;
+            if (peek().kind != Tok::Semi)
+                s->expr = parseExpr();
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          default: {
+            StmtPtr s = parseSimpleStmt();
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+        }
+    }
+
+    /** Declaration, assignment, or expression statement (no ';'). */
+    StmtPtr
+    parseSimpleStmt()
+    {
+        if (startsType()) {
+            Type t = parseType();
+            Token name = expect(Tok::Ident, "variable name");
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Decl;
+            s->line = name.line;
+            VarDecl d;
+            d.type = t;
+            d.name = name.text;
+            d.line = name.line;
+            if (accept(Tok::LBracket)) {
+                d.isArray = true;
+                if (peek().kind == Tok::Number)
+                    d.arraySize = take().value;
+                expect(Tok::RBracket, "']'");
+                if (accept(Tok::Assign)) {
+                    if (peek().kind != Tok::String)
+                        fatal("array initializer must be a string "
+                              "(line " + std::to_string(name.line) + ")");
+                    d.strInit = take().str;
+                    d.hasStrInit = true;
+                    if (d.arraySize == 0) {
+                        d.arraySize = static_cast<std::int64_t>(
+                            d.strInit.size()) + 1;
+                    }
+                }
+                if (d.arraySize <= 0) {
+                    fatal("array '" + d.name + "' needs a size (line " +
+                          std::to_string(name.line) + ")");
+                }
+            } else if (accept(Tok::Assign)) {
+                d.init = parseExpr();
+            }
+            s->decl = std::move(d);
+            return s;
+        }
+        ExprPtr e = parseExpr();
+        if (accept(Tok::Assign)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = Stmt::Kind::Assign;
+            s->line = e->line;
+            s->lhs = std::move(e);
+            s->expr = parseExpr();
+            return s;
+        }
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Kind::ExprStmt;
+        s->line = e->line;
+        s->expr = std::move(e);
+        return s;
+    }
+
+    // Expression precedence (low to high):
+    //   || ; && ; | ; ^ ; & ; == != ; < <= > >= ; << >> ; + - ;
+    //   * / % ; unary ; postfix
+    ExprPtr
+    parseExpr()
+    {
+        return parseBinary(0);
+    }
+
+    static int
+    precOf(Tok k)
+    {
+        switch (k) {
+          case Tok::OrOr: return 1;
+          case Tok::AndAnd: return 2;
+          case Tok::Pipe: return 3;
+          case Tok::Caret: return 4;
+          case Tok::Amp: return 5;
+          case Tok::Eq: case Tok::Ne: return 6;
+          case Tok::Lt: case Tok::Le: case Tok::Gt: case Tok::Ge:
+            return 7;
+          case Tok::Shl: case Tok::Shr: return 8;
+          case Tok::Plus: case Tok::Minus: return 9;
+          case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+          default: return -1;
+        }
+    }
+
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        ExprPtr lhs = parseUnary();
+        while (true) {
+            int prec = precOf(peek().kind);
+            if (prec < 0 || prec < min_prec)
+                return lhs;
+            Token op = take();
+            ExprPtr rhs = parseBinary(prec + 1);
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Binary;
+            e->line = op.line;
+            e->op = static_cast<int>(op.kind);
+            e->lhs = std::move(lhs);
+            e->rhs = std::move(rhs);
+            lhs = std::move(e);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        Tok k = peek().kind;
+        if (k == Tok::Minus || k == Tok::Bang || k == Tok::Tilde ||
+            k == Tok::Star || k == Tok::Amp) {
+            Token op = take();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Unary;
+            e->line = op.line;
+            e->op = static_cast<int>(op.kind);
+            e->lhs = parseUnary();
+            return e;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        while (true) {
+            if (accept(Tok::LBracket)) {
+                auto idx = std::make_unique<Expr>();
+                idx->kind = Expr::Kind::Index;
+                idx->line = e->line;
+                idx->lhs = std::move(e);
+                idx->rhs = parseExpr();
+                expect(Tok::RBracket, "']'");
+                e = std::move(idx);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case Tok::Number: {
+            Token n = take();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Num;
+            e->line = n.line;
+            e->value = n.value;
+            return e;
+          }
+          case Tok::CharLit: {
+            Token n = take();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Num;
+            e->line = n.line;
+            e->value = n.value;
+            return e;
+          }
+          case Tok::String: {
+            Token n = take();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Str;
+            e->line = n.line;
+            e->str = n.str;
+            return e;
+          }
+          case Tok::Ident: {
+            Token n = take();
+            if (accept(Tok::LParen)) {
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::Call;
+                e->line = n.line;
+                e->name = n.text;
+                if (!accept(Tok::RParen)) {
+                    do {
+                        e->args.push_back(parseExpr());
+                    } while (accept(Tok::Comma));
+                    expect(Tok::RParen, "')'");
+                }
+                return e;
+            }
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Var;
+            e->line = n.line;
+            e->name = n.text;
+            return e;
+          }
+          case Tok::LParen: {
+            take();
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen, "')'");
+            return e;
+          }
+          default:
+            fatal("parse error at " + std::to_string(t.line) + ":" +
+                  std::to_string(t.col) + ": unexpected " +
+                  tokName(t.kind));
+        }
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    return Parser(lex(source)).parseProgram();
+}
+
+} // namespace ldx::lang

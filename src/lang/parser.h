@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC.
+ */
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace ldx::lang {
+
+/**
+ * Parse @p source into a Program.
+ * @throws ldx::FatalError with position info on syntax errors.
+ */
+Program parse(const std::string &source);
+
+} // namespace ldx::lang

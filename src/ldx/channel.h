@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Shared coupling state between the master and slave controllers.
+ *
+ * Per paired thread (thread i of the master couples with thread i of
+ * the slave, §7) the channel holds:
+ *  - each side's published *position* — the counter value and site it
+ *    is currently executing or waiting at. Positions make waits
+ *    resolvable: the counter invariant guarantees a peer whose
+ *    position counter exceeds mine has passed my alignment level for
+ *    good (a post-loop syscall counter strictly exceeds every in-loop
+ *    value), so I can stop waiting and decouple;
+ *  - the master's outcome queue (Algorithm 2's Q), purged at every
+ *    paired barrier so (cnt, site) keys stay unique per iteration
+ *    window;
+ *  - a sink rendezvous slot per side (Algorithm 2 lines 2-6 and its
+ *    slave dual);
+ *  - the barrier pairing record for the current backedge rendezvous.
+ *
+ * All fields of a ThreadChannel are guarded by its mutex; the
+ * controllers use a poll-based protocol (the VM re-issues blocked
+ * requests), so no condition variables are needed and the same code
+ * drives both the deterministic lockstep driver and the two-OS-thread
+ * driver.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ldx/report.h"
+#include "os/kernel.h"
+#include "os/taintmap.h"
+
+namespace ldx::core {
+
+/** What a published position refers to. */
+enum class PosKind : std::uint8_t
+{
+    Idle,     ///< not yet at any sync point
+    Running,  ///< between sync points (post-barrier / post-push)
+    Input,    ///< at an input-class syscall
+    Sink,     ///< waiting at a sink for comparison
+    Barrier,  ///< waiting at a loop backedge
+    Local,    ///< at a local-class syscall
+};
+
+/** One side's published position. */
+struct Position
+{
+    PosKind kind = PosKind::Idle;
+    std::int64_t cnt = 0;
+    int site = -1;
+    std::int64_t iter = 0; ///< barrier iteration (Barrier only)
+};
+
+/** A master syscall outcome awaiting reuse by the slave. */
+struct QueueEntry
+{
+    std::int64_t cnt = 0;
+    int site = -1;
+    std::int64_t sysNo = 0;
+    std::uint64_t argSig = 0; ///< FNV digest of significant arguments
+    os::Outcome out;
+    bool consumed = false;
+};
+
+/** A sink published by one side, awaiting the peer's comparison. */
+struct SinkSlot
+{
+    bool valid = false;
+    bool resolved = false; ///< peer compared; publisher may proceed
+    bool divergent = false; ///< the comparison found a difference
+    std::int64_t cnt = 0;
+    int site = -1;
+    std::int64_t sysNo = 0;
+    std::string payload;
+    ir::SourceLoc loc;
+};
+
+/** Pairing record for one backedge rendezvous. */
+struct BarrierPair
+{
+    bool valid = false;
+    std::int64_t site = -1;
+    std::int64_t iter = 0;
+    bool consumed[2] = {false, false};
+};
+
+/**
+ * Hierarchical progress comparison. Counters inside an indirect or
+ * recursive call restart from zero (§6), so raw counter values are
+ * only comparable at the same counter-stack context. Positions are
+ * therefore compared lexicographically over (saved counter stack +
+ * current counter): the first differing level decides; a deeper or
+ * shallower peer with an equal prefix is *incomparable* (the waiter
+ * keeps polling until the peer publishes a decisive position).
+ */
+enum class Progress
+{
+    Behind,   ///< peer is provably behind this position
+    Same,     ///< identical stack context and counter
+    Passed,   ///< peer is provably past this position
+    Unknown,  ///< different depth, equal prefix: cannot conclude
+};
+
+/** Compare the peer's published progress against (stack, cnt). */
+Progress compareProgress(const std::vector<std::int64_t> &peer_stack,
+                         std::int64_t peer_cnt,
+                         const std::vector<std::int64_t> &my_stack,
+                         std::int64_t my_cnt);
+
+/** Coupling state for one thread pair. */
+struct ThreadChannel
+{
+    std::mutex mutex;
+    Position pos[2];
+    /** Saved counter stacks (§6) published at push/pop. */
+    std::vector<std::int64_t> cntStack[2];
+    bool threadDone[2] = {false, false};
+    std::deque<QueueEntry> queue;
+    SinkSlot sink[2];
+    BarrierPair barrier;
+
+    /** Drop unconsumed queue entries (window closed). */
+    void
+    purgeQueue()
+    {
+        queue.clear();
+    }
+};
+
+/** Whole-engine shared state. */
+class SyncChannel
+{
+  public:
+    /** Maximum entries kept per thread queue. */
+    static constexpr std::size_t kQueueCap = 8192;
+
+    /** Channel for thread pair @p tid (created on first use). */
+    ThreadChannel &
+    thread(int tid)
+    {
+        std::lock_guard<std::mutex> lock(mapMutex_);
+        auto &slot = channels_[tid];
+        if (!slot)
+            slot = std::make_unique<ThreadChannel>();
+        return *slot;
+    }
+
+    /** Mark a whole side finished (program ended or trapped). */
+    void
+    finishSide(Side side)
+    {
+        sideFinished_[static_cast<int>(side)].store(
+            true, std::memory_order_release);
+    }
+
+    bool
+    sideFinished(Side side) const
+    {
+        return sideFinished_[static_cast<int>(side)].load(
+            std::memory_order_acquire);
+    }
+
+    // ---- lock acquisition order sharing (§7) ----
+    std::mutex lockMutex;
+    std::map<std::int64_t, std::vector<int>> lockOrder;
+    std::map<std::int64_t, std::size_t> slaveLockIdx;
+    std::map<std::pair<int, std::int64_t>, std::uint64_t> lockPolls;
+
+    // ---- resource tainting ----
+    os::ResourceTaintMap taints;
+
+    // ---- findings & metrics ----
+    void
+    addFinding(Finding finding)
+    {
+        std::lock_guard<std::mutex> lock(findingsMutex_);
+        findings_.push_back(std::move(finding));
+    }
+
+    std::vector<Finding>
+    takeFindings()
+    {
+        std::lock_guard<std::mutex> lock(findingsMutex_);
+        return std::move(findings_);
+    }
+
+    // ---- optional alignment trace ----
+    bool traceEnabled = false;
+
+    void
+    addTrace(TraceEvent evt)
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        if (trace_.size() < 100000)
+            trace_.push_back(std::move(evt));
+    }
+
+    std::vector<TraceEvent>
+    takeTrace()
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        return std::move(trace_);
+    }
+
+    std::atomic<std::uint64_t> alignedSyscalls{0};
+    std::atomic<std::uint64_t> syscallDiffs{0};
+    std::atomic<std::uint64_t> slaveSyscalls{0};
+    std::atomic<std::uint64_t> barrierPairings{0};
+
+    /** Progress heartbeat for the deadlock watchdog. */
+    std::atomic<std::uint64_t> progress[2] = {0, 0};
+
+    /** Engine-level abort: every wait gives up immediately. */
+    std::atomic<bool> abort{false};
+
+  private:
+    std::mutex traceMutex_;
+    std::vector<TraceEvent> trace_;
+    std::mutex mapMutex_;
+    std::map<int, std::unique_ptr<ThreadChannel>> channels_;
+    std::atomic<bool> sideFinished_[2] = {false, false};
+    std::mutex findingsMutex_;
+    std::vector<Finding> findings_;
+};
+
+} // namespace ldx::core

@@ -1,0 +1,719 @@
+#include "ldx/controller.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+
+#include "os/sysno.h"
+#include "support/diag.h"
+#include "vm/machine.h"
+
+namespace ldx::core {
+
+namespace {
+bool
+traceEnabled()
+{
+    static bool on = std::getenv("LDX_TRACE") != nullptr;
+    return on;
+}
+} // namespace
+
+#define LDX_TRACE_EVT(...)                                              \
+    do {                                                                \
+        if (traceEnabled())                                             \
+            std::fprintf(stderr, __VA_ARGS__);                          \
+    } while (0)
+
+
+Progress
+compareProgress(const std::vector<std::int64_t> &peer_stack,
+                std::int64_t peer_cnt,
+                const std::vector<std::int64_t> &my_stack,
+                std::int64_t my_cnt)
+{
+    std::size_t an = my_stack.size() + 1;
+    std::size_t bn = peer_stack.size() + 1;
+    auto a = [&](std::size_t i) {
+        return i < my_stack.size() ? my_stack[i] : my_cnt;
+    };
+    auto b = [&](std::size_t i) {
+        return i < peer_stack.size() ? peer_stack[i] : peer_cnt;
+    };
+    std::size_t n = std::min(an, bn);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (b(i) != a(i))
+            return b(i) > a(i) ? Progress::Passed : Progress::Behind;
+    }
+    if (an == bn)
+        return Progress::Same;
+    return Progress::Unknown;
+}
+
+Controller::Controller(SyncChannel &chan, ControllerOptions opts)
+    : chan_(chan), opts_(std::move(opts))
+{
+    if (!opts_.isSinkChannel)
+        opts_.isSinkChannel = [](const std::string &) { return true; };
+}
+
+void
+Controller::bumpProgress()
+{
+    // The drivers bump per-instruction progress; controller completions
+    // count as progress too so pure syscall sequences keep watchdogs
+    // fed.
+    chan_.progress[self()].fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+Controller::waitExpired(int tid, std::uint64_t budget)
+{
+    if (chan_.abort.load(std::memory_order_acquire))
+        return true;
+    WaitState &w = waits_[tid];
+    std::uint64_t p =
+        chan_.progress[peer()].load(std::memory_order_relaxed);
+    if (p != w.peerProgressSnapshot) {
+        w.peerProgressSnapshot = p;
+        w.polls = 0;
+        return false;
+    }
+    if (++w.polls > budget) {
+        w.polls = 0;
+        return true;
+    }
+    return false;
+}
+
+void
+Controller::clearWait(int tid)
+{
+    waits_.erase(tid);
+}
+
+
+void
+Controller::trace(TraceEvent::Kind kind, const vm::SyscallRequest &req)
+{
+    if (!chan_.traceEnabled)
+        return;
+    TraceEvent evt;
+    evt.kind = kind;
+    evt.side = opts_.side;
+    evt.tid = req.tid;
+    evt.sysNo = req.sysNo;
+    evt.cnt = req.cnt;
+    evt.site = req.site;
+    chan_.addTrace(std::move(evt));
+}
+
+std::uint64_t
+Controller::argSignature(const vm::SyscallRequest &req,
+                         vm::Machine &vm) const
+{
+    const os::SysDesc &d = os::sysDesc(req.sysNo);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    auto mix_bytes = [&h](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(static_cast<std::uint64_t>(req.sysNo));
+    for (std::size_t i = 0; i < req.args.size(); ++i) {
+        int idx = static_cast<int>(i);
+        if (idx == d.outBufArg)
+            continue; // buffer addresses may differ benignly
+        try {
+            if (idx == d.pathArg || idx == d.pathArg2) {
+                mix_bytes(vm.memory().readCString(
+                    static_cast<std::uint64_t>(req.args[i])));
+                continue;
+            }
+            if (idx == d.inBufArg) {
+                std::int64_t len = d.lenArg >= 0 &&
+                        d.lenArg < static_cast<int>(req.args.size())
+                    ? std::max<std::int64_t>(
+                          0, req.args[static_cast<std::size_t>(d.lenArg)])
+                    : 0;
+                mix_bytes(vm.memory().readBytes(
+                    static_cast<std::uint64_t>(req.args[i]),
+                    static_cast<std::uint64_t>(len)));
+                continue;
+            }
+        } catch (const vm::VmTrap &) {
+            mix(0xfa17);
+            continue;
+        }
+        mix(static_cast<std::uint64_t>(req.args[i]));
+    }
+    return h;
+}
+
+bool
+Controller::isSink(const vm::SyscallRequest &req, vm::Machine &vm,
+                   std::string *payload_out,
+                   std::string *channel_out) const
+{
+    if (os::sysDesc(req.sysNo).klass != os::SysClass::Output)
+        return false;
+    std::string payload;
+    try {
+        payload = vm.kernel().sinkPayload(req.sysNo, req.args,
+                                          vm.memory());
+    } catch (const vm::VmTrap &) {
+        payload = "fault|";
+    }
+    std::string channel = payload.substr(0, payload.find('|'));
+    if (payload_out)
+        *payload_out = payload;
+    if (channel_out)
+        *channel_out = channel;
+    return opts_.isSinkChannel(channel);
+}
+
+vm::PortReply
+Controller::onSyscall(const vm::SyscallRequest &req, vm::Machine &vm,
+                      os::Outcome &out)
+{
+    const os::SysDesc &desc = os::sysDesc(req.sysNo);
+    switch (desc.klass) {
+      case os::SysClass::Local: {
+        ThreadChannel &ch = chan_.thread(req.tid);
+        std::lock_guard<std::mutex> lock(ch.mutex);
+        ch.pos[self()] = {PosKind::Local, req.cnt, req.site, 0};
+        bumpProgress();
+        return vm::PortReply::Done;
+      }
+      case os::SysClass::Sync:
+        return handleLock(req, vm);
+      case os::SysClass::Output: {
+        std::string payload;
+        if (isSink(req, vm, &payload, nullptr))
+            return handleSink(req, vm, out, payload);
+        [[fallthrough]];
+      }
+      case os::SysClass::Input:
+        if (opts_.side == Side::Master)
+            return handleMasterShared(req, vm, out);
+        return handleSlaveShared(req, vm, out);
+    }
+    panic("unhandled syscall class");
+}
+
+vm::PortReply
+Controller::handleMasterShared(const vm::SyscallRequest &req,
+                               vm::Machine &vm, os::Outcome &out)
+{
+    std::string key;
+    if (chan_.taints.size() != 0) {
+        try {
+            key = vm.kernel().resourceKey(req.sysNo, req.args,
+                                          vm.memory());
+        } catch (const vm::VmTrap &) {
+            key.clear();
+        }
+    }
+    bool tainted = !key.empty() && chan_.taints.isTainted(key);
+
+    out = vm.kernel().execute(req.sysNo, req.args, vm.memory());
+
+    ThreadChannel &ch = chan_.thread(req.tid);
+    {
+        std::lock_guard<std::mutex> lock(ch.mutex);
+        ch.pos[self()] = {PosKind::Input, req.cnt, req.site, 0};
+        if (!tainted && !chan_.sideFinished(Side::Slave)) {
+            if (ch.queue.size() >= SyncChannel::kQueueCap)
+                ch.queue.pop_front();
+            QueueEntry entry;
+            entry.cnt = req.cnt;
+            entry.site = req.site;
+            entry.sysNo = req.sysNo;
+            entry.argSig = argSignature(req, vm);
+            entry.out = out;
+            ch.queue.push_back(std::move(entry));
+        }
+    }
+    LDX_TRACE_EVT("[%c] input sys=%lld cnt=%lld site=%d -> exec+enqueue\n",
+                  opts_.side == Side::Master ? 'M' : 'S',
+                  (long long)req.sysNo, (long long)req.cnt, req.site);
+    trace(TraceEvent::Kind::Execute, req);
+    bumpProgress();
+    return vm::PortReply::Done;
+}
+
+vm::PortReply
+Controller::handleSlaveShared(const vm::SyscallRequest &req,
+                              vm::Machine &vm, os::Outcome &out)
+{
+    auto resource_key = [&]() -> std::string {
+        try {
+            return vm.kernel().resourceKey(req.sysNo, req.args,
+                                           vm.memory());
+        } catch (const vm::VmTrap &) {
+            return "";
+        }
+    };
+    std::string key;
+    if (chan_.taints.size() != 0)
+        key = resource_key();
+    bool tainted = !key.empty() && chan_.taints.isTainted(key);
+
+    ThreadChannel &ch = chan_.thread(req.tid);
+    // Any misaligned operation taints its resource (§7), so later
+    // syscalls on it never couple diverged state.
+    auto decouple = [&]() -> vm::PortReply {
+        if (key.empty())
+            key = resource_key();
+        if (!key.empty())
+            chan_.taints.taint(key);
+        out = vm.kernel().execute(req.sysNo, req.args, vm.memory());
+        chan_.syscallDiffs.fetch_add(1, std::memory_order_relaxed);
+        chan_.slaveSyscalls.fetch_add(1, std::memory_order_relaxed);
+        trace(TraceEvent::Kind::Decouple, req);
+        clearWait(req.tid);
+        bumpProgress();
+        return vm::PortReply::Done;
+    };
+
+    std::uint64_t sig = argSignature(req, vm);
+    os::Outcome copied;
+    bool have_copy = false;
+    bool mismatch = false;
+    {
+        std::lock_guard<std::mutex> lock(ch.mutex);
+        ch.pos[self()] = {PosKind::Input, req.cnt, req.site, 0};
+        if (!tainted) {
+            for (QueueEntry &e : ch.queue) {
+                if (e.consumed || e.cnt != req.cnt || e.site != req.site)
+                    continue;
+                if (e.argSig == sig) {
+                    e.consumed = true;
+                    copied = e.out;
+                    have_copy = true;
+                } else {
+                    mismatch = true;
+                }
+                break;
+            }
+        }
+        if (!have_copy && !mismatch && !tainted) {
+            // No alignment yet: decide whether one can still appear.
+            // Counter comparisons are hierarchical (§6): inside an
+            // indirect/recursive call the counter restarts, so the
+            // peer's progress is compared over the whole stack.
+            bool peer_gone = chan_.sideFinished(Side::Master) ||
+                             ch.threadDone[peer()];
+            const Position &mpos = ch.pos[peer()];
+            Progress pr = compareProgress(
+                ch.cntStack[peer()], mpos.cnt,
+                ch.cntStack[self()], req.cnt);
+            bool passed =
+                pr == Progress::Passed ||
+                (pr == Progress::Same &&
+                 (mpos.site != req.site ||
+                  mpos.kind == PosKind::Barrier));
+            if (!peer_gone && !passed &&
+                !waitExpired(req.tid, opts_.stallTimeout))
+                return vm::PortReply::Blocked;
+        }
+    }
+
+    if (have_copy) {
+        LDX_TRACE_EVT("[S] input sys=%lld cnt=%lld site=%d -> copy\n",
+                      (long long)req.sysNo, (long long)req.cnt, req.site);
+        bool ok = vm.kernel().replay(req.sysNo, req.args, copied,
+                                     vm.memory());
+        if (!ok) {
+            if (key.empty())
+                key = resource_key();
+            if (!key.empty())
+                chan_.taints.taint(key);
+            return decouple();
+        }
+        out = copied;
+        chan_.alignedSyscalls.fetch_add(1, std::memory_order_relaxed);
+        chan_.slaveSyscalls.fetch_add(1, std::memory_order_relaxed);
+        trace(TraceEvent::Kind::Copy, req);
+        clearWait(req.tid);
+        bumpProgress();
+        return vm::PortReply::Done;
+    }
+
+    // Path or value divergence: taint and run independently.
+    LDX_TRACE_EVT("[S] input sys=%lld cnt=%lld site=%d -> decouple"
+                  " (mismatch=%d)\n",
+                  (long long)req.sysNo, (long long)req.cnt, req.site,
+                  (int)mismatch);
+    if (mismatch) {
+        if (key.empty())
+            key = resource_key();
+        if (!key.empty())
+            chan_.taints.taint(key);
+    }
+    return decouple();
+}
+
+vm::PortReply
+Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
+                       os::Outcome &out, const std::string &payload)
+{
+    ThreadChannel &ch = chan_.thread(req.tid);
+    bool proceed = false;
+    bool reported_divergence = false;
+    {
+        std::lock_guard<std::mutex> lock(ch.mutex);
+        ch.pos[self()] = {PosKind::Sink, req.cnt, req.site, 0};
+        SinkSlot &mine = ch.sink[self()];
+        SinkSlot &theirs = ch.sink[peer()];
+
+        if (!mine.valid || mine.cnt != req.cnt || mine.site != req.site) {
+            mine.valid = true;
+            mine.resolved = false;
+            mine.cnt = req.cnt;
+            mine.site = req.site;
+            mine.sysNo = req.sysNo;
+            mine.payload = payload;
+            mine.loc = req.loc;
+        }
+
+        if (mine.resolved) {
+            // Peer already compared this sink pair.
+            reported_divergence = mine.divergent;
+            mine.valid = false;
+            mine.resolved = false;
+            mine.divergent = false;
+            proceed = true;
+        } else if (theirs.valid && !theirs.resolved &&
+                   compareProgress(ch.cntStack[peer()], theirs.cnt,
+                                   ch.cntStack[self()], req.cnt) ==
+                       Progress::Same) {
+            // Aligned level: Algorithm 2 cases 2-4.
+            Finding f;
+            f.observer = opts_.side;
+            f.tid = req.tid;
+            f.site = req.site;
+            f.cnt = req.cnt;
+            f.sysNo = req.sysNo;
+            f.loc = req.loc;
+            bool report = true;
+            if (theirs.site != req.site) {
+                f.kind = CauseKind::SinkSiteMismatch;
+            } else if (theirs.payload != payload) {
+                f.kind = CauseKind::SinkValueDiff;
+            } else {
+                report = false;
+                chan_.alignedSyscalls.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+            if (report) {
+                if (opts_.side == Side::Master) {
+                    f.masterValue = payload;
+                    f.slaveValue = theirs.payload;
+                } else {
+                    f.masterValue = theirs.payload;
+                    f.slaveValue = payload;
+                }
+                chan_.addFinding(std::move(f));
+                chan_.syscallDiffs.fetch_add(1,
+                                             std::memory_order_relaxed);
+                reported_divergence = true;
+            }
+            theirs.resolved = true;
+            theirs.divergent = report;
+            mine.valid = false;
+            proceed = true;
+        } else if (theirs.valid && !theirs.resolved &&
+                   compareProgress(ch.cntStack[peer()], theirs.cnt,
+                                   ch.cntStack[self()], req.cnt) ==
+                       Progress::Passed) {
+            // My sink vanished in the peer (case 1).
+            Finding f;
+            f.kind = CauseKind::SinkVanished;
+            f.observer = opts_.side;
+            f.tid = req.tid;
+            f.site = req.site;
+            f.cnt = req.cnt;
+            f.sysNo = req.sysNo;
+            f.loc = req.loc;
+            (opts_.side == Side::Master ? f.masterValue : f.slaveValue) =
+                payload;
+            chan_.addFinding(std::move(f));
+            chan_.syscallDiffs.fetch_add(1, std::memory_order_relaxed);
+            reported_divergence = true;
+            mine.valid = false;
+            proceed = true;
+        } else if (!theirs.valid || theirs.resolved) {
+            bool peer_gone = chan_.sideFinished(peerOf(opts_.side)) ||
+                             ch.threadDone[peer()];
+            const Position &ppos = ch.pos[peer()];
+            Progress pr = compareProgress(
+                ch.cntStack[peer()], ppos.cnt,
+                ch.cntStack[self()], req.cnt);
+            bool passed =
+                pr == Progress::Passed ||
+                (pr == Progress::Same &&
+                 (ppos.site != req.site ||
+                  ppos.kind == PosKind::Barrier));
+            if (peer_gone || passed ||
+                waitExpired(req.tid, opts_.stallTimeout)) {
+                Finding f;
+                f.kind = ppos.cnt == req.cnt && ppos.site != req.site &&
+                         !peer_gone
+                    ? CauseKind::SinkSiteMismatch
+                    : CauseKind::SinkVanished;
+                f.observer = opts_.side;
+                f.tid = req.tid;
+                f.site = req.site;
+                f.cnt = req.cnt;
+                f.sysNo = req.sysNo;
+                f.loc = req.loc;
+                (opts_.side == Side::Master ? f.masterValue
+                                            : f.slaveValue) = payload;
+                chan_.addFinding(std::move(f));
+                chan_.syscallDiffs.fetch_add(1,
+                                             std::memory_order_relaxed);
+                reported_divergence = true;
+                mine.valid = false;
+                proceed = true;
+            }
+        }
+    }
+
+    if (!proceed)
+        return vm::PortReply::Blocked;
+
+    trace(reported_divergence ? TraceEvent::Kind::SinkDiff
+                              : TraceEvent::Kind::SinkAligned,
+          req);
+
+    // A misaligned or value-divergent sink leaves the two worlds'
+    // copies of the resource different: taint it (§7).
+    if (reported_divergence) {
+        try {
+            std::string key = vm.kernel().resourceKey(
+                req.sysNo, req.args, vm.memory());
+            if (!key.empty())
+                chan_.taints.taint(key);
+        } catch (const vm::VmTrap &) {
+        }
+    }
+    LDX_TRACE_EVT("[%c] sink sys=%lld cnt=%lld site=%d -> proceed\n",
+                  opts_.side == Side::Master ? 'M' : 'S',
+                  (long long)req.sysNo, (long long)req.cnt, req.site);
+
+    // Perform the syscall: real output in the master, suppressed in
+    // the slave (its kernel journals outputs as suppressed).
+    out = vm.kernel().execute(req.sysNo, req.args, vm.memory());
+    if (opts_.side == Side::Slave)
+        chan_.slaveSyscalls.fetch_add(1, std::memory_order_relaxed);
+    clearWait(req.tid);
+    bumpProgress();
+    return vm::PortReply::Done;
+}
+
+vm::PortReply
+Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
+{
+    (void)vm;
+    ThreadChannel &ch = chan_.thread(req.tid);
+    {
+        std::lock_guard<std::mutex> lock(ch.mutex);
+        ch.pos[self()] = {PosKind::Local, req.cnt, req.site, 0};
+    }
+    os::Sys sys = static_cast<os::Sys>(req.sysNo);
+    if (!opts_.shareLockOrder || sys != os::Sys::MutexLock) {
+        bumpProgress();
+        return vm::PortReply::Done;
+    }
+
+    std::int64_t id = req.args.empty() ? 0 : req.args[0];
+    std::string key = "mutex:" + std::to_string(id);
+    if (chan_.taints.isTainted(key)) {
+        bumpProgress();
+        return vm::PortReply::Done;
+    }
+
+    std::lock_guard<std::mutex> lock(chan_.lockMutex);
+    if (opts_.side == Side::Master) {
+        // FIFO waiter semantics in the VM make approval order equal
+        // acquisition order per mutex.
+        chan_.lockOrder[id].push_back(req.tid);
+        bumpProgress();
+        return vm::PortReply::Done;
+    }
+
+    std::size_t idx = chan_.slaveLockIdx[id];
+    auto &order = chan_.lockOrder[id];
+    if (order.size() > idx) {
+        if (order[idx] == req.tid) {
+            chan_.slaveLockIdx[id] = idx + 1;
+            chan_.lockPolls.erase({req.tid, id});
+            bumpProgress();
+            return vm::PortReply::Done;
+        }
+        // Order diverged: taint the lock, run decoupled from now on.
+        chan_.taints.taint(key);
+        chan_.slaveLockIdx[id] = idx + 1;
+        chan_.syscallDiffs.fetch_add(1, std::memory_order_relaxed);
+        bumpProgress();
+        return vm::PortReply::Done;
+    }
+    if (chan_.sideFinished(Side::Master)) {
+        chan_.taints.taint(key);
+        bumpProgress();
+        return vm::PortReply::Done;
+    }
+    std::uint64_t &polls = chan_.lockPolls[{req.tid, id}];
+    if (++polls > opts_.lockPollTimeout) {
+        chan_.taints.taint(key);
+        chan_.lockPolls.erase({req.tid, id});
+        chan_.syscallDiffs.fetch_add(1, std::memory_order_relaxed);
+        bumpProgress();
+        return vm::PortReply::Done;
+    }
+    return vm::PortReply::Blocked;
+}
+
+vm::PortReply
+Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
+                      std::int64_t cnt, std::int64_t reset_delta,
+                      vm::Machine &vm)
+{
+    (void)vm;
+    ThreadChannel &ch = chan_.thread(tid);
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.pos[self()] = {PosKind::Barrier, cnt, static_cast<int>(site),
+                      iter};
+
+    auto pass = [&]() -> vm::PortReply {
+        // Publish the post-reset position so the peer never mistakes
+        // our stale latch-level counter for "moved past".
+        LDX_TRACE_EVT("[%c] barrier site=%lld iter=%lld cnt=%lld pass\n",
+                      opts_.side == Side::Master ? 'M' : 'S',
+                      (long long)site, (long long)iter, (long long)cnt);
+        ch.pos[self()] = {PosKind::Running, cnt + reset_delta, -1, 0};
+        clearWait(tid);
+        bumpProgress();
+        return vm::PortReply::Done;
+    };
+
+    BarrierPair &bp = ch.barrier;
+    if (bp.valid && bp.site == site && bp.iter == iter &&
+        !bp.consumed[self()]) {
+        bp.consumed[self()] = true;
+        if (bp.consumed[0] && bp.consumed[1])
+            bp.valid = false;
+        return pass();
+    }
+
+    const Position &ppos = ch.pos[peer()];
+    bool peer_gone = chan_.sideFinished(peerOf(opts_.side)) ||
+                     ch.threadDone[peer()];
+    if (peer_gone)
+        return pass();
+
+    if (ppos.kind == PosKind::Barrier && ppos.site == site &&
+        ppos.iter == iter) {
+        // Rendezvous: close the iteration window.
+        ch.purgeQueue();
+        bp.valid = true;
+        bp.site = site;
+        bp.iter = iter;
+        bp.consumed[0] = false;
+        bp.consumed[1] = false;
+        bp.consumed[self()] = true;
+        chan_.barrierPairings.fetch_add(1, std::memory_order_relaxed);
+        if (chan_.traceEnabled) {
+            TraceEvent evt;
+            evt.kind = TraceEvent::Kind::BarrierPair;
+            evt.side = opts_.side;
+            evt.tid = tid;
+            evt.cnt = cnt;
+            evt.site = static_cast<int>(site);
+            chan_.addTrace(std::move(evt));
+        }
+        // The peer is about to pass too; publish its post-reset
+        // position now. Otherwise its stale latch-level counter (the
+        // highest value in the window) would make us believe it had
+        // passed the low counter levels of the next iteration.
+        ch.pos[peer()] = {PosKind::Running, cnt + reset_delta, -1, 0};
+        return pass();
+    }
+    auto skip = [&]() -> vm::PortReply {
+        if (chan_.traceEnabled) {
+            TraceEvent evt;
+            evt.kind = TraceEvent::Kind::BarrierSkip;
+            evt.side = opts_.side;
+            evt.tid = tid;
+            evt.cnt = cnt;
+            evt.site = static_cast<int>(site);
+            chan_.addTrace(std::move(evt));
+        }
+        return pass();
+    };
+    Progress pr = compareProgress(ch.cntStack[peer()], ppos.cnt,
+                                  ch.cntStack[self()], cnt);
+    if (pr == Progress::Passed)
+        return skip(); // peer moved past the loop
+    if (ppos.kind == PosKind::Barrier && ppos.site == site &&
+        ppos.iter > iter)
+        return skip(); // peer is iterations ahead of us
+    // Divergence at the same level: only when the peer is *also*
+    // parked at a different barrier. A peer at a same-level syscall is
+    // still inside this iteration window (its own rules let it move
+    // past us), so we must keep waiting for its arrival here.
+    if (ppos.kind == PosKind::Barrier && pr == Progress::Same &&
+        ppos.site != static_cast<int>(site))
+        return skip();
+    if (waitExpired(tid, opts_.stallTimeout))
+        return skip();
+    return vm::PortReply::Blocked;
+}
+
+void
+Controller::onCounterPush(int tid, std::int64_t saved, vm::Machine &vm)
+{
+    (void)vm;
+    ThreadChannel &ch = chan_.thread(tid);
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.cntStack[self()].push_back(saved);
+    ch.pos[self()] = {PosKind::Running, 0, -1, 0};
+}
+
+void
+Controller::onCounterPop(int tid, std::int64_t restored, vm::Machine &vm)
+{
+    (void)vm;
+    ThreadChannel &ch = chan_.thread(tid);
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    if (!ch.cntStack[self()].empty())
+        ch.cntStack[self()].pop_back();
+    ch.pos[self()] = {PosKind::Running, restored, -1, 0};
+}
+
+void
+Controller::onThreadDone(int tid, vm::Machine &vm)
+{
+    (void)vm;
+    ThreadChannel &ch = chan_.thread(tid);
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.threadDone[self()] = true;
+}
+
+void
+Controller::onFinished(vm::Machine &vm)
+{
+    (void)vm;
+    chan_.finishSide(opts_.side);
+}
+
+} // namespace ldx::core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The per-execution syscall controllers (Algorithm 2 and its slave
+ * dual, §4.2), implemented as vm::SyscallPort backends.
+ *
+ * Master, at a syscall:
+ *  - sink: publish the sink and wait for the slave to reach the same
+ *    counter level; classify the outcome into Algorithm 2's cases
+ *    1-3; then perform the real output.
+ *  - input/non-sink output: execute for real and enqueue the outcome
+ *    for the slave.
+ *
+ * Slave, at a syscall:
+ *  - sink: publish and wait symmetrically (the slave's external
+ *    output is always suppressed);
+ *  - input: look for the master's aligned outcome (same counter,
+ *    same site, same argument signature) and copy it; if the master
+ *    has demonstrably passed this alignment level (its position
+ *    counter exceeds ours, or equals it at a different site), the
+ *    syscall has no alignment — execute it independently (decoupled)
+ *    and count a syscall difference; otherwise wait.
+ *
+ * Resource tainting (§7): once an operation on a resource misaligns,
+ * its key is tainted and later syscalls touching it never couple.
+ *
+ * Every wait is guarded by a peer-progress watchdog: if the peer
+ * retires no instructions across a large poll budget, the waiter
+ * decouples instead of hanging (this also bounds the cost of threads
+ * that exist in only one execution).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ldx/channel.h"
+#include "vm/hooks.h"
+
+namespace ldx::core {
+
+/** Controller tuning knobs. */
+struct ControllerOptions
+{
+    Side side = Side::Master;
+
+    /** Predicate: is an output on this channel a sink? */
+    std::function<bool(const std::string &channel)> isSinkChannel;
+
+    /** Share lock-acquisition order master -> slave (§7). */
+    bool shareLockOrder = true;
+
+    /** Polls with no peer progress before a lock wait taints. */
+    std::uint64_t lockPollTimeout = 50000;
+
+    /** Polls with no peer progress before any wait decouples. */
+    std::uint64_t stallTimeout = 100000;
+};
+
+/** One side's syscall controller. */
+class Controller : public vm::SyscallPort
+{
+  public:
+    Controller(SyncChannel &chan, ControllerOptions opts);
+
+    vm::PortReply onSyscall(const vm::SyscallRequest &req,
+                            vm::Machine &vm, os::Outcome &out) override;
+    vm::PortReply onBarrier(int tid, std::int64_t site, std::int64_t iter,
+                            std::int64_t cnt, std::int64_t reset_delta,
+                            vm::Machine &vm) override;
+    void onCounterPush(int tid, std::int64_t saved,
+                       vm::Machine &vm) override;
+    void onCounterPop(int tid, std::int64_t restored,
+                      vm::Machine &vm) override;
+    void onThreadDone(int tid, vm::Machine &vm) override;
+    void onFinished(vm::Machine &vm) override;
+
+  private:
+    int self() const { return static_cast<int>(opts_.side); }
+    int peer() const { return static_cast<int>(peerOf(opts_.side)); }
+
+    /** Argument signature used to match syscalls across executions. */
+    std::uint64_t argSignature(const vm::SyscallRequest &req,
+                               vm::Machine &vm) const;
+
+    /** Is this output-class request a sink under the configuration? */
+    bool isSink(const vm::SyscallRequest &req, vm::Machine &vm,
+                std::string *payload_out, std::string *channel_out) const;
+
+    /** Watchdog bookkeeping; true when the wait should give up. */
+    bool waitExpired(int tid, std::uint64_t budget);
+    void clearWait(int tid);
+
+    vm::PortReply handleSink(const vm::SyscallRequest &req,
+                             vm::Machine &vm, os::Outcome &out,
+                             const std::string &payload);
+    vm::PortReply handleMasterShared(const vm::SyscallRequest &req,
+                                     vm::Machine &vm, os::Outcome &out);
+    vm::PortReply handleSlaveShared(const vm::SyscallRequest &req,
+                                    vm::Machine &vm, os::Outcome &out);
+    vm::PortReply handleLock(const vm::SyscallRequest &req,
+                             vm::Machine &vm);
+
+    void bumpProgress();
+
+    /** Record a Fig. 3-style trace event when tracing is on. */
+    void trace(TraceEvent::Kind kind, const vm::SyscallRequest &req);
+
+    SyncChannel &chan_;
+    ControllerOptions opts_;
+
+    /** Per-thread watchdog state. */
+    struct WaitState
+    {
+        std::uint64_t polls = 0;
+        std::uint64_t peerProgressSnapshot = 0;
+    };
+    std::map<int, WaitState> waits_;
+};
+
+} // namespace ldx::core

@@ -1,0 +1,274 @@
+#include "ldx/engine.h"
+
+#include <chrono>
+#include <thread>
+
+#include "instrument/instrument.h"
+#include "support/diag.h"
+#include "support/strings.h"
+
+namespace ldx::core {
+
+namespace {
+
+/** Records VM-level sink events (vulnerable program set). */
+class SinkRecorder : public vm::SinkHook
+{
+  public:
+    static constexpr std::size_t kCap = 65536;
+
+    SinkRecorder(bool record_rets, bool record_allocs)
+        : recordRets_(record_rets), recordAllocs_(record_allocs)
+    {}
+
+    void
+    onRetToken(int tid, std::uint64_t, std::int64_t token,
+               std::int64_t expected, vm::Machine &) override
+    {
+        // Only corruptions are interesting: a healthy return matches.
+        if (recordRets_ && token != expected &&
+            corruptions.size() < kCap)
+            corruptions.push_back({tid, token});
+    }
+
+    void
+    onAllocSize(int tid, std::int64_t size, vm::Machine &) override
+    {
+        if (recordAllocs_ && allocs.size() < kCap)
+            allocs.push_back({tid, size});
+    }
+
+    std::vector<std::pair<int, std::int64_t>> corruptions;
+    std::vector<std::pair<int, std::int64_t>> allocs;
+
+  private:
+    bool recordRets_;
+    bool recordAllocs_;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+bool
+SinkConfig::matchesChannel(const std::string &channel) const
+{
+    if (startsWith(channel, "net:"))
+        return net;
+    if (startsWith(channel, "file:"))
+        return file;
+    if (channel == "console")
+        return console;
+    return true;
+}
+
+DualEngine::DualEngine(const ir::Module &module, os::WorldSpec world,
+                       EngineConfig cfg)
+    : module_(module), world_(std::move(world)), cfg_(std::move(cfg))
+{
+    if (!instrument::isInstrumented(module_))
+        fatal("DualEngine requires a counter-instrumented module");
+}
+
+DualResult
+DualEngine::run()
+{
+    Prng mutation_prng(cfg_.mutationSeed);
+    MutatedWorld mutated = mutateWorld(world_, cfg_.sources,
+                                       cfg_.strategy, mutation_prng);
+    os::WorldSpec slave_world =
+        mutated.world.withNondetVariant(cfg_.nondetSalt);
+
+    SyncChannel chan;
+    chan.traceEnabled = cfg_.recordTrace;
+    for (const std::string &key : mutated.taintKeys)
+        chan.taints.taint(key);
+
+    os::Kernel master_kernel(world_);
+    os::Kernel slave_kernel(slave_world);
+    slave_kernel.setSuppressOutputs(true);
+
+    vm::MachineConfig master_cfg = cfg_.vmConfig;
+    vm::MachineConfig slave_cfg = cfg_.vmConfig;
+    slave_cfg.schedSeed += cfg_.slaveSchedSeedDelta;
+    if (cfg_.slaveSchedSeedDelta)
+        slave_cfg.schedJitter = true;
+
+    vm::Machine master(module_, master_kernel, master_cfg);
+    vm::Machine slave(module_, slave_kernel, slave_cfg);
+
+    auto sink_pred = [this](const std::string &channel) {
+        return cfg_.sinks.matchesChannel(channel);
+    };
+    ControllerOptions mo;
+    mo.side = Side::Master;
+    mo.isSinkChannel = sink_pred;
+    mo.shareLockOrder = cfg_.shareLockOrder;
+    mo.lockPollTimeout = cfg_.lockPollTimeout;
+    mo.stallTimeout = cfg_.stallTimeout;
+    ControllerOptions so = mo;
+    so.side = Side::Slave;
+    Controller master_ctl(chan, mo);
+    Controller slave_ctl(chan, so);
+    master.setSyscallPort(&master_ctl);
+    slave.setSyscallPort(&slave_ctl);
+
+    SinkRecorder master_rec(cfg_.sinks.retTokens, cfg_.sinks.allocSizes);
+    SinkRecorder slave_rec(cfg_.sinks.retTokens, cfg_.sinks.allocSizes);
+    if (cfg_.sinks.retTokens || cfg_.sinks.allocSizes) {
+        master.setSinkHook(&master_rec);
+        slave.setSinkHook(&slave_rec);
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    bool deadlocked = false;
+
+    master.start();
+    slave.start();
+
+    if (cfg_.threaded) {
+        auto loop = [&chan](vm::Machine &m, int side) {
+            while (!m.finished()) {
+                vm::StepStatus st = m.step();
+                if (st == vm::StepStatus::Progress) {
+                    chan.progress[side].fetch_add(
+                        1, std::memory_order_relaxed);
+                } else if (st == vm::StepStatus::Stalled) {
+                    std::this_thread::yield();
+                } else {
+                    break;
+                }
+            }
+        };
+        std::thread mt(loop, std::ref(master), 0);
+        std::thread st(loop, std::ref(slave), 1);
+        while (!(master.finished() && slave.finished())) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            if (secondsSince(t0) > cfg_.wallClockCap) {
+                deadlocked = true;
+                chan.abort.store(true, std::memory_order_release);
+            }
+        }
+        mt.join();
+        st.join();
+    } else {
+        constexpr int kQuantum = 64;
+        std::uint64_t idle_rounds = 0;
+        while (!(master.finished() && slave.finished())) {
+            bool progressed = false;
+            for (int side = 0; side < 2; ++side) {
+                vm::Machine &m = side == 0 ? master : slave;
+                for (int i = 0; i < kQuantum && !m.finished(); ++i) {
+                    vm::StepStatus st = m.step();
+                    if (st != vm::StepStatus::Progress)
+                        break;
+                    progressed = true;
+                    chan.progress[side].fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+            }
+            if (progressed) {
+                idle_rounds = 0;
+            } else if (++idle_rounds % 8192 == 0 &&
+                       secondsSince(t0) > cfg_.wallClockCap) {
+                deadlocked = true;
+                chan.abort.store(true, std::memory_order_release);
+            }
+        }
+    }
+
+    DualResult res;
+    res.wallSeconds = secondsSince(t0);
+    res.deadlocked = deadlocked;
+    res.findings = chan.takeFindings();
+    if (cfg_.recordTrace)
+        res.trace = chan.takeTrace();
+    res.alignedSyscalls =
+        chan.alignedSyscalls.load(std::memory_order_relaxed);
+    res.syscallDiffs =
+        chan.syscallDiffs.load(std::memory_order_relaxed);
+    res.totalSlaveSyscalls =
+        chan.slaveSyscalls.load(std::memory_order_relaxed);
+    res.barrierPairings =
+        chan.barrierPairings.load(std::memory_order_relaxed);
+    res.masterExit = master.exitCode();
+    res.slaveExit = slave.exitCode();
+    res.masterTrapped = master.trap().has_value();
+    res.slaveTrapped = slave.trap().has_value();
+    if (master.trap())
+        res.masterTrapMessage = master.trap()->message;
+    if (slave.trap())
+        res.slaveTrapMessage = slave.trap()->message;
+    res.masterStats = master.stats();
+    res.slaveStats = slave.stats();
+    res.taintedResources = chan.taints.snapshot();
+
+    // Return-token sinks: any difference in the corruption event
+    // streams is causality between the mutated input and control
+    // state.
+    if (cfg_.sinks.retTokens &&
+        master_rec.corruptions != slave_rec.corruptions) {
+        Finding f;
+        f.kind = CauseKind::RetTokenDiff;
+        f.observer = Side::Master;
+        f.masterValue =
+            std::to_string(master_rec.corruptions.size()) +
+            " corruption(s)";
+        f.slaveValue = std::to_string(slave_rec.corruptions.size()) +
+                       " corruption(s)";
+        res.findings.push_back(std::move(f));
+    }
+
+    // Allocation-size sinks: pairwise comparison of malloc arguments.
+    if (cfg_.sinks.allocSizes) {
+        std::size_t n = std::min(master_rec.allocs.size(),
+                                 slave_rec.allocs.size());
+        int reported = 0;
+        for (std::size_t i = 0; i < n && reported < 32; ++i) {
+            if (master_rec.allocs[i] != slave_rec.allocs[i]) {
+                Finding f;
+                f.kind = CauseKind::AllocSizeDiff;
+                f.observer = Side::Master;
+                f.masterValue =
+                    std::to_string(master_rec.allocs[i].second);
+                f.slaveValue =
+                    std::to_string(slave_rec.allocs[i].second);
+                res.findings.push_back(std::move(f));
+                ++reported;
+            }
+        }
+        if (master_rec.allocs.size() != slave_rec.allocs.size()) {
+            Finding f;
+            f.kind = CauseKind::AllocSizeDiff;
+            f.observer = Side::Master;
+            f.masterValue =
+                std::to_string(master_rec.allocs.size()) + " allocs";
+            f.slaveValue =
+                std::to_string(slave_rec.allocs.size()) + " allocs";
+            res.findings.push_back(std::move(f));
+        }
+    }
+
+    // Termination divergence (e.g., the slave crashed under mutation).
+    bool master_hijack = res.masterTrapped;
+    bool slave_hijack = res.slaveTrapped;
+    if (master_hijack != slave_hijack ||
+        (master_hijack && res.masterTrapMessage != res.slaveTrapMessage)) {
+        Finding f;
+        f.kind = CauseKind::TerminationDiff;
+        f.observer = Side::Master;
+        f.masterValue = res.masterTrapped ? res.masterTrapMessage : "ok";
+        f.slaveValue = res.slaveTrapped ? res.slaveTrapMessage : "ok";
+        res.findings.push_back(std::move(f));
+    }
+
+    return res;
+}
+
+} // namespace ldx::core

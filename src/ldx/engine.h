@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The LDX dual-execution engine.
+ *
+ * Given an instrumented module and a world, the engine derives the
+ * slave's world (sources mutated per the configuration, nondeterminism
+ * seeds changed), pre-taints the mutated resources, couples a master
+ * and a slave VM through the counter-based protocol, runs them with
+ * either the deterministic lockstep driver or two OS threads, and
+ * returns the causality verdict.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+#include "ldx/controller.h"
+#include "ldx/mutation.h"
+#include "ldx/report.h"
+#include "os/world.h"
+#include "vm/machine.h"
+
+namespace ldx::core {
+
+/** Which output channels count as sinks (§8 "Benchmark Programs"). */
+struct SinkConfig
+{
+    bool net = true;      ///< outgoing network syscalls
+    bool file = true;     ///< local file writes
+    bool console = true;  ///< console prints
+    bool retTokens = false;   ///< corrupted return tokens (attacks)
+    bool allocSizes = false;  ///< malloc size arguments (attacks)
+
+    /** Channel predicate used by the controllers. */
+    bool matchesChannel(const std::string &channel) const;
+};
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    SinkConfig sinks;
+
+    /** Sources mutated in the slave. */
+    std::vector<SourceSpec> sources;
+    MutationStrategy strategy = MutationStrategy::OffByOne;
+    std::uint64_t mutationSeed = 7;
+
+    /** Run master and slave on two OS threads (Fig. 6 setting). */
+    bool threaded = false;
+
+    /** Share lock acquisition order master -> slave (§7). */
+    bool shareLockOrder = true;
+
+    /** VM configuration common to both sides. */
+    vm::MachineConfig vmConfig;
+
+    /** Extra scheduler seed for the slave (0 = same schedule). */
+    std::uint64_t slaveSchedSeedDelta = 0;
+
+    /** Salt for the slave's nondeterminism seeds. */
+    std::uint64_t nondetSalt = 1;
+
+    /**
+     * Watchdog budgets (polls with no peer progress). A waiter only
+     * gives up when the peer retires nothing for this many polls —
+     * i.e. the pair is in a genuinely unresolvable mutual wait, where
+     * decoupling is the correct outcome anyway.
+     */
+    std::uint64_t stallTimeout = 100'000;
+    std::uint64_t lockPollTimeout = 50'000;
+
+    /** Hard wall-clock cap (seconds) before declaring a deadlock. */
+    double wallClockCap = 120.0;
+
+    /** Record a Fig. 3-style alignment trace into DualResult::trace. */
+    bool recordTrace = false;
+};
+
+/** Dual-execution engine. */
+class DualEngine
+{
+  public:
+    /**
+     * @param module  counter-instrumented module (fatal otherwise)
+     * @param world   the master's environment
+     */
+    DualEngine(const ir::Module &module, os::WorldSpec world,
+               EngineConfig cfg);
+
+    /** Execute master and slave to completion. */
+    DualResult run();
+
+  private:
+    const ir::Module &module_;
+    os::WorldSpec world_;
+    EngineConfig cfg_;
+};
+
+} // namespace ldx::core

@@ -1,0 +1,120 @@
+#include "ldx/mutation.h"
+
+#include "os/vfs.h"
+
+namespace ldx::core {
+
+const char *
+mutationStrategyName(MutationStrategy s)
+{
+    switch (s) {
+      case MutationStrategy::OffByOne: return "off-by-one";
+      case MutationStrategy::Zero: return "zero";
+      case MutationStrategy::BitFlip: return "bit-flip";
+      case MutationStrategy::Random: return "random";
+    }
+    return "?";
+}
+
+std::string
+SourceSpec::resourceKey() const
+{
+    switch (kind) {
+      case Kind::EnvVar:
+        return "env:" + key;
+      case Kind::File:
+        return "path:" + os::Vfs::normalize(key);
+      case Kind::PeerResponses:
+        return "net:" + key;
+      case Kind::Incoming:
+        return "net:client";
+    }
+    return "";
+}
+
+bool
+mutateByteAt(std::string &value, std::size_t offset,
+             MutationStrategy strategy, Prng &prng)
+{
+    if (value.empty())
+        return false;
+    if (offset == SourceSpec::kWholeValue) {
+        bool changed = false;
+        for (std::size_t i = 0; i < value.size(); ++i)
+            changed |= mutateByteAt(value, i, strategy, prng);
+        return changed;
+    }
+    if (offset >= value.size())
+        offset = value.size() - 1;
+    unsigned char before = static_cast<unsigned char>(value[offset]);
+    unsigned char after = before;
+    switch (strategy) {
+      case MutationStrategy::OffByOne:
+        after = static_cast<unsigned char>(before + 1);
+        break;
+      case MutationStrategy::Zero:
+        after = 0;
+        break;
+      case MutationStrategy::BitFlip:
+        after = before ^ 1u;
+        break;
+      case MutationStrategy::Random:
+        after = static_cast<unsigned char>(prng.next() & 0xff);
+        if (after == before)
+            after = static_cast<unsigned char>(before + 1);
+        break;
+    }
+    value[offset] = static_cast<char>(after);
+    return after != before;
+}
+
+MutatedWorld
+mutateWorld(const os::WorldSpec &base,
+            const std::vector<SourceSpec> &sources,
+            MutationStrategy strategy, Prng &prng)
+{
+    MutatedWorld out;
+    out.world = base;
+    for (const SourceSpec &src : sources) {
+        bool changed = false;
+        switch (src.kind) {
+          case SourceSpec::Kind::EnvVar: {
+            auto it = out.world.env.find(src.key);
+            if (it != out.world.env.end())
+                changed = mutateByteAt(it->second, src.offset, strategy,
+                                       prng);
+            break;
+          }
+          case SourceSpec::Kind::File: {
+            auto it = out.world.files.find(src.key);
+            if (it != out.world.files.end())
+                changed = mutateByteAt(it->second, src.offset, strategy,
+                                       prng);
+            break;
+          }
+          case SourceSpec::Kind::PeerResponses: {
+            auto it = out.world.peers.find(src.key);
+            if (it != out.world.peers.end()) {
+                for (std::string &resp : it->second.responses) {
+                    changed |= mutateByteAt(resp, src.offset, strategy,
+                                            prng);
+                }
+            }
+            break;
+          }
+          case SourceSpec::Kind::Incoming: {
+            for (os::IncomingConn &conn : out.world.incoming)
+                changed |= mutateByteAt(conn.request, src.offset,
+                                        strategy, prng);
+            break;
+          }
+        }
+        out.anyChange |= changed;
+        std::string key = src.resourceKey();
+        if (!key.empty())
+            out.taintKeys.push_back(key);
+    }
+    return out;
+}
+
+} // namespace ldx::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Source specification and mutation strategies (§3 "Use of LDX",
+ * §8.3 "Input Mutation").
+ *
+ * Sources are named pieces of the environment (an env var, a file, a
+ * peer's scripted responses, inbound requests). The slave's world is
+ * derived from the master's with the selected sources mutated, and
+ * the corresponding resource keys are pre-tainted so the coupling
+ * never overwrites the mutation with the master's outcome — the
+ * counter scheme still aligns those syscalls, they just execute on
+ * each side's own world.
+ *
+ * The paper's default strategy is off-by-one, which provably detects
+ * every strong (one-to-one) causality: a one-to-one mapping must send
+ * different source values to different sink values.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "os/world.h"
+#include "support/prng.h"
+
+namespace ldx::core {
+
+/** How a source value is perturbed in the slave. */
+enum class MutationStrategy
+{
+    OffByOne,  ///< first byte += 1 (paper default)
+    Zero,      ///< first byte := 0
+    BitFlip,   ///< flip the lowest bit of the first byte
+    Random,    ///< first byte := random
+};
+
+/** Name of a strategy. */
+const char *mutationStrategyName(MutationStrategy s);
+
+/** One source to mutate. */
+struct SourceSpec
+{
+    enum class Kind
+    {
+        EnvVar,        ///< key = variable name
+        File,          ///< key = absolute path
+        PeerResponses, ///< key = host name (every response mutated)
+        Incoming,      ///< key unused (every inbound request mutated)
+    };
+
+    /** Sentinel offset: mutate every byte of the value. */
+    static constexpr std::size_t kWholeValue =
+        static_cast<std::size_t>(-1);
+
+    Kind kind = Kind::EnvVar;
+    std::string key;
+    /**
+     * Byte offset mutated within the value (clamped to its size), or
+     * kWholeValue to perturb every byte.
+     */
+    std::size_t offset = 0;
+
+    /** Copy of this source that mutates its whole value. */
+    SourceSpec
+    wholeValue() const
+    {
+        SourceSpec s = *this;
+        s.offset = kWholeValue;
+        return s;
+    }
+
+    static SourceSpec
+    env(std::string name, std::size_t off = 0)
+    {
+        return {Kind::EnvVar, std::move(name), off};
+    }
+
+    static SourceSpec
+    file(std::string path, std::size_t off = 0)
+    {
+        return {Kind::File, std::move(path), off};
+    }
+
+    static SourceSpec
+    peer(std::string host, std::size_t off = 0)
+    {
+        return {Kind::PeerResponses, std::move(host), off};
+    }
+
+    static SourceSpec
+    incoming(std::size_t off = 0)
+    {
+        return {Kind::Incoming, "", off};
+    }
+
+    /** Taint key of the underlying resource ("" for Incoming). */
+    std::string resourceKey() const;
+};
+
+/** Result of applying the mutation to a world. */
+struct MutatedWorld
+{
+    os::WorldSpec world;
+    std::vector<std::string> taintKeys; ///< pre-tainted resources
+    bool anyChange = false;             ///< a source byte was altered
+};
+
+/** Apply @p strategy to @p sources of @p base. */
+MutatedWorld mutateWorld(const os::WorldSpec &base,
+                         const std::vector<SourceSpec> &sources,
+                         MutationStrategy strategy, Prng &prng);
+
+/** Mutate one byte of @p value in place per @p strategy. */
+bool mutateByteAt(std::string &value, std::size_t offset,
+                  MutationStrategy strategy, Prng &prng);
+
+} // namespace ldx::core

@@ -1,0 +1,72 @@
+#include "ldx/report.h"
+
+#include "ldx/channel.h"
+
+#include "os/sysno.h"
+#include "support/strings.h"
+
+namespace ldx::core {
+
+const char *
+causeKindName(CauseKind kind)
+{
+    switch (kind) {
+      case CauseKind::SinkVanished: return "sink-vanished";
+      case CauseKind::SinkSiteMismatch: return "sink-site-mismatch";
+      case CauseKind::SinkValueDiff: return "sink-value-diff";
+      case CauseKind::RetTokenDiff: return "ret-token-diff";
+      case CauseKind::AllocSizeDiff: return "alloc-size-diff";
+      case CauseKind::TerminationDiff: return "termination-diff";
+    }
+    return "?";
+}
+
+std::string
+Finding::describe() const
+{
+    std::string out = causeKindName(kind);
+    out += " at ";
+    out += sysNo >= 0 ? os::sysName(sysNo) : std::string("site");
+    out += "#" + std::to_string(site);
+    out += " cnt=" + std::to_string(cnt);
+    if (loc.line)
+        out += " line=" + std::to_string(loc.line);
+    if (!masterValue.empty() || !slaveValue.empty()) {
+        out += " master=\"" + escapeBytes(masterValue, 32) +
+               "\" slave=\"" + escapeBytes(slaveValue, 32) + "\"";
+    }
+    return out;
+}
+
+} // namespace ldx::core
+
+namespace ldx::core {
+
+std::string
+TraceEvent::describe() const
+{
+    const char *k = "?";
+    switch (kind) {
+      case Kind::Copy: k = "copy"; break;
+      case Kind::Execute: k = "exec"; break;
+      case Kind::Decouple: k = "decouple"; break;
+      case Kind::SinkAligned: k = "sink-aligned"; break;
+      case Kind::SinkDiff: k = "sink-DIFF"; break;
+      case Kind::SinkVanish: k = "sink-VANISH"; break;
+      case Kind::BarrierPair: k = "barrier-pair"; break;
+      case Kind::BarrierSkip: k = "barrier-skip"; break;
+    }
+    std::string out = side == Side::Master ? "[M" : "[S";
+    if (tid)
+        out += "/t" + std::to_string(tid);
+    out += "] ";
+    out += k;
+    if (sysNo >= 0)
+        out += " " + os::sysName(sysNo);
+    out += " cnt=" + std::to_string(cnt);
+    if (site >= 0)
+        out += " site#" + std::to_string(site);
+    return out;
+}
+
+} // namespace ldx::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Causality findings and the result of one dual execution.
+ *
+ * The finding kinds mirror the cases of Algorithm 2 (§4.2):
+ *  1. SinkVanished      — the peer's counter passed the sink's value
+ *                         without producing it (cnt_m < ready_s);
+ *  2. SinkSiteMismatch  — equal counter, different syscall/site;
+ *  3. SinkValueDiff     — aligned sink, different payloads;
+ * plus the VM-level sinks used for the vulnerable program set and a
+ * termination-divergence record.
+ */
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "vm/machine.h"
+
+namespace ldx::core {
+
+/** Which execution an event belongs to. */
+enum class Side : int
+{
+    Master = 0,
+    Slave = 1,
+};
+
+/** The opposite side. */
+inline Side
+peerOf(Side s)
+{
+    return s == Side::Master ? Side::Slave : Side::Master;
+}
+
+/** Kind of causality evidence. */
+enum class CauseKind
+{
+    SinkVanished,       ///< case 1
+    SinkSiteMismatch,   ///< case 2
+    SinkValueDiff,      ///< case 3
+    RetTokenDiff,       ///< return-address sink differs (attacks)
+    AllocSizeDiff,      ///< memory-management argument differs
+    TerminationDiff,    ///< one execution trapped / exited differently
+};
+
+/** Name of a cause kind. */
+const char *causeKindName(CauseKind kind);
+
+/** One piece of causality evidence. */
+struct Finding
+{
+    CauseKind kind = CauseKind::SinkValueDiff;
+    Side observer = Side::Master; ///< side that detected it
+    int tid = 0;
+    int site = -1;
+    std::int64_t cnt = 0;
+    std::int64_t sysNo = -1;
+    std::string masterValue;
+    std::string slaveValue;
+    ir::SourceLoc loc;
+
+    /** One-line description for reports. */
+    std::string describe() const;
+};
+
+/**
+ * One synchronization action, for Fig. 3 / Fig. 5 style traces.
+ * Recorded only when tracing is enabled in the engine config.
+ */
+struct TraceEvent
+{
+    enum class Kind
+    {
+        Copy,         ///< slave copied the master's outcome
+        Execute,      ///< master executed and enqueued
+        Decouple,     ///< slave executed independently (misaligned)
+        SinkAligned,  ///< sinks compared equal
+        SinkDiff,     ///< sinks compared different (causality)
+        SinkVanish,   ///< sink had no counterpart
+        BarrierPair,  ///< backedge rendezvous paired
+        BarrierSkip,  ///< backedge passed unpaired (divergence)
+    };
+
+    Kind kind;
+    Side side;
+    int tid = 0;
+    std::int64_t sysNo = -1;
+    std::int64_t cnt = 0;
+    int site = -1;
+
+    /** One-line rendering ("S copy read cnt=3 site#2"). */
+    std::string describe() const;
+};
+
+/** Result of one dual execution. */
+struct DualResult
+{
+    std::vector<Finding> findings;
+
+    /** Alignment trace (when EngineConfig::recordTrace is set). */
+    std::vector<TraceEvent> trace;
+
+    /** True when any strong causality was inferred. */
+    bool causality() const { return !findings.empty(); }
+
+    // Alignment statistics (Table 2).
+    std::uint64_t alignedSyscalls = 0;
+    std::uint64_t syscallDiffs = 0;
+    std::uint64_t totalSlaveSyscalls = 0;
+    std::uint64_t barrierPairings = 0;
+
+    /** Fraction of slave syscalls that misaligned. */
+    double
+    syscallDiffRatio() const
+    {
+        return totalSlaveSyscalls
+            ? static_cast<double>(syscallDiffs) /
+              static_cast<double>(totalSlaveSyscalls)
+            : 0.0;
+    }
+
+    // Per-side termination.
+    std::int64_t masterExit = 0;
+    std::int64_t slaveExit = 0;
+    bool masterTrapped = false;
+    bool slaveTrapped = false;
+    std::string masterTrapMessage;
+    std::string slaveTrapMessage;
+
+    /** Protocol failure (should never happen; surfaced for tests). */
+    bool deadlocked = false;
+
+    vm::MachineStats masterStats;
+    vm::MachineStats slaveStats;
+
+    /** Tainted resources at the end of the run. */
+    std::set<std::string> taintedResources;
+
+    /** Wall-clock seconds of the whole dual execution. */
+    double wallSeconds = 0.0;
+
+    /** Number of distinct tainted sinks (counts findings). */
+    std::size_t taintedSinkCount() const { return findings.size(); }
+};
+
+} // namespace ldx::core

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Abstract view of guest memory the kernel uses to read syscall
+ * payloads and deposit results. Implemented by vm::Memory.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ldx::os {
+
+/** Byte-level guest memory accessor. */
+class MemAccess
+{
+  public:
+    virtual ~MemAccess() = default;
+
+    /** Read @p n bytes at @p addr. Traps (throws) on bad addresses. */
+    virtual std::string readBytes(std::uint64_t addr, std::uint64_t n)
+        const = 0;
+
+    /** Write @p data at @p addr. */
+    virtual void writeBytes(std::uint64_t addr, const std::string &data) = 0;
+
+    /** Read a NUL-terminated string at @p addr (bounded). */
+    virtual std::string readCString(std::uint64_t addr,
+                                    std::uint64_t max_len = 4096) const = 0;
+};
+
+} // namespace ldx::os

@@ -1,0 +1,84 @@
+#include "os/sysno.h"
+
+#include <array>
+
+#include "support/diag.h"
+
+namespace ldx::os {
+
+namespace {
+
+// no, name, class, numArgs, outBuf, inBuf, len, path, path2
+constexpr std::array<SysDesc, 28> kTable = {{
+    {Sys::Open,         "open",    SysClass::Input,  2, -1, -1, -1,  0, -1},
+    {Sys::Read,         "read",    SysClass::Input,  3,  1, -1,  2, -1, -1},
+    {Sys::Write,        "write",   SysClass::Output, 3, -1,  1,  2, -1, -1},
+    {Sys::Close,        "close",   SysClass::Input,  1, -1, -1, -1, -1, -1},
+    {Sys::Lseek,        "lseek",   SysClass::Input,  3, -1, -1, -1, -1, -1},
+    {Sys::Socket,       "socket",  SysClass::Input,  0, -1, -1, -1, -1, -1},
+    {Sys::Connect,      "connect", SysClass::Input,  2, -1, -1, -1,  1, -1},
+    {Sys::Send,         "send",    SysClass::Output, 3, -1,  1,  2, -1, -1},
+    {Sys::Recv,         "recv",    SysClass::Input,  3,  1, -1,  2, -1, -1},
+    {Sys::Listen,       "listen",  SysClass::Input,  2, -1, -1, -1, -1, -1},
+    {Sys::Accept,       "accept",  SysClass::Input,  1, -1, -1, -1, -1, -1},
+    {Sys::Mkdir,        "mkdir",   SysClass::Input,  1, -1, -1, -1,  0, -1},
+    {Sys::Rmdir,        "rmdir",   SysClass::Input,  1, -1, -1, -1,  0, -1},
+    {Sys::Unlink,       "unlink",  SysClass::Input,  1, -1, -1, -1,  0, -1},
+    {Sys::Rename,       "rename",  SysClass::Input,  2, -1, -1, -1,  0,  1},
+    {Sys::Stat,         "stat",    SysClass::Input,  2,  1, -1, -1,  0, -1},
+    {Sys::Time,         "time",    SysClass::Input,  0, -1, -1, -1, -1, -1},
+    {Sys::Rdtsc,        "rdtsc",   SysClass::Input,  0, -1, -1, -1, -1, -1},
+    {Sys::Random,       "random",  SysClass::Input,  0, -1, -1, -1, -1, -1},
+    {Sys::GetPid,       "getpid",  SysClass::Input,  0, -1, -1, -1, -1, -1},
+    {Sys::GetEnv,       "getenv",  SysClass::Input,  3,  1, -1,  2,  0, -1},
+    {Sys::Print,        "print",   SysClass::Output, 2, -1,  0,  1, -1, -1},
+    {Sys::Exit,         "exit",    SysClass::Local,  1, -1, -1, -1, -1, -1},
+    {Sys::ThreadCreate, "thread_create",
+                                   SysClass::Local,  2, -1, -1, -1, -1, -1},
+    {Sys::ThreadJoin,   "thread_join",
+                                   SysClass::Local,  1, -1, -1, -1, -1, -1},
+    {Sys::MutexLock,    "mutex_lock",
+                                   SysClass::Sync,   1, -1, -1, -1, -1, -1},
+    {Sys::MutexUnlock,  "mutex_unlock",
+                                   SysClass::Sync,   1, -1, -1, -1, -1, -1},
+    {Sys::Yield,        "yield",   SysClass::Local,  0, -1, -1, -1, -1, -1},
+}};
+
+} // namespace
+
+const SysDesc &
+sysDesc(Sys no)
+{
+    for (const SysDesc &d : kTable) {
+        if (d.no == no)
+            return d;
+    }
+    panic("unknown syscall number " +
+          std::to_string(static_cast<std::int64_t>(no)));
+}
+
+const SysDesc &
+sysDesc(std::int64_t no)
+{
+    return sysDesc(static_cast<Sys>(no));
+}
+
+std::string
+sysName(std::int64_t no)
+{
+    if (!isValidSys(no))
+        return "sys#" + std::to_string(no);
+    return sysDesc(no).name;
+}
+
+bool
+isValidSys(std::int64_t no)
+{
+    for (const SysDesc &d : kTable) {
+        if (static_cast<std::int64_t>(d.no) == no)
+            return true;
+    }
+    return false;
+}
+
+} // namespace ldx::os

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Virtual syscall numbering and per-syscall metadata.
+ *
+ * The dual-execution engine treats this table as the coupling
+ * boundary: every syscall is classified as input (outcome copyable
+ * from master to slave), output (sinkable; slave suppresses external
+ * effect), local (always executed independently by both executions —
+ * e.g. thread creation, cf. §4.2 "some special syscalls are always
+ * executed independently"), or sync (pthread-style operations treated
+ * as syscalls, §7).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ldx::os {
+
+/** Virtual syscall numbers. */
+enum class Sys : std::int64_t
+{
+    Open = 1,     ///< open(path, flags) -> fd
+    Read,         ///< read(fd, buf, n) -> nread
+    Write,        ///< write(fd, buf, n) -> n
+    Close,        ///< close(fd)
+    Lseek,        ///< lseek(fd, off, whence)
+    Socket,       ///< socket() -> fd
+    Connect,      ///< connect(fd, host_str)
+    Send,         ///< send(fd, buf, n) -> n
+    Recv,         ///< recv(fd, buf, cap) -> nread
+    Listen,       ///< listen(fd, port)
+    Accept,       ///< accept(fd) -> conn_fd (-1 when queue empty)
+    Mkdir,        ///< mkdir(path)
+    Rmdir,        ///< rmdir(path)
+    Unlink,       ///< unlink(path)
+    Rename,       ///< rename(old, new)
+    Stat,         ///< stat(path, out16) -> 0/-1; writes {size, mtime}
+    Time,         ///< time() -> virtual seconds
+    Rdtsc,        ///< rdtsc() -> virtual cycle counter (nondeterministic)
+    Random,       ///< random() -> prng draw (nondeterministic)
+    GetPid,       ///< getpid() -> pid (differs across executions)
+    GetEnv,       ///< getenv(name, out, cap) -> len or -1
+    Print,        ///< print(buf, n) -> n (console output)
+    Exit,         ///< exit(code) (never returns)
+    ThreadCreate, ///< thread_create(fnptr, arg) -> tid
+    ThreadJoin,   ///< thread_join(tid) -> thread return value
+    MutexLock,    ///< mutex_lock(id)
+    MutexUnlock,  ///< mutex_unlock(id)
+    Yield,        ///< yield()
+    NumSyscalls
+};
+
+/** Coupling class of a syscall (see file comment). */
+enum class SysClass : std::uint8_t
+{
+    Input,   ///< outcome copyable master -> slave
+    Output,  ///< externally visible; default sink candidate
+    Local,   ///< always executed independently in both executions
+    Sync     ///< pthread-style synchronization (VM-level semantics)
+};
+
+/** Static description of one syscall. */
+struct SysDesc
+{
+    Sys no;
+    const char *name;
+    SysClass klass;
+    int numArgs;
+    /**
+     * Index of the argument holding the address of an output buffer
+     * the kernel writes into (-1 when none). The replay path stores
+     * the master's bytes at the slave's own buffer address.
+     */
+    int outBufArg;
+    /** Index of the argument holding an input payload address (-1). */
+    int inBufArg;
+    /** Index of the length argument paired with in/out buffer (-1). */
+    int lenArg;
+    /** Index of a NUL-terminated path/string argument (-1). */
+    int pathArg;
+    /** Second path argument (Rename) (-1). */
+    int pathArg2;
+};
+
+/** Lookup table entry for @p no. Panics on unknown numbers. */
+const SysDesc &sysDesc(Sys no);
+
+/** Convenience: descriptor from a raw syscall number. */
+const SysDesc &sysDesc(std::int64_t no);
+
+/** Name string for diagnostics. */
+std::string sysName(std::int64_t no);
+
+/** True if @p no is a valid syscall number. */
+bool isValidSys(std::int64_t no);
+
+} // namespace ldx::os

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared resource-taint map (§7 "Light-weight Resource Tainting").
+ *
+ * When a resource operation is misaligned between the master and the
+ * slave, the resource is tainted; future syscalls touching it are
+ * never coupled (both executions run them on their own world copy).
+ * The map is shared by both execution controllers, so it is
+ * internally synchronized for the threaded driver.
+ */
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace ldx::os {
+
+/** Thread-safe set of tainted resource keys. */
+class ResourceTaintMap
+{
+  public:
+    /** Mark @p key tainted. Idempotent. */
+    void
+    taint(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        keys_.insert(key);
+    }
+
+    /** True if @p key has been tainted. */
+    bool
+    isTainted(const std::string &key) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return keys_.count(key) > 0;
+    }
+
+    /** Number of tainted resources (reported by the engine). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return keys_.size();
+    }
+
+    /** Snapshot of tainted keys (diagnostics). */
+    std::set<std::string>
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return keys_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::set<std::string> keys_;
+};
+
+} // namespace ldx::os

@@ -1,0 +1,213 @@
+#include "os/vfs.h"
+
+#include "support/diag.h"
+#include "support/strings.h"
+
+namespace ldx::os {
+
+Vfs::Vfs()
+{
+    Node root;
+    root.is_dir = true;
+    nodes_["/"] = root;
+}
+
+std::string
+Vfs::normalize(const std::string &path)
+{
+    std::string out = "/";
+    for (const std::string &part : splitString(path, '/')) {
+        if (part.empty() || part == ".")
+            continue;
+        if (out.back() != '/')
+            out += '/';
+        out += part;
+    }
+    return out;
+}
+
+std::string
+Vfs::parentOf(const std::string &path)
+{
+    auto pos = path.rfind('/');
+    if (pos == 0 || pos == std::string::npos)
+        return "/";
+    return path.substr(0, pos);
+}
+
+bool
+Vfs::exists(const std::string &path) const
+{
+    return nodes_.count(normalize(path)) > 0;
+}
+
+bool
+Vfs::isDir(const std::string &path) const
+{
+    auto it = nodes_.find(normalize(path));
+    return it != nodes_.end() && it->second.is_dir;
+}
+
+bool
+Vfs::isFile(const std::string &path) const
+{
+    auto it = nodes_.find(normalize(path));
+    return it != nodes_.end() && !it->second.is_dir;
+}
+
+bool
+Vfs::createFile(const std::string &path, std::int64_t mtime)
+{
+    std::string p = normalize(path);
+    if (!isDir(parentOf(p)))
+        return false;
+    if (isDir(p))
+        return false;
+    Node n;
+    n.is_dir = false;
+    n.mtime = mtime;
+    nodes_[p] = std::move(n);
+    return true;
+}
+
+bool
+Vfs::mkdir(const std::string &path, std::int64_t mtime)
+{
+    std::string p = normalize(path);
+    if (exists(p) || !isDir(parentOf(p)))
+        return false;
+    Node n;
+    n.is_dir = true;
+    n.mtime = mtime;
+    nodes_[p] = std::move(n);
+    return true;
+}
+
+bool
+Vfs::hasChildren(const std::string &path) const
+{
+    std::string prefix = path == "/" ? "/" : path + "/";
+    auto it = nodes_.upper_bound(path);
+    return it != nodes_.end() && startsWith(it->first, prefix);
+}
+
+bool
+Vfs::rmdir(const std::string &path)
+{
+    std::string p = normalize(path);
+    if (p == "/" || !isDir(p) || hasChildren(p))
+        return false;
+    nodes_.erase(p);
+    return true;
+}
+
+bool
+Vfs::unlink(const std::string &path)
+{
+    std::string p = normalize(path);
+    if (!isFile(p))
+        return false;
+    nodes_.erase(p);
+    return true;
+}
+
+bool
+Vfs::rename(const std::string &from, const std::string &to,
+            std::int64_t mtime)
+{
+    std::string f = normalize(from);
+    std::string t = normalize(to);
+    if (!exists(f) || exists(t) || !isDir(parentOf(t)))
+        return false;
+    if (f == "/" || startsWith(t, f + "/"))
+        return false;
+    // Move the node plus any subtree.
+    std::vector<std::pair<std::string, Node>> moved;
+    std::string prefix = f + "/";
+    for (auto it = nodes_.lower_bound(f);
+         it != nodes_.end() &&
+         (it->first == f || startsWith(it->first, prefix));) {
+        std::string new_path =
+            t + it->first.substr(f.size());
+        Node n = it->second;
+        if (it->first == f)
+            n.mtime = mtime;
+        moved.emplace_back(std::move(new_path), std::move(n));
+        it = nodes_.erase(it);
+    }
+    for (auto &[p, n] : moved)
+        nodes_[p] = std::move(n);
+    return true;
+}
+
+const std::string &
+Vfs::content(const std::string &path) const
+{
+    auto it = nodes_.find(normalize(path));
+    checkInvariant(it != nodes_.end() && !it->second.is_dir,
+                   "content() on missing file " + path);
+    return it->second.data;
+}
+
+void
+Vfs::setContent(const std::string &path, std::string data,
+                std::int64_t mtime)
+{
+    auto it = nodes_.find(normalize(path));
+    checkInvariant(it != nodes_.end() && !it->second.is_dir,
+                   "setContent() on missing file " + path);
+    it->second.data = std::move(data);
+    it->second.mtime = mtime;
+}
+
+void
+Vfs::appendContent(const std::string &path, const std::string &data,
+                   std::int64_t mtime)
+{
+    auto it = nodes_.find(normalize(path));
+    checkInvariant(it != nodes_.end() && !it->second.is_dir,
+                   "appendContent() on missing file " + path);
+    it->second.data += data;
+    it->second.mtime = mtime;
+}
+
+std::optional<FileStat>
+Vfs::stat(const std::string &path) const
+{
+    auto it = nodes_.find(normalize(path));
+    if (it == nodes_.end())
+        return std::nullopt;
+    FileStat st;
+    st.size = static_cast<std::int64_t>(it->second.data.size());
+    st.mtime = it->second.mtime;
+    return st;
+}
+
+void
+Vfs::installFile(const std::string &path, std::string data)
+{
+    std::string p = normalize(path);
+    // Create missing parents.
+    std::vector<std::string> parents;
+    for (std::string cur = parentOf(p); cur != "/"; cur = parentOf(cur))
+        parents.push_back(cur);
+    for (auto it = parents.rbegin(); it != parents.rend(); ++it) {
+        if (!exists(*it))
+            mkdir(*it, 0);
+    }
+    Node n;
+    n.is_dir = false;
+    n.data = std::move(data);
+    nodes_[p] = std::move(n);
+}
+
+std::vector<std::string>
+Vfs::listAll() const
+{
+    std::vector<std::string> out;
+    for (const auto &[p, n] : nodes_)
+        out.push_back(p);
+    return out;
+}
+
+} // namespace ldx::os

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * In-memory virtual filesystem. Each execution (master / slave) owns a
+ * deep copy, which is what makes the paper's copy-on-divergence rule
+ * (§7 "Light-weight Resource Tainting") cheap to realize: the slave's
+ * world starts as an exact clone and only drifts where executions
+ * decouple.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ldx::os {
+
+/** File metadata reported by stat(). */
+struct FileStat
+{
+    std::int64_t size = 0;
+    std::int64_t mtime = 0;
+};
+
+/** A tree-less VFS keyed by absolute normalized paths. */
+class Vfs
+{
+  public:
+    Vfs();
+
+    /** Normalize a path: ensure leading '/', squeeze '//', drop "/.". */
+    static std::string normalize(const std::string &path);
+
+    bool exists(const std::string &path) const;
+    bool isDir(const std::string &path) const;
+    bool isFile(const std::string &path) const;
+
+    /** Create or truncate a regular file. Parent must exist. */
+    bool createFile(const std::string &path, std::int64_t mtime);
+
+    /** Create a directory. Parent must exist; path must be fresh. */
+    bool mkdir(const std::string &path, std::int64_t mtime);
+
+    /** Remove an empty directory. */
+    bool rmdir(const std::string &path);
+
+    /** Remove a regular file. */
+    bool unlink(const std::string &path);
+
+    /** Rename a file or directory subtree. */
+    bool rename(const std::string &from, const std::string &to,
+                std::int64_t mtime);
+
+    /** File content accessors; file must exist. */
+    const std::string &content(const std::string &path) const;
+    void setContent(const std::string &path, std::string data,
+                    std::int64_t mtime);
+    void appendContent(const std::string &path, const std::string &data,
+                       std::int64_t mtime);
+
+    /** stat(); nullopt when the path does not exist. */
+    std::optional<FileStat> stat(const std::string &path) const;
+
+    /** Install a file, creating parent directories (world setup). */
+    void installFile(const std::string &path, std::string data);
+
+    /** All paths, sorted (for tests and world diffing). */
+    std::vector<std::string> listAll() const;
+
+  private:
+    struct Node
+    {
+        bool is_dir = false;
+        std::string data;
+        std::int64_t mtime = 0;
+    };
+
+    static std::string parentOf(const std::string &path);
+    bool hasChildren(const std::string &path) const;
+
+    std::map<std::string, Node> nodes_;
+};
+
+} // namespace ldx::os

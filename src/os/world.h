@@ -1,0 +1,78 @@
+/**
+ * @file
+ * WorldSpec: the immutable description of an execution's environment —
+ * initial filesystem image, scripted network peers, environment
+ * variables, and the seeds of every nondeterminism source the
+ * dual-execution coupling must suppress (virtual clock, rdtsc jitter,
+ * PRNG, pid, heap base).
+ *
+ * The master and the slave are constructed from the *same* WorldSpec
+ * except for the nondeterminism seeds, which intentionally differ so
+ * that experiments demonstrate the coupling is what removes
+ * divergence (not accidental determinism of the simulator).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldx::os {
+
+/** Scripted behaviour of one remote network peer (by host name). */
+struct PeerScript
+{
+    /** Responses returned by successive recv() calls; then empty. */
+    std::vector<std::string> responses;
+    /** When true, each recv() echoes back the latest sent payload. */
+    bool echo = false;
+};
+
+/** One scripted inbound connection for server programs. */
+struct IncomingConn
+{
+    std::string request; ///< bytes the server's recv() will see
+};
+
+/** Full environment description. */
+struct WorldSpec
+{
+    /** Initial filesystem image: absolute path -> contents. */
+    std::map<std::string, std::string> files;
+
+    /** Remote peers reachable via connect(host). */
+    std::map<std::string, PeerScript> peers;
+
+    /** Queue of inbound connections served by accept(). */
+    std::vector<IncomingConn> incoming;
+
+    /** Environment variables. */
+    std::map<std::string, std::string> env;
+
+    // -- Nondeterminism seeds (differ between master and slave). --
+    std::int64_t pid = 1000;
+    std::int64_t clockBase = 1700000000;
+    std::int64_t clockStepPerQuery = 1;
+    std::uint64_t rdtscSeed = 0x1234;
+    std::uint64_t randomSeed = 0x5678;
+    std::uint64_t heapBaseJitter = 0; ///< added to the heap segment base
+
+    /**
+     * Derive a variant with different nondeterminism seeds, as the OS
+     * would present to a second process started moments later.
+     */
+    WorldSpec
+    withNondetVariant(std::uint64_t salt) const
+    {
+        WorldSpec w = *this;
+        w.pid += 1 + static_cast<std::int64_t>(salt % 7);
+        w.clockBase += 3 + static_cast<std::int64_t>(salt % 11);
+        w.rdtscSeed ^= 0x9e3779b9u * (salt + 1);
+        w.randomSeed ^= 0x85ebca6bu * (salt + 1);
+        w.heapBaseJitter = ((salt + 1) * 64) & 0xfff0;
+        return w;
+    }
+};
+
+} // namespace ldx::os

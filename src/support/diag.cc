@@ -1,0 +1,17 @@
+#include "support/diag.h"
+
+namespace ldx {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("ldx internal error: " + msg);
+}
+
+} // namespace ldx

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Diagnostics: fatal/panic error reporting and checked assertions.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (library bugs), fatal() is for user errors (bad programs,
+ * bad configuration). Both throw typed exceptions rather than abort so
+ * the test suite can assert on failure behaviour.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ldx {
+
+/** Error caused by invalid user input (bad source program, config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Error caused by an internal invariant violation (a bug in ldx). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Report a user-level error. Never returns. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal invariant violation. Never returns. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Panic with context unless @p cond holds. */
+inline void
+checkInvariant(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace ldx

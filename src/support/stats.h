@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Running statistics used by the benchmark harnesses: min/max/mean,
+ * sample standard deviation, and geometric mean — the aggregates the
+ * paper reports in Tables 2/4 and Figure 6.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ldx {
+
+/** Accumulates a stream of samples and reports summary statistics. */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sum_ += x;
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+    double min() const { return samples_.empty() ? 0.0 : min_; }
+    double max() const { return samples_.empty() ? 0.0 : max_; }
+
+    double
+    mean() const
+    {
+        return samples_.empty() ? 0.0 : sum_ / samples_.size();
+    }
+
+    /** Sample (n-1) standard deviation; 0 with fewer than 2 samples. */
+    double
+    stddev() const
+    {
+        if (samples_.size() < 2)
+            return 0.0;
+        double m = mean();
+        double acc = 0.0;
+        for (double x : samples_)
+            acc += (x - m) * (x - m);
+        return std::sqrt(acc / (samples_.size() - 1));
+    }
+
+    /** Geometric mean; samples must be positive. */
+    double
+    geomean() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        double acc = 0.0;
+        for (double x : samples_)
+            acc += std::log(x);
+        return std::exp(acc / samples_.size());
+    }
+
+  private:
+    std::vector<double> samples_;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace ldx

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string utilities shared across the library.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldx {
+
+/** Split @p s on @p sep; empty fields are preserved. */
+std::vector<std::string> splitString(std::string_view s, char sep);
+
+/** Join @p parts with @p sep. */
+std::string joinStrings(const std::vector<std::string> &parts,
+                        std::string_view sep);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True if @p s ends with @p suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trimString(std::string_view s);
+
+/** Render a byte buffer with non-printables escaped as \xNN. */
+std::string escapeBytes(std::string_view bytes, std::size_t max_len = 64);
+
+} // namespace ldx

@@ -1,0 +1,85 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/diag.h"
+
+namespace ldx {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        panic("TextTable row arity mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRule()
+{
+    rows_.emplace_back(); // sentinel
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            widen(row);
+    }
+
+    auto rule = [&]() {
+        os << '+';
+        for (std::size_t w : width)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << '|';
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << ' ' << row[i]
+               << std::string(width[i] - row[i].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    rule();
+    emit(header_);
+    rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            rule();
+        else
+            emit(row);
+    }
+    rule();
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+formatPercent(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, value * 100.0);
+    return buf;
+}
+
+} // namespace ldx

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table renderer used by the benchmark binaries to print
+ * paper-style tables (Table 1..4) with aligned columns.
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ldx {
+
+/** Column-aligned text table with a header row and separator rules. */
+class TextTable
+{
+  public:
+    /** Construct with header cells. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal rule before the next row. */
+    void addRule();
+
+    /** Render with single-space-padded pipe separators. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty row == rule
+};
+
+/** Format @p value with @p digits fractional digits. */
+std::string formatDouble(double value, int digits = 2);
+
+/** Format @p value as a percentage with @p digits fractional digits. */
+std::string formatPercent(double value, int digits = 2);
+
+} // namespace ldx

@@ -1,0 +1,193 @@
+#include "taint/indexing.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <deque>
+#include <vector>
+
+#include "os/kernel.h"
+#include "support/diag.h"
+
+namespace ldx::taint {
+
+namespace {
+
+/** Execution index: a stack mirroring call/branch nesting. */
+class ExecutionIndex
+{
+  public:
+    void
+    onInstrExecuted(int fn, int block, int ip)
+    {
+        // Rolling digest of the full index stack plus the current
+        // point — this is the per-instruction work DualEx pays.
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 0x100000001b3ULL;
+        };
+        for (std::uint64_t frame : stack_)
+            mix(frame);
+        mix(static_cast<std::uint64_t>(fn) << 40 |
+            static_cast<std::uint64_t>(block) << 20 |
+            static_cast<std::uint64_t>(ip));
+        digest_ = h;
+    }
+
+    void
+    push(int fn, int block)
+    {
+        stack_.push_back(static_cast<std::uint64_t>(fn) << 20 |
+                         static_cast<std::uint64_t>(block));
+    }
+
+    void
+    pop()
+    {
+        if (!stack_.empty())
+            stack_.pop_back();
+    }
+
+    std::uint64_t digest() const { return digest_; }
+
+  private:
+    std::vector<std::uint64_t> stack_;
+    std::uint64_t digest_ = 0;
+};
+
+/**
+ * Hook maintaining the index and streaming digests to the monitor.
+ * DualEx's master and slave send every executed instruction to a
+ * separate monitor process; we reproduce that cost with a real OS
+ * pipe write per event (the monitor end reads and compares).
+ */
+class IndexHook : public vm::ExecHook
+{
+  public:
+    IndexHook(std::deque<std::uint64_t> &stream, int pipe_wr, int pipe_rd)
+        : stream_(stream), pipeWr_(pipe_wr), pipeRd_(pipe_rd)
+    {}
+
+    /** Ship one digest through the monitor pipe. */
+    void
+    ship(std::uint64_t digest)
+    {
+        if (pipeWr_ < 0) {
+            stream_.push_back(digest);
+            return;
+        }
+        std::uint64_t echo = 0;
+        if (::write(pipeWr_, &digest, sizeof(digest)) !=
+                sizeof(digest) ||
+            ::read(pipeRd_, &echo, sizeof(echo)) != sizeof(echo))
+            panic("monitor pipe failed");
+        stream_.push_back(echo);
+    }
+
+    void
+    onInstr(int, const ir::Instr &instr, std::uint64_t, std::int64_t,
+            vm::Machine &) override
+    {
+        index_.onInstrExecuted(0, 0, static_cast<int>(
+            reinterpret_cast<std::uintptr_t>(&instr) & 0xfffff));
+        ship(index_.digest());
+    }
+
+    void
+    onCall(int, const ir::Instr &, int callee,
+           const std::vector<std::int64_t> &, vm::Machine &) override
+    {
+        index_.push(callee, 0);
+        ship(index_.digest());
+    }
+
+    void
+    onRet(int, const ir::Instr &, int, std::int64_t,
+          vm::Machine &) override
+    {
+        index_.pop();
+        ship(index_.digest());
+    }
+
+    void
+    onBranch(int, const ir::Instr &instr, int taken,
+             vm::Machine &) override
+    {
+        index_.onInstrExecuted(1, taken, instr.target0);
+        ship(index_.digest());
+    }
+
+    void
+    onSyscall(const vm::SyscallRequest &req, const os::Outcome &,
+              vm::Machine &) override
+    {
+        index_.onInstrExecuted(2, static_cast<int>(req.sysNo), req.site);
+        ship(index_.digest());
+    }
+
+  private:
+    ExecutionIndex index_;
+    std::deque<std::uint64_t> &stream_;
+    int pipeWr_ = -1;
+    int pipeRd_ = -1;
+};
+
+} // namespace
+
+IndexedDualResult
+runIndexedDualExecution(const ir::Module &module,
+                        const os::WorldSpec &world, vm::MachineConfig cfg)
+{
+    os::Kernel master_kernel(world);
+    os::Kernel slave_kernel(world); // identical input: pure overhead
+    vm::Machine master(module, master_kernel, cfg);
+    vm::Machine slave(module, slave_kernel, cfg);
+
+    // One monitor pipe per execution, as in DualEx's master/slave ->
+    // monitor channels.
+    int mfd[2] = {-1, -1};
+    int sfd[2] = {-1, -1};
+    if (::pipe(mfd) != 0 || ::pipe(sfd) != 0)
+        panic("cannot create monitor pipes");
+    std::deque<std::uint64_t> master_stream;
+    std::deque<std::uint64_t> slave_stream;
+    IndexHook master_hook(master_stream, mfd[1], mfd[0]);
+    IndexHook slave_hook(slave_stream, sfd[1], sfd[0]);
+    master.setExecHook(&master_hook);
+    slave.setExecHook(&slave_hook);
+
+    IndexedDualResult res;
+    auto t0 = std::chrono::steady_clock::now();
+
+    master.start();
+    slave.start();
+    // Strict lockstep: one instruction each, monitor compares the
+    // index streams as they are produced.
+    while (!master.finished() || !slave.finished()) {
+        if (!master.finished())
+            master.step();
+        if (!slave.finished())
+            slave.step();
+        while (!master_stream.empty() && !slave_stream.empty()) {
+            ++res.indexComparisons;
+            if (master_stream.front() != slave_stream.front())
+                res.diverged = true;
+            master_stream.pop_front();
+            slave_stream.pop_front();
+        }
+    }
+
+    res.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    res.instructions = master.stats().instructions;
+    res.finished = master.finished() && slave.finished();
+    ::close(mfd[0]);
+    ::close(mfd[1]);
+    ::close(sfd[0]);
+    ::close(sfd[1]);
+    return res;
+}
+
+} // namespace ldx::taint

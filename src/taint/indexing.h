@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Execution-indexing dual execution — the DualEx (Kim et al. 2015)
+ * cost baseline LDX is compared against in §8.1 / §9.
+ *
+ * DualEx aligns the two executions at *instruction* granularity: both
+ * sides stream their executed instructions to a monitor, which
+ * maintains an execution-index structure (Xin et al. 2008) — a stack
+ * mirroring the nesting of calls and control regions — and keeps the
+ * executions in lockstep. We reproduce that cost profile: every
+ * instruction updates an index stack and posts an index digest to a
+ * shared monitor buffer where the two streams are compared, and the
+ * two machines advance in strict 1:1 lockstep. The measured slowdown
+ * versus LDX's per-syscall coupling is the point of the ablation
+ * bench (the paper reports three orders of magnitude).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "ir/ir.h"
+#include "os/world.h"
+#include "vm/machine.h"
+
+namespace ldx::taint {
+
+/** Result of one indexed dual execution. */
+struct IndexedDualResult
+{
+    double wallSeconds = 0.0;
+    std::uint64_t instructions = 0; ///< master-side instruction count
+    std::uint64_t indexComparisons = 0;
+    bool diverged = false; ///< index streams differed
+    bool finished = false;
+};
+
+/**
+ * Run master and slave in instruction-lockstep with execution-index
+ * maintenance and monitor comparison. No mutation: this measures pure
+ * alignment overhead (the Fig. 6 "same input" configuration).
+ */
+IndexedDualResult runIndexedDualExecution(const ir::Module &module,
+                                          const os::WorldSpec &world,
+                                          vm::MachineConfig cfg = {});
+
+} // namespace ldx::taint

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shadow state for instruction-level dynamic taint tracking: byte
+ * granular shadow memory plus shadow registers mirroring the VM's
+ * frame stack. Taint labels are a bitset over up to 64 sources.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ldx::taint {
+
+/** A set of source labels. */
+using LabelSet = std::uint64_t;
+
+/** Shadow registers and memory for one execution. */
+class ShadowState
+{
+  public:
+    // ---- registers (per thread, per frame) ----
+
+    /** Mirror a call: push a shadow frame of @p num_regs registers. */
+    void
+    pushFrame(int tid, int num_regs)
+    {
+        frames(tid).emplace_back(
+            std::vector<LabelSet>(static_cast<std::size_t>(num_regs), 0));
+    }
+
+    /** Mirror a return. */
+    void
+    popFrame(int tid)
+    {
+        auto &f = frames(tid);
+        if (!f.empty())
+            f.pop_back();
+    }
+
+    LabelSet
+    reg(int tid, int r) const
+    {
+        auto it = threads_.find(tid);
+        if (it == threads_.end() || it->second.empty())
+            return 0;
+        const auto &regs = it->second.back();
+        if (r < 0 || r >= static_cast<int>(regs.size()))
+            return 0;
+        return regs[static_cast<std::size_t>(r)];
+    }
+
+    void
+    setReg(int tid, int r, LabelSet labels)
+    {
+        if (r < 0)
+            return;
+        auto &f = frames(tid);
+        if (f.empty())
+            f.emplace_back();
+        auto &regs = f.back();
+        if (r >= static_cast<int>(regs.size()))
+            regs.resize(static_cast<std::size_t>(r) + 1, 0);
+        regs[static_cast<std::size_t>(r)] = labels;
+    }
+
+    // ---- memory (byte granular, sparse) ----
+
+    LabelSet
+    memByte(std::uint64_t addr) const
+    {
+        auto it = mem_.find(addr);
+        return it == mem_.end() ? 0 : it->second;
+    }
+
+    LabelSet
+    memRange(std::uint64_t addr, std::uint64_t n) const
+    {
+        LabelSet labels = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            labels |= memByte(addr + i);
+        return labels;
+    }
+
+    void
+    setMemRange(std::uint64_t addr, std::uint64_t n, LabelSet labels)
+    {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (labels)
+                mem_[addr + i] = labels;
+            else
+                mem_.erase(addr + i);
+        }
+    }
+
+    /** Number of tainted bytes (diagnostics). */
+    std::size_t taintedBytes() const { return mem_.size(); }
+
+  private:
+    std::vector<std::vector<LabelSet>> &
+    frames(int tid)
+    {
+        return threads_[tid];
+    }
+
+    std::unordered_map<int, std::vector<std::vector<LabelSet>>> threads_;
+    std::unordered_map<std::uint64_t, LabelSet> mem_;
+};
+
+} // namespace ldx::taint

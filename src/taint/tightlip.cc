@@ -1,0 +1,171 @@
+#include "taint/tightlip.h"
+
+#include <algorithm>
+
+#include "os/kernel.h"
+#include "os/sysno.h"
+#include "support/prng.h"
+
+namespace ldx::taint {
+
+namespace {
+
+/** Hook that records every syscall into a trace. */
+class TraceHook : public vm::ExecHook
+{
+  public:
+    explicit TraceHook(std::vector<TraceRecord> &out)
+        : out_(out)
+    {}
+
+    void
+    onInstr(int, const ir::Instr &, std::uint64_t, std::int64_t,
+            vm::Machine &) override
+    {}
+
+    void
+    onCall(int, const ir::Instr &, int,
+           const std::vector<std::int64_t> &, vm::Machine &) override
+    {}
+
+    void
+    onRet(int, const ir::Instr &, int, std::int64_t,
+          vm::Machine &) override
+    {}
+
+    void
+    onSyscall(const vm::SyscallRequest &req, const os::Outcome &out,
+              vm::Machine &vm) override
+    {
+        (void)out;
+        const os::SysDesc &desc = os::sysDesc(req.sysNo);
+        TraceRecord rec;
+        rec.sysNo = req.sysNo;
+        rec.isOutput = desc.klass == os::SysClass::Output;
+        // Alignment signature: syscall number, path strings, lengths
+        // and plain scalar args; buffer addresses excluded.
+        rec.signature = std::to_string(req.sysNo);
+        for (std::size_t i = 0; i < req.args.size(); ++i) {
+            int idx = static_cast<int>(i);
+            if (idx == desc.outBufArg || idx == desc.inBufArg)
+                continue;
+            try {
+                if (idx == desc.pathArg || idx == desc.pathArg2) {
+                    rec.signature += "|s:" + vm.memory().readCString(
+                        static_cast<std::uint64_t>(req.args[i]));
+                    continue;
+                }
+            } catch (const vm::VmTrap &) {
+                rec.signature += "|fault";
+                continue;
+            }
+            rec.signature += "|" + std::to_string(req.args[i]);
+        }
+        if (rec.isOutput) {
+            try {
+                rec.payload = vm.kernel().sinkPayload(req.sysNo, req.args,
+                                                      vm.memory());
+            } catch (const vm::VmTrap &) {
+                rec.payload = "fault";
+            }
+        }
+        if (out_.size() < kCap)
+            out_.push_back(std::move(rec));
+    }
+
+  private:
+    static constexpr std::size_t kCap = 1 << 20;
+    std::vector<TraceRecord> &out_;
+};
+
+} // namespace
+
+std::vector<TraceRecord>
+recordSyscallTrace(const ir::Module &module, const os::WorldSpec &world,
+                   vm::MachineConfig cfg)
+{
+    std::vector<TraceRecord> trace;
+    os::Kernel kernel(world);
+    vm::Machine machine(module, kernel, cfg);
+    TraceHook hook(trace);
+    machine.setExecHook(&hook);
+    machine.run();
+    return trace;
+}
+
+TightLipResult
+compareTracesTightLip(const std::vector<TraceRecord> &master,
+                      const std::vector<TraceRecord> &slave, int window)
+{
+    TightLipResult res;
+    res.masterTrace = master.size();
+    res.slaveTrace = slave.size();
+
+    std::size_t i = 0, j = 0;
+    while (i < master.size() && j < slave.size()) {
+        if (master[i].signature == slave[j].signature) {
+            if (master[i].isOutput &&
+                master[i].payload != slave[j].payload) {
+                res.payloadDiffered = true;
+                res.leakReported = true;
+                return res;
+            }
+            ++res.matchedPrefix;
+            ++i;
+            ++j;
+            continue;
+        }
+        // Try to re-match within the window by skipping records on
+        // either side.
+        bool matched = false;
+        for (int skip = 1; skip <= window && !matched; ++skip) {
+            if (j + static_cast<std::size_t>(skip) < slave.size() &&
+                master[i].signature ==
+                    slave[j + static_cast<std::size_t>(skip)].signature) {
+                res.syscallDiffs += static_cast<std::uint64_t>(skip);
+                j += static_cast<std::size_t>(skip);
+                matched = true;
+            } else if (i + static_cast<std::size_t>(skip) <
+                           master.size() &&
+                       master[i + static_cast<std::size_t>(skip)]
+                               .signature == slave[j].signature) {
+                res.syscallDiffs += static_cast<std::uint64_t>(skip);
+                i += static_cast<std::size_t>(skip);
+                matched = true;
+            }
+        }
+        if (!matched) {
+            // Beyond the window: TightLip kills the doppelganger and
+            // reports.
+            res.alignmentFailed = true;
+            res.leakReported = true;
+            ++res.syscallDiffs;
+            return res;
+        }
+    }
+    // Tail-length differences are syscall diffs too.
+    std::size_t tail =
+        (master.size() - i) + (slave.size() - j);
+    res.syscallDiffs += static_cast<std::uint64_t>(tail);
+    if (tail > static_cast<std::size_t>(window)) {
+        res.alignmentFailed = true;
+        res.leakReported = true;
+    }
+    return res;
+}
+
+TightLipResult
+runTightLip(const ir::Module &module, const os::WorldSpec &world,
+            const std::vector<core::SourceSpec> &sources,
+            core::MutationStrategy strategy, int window,
+            std::uint64_t mutation_seed)
+{
+    Prng prng(mutation_seed);
+    core::MutatedWorld mutated =
+        core::mutateWorld(world, sources, strategy, prng);
+    auto master = recordSyscallTrace(module, world);
+    auto slave = recordSyscallTrace(module, mutated.world);
+    return compareTracesTightLip(master, slave, window);
+}
+
+} // namespace ldx::taint

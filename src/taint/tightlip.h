@@ -1,0 +1,68 @@
+/**
+ * @file
+ * TIGHTLIP baseline (Yumerefendi et al. 2007): master/doppelganger
+ * execution without counter-based alignment. Syscall streams are
+ * compared in order with a small tolerance window; once the streams
+ * cannot be re-matched within the window, TightLip gives up and
+ * reports leakage (the paper's Table 2 shows it reporting leakage for
+ * both the leaking and the non-leaking mutation whenever the mutation
+ * perturbs the syscall stream at all).
+ *
+ * Both runs use identical nondeterminism seeds (modeling TightLip's
+ * outcome sharing while aligned), so divergence comes only from the
+ * source mutation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "ldx/mutation.h"
+#include "os/world.h"
+#include "vm/machine.h"
+
+namespace ldx::taint {
+
+/** One syscall trace record. */
+struct TraceRecord
+{
+    std::int64_t sysNo = 0;
+    std::string signature; ///< alignment signature (no volatile data)
+    std::string payload;   ///< output payload ("" for inputs)
+    bool isOutput = false;
+};
+
+/** TightLip verdict. */
+struct TightLipResult
+{
+    bool leakReported = false;
+    bool alignmentFailed = false;   ///< gave up beyond the window
+    bool payloadDiffered = false;   ///< matched output with diff bytes
+    std::size_t matchedPrefix = 0;  ///< records matched before failure
+    std::uint64_t syscallDiffs = 0; ///< skipped/mismatched records
+    std::size_t masterTrace = 0;
+    std::size_t slaveTrace = 0;
+};
+
+/** Record the syscall trace of one native run. */
+std::vector<TraceRecord> recordSyscallTrace(
+    const ir::Module &module, const os::WorldSpec &world,
+    vm::MachineConfig cfg = {});
+
+/** Compare two traces with TightLip's window tolerance. */
+TightLipResult compareTracesTightLip(
+    const std::vector<TraceRecord> &master,
+    const std::vector<TraceRecord> &slave, int window = 8);
+
+/** Full TightLip run: execute both versions and compare. */
+TightLipResult runTightLip(const ir::Module &module,
+                           const os::WorldSpec &world,
+                           const std::vector<core::SourceSpec> &sources,
+                           core::MutationStrategy strategy =
+                               core::MutationStrategy::OffByOne,
+                           int window = 8,
+                           std::uint64_t mutation_seed = 7);
+
+} // namespace ldx::taint

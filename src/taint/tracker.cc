@@ -1,0 +1,477 @@
+#include "taint/tracker.h"
+
+#include <algorithm>
+
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+#include "os/kernel.h"
+#include "os/sysno.h"
+#include "support/diag.h"
+
+namespace ldx::taint {
+
+TaintTracker::TaintTracker(
+    const ir::Module &module, TaintPolicy policy,
+    std::vector<core::SourceSpec> sources,
+    std::function<bool(const std::string &)> sink_channel)
+    : module_(module), policy_(policy), sources_(std::move(sources)),
+      sinkChannel_(std::move(sink_channel))
+{
+    if (!sinkChannel_)
+        sinkChannel_ = [](const std::string &) { return true; };
+    if (sources_.size() > 64)
+        fatal("at most 64 taint sources are supported");
+
+    // Precompute immediate postdominators (control-dep regions) and
+    // the (fn, block) of every conditional branch.
+    ipostdom_.resize(module.numFunctions());
+    for (std::size_t f = 0; f < module.numFunctions(); ++f) {
+        const ir::Function &fn = module.function(static_cast<int>(f));
+        int exit_block = -1;
+        analysis::DiGraph reversed(static_cast<int>(fn.numBlocks()));
+        for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+            const ir::BasicBlock &bb = fn.block(static_cast<int>(b));
+            for (int succ : bb.successors())
+                reversed.addEdge(succ, static_cast<int>(b));
+            if (bb.isTerminated() &&
+                bb.terminator().op == ir::Opcode::Ret && exit_block < 0)
+                exit_block = static_cast<int>(b);
+            for (const ir::Instr &instr : bb.instrs()) {
+                if (instr.op == ir::Opcode::CondBr) {
+                    branchBlocks_[&instr] = {static_cast<int>(f),
+                                             static_cast<int>(b)};
+                }
+            }
+        }
+        auto &ipd = ipostdom_[f];
+        ipd.assign(fn.numBlocks(), -1);
+        if (exit_block >= 0) {
+            analysis::DominatorTree pdom(reversed, exit_block);
+            for (std::size_t b = 0; b < fn.numBlocks(); ++b)
+                ipd[b] = pdom.idom(static_cast<int>(b));
+        }
+    }
+}
+
+LabelSet
+TaintTracker::operandTaint(int tid, const ir::Operand &op) const
+{
+    return op.isReg() ? shadow_.reg(tid, op.reg) : 0;
+}
+
+std::int64_t
+TaintTracker::operandValue(const ir::Operand &op, const vm::Machine &vm,
+                           int tid) const
+{
+    if (op.isImm())
+        return op.imm;
+    if (op.isReg())
+        return vm.context(tid).frames.back().regs[
+            static_cast<std::size_t>(op.reg)];
+    return 0;
+}
+
+LabelSet
+TaintTracker::controlTaint(int tid) const
+{
+    if (!policy_.trackControlDeps)
+        return 0;
+    auto it = controlStacks_.find(tid);
+    if (it == controlStacks_.end())
+        return 0;
+    LabelSet labels = 0;
+    for (const ControlScope &scope : it->second)
+        labels |= scope.labels;
+    return labels;
+}
+
+void
+TaintTracker::write(int tid, int reg, LabelSet labels)
+{
+    shadow_.setReg(tid, reg, labels | controlTaint(tid));
+}
+
+void
+TaintTracker::recordSink(TaintedSinkEvent evt)
+{
+    if (tainted_.size() < kMaxTaintedSinks)
+        tainted_.push_back(std::move(evt));
+}
+
+void
+TaintTracker::onInstr(int tid, const ir::Instr &instr, std::uint64_t addr,
+                      std::int64_t value, vm::Machine &vm)
+{
+    using ir::Opcode;
+    switch (instr.op) {
+      case Opcode::Const:
+      case Opcode::GlobalAddr:
+      case Opcode::Alloca:
+      case Opcode::FnAddr:
+        write(tid, instr.dst, 0);
+        break;
+      case Opcode::Move:
+      case Opcode::Neg:
+      case Opcode::Not:
+        write(tid, instr.dst, operandTaint(tid, instr.a));
+        break;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr: case Opcode::CmpEq: case Opcode::CmpNe:
+      case Opcode::CmpLt: case Opcode::CmpLe: case Opcode::CmpGt:
+      case Opcode::CmpGe:
+        write(tid, instr.dst,
+              operandTaint(tid, instr.a) | operandTaint(tid, instr.b));
+        break;
+      case Opcode::Load:
+        write(tid, instr.dst,
+              shadow_.memRange(addr,
+                               static_cast<std::uint64_t>(instr.size)));
+        break;
+      case Opcode::Store:
+        shadow_.setMemRange(addr,
+                            static_cast<std::uint64_t>(instr.size),
+                            operandTaint(tid, instr.b) |
+                                controlTaint(tid));
+        break;
+      case Opcode::LibCall: {
+        auto arg_taint = [&](std::size_t i) -> LabelSet {
+            return i < instr.args.size()
+                ? operandTaint(tid, instr.args[i]) : 0;
+        };
+        auto arg_value = [&](std::size_t i) -> std::int64_t {
+            return i < instr.args.size()
+                ? operandValue(instr.args[i], vm, tid) : 0;
+        };
+        ir::LibRoutine r = static_cast<ir::LibRoutine>(instr.imm);
+        LabelSet ctl = controlTaint(tid);
+        switch (r) {
+          case ir::LibRoutine::Memcpy: {
+            std::uint64_t dst = static_cast<std::uint64_t>(arg_value(0));
+            std::uint64_t src = static_cast<std::uint64_t>(arg_value(1));
+            std::uint64_t n = static_cast<std::uint64_t>(
+                std::max<std::int64_t>(0, arg_value(2)));
+            if (policy_.modelMemcpy) {
+                for (std::uint64_t i = 0; i < n; ++i)
+                    shadow_.setMemRange(dst + i, 1,
+                                        shadow_.memByte(src + i) | ctl);
+            } else {
+                shadow_.setMemRange(dst, n, ctl);
+            }
+            write(tid, instr.dst, 0);
+            break;
+          }
+          case ir::LibRoutine::Memset: {
+            std::uint64_t dst = static_cast<std::uint64_t>(arg_value(0));
+            std::uint64_t n = static_cast<std::uint64_t>(
+                std::max<std::int64_t>(0, arg_value(2)));
+            shadow_.setMemRange(dst, n,
+                                (policy_.modelMemset ? arg_taint(1) : 0) |
+                                    ctl);
+            write(tid, instr.dst, 0);
+            break;
+          }
+          case ir::LibRoutine::Strcpy: {
+            std::uint64_t dst = static_cast<std::uint64_t>(arg_value(0));
+            std::uint64_t src = static_cast<std::uint64_t>(arg_value(1));
+            std::uint64_t n =
+                vm.memory().readCString(src).size() + 1;
+            if (policy_.modelStrcpy) {
+                for (std::uint64_t i = 0; i < n; ++i)
+                    shadow_.setMemRange(dst + i, 1,
+                                        shadow_.memByte(src + i) | ctl);
+            } else {
+                shadow_.setMemRange(dst, n, ctl);
+            }
+            write(tid, instr.dst, 0);
+            break;
+          }
+          case ir::LibRoutine::Strcat: {
+            std::uint64_t dst = static_cast<std::uint64_t>(arg_value(0));
+            std::uint64_t src = static_cast<std::uint64_t>(arg_value(1));
+            std::uint64_t src_len =
+                vm.memory().readCString(src).size() + 1;
+            std::uint64_t total =
+                vm.memory().readCString(dst).size() + 1;
+            std::uint64_t tail = dst + (total - src_len);
+            if (policy_.modelStrcat) {
+                for (std::uint64_t i = 0; i < src_len; ++i)
+                    shadow_.setMemRange(tail + i, 1,
+                                        shadow_.memByte(src + i) | ctl);
+            } else {
+                shadow_.setMemRange(tail, src_len, ctl);
+            }
+            write(tid, instr.dst, 0);
+            break;
+          }
+          case ir::LibRoutine::Strlen: {
+            std::uint64_t src = static_cast<std::uint64_t>(arg_value(0));
+            LabelSet labels = policy_.modelStrlen
+                ? shadow_.memRange(src,
+                      static_cast<std::uint64_t>(
+                          std::max<std::int64_t>(0, value)) + 1)
+                : 0;
+            write(tid, instr.dst, labels);
+            break;
+          }
+          case ir::LibRoutine::Strcmp: {
+            LabelSet labels = 0;
+            if (policy_.modelStrcmp) {
+                std::uint64_t a =
+                    static_cast<std::uint64_t>(arg_value(0));
+                std::uint64_t b =
+                    static_cast<std::uint64_t>(arg_value(1));
+                labels = shadow_.memRange(
+                             a, vm.memory().readCString(a).size() + 1) |
+                         shadow_.memRange(
+                             b, vm.memory().readCString(b).size() + 1);
+            }
+            write(tid, instr.dst, labels);
+            break;
+          }
+          case ir::LibRoutine::Atoi: {
+            LabelSet labels = 0;
+            if (policy_.modelAtoi) {
+                std::uint64_t s =
+                    static_cast<std::uint64_t>(arg_value(0));
+                labels = shadow_.memRange(
+                    s, vm.memory().readCString(s).size() + 1);
+            }
+            write(tid, instr.dst, labels);
+            break;
+          }
+          case ir::LibRoutine::Itoa: {
+            std::uint64_t buf =
+                static_cast<std::uint64_t>(arg_value(1));
+            std::uint64_t n = vm.memory().readCString(buf).size() + 1;
+            shadow_.setMemRange(buf, n,
+                                (policy_.modelItoa ? arg_taint(0) : 0) |
+                                    ctl);
+            write(tid, instr.dst, 0);
+            break;
+          }
+          case ir::LibRoutine::Malloc: {
+            if (allocSizeSinks_) {
+                ++totalSinks_;
+                LabelSet labels = arg_taint(0);
+                if (labels) {
+                    TaintedSinkEvent evt;
+                    evt.kind = TaintedSinkEvent::Kind::AllocSize;
+                    evt.labels = labels;
+                    evt.loc = instr.loc;
+                    recordSink(std::move(evt));
+                }
+            }
+            write(tid, instr.dst, 0);
+            break;
+          }
+          case ir::LibRoutine::Free:
+            write(tid, instr.dst, 0);
+            break;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+TaintTracker::onCall(int tid, const ir::Instr &call_instr, int callee,
+                     const std::vector<std::int64_t> &args,
+                     vm::Machine &vm)
+{
+    (void)args;
+    (void)vm;
+    std::vector<LabelSet> param_taints;
+    param_taints.reserve(call_instr.args.size());
+    for (const ir::Operand &op : call_instr.args)
+        param_taints.push_back(operandTaint(tid, op));
+    shadow_.pushFrame(tid, module_.function(callee).numRegs());
+    for (std::size_t i = 0; i < param_taints.size(); ++i)
+        shadow_.setReg(tid, static_cast<int>(i), param_taints[i]);
+    ++frameDepth_[tid];
+}
+
+void
+TaintTracker::onRet(int tid, const ir::Instr &ret_instr, int ret_reg,
+                    std::int64_t ret_value, vm::Machine &vm)
+{
+    (void)ret_value;
+    (void)vm;
+    LabelSet ret_taint = operandTaint(tid, ret_instr.a);
+    shadow_.popFrame(tid);
+    write(tid, ret_reg, ret_taint);
+    // Close control scopes opened inside the returning frame.
+    auto &depth = frameDepth_[tid];
+    auto it = controlStacks_.find(tid);
+    if (it != controlStacks_.end()) {
+        while (!it->second.empty() &&
+               it->second.back().frameDepth >= depth)
+            it->second.pop_back();
+    }
+    if (depth > 0)
+        --depth;
+}
+
+void
+TaintTracker::onBranch(int tid, const ir::Instr &instr, int taken,
+                       vm::Machine &vm)
+{
+    (void)taken;
+    (void)vm;
+    if (!policy_.trackControlDeps)
+        return;
+    LabelSet labels = operandTaint(tid, instr.a);
+    if (!labels)
+        return;
+    auto it = branchBlocks_.find(&instr);
+    if (it == branchBlocks_.end())
+        return;
+    auto [fn, block] = it->second;
+    int join = ipostdom_[static_cast<std::size_t>(fn)]
+                        [static_cast<std::size_t>(block)];
+    if (join < 0)
+        return;
+    controlStacks_[tid].push_back(
+        {frameDepth_[tid], fn, join, labels});
+}
+
+void
+TaintTracker::onBlockEnter(int tid, int fn, int block, vm::Machine &vm)
+{
+    (void)vm;
+    if (!policy_.trackControlDeps)
+        return;
+    auto it = controlStacks_.find(tid);
+    if (it == controlStacks_.end())
+        return;
+    auto &stack = it->second;
+    std::size_t depth = frameDepth_[tid];
+    while (!stack.empty() && stack.back().frameDepth == depth &&
+           stack.back().fn == fn && stack.back().joinBlock == block)
+        stack.pop_back();
+}
+
+void
+TaintTracker::onSyscall(const vm::SyscallRequest &req,
+                        const os::Outcome &out, vm::Machine &vm)
+{
+    const os::SysDesc &desc = os::sysDesc(req.sysNo);
+
+    // New thread: give it a shadow frame.
+    if (static_cast<os::Sys>(req.sysNo) == os::Sys::ThreadCreate &&
+        out.ret >= 0) {
+        shadow_.pushFrame(static_cast<int>(out.ret), 64);
+        return;
+    }
+
+    // Input data overwrites the out-buffer: refresh its shadow, then
+    // apply the source label when this syscall reads a source.
+    if (desc.outBufArg >= 0 &&
+        desc.outBufArg < static_cast<int>(req.args.size()) &&
+        !out.data.empty()) {
+        std::uint64_t buf = static_cast<std::uint64_t>(
+            req.args[static_cast<std::size_t>(desc.outBufArg)]);
+        LabelSet labels = 0;
+        std::string key;
+        try {
+            key = vm.kernel().resourceKey(req.sysNo, req.args,
+                                          vm.memory());
+        } catch (const vm::VmTrap &) {
+            key.clear();
+        }
+        for (std::size_t i = 0; i < sources_.size(); ++i) {
+            if (sources_[i].resourceKey() == key)
+                labels |= LabelSet{1} << i;
+        }
+        shadow_.setMemRange(buf, out.data.size(), labels);
+    }
+
+    // Output sinks: check the payload's shadow bytes.
+    if (desc.klass == os::SysClass::Output && desc.inBufArg >= 0 &&
+        desc.inBufArg < static_cast<int>(req.args.size())) {
+        std::string payload;
+        try {
+            payload = vm.kernel().sinkPayload(req.sysNo, req.args,
+                                              vm.memory());
+        } catch (const vm::VmTrap &) {
+            return;
+        }
+        std::string channel = payload.substr(0, payload.find('|'));
+        if (!sinkChannel_(channel))
+            return;
+        ++totalSinks_;
+        std::uint64_t buf = static_cast<std::uint64_t>(
+            req.args[static_cast<std::size_t>(desc.inBufArg)]);
+        std::int64_t len = desc.lenArg >= 0 &&
+                desc.lenArg < static_cast<int>(req.args.size())
+            ? std::max<std::int64_t>(
+                  0, req.args[static_cast<std::size_t>(desc.lenArg)])
+            : 0;
+        LabelSet labels =
+            shadow_.memRange(buf, static_cast<std::uint64_t>(len));
+        if (labels) {
+            TaintedSinkEvent evt;
+            evt.kind = TaintedSinkEvent::Kind::Output;
+            evt.site = req.site;
+            evt.sysNo = req.sysNo;
+            evt.labels = labels;
+            evt.channel = channel;
+            evt.loc = req.loc;
+            recordSink(std::move(evt));
+        }
+    }
+}
+
+void
+TaintTracker::onRetToken(int tid, std::uint64_t token_addr,
+                         std::int64_t token, std::int64_t expected,
+                         vm::Machine &vm)
+{
+    (void)tid;
+    (void)token;
+    (void)expected;
+    (void)vm;
+    if (!retTokenSinks_)
+        return;
+    ++totalSinks_;
+    LabelSet labels = shadow_.memRange(token_addr, 8);
+    if (labels) {
+        TaintedSinkEvent evt;
+        evt.kind = TaintedSinkEvent::Kind::RetToken;
+        evt.labels = labels;
+        recordSink(std::move(evt));
+    }
+}
+
+void
+TaintTracker::onAllocSize(int, std::int64_t, vm::Machine &)
+{
+    // Alloc-size sinks are handled at the Malloc LibCall in onInstr,
+    // where the size argument's shadow register is visible.
+}
+
+TaintRunResult
+runTaintAnalysis(const ir::Module &module, const os::WorldSpec &world,
+                 TaintRunOptions opts)
+{
+    os::Kernel kernel(world);
+    vm::Machine machine(module, kernel, opts.vmConfig);
+    TaintTracker tracker(module, opts.policy, opts.sources,
+                         opts.sinkChannel);
+    tracker.setRetTokenSinks(opts.retTokenSinks);
+    tracker.setAllocSizeSinks(opts.allocSizeSinks);
+    machine.setExecHook(&tracker);
+    machine.setSinkHook(&tracker);
+
+    TaintRunResult result;
+    result.status = machine.run();
+    result.exitCode = machine.exitCode();
+    result.totalSinks = tracker.totalSinkEvents();
+    result.taintedSinks = tracker.taintedSinks();
+    return result;
+}
+
+} // namespace ldx::taint

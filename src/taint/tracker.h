@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Instruction-level dynamic taint trackers — the baselines LDX is
+ * compared against in Table 3.
+ *
+ * Both baselines propagate taint along *data dependences only*, which
+ * is exactly why they miss the control-dependence-induced strong
+ * causalities LDX detects (§2, §8.3). They differ in library-call
+ * modeling completeness:
+ *
+ *  - TaintPolicy::libdft(): models the block-copy routines but lacks
+ *    models for the string/number conversion routines (atoi, itoa,
+ *    strcat, strcmp, strlen) — mirroring the paper's observation that
+ *    "LIBDFT does not correctly model taint propagation for some
+ *    library calls", which makes its tainted-sink set a subset of
+ *    TaintGrind's.
+ *  - TaintPolicy::taintgrind(): complete data-dependence models.
+ *  - TaintPolicy::controlAugmented(): TaintGrind plus naive control
+ *    dependence propagation (every write inside a tainted branch
+ *    region inherits the predicate's taint) — the ablation showing
+ *    the weak-causality explosion (Bao et al. discussion in §2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "ldx/mutation.h"
+#include "os/world.h"
+#include "taint/shadow.h"
+#include "vm/hooks.h"
+#include "vm/machine.h"
+
+namespace ldx::taint {
+
+/** Library-modeling and propagation policy. */
+struct TaintPolicy
+{
+    bool modelMemcpy = true;
+    bool modelMemset = true;
+    bool modelStrcpy = true;
+    bool modelStrlen = true;
+    bool modelStrcmp = true;
+    bool modelStrcat = true;
+    bool modelAtoi = true;
+    bool modelItoa = true;
+    bool trackControlDeps = false;
+
+    /** LIBDFT model: misses string/number conversion routines. */
+    static TaintPolicy
+    libdft()
+    {
+        TaintPolicy p;
+        p.modelStrlen = false;
+        p.modelStrcmp = false;
+        p.modelStrcat = false;
+        p.modelAtoi = false;
+        p.modelItoa = false;
+        return p;
+    }
+
+    /** TaintGrind model: complete data-dependence propagation. */
+    static TaintPolicy
+    taintgrind()
+    {
+        return TaintPolicy{};
+    }
+
+    /** TaintGrind plus naive control-dependence propagation. */
+    static TaintPolicy
+    controlAugmented()
+    {
+        TaintPolicy p;
+        p.trackControlDeps = true;
+        return p;
+    }
+};
+
+/** A sink event that carried taint. */
+struct TaintedSinkEvent
+{
+    enum class Kind { Output, RetToken, AllocSize };
+
+    Kind kind = Kind::Output;
+    int site = -1;
+    std::int64_t sysNo = -1;
+    LabelSet labels = 0;
+    std::string channel;
+    ir::SourceLoc loc;
+};
+
+/** Exec/Sink hook implementing shadow propagation. */
+class TaintTracker : public vm::ExecHook, public vm::SinkHook
+{
+  public:
+    /**
+     * @param module   the program (used for postdominator regions)
+     * @param policy   propagation policy
+     * @param sources  taint sources (same specs the engine mutates)
+     * @param sink_channel  predicate over output channels
+     */
+    TaintTracker(const ir::Module &module, TaintPolicy policy,
+                 std::vector<core::SourceSpec> sources,
+                 std::function<bool(const std::string &)> sink_channel);
+
+    // ---- vm::ExecHook ----
+    void onInstr(int tid, const ir::Instr &instr, std::uint64_t addr,
+                 std::int64_t value, vm::Machine &vm) override;
+    void onCall(int tid, const ir::Instr &call_instr, int callee,
+                const std::vector<std::int64_t> &args,
+                vm::Machine &vm) override;
+    void onRet(int tid, const ir::Instr &ret_instr, int ret_reg,
+               std::int64_t ret_value, vm::Machine &vm) override;
+    void onSyscall(const vm::SyscallRequest &req, const os::Outcome &out,
+                   vm::Machine &vm) override;
+    void onBranch(int tid, const ir::Instr &instr, int taken,
+                  vm::Machine &vm) override;
+    void onBlockEnter(int tid, int fn, int block, vm::Machine &vm)
+        override;
+
+    // ---- vm::SinkHook ----
+    void onRetToken(int tid, std::uint64_t token_addr, std::int64_t token,
+                    std::int64_t expected, vm::Machine &vm) override;
+    void onAllocSize(int tid, std::int64_t size, vm::Machine &vm) override;
+
+    // ---- results ----
+    const std::vector<TaintedSinkEvent> &
+    taintedSinks() const
+    {
+        return tainted_;
+    }
+
+    std::uint64_t totalSinkEvents() const { return totalSinks_; }
+    std::size_t taintedBytes() const { return shadow_.taintedBytes(); }
+
+    /** Enable VM-level sinks (vulnerable program set). */
+    void setRetTokenSinks(bool v) { retTokenSinks_ = v; }
+    void setAllocSizeSinks(bool v) { allocSizeSinks_ = v; }
+
+  private:
+    LabelSet operandTaint(int tid, const ir::Operand &op) const;
+    std::int64_t operandValue(const ir::Operand &op,
+                              const vm::Machine &vm, int tid) const;
+    LabelSet controlTaint(int tid) const;
+    void write(int tid, int reg, LabelSet labels);
+    void recordSink(TaintedSinkEvent evt);
+
+    const ir::Module &module_;
+    TaintPolicy policy_;
+    std::vector<core::SourceSpec> sources_;
+    std::function<bool(const std::string &)> sinkChannel_;
+
+    ShadowState shadow_;
+    std::uint64_t totalSinks_ = 0;
+    std::vector<TaintedSinkEvent> tainted_;
+    bool retTokenSinks_ = false;
+    bool allocSizeSinks_ = false;
+
+    // Control-dependence regions: per thread, a stack of active
+    // tainted branch scopes closed at the branch block's immediate
+    // postdominator.
+    struct ControlScope
+    {
+        std::size_t frameDepth;
+        int fn;
+        int joinBlock;
+        LabelSet labels;
+    };
+    std::map<int, std::vector<ControlScope>> controlStacks_;
+    std::map<int, std::size_t> frameDepth_;
+
+    /** (fn, block) of every CondBr, and per-block ipostdom. */
+    std::map<const ir::Instr *, std::pair<int, int>> branchBlocks_;
+    std::vector<std::vector<int>> ipostdom_; ///< [fn][block]
+
+    static constexpr std::size_t kMaxTaintedSinks = 100000;
+};
+
+/** Options for one taint-analysis run. */
+struct TaintRunOptions
+{
+    TaintPolicy policy;
+    std::vector<core::SourceSpec> sources;
+    std::function<bool(const std::string &)> sinkChannel;
+    bool retTokenSinks = false;
+    bool allocSizeSinks = false;
+    vm::MachineConfig vmConfig;
+};
+
+/** Result of one taint-analysis run. */
+struct TaintRunResult
+{
+    vm::StepStatus status = vm::StepStatus::Finished;
+    std::int64_t exitCode = 0;
+    std::uint64_t totalSinks = 0;
+    std::vector<TaintedSinkEvent> taintedSinks;
+};
+
+/** Run @p module natively under a taint tracker. */
+TaintRunResult runTaintAnalysis(const ir::Module &module,
+                                const os::WorldSpec &world,
+                                TaintRunOptions opts);
+
+} // namespace ldx::taint

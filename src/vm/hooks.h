@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Observation and interception points of the virtual machine.
+ *
+ *  - SyscallPort: intercepts every syscall and loop barrier. The
+ *    dual-execution controllers live behind this interface; the
+ *    default port just executes against the kernel.
+ *  - ExecHook: per-instruction dataflow callbacks used by the
+ *    instruction-level taint trackers (LIBDFT / TaintGrind models)
+ *    and by the execution-indexing cost baseline.
+ *  - SinkHook: VM-level sink events — return-token values at returns
+ *    and allocation sizes at malloc — the paper's sinks for the
+ *    vulnerable program set (§8, Table 3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.h"
+#include "os/kernel.h"
+
+namespace ldx::vm {
+
+class Machine;
+
+/** One syscall about to be issued by a context. */
+struct SyscallRequest
+{
+    int tid = 0;
+    std::int64_t sysNo = 0;
+    std::vector<std::int64_t> args;
+    int site = -1;          ///< static site id (instrumented modules)
+    std::int64_t cnt = 0;   ///< alignment counter at the call
+    ir::SourceLoc loc;
+};
+
+/** Port replies: proceed with @p out, or retry later. */
+enum class PortReply
+{
+    Done,
+    Blocked,
+};
+
+/** Syscall / barrier interception point. */
+class SyscallPort
+{
+  public:
+    virtual ~SyscallPort() = default;
+
+    /**
+     * Handle @p req. On Done, @p out carries the outcome the guest
+     * sees. On Blocked, the context stays at the syscall and the
+     * request is re-issued on its next scheduled step.
+     */
+    virtual PortReply onSyscall(const SyscallRequest &req, Machine &vm,
+                                os::Outcome &out) = 0;
+
+    /**
+     * Loop-backedge rendezvous (§5). @p iter counts completed
+     * executions of this barrier site by this context; @p reset_delta
+     * is the counter adjustment the VM applies after the barrier
+     * passes (so the port can publish the post-reset position).
+     */
+    virtual PortReply onBarrier(int tid, std::int64_t site,
+                                std::int64_t iter, std::int64_t cnt,
+                                std::int64_t reset_delta,
+                                Machine &vm) = 0;
+
+    /**
+     * Counter stack push at an indirect/recursive call (§6): the
+     * thread's alignment counter @p saved is pushed and the counter
+     * resets to 0.
+     */
+    virtual void
+    onCounterPush(int tid, std::int64_t saved, Machine &vm)
+    {
+        (void)tid; (void)saved; (void)vm;
+    }
+
+    /** Counter stack pop: the counter is restored to @p restored. */
+    virtual void
+    onCounterPop(int tid, std::int64_t restored, Machine &vm)
+    {
+        (void)tid; (void)restored; (void)vm;
+    }
+
+    /** Context @p tid completed (its frames unwound). */
+    virtual void onThreadDone(int tid, Machine &vm) { (void)tid; (void)vm; }
+
+    /** The machine finished (normally or by trap). */
+    virtual void onFinished(Machine &vm) { (void)vm; }
+};
+
+/** Per-instruction dataflow callbacks (taint trackers). */
+class ExecHook
+{
+  public:
+    virtual ~ExecHook() = default;
+
+    /**
+     * Called after each non-control instruction executes.
+     * @param tid       executing context
+     * @param instr     the instruction
+     * @param addr      effective address (Load/Store/Alloca/LibCall dst)
+     * @param value     value written to the destination register
+     */
+    virtual void onInstr(int tid, const ir::Instr &instr,
+                         std::uint64_t addr, std::int64_t value,
+                         Machine &vm) = 0;
+
+    /**
+     * Entering @p callee; @p args are evaluated argument values and
+     * @p call_instr is the Call/ICall instruction (so taint trackers
+     * can read the argument operands' shadow state).
+     */
+    virtual void onCall(int tid, const ir::Instr &call_instr, int callee,
+                        const std::vector<std::int64_t> &args,
+                        Machine &vm) = 0;
+
+    /**
+     * Returning from the current frame into the caller. @p ret_instr
+     * is the Ret instruction and @p ret_reg the caller register
+     * receiving the value (-1 when discarded or frame-less).
+     */
+    virtual void onRet(int tid, const ir::Instr &ret_instr, int ret_reg,
+                       std::int64_t ret_value, Machine &vm) = 0;
+
+    /**
+     * A conditional branch executed. @p taken is the chosen block id.
+     * Used by control-dependence-augmented taint tracking.
+     */
+    virtual void
+    onBranch(int tid, const ir::Instr &instr, int taken, Machine &vm)
+    {
+        (void)tid; (void)instr; (void)taken; (void)vm;
+    }
+
+    /** A block boundary was crossed into @p block of function @p fn. */
+    virtual void
+    onBlockEnter(int tid, int fn, int block, Machine &vm)
+    {
+        (void)tid; (void)fn; (void)block; (void)vm;
+    }
+
+    /** A syscall completed with @p out visible to the guest. */
+    virtual void onSyscall(const SyscallRequest &req,
+                           const os::Outcome &out, Machine &vm) = 0;
+};
+
+/** VM-level sink events (vulnerable program set). */
+class SinkHook
+{
+  public:
+    virtual ~SinkHook() = default;
+
+    /**
+     * Return token loaded from the guest stack at a ret. @p expected
+     * is the token written at call time; a mismatch means the guest
+     * overwrote its own return slot (stack smash).
+     */
+    virtual void onRetToken(int tid, std::uint64_t token_addr,
+                            std::int64_t token, std::int64_t expected,
+                            Machine &vm) = 0;
+
+    /** Size argument of a malloc library call. */
+    virtual void onAllocSize(int tid, std::int64_t size, Machine &vm) = 0;
+};
+
+} // namespace ldx::vm

@@ -1,0 +1,833 @@
+#include "vm/machine.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace ldx::vm {
+
+namespace {
+
+constexpr std::int64_t kTokenTag = 0x5a00000000000000LL;
+
+} // namespace
+
+Machine::Machine(const ir::Module &module, os::Kernel &kernel,
+                 MachineConfig cfg)
+    : module_(module), kernel_(kernel), cfg_(cfg),
+      schedPrng_(cfg.schedSeed)
+{
+    // Lay out globals: 8-aligned, in declaration order.
+    std::uint64_t offset = 0;
+    globalAddrs_.resize(module.numGlobals());
+    for (std::size_t g = 0; g < module.numGlobals(); ++g) {
+        globalAddrs_[g] = Memory::kGlobalsBase + offset;
+        std::uint64_t sz = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(8, module.global(
+                static_cast<int>(g)).size));
+        offset += (sz + 7) & ~std::uint64_t{7};
+    }
+    memory_ = std::make_unique<Memory>(
+        offset, cfg.stackSize, cfg.maxThreads,
+        kernel.heapBaseJitter());
+    for (std::size_t g = 0; g < module.numGlobals(); ++g) {
+        const ir::Global &gl = module.global(static_cast<int>(g));
+        if (!gl.init.empty())
+            memory_->writeBytes(globalAddrs_[g], gl.init);
+    }
+}
+
+void
+Machine::start()
+{
+    checkInvariant(!started_, "Machine::start called twice");
+    started_ = true;
+    int main_fn = module_.mainFunction();
+    if (main_fn < 0)
+        fatal("module has no main()");
+    newContext(main_fn, {});
+}
+
+Context &
+Machine::newContext(int fn, std::vector<std::int64_t> args)
+{
+    if (static_cast<int>(contexts_.size()) >= cfg_.maxThreads)
+        throw VmTrap(TrapKind::StackOverflow, "too many threads");
+    auto ctx = std::make_unique<Context>();
+    ctx->tid = static_cast<int>(contexts_.size());
+    ctx->sp = memory_->stackTop(ctx->tid);
+    Frame frame;
+    frame.fn = fn;
+    frame.block = ir::Function::entryBlockId;
+    frame.ip = 0;
+    frame.regs.assign(module_.function(fn).numRegs(), 0);
+    for (std::size_t i = 0;
+         i < args.size() &&
+         i < static_cast<std::size_t>(module_.function(fn).numParams());
+         ++i)
+        frame.regs[i] = args[i];
+    frame.spAtEntry = ctx->sp;
+    ctx->frames.push_back(std::move(frame));
+    contexts_.push_back(std::move(ctx));
+    return *contexts_.back();
+}
+
+std::int64_t
+Machine::eval(const Context &ctx, const ir::Operand &op) const
+{
+    switch (op.kind) {
+      case ir::Operand::Kind::Reg:
+        return ctx.frames.back().regs[op.reg];
+      case ir::Operand::Kind::Imm:
+        return op.imm;
+      case ir::Operand::Kind::None:
+        return 0;
+    }
+    return 0;
+}
+
+void
+Machine::setReg(Context &ctx, int reg, std::int64_t v)
+{
+    if (reg >= 0)
+        ctx.frames.back().regs[reg] = v;
+}
+
+std::int64_t
+Machine::makeToken(int fn, int block, int ip) const
+{
+    return kTokenTag |
+           (static_cast<std::int64_t>(fn + 1) << 36) |
+           (static_cast<std::int64_t>(block + 1) << 16) |
+           static_cast<std::int64_t>(ip + 1);
+}
+
+int
+Machine::pickContext()
+{
+    auto pollable = [&](int i) {
+        Context::State s = contexts_[i]->state;
+        return s == Context::State::Runnable ||
+               s == Context::State::BlockedPort;
+    };
+    int n = static_cast<int>(contexts_.size());
+    if (curCtx_ >= 0 && curCtx_ < n && sliceLeft_ > 0 &&
+        pollable(curCtx_))
+        return curCtx_;
+    // Rotate: next pollable context after curCtx_.
+    for (int d = 1; d <= n; ++d) {
+        int i = (curCtx_ + d + n) % n;
+        if (pollable(i)) {
+            curCtx_ = i;
+            sliceLeft_ = cfg_.quantum;
+            if (cfg_.schedJitter) {
+                sliceLeft_ = 1 + static_cast<int>(schedPrng_.below(
+                    static_cast<std::uint64_t>(
+                        std::max(1, cfg_.quantum * 2))));
+            }
+            return i;
+        }
+    }
+    return -1;
+}
+
+StepStatus
+Machine::step()
+{
+    checkInvariant(started_, "Machine::step before start");
+    if (finished_)
+        return trap_ ? StepStatus::Trapped : StepStatus::Finished;
+
+    int n = static_cast<int>(contexts_.size());
+    std::vector<bool> tried(static_cast<std::size_t>(n), false);
+    for (int attempts = 0; attempts < n; ++attempts) {
+        int c = pickContext();
+        if (c < 0) {
+            bool all_done = true;
+            for (const auto &ctx : contexts_) {
+                if (ctx->state != Context::State::Done)
+                    all_done = false;
+            }
+            if (all_done) {
+                // Main returning finishes the program, so reaching
+                // here means auxiliary threads outlived main; treat
+                // as finished.
+                finished_ = true;
+                if (port_)
+                    port_->onFinished(*this);
+                return StepStatus::Finished;
+            }
+            trap_ = TrapInfo{TrapKind::BadSyscall,
+                             "guest deadlock: all threads blocked", 0, {}};
+            finished_ = true;
+            if (port_)
+                port_->onFinished(*this);
+            return StepStatus::Trapped;
+        }
+        if (tried[static_cast<std::size_t>(c)])
+            return StepStatus::Stalled;
+        tried[static_cast<std::size_t>(c)] = true;
+
+        Context &ctx = *contexts_[c];
+        bool progressed = false;
+        try {
+            progressed = executeOne(ctx);
+        } catch (const VmTrap &trap) {
+            const Frame &fr = ctx.frames.back();
+            const ir::Instr &instr =
+                module_.function(fr.fn).block(fr.block).instrs()[
+                    static_cast<std::size_t>(fr.ip)];
+            trap_ = TrapInfo{trap.kind(), trap.what(), ctx.tid,
+                             instr.loc};
+            finished_ = true;
+            if (port_)
+                port_->onFinished(*this);
+            return StepStatus::Trapped;
+        }
+        if (finished_)
+            return trap_ ? StepStatus::Trapped : StepStatus::Finished;
+        if (progressed) {
+            --sliceLeft_;
+            return StepStatus::Progress;
+        }
+        // Blocked; rotate to the next candidate.
+        sliceLeft_ = 0;
+    }
+    return StepStatus::Stalled;
+}
+
+StepStatus
+Machine::run()
+{
+    start();
+    while (true) {
+        StepStatus st = step();
+        if (st == StepStatus::Finished || st == StepStatus::Trapped)
+            return st;
+        if (st == StepStatus::Stalled) {
+            trap_ = TrapInfo{TrapKind::BadSyscall,
+                             "stalled without a dual-execution driver",
+                             0, {}};
+            finished_ = true;
+            return StepStatus::Trapped;
+        }
+    }
+}
+
+bool
+Machine::executeOne(Context &ctx)
+{
+    Frame &fr = ctx.frames.back();
+    const ir::Function &fn = module_.function(fr.fn);
+    const ir::BasicBlock &bb = fn.block(fr.block);
+    const ir::Instr &instr = bb.instrs()[static_cast<std::size_t>(fr.ip)];
+
+    if (totalInstrs_ >= cfg_.maxInstructions)
+        throw VmTrap(TrapKind::BudgetExceeded,
+                     "instruction budget exceeded");
+
+    auto arith = [&](std::int64_t a, std::int64_t b) -> std::int64_t {
+        switch (instr.op) {
+          case ir::Opcode::Add: return a + b;
+          case ir::Opcode::Sub: return a - b;
+          case ir::Opcode::Mul: return a * b;
+          case ir::Opcode::Div:
+            if (b == 0)
+                throw VmTrap(TrapKind::DivideByZero, "division by zero");
+            if (a == INT64_MIN && b == -1)
+                return INT64_MIN;
+            return a / b;
+          case ir::Opcode::Rem:
+            if (b == 0)
+                throw VmTrap(TrapKind::DivideByZero, "remainder by zero");
+            if (a == INT64_MIN && b == -1)
+                return 0;
+            return a % b;
+          case ir::Opcode::And: return a & b;
+          case ir::Opcode::Or: return a | b;
+          case ir::Opcode::Xor: return a ^ b;
+          case ir::Opcode::Shl:
+            return static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a) << (b & 63));
+          case ir::Opcode::Shr:
+            return static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a) >> (b & 63));
+          case ir::Opcode::CmpEq: return a == b;
+          case ir::Opcode::CmpNe: return a != b;
+          case ir::Opcode::CmpLt: return a < b;
+          case ir::Opcode::CmpLe: return a <= b;
+          case ir::Opcode::CmpGt: return a > b;
+          case ir::Opcode::CmpGe: return a >= b;
+          default:
+            panic("arith on non-arith opcode");
+        }
+    };
+
+    auto account = [&]() {
+        ++ctx.instrCount;
+        ++totalInstrs_;
+        kernel_.tickInstructions(1);
+    };
+
+    std::uint64_t eff_addr = 0;
+    std::int64_t result = 0;
+    bool has_result = false;
+
+    switch (instr.op) {
+      case ir::Opcode::Const:
+        setReg(ctx, instr.dst, instr.imm);
+        result = instr.imm;
+        has_result = true;
+        ++fr.ip;
+        break;
+      case ir::Opcode::Move:
+        result = eval(ctx, instr.a);
+        setReg(ctx, instr.dst, result);
+        has_result = true;
+        ++fr.ip;
+        break;
+      case ir::Opcode::Neg:
+        result = -eval(ctx, instr.a);
+        setReg(ctx, instr.dst, result);
+        has_result = true;
+        ++fr.ip;
+        break;
+      case ir::Opcode::Not:
+        result = ~eval(ctx, instr.a);
+        setReg(ctx, instr.dst, result);
+        has_result = true;
+        ++fr.ip;
+        break;
+      case ir::Opcode::Add: case ir::Opcode::Sub: case ir::Opcode::Mul:
+      case ir::Opcode::Div: case ir::Opcode::Rem: case ir::Opcode::And:
+      case ir::Opcode::Or: case ir::Opcode::Xor: case ir::Opcode::Shl:
+      case ir::Opcode::Shr: case ir::Opcode::CmpEq:
+      case ir::Opcode::CmpNe: case ir::Opcode::CmpLt:
+      case ir::Opcode::CmpLe: case ir::Opcode::CmpGt:
+      case ir::Opcode::CmpGe:
+        result = arith(eval(ctx, instr.a), eval(ctx, instr.b));
+        setReg(ctx, instr.dst, result);
+        has_result = true;
+        ++fr.ip;
+        break;
+      case ir::Opcode::Load: {
+        eff_addr = static_cast<std::uint64_t>(eval(ctx, instr.a));
+        result = instr.size == 1
+            ? static_cast<std::int64_t>(memory_->readU8(eff_addr))
+            : memory_->readI64(eff_addr);
+        setReg(ctx, instr.dst, result);
+        has_result = true;
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Store: {
+        eff_addr = static_cast<std::uint64_t>(eval(ctx, instr.a));
+        std::int64_t v = eval(ctx, instr.b);
+        if (instr.size == 1)
+            memory_->writeU8(eff_addr, static_cast<std::uint8_t>(v));
+        else
+            memory_->writeI64(eff_addr, v);
+        result = v;
+        has_result = true;
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::Alloca: {
+        std::uint64_t size =
+            (static_cast<std::uint64_t>(std::max<std::int64_t>(
+                 8, instr.imm)) + 7) & ~std::uint64_t{7};
+        if (ctx.sp < memory_->stackFloor(ctx.tid) + size)
+            throw VmTrap(TrapKind::StackOverflow, "stack overflow");
+        ctx.sp -= size;
+        eff_addr = ctx.sp;
+        result = static_cast<std::int64_t>(ctx.sp);
+        setReg(ctx, instr.dst, result);
+        has_result = true;
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::GlobalAddr:
+        result = static_cast<std::int64_t>(
+            globalAddrs_[static_cast<std::size_t>(instr.imm)]);
+        eff_addr = static_cast<std::uint64_t>(result);
+        setReg(ctx, instr.dst, result);
+        has_result = true;
+        ++fr.ip;
+        break;
+      case ir::Opcode::FnAddr:
+        result = kFnTokenBase + instr.callee;
+        setReg(ctx, instr.dst, result);
+        has_result = true;
+        ++fr.ip;
+        break;
+      case ir::Opcode::LibCall:
+        result = doLibCall(ctx, instr, eff_addr);
+        setReg(ctx, instr.dst, result);
+        has_result = true;
+        ++fr.ip;
+        break;
+      case ir::Opcode::Call:
+        account();
+        doCall(ctx, instr, instr.callee);
+        return true;
+      case ir::Opcode::ICall: {
+        std::int64_t token = eval(ctx, instr.a);
+        int callee = static_cast<int>(token - kFnTokenBase);
+        if (token < kFnTokenBase || callee < 0 ||
+            callee >= static_cast<int>(module_.numFunctions()))
+            throw VmTrap(TrapKind::BadIndirectCall,
+                         "indirect call through bad function pointer");
+        if (static_cast<int>(instr.args.size()) !=
+            module_.function(callee).numParams())
+            throw VmTrap(TrapKind::BadIndirectCall,
+                         "indirect call arity mismatch");
+        account();
+        doCall(ctx, instr, callee);
+        return true;
+      }
+      case ir::Opcode::Syscall:
+        return doSyscall(ctx, instr);
+      case ir::Opcode::Br:
+        fr.block = instr.target0;
+        fr.ip = 0;
+        account();
+        if (execHook_)
+            execHook_->onBlockEnter(ctx.tid, fr.fn, fr.block, *this);
+        return true;
+      case ir::Opcode::CondBr:
+        fr.block = eval(ctx, instr.a) != 0 ? instr.target0
+                                           : instr.target1;
+        fr.ip = 0;
+        account();
+        if (execHook_) {
+            execHook_->onBranch(ctx.tid, instr, fr.block, *this);
+            execHook_->onBlockEnter(ctx.tid, fr.fn, fr.block, *this);
+        }
+        return true;
+      case ir::Opcode::Ret:
+        account();
+        doRet(ctx, instr);
+        return true;
+      case ir::Opcode::CntAdd:
+        ctx.cnt += instr.imm;
+        ctx.maxCnt = std::max(ctx.maxCnt, ctx.cnt);
+        ++fr.ip;
+        break;
+      case ir::Opcode::SyncBarrier: {
+        if (!port_) {
+            // Native run: barrier degenerates to the counter reset.
+            ctx.cnt += instr.a.imm;
+            ++totalBarriers_;
+            ++fr.ip;
+            break;
+        }
+        std::int64_t iter = ctx.barrierIter[instr.imm];
+        PortReply reply = port_->onBarrier(ctx.tid, instr.imm, iter,
+                                           ctx.cnt, instr.a.imm, *this);
+        if (reply == PortReply::Blocked) {
+            ctx.state = Context::State::BlockedPort;
+            return false;
+        }
+        ctx.state = Context::State::Runnable;
+        ctx.barrierIter[instr.imm] = iter + 1;
+        ctx.cnt += instr.a.imm;
+        ++totalBarriers_;
+        ++fr.ip;
+        break;
+      }
+      case ir::Opcode::CntPush:
+        ctx.cntStack.push_back(ctx.cnt);
+        ctx.maxCntDepth = std::max(ctx.maxCntDepth, ctx.cntStack.size());
+        ctx.cnt = 0;
+        if (port_)
+            port_->onCounterPush(ctx.tid, ctx.cntStack.back(), *this);
+        ++fr.ip;
+        break;
+      case ir::Opcode::CntPop:
+        checkInvariant(!ctx.cntStack.empty(), "counter stack underflow");
+        ctx.cnt = ctx.cntStack.back();
+        ctx.cntStack.pop_back();
+        if (port_)
+            port_->onCounterPop(ctx.tid, ctx.cnt, *this);
+        ++fr.ip;
+        break;
+    }
+
+    account();
+    if (execHook_ && has_result)
+        execHook_->onInstr(ctx.tid, instr, eff_addr, result, *this);
+    return true;
+}
+
+void
+Machine::doCall(Context &ctx, const ir::Instr &instr, int callee)
+{
+    std::vector<std::int64_t> args;
+    args.reserve(instr.args.size());
+    {
+        // Evaluate with the caller frame still current.
+        for (const ir::Operand &a : instr.args)
+            args.push_back(eval(ctx, a));
+    }
+
+    Frame &caller = ctx.frames.back();
+    ++caller.ip; // resume point
+
+    Frame frame;
+    frame.fn = callee;
+    frame.block = ir::Function::entryBlockId;
+    frame.ip = 0;
+    frame.regs.assign(module_.function(callee).numRegs(), 0);
+    for (std::size_t i = 0; i < args.size(); ++i)
+        frame.regs[i] = args[i];
+    frame.spAtEntry = ctx.sp;
+    frame.retReg = instr.dst;
+
+    // Push the return token onto the guest stack where a buffer
+    // overflow can reach it.
+    if (ctx.sp < memory_->stackFloor(ctx.tid) + 8)
+        throw VmTrap(TrapKind::StackOverflow, "stack overflow at call");
+    ctx.sp -= 8;
+    frame.tokenAddr = ctx.sp;
+    frame.token = makeToken(caller.fn, caller.block, caller.ip);
+    memory_->writeI64(frame.tokenAddr, frame.token);
+
+    ctx.frames.push_back(std::move(frame));
+    if (execHook_)
+        execHook_->onCall(ctx.tid, instr, callee, args, *this);
+}
+
+void
+Machine::doRet(Context &ctx, const ir::Instr &instr)
+{
+    Frame &fr = ctx.frames.back();
+    std::int64_t rv = instr.a.isNone() ? 0 : eval(ctx, instr.a);
+
+    if (fr.tokenAddr != 0) {
+        std::int64_t token = memory_->readI64(fr.tokenAddr);
+        if (sinkHook_)
+            sinkHook_->onRetToken(ctx.tid, fr.tokenAddr, token, fr.token,
+                                  *this);
+        if (token != fr.token)
+            throw VmTrap(TrapKind::ControlHijack,
+                         "return token corrupted (stack smash)");
+    }
+
+    ctx.sp = fr.spAtEntry;
+    int ret_reg = fr.retReg;
+    ctx.frames.pop_back();
+    if (execHook_)
+        execHook_->onRet(ctx.tid, instr, ret_reg, rv, *this);
+
+    if (ctx.frames.empty()) {
+        finishContext(ctx, rv);
+        if (ctx.tid == 0)
+            finishProgram(rv);
+        return;
+    }
+    setReg(ctx, ret_reg, rv);
+}
+
+void
+Machine::finishContext(Context &ctx, std::int64_t ret_val)
+{
+    ctx.state = Context::State::Done;
+    ctx.retVal = ret_val;
+    if (port_)
+        port_->onThreadDone(ctx.tid, *this);
+    for (auto &other : contexts_) {
+        if (other->state == Context::State::BlockedJoin &&
+            other->joinTarget == ctx.tid)
+            other->state = Context::State::Runnable;
+    }
+}
+
+void
+Machine::finishProgram(std::int64_t code)
+{
+    finished_ = true;
+    exitCode_ = code;
+    if (port_)
+        port_->onFinished(*this);
+}
+
+std::int64_t
+Machine::doLibCall(Context &ctx, const ir::Instr &instr,
+                   std::uint64_t &eff_addr)
+{
+    auto argv = [&](std::size_t i) -> std::int64_t {
+        return i < instr.args.size() ? eval(ctx, instr.args[i]) : 0;
+    };
+    ir::LibRoutine r = static_cast<ir::LibRoutine>(instr.imm);
+    switch (r) {
+      case ir::LibRoutine::Memcpy: {
+        std::uint64_t dst = static_cast<std::uint64_t>(argv(0));
+        std::uint64_t src = static_cast<std::uint64_t>(argv(1));
+        std::uint64_t n = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, argv(2)));
+        memory_->writeBytes(dst, memory_->readBytes(src, n));
+        eff_addr = dst;
+        return static_cast<std::int64_t>(dst);
+      }
+      case ir::LibRoutine::Memset: {
+        std::uint64_t dst = static_cast<std::uint64_t>(argv(0));
+        std::uint64_t n = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, argv(2)));
+        memory_->writeBytes(dst, std::string(
+            static_cast<std::size_t>(n),
+            static_cast<char>(argv(1) & 0xff)));
+        eff_addr = dst;
+        return static_cast<std::int64_t>(dst);
+      }
+      case ir::LibRoutine::Strlen:
+        return static_cast<std::int64_t>(
+            memory_->readCString(
+                static_cast<std::uint64_t>(argv(0))).size());
+      case ir::LibRoutine::Strcmp: {
+        std::string a = memory_->readCString(
+            static_cast<std::uint64_t>(argv(0)));
+        std::string b = memory_->readCString(
+            static_cast<std::uint64_t>(argv(1)));
+        return a < b ? -1 : (a == b ? 0 : 1);
+      }
+      case ir::LibRoutine::Strcpy: {
+        std::uint64_t dst = static_cast<std::uint64_t>(argv(0));
+        std::string s = memory_->readCString(
+            static_cast<std::uint64_t>(argv(1)));
+        memory_->writeBytes(dst, s + '\0');
+        eff_addr = dst;
+        return static_cast<std::int64_t>(dst);
+      }
+      case ir::LibRoutine::Strcat: {
+        std::uint64_t dst = static_cast<std::uint64_t>(argv(0));
+        std::string head = memory_->readCString(dst);
+        std::string tail = memory_->readCString(
+            static_cast<std::uint64_t>(argv(1)));
+        memory_->writeBytes(dst + head.size(), tail + '\0');
+        eff_addr = dst;
+        return static_cast<std::int64_t>(dst);
+      }
+      case ir::LibRoutine::Atoi: {
+        std::string s = memory_->readCString(
+            static_cast<std::uint64_t>(argv(0)));
+        std::int64_t v = 0;
+        std::size_t i = 0;
+        bool neg = false;
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t'))
+            ++i;
+        if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+            neg = s[i] == '-';
+            ++i;
+        }
+        for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i)
+            v = v * 10 + (s[i] - '0');
+        return neg ? -v : v;
+      }
+      case ir::LibRoutine::Itoa: {
+        std::uint64_t buf = static_cast<std::uint64_t>(argv(1));
+        memory_->writeBytes(buf, std::to_string(argv(0)) + '\0');
+        eff_addr = buf;
+        return static_cast<std::int64_t>(buf);
+      }
+      case ir::LibRoutine::Malloc: {
+        std::int64_t n = argv(0);
+        if (sinkHook_)
+            sinkHook_->onAllocSize(ctx.tid, n, *this);
+        if (n < 0 || n > (1LL << 31))
+            throw VmTrap(TrapKind::MemoryFault,
+                         "malloc size out of range");
+        std::uint64_t p =
+            memory_->heapAlloc(static_cast<std::uint64_t>(n));
+        eff_addr = p;
+        return static_cast<std::int64_t>(p);
+      }
+      case ir::LibRoutine::Free:
+        return 0;
+    }
+    panic("unknown library routine");
+}
+
+bool
+Machine::doSyscall(Context &ctx, const ir::Instr &instr)
+{
+    Frame &fr = ctx.frames.back();
+    if (!os::isValidSys(instr.imm))
+        throw VmTrap(TrapKind::BadSyscall,
+                     "invalid syscall number " + std::to_string(instr.imm));
+
+    SyscallRequest req;
+    req.tid = ctx.tid;
+    req.sysNo = instr.imm;
+    req.args.reserve(instr.args.size());
+    for (const ir::Operand &a : instr.args)
+        req.args.push_back(eval(ctx, a));
+    req.site = instr.site;
+    req.cnt = ctx.cnt;
+    req.loc = instr.loc;
+
+    const os::SysDesc &desc = os::sysDesc(instr.imm);
+    bool local_class = desc.klass == os::SysClass::Local ||
+                       desc.klass == os::SysClass::Sync;
+
+    os::Outcome out;
+    if (!ctx.portApproved) {
+        // Sample the dynamic counter at syscall issue (Table 1 stats).
+        ctx.cntSum += static_cast<double>(ctx.cnt);
+        ++ctx.cntSamples;
+        ctx.maxCnt = std::max(ctx.maxCnt, ctx.cnt);
+
+        if (port_) {
+            PortReply reply = port_->onSyscall(req, *this, out);
+            if (reply == PortReply::Blocked) {
+                ctx.state = Context::State::BlockedPort;
+                return false;
+            }
+        } else if (!local_class) {
+            out = kernel_.execute(req.sysNo, req.args, *memory_);
+        }
+        ctx.portApproved = true;
+        ctx.state = Context::State::Runnable;
+    }
+
+    if (local_class) {
+        if (!doLocalSyscall(ctx, instr, req, out))
+            return false;
+        if (finished_)
+            return true;
+    }
+
+    ctx.portApproved = false;
+    ++totalSyscalls_;
+    ++ctx.instrCount;
+    ++totalInstrs_;
+    kernel_.tickInstructions(1);
+    if (out.exited) {
+        finishProgram(req.args.empty() ? 0 : req.args[0]);
+        return true;
+    }
+    setReg(ctx, instr.dst, out.ret);
+    ++fr.ip;
+    if (execHook_)
+        execHook_->onSyscall(req, out, *this);
+    return true;
+}
+
+bool
+Machine::doLocalSyscall(Context &ctx, const ir::Instr &instr,
+                        const SyscallRequest &req, os::Outcome &out)
+{
+    (void)instr;
+    os::Sys sys = static_cast<os::Sys>(req.sysNo);
+    auto a = [&](std::size_t i) -> std::int64_t {
+        return i < req.args.size() ? req.args[i] : 0;
+    };
+    switch (sys) {
+      case os::Sys::Exit:
+        kernel_.execute(req.sysNo, req.args, *memory_);
+        out.ret = a(0);
+        out.exited = true;
+        return true;
+      case os::Sys::ThreadCreate: {
+        std::int64_t token = a(0);
+        int callee = static_cast<int>(token - kFnTokenBase);
+        if (token < kFnTokenBase || callee < 0 ||
+            callee >= static_cast<int>(module_.numFunctions()))
+            throw VmTrap(TrapKind::BadIndirectCall,
+                         "thread_create with bad function pointer");
+        Context &child = newContext(callee, {a(1)});
+        out.ret = child.tid;
+        return true;
+      }
+      case os::Sys::ThreadJoin: {
+        std::int64_t t = a(0);
+        if (t < 0 || t >= static_cast<std::int64_t>(contexts_.size()) ||
+            t == ctx.tid) {
+            out.ret = -1;
+            return true;
+        }
+        Context &target = *contexts_[static_cast<std::size_t>(t)];
+        if (target.state == Context::State::Done) {
+            out.ret = target.retVal;
+            ctx.joinTarget = -1;
+            return true;
+        }
+        ctx.joinTarget = t;
+        ctx.state = Context::State::BlockedJoin;
+        return false;
+      }
+      case os::Sys::Yield:
+        sliceLeft_ = 0;
+        out.ret = 0;
+        return true;
+      case os::Sys::MutexLock: {
+        std::int64_t id = a(0);
+        auto it = mutexOwner_.find(id);
+        std::int64_t owner = it == mutexOwner_.end() ? -1 : it->second;
+        if (owner == -1) {
+            mutexOwner_[id] = ctx.tid;
+            out.ret = 0;
+            return true;
+        }
+        if (owner == ctx.tid) {
+            if (ctx.mutexWait == id) {
+                // Ownership was transferred to us at unlock.
+                ctx.mutexWait = -1;
+                out.ret = 0;
+                return true;
+            }
+            out.ret = -1; // recursive lock
+            return true;
+        }
+        auto &waiters = mutexWaiters_[id];
+        if (std::find(waiters.begin(), waiters.end(), ctx.tid) ==
+            waiters.end())
+            waiters.push_back(ctx.tid);
+        ctx.mutexWait = id;
+        ctx.state = Context::State::BlockedMutex;
+        return false;
+      }
+      case os::Sys::MutexUnlock: {
+        std::int64_t id = a(0);
+        auto it = mutexOwner_.find(id);
+        if (it == mutexOwner_.end() || it->second != ctx.tid) {
+            out.ret = -1;
+            return true;
+        }
+        auto &waiters = mutexWaiters_[id];
+        if (waiters.empty()) {
+            it->second = -1;
+        } else {
+            int next = waiters.front();
+            waiters.erase(waiters.begin());
+            it->second = next;
+            contexts_[static_cast<std::size_t>(next)]->state =
+                Context::State::Runnable;
+        }
+        out.ret = 0;
+        return true;
+      }
+      default:
+        panic("doLocalSyscall on non-local syscall");
+    }
+}
+
+MachineStats
+Machine::stats() const
+{
+    MachineStats s;
+    s.instructions = totalInstrs_;
+    s.syscalls = totalSyscalls_;
+    s.barriers = totalBarriers_;
+    double sum = 0.0;
+    std::uint64_t samples = 0;
+    for (const auto &ctx : contexts_) {
+        s.maxCnt = std::max(s.maxCnt, ctx->maxCnt);
+        s.maxCntDepth = std::max(s.maxCntDepth, ctx->maxCntDepth);
+        sum += ctx->cntSum;
+        samples += ctx->cntSamples;
+    }
+    s.avgCnt = samples ? sum / static_cast<double>(samples) : 0.0;
+    return s;
+}
+
+} // namespace ldx::vm

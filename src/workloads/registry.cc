@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Corpus registry and compiled-module cache.
+ */
+#include "workloads/workloads.h"
+
+#include <map>
+#include <mutex>
+
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "support/diag.h"
+
+namespace ldx::workloads {
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Spec: return "spec";
+      case Category::NetSys: return "net/sys";
+      case Category::Vulnerable: return "vulnerable";
+      case Category::Concurrent: return "concurrent";
+    }
+    return "?";
+}
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> corpus = [] {
+        std::vector<Workload> all;
+        for (auto &&group :
+             {specWorkloads(), netsysWorkloads(), vulnerableWorkloads(),
+              concurrentWorkloads()}) {
+            for (auto &w : group)
+                all.push_back(w);
+        }
+        return all;
+    }();
+    return corpus;
+}
+
+std::vector<const Workload *>
+workloadsIn(Category c)
+{
+    std::vector<const Workload *> out;
+    for (const Workload &w : allWorkloads()) {
+        if (w.category == c)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+const ir::Module &
+workloadModule(const Workload &w, bool instrumented)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<std::string, bool>,
+                    std::unique_ptr<ir::Module>>
+        cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto key = std::make_pair(w.name, instrumented);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        auto module = lang::compileSource(w.source);
+        if (instrumented) {
+            instrument::CounterInstrumenter pass(*module);
+            pass.run();
+        }
+        it = cache.emplace(key, std::move(module)).first;
+    }
+    return *it->second;
+}
+
+} // namespace ldx::workloads

@@ -1,0 +1,985 @@
+/**
+ * @file
+ * SPEC-like compute workloads (the first 12 rows of Table 1). Each is
+ * a scaled-down analogue of its SPECINT2006 namesake: same flavour of
+ * computation, driven by data/configuration files whose mutation is
+ * the Table 2/3 experiment.
+ */
+#include "workloads/workloads.h"
+
+#include "support/prng.h"
+
+namespace ldx::workloads {
+
+namespace {
+
+using core::SourceSpec;
+
+std::string
+randomText(Prng &prng, std::size_t n)
+{
+    static const char alphabet[] =
+        "abcdefghijklmnopqrstuvwxyz     \n";
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out += alphabet[prng.below(sizeof(alphabet) - 1)];
+    return out;
+}
+
+std::string
+randomBytes(Prng &prng, std::size_t n, int modulo = 250)
+{
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out += static_cast<char>(1 + prng.below(
+            static_cast<std::uint64_t>(modulo)));
+    return out;
+}
+
+core::SinkConfig
+fileSinks()
+{
+    core::SinkConfig s;
+    s.net = false;
+    s.file = true;
+    s.console = true;
+    return s;
+}
+
+// -------------------------------------------------------------- perl
+const char *kPerl = R"(
+char text[4096];
+int textLen;
+
+int opUpper(int i) {
+    if (text[i] >= 'a' && text[i] <= 'z') { text[i] = text[i] - 32; }
+    return 0;
+}
+int opLower(int i) {
+    if (text[i] >= 'A' && text[i] <= 'Z') { text[i] = text[i] + 32; }
+    return 0;
+}
+int opRot(int i) {
+    if (text[i] >= 'a' && text[i] <= 'z') {
+        text[i] = (text[i] - 'a' + 1) % 26 + 'a';
+    }
+    return 0;
+}
+int opStar(int i) {
+    if (text[i] == 'e') { text[i] = '*'; }
+    return 0;
+}
+
+int main() {
+    char script[64];
+    int sfd = open("/script.pl", 0);
+    int slen = read(sfd, script, 63);
+    close(sfd);
+    int fd = open("/input.txt", 0);
+    textLen = read(fd, text, 4096);
+    close(fd);
+    int i = 0;
+    while (i < slen) {
+        fn op = &opStar;
+        int known = 0;
+        if (script[i] == 'U') { op = &opUpper; known = 1; }
+        if (script[i] == 'L') { op = &opLower; known = 1; }
+        if (script[i] == 'R') { op = &opRot; known = 1; }
+        if (script[i] == 'S') { known = 1; }
+        if (known == 1) {
+            for (int j = 0; j < textLen; j = j + 1) { op(j); }
+        }
+        i = i + 1;
+    }
+    int out = open("/out.txt", 1);
+    write(out, text, textLen);
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makePerl()
+{
+    Workload w;
+    w.name = "400.perlbench";
+    w.category = Category::Spec;
+    w.description = "script interpreter with a function-pointer op table";
+    w.source = kPerl;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x1001);
+        spec.files["/script.pl"] = "XURS";
+        spec.files["/input.txt"] =
+            randomText(prng, static_cast<std::size_t>(512 * scale));
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/script.pl", 1)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        // 'U' -> 'V': the upper-case pass disappears, output changes.
+        {"leak", {SourceSpec::file("/script.pl", 1)}, true},
+        // 'X' -> 'Y': still an unknown op, output unchanged.
+        {"noleak", {SourceSpec::file("/script.pl", 0)}, false},
+    };
+    return w;
+}
+
+// -------------------------------------------------------------- bzip2
+const char *kBzip = R"(
+char inbuf[8192];
+char outbuf[16384];
+
+int main() {
+    int fd = open("/input.dat", 0);
+    int n = read(fd, inbuf, 8192);
+    close(fd);
+    int o = 0;
+    int i = 0;
+    while (i < n) {
+        char c = inbuf[i];
+        int run = 1;
+        while (i + run < n && inbuf[i + run] == c && run < 200) {
+            run = run + 1;
+        }
+        outbuf[o] = run;
+        outbuf[o + 1] = c;
+        o = o + 2;
+        i = i + run;
+    }
+    int out = open("/out.rle", 1);
+    write(out, outbuf, o);
+    close(out);
+    char stats[24];
+    itoa(o, stats);
+    print(stats, strlen(stats));
+    return 0;
+}
+)";
+
+Workload
+makeBzip()
+{
+    Workload w;
+    w.name = "401.bzip2";
+    w.category = Category::Spec;
+    w.description = "run-length compressor";
+    w.source = kBzip;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x1002);
+        std::string data;
+        for (int i = 0; i < 64 * scale; ++i) {
+            data += std::string(prng.below(20) + 1,
+                                static_cast<char>('a' + prng.below(6)));
+        }
+        spec.files["/input.dat"] = data;
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/input.dat", 3)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/input.dat", 3)}, true},
+    };
+    return w;
+}
+
+// ---------------------------------------------------------------- gcc
+// Mini preprocessor — the §8.4 case study: "#if NAME" blocks are kept
+// or dropped based on the configuration file, a pure control
+// dependence from config to output.
+const char *kGcc = R"(
+char src[8192];
+char out[8192];
+char defs[512];
+
+int defined(char *name, int len) {
+    int i = 0;
+    while (defs[i] != 0) {
+        int j = 0;
+        while (defs[i + j] != 0 && defs[i + j] != '=') { j = j + 1; }
+        int match = 1;
+        if (j != len) { match = 0; }
+        for (int k = 0; k < len; k = k + 1) {
+            if (match == 1 && defs[i + k] != name[k]) { match = 0; }
+        }
+        int val = defs[i + j + 1] - '0';
+        while (defs[i] != 0 && defs[i] != ';') { i = i + 1; }
+        if (defs[i] == ';') { i = i + 1; }
+        if (match == 1) { return val; }
+    }
+    return 0;
+}
+
+int main() {
+    int cfd = open("/config.h", 0);
+    int clen = read(cfd, defs, 511);
+    close(cfd);
+    defs[clen] = 0;
+    int sfd = open("/src.c", 0);
+    int slen = read(sfd, src, 8192);
+    close(sfd);
+    int o = 0;
+    int i = 0;
+    int skip = 0;
+    int depth = 0;
+    while (i < slen) {
+        int e = i;
+        while (e < slen && src[e] != '\n') { e = e + 1; }
+        if (src[i] == '#') {
+            if (src[i + 1] == 'i') {
+                depth = depth + 1;
+                if (skip == 0) {
+                    int ns = i + 4;
+                    int nl = e - ns;
+                    if (defined(src + ns, nl) == 0) { skip = depth; }
+                }
+            } else {
+                if (skip == depth) { skip = 0; }
+                depth = depth - 1;
+            }
+        } else if (skip == 0) {
+            for (int k = i; k <= e && k < slen; k = k + 1) {
+                out[o] = src[k];
+                o = o + 1;
+            }
+        }
+        i = e + 1;
+    }
+    int ofd = open("/out.i", 1);
+    write(ofd, out, o);
+    close(ofd);
+    return 0;
+}
+)";
+
+Workload
+makeGcc()
+{
+    Workload w;
+    w.name = "403.gcc";
+    w.category = Category::Spec;
+    w.description = "mini preprocessor (the NGX_HAVE_POLL case study)";
+    w.source = kGcc;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        spec.files["/config.h"] = "POLL=1;DEBUG=0;";
+        std::string src;
+        for (int i = 0; i < scale; ++i) {
+            src += "int init() { return 0; }\n";
+            src += "#if POLL\n";
+            src += "int use_poll() { return poll_wait(); }\n";
+            src += "#end\n";
+            src += "#if DEBUG\n";
+            src += "int log_all() { return 1; }\n";
+            src += "#end\n";
+            src += "int shutdown() { return 1; }\n";
+        }
+        spec.files["/src.c"] = src;
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/config.h", 0)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        // 'P' -> 'Q': POLL becomes undefined, its block vanishes.
+        {"leak", {SourceSpec::file("/config.h", 0)}, true},
+        // '1' -> '2': still truthy, preprocessed output unchanged.
+        {"noleak", {SourceSpec::file("/config.h", 5)}, false},
+    };
+    return w;
+}
+
+// ---------------------------------------------------------------- mcf
+const char *kMcf = R"(
+int dist[64];
+int esrc[512];
+int edst[512];
+int ecost[512];
+
+int main() {
+    char buf[2048];
+    int fd = open("/graph.txt", 0);
+    int n = read(fd, buf, 2048);
+    close(fd);
+    int nodes = buf[0] % 40 + 10;
+    int ne = 0;
+    int i = 1;
+    while (i + 2 < n && ne < 512) {
+        esrc[ne] = buf[i] % nodes;
+        edst[ne] = buf[i + 1] % nodes;
+        ecost[ne] = buf[i + 2] % 20 + 1;
+        ne = ne + 1;
+        i = i + 3;
+    }
+    for (int v = 0; v < nodes; v = v + 1) { dist[v] = 1000000; }
+    dist[0] = 0;
+    for (int r = 0; r < nodes; r = r + 1) {
+        for (int e = 0; e < ne; e = e + 1) {
+            int nd = dist[esrc[e]] + ecost[e];
+            if (nd < dist[edst[e]]) { dist[edst[e]] = nd; }
+        }
+    }
+    int total = 0;
+    for (int v = 0; v < nodes; v = v + 1) {
+        total = total + dist[v] % 100000;
+    }
+    char outb[24];
+    itoa(total, outb);
+    int out = open("/mcf.out", 1);
+    write(out, outb, strlen(outb));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeMcf()
+{
+    Workload w;
+    w.name = "429.mcf";
+    w.category = Category::Spec;
+    w.description = "Bellman-Ford relaxation over a file-defined graph";
+    w.source = kMcf;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x1004);
+        spec.files["/graph.txt"] =
+            randomBytes(prng, static_cast<std::size_t>(600 * scale));
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/graph.txt", 0)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        // Byte 0 sets the node count: distances change broadly.
+        {"leak", {SourceSpec::file("/graph.txt", 0)}, true},
+    };
+    return w;
+}
+
+// -------------------------------------------------------------- gobmk
+const char *kGobmk = R"(
+char board[400];
+int w;
+int h;
+
+int fill(int pos) {
+    if (pos < 0 || pos >= w * h) { return 0; }
+    if (board[pos] != '.') { return 0; }
+    board[pos] = '#';
+    int c = 1;
+    c = c + fill(pos - 1);
+    c = c + fill(pos + 1);
+    c = c + fill(pos - w);
+    c = c + fill(pos + w);
+    return c;
+}
+
+int main() {
+    char buf[512];
+    int fd = open("/board.txt", 0);
+    int n = read(fd, buf, 512);
+    close(fd);
+    w = 18;
+    h = 18;
+    for (int i = 0; i < w * h; i = i + 1) { board[i] = '.'; }
+    for (int i = 0; i + 1 < n; i = i + 2) {
+        int pos = (buf[i] % h) * w + buf[i + 1] % w;
+        board[pos] = 'o';
+    }
+    char mv[8];
+    getenv("MOVE", mv, 8);
+    int start = (mv[0] % h) * w + mv[1] % w;
+    int territory = fill(start);
+    int sig = territory * 1000 + start;
+    char outb[24];
+    itoa(sig, outb);
+    int out = open("/gobmk.out", 1);
+    write(out, outb, strlen(outb));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeGobmk()
+{
+    Workload w;
+    w.name = "445.gobmk";
+    w.category = Category::Spec;
+    w.description = "board territory flood fill (deep recursion)";
+    w.source = kGobmk;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x1005);
+        spec.files["/board.txt"] =
+            randomBytes(prng, static_cast<std::size_t>(
+                40 + 8 * scale));
+        spec.env["MOVE"] = "57";
+        return spec;
+    };
+    w.sources = {SourceSpec::env("MOVE", 0)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::env("MOVE", 0)}, true},
+    };
+    return w;
+}
+
+// -------------------------------------------------------------- hmmer
+const char *kHmmer = R"(
+int dp[4160];
+
+int max2(int a, int b) {
+    if (a > b) { return a; }
+    return b;
+}
+
+int main() {
+    char pat[64];
+    char seq[4096];
+    int pfd = open("/pattern.txt", 0);
+    int plen = read(pfd, pat, 63);
+    close(pfd);
+    int sfd = open("/sequence.txt", 0);
+    int slen = read(sfd, seq, 4095);
+    close(sfd);
+    if (plen > 60) { plen = 60; }
+    int best = 0;
+    int stride = plen + 1;
+    for (int i = 1; i <= plen; i = i + 1) { dp[i] = 0; }
+    for (int j = 1; j <= slen; j = j + 1) {
+        int rowj = (j % 2) * stride;
+        int rowp = ((j + 1) % 2) * stride;
+        dp[rowj] = 0;
+        for (int i = 1; i <= plen; i = i + 1) {
+            int sc = 0 - 1;
+            if (pat[i - 1] == seq[j - 1]) { sc = 2; }
+            int v = max2(dp[rowp + i - 1] + sc,
+                         max2(dp[rowp + i] - 1, dp[rowj + i - 1] - 1));
+            if (v < 0) { v = 0; }
+            dp[rowj + i] = v;
+            best = max2(best, v);
+        }
+    }
+    char outb[24];
+    itoa(best, outb);
+    int out = open("/hmmer.out", 1);
+    write(out, outb, strlen(outb));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeHmmer()
+{
+    Workload w;
+    w.name = "456.hmmer";
+    w.category = Category::Spec;
+    w.description = "local sequence alignment (dynamic programming)";
+    w.source = kHmmer;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x1006);
+        spec.files["/pattern.txt"] = randomText(prng, 24);
+        spec.files["/sequence.txt"] =
+            randomText(prng, static_cast<std::size_t>(512 * scale));
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/pattern.txt", 2)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/pattern.txt", 2)}, true},
+    };
+    return w;
+}
+
+// -------------------------------------------------------------- sjeng
+const char *kSjeng = R"(
+int board[36];
+int nodes;
+
+int eval() {
+    int s = 0;
+    for (int i = 0; i < 36; i = i + 1) {
+        s = s + board[i] * ((i % 7) - 3);
+    }
+    return s;
+}
+
+int search(int depth, int color) {
+    nodes = nodes + 1;
+    if (depth == 0) { return eval() * color; }
+    int best = 0 - 1000000;
+    for (int m = 0; m < 4; m = m + 1) {
+        int sq = (nodes * 7 + m * 13) % 36;
+        int saved = board[sq];
+        board[sq] = color;
+        int v = 0 - search(depth - 1, 0 - color);
+        board[sq] = saved;
+        if (v > best) { best = v; }
+    }
+    return best;
+}
+
+int main() {
+    char buf[64];
+    int fd = open("/position.txt", 0);
+    int n = read(fd, buf, 40);
+    close(fd);
+    for (int i = 0; i < 36; i = i + 1) {
+        board[i] = 0;
+        if (i < n) { board[i] = buf[i] % 3 - 1; }
+    }
+    char d[8];
+    getenv("DEPTH", d, 8);
+    int depth = d[0] - '0';
+    if (depth < 1) { depth = 1; }
+    if (depth > 8) { depth = 8; }
+    nodes = 0;
+    int score = search(depth, 1);
+    char outb[48];
+    itoa(score, outb);
+    int out = open("/sjeng.out", 1);
+    write(out, outb, strlen(outb));
+    char nb[24];
+    itoa(nodes, nb);
+    write(out, nb, strlen(nb));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeSjeng()
+{
+    Workload w;
+    w.name = "458.sjeng";
+    w.category = Category::Spec;
+    w.description = "negamax game-tree search (recursion)";
+    w.source = kSjeng;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x1007);
+        spec.files["/position.txt"] = randomBytes(prng, 36);
+        spec.env["DEPTH"] = std::to_string(std::min(8, 4 + scale / 2));
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/position.txt", 5)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/position.txt", 5)}, true},
+    };
+    return w;
+}
+
+// ---------------------------------------------------------- libquantum
+const char *kQuantum = R"(
+int state[64];
+
+int main() {
+    char prog[512];
+    int fd = open("/circuit.txt", 0);
+    int n = read(fd, prog, 512);
+    close(fd);
+    for (int i = 0; i < 64; i = i + 1) { state[i] = i; }
+    for (int p = 0; p + 1 < n; p = p + 2) {
+        int gate = prog[p] % 3;
+        int target = prog[p + 1] % 64;
+        if (gate == 0) {
+            for (int i = 0; i < 64; i = i + 1) {
+                state[i] = state[i] ^ (1 << (target % 16));
+            }
+        } else if (gate == 1) {
+            state[target] = state[target] * 5 + 1;
+        } else {
+            int c = state[target] & 1;
+            if (c == 1) {
+                for (int i = 0; i < 64; i = i + 1) {
+                    state[i] = state[i] + target;
+                }
+            }
+        }
+    }
+    int h = 0;
+    for (int i = 0; i < 64; i = i + 1) {
+        h = h * 31 + state[i] % 9973;
+    }
+    char outb[24];
+    itoa(h % 1000000, outb);
+    int out = open("/quantum.out", 1);
+    write(out, outb, strlen(outb));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeQuantum()
+{
+    Workload w;
+    w.name = "462.libquantum";
+    w.category = Category::Spec;
+    w.description = "gate-program register simulation";
+    w.source = kQuantum;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x1008);
+        spec.files["/circuit.txt"] = randomBytes(
+            prng, static_cast<std::size_t>(std::min(512, 128 * scale)));
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/circuit.txt", 6)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/circuit.txt", 6)}, true},
+    };
+    return w;
+}
+
+// ------------------------------------------------------------ h264ref
+const char *kH264 = R"(
+char frame[4096];
+char coded[8192];
+
+int main() {
+    int fd = open("/frame.yuv", 0);
+    int n = read(fd, frame, 4096);
+    close(fd);
+    char qbuf[8];
+    getenv("QP", qbuf, 8);
+    int qp = qbuf[0] - '0' + 1;
+    int o = 0;
+    int bits = 0;
+    for (int b = 0; b + 16 <= n; b = b + 16) {
+        int pred = 0;
+        for (int i = 0; i < 16; i = i + 1) {
+            pred = pred + frame[b + i];
+        }
+        pred = pred / 16;
+        coded[o] = pred;
+        o = o + 1;
+        for (int i = 0; i < 16; i = i + 1) {
+            int resid = (frame[b + i] - pred) / qp;
+            coded[o] = resid + 128;
+            o = o + 1;
+            if (resid != 0) { bits = bits + 8; } else { bits = bits + 1; }
+        }
+    }
+    int out = open("/frame.264", 1);
+    write(out, coded, o);
+    close(out);
+    char sb[24];
+    itoa(bits, sb);
+    print(sb, strlen(sb));
+    return 0;
+}
+)";
+
+Workload
+makeH264()
+{
+    Workload w;
+    w.name = "464.h264ref";
+    w.category = Category::Spec;
+    w.description = "block predictor + quantizer encoder";
+    w.source = kH264;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x1009);
+        spec.files["/frame.yuv"] =
+            randomBytes(prng, static_cast<std::size_t>(1024 * scale));
+        spec.env["QP"] = "3";
+        return spec;
+    };
+    w.sources = {SourceSpec::env("QP", 0)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::env("QP", 0)}, true},
+    };
+    return w;
+}
+
+// ------------------------------------------------------------ omnetpp
+const char *kOmnet = R"(
+int evTime[256];
+int evType[256];
+int evCount;
+int processed[4];
+
+int push(int t, int ty) {
+    if (evCount >= 256) { return 0; }
+    evTime[evCount] = t;
+    evType[evCount] = ty;
+    evCount = evCount + 1;
+    return 1;
+}
+
+int popMin() {
+    int best = 0;
+    for (int i = 1; i < evCount; i = i + 1) {
+        if (evTime[i] < evTime[best]) { best = i; }
+    }
+    int ty = evType[best];
+    evCount = evCount - 1;
+    evTime[best] = evTime[evCount];
+    evType[best] = evType[evCount];
+    return ty;
+}
+
+int main() {
+    char buf[512];
+    int fd = open("/events.txt", 0);
+    int n = read(fd, buf, 512);
+    close(fd);
+    evCount = 0;
+    for (int i = 0; i + 1 < n; i = i + 2) {
+        push(buf[i] % 200, buf[i + 1] % 4);
+    }
+    int clock = 0;
+    int steps = 0;
+    while (evCount > 0 && steps < 5000) {
+        int ty = popMin();
+        processed[ty] = processed[ty] + 1;
+        clock = clock + 1;
+        if (ty == 2 && evCount < 200) {
+            push(clock + 17, (clock * 3) % 4);
+        }
+        steps = steps + 1;
+    }
+    int out = open("/omnet.out", 1);
+    for (int t = 0; t < 4; t = t + 1) {
+        char ob[24];
+        itoa(processed[t], ob);
+        write(out, ob, strlen(ob));
+        write(out, ",", 1);
+    }
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeOmnet()
+{
+    Workload w;
+    w.name = "471.omnetpp";
+    w.category = Category::Spec;
+    w.description = "discrete event simulation";
+    w.source = kOmnet;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x100a);
+        spec.files["/events.txt"] = randomBytes(
+            prng, static_cast<std::size_t>(std::min(512, 96 * scale)));
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/events.txt", 7)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/events.txt", 7)}, true},
+    };
+    return w;
+}
+
+// -------------------------------------------------------------- astar
+const char *kAstar = R"(
+char grid[1024];
+int frontier[1024];
+int dist[1024];
+
+int main() {
+    char buf[1200];
+    int fd = open("/map.txt", 0);
+    int n = read(fd, buf, 1024);
+    close(fd);
+    int side = 32;
+    int cells = side * side;
+    for (int i = 0; i < cells; i = i + 1) {
+        grid[i] = '.';
+        if (i < n && buf[i] % 5 == 0) { grid[i] = '#'; }
+        dist[i] = 0 - 1;
+    }
+    grid[0] = '.';
+    grid[cells - 1] = '.';
+    int head = 0;
+    int tail = 0;
+    frontier[tail] = 0;
+    tail = tail + 1;
+    dist[0] = 0;
+    while (head < tail) {
+        int cur = frontier[head];
+        head = head + 1;
+        int r = cur / side;
+        int c = cur % side;
+        for (int d = 0; d < 4; d = d + 1) {
+            int nr = r;
+            int nc = c;
+            if (d == 0) { nr = r - 1; }
+            if (d == 1) { nr = r + 1; }
+            if (d == 2) { nc = c - 1; }
+            if (d == 3) { nc = c + 1; }
+            if (nr >= 0 && nr < side && nc >= 0 && nc < side) {
+                int np = nr * side + nc;
+                if (grid[np] != '#' && dist[np] < 0 && tail < 1024) {
+                    dist[np] = dist[cur] + 1;
+                    frontier[tail] = np;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+    char outb[24];
+    itoa(dist[cells - 1], outb);
+    int out = open("/astar.out", 1);
+    write(out, outb, strlen(outb));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeAstar()
+{
+    Workload w;
+    w.name = "473.astar";
+    w.category = Category::Spec;
+    w.description = "grid pathfinding (BFS over a file-defined map)";
+    w.source = kAstar;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x100b + static_cast<unsigned>(scale));
+        spec.files["/map.txt"] = randomBytes(prng, 1024);
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/map.txt", 33)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/map.txt", 33)}, true},
+    };
+    return w;
+}
+
+// ---------------------------------------------------------- xalancbmk
+const char *kXalan = R"(
+char doc[4096];
+char out[16384];
+char style[64];
+int pos;
+int opos;
+
+int emit(int c) {
+    if (opos < 16383) {
+        out[opos] = c;
+        opos = opos + 1;
+    }
+    return 0;
+}
+
+int renamed(int c) {
+    int i = 0;
+    while (style[i] != 0) {
+        if (style[i] == c) { return style[i + 1]; }
+        i = i + 2;
+    }
+    return c;
+}
+
+int transform() {
+    // doc[pos] == '('
+    pos = pos + 1;
+    int tag = doc[pos];
+    pos = pos + 1;
+    emit('<');
+    emit(renamed(tag));
+    emit('>');
+    while (pos < 4096 && doc[pos] != ')' && doc[pos] != 0) {
+        if (doc[pos] == '(') {
+            transform();
+        } else {
+            emit(doc[pos]);
+            pos = pos + 1;
+        }
+    }
+    pos = pos + 1;
+    emit('<');
+    emit('/');
+    emit(renamed(tag));
+    emit('>');
+    return 0;
+}
+
+int main() {
+    int sfd = open("/style.txt", 0);
+    int sn = read(sfd, style, 63);
+    close(sfd);
+    style[sn] = 0;
+    int dfd = open("/doc.xml", 0);
+    int dn = read(dfd, doc, 4095);
+    close(dfd);
+    doc[dn] = 0;
+    pos = 0;
+    opos = 0;
+    while (pos < dn) {
+        if (doc[pos] == '(') {
+            transform();
+        } else {
+            pos = pos + 1;
+        }
+    }
+    int ofd = open("/doc.html", 1);
+    write(ofd, out, opos);
+    close(ofd);
+    return 0;
+}
+)";
+
+Workload
+makeXalan()
+{
+    Workload w;
+    w.name = "483.xalancbmk";
+    w.category = Category::Spec;
+    w.description = "recursive tree transform with a stylesheet map";
+    w.source = kXalan;
+    w.world = [](int scale) {
+        os::WorldSpec spec;
+        Prng prng(0x100c);
+        std::string doc;
+        std::function<void(int)> gen = [&](int depth) {
+            doc += '(';
+            doc += static_cast<char>('a' + prng.below(6));
+            int kids = depth > 0
+                ? static_cast<int>(prng.below(3)) : 0;
+            for (int k = 0; k < kids; ++k)
+                gen(depth - 1);
+            doc += static_cast<char>('x' + prng.below(3));
+            doc += ')';
+        };
+        for (int i = 0; i < 8 * scale; ++i)
+            gen(4);
+        spec.files["/doc.xml"] = doc;
+        spec.files["/style.txt"] = "aAbBcC";
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/style.txt", 1)};
+    w.sinks = fileSinks();
+    w.mutationCases = {
+        {"leak", {SourceSpec::file("/style.txt", 1)}, true},
+    };
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+specWorkloads()
+{
+    return {makePerl(), makeBzip(), makeGcc(),   makeMcf(),
+            makeGobmk(), makeHmmer(), makeSjeng(), makeQuantum(),
+            makeH264(), makeOmnet(), makeAstar(), makeXalan()};
+}
+
+} // namespace ldx::workloads

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Vulnerable workloads (the attack-detection set of Table 1). Each
+ * carries a real memory-safety defect our VM expresses natively:
+ * stack buffers sit below the guest-memory return token, so MiniC
+ * overflows smash control state exactly like native stack smashing,
+ * and attacker-controlled malloc sizes model integer overflows. The
+ * sinks are the paper's: function return addresses and the parameters
+ * of memory-management calls.
+ */
+#include "workloads/workloads.h"
+
+#include "support/prng.h"
+
+namespace ldx::workloads {
+
+namespace {
+
+using core::SourceSpec;
+
+core::SinkConfig
+attackSinks()
+{
+    core::SinkConfig s;
+    s.net = false;
+    s.file = false;
+    s.console = false;
+    s.retTokens = true;
+    s.allocSizes = true;
+    return s;
+}
+
+/** Exploit payload: filler, then @p token_bytes at the token slot. */
+std::string
+overflowPayload(std::size_t buf_len, const std::string &token_bytes,
+                std::size_t total)
+{
+    std::string p(total, 'A');
+    for (std::size_t i = 0; i < token_bytes.size() &&
+                            buf_len + i < p.size();
+         ++i)
+        p[buf_len + i] = token_bytes[i];
+    return p;
+}
+
+// ----------------------------------------------------------- gif2png
+// Classic CVE-2009-5018 flavour: the GIF comment extension is copied
+// into a fixed stack buffer with no bound check.
+const char *kGif2png = R"(
+int parseComment(char *data) {
+    char comment[16];
+    strcpy(comment, data);
+    return strlen(comment);
+}
+
+int main() {
+    char img[512];
+    int fd = open("/input.gif", 0);
+    int n = read(fd, img, 511);
+    close(fd);
+    img[n] = 0;
+    if (img[0] != 'G' || img[1] != 'I' || img[2] != 'F') { return 2; }
+    // Comment block starts after the 6-byte header.
+    int len = parseComment(img + 6);
+    char ob[16];
+    itoa(len, ob);
+    int out = open("/out.png", 1);
+    write(out, ob, strlen(ob));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeGif2png()
+{
+    Workload w;
+    w.name = "gif2png";
+    w.category = Category::Vulnerable;
+    w.description = "GIF comment strcpy stack overflow";
+    w.source = kGif2png;
+    w.world = [](int) {
+        os::WorldSpec spec;
+        spec.files["/input.gif"] =
+            "GIF89a" + overflowPayload(16, "\x61\x62\x63\x64", 48);
+        return spec;
+    };
+    // Mutate a byte inside the overflow region (a "data field" of the
+    // exploit, §8 "Input Mutation").
+    w.sources = {SourceSpec::file("/input.gif", 24)};
+    w.sinks = attackSinks();
+    w.mutationCases = {
+        {"attack", {SourceSpec::file("/input.gif", 24)}, true},
+    };
+    return w;
+}
+
+// ----------------------------------------------------------- mp3info
+// ID3-style tag: the attacker-controlled length field drives a
+// memcpy into a fixed stack buffer.
+const char *kMp3info = R"(
+int readTitle(char *tag) {
+    char title[24];
+    int len = tag[0];
+    memcpy(title, tag + 1, len);
+    title[len] = 0;
+    return strlen(title);
+}
+
+int main() {
+    char mp3[512];
+    int fd = open("/song.mp3", 0);
+    int n = read(fd, mp3, 511);
+    close(fd);
+    if (mp3[0] != 'I' || mp3[1] != 'D' || mp3[2] != '3') { return 2; }
+    int tl = readTitle(mp3 + 3);
+    char ob[16];
+    itoa(tl, ob);
+    int out = open("/info.txt", 1);
+    write(out, ob, strlen(ob));
+    close(out);
+    return 0;
+}
+)";
+
+Workload
+makeMp3info()
+{
+    Workload w;
+    w.name = "mp3info";
+    w.category = Category::Vulnerable;
+    w.description = "ID3 length-field memcpy overflow";
+    w.source = kMp3info;
+    w.world = [](int) {
+        os::WorldSpec spec;
+        std::string tag;
+        tag += static_cast<char>(80); // lies about the title length
+        tag += overflowPayload(24, "wxyz", 96);
+        spec.files["/song.mp3"] = "ID3" + tag;
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/song.mp3", 30)};
+    w.sinks = attackSinks();
+    w.mutationCases = {
+        {"attack", {SourceSpec::file("/song.mp3", 30)}, true},
+    };
+    return w;
+}
+
+// ---------------------------------------------------------- prozilla
+// Download client: the server's redirect location header is copied
+// into a fixed stack buffer.
+const char *kProzilla = R"(
+int followRedirect(char *loc) {
+    char target[20];
+    strcpy(target, loc);
+    return target[0];
+}
+
+int main() {
+    char resp[512];
+    int s = socket();
+    if (connect(s, "dl.example.com") < 0) { return 1; }
+    send(s, "GET /file", 9);
+    int n = recv(s, resp, 511);
+    close(s);
+    resp[n] = 0;
+    if (resp[0] == '3') { // 3xx redirect
+        followRedirect(resp + 4);
+    }
+    print("done", 4);
+    return 0;
+}
+)";
+
+Workload
+makeProzilla()
+{
+    Workload w;
+    w.name = "prozilla";
+    w.category = Category::Vulnerable;
+    w.description = "redirect-header strcpy overflow in a downloader";
+    w.source = kProzilla;
+    w.world = [](int) {
+        os::WorldSpec spec;
+        spec.peers["dl.example.com"].responses = {
+            "302 " + overflowPayload(20, "hijk", 64)};
+        return spec;
+    };
+    w.sources = {SourceSpec::peer("dl.example.com", 30)};
+    w.sinks = attackSinks();
+    w.mutationCases = {
+        {"attack", {SourceSpec::peer("dl.example.com", 30)}, true},
+    };
+    return w;
+}
+
+// ----------------------------------------------------------- yopsweb
+// Tiny web server: the request path is copied into a fixed stack
+// buffer before dispatch.
+const char *kYopsweb = R"(
+int dispatch(char *path) {
+    char local[16];
+    strcpy(local, path);
+    if (local[0] == '/') { return 1; }
+    return 0;
+}
+
+int main() {
+    char req[512];
+    int s = socket();
+    listen(s, 8080);
+    int served = 0;
+    while (1) {
+        int c = accept(s);
+        if (c < 0) { break; }
+        int n = recv(c, req, 511);
+        req[n] = 0;
+        if (n > 4) {
+            dispatch(req + 4);
+            send(c, "200 OK", 6);
+        }
+        close(c);
+        served = served + 1;
+    }
+    return served;
+}
+)";
+
+Workload
+makeYopsweb()
+{
+    Workload w;
+    w.name = "yopsweb";
+    w.category = Category::Vulnerable;
+    w.description = "request-path strcpy overflow in a web server";
+    w.source = kYopsweb;
+    w.world = [](int) {
+        os::WorldSpec spec;
+        spec.incoming.push_back(
+            {"GET " + overflowPayload(16, "pqrs", 48)});
+        return spec;
+    };
+    w.sources = {SourceSpec::incoming(21)};
+    w.sinks = attackSinks();
+    w.mutationCases = {
+        {"attack", {SourceSpec::incoming(21)}, true},
+    };
+    return w;
+}
+
+// ------------------------------------------------------------ ngircd
+// IRC server: the NICK argument is copied into a fixed stack buffer.
+const char *kNgircd = R"(
+int registerNick(char *arg) {
+    char nick[12];
+    strcpy(nick, arg);
+    return strlen(nick);
+}
+
+int main() {
+    char line[512];
+    int s = socket();
+    listen(s, 6667);
+    int users = 0;
+    while (1) {
+        int c = accept(s);
+        if (c < 0) { break; }
+        int n = recv(c, line, 511);
+        line[n] = 0;
+        if (line[0] == 'N' && line[1] == 'I' && line[2] == 'C' &&
+            line[3] == 'K' && line[4] == ' ') {
+            registerNick(line + 5);
+            send(c, "001 welcome", 11);
+            users = users + 1;
+        }
+        close(c);
+    }
+    return users;
+}
+)";
+
+Workload
+makeNgircd()
+{
+    Workload w;
+    w.name = "ngircd";
+    w.category = Category::Vulnerable;
+    w.description = "NICK argument strcpy overflow in an IRC server";
+    w.source = kNgircd;
+    w.world = [](int) {
+        os::WorldSpec spec;
+        spec.incoming.push_back(
+            {"NICK " + overflowPayload(12, "mnop", 40)});
+        return spec;
+    };
+    w.sources = {SourceSpec::incoming(22)};
+    w.sinks = attackSinks();
+    w.mutationCases = {
+        {"attack", {SourceSpec::incoming(22)}, true},
+    };
+    return w;
+}
+
+// ---------------------------------------------------------- gzip-like
+// Integer overflow: an attacker-controlled element count multiplies
+// into the allocation size (the paper's "parameters of memory
+// management functions" sink).
+const char *kGzipAlloc = R"(
+int main() {
+    char hdr[64];
+    int fd = open("/archive.gz", 0);
+    int n = read(fd, hdr, 63);
+    close(fd);
+    hdr[n] = 0;
+    if (hdr[0] != 0x1f) { return 2; }
+    // Element count is a decimal field at offset 1.
+    int count = atoi(hdr + 1);
+    char *table = malloc(count * 16);
+    for (int i = 0; i < 8; i = i + 1) { table[i] = hdr[i]; }
+    print("ok", 2);
+    return 0;
+}
+)";
+
+Workload
+makeGzipAlloc()
+{
+    Workload w;
+    w.name = "gzip-alloc";
+    w.category = Category::Vulnerable;
+    w.description = "attacker-controlled malloc size (integer overflow)";
+    w.source = kGzipAlloc;
+    w.world = [](int) {
+        os::WorldSpec spec;
+        std::string hdr;
+        hdr += static_cast<char>(0x1f);
+        hdr += "524288";
+        hdr += std::string(16, 'D');
+        spec.files["/archive.gz"] = hdr;
+        return spec;
+    };
+    w.sources = {SourceSpec::file("/archive.gz", 1)};
+    w.sinks = attackSinks();
+    w.mutationCases = {
+        {"attack", {SourceSpec::file("/archive.gz", 1)}, true},
+    };
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+vulnerableWorkloads()
+{
+    return {makeGif2png(), makeMp3info(), makeProzilla(), makeYopsweb(),
+            makeNgircd(), makeGzipAlloc()};
+}
+
+} // namespace ldx::workloads

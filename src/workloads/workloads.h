@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The benchmark corpus: 28 MiniC programs in the four categories of
+ * Table 1 — SPEC-like compute kernels, network/system programs for
+ * information-leak detection, vulnerable programs for attack
+ * detection, and concurrent programs for the concurrency-control
+ * evaluation. Each workload bundles its program text, environment
+ * builder, default mutation sources, sink configuration, and the
+ * leak/no-leak mutation pair used by Table 2.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "ldx/engine.h"
+#include "ldx/mutation.h"
+#include "os/world.h"
+
+namespace ldx::workloads {
+
+/** Corpus category (Table 1 groups). */
+enum class Category
+{
+    Spec,        ///< compute kernels (SPECINT-like)
+    NetSys,      ///< network/system programs (leak detection)
+    Vulnerable,  ///< exploit-carrying programs (attack detection)
+    Concurrent,  ///< threaded programs (Table 4)
+};
+
+/** Name of a category. */
+const char *categoryName(Category c);
+
+/** One named mutation experiment on a workload (Table 2 columns). */
+struct MutationCase
+{
+    std::string label;
+    std::vector<core::SourceSpec> sources;
+    bool expectLeak = true; ///< ground truth for the mutation
+};
+
+/** One benchmark program. */
+struct Workload
+{
+    std::string name;
+    Category category = Category::Spec;
+    std::string description;
+    std::string source; ///< MiniC program text
+
+    /** Environment for a given problem scale (>= 1). */
+    std::function<os::WorldSpec(int scale)> world;
+
+    /** Default sources to mutate (the "Mutated inputs" column). */
+    std::vector<core::SourceSpec> sources;
+
+    /** Sink configuration (net for network programs, file otherwise). */
+    core::SinkConfig sinks;
+
+    /** Table 2 mutation pair; may be a single case for numeric code. */
+    std::vector<MutationCase> mutationCases;
+
+    /** Default scale used by tests and benches. */
+    int defaultScale = 1;
+};
+
+/** The full 28-program corpus. */
+const std::vector<Workload> &allWorkloads();
+
+/** Subset by category. */
+std::vector<const Workload *> workloadsIn(Category c);
+
+/** Lookup by name; nullptr when absent. */
+const Workload *findWorkload(const std::string &name);
+
+/**
+ * Compile (and cache) a workload's module. When @p instrumented, the
+ * counter pass is applied and the cached module is shared.
+ */
+const ir::Module &workloadModule(const Workload &w, bool instrumented);
+
+// Category builders (one translation unit per category).
+std::vector<Workload> specWorkloads();
+std::vector<Workload> netsysWorkloads();
+std::vector<Workload> vulnerableWorkloads();
+std::vector<Workload> concurrentWorkloads();
+
+} // namespace ldx::workloads

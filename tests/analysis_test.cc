@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the CFG/call-graph analyses underlying the
+ * instrumenter: topological sorts, dominators, natural loops (back
+ * edges, exit edges, nesting), SCC-based recursion detection, and the
+ * irreducible-CFG rejection.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.h"
+#include "analysis/cfg.h"
+#include "analysis/dominators.h"
+#include "analysis/graph.h"
+#include "analysis/loops.h"
+#include "lang/compiler.h"
+#include "support/diag.h"
+
+namespace ldx {
+namespace {
+
+using analysis::DiGraph;
+
+TEST(GraphTest, TopoOrderOnDag)
+{
+    DiGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    auto order = analysis::topoOrder(g);
+    ASSERT_TRUE(order.has_value());
+    std::vector<int> pos(4);
+    for (std::size_t i = 0; i < order->size(); ++i)
+        pos[(*order)[i]] = static_cast<int>(i);
+    EXPECT_LT(pos[0], pos[1]);
+    EXPECT_LT(pos[0], pos[2]);
+    EXPECT_LT(pos[1], pos[3]);
+    EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(GraphTest, TopoOrderDetectsCycle)
+{
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    EXPECT_FALSE(analysis::topoOrder(g).has_value());
+}
+
+TEST(GraphTest, ReversePostOrderStartsAtEntry)
+{
+    DiGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1); // loop
+    g.addEdge(1, 3);
+    auto rpo = analysis::reversePostOrder(g, 0);
+    ASSERT_FALSE(rpo.empty());
+    EXPECT_EQ(rpo.front(), 0);
+}
+
+TEST(GraphTest, Reachability)
+{
+    DiGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3); // island
+    auto seen = analysis::reachableFrom(g, 0);
+    EXPECT_TRUE(seen[0]);
+    EXPECT_TRUE(seen[1]);
+    EXPECT_FALSE(seen[2]);
+    EXPECT_FALSE(seen[3]);
+}
+
+TEST(GraphTest, RemoveEdge)
+{
+    DiGraph g(2);
+    g.addEdge(0, 1);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.removeEdge(0, 1));
+    EXPECT_FALSE(g.hasEdge(0, 1));
+    EXPECT_FALSE(g.removeEdge(0, 1));
+}
+
+TEST(DominatorsTest, DiamondIdoms)
+{
+    //     0
+    //    / .
+    //   1   2
+    //    . /
+    //     3
+    DiGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    analysis::DominatorTree dom(g, 0);
+    EXPECT_EQ(dom.idom(1), 0);
+    EXPECT_EQ(dom.idom(2), 0);
+    EXPECT_EQ(dom.idom(3), 0); // neither branch dominates the join
+    EXPECT_TRUE(dom.dominates(0, 3));
+    EXPECT_FALSE(dom.dominates(1, 3));
+    EXPECT_TRUE(dom.dominates(3, 3));
+}
+
+TEST(DominatorsTest, ChainDominance)
+{
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    analysis::DominatorTree dom(g, 0);
+    EXPECT_TRUE(dom.dominates(1, 2));
+    EXPECT_FALSE(dom.dominates(2, 1));
+}
+
+TEST(DominatorsTest, UnreachableNodesFlagged)
+{
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    analysis::DominatorTree dom(g, 0);
+    EXPECT_TRUE(dom.reachable(1));
+    EXPECT_FALSE(dom.reachable(2));
+    EXPECT_FALSE(dom.dominates(0, 2));
+}
+
+TEST(LoopsTest, SimpleLoopShape)
+{
+    // 0 -> 1 (header) -> 2 (body) -> 1, 1 -> 3 (exit)
+    DiGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1);
+    g.addEdge(1, 3);
+    analysis::LoopInfo li(g, 0);
+    ASSERT_EQ(li.loops().size(), 1u);
+    const analysis::Loop &loop = li.loops()[0];
+    EXPECT_EQ(loop.header, 1);
+    ASSERT_EQ(loop.latches.size(), 1u);
+    EXPECT_EQ(loop.latches[0], 2);
+    EXPECT_TRUE(loop.contains(1));
+    EXPECT_TRUE(loop.contains(2));
+    EXPECT_FALSE(loop.contains(3));
+    ASSERT_EQ(loop.exitEdges.size(), 1u);
+    EXPECT_EQ(loop.exitEdges[0].from, 1);
+    EXPECT_EQ(loop.exitEdges[0].to, 3);
+}
+
+TEST(LoopsTest, NestedLoopsDepths)
+{
+    // outer: 1..4, inner: 2..3
+    DiGraph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 2); // inner back edge
+    g.addEdge(3, 4);
+    g.addEdge(4, 1); // outer back edge
+    g.addEdge(1, 5); // outer exit
+    analysis::LoopInfo li(g, 0);
+    ASSERT_EQ(li.loops().size(), 2u);
+    int inner = li.innermostLoop(3);
+    ASSERT_GE(inner, 0);
+    EXPECT_EQ(li.loops()[static_cast<std::size_t>(inner)].header, 2);
+    EXPECT_EQ(li.loops()[static_cast<std::size_t>(inner)].depth, 2);
+    int outer_of_4 = li.innermostLoop(4);
+    EXPECT_EQ(li.loops()[static_cast<std::size_t>(outer_of_4)].header,
+              1);
+}
+
+TEST(LoopsTest, IrreducibleRejected)
+{
+    // Two entries into the "loop" 1 <-> 2.
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1);
+    EXPECT_THROW(analysis::LoopInfo(g, 0), FatalError);
+}
+
+TEST(LoopsTest, SelfLoop)
+{
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 1);
+    g.addEdge(1, 2);
+    analysis::LoopInfo li(g, 0);
+    ASSERT_EQ(li.loops().size(), 1u);
+    EXPECT_EQ(li.loops()[0].header, 1);
+    EXPECT_EQ(li.loops()[0].latches[0], 1);
+}
+
+TEST(CallGraphTest, RecursionAndOrder)
+{
+    auto module = lang::compileSource(R"(
+int leaf(int x) { return x; }
+int selfrec(int n) { if (n <= 0) { return 0; } return selfrec(n - 1); }
+int a(int n) { return b(n); }
+int b(int n) { if (n <= 0) { return 0; } return a(n - 1); }
+int top(int n) { return leaf(n) + a(n); }
+int main() { return top(3) + selfrec(2); }
+)");
+    analysis::CallGraph cg(*module);
+    auto id = [&](const char *name) {
+        return module->findFunction(name)->id();
+    };
+    EXPECT_FALSE(cg.isRecursive(id("leaf")));
+    EXPECT_TRUE(cg.isRecursive(id("selfrec")));
+    EXPECT_TRUE(cg.isRecursive(id("a")));
+    EXPECT_TRUE(cg.isRecursive(id("b")));
+    EXPECT_FALSE(cg.isRecursive(id("top")));
+    EXPECT_FALSE(cg.isRecursive(id("main")));
+    EXPECT_EQ(cg.sccOf(id("a")), cg.sccOf(id("b")));
+    EXPECT_NE(cg.sccOf(id("a")), cg.sccOf(id("selfrec")));
+
+    // Reverse topological: callees appear before callers.
+    auto order = cg.reverseTopoOrder();
+    std::vector<int> pos(module->numFunctions());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+    EXPECT_LT(pos[static_cast<std::size_t>(id("leaf"))],
+              pos[static_cast<std::size_t>(id("top"))]);
+    EXPECT_LT(pos[static_cast<std::size_t>(id("top"))],
+              pos[static_cast<std::size_t>(id("main"))]);
+}
+
+TEST(CfgBridgeTest, BuildCfgMatchesSuccessors)
+{
+    auto module = lang::compileSource(
+        "int main() { int x = 1; if (x) { x = 2; } return x; }");
+    const ir::Function &fn =
+        module->function(module->mainFunction());
+    DiGraph g = analysis::buildCfg(fn);
+    EXPECT_EQ(g.numNodes(), static_cast<int>(fn.numBlocks()));
+    for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+        EXPECT_EQ(g.succ[b].size(),
+                  fn.block(static_cast<int>(b)).successors().size());
+    }
+}
+
+} // namespace
+} // namespace ldx

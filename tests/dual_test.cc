@@ -1,0 +1,589 @@
+/**
+ * @file
+ * Dual-execution engine tests: the paper's running examples and the
+ * core guarantees — nondeterminism suppression while coupled,
+ * realignment across path differences, and causality verdicts at
+ * sinks (Algorithm 2 cases).
+ */
+#include <gtest/gtest.h>
+
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+#include "support/diag.h"
+
+namespace ldx {
+namespace {
+
+using core::CauseKind;
+using core::DualEngine;
+using core::DualResult;
+using core::EngineConfig;
+using core::SourceSpec;
+
+/** Compile + instrument once per source text. */
+const ir::Module &
+instrumentedModule(const std::string &source)
+{
+    static std::map<std::string, std::unique_ptr<ir::Module>> cache;
+    auto it = cache.find(source);
+    if (it == cache.end()) {
+        auto module = lang::compileSource(source);
+        instrument::CounterInstrumenter pass(*module);
+        pass.run();
+        it = cache.emplace(source, std::move(module)).first;
+    }
+    return *it->second;
+}
+
+DualResult
+dualRun(const std::string &source, const os::WorldSpec &world,
+        EngineConfig cfg = {})
+{
+    cfg.wallClockCap = 20.0;
+    DualEngine engine(instrumentedModule(source), world, cfg);
+    DualResult res = engine.run();
+    EXPECT_FALSE(res.deadlocked) << "dual execution deadlocked";
+    return res;
+}
+
+bool
+hasFinding(const DualResult &res, CauseKind kind)
+{
+    for (const auto &f : res.findings) {
+        if (f.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Nondeterminism suppression: with no mutation, the slave must follow
+// the master bit for bit even though its clock, PRNG, pid, and heap
+// base all differ.
+// ---------------------------------------------------------------------
+
+TEST(DualTest, NoMutationMeansNoCausality)
+{
+    const char *src = R"(
+int main() {
+    char buf[64];
+    int t = time();
+    int r = random();
+    int p = getpid();
+    itoa(t + r + p, buf);
+    int s = socket();
+    connect(s, "out.example.com");
+    send(s, buf, strlen(buf));
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.peers["out.example.com"] = {};
+    auto res = dualRun(src, w);
+    EXPECT_FALSE(res.causality())
+        << "first finding: " << res.findings[0].describe();
+    EXPECT_EQ(res.syscallDiffs, 0u);
+    EXPECT_GT(res.alignedSyscalls, 0u);
+}
+
+TEST(DualTest, HeapPointerValuesAreCoupledViaOutcomes)
+{
+    // The heap bases differ; printing *derived data* (not pointers)
+    // must not diverge.
+    const char *src = R"(
+int main() {
+    int *p = imalloc(8);
+    p[0] = random() % 100;
+    char buf[24];
+    itoa(p[0], buf);
+    print(buf, strlen(buf));
+    return 0;
+}
+)";
+    auto res = dualRun(src, {});
+    EXPECT_FALSE(res.causality());
+}
+
+// ---------------------------------------------------------------------
+// The paper's running example (Figs. 2-3): the secret 'title' decides
+// which raise routine runs; the raise value reaches a network sink.
+// The causality is control-dependence induced — exactly what data-dep
+// tainting misses and LDX catches.
+// ---------------------------------------------------------------------
+
+const char *kEmployee = R"(
+int SRaise(int salary, char *contract) {
+    char buf[16];
+    int fd = open(contract, 0);
+    int n = read(fd, buf, 8);
+    close(fd);
+    return salary / 100 + (buf[0] - '0');
+}
+
+int MRaise(int salary, int age) {
+    int raise = SRaise(salary, "/contract_m.txt");
+    if (age > 10) {
+        int fd = open("/seniors.txt", 2);
+        write(fd, "senior\n", 7);
+        close(fd);
+    }
+    return raise + 100;
+}
+
+int main() {
+    char title[16];
+    char name[16];
+    int raise = 0;
+    getenv("TITLE", title, 16);
+    getenv("NAME", name, 16);
+    int salary = 4000;
+    int age = 5;
+    if (title[0] == 'S') {
+        raise = SRaise(salary, "/contract_s.txt");
+    } else {
+        raise = MRaise(salary, age);
+    }
+    char buf[32];
+    itoa(raise, buf);
+    int s = socket();
+    connect(s, "hr.example.com");
+    send(s, name, strlen(name));
+    send(s, buf, strlen(buf));
+    return 0;
+}
+)";
+
+os::WorldSpec
+employeeWorld()
+{
+    os::WorldSpec w;
+    w.env["TITLE"] = "STAFF";
+    w.env["NAME"] = "alice";
+    w.files["/contract_s.txt"] = "3xxxxxxx";
+    w.files["/contract_m.txt"] = "5xxxxxxx";
+    w.peers["hr.example.com"] = {};
+    return w;
+}
+
+TEST(DualTest, EmployeeLeakDetectedThroughControlDependence)
+{
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("TITLE")};
+    auto res = dualRun(kEmployee, employeeWorld(), cfg);
+    EXPECT_TRUE(res.causality());
+    EXPECT_TRUE(hasFinding(res, CauseKind::SinkValueDiff) ||
+                hasFinding(res, CauseKind::SinkVanished) ||
+                hasFinding(res, CauseKind::SinkSiteMismatch));
+    // Path difference implies misaligned syscalls that LDX tolerated.
+    EXPECT_GT(res.syscallDiffs, 0u);
+}
+
+TEST(DualTest, EmployeeRealignsAfterBranchDifference)
+{
+    // The 'name' send at the join point aligns in both executions even
+    // though the branches took different syscall paths; only the raise
+    // payload differs.
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("TITLE")};
+    auto res = dualRun(kEmployee, employeeWorld(), cfg);
+    bool name_diff = false;
+    for (const auto &f : res.findings) {
+        if (f.masterValue.find("alice") != std::string::npos &&
+            f.slaveValue != f.masterValue)
+            name_diff = true;
+    }
+    EXPECT_FALSE(name_diff)
+        << "the name sink must align and compare equal";
+}
+
+TEST(DualTest, MutatingIrrelevantSourceReportsNothing)
+{
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("UNUSED")};
+    os::WorldSpec w = employeeWorld();
+    w.env["UNUSED"] = "zzz";
+    auto res = dualRun(kEmployee, w, cfg);
+    EXPECT_FALSE(res.causality());
+    EXPECT_EQ(res.syscallDiffs, 0u);
+}
+
+TEST(DualTest, NameMutationFlowsToSinkByDataDependence)
+{
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("NAME")};
+    auto res = dualRun(kEmployee, employeeWorld(), cfg);
+    EXPECT_TRUE(hasFinding(res, CauseKind::SinkValueDiff));
+}
+
+// ---------------------------------------------------------------------
+// Fig. 1 cases: (c) weak causality must NOT be reported; (d) strong
+// causality missed by data+control dependence tracking must be.
+// ---------------------------------------------------------------------
+
+TEST(DualTest, WeakCausalityNotReported)
+{
+    // x = (s > 10) collapses many source values to the same output:
+    // with s=50 master and s=51 slave (off-by-one on ASCII digits
+    // keeps it > 10), the sink payload is identical -> no report.
+    const char *src = R"(
+int main() {
+    char buf[16];
+    getenv("S", buf, 16);
+    int s = atoi(buf);
+    int x = 0;
+    if (s > 10) { x = 1; }
+    char out[8];
+    itoa(x, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["S"] = "50";
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("S")};
+    auto res = dualRun(src, w, cfg);
+    EXPECT_FALSE(res.causality());
+}
+
+TEST(DualTest, StrongCausalityThroughNonUpdateDetected)
+{
+    // Fig. 1 (d): the else branch leaves x at its old value; the
+    // "absence of update" still leaks s. Dependence tracking misses
+    // this; counterfactual comparison does not.
+    const char *src = R"(
+int main() {
+    char buf[16];
+    getenv("S", buf, 16);
+    int s = buf[0] - '0';
+    int x = 0;
+    if (s != 1) { x = 1; }
+    char out[8];
+    itoa(x, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["S"] = "1"; // master: else branch, x stays 0; slave: s=2 -> x=1
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("S")};
+    auto res = dualRun(src, w, cfg);
+    EXPECT_TRUE(hasFinding(res, CauseKind::SinkValueDiff));
+}
+
+// ---------------------------------------------------------------------
+// The loop example (Figs. 4-5): trip counts of nested loops are the
+// sources; iteration-level barrier synchronization realigns the runs.
+// ---------------------------------------------------------------------
+
+const char *kLoopProgram = R"(
+int main() {
+    char buf[8];
+    int fd = open("/nm.txt", 0);
+    read(fd, buf, 2);
+    int n = buf[0] - '0';
+    int m = buf[1] - '0';
+    int total = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < m; j = j + 1) {
+            char one[2];
+            read(fd, one, 1);
+            total = total + one[0];
+        }
+        int lg = open("/log.txt", 2);
+        write(lg, "x", 1);
+        close(lg);
+    }
+    char out[24];
+    itoa(total, out);
+    int s = socket();
+    connect(s, "sink.example.com");
+    send(s, out, strlen(out));
+    return 0;
+}
+)";
+
+TEST(DualTest, LoopBoundMutationDetected)
+{
+    os::WorldSpec w;
+    w.files["/nm.txt"] = "23abcdefghijklmnop";
+    w.peers["sink.example.com"] = {};
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::file("/nm.txt")}; // mutates '2' -> '3'
+    cfg.sinks.file = false; // network sink only (log writes ignored)
+    auto res = dualRun(kLoopProgram, w, cfg);
+    EXPECT_TRUE(res.causality());
+}
+
+TEST(DualTest, EqualLoopBoundsStayAligned)
+{
+    os::WorldSpec w;
+    w.files["/nm.txt"] = "23abcdefghijklmnop";
+    w.peers["sink.example.com"] = {};
+    EngineConfig cfg; // no mutation
+    auto res = dualRun(kLoopProgram, w, cfg);
+    EXPECT_FALSE(res.causality());
+    EXPECT_EQ(res.syscallDiffs, 0u);
+    EXPECT_GT(res.barrierPairings, 0u) << "loops must rendezvous";
+}
+
+// ---------------------------------------------------------------------
+// Realignment: mutation triggers a burst of extra syscalls, then the
+// executions re-join; the later, source-independent sink must align.
+// ---------------------------------------------------------------------
+
+TEST(DualTest, RealignmentAfterSyscallBurst)
+{
+    const char *src = R"(
+int main() {
+    char mode[8];
+    getenv("MODE", mode, 8);
+    if (mode[0] == 'v') {
+        for (int i = 0; i < 5; i = i + 1) {
+            int fd = open("/scratch.txt", 2);
+            write(fd, "v", 1);
+            close(fd);
+        }
+    }
+    int s = socket();
+    connect(s, "stable.example.com");
+    send(s, "constant-payload", 16);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["MODE"] = "u"; // slave sees 'v' after off-by-one
+    w.peers["stable.example.com"] = {};
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("MODE")};
+    cfg.sinks.file = false;
+    auto res = dualRun(src, w, cfg);
+    // Many misaligned syscalls, yet the network sink carries the same
+    // constant payload: no causality to the sink.
+    EXPECT_GT(res.syscallDiffs, 0u);
+    EXPECT_FALSE(res.causality())
+        << res.findings[0].describe();
+}
+
+// ---------------------------------------------------------------------
+// Attack detection (vulnerable program set): stack smashing visible
+// at return-token sinks, integer overflow at malloc-argument sinks.
+// ---------------------------------------------------------------------
+
+TEST(DualTest, StackSmashAttackDetected)
+{
+    const char *src = R"(
+int handle(char *req) {
+    char buf[16];
+    strcpy(buf, req);
+    return strlen(buf);
+}
+
+int main() {
+    char req[256];
+    int s = socket();
+    listen(s, 80);
+    int c = accept(s);
+    int n = recv(c, req, 256);
+    req[n] = 0;
+    handle(req);
+    print("served", 6);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    std::string attack(64, 'A'); // overflows buf[16] into the token
+    w.incoming.push_back({attack});
+    EngineConfig cfg;
+    // Mutate a byte that lands in the overflow region beyond buf[16],
+    // so the corrupted token value depends on the mutated input (the
+    // paper mutates the relevant data field of the exploit input).
+    cfg.sources = {SourceSpec::incoming(20)};
+    cfg.sinks.retTokens = true;
+    auto res = dualRun(src, w, cfg);
+    EXPECT_TRUE(hasFinding(res, CauseKind::RetTokenDiff) ||
+                hasFinding(res, CauseKind::TerminationDiff));
+}
+
+TEST(DualTest, BenignRequestNoAttackReport)
+{
+    const char *src = R"(
+int handle(char *req) {
+    char buf[64];
+    strcpy(buf, req);
+    return strlen(buf);
+}
+
+int main() {
+    char req[256];
+    int s = socket();
+    listen(s, 80);
+    int c = accept(s);
+    int n = recv(c, req, 256);
+    req[n] = 0;
+    handle(req);
+    print("served", 6);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.incoming.push_back({"hello"});
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::incoming()};
+    cfg.sinks.retTokens = true;
+    cfg.sinks.console = false;
+    auto res = dualRun(src, w, cfg);
+    EXPECT_FALSE(hasFinding(res, CauseKind::RetTokenDiff));
+    EXPECT_FALSE(hasFinding(res, CauseKind::TerminationDiff));
+}
+
+TEST(DualTest, IntegerOverflowAttackDetected)
+{
+    const char *src = R"(
+int main() {
+    char lenstr[16];
+    getenv("LEN", lenstr, 16);
+    int n = atoi(lenstr);
+    char *p = malloc(n * 1000000007);  // attacker-controlled size
+    print("alloc", 5);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["LEN"] = "4";
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("LEN")};
+    cfg.sinks.allocSizes = true;
+    cfg.sinks.console = false;
+    auto res = dualRun(src, w, cfg);
+    EXPECT_TRUE(hasFinding(res, CauseKind::AllocSizeDiff) ||
+                hasFinding(res, CauseKind::TerminationDiff));
+}
+
+// ---------------------------------------------------------------------
+// Recursion and indirect calls under mutation.
+// ---------------------------------------------------------------------
+
+TEST(DualTest, RecursionDepthLeakDetected)
+{
+    const char *src = R"(
+int walk(int d) {
+    if (d <= 0) { return 0; }
+    time();
+    return 1 + walk(d - 1);
+}
+
+int main() {
+    char buf[8];
+    getenv("DEPTH", buf, 8);
+    int d = buf[0] - '0';
+    int r = walk(d);
+    char out[8];
+    itoa(r, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["DEPTH"] = "3";
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("DEPTH")};
+    auto res = dualRun(src, w, cfg);
+    EXPECT_TRUE(res.causality());
+}
+
+TEST(DualTest, IndirectCallTargetLeakDetected)
+{
+    const char *src = R"(
+int low(int x) { return x; }
+int high(int x) { time(); return x * 2; }
+
+int main() {
+    char buf[8];
+    getenv("PRIV", buf, 8);
+    fn f = &low;
+    if (buf[0] == 'h') { f = &high; }
+    int v = f(21);
+    char out[8];
+    itoa(v, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["PRIV"] = "g"; // slave sees 'h' -> different target
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("PRIV")};
+    auto res = dualRun(src, w, cfg);
+    EXPECT_TRUE(hasFinding(res, CauseKind::SinkValueDiff));
+}
+
+// ---------------------------------------------------------------------
+// Threaded driver: same verdicts with real concurrency.
+// ---------------------------------------------------------------------
+
+TEST(DualTest, ThreadedDriverDetectsLeak)
+{
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("TITLE")};
+    cfg.threaded = true;
+    auto res = dualRun(kEmployee, employeeWorld(), cfg);
+    EXPECT_TRUE(res.causality());
+}
+
+TEST(DualTest, ThreadedDriverNoFalsePositives)
+{
+    EngineConfig cfg;
+    cfg.threaded = true;
+    auto res = dualRun(kEmployee, employeeWorld(), cfg);
+    EXPECT_FALSE(res.causality());
+    EXPECT_EQ(res.syscallDiffs, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Multi-threaded guests: thread pairing and lock-order sharing.
+// ---------------------------------------------------------------------
+
+const char *kThreaded = R"(
+int counter;
+
+int worker(int arg) {
+    for (int i = 0; i < 10; i = i + 1) {
+        lock(1);
+        counter = counter + 1;
+        unlock(1);
+    }
+    return arg;
+}
+
+int main() {
+    counter = 0;
+    int t1 = spawn(&worker, 1);
+    int t2 = spawn(&worker, 2);
+    join(t1);
+    join(t2);
+    char out[16];
+    itoa(counter, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+
+TEST(DualTest, ThreadedGuestAligns)
+{
+    EngineConfig cfg;
+    auto res = dualRun(kThreaded, {}, cfg);
+    EXPECT_FALSE(res.causality())
+        << res.findings[0].describe();
+}
+
+TEST(DualTest, UninstrumentedModuleRejected)
+{
+    auto module = lang::compileSource("int main() { return 0; }");
+    EXPECT_THROW(DualEngine(*module, {}, {}), FatalError);
+}
+
+} // namespace
+} // namespace ldx

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Instrumenter edge cases on hand-built IR: multi-return
+ * normalization, syscall-free programs, unreachable blocks, and
+ * loop-activity filtering (§5: compute-only loops get no barriers).
+ */
+#include <gtest/gtest.h>
+
+#include "instrument/instrument.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "lang/compiler.h"
+#include "os/kernel.h"
+#include "os/sysno.h"
+#include "vm/machine.h"
+
+namespace ldx {
+namespace {
+
+int
+countOps(const ir::Module &m, ir::Opcode op)
+{
+    int n = 0;
+    for (std::size_t f = 0; f < m.numFunctions(); ++f) {
+        const ir::Function &fn = m.function(static_cast<int>(f));
+        for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+            for (const ir::Instr &instr :
+                 fn.block(static_cast<int>(b)).instrs()) {
+                n += instr.op == op;
+            }
+        }
+    }
+    return n;
+}
+
+TEST(InstrumentEdgeTest, MultiReturnFunctionNormalized)
+{
+    // Hand-built two-ret function: ret 1 on the then-branch with a
+    // syscall, ret 2 on the else-branch without. After normalization
+    // and compensation, the counter total must be path invariant.
+    ir::Module m;
+    ir::Function &fn = m.addFunction("main", 0);
+    int entry = fn.newBlock().id();
+    int then_bb = fn.newBlock().id();
+    int else_bb = fn.newBlock().id();
+    ir::IRBuilder b(fn);
+
+    b.setBlock(entry);
+    int t = b.emitSyscall(static_cast<std::int64_t>(os::Sys::Time), {});
+    int c = b.emitBinary(ir::Opcode::And, ir::IRBuilder::reg(t),
+                         ir::IRBuilder::imm(1));
+    b.emitCondBr(ir::IRBuilder::reg(c), then_bb, else_bb);
+
+    b.setBlock(then_bb);
+    b.emitSyscall(static_cast<std::int64_t>(os::Sys::Time), {});
+    b.emitRet(ir::IRBuilder::imm(1));
+
+    b.setBlock(else_bb);
+    b.emitRet(ir::IRBuilder::imm(2));
+
+    instrument::CounterInstrumenter pass(m);
+    pass.run();
+    ir::verifyOrDie(m);
+
+    // Exactly one Ret remains after single-exit normalization.
+    EXPECT_EQ(countOps(m, ir::Opcode::Ret), 1);
+    EXPECT_EQ(pass.fcnt().at(fn.id()), 2); // time + max(time, none)
+
+    os::Kernel kernel({});
+    vm::Machine machine(m, kernel, {});
+    ASSERT_EQ(machine.run(), vm::StepStatus::Finished);
+    EXPECT_EQ(machine.context(0).cnt, 2);
+}
+
+TEST(InstrumentEdgeTest, SyscallFreeProgramGetsNoOps)
+{
+    auto module = lang::compileSource(
+        "int sq(int x) { return x * x; }"
+        "int main() { int s = 0;"
+        "  for (int i = 0; i < 10; i = i + 1) { s = s + sq(i); }"
+        "  return s; }");
+    instrument::CounterInstrumenter pass(*module);
+    auto stats = pass.run();
+    EXPECT_EQ(stats.insertedOps, 0u);
+    EXPECT_EQ(stats.loops, 0);
+    EXPECT_EQ(stats.maxStaticCnt, 0);
+    EXPECT_EQ(countOps(*module, ir::Opcode::SyncBarrier), 0);
+}
+
+TEST(InstrumentEdgeTest, ComputeLoopsGetNoBarriers)
+{
+    // One loop with a syscall, one pure compute loop: only the first
+    // is instrumented (§5).
+    auto module = lang::compileSource(R"(
+int main() {
+    int s = 0;
+    for (int i = 0; i < 100; i = i + 1) { s = s + i * i; }
+    for (int j = 0; j < 3; j = j + 1) { s = s + time() % 5; }
+    printi(s);
+    return 0;
+}
+)");
+    instrument::CounterInstrumenter pass(*module);
+    auto stats = pass.run();
+    EXPECT_EQ(stats.loops, 1);
+    EXPECT_EQ(countOps(*module, ir::Opcode::SyncBarrier), 1);
+}
+
+TEST(InstrumentEdgeTest, LoopCallingSyscallFunctionIsActive)
+{
+    // The loop body has no literal syscall, but calls a function with
+    // FCNT > 0 — it must still be barrier instrumented.
+    auto module = lang::compileSource(R"(
+int tick(int x) { return time() + x; }
+int main() {
+    int s = 0;
+    for (int i = 0; i < 4; i = i + 1) { s = tick(s); }
+    printi(s);
+    return 0;
+}
+)");
+    instrument::CounterInstrumenter pass(*module);
+    auto stats = pass.run();
+    EXPECT_EQ(stats.loops, 1);
+}
+
+TEST(InstrumentEdgeTest, LoopWithIndirectCallIsActive)
+{
+    auto module = lang::compileSource(R"(
+int quiet(int x) { return x + 1; }
+int main() {
+    fn f = &quiet;
+    int s = 0;
+    for (int i = 0; i < 4; i = i + 1) { s = f(s); }
+    printi(s);
+    return 0;
+}
+)");
+    instrument::CounterInstrumenter pass(*module);
+    auto stats = pass.run();
+    EXPECT_EQ(stats.loops, 1);
+    EXPECT_GE(countOps(*module, ir::Opcode::CntPush), 1);
+}
+
+TEST(InstrumentEdgeTest, UnreachableCodeTolerated)
+{
+    auto module = lang::compileSource(R"(
+int main() {
+    time();
+    return 1;
+    time();  // dead
+    return 2;
+}
+)");
+    instrument::CounterInstrumenter pass(*module);
+    EXPECT_NO_THROW(ir::verifyOrDie(*module));
+    os::Kernel kernel({});
+    vm::Machine machine(*module, kernel, {});
+    EXPECT_EQ(machine.run(), vm::StepStatus::Finished);
+    EXPECT_EQ(machine.exitCode(), 1);
+}
+
+TEST(InstrumentEdgeTest, DoWhileLoopInstrumented)
+{
+    auto module = lang::compileSource(R"(
+int main() {
+    int i = 0;
+    do {
+        time();
+        i = i + 1;
+    } while (i < 3);
+    printi(i);
+    return 0;
+}
+)");
+    instrument::CounterInstrumenter pass(*module);
+    auto stats = pass.run();
+    EXPECT_EQ(stats.loops, 1);
+    os::Kernel kernel({});
+    vm::Machine machine(*module, kernel, {});
+    ASSERT_EQ(machine.run(), vm::StepStatus::Finished);
+    EXPECT_EQ(machine.context(0).cnt, pass.fcnt().at(
+        module->mainFunction()));
+}
+
+TEST(InstrumentEdgeTest, SiteIdsAreDense)
+{
+    auto module = lang::compileSource(
+        "int main() { time(); while (time() < 0) { time(); } "
+        "return 0; }");
+    instrument::CounterInstrumenter pass(*module);
+    pass.run();
+    // Every Syscall instruction carries its site id; ids are dense.
+    std::set<int> seen;
+    for (std::size_t f = 0; f < module->numFunctions(); ++f) {
+        const ir::Function &fn = module->function(static_cast<int>(f));
+        for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+            for (const ir::Instr &instr :
+                 fn.block(static_cast<int>(b)).instrs()) {
+                if (instr.op == ir::Opcode::Syscall) {
+                    EXPECT_GE(instr.site, 0);
+                    seen.insert(instr.site);
+                }
+                if (instr.op == ir::Opcode::SyncBarrier)
+                    seen.insert(static_cast<int>(instr.imm));
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), pass.sites().size());
+    for (int id : seen)
+        EXPECT_LT(id, static_cast<int>(pass.sites().size()));
+}
+
+} // namespace
+} // namespace ldx

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests of the counter instrumentation pass (Algorithms 1 and 3).
+ *
+ * The key property (§4.1): along *any* path through a function, the
+ * counter accumulates exactly the same total — the maximum number of
+ * syscalls on any acyclic path — so executions that reach the same
+ * program point agree on the counter value. We check this by running
+ * instrumented programs natively on many inputs and asserting that
+ * the final counter always equals the statically computed FCNT(main).
+ */
+#include <gtest/gtest.h>
+
+#include "instrument/instrument.h"
+#include "ir/verifier.h"
+#include "lang/compiler.h"
+#include "os/kernel.h"
+#include "support/diag.h"
+#include "vm/machine.h"
+
+namespace ldx {
+namespace {
+
+struct InstrumentedRun
+{
+    std::int64_t finalCnt = 0;
+    std::int64_t exitCode = 0;
+    vm::StepStatus status = vm::StepStatus::Finished;
+    vm::MachineStats stats;
+};
+
+InstrumentedRun
+runInstrumented(const std::string &source, const os::WorldSpec &spec,
+                instrument::InstrumentStats *out_stats = nullptr,
+                std::map<int, std::int64_t> *out_fcnt = nullptr,
+                const ir::Module **out_module = nullptr)
+{
+    static std::map<std::string, std::unique_ptr<ir::Module>> cache;
+    static std::map<std::string, instrument::InstrumentStats> statsCache;
+    static std::map<std::string, std::map<int, std::int64_t>> fcntCache;
+    auto it = cache.find(source);
+    if (it == cache.end()) {
+        auto module = lang::compileSource(source);
+        instrument::CounterInstrumenter pass(*module);
+        statsCache[source] = pass.run();
+        fcntCache[source] = pass.fcnt();
+        ir::verifyOrDie(*module);
+        it = cache.emplace(source, std::move(module)).first;
+    }
+    if (out_stats)
+        *out_stats = statsCache[source];
+    if (out_fcnt)
+        *out_fcnt = fcntCache[source];
+    if (out_module)
+        *out_module = it->second.get();
+
+    os::Kernel kernel(spec);
+    vm::Machine machine(*it->second, kernel, {});
+    InstrumentedRun run;
+    run.status = machine.run();
+    run.exitCode = machine.exitCode();
+    run.finalCnt = machine.context(0).cnt;
+    run.stats = machine.stats();
+    return run;
+}
+
+// A program with branches containing different numbers of syscalls.
+const char *kBranchy = R"(
+int main() {
+    char buf[32];
+    int n = getenv("MODE", buf, 32);
+    if (n > 0 && buf[0] == 'a') {
+        time();
+        time();
+        time();
+    } else {
+        time();
+    }
+    print("done", 4);
+    return 0;
+}
+)";
+
+TEST(InstrumentTest, BranchCompensationEqualizesCounter)
+{
+    os::WorldSpec w1;
+    w1.env["MODE"] = "a";
+    os::WorldSpec w2;
+    w2.env["MODE"] = "b";
+    os::WorldSpec w3; // MODE unset
+
+    std::map<int, std::int64_t> fcnt;
+    const ir::Module *module = nullptr;
+    auto r1 = runInstrumented(kBranchy, w1, nullptr, &fcnt, &module);
+    auto r2 = runInstrumented(kBranchy, w2);
+    auto r3 = runInstrumented(kBranchy, w3);
+
+    std::int64_t expect = fcnt[module->mainFunction()];
+    // getenv + max(3,1) syscalls + print = 5.
+    EXPECT_EQ(expect, 5);
+    EXPECT_EQ(r1.finalCnt, expect);
+    EXPECT_EQ(r2.finalCnt, expect);
+    EXPECT_EQ(r3.finalCnt, expect);
+}
+
+// The paper's running example (Fig. 2): SRaise reads a contract file
+// (2 syscalls), MRaise calls SRaise and conditionally writes (total
+// increment 3), main reads employee data and reports.
+const char *kEmployee = R"(
+int SRaise(int salary, char *contract) {
+    char buf[16];
+    int fd = open(contract, 0);
+    read(fd, buf, 8);
+    return salary / 10 + buf[0];
+}
+
+int MRaise(int salary, int age) {
+    int raise = SRaise(salary, "/contract_m.txt");
+    if (salary > 5000) {
+        int fd = open("/seniors.txt", 2);
+        write(fd, "senior\n", 7);
+        close(fd);
+    }
+    return raise + 100;
+}
+
+int main() {
+    char title[16];
+    char dept[16];
+    int raise = 0;
+    getenv("TITLE", title, 16);
+    int salary = atoi("4000");
+    if (title[0] == 'S') {
+        raise = SRaise(salary, "/contract_s.txt");
+    } else {
+        raise = MRaise(salary, 1);
+        getenv("DEPT", dept, 16);
+    }
+    int s = socket();
+    connect(s, "hr.example.com");
+    send(s, title, strlen(title));
+    printi(raise);
+    return 0;
+}
+)";
+
+TEST(InstrumentTest, EmployeeExampleFcnts)
+{
+    os::WorldSpec w;
+    w.env["TITLE"] = "STAFF";
+    w.env["DEPT"] = "SALES";
+    w.files["/contract_s.txt"] = "11111111";
+    w.files["/contract_m.txt"] = "22222222";
+    w.peers["hr.example.com"].responses = {"ok"};
+
+    std::map<int, std::int64_t> fcnt;
+    const ir::Module *module = nullptr;
+    instrument::InstrumentStats stats;
+    auto r1 = runInstrumented(kEmployee, w, &stats, &fcnt, &module);
+    EXPECT_EQ(r1.status, vm::StepStatus::Finished);
+
+    // Paper values: SRaise = 2 (open+read); MRaise = 2 + max(3,0)+...
+    EXPECT_EQ(fcnt[module->findFunction("SRaise")->id()], 2);
+    // MRaise: SRaise(2) + write path (open+write+close = 3) = 5.
+    EXPECT_EQ(fcnt[module->findFunction("MRaise")->id()], 5);
+
+    // Both input variants finish with the same counter.
+    os::WorldSpec w2 = w;
+    w2.env["TITLE"] = "MANAGER";
+    auto r2 = runInstrumented(kEmployee, w2);
+    EXPECT_EQ(r1.finalCnt, fcnt[module->mainFunction()]);
+    EXPECT_EQ(r2.finalCnt, fcnt[module->mainFunction()]);
+}
+
+// Loops: counter is bounded (reset at back edges) and raised above
+// in-loop values at exit, independent of trip counts (Algorithm 3).
+const char *kLoops = R"(
+int main() {
+    char buf[8];
+    int fd = open("/nm.txt", 0);
+    read(fd, buf, 2);
+    int n = buf[0] - '0';
+    int m = buf[1] - '0';
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < m; j = j + 1) {
+            read(fd, buf, 1);
+        }
+        int out = open("/log.txt", 2);
+        write(out, "x", 1);
+        close(out);
+    }
+    int s = socket();
+    connect(s, "sink.example.com");
+    send(s, buf, 1);
+    return 0;
+}
+)";
+
+class LoopTripSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(LoopTripSweep, FinalCounterIndependentOfTripCounts)
+{
+    auto [n, m] = GetParam();
+    os::WorldSpec w;
+    std::string data;
+    data += static_cast<char>('0' + n);
+    data += static_cast<char>('0' + m);
+    data += std::string(64, 'z');
+    w.files["/nm.txt"] = data;
+    w.peers["sink.example.com"] = {};
+
+    std::map<int, std::int64_t> fcnt;
+    const ir::Module *module = nullptr;
+    auto r = runInstrumented(kLoops, w, nullptr, &fcnt, &module);
+    EXPECT_EQ(r.status, vm::StepStatus::Finished);
+    EXPECT_EQ(r.finalCnt, fcnt[module->mainFunction()]);
+    // The dynamic max counter never exceeds the static maximum:
+    // the loop reset keeps it bounded regardless of iterations.
+    EXPECT_LE(r.stats.maxCnt, fcnt[module->mainFunction()]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TripCounts, LoopTripSweep,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(1, 1),
+                      std::make_pair(1, 5), std::make_pair(5, 1),
+                      std::make_pair(3, 3), std::make_pair(7, 2),
+                      std::make_pair(2, 7), std::make_pair(9, 9)));
+
+// Recursion: call sites into recursive functions push/reset/pop, so
+// the caller's counter is unaffected by recursion depth.
+const char *kRecursive = R"(
+int walk(int depth) {
+    time();
+    if (depth <= 0) { return 0; }
+    return 1 + walk(depth - 1);
+}
+
+int main() {
+    char buf[8];
+    getenv("DEPTH", buf, 8);
+    int d = atoi(buf);
+    walk(d);
+    print("end", 3);
+    return 0;
+}
+)";
+
+class RecursionDepthSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RecursionDepthSweep, CounterIndependentOfDepth)
+{
+    os::WorldSpec w;
+    w.env["DEPTH"] = std::to_string(GetParam());
+    std::map<int, std::int64_t> fcnt;
+    const ir::Module *module = nullptr;
+    auto r = runInstrumented(kRecursive, w, nullptr, &fcnt, &module);
+    EXPECT_EQ(r.status, vm::StepStatus::Finished);
+    EXPECT_EQ(r.finalCnt, fcnt[module->mainFunction()]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, RecursionDepthSweep,
+                         ::testing::Values(0, 1, 2, 5, 10, 30));
+
+// Indirect calls: push/reset/pop keeps the caller aligned without
+// knowing the callee (§6).
+const char *kIndirect = R"(
+int quiet(int x) { return x + 1; }
+int chatty(int x) { time(); time(); time(); return x + 2; }
+
+int main() {
+    char buf[8];
+    getenv("WHICH", buf, 8);
+    fn f = &quiet;
+    if (buf[0] == 'c') { f = &chatty; }
+    int r = f(10);
+    print("done", 4);
+    return r;
+}
+)";
+
+TEST(InstrumentTest, IndirectCallsResetCounter)
+{
+    os::WorldSpec w1;
+    w1.env["WHICH"] = "quiet";
+    os::WorldSpec w2;
+    w2.env["WHICH"] = "chatty";
+    std::map<int, std::int64_t> fcnt;
+    const ir::Module *module = nullptr;
+    auto r1 = runInstrumented(kIndirect, w1, nullptr, &fcnt, &module);
+    auto r2 = runInstrumented(kIndirect, w2);
+    EXPECT_EQ(r1.exitCode, 11);
+    EXPECT_EQ(r2.exitCode, 12);
+    // Caller-side counter identical although the callees have
+    // different syscall counts.
+    EXPECT_EQ(r1.finalCnt, r2.finalCnt);
+    EXPECT_EQ(r1.finalCnt, fcnt[module->mainFunction()]);
+}
+
+TEST(InstrumentTest, StatsAreReported)
+{
+    instrument::InstrumentStats stats;
+    os::WorldSpec w;
+    w.env["WHICH"] = "q";
+    runInstrumented(kIndirect, w, &stats);
+    EXPECT_GT(stats.insertedOps, 0u);
+    EXPECT_GT(stats.originalInstrs, stats.insertedOps);
+    EXPECT_EQ(stats.indirectCallSites, 1);
+    EXPECT_EQ(stats.syscallSites, 5);
+    EXPECT_GT(stats.instrumentedRatio(), 0.0);
+    EXPECT_LT(stats.instrumentedRatio(), 1.0);
+}
+
+TEST(InstrumentTest, DoubleInstrumentationRejected)
+{
+    auto module = lang::compileSource(
+        "int main() { time(); return 0; }");
+    instrument::CounterInstrumenter p1(*module);
+    p1.run();
+    instrument::CounterInstrumenter p2(*module);
+    EXPECT_THROW(p2.run(), FatalError);
+}
+
+TEST(InstrumentTest, BreakOutOfLoopCompensated)
+{
+    const char *src = R"(
+int main() {
+    char buf[8];
+    getenv("N", buf, 8);
+    int n = atoi(buf);
+    for (int i = 0; i < 10; i = i + 1) {
+        time();
+        if (i == n) { break; }
+        time();
+    }
+    print("x", 1);
+    return 0;
+}
+)";
+    std::map<int, std::int64_t> fcnt;
+    const ir::Module *module = nullptr;
+    std::int64_t expect = -1;
+    for (int n : {0, 1, 3, 9, 100}) {
+        os::WorldSpec w;
+        w.env["N"] = std::to_string(n);
+        auto r = runInstrumented(src, w, nullptr, &fcnt, &module);
+        ASSERT_EQ(r.status, vm::StepStatus::Finished);
+        if (expect < 0)
+            expect = fcnt[module->mainFunction()];
+        EXPECT_EQ(r.finalCnt, expect) << "n=" << n;
+    }
+}
+
+TEST(InstrumentTest, SitesHaveDescriptors)
+{
+    auto module = lang::compileSource(
+        "int main() { time(); while (time() < 0) { time(); } "
+        "return 0; }");
+    instrument::CounterInstrumenter pass(*module);
+    pass.run();
+    ASSERT_FALSE(pass.sites().empty());
+    int barriers = 0, syscalls = 0;
+    for (const auto &site : pass.sites()) {
+        EXPECT_EQ(site.id, static_cast<int>(&site - pass.sites().data()));
+        if (site.isBarrier)
+            ++barriers;
+        else
+            ++syscalls;
+    }
+    EXPECT_EQ(barriers, 1);
+    EXPECT_EQ(syscalls, 3);
+}
+
+} // namespace
+} // namespace ldx

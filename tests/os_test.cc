@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Virtual OS tests: VFS semantics, kernel syscalls driven from MiniC
+ * programs, scripted network peers, and the replay path used by the
+ * dual-execution slave.
+ */
+#include <gtest/gtest.h>
+
+#include "os/vfs.h"
+#include "testutil.h"
+
+namespace ldx {
+namespace {
+
+using test::runProgram;
+
+TEST(VfsTest, NormalizePaths)
+{
+    EXPECT_EQ(os::Vfs::normalize("/a//b/./c"), "/a/b/c");
+    EXPECT_EQ(os::Vfs::normalize("a/b"), "/a/b");
+    EXPECT_EQ(os::Vfs::normalize("/"), "/");
+    EXPECT_EQ(os::Vfs::normalize(""), "/");
+}
+
+TEST(VfsTest, CreateAndStat)
+{
+    os::Vfs vfs;
+    EXPECT_TRUE(vfs.createFile("/f.txt", 100));
+    vfs.setContent("/f.txt", "hello", 101);
+    auto st = vfs.stat("/f.txt");
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->size, 5);
+    EXPECT_EQ(st->mtime, 101);
+    EXPECT_FALSE(vfs.stat("/nope").has_value());
+}
+
+TEST(VfsTest, MkdirRmdirRules)
+{
+    os::Vfs vfs;
+    EXPECT_TRUE(vfs.mkdir("/d", 1));
+    EXPECT_FALSE(vfs.mkdir("/d", 1));       // exists
+    EXPECT_FALSE(vfs.mkdir("/x/y", 1));     // missing parent
+    EXPECT_TRUE(vfs.createFile("/d/f", 1));
+    EXPECT_FALSE(vfs.rmdir("/d"));          // not empty
+    EXPECT_TRUE(vfs.unlink("/d/f"));
+    EXPECT_TRUE(vfs.rmdir("/d"));
+    EXPECT_FALSE(vfs.rmdir("/"));           // never remove root
+}
+
+TEST(VfsTest, RenameMovesSubtree)
+{
+    os::Vfs vfs;
+    ASSERT_TRUE(vfs.mkdir("/a", 1));
+    ASSERT_TRUE(vfs.createFile("/a/f", 1));
+    vfs.setContent("/a/f", "data", 1);
+    EXPECT_TRUE(vfs.rename("/a", "/b", 2));
+    EXPECT_FALSE(vfs.exists("/a"));
+    EXPECT_TRUE(vfs.isFile("/b/f"));
+    EXPECT_EQ(vfs.content("/b/f"), "data");
+    // Renaming into one's own subtree must fail.
+    ASSERT_TRUE(vfs.mkdir("/c", 1));
+    EXPECT_FALSE(vfs.rename("/c", "/c/inner", 2));
+}
+
+TEST(KernelTest, FileReadWrite)
+{
+    os::WorldSpec spec;
+    spec.files["/in.txt"] = "abcdef";
+    auto r = runProgram(
+        "int main() { char buf[16];"
+        "  int fd = open(\"/in.txt\", 0);"
+        "  int n = read(fd, buf, 3);"
+        "  buf[n] = 0;"
+        "  close(fd);"
+        "  int out = open(\"/out.txt\", 1);"
+        "  write(out, buf, n);"
+        "  close(out);"
+        "  return n; }",
+        spec);
+    EXPECT_EQ(r.exitCode, 3);
+    bool found = false;
+    for (const auto &rec : r.outputs) {
+        if (rec.channel == "file:/out.txt" && rec.payload == "abc")
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(KernelTest, OpenMissingFileFails)
+{
+    auto r = runProgram(
+        "int main() { return open(\"/missing\", 0); }");
+    EXPECT_EQ(r.exitCode, -1);
+}
+
+TEST(KernelTest, AppendMode)
+{
+    os::WorldSpec spec;
+    spec.files["/log"] = "AB";
+    auto r = runProgram(
+        "int main() { int fd = open(\"/log\", 2);"
+        "  write(fd, \"CD\", 2); close(fd);"
+        "  char buf[8];"
+        "  int rd = open(\"/log\", 0);"
+        "  int n = read(rd, buf, 8);"
+        "  return n; }",
+        spec);
+    EXPECT_EQ(r.exitCode, 4);
+}
+
+TEST(KernelTest, LseekWhence)
+{
+    os::WorldSpec spec;
+    spec.files["/f"] = "0123456789";
+    auto r = runProgram(
+        "int main() { char b[4];"
+        "  int fd = open(\"/f\", 0);"
+        "  lseek(fd, 4, 0);"       // absolute
+        "  read(fd, b, 1);"        // '4'
+        "  lseek(fd, 2, 1);"       // relative -> 7
+        "  int x = b[0];"
+        "  read(fd, b, 1);"        // '7'
+        "  return (x - '0') * 10 + (b[0] - '0'); }",
+        spec);
+    EXPECT_EQ(r.exitCode, 47);
+}
+
+TEST(KernelTest, ScriptedPeerResponses)
+{
+    os::WorldSpec spec;
+    spec.peers["api.example.com"].responses = {"pong", "done"};
+    auto r = runProgram(
+        "int main() { char buf[32];"
+        "  int s = socket();"
+        "  if (connect(s, \"api.example.com\") < 0) { return 1; }"
+        "  send(s, \"ping\", 4);"
+        "  int n = recv(s, buf, 32);"
+        "  buf[n] = 0;"
+        "  if (strcmp(buf, \"pong\") != 0) { return 2; }"
+        "  n = recv(s, buf, 32);"
+        "  buf[n] = 0;"
+        "  if (strcmp(buf, \"done\") != 0) { return 3; }"
+        "  n = recv(s, buf, 32);"   // script exhausted
+        "  return n; }",
+        spec);
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(KernelTest, EchoPeer)
+{
+    os::WorldSpec spec;
+    spec.peers["echo"].echo = true;
+    auto r = runProgram(
+        "int main() { char buf[32];"
+        "  int s = socket(); connect(s, \"echo\");"
+        "  send(s, \"marco\", 5);"
+        "  int n = recv(s, buf, 32); buf[n] = 0;"
+        "  if (strcmp(buf, \"marco\") == 0) { return 7; }"
+        "  return 1; }",
+        spec);
+    EXPECT_EQ(r.exitCode, 7);
+}
+
+TEST(KernelTest, ServerAcceptLoop)
+{
+    os::WorldSpec spec;
+    spec.incoming.push_back({"GET /a"});
+    spec.incoming.push_back({"GET /b"});
+    auto r = runProgram(
+        "int main() { char req[64]; int served = 0;"
+        "  int s = socket(); listen(s, 80);"
+        "  while (1) {"
+        "    int c = accept(s);"
+        "    if (c < 0) { break; }"
+        "    int n = recv(c, req, 64); req[n] = 0;"
+        "    send(c, \"OK\", 2);"
+        "    close(c);"
+        "    served = served + 1;"
+        "  }"
+        "  return served; }",
+        spec);
+    EXPECT_EQ(r.exitCode, 2);
+}
+
+TEST(KernelTest, GetEnvPresentAndMissing)
+{
+    os::WorldSpec spec;
+    spec.env["MODE"] = "fast";
+    auto r = runProgram(
+        "int main() { char buf[16];"
+        "  int n = getenv(\"MODE\", buf, 16);"
+        "  if (n < 0) { return 100; }"
+        "  buf[n] = 0;"
+        "  int missing = getenv(\"NOPE\", buf, 16);"
+        "  if (missing != 0 - 1) { return 101; }"
+        "  return strlen(\"fast\"); }",
+        spec);
+    EXPECT_EQ(r.exitCode, 4);
+}
+
+TEST(KernelTest, StatReportsSizeAndMtime)
+{
+    os::WorldSpec spec;
+    spec.files["/data"] = "xyzzy";
+    auto r = runProgram(
+        "int main() { char st[16];"
+        "  if (stat(\"/data\", st) != 0) { return 1; }"
+        "  int size = st[0];"  // low byte of size
+        "  return size; }",
+        spec);
+    EXPECT_EQ(r.exitCode, 5);
+}
+
+TEST(KernelTest, MkdirUnlinkRenameFromGuest)
+{
+    auto r = runProgram(
+        "int main() {"
+        "  if (mkdir(\"/tmp\") != 0) { return 1; }"
+        "  int fd = open(\"/tmp/a\", 1);"
+        "  write(fd, \"x\", 1); close(fd);"
+        "  if (rename(\"/tmp/a\", \"/tmp/b\") != 0) { return 2; }"
+        "  if (open(\"/tmp/a\", 0) >= 0) { return 3; }"
+        "  if (unlink(\"/tmp/b\") != 0) { return 4; }"
+        "  return 0; }");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(KernelTest, NondeterminismSeedsDiffer)
+{
+    os::WorldSpec a;
+    os::WorldSpec b = a.withNondetVariant(1);
+    EXPECT_NE(a.pid, b.pid);
+    EXPECT_NE(a.randomSeed, b.randomSeed);
+
+    const char *prog = "int main() { return random() % 1000; }";
+    auto ra = runProgram(prog, a);
+    auto rb = runProgram(prog, b);
+    EXPECT_NE(ra.exitCode, rb.exitCode);
+}
+
+TEST(KernelTest, TimeAdvancesMonotonically)
+{
+    auto r = runProgram(
+        "int main() { int t1 = time(); int t2 = time();"
+        "  return t2 >= t1; }");
+    EXPECT_EQ(r.exitCode, 1);
+}
+
+} // namespace
+} // namespace ldx

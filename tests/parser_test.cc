@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Lexer and parser coverage: token forms, precedence shapes, error
+ * positions, and rejection of malformed programs.
+ */
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "support/diag.h"
+
+namespace ldx {
+namespace {
+
+using lang::Tok;
+
+std::vector<lang::Token>
+lexOf(const std::string &src)
+{
+    return lang::lex(src);
+}
+
+TEST(LexerTest, KeywordsVsIdentifiers)
+{
+    auto toks = lexOf("int interest if iffy");
+    ASSERT_EQ(toks.size(), 5u); // + End
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "interest");
+    EXPECT_EQ(toks[2].kind, Tok::KwIf);
+    EXPECT_EQ(toks[3].kind, Tok::Ident);
+}
+
+TEST(LexerTest, NumbersDecimalAndHex)
+{
+    auto toks = lexOf("42 0x2A 0");
+    EXPECT_EQ(toks[0].value, 42);
+    EXPECT_EQ(toks[1].value, 42);
+    EXPECT_EQ(toks[2].value, 0);
+}
+
+TEST(LexerTest, StringEscapes)
+{
+    auto toks = lexOf(R"("a\nb\t\"c\\")");
+    ASSERT_EQ(toks[0].kind, Tok::String);
+    EXPECT_EQ(toks[0].str, "a\nb\t\"c\\");
+}
+
+TEST(LexerTest, CharLiterals)
+{
+    auto toks = lexOf(R"('a' '\n' '\0')");
+    EXPECT_EQ(toks[0].value, 'a');
+    EXPECT_EQ(toks[1].value, '\n');
+    EXPECT_EQ(toks[2].value, 0);
+}
+
+TEST(LexerTest, TwoCharOperators)
+{
+    auto toks = lexOf("== != <= >= << >> && || = < >");
+    Tok expect[] = {Tok::Eq,     Tok::Ne,  Tok::Le,   Tok::Ge,
+                    Tok::Shl,    Tok::Shr, Tok::AndAnd, Tok::OrOr,
+                    Tok::Assign, Tok::Lt,  Tok::Gt};
+    for (std::size_t i = 0; i < std::size(expect); ++i)
+        EXPECT_EQ(toks[i].kind, expect[i]) << i;
+}
+
+TEST(LexerTest, LineAndColumnTracking)
+{
+    auto toks = lexOf("a\n  b");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[0].col, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(LexerTest, CommentsSkipped)
+{
+    auto toks = lexOf("a // c1\n/* c2 \n c3 */ b");
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].kind, Tok::End);
+}
+
+TEST(LexerTest, Errors)
+{
+    EXPECT_THROW(lexOf("\"unterminated"), FatalError);
+    EXPECT_THROW(lexOf("'ab'"), FatalError);
+    EXPECT_THROW(lexOf("/* open"), FatalError);
+    EXPECT_THROW(lexOf("int $"), FatalError);
+    EXPECT_THROW(lexOf("\"bad \\q escape\""), FatalError);
+}
+
+TEST(ParserTest, PrecedenceShape)
+{
+    // a + b * c parses as a + (b * c).
+    lang::Program p = lang::parse(
+        "int main() { return 1 + 2 * 3; }");
+    const lang::Stmt &ret = *p.functions[0].body->body[0];
+    ASSERT_EQ(ret.kind, lang::Stmt::Kind::Return);
+    const lang::Expr &e = *ret.expr;
+    ASSERT_EQ(e.kind, lang::Expr::Kind::Binary);
+    EXPECT_EQ(static_cast<Tok>(e.op), Tok::Plus);
+    EXPECT_EQ(e.rhs->kind, lang::Expr::Kind::Binary);
+    EXPECT_EQ(static_cast<Tok>(e.rhs->op), Tok::Star);
+}
+
+TEST(ParserTest, GlobalForms)
+{
+    lang::Program p = lang::parse(
+        "int a; int b = 3; char buf[10]; char s[] = \"hi\";"
+        "int main() { return 0; }");
+    ASSERT_EQ(p.globals.size(), 4u);
+    EXPECT_FALSE(p.globals[0].isArray);
+    EXPECT_NE(p.globals[1].init, nullptr);
+    EXPECT_TRUE(p.globals[2].isArray);
+    EXPECT_EQ(p.globals[2].arraySize, 10);
+    EXPECT_TRUE(p.globals[3].hasStrInit);
+    EXPECT_EQ(p.globals[3].arraySize, 3); // "hi" + NUL
+}
+
+TEST(ParserTest, ParamTypes)
+{
+    lang::Program p = lang::parse(
+        "int f(int a, char *s, int *p, fn g) { return a; }"
+        "int main() { return 0; }");
+    ASSERT_EQ(p.functions[0].params.size(), 4u);
+    EXPECT_EQ(p.functions[0].params[0].type, lang::Type::Int);
+    EXPECT_EQ(p.functions[0].params[1].type, lang::Type::CharPtr);
+    EXPECT_EQ(p.functions[0].params[2].type, lang::Type::IntPtr);
+    EXPECT_EQ(p.functions[0].params[3].type, lang::Type::FnPtr);
+}
+
+TEST(ParserTest, ForHeaderVariants)
+{
+    EXPECT_NO_THROW(lang::parse(
+        "int main() { for (;;) { break; } return 0; }"));
+    EXPECT_NO_THROW(lang::parse(
+        "int main() { int i; for (i = 0; i < 3; i = i + 1) { } "
+        "return i; }"));
+}
+
+TEST(ParserTest, SyntaxErrorsRejected)
+{
+    EXPECT_THROW(lang::parse("int main() { return 0 }"), FatalError);
+    EXPECT_THROW(lang::parse("int main() { if 1 { } return 0; }"),
+                 FatalError);
+    EXPECT_THROW(lang::parse("int main( { return 0; }"), FatalError);
+    EXPECT_THROW(lang::parse("int main() { int x[] ; return 0; }"),
+                 FatalError);
+    EXPECT_THROW(lang::parse("int main() { break }"), FatalError);
+    EXPECT_THROW(lang::parse("int 5bad() { return 0; }"), FatalError);
+}
+
+TEST(ParserTest, ErrorMessageCarriesPosition)
+{
+    try {
+        lang::parse("int main() {\n  return @;\n}");
+        FAIL() << "expected a parse error";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("2"), std::string::npos);
+    }
+}
+
+TEST(ParserTest, NestedIndexAndCalls)
+{
+    EXPECT_NO_THROW(lang::parse(
+        "int g(int x) { return x; }"
+        "int main() { int a[4]; a[g(a[0])] = g(g(1)); return a[0]; }"));
+}
+
+} // namespace
+} // namespace ldx

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests of the coupling protocol internals: the hierarchical
+ * progress comparison (counter stacks, §6), the kernel replay path
+ * the slave uses to copy master outcomes, and the TightLip trace
+ * matcher.
+ */
+#include <gtest/gtest.h>
+
+#include "ldx/channel.h"
+#include "os/kernel.h"
+#include "taint/tightlip.h"
+#include "vm/memory.h"
+
+namespace ldx {
+namespace {
+
+using core::Progress;
+using core::compareProgress;
+
+// ----------------------------------------------- progress comparison
+
+TEST(ProgressTest, FlatComparison)
+{
+    EXPECT_EQ(compareProgress({}, 5, {}, 3), Progress::Passed);
+    EXPECT_EQ(compareProgress({}, 3, {}, 5), Progress::Behind);
+    EXPECT_EQ(compareProgress({}, 4, {}, 4), Progress::Same);
+}
+
+TEST(ProgressTest, DeeperPeerWithEqualPrefixIsUnknown)
+{
+    // Peer is inside an indirect call launched at my current level:
+    // its in-callee counter says nothing about my level.
+    EXPECT_EQ(compareProgress({4}, 2, {}, 4), Progress::Unknown);
+}
+
+TEST(ProgressTest, ShallowerPeerWithEqualPrefixIsUnknown)
+{
+    // I'm inside the callee; the peer sits at the call level.
+    EXPECT_EQ(compareProgress({}, 4, {4}, 2), Progress::Unknown);
+}
+
+TEST(ProgressTest, OuterLevelDecidesBeforeDepth)
+{
+    // Peer passed my call site at the outer level: decisive even
+    // though I'm deep inside a callee.
+    EXPECT_EQ(compareProgress({}, 9, {4, 1}, 2), Progress::Passed);
+    EXPECT_EQ(compareProgress({}, 2, {4, 1}, 2), Progress::Behind);
+}
+
+TEST(ProgressTest, SameDepthInnerLevelDecides)
+{
+    EXPECT_EQ(compareProgress({4}, 3, {4}, 1), Progress::Passed);
+    EXPECT_EQ(compareProgress({4}, 1, {4}, 3), Progress::Behind);
+    EXPECT_EQ(compareProgress({4}, 2, {4}, 2), Progress::Same);
+    // Different saved counters at the outer level decide first.
+    EXPECT_EQ(compareProgress({5}, 0, {4}, 9), Progress::Passed);
+}
+
+// --------------------------------------------------- kernel replay
+
+class ReplayFixture : public ::testing::Test
+{
+  protected:
+    ReplayFixture()
+        : mem_(4096, 1 << 12, 1, 0)
+    {
+        spec_.files["/f.txt"] = "hello world";
+        spec_.env["K"] = "v";
+        spec_.peers["h"].responses = {"r0", "r1"};
+        master_ = std::make_unique<os::Kernel>(spec_);
+        slave_ = std::make_unique<os::Kernel>(spec_);
+    }
+
+    /** Write a NUL-terminated string into guest memory. */
+    std::uint64_t
+    guestString(const std::string &s, std::uint64_t at)
+    {
+        mem_.writeBytes(at, s + '\0');
+        return at;
+    }
+
+    os::WorldSpec spec_;
+    vm::Memory mem_;
+    std::unique_ptr<os::Kernel> master_;
+    std::unique_ptr<os::Kernel> slave_;
+    static constexpr std::uint64_t kBuf = vm::Memory::kGlobalsBase;
+};
+
+TEST_F(ReplayFixture, OpenReadReplayKeepsOffsetsInSync)
+{
+    auto path = guestString("/f.txt", kBuf);
+    std::vector<std::int64_t> open_args = {
+        static_cast<std::int64_t>(path), 0};
+    os::Outcome open_out = master_->execute(
+        static_cast<std::int64_t>(os::Sys::Open), open_args, mem_);
+    ASSERT_GE(open_out.ret, 0);
+    EXPECT_TRUE(slave_->replay(static_cast<std::int64_t>(os::Sys::Open),
+                               open_args, open_out, mem_));
+
+    std::vector<std::int64_t> read_args = {
+        open_out.ret, static_cast<std::int64_t>(kBuf + 64), 5};
+    os::Outcome read_out = master_->execute(
+        static_cast<std::int64_t>(os::Sys::Read), read_args, mem_);
+    EXPECT_EQ(read_out.data, "hello");
+    EXPECT_TRUE(slave_->replay(static_cast<std::int64_t>(os::Sys::Read),
+                               read_args, read_out, mem_));
+    EXPECT_EQ(mem_.readBytes(kBuf + 64, 5), "hello");
+
+    // After the replayed read, a *local* slave read continues at the
+    // right offset — the clone stayed consistent.
+    os::Outcome local = slave_->execute(
+        static_cast<std::int64_t>(os::Sys::Read), read_args, mem_);
+    EXPECT_EQ(local.data, " worl");
+}
+
+TEST_F(ReplayFixture, ReplayOnUnknownFdFails)
+{
+    os::Outcome fake;
+    fake.ret = 4;
+    fake.data = "xx";
+    std::vector<std::int64_t> args = {
+        99, static_cast<std::int64_t>(kBuf), 2};
+    EXPECT_FALSE(slave_->replay(
+        static_cast<std::int64_t>(os::Sys::Read), args, fake, mem_));
+}
+
+TEST_F(ReplayFixture, ReplayOpenMissingFileFails)
+{
+    auto path = guestString("/nope", kBuf);
+    os::Outcome out;
+    out.ret = 5; // master opened something the slave world lacks
+    std::vector<std::int64_t> args = {static_cast<std::int64_t>(path),
+                                      0};
+    EXPECT_FALSE(slave_->replay(
+        static_cast<std::int64_t>(os::Sys::Open), args, out, mem_));
+}
+
+TEST_F(ReplayFixture, NondetReplayAdvancesLocalState)
+{
+    // Replaying a Random consumes the slave PRNG draw so a later
+    // decoupled call does not replay history.
+    os::Outcome master_draw = master_->execute(
+        static_cast<std::int64_t>(os::Sys::Random), {}, mem_);
+    EXPECT_TRUE(slave_->replay(
+        static_cast<std::int64_t>(os::Sys::Random), {}, master_draw,
+        mem_));
+    os::Outcome slave_second = slave_->execute(
+        static_cast<std::int64_t>(os::Sys::Random), {}, mem_);
+    os::Outcome master_second = master_->execute(
+        static_cast<std::int64_t>(os::Sys::Random), {}, mem_);
+    // Same seed (same spec here), so the sequences agree position by
+    // position: the replay consumed exactly one draw.
+    EXPECT_EQ(slave_second.ret, master_second.ret);
+}
+
+TEST_F(ReplayFixture, WriteReplayAppliesSlavePayloadSuppressed)
+{
+    slave_->setSuppressOutputs(true);
+    auto path = guestString("/out.txt", kBuf);
+    std::vector<std::int64_t> open_args = {
+        static_cast<std::int64_t>(path), 1};
+    os::Outcome open_out = master_->execute(
+        static_cast<std::int64_t>(os::Sys::Open), open_args, mem_);
+    ASSERT_TRUE(slave_->replay(static_cast<std::int64_t>(os::Sys::Open),
+                               open_args, open_out, mem_));
+
+    mem_.writeBytes(kBuf + 64, "DATA");
+    std::vector<std::int64_t> wargs = {
+        open_out.ret, static_cast<std::int64_t>(kBuf + 64), 4};
+    os::Outcome wout = master_->execute(
+        static_cast<std::int64_t>(os::Sys::Write), wargs, mem_);
+    ASSERT_TRUE(slave_->replay(static_cast<std::int64_t>(os::Sys::Write),
+                               wargs, wout, mem_));
+
+    // The slave's clone holds the data, but its journal marks the
+    // output as suppressed (not externally visible).
+    EXPECT_EQ(slave_->vfs().content("/out.txt"), "DATA");
+    ASSERT_FALSE(slave_->outputs().empty());
+    EXPECT_TRUE(slave_->outputs().back().suppressed);
+    EXPECT_FALSE(master_->outputs().back().suppressed);
+}
+
+TEST_F(ReplayFixture, AcceptReplayConsumesIncomingQueue)
+{
+    os::WorldSpec spec = spec_;
+    spec.incoming.push_back({"REQ"});
+    os::Kernel m(spec), s(spec);
+
+    auto sock = m.execute(static_cast<std::int64_t>(os::Sys::Socket),
+                          {}, mem_);
+    ASSERT_TRUE(s.replay(static_cast<std::int64_t>(os::Sys::Socket), {},
+                         sock, mem_));
+    std::vector<std::int64_t> largs = {sock.ret, 80};
+    auto listen = m.execute(static_cast<std::int64_t>(os::Sys::Listen),
+                            largs, mem_);
+    ASSERT_TRUE(s.replay(static_cast<std::int64_t>(os::Sys::Listen),
+                         largs, listen, mem_));
+    std::vector<std::int64_t> aargs = {sock.ret};
+    auto conn = m.execute(static_cast<std::int64_t>(os::Sys::Accept),
+                          aargs, mem_);
+    ASSERT_GE(conn.ret, 0);
+    ASSERT_TRUE(s.replay(static_cast<std::int64_t>(os::Sys::Accept),
+                         aargs, conn, mem_));
+    // Queue consumed on both sides: the next accept sees -1 and its
+    // replay agrees.
+    auto conn2 = m.execute(static_cast<std::int64_t>(os::Sys::Accept),
+                           aargs, mem_);
+    EXPECT_EQ(conn2.ret, -1);
+    EXPECT_TRUE(s.replay(static_cast<std::int64_t>(os::Sys::Accept),
+                         aargs, conn2, mem_));
+}
+
+// --------------------------------------------------------- tightlip
+
+taint::TraceRecord
+rec(std::int64_t sys, std::string sig, std::string payload = "")
+{
+    taint::TraceRecord r;
+    r.sysNo = sys;
+    r.signature = std::move(sig);
+    r.payload = payload;
+    r.isOutput = !payload.empty();
+    return r;
+}
+
+TEST(TightLipUnitTest, ExactMatch)
+{
+    std::vector<taint::TraceRecord> a = {rec(1, "open"), rec(2, "read")};
+    auto res = taint::compareTracesTightLip(a, a, 4);
+    EXPECT_FALSE(res.leakReported);
+    EXPECT_EQ(res.matchedPrefix, 2u);
+    EXPECT_EQ(res.syscallDiffs, 0u);
+}
+
+TEST(TightLipUnitTest, SkewWithinWindowTolerated)
+{
+    std::vector<taint::TraceRecord> a = {rec(1, "open"), rec(2, "read"),
+                                         rec(3, "close")};
+    std::vector<taint::TraceRecord> b = {rec(1, "open"), rec(9, "time"),
+                                         rec(2, "read"),
+                                         rec(3, "close")};
+    auto res = taint::compareTracesTightLip(a, b, 4);
+    EXPECT_FALSE(res.leakReported);
+    EXPECT_GT(res.syscallDiffs, 0u);
+}
+
+TEST(TightLipUnitTest, DivergenceBeyondWindowReported)
+{
+    std::vector<taint::TraceRecord> a = {rec(1, "open")};
+    std::vector<taint::TraceRecord> b;
+    for (int i = 0; i < 10; ++i)
+        b.push_back(rec(9, "noise" + std::to_string(i)));
+    b.push_back(rec(1, "open"));
+    auto res = taint::compareTracesTightLip(a, b, 4);
+    EXPECT_TRUE(res.leakReported);
+    EXPECT_TRUE(res.alignmentFailed);
+}
+
+TEST(TightLipUnitTest, OutputPayloadDifferenceIsLeak)
+{
+    std::vector<taint::TraceRecord> a = {rec(3, "write", "AAA")};
+    std::vector<taint::TraceRecord> b = {rec(3, "write", "BBB")};
+    auto res = taint::compareTracesTightLip(a, b, 4);
+    EXPECT_TRUE(res.leakReported);
+    EXPECT_TRUE(res.payloadDiffered);
+}
+
+TEST(TightLipUnitTest, TailLengthDifference)
+{
+    std::vector<taint::TraceRecord> a = {rec(1, "open")};
+    std::vector<taint::TraceRecord> b = {rec(1, "open"), rec(2, "x"),
+                                         rec(2, "x"), rec(2, "x"),
+                                         rec(2, "x"), rec(2, "x")};
+    auto res = taint::compareTracesTightLip(a, b, 4);
+    EXPECT_TRUE(res.leakReported);
+    EXPECT_EQ(res.syscallDiffs, 5u);
+}
+
+} // namespace
+} // namespace ldx

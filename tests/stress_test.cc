@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Stress tests: repeated threaded-driver dual executions (shaking out
+ * races in the coupling protocol itself), queue-pressure runs, and
+ * divergence detection in the execution-indexing baseline.
+ */
+#include <gtest/gtest.h>
+
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+#include "taint/indexing.h"
+
+namespace ldx {
+namespace {
+
+using core::DualEngine;
+using core::EngineConfig;
+using core::SourceSpec;
+
+const ir::Module &
+moduleFor(const std::string &source)
+{
+    static std::map<std::string, std::unique_ptr<ir::Module>> cache;
+    auto it = cache.find(source);
+    if (it == cache.end()) {
+        auto m = lang::compileSource(source);
+        instrument::CounterInstrumenter pass(*m);
+        pass.run();
+        it = cache.emplace(source, std::move(m)).first;
+    }
+    return *it->second;
+}
+
+TEST(StressTest, ThreadedDriverIsStableAcrossRepetitions)
+{
+    const char *src = R"(
+int main() {
+    char title[16];
+    getenv("TITLE", title, 16);
+    int total = 0;
+    for (int i = 0; i < 20; i = i + 1) {
+        int fd = open("/data.txt", 0);
+        char b[4];
+        total = total + read(fd, b, 2);
+        close(fd);
+        if (title[0] == 'S') { total = total + time() % 3; }
+    }
+    char out[24];
+    itoa(total, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["TITLE"] = "STAFF";
+    w.files["/data.txt"] = "xy";
+    const ir::Module &m = moduleFor(src);
+
+    for (int rep = 0; rep < 10; ++rep) {
+        EngineConfig cfg;
+        cfg.threaded = true;
+        cfg.wallClockCap = 20.0;
+        DualEngine engine(m, w, cfg);
+        auto res = engine.run();
+        ASSERT_FALSE(res.deadlocked) << "rep " << rep;
+        EXPECT_EQ(res.syscallDiffs, 0u) << "rep " << rep;
+        EXPECT_FALSE(res.causality()) << "rep " << rep;
+    }
+
+    for (int rep = 0; rep < 10; ++rep) {
+        EngineConfig cfg;
+        cfg.threaded = true;
+        cfg.wallClockCap = 20.0;
+        cfg.sources = {SourceSpec::env("TITLE")};
+        DualEngine engine(m, w, cfg);
+        auto res = engine.run();
+        ASSERT_FALSE(res.deadlocked) << "rep " << rep;
+        EXPECT_TRUE(res.causality()) << "rep " << rep;
+    }
+}
+
+TEST(StressTest, ManySyscallsExerciseQueuePressure)
+{
+    // Hundreds of aligned syscalls per run: the outcome queue must
+    // recycle entries without unbounded growth or stale matches.
+    const char *src = R"(
+int main() {
+    int total = 0;
+    for (int i = 0; i < 400; i = i + 1) {
+        total = total + time() % 5 + random() % 3;
+    }
+    char out[24];
+    itoa(total, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+    EngineConfig cfg;
+    cfg.wallClockCap = 30.0;
+    DualEngine engine(moduleFor(src), {}, cfg);
+    auto res = engine.run();
+    EXPECT_FALSE(res.deadlocked);
+    EXPECT_EQ(res.syscallDiffs, 0u);
+    EXPECT_GE(res.alignedSyscalls, 800u);
+    EXPECT_FALSE(res.causality());
+}
+
+TEST(StressTest, DeepRecursionUnderMutation)
+{
+    const char *src = R"(
+int walk(int d) {
+    if (d <= 0) { return 0; }
+    if (d % 3 == 0) { time(); }
+    return 1 + walk(d - 1);
+}
+int main() {
+    char buf[8];
+    getenv("DEPTH", buf, 8);
+    int r = walk(atoi(buf));
+    char out[8];
+    itoa(r, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["DEPTH"] = "50";
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("DEPTH", 1)}; // 50 -> 51
+    cfg.wallClockCap = 20.0;
+    DualEngine engine(moduleFor(src), w, cfg);
+    auto res = engine.run();
+    EXPECT_FALSE(res.deadlocked);
+    EXPECT_TRUE(res.causality()); // depth reaches the sink
+}
+
+TEST(IndexingStressTest, DivergentInputsDetected)
+{
+    // The execution-indexing baseline compares per-instruction index
+    // digests; identical worlds must agree.
+    const char *src = R"(
+int main() {
+    char buf[8];
+    getenv("B", buf, 8);
+    int s = 0;
+    if (buf[0] == 'x') { s = 1; } else { s = time() % 2; }
+    printi(s);
+    return 0;
+}
+)";
+    auto module = lang::compileSource(src);
+    os::WorldSpec w;
+    w.env["B"] = "x";
+    auto res = taint::runIndexedDualExecution(*module, w);
+    EXPECT_TRUE(res.finished);
+    EXPECT_FALSE(res.diverged);
+    EXPECT_GT(res.instructions, 0u);
+}
+
+} // namespace
+} // namespace ldx

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Two corpus-wide semantic properties:
+ *
+ *  1. Instrumentation preserves behaviour: the instrumented module
+ *     produces exactly the outputs of the uninstrumented one (counter
+ *     code must be observationally invisible).
+ *  2. Subsumption (§2): "if there is a technique that infers all
+ *     strong CCs, it must subsume dynamic tainting" — every workload
+ *     where the data-dependence trackers flag sinks is also flagged
+ *     by LDX under whole-value mutation of the same sources.
+ */
+#include <gtest/gtest.h>
+
+#include "ldx/engine.h"
+#include "os/kernel.h"
+#include "taint/tracker.h"
+#include "vm/machine.h"
+#include "workloads/workloads.h"
+
+namespace ldx {
+namespace {
+
+using workloads::Workload;
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : workloads::allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+class CorpusProperties : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const Workload &
+    workload() const
+    {
+        return *workloads::findWorkload(GetParam());
+    }
+};
+
+TEST_P(CorpusProperties, InstrumentationPreservesBehaviour)
+{
+    const Workload &w = workload();
+    if (w.name == "x264") {
+        // x264 is racy by design: instrumentation shifts preemption
+        // points, so its lost-update statistic is schedule dependent
+        // and not expected to be preserved bit for bit.
+        GTEST_SKIP();
+    }
+    auto journal = [&](bool instrumented) {
+        os::Kernel kernel(w.world(w.defaultScale));
+        vm::Machine machine(workloads::workloadModule(w, instrumented),
+                            kernel, {});
+        machine.run();
+        std::vector<std::pair<std::string, std::string>> out;
+        for (const os::OutputRecord &rec : kernel.outputs())
+            out.emplace_back(rec.channel, rec.payload);
+        return out;
+    };
+    EXPECT_EQ(journal(false), journal(true));
+}
+
+TEST_P(CorpusProperties, LdxSubsumesDataDependenceTainting)
+{
+    const Workload &w = workload();
+
+    taint::TaintRunOptions topt;
+    topt.policy = taint::TaintPolicy::taintgrind();
+    topt.sources = w.sources;
+    core::SinkConfig sinks = w.sinks;
+    topt.sinkChannel = [sinks](const std::string &channel) {
+        return sinks.matchesChannel(channel);
+    };
+    topt.retTokenSinks = w.sinks.retTokens;
+    topt.allocSizeSinks = w.sinks.allocSizes;
+    auto tg = taint::runTaintAnalysis(workloads::workloadModule(w, false),
+                                      w.world(w.defaultScale), topt);
+    if (tg.taintedSinks.empty())
+        return; // nothing for LDX to subsume on this program
+
+    // Data dependences are strong causalities, so mutating the whole
+    // source value must surface a difference at some sink.
+    std::vector<core::SourceSpec> whole;
+    for (const core::SourceSpec &src : w.sources)
+        whole.push_back(src.wholeValue());
+    core::EngineConfig cfg;
+    cfg.sinks = w.sinks;
+    cfg.sources = whole;
+    cfg.wallClockCap = 30.0;
+    core::DualEngine engine(workloads::workloadModule(w, true),
+                            w.world(w.defaultScale), cfg);
+    auto res = engine.run();
+    EXPECT_FALSE(res.deadlocked);
+    EXPECT_TRUE(res.causality())
+        << w.name << ": TaintGrind flags " << tg.taintedSinks.size()
+        << " sink(s) but LDX reports nothing";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusProperties, ::testing::ValuesIn(allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace ldx

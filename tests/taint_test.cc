@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Tests of the taint-tracking baselines: data-dependence propagation,
+ * the LIBDFT library-model gap, the control-dependence blind spot
+ * (the Table 3 story), the control-augmented ablation, TightLip trace
+ * comparison, and the execution-indexing baseline.
+ */
+#include <gtest/gtest.h>
+
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+#include "taint/indexing.h"
+#include "taint/tightlip.h"
+#include "taint/tracker.h"
+
+namespace ldx {
+namespace {
+
+using core::MutationStrategy;
+using core::SourceSpec;
+using taint::TaintPolicy;
+using taint::TaintRunOptions;
+using taint::runTaintAnalysis;
+
+const ir::Module &
+moduleFor(const std::string &source)
+{
+    static std::map<std::string, std::unique_ptr<ir::Module>> cache;
+    auto it = cache.find(source);
+    if (it == cache.end())
+        it = cache.emplace(source, lang::compileSource(source)).first;
+    return *it->second;
+}
+
+taint::TaintRunResult
+taintRun(const std::string &src, const os::WorldSpec &world,
+         std::vector<SourceSpec> sources, TaintPolicy policy,
+         bool ret_sinks = false, bool alloc_sinks = false)
+{
+    TaintRunOptions opts;
+    opts.policy = policy;
+    opts.sources = std::move(sources);
+    opts.retTokenSinks = ret_sinks;
+    opts.allocSizeSinks = alloc_sinks;
+    return runTaintAnalysis(moduleFor(src), world, opts);
+}
+
+// ---------------------------------------------------------------------
+// Data-dependence propagation basics (Fig. 1 (a)).
+// ---------------------------------------------------------------------
+
+TEST(TaintTest, DirectDataFlowDetected)
+{
+    const char *src = R"(
+int main() {
+    char secret[32];
+    getenv("SECRET", secret, 32);
+    char out[32];
+    memcpy(out, secret, 8);
+    print(out, 8);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["SECRET"] = "password";
+    auto r = taintRun(src, w, {SourceSpec::env("SECRET")},
+                      TaintPolicy::taintgrind());
+    EXPECT_EQ(r.taintedSinks.size(), 1u);
+    EXPECT_EQ(r.totalSinks, 1u);
+}
+
+TEST(TaintTest, UntaintedOutputClean)
+{
+    const char *src = R"(
+int main() {
+    char secret[32];
+    getenv("SECRET", secret, 32);
+    print("public", 6);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["SECRET"] = "password";
+    auto r = taintRun(src, w, {SourceSpec::env("SECRET")},
+                      TaintPolicy::taintgrind());
+    EXPECT_TRUE(r.taintedSinks.empty());
+    EXPECT_EQ(r.totalSinks, 1u);
+}
+
+TEST(TaintTest, ArithmeticPropagates)
+{
+    const char *src = R"(
+int main() {
+    char buf[16];
+    getenv("N", buf, 16);
+    int n = buf[0] - '0';
+    int derived = n * 31 + 7;
+    char out[24];
+    out[0] = derived % 10 + '0';
+    print(out, 1);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["N"] = "4";
+    auto r = taintRun(src, w, {SourceSpec::env("N")},
+                      TaintPolicy::taintgrind());
+    EXPECT_EQ(r.taintedSinks.size(), 1u);
+}
+
+TEST(TaintTest, TaintFlowsThroughCallsAndReturns)
+{
+    const char *src = R"(
+int launder(int x) { int y = x + 1; return y; }
+
+int main() {
+    char buf[16];
+    getenv("N", buf, 16);
+    int v = launder(launder(buf[0]));
+    char out[4];
+    out[0] = v % 10 + '0';
+    print(out, 1);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["N"] = "5";
+    auto r = taintRun(src, w, {SourceSpec::env("N")},
+                      TaintPolicy::taintgrind());
+    EXPECT_EQ(r.taintedSinks.size(), 1u);
+}
+
+TEST(TaintTest, FileSourceTaintsReadBytes)
+{
+    const char *src = R"(
+int main() {
+    char buf[32];
+    int fd = open("/secret.txt", 0);
+    read(fd, buf, 8);
+    int out = open("/leak.txt", 1);
+    write(out, buf, 8);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.files["/secret.txt"] = "topsecret";
+    auto r = taintRun(src, w, {SourceSpec::file("/secret.txt")},
+                      TaintPolicy::taintgrind());
+    EXPECT_EQ(r.taintedSinks.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Control-dependence blindness: the Table 3 gap versus LDX.
+// ---------------------------------------------------------------------
+
+const char *kControlLeak = R"(
+int main() {
+    char buf[16];
+    getenv("SECRET", buf, 16);
+    int x = 0;
+    if (buf[0] == 'a') { x = 1; } else { x = 2; }
+    char out[4];
+    out[0] = x + '0';
+    print(out, 1);
+    return 0;
+}
+)";
+
+TEST(TaintTest, DataDepTrackersMissControlLeak)
+{
+    os::WorldSpec w;
+    w.env["SECRET"] = "abc";
+    auto tg = taintRun(kControlLeak, w, {SourceSpec::env("SECRET")},
+                       TaintPolicy::taintgrind());
+    auto ld = taintRun(kControlLeak, w, {SourceSpec::env("SECRET")},
+                       TaintPolicy::libdft());
+    EXPECT_TRUE(tg.taintedSinks.empty());
+    EXPECT_TRUE(ld.taintedSinks.empty());
+}
+
+TEST(TaintTest, LdxDetectsTheSameControlLeak)
+{
+    os::WorldSpec w;
+    w.env["SECRET"] = "abc";
+    auto module = lang::compileSource(kControlLeak);
+    instrument::CounterInstrumenter pass(*module);
+    pass.run();
+    core::EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("SECRET")};
+    cfg.wallClockCap = 20.0;
+    core::DualEngine engine(*module, w, cfg);
+    auto res = engine.run();
+    EXPECT_TRUE(res.causality());
+}
+
+TEST(TaintTest, ControlAugmentedTrackerCatchesControlLeak)
+{
+    os::WorldSpec w;
+    w.env["SECRET"] = "abc";
+    auto r = taintRun(kControlLeak, w, {SourceSpec::env("SECRET")},
+                      TaintPolicy::controlAugmented());
+    EXPECT_EQ(r.taintedSinks.size(), 1u);
+}
+
+TEST(TaintTest, ControlAugmentedOverTaints)
+{
+    // Weak causality (Fig. 1 (c)): the control tracker flags the sink
+    // even though the attacker learns almost nothing — the
+    // over-tainting the paper attributes to control-dep tracking.
+    const char *src = R"(
+int main() {
+    char buf[16];
+    getenv("S", buf, 16);
+    int s = atoi(buf);
+    int x = 0;
+    if (s > 10) { x = 1; }
+    char out[4];
+    out[0] = x + '0';
+    print(out, 1);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["S"] = "50";
+    auto r = taintRun(src, w, {SourceSpec::env("S")},
+                      TaintPolicy::controlAugmented());
+    EXPECT_EQ(r.taintedSinks.size(), 1u) << "expected over-taint";
+}
+
+// ---------------------------------------------------------------------
+// LIBDFT's library-model gap: its tainted sinks are a subset of
+// TaintGrind's (Table 3 observation 2).
+// ---------------------------------------------------------------------
+
+TEST(TaintTest, LibdftMissesConversionRoutines)
+{
+    const char *src = R"(
+int main() {
+    char buf[16];
+    getenv("N", buf, 16);
+    int n = atoi(buf);        // libdft drops taint here
+    char out[24];
+    itoa(n * 2, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["N"] = "21";
+    auto tg = taintRun(src, w, {SourceSpec::env("N")},
+                       TaintPolicy::taintgrind());
+    auto ld = taintRun(src, w, {SourceSpec::env("N")},
+                       TaintPolicy::libdft());
+    EXPECT_EQ(tg.taintedSinks.size(), 1u);
+    EXPECT_TRUE(ld.taintedSinks.empty());
+}
+
+TEST(TaintTest, LibdftStillTracksBlockCopies)
+{
+    const char *src = R"(
+int main() {
+    char secret[32];
+    getenv("SECRET", secret, 32);
+    char tmp[32];
+    strcpy(tmp, secret);
+    print(tmp, 4);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["SECRET"] = "data";
+    auto ld = taintRun(src, w, {SourceSpec::env("SECRET")},
+                       TaintPolicy::libdft());
+    EXPECT_EQ(ld.taintedSinks.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Vulnerable-program sinks: return tokens and malloc arguments.
+// ---------------------------------------------------------------------
+
+TEST(TaintTest, StackSmashTaintsReturnToken)
+{
+    const char *src = R"(
+int handle(char *req) {
+    char buf[8];
+    strcpy(buf, req);
+    return 0;
+}
+
+int main() {
+    char req[64];
+    getenv("REQ", req, 64);
+    handle(req);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["REQ"] = std::string(32, 'A');
+    auto r = taintRun(src, w, {SourceSpec::env("REQ")},
+                      TaintPolicy::taintgrind(), /*ret=*/true);
+    // The run traps on the corrupted token, but the sink event fires
+    // first and must be tainted.
+    bool ret_token_tainted = false;
+    for (const auto &evt : r.taintedSinks) {
+        if (evt.kind == taint::TaintedSinkEvent::Kind::RetToken)
+            ret_token_tainted = true;
+    }
+    EXPECT_TRUE(ret_token_tainted);
+}
+
+TEST(TaintTest, AllocSizeTaintDetected)
+{
+    const char *src = R"(
+int main() {
+    char buf[16];
+    getenv("LEN", buf, 16);
+    int n = buf[0] - '0';
+    char *p = malloc(n * 8);
+    p[0] = 1;
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["LEN"] = "4";
+    auto r = taintRun(src, w, {SourceSpec::env("LEN")},
+                      TaintPolicy::taintgrind(), false, /*alloc=*/true);
+    bool alloc_tainted = false;
+    for (const auto &evt : r.taintedSinks) {
+        if (evt.kind == taint::TaintedSinkEvent::Kind::AllocSize)
+            alloc_tainted = true;
+    }
+    EXPECT_TRUE(alloc_tainted);
+}
+
+TEST(TaintTest, MultipleSourcesGetDistinctLabels)
+{
+    const char *src = R"(
+int main() {
+    char a[16];
+    char b[16];
+    getenv("A", a, 16);
+    getenv("B", b, 16);
+    print(a, 1);
+    print(b, 1);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["A"] = "x";
+    w.env["B"] = "y";
+    auto r = taintRun(src, w,
+                      {SourceSpec::env("A"), SourceSpec::env("B")},
+                      TaintPolicy::taintgrind());
+    ASSERT_EQ(r.taintedSinks.size(), 2u);
+    EXPECT_EQ(r.taintedSinks[0].labels, 1u);
+    EXPECT_EQ(r.taintedSinks[1].labels, 2u);
+}
+
+// ---------------------------------------------------------------------
+// TightLip.
+// ---------------------------------------------------------------------
+
+TEST(TightLipTest, IdenticalTracesMatch)
+{
+    const char *src = R"(
+int main() {
+    print("abc", 3);
+    print("def", 3);
+    return 0;
+}
+)";
+    auto res = taint::runTightLip(moduleFor(src), {}, {});
+    EXPECT_FALSE(res.leakReported);
+    EXPECT_EQ(res.matchedPrefix, 2u);
+}
+
+TEST(TightLipTest, PayloadLeakReported)
+{
+    const char *src = R"(
+int main() {
+    char buf[16];
+    getenv("SECRET", buf, 16);
+    print(buf, 3);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["SECRET"] = "aaa";
+    auto res = taint::runTightLip(moduleFor(src), w,
+                                  {SourceSpec::env("SECRET")});
+    EXPECT_TRUE(res.leakReported);
+    EXPECT_TRUE(res.payloadDiffered);
+}
+
+TEST(TightLipTest, FailsOnNonLeakingPathDifference)
+{
+    // The mutation changes the syscall stream substantially but the
+    // final output is unchanged. TightLip cannot realign beyond its
+    // window and (falsely) reports; LDX handles this case (Table 2).
+    const char *src = R"(
+int main() {
+    char mode[8];
+    getenv("MODE", mode, 8);
+    if (mode[0] == 'v') {
+        for (int i = 0; i < 20; i = i + 1) {
+            int fd = open("/scratch.txt", 2);
+            write(fd, "x", 1);
+            close(fd);
+        }
+    }
+    print("constant", 8);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["MODE"] = "u"; // doppelganger sees 'v'
+    auto res = taint::runTightLip(moduleFor(src), w,
+                                  {SourceSpec::env("MODE")},
+                                  MutationStrategy::OffByOne,
+                                  /*window=*/8);
+    EXPECT_TRUE(res.leakReported);
+    EXPECT_TRUE(res.alignmentFailed);
+
+    // LDX on the same program and mutation: no causality.
+    auto module = lang::compileSource(src);
+    instrument::CounterInstrumenter pass(*module);
+    pass.run();
+    core::EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("MODE")};
+    cfg.sinks.file = false;
+    cfg.wallClockCap = 20.0;
+    core::DualEngine engine(*module, w, cfg);
+    auto ldx_res = engine.run();
+    EXPECT_FALSE(ldx_res.causality());
+}
+
+TEST(TightLipTest, SmallDifferenceWithinWindowTolerated)
+{
+    const char *src = R"(
+int main() {
+    char mode[8];
+    getenv("MODE", mode, 8);
+    if (mode[0] == 'v') { time(); }
+    print("constant", 8);
+    return 0;
+}
+)";
+    os::WorldSpec w;
+    w.env["MODE"] = "u";
+    auto res = taint::runTightLip(moduleFor(src), w,
+                                  {SourceSpec::env("MODE")});
+    EXPECT_FALSE(res.leakReported);
+    EXPECT_GT(res.syscallDiffs, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Execution-indexing baseline.
+// ---------------------------------------------------------------------
+
+TEST(IndexingTest, LockstepRunsToCompletionWithoutDivergence)
+{
+    const char *src = R"(
+int main() {
+    int s = 0;
+    for (int i = 0; i < 100; i = i + 1) { s = s + i; }
+    char out[24];
+    itoa(s, out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+    auto res = taint::runIndexedDualExecution(moduleFor(src), {});
+    EXPECT_TRUE(res.finished);
+    EXPECT_FALSE(res.diverged);
+    EXPECT_GT(res.indexComparisons, 100u);
+}
+
+} // namespace
+} // namespace ldx

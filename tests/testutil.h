@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the test suite: compile MiniC and run it natively
+ * (no dual execution) against a WorldSpec.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/compiler.h"
+#include "os/kernel.h"
+#include "vm/machine.h"
+
+namespace ldx::test {
+
+/** Outcome of a native run. */
+struct RunResult
+{
+    vm::StepStatus status = vm::StepStatus::Finished;
+    std::int64_t exitCode = 0;
+    std::vector<os::OutputRecord> outputs;
+    std::string trapMessage;
+
+    /** Concatenated console output. */
+    std::string
+    console() const
+    {
+        std::string out;
+        for (const auto &rec : outputs) {
+            if (rec.channel == "console")
+                out += rec.payload;
+        }
+        return out;
+    }
+};
+
+/** Compile @p source and run main() to completion natively. */
+inline RunResult
+runProgram(const std::string &source, const os::WorldSpec &spec = {},
+           vm::MachineConfig cfg = {})
+{
+    auto module = lang::compileSource(source);
+    os::Kernel kernel(spec);
+    vm::Machine machine(*module, kernel, cfg);
+    RunResult result;
+    result.status = machine.run();
+    result.exitCode = machine.exitCode();
+    result.outputs = kernel.outputs();
+    if (machine.trap())
+        result.trapMessage = machine.trap()->message;
+    return result;
+}
+
+} // namespace ldx::test

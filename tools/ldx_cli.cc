@@ -1,0 +1,374 @@
+/**
+ * @file
+ * ldx — command-line driver.
+ *
+ *   ldx run <prog.mc> [options]       run natively, print outputs
+ *   ldx dual <prog.mc> [options]      dual-execute, print the verdict
+ *   ldx taint <prog.mc> [options]     run a taint-tracking baseline
+ *   ldx dump <prog.mc> [options]      print the (instrumented) IR
+ *   ldx corpus                        list the built-in workloads
+ *   ldx bench <workload-name>         dual-execute a built-in workload
+ *
+ * Options:
+ *   --env K=V            environment variable (repeatable)
+ *   --file PATH=DATA     virtual file contents (repeatable)
+ *   --host-file PATH=F   virtual file loaded from host file F
+ *   --peer HOST=R1,R2    scripted peer responses (repeatable)
+ *   --request DATA       inbound connection request (repeatable)
+ *   --source-env NAME    mutate this env var        (dual/taint)
+ *   --source-file PATH   mutate this file           (dual/taint)
+ *   --source-peer HOST   mutate this peer's data    (dual/taint)
+ *   --source-incoming    mutate inbound requests    (dual/taint)
+ *   --offset N           mutation byte offset (default 0)
+ *   --strategy S         off-by-one | zero | bit-flip | random
+ *   --sinks LIST         comma list of net,file,console,ret,alloc
+ *   --policy P           taintgrind | libdft | control   (taint)
+ *   --threaded           two-OS-thread driver            (dual)
+ *   --trace              print the alignment trace       (dual)
+ *   --no-instrument      skip the counter pass           (dump)
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "instrument/instrument.h"
+#include "ir/printer.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+#include "os/kernel.h"
+#include "support/diag.h"
+#include "support/strings.h"
+#include "taint/tracker.h"
+#include "vm/machine.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ldx;
+
+struct CliOptions
+{
+    std::string command;
+    std::string program;
+    os::WorldSpec world;
+    std::vector<core::SourceSpec> sources;
+    std::size_t offset = 0;
+    core::MutationStrategy strategy = core::MutationStrategy::OffByOne;
+    core::SinkConfig sinks;
+    std::string policy = "taintgrind";
+    bool threaded = false;
+    bool traceAlignment = false;
+    bool instrument = true;
+};
+
+[[noreturn]] void
+usage(const std::string &error = "")
+{
+    if (!error.empty())
+        std::cerr << "error: " << error << "\n\n";
+    std::cerr <<
+        "usage: ldx <run|dual|taint|dump> <prog.mc> [options]\n"
+        "       ldx corpus | ldx bench <workload>\n"
+        "see the file header of tools/ldx_cli.cc for options\n";
+    std::exit(2);
+}
+
+std::string
+readHostFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        usage("cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::pair<std::string, std::string>
+splitKv(const std::string &arg, const char *what)
+{
+    auto pos = arg.find('=');
+    if (pos == std::string::npos)
+        usage(std::string(what) + " expects KEY=VALUE, got " + arg);
+    return {arg.substr(0, pos), arg.substr(pos + 1)};
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opt;
+    if (argc < 2)
+        usage();
+    opt.command = argv[1];
+    int i = 2;
+    if (opt.command == "run" || opt.command == "dual" ||
+        opt.command == "taint" || opt.command == "dump" ||
+        opt.command == "bench") {
+        if (argc < 3)
+            usage(opt.command + " needs an argument");
+        opt.program = argv[2];
+        i = 3;
+    } else if (opt.command != "corpus") {
+        usage("unknown command " + opt.command);
+    }
+
+    auto next = [&](const char *flag) -> std::string {
+        if (i >= argc)
+            usage(std::string(flag) + " needs a value");
+        return argv[i++];
+    };
+
+    while (i < argc) {
+        std::string arg = argv[i++];
+        if (arg == "--env") {
+            auto [k, v] = splitKv(next("--env"), "--env");
+            opt.world.env[k] = v;
+        } else if (arg == "--file") {
+            auto [k, v] = splitKv(next("--file"), "--file");
+            opt.world.files[k] = v;
+        } else if (arg == "--host-file") {
+            auto [k, v] = splitKv(next("--host-file"), "--host-file");
+            opt.world.files[k] = readHostFile(v);
+        } else if (arg == "--peer") {
+            auto [k, v] = splitKv(next("--peer"), "--peer");
+            for (const std::string &r : splitString(v, ','))
+                opt.world.peers[k].responses.push_back(r);
+        } else if (arg == "--request") {
+            opt.world.incoming.push_back({next("--request")});
+        } else if (arg == "--source-env") {
+            opt.sources.push_back(
+                core::SourceSpec::env(next("--source-env")));
+        } else if (arg == "--source-file") {
+            opt.sources.push_back(
+                core::SourceSpec::file(next("--source-file")));
+        } else if (arg == "--source-peer") {
+            opt.sources.push_back(
+                core::SourceSpec::peer(next("--source-peer")));
+        } else if (arg == "--source-incoming") {
+            opt.sources.push_back(core::SourceSpec::incoming());
+        } else if (arg == "--offset") {
+            opt.offset = std::stoul(next("--offset"));
+        } else if (arg == "--strategy") {
+            std::string s = next("--strategy");
+            if (s == "off-by-one")
+                opt.strategy = core::MutationStrategy::OffByOne;
+            else if (s == "zero")
+                opt.strategy = core::MutationStrategy::Zero;
+            else if (s == "bit-flip")
+                opt.strategy = core::MutationStrategy::BitFlip;
+            else if (s == "random")
+                opt.strategy = core::MutationStrategy::Random;
+            else
+                usage("unknown strategy " + s);
+        } else if (arg == "--sinks") {
+            opt.sinks = core::SinkConfig{};
+            opt.sinks.net = opt.sinks.file = opt.sinks.console = false;
+            for (const std::string &s :
+                 splitString(next("--sinks"), ',')) {
+                if (s == "net")
+                    opt.sinks.net = true;
+                else if (s == "file")
+                    opt.sinks.file = true;
+                else if (s == "console")
+                    opt.sinks.console = true;
+                else if (s == "ret")
+                    opt.sinks.retTokens = true;
+                else if (s == "alloc")
+                    opt.sinks.allocSizes = true;
+                else
+                    usage("unknown sink class " + s);
+            }
+        } else if (arg == "--policy") {
+            opt.policy = next("--policy");
+        } else if (arg == "--threaded") {
+            opt.threaded = true;
+        } else if (arg == "--trace") {
+            opt.traceAlignment = true;
+        } else if (arg == "--no-instrument") {
+            opt.instrument = false;
+        } else {
+            usage("unknown option " + arg);
+        }
+    }
+    for (core::SourceSpec &src : opt.sources)
+        src.offset = opt.offset;
+    return opt;
+}
+
+std::unique_ptr<ir::Module>
+compileProgram(const CliOptions &opt, bool instrumented)
+{
+    auto module = lang::compileSource(readHostFile(opt.program));
+    if (instrumented) {
+        instrument::CounterInstrumenter pass(*module);
+        auto stats = pass.run();
+        std::cerr << "[ldx] instrumented " << stats.insertedOps
+                  << " counter ops (" << stats.syscallSites
+                  << " syscall sites, " << stats.loops
+                  << " loops, max cnt " << stats.maxStaticCnt << ")\n";
+    }
+    return module;
+}
+
+int
+cmdRun(const CliOptions &opt)
+{
+    auto module = compileProgram(opt, false);
+    os::Kernel kernel(opt.world);
+    vm::Machine machine(*module, kernel, {});
+    vm::StepStatus st = machine.run();
+    for (const os::OutputRecord &rec : kernel.outputs()) {
+        std::cout << rec.channel << ": " << escapeBytes(rec.payload, 120)
+                  << "\n";
+    }
+    if (st == vm::StepStatus::Trapped) {
+        std::cerr << "[ldx] trapped: " << machine.trap()->message
+                  << "\n";
+        return 139;
+    }
+    std::cerr << "[ldx] exit " << machine.exitCode() << " after "
+              << machine.stats().instructions << " instructions\n";
+    return static_cast<int>(machine.exitCode());
+}
+
+int
+cmdDual(const CliOptions &opt)
+{
+    auto module = compileProgram(opt, true);
+    core::EngineConfig cfg;
+    cfg.sources = opt.sources;
+    cfg.strategy = opt.strategy;
+    cfg.sinks = opt.sinks;
+    cfg.threaded = opt.threaded;
+    cfg.recordTrace = opt.traceAlignment;
+    core::DualEngine engine(*module, opt.world, cfg);
+    core::DualResult res = engine.run();
+
+    if (opt.traceAlignment) {
+        std::cout << "alignment trace:\n";
+        for (const core::TraceEvent &evt : res.trace)
+            std::cout << "  " << evt.describe() << "\n";
+    }
+    std::cout << "aligned syscalls:    " << res.alignedSyscalls << "\n";
+    std::cout << "misaligned syscalls: " << res.syscallDiffs << "\n";
+    std::cout << "barrier pairings:    " << res.barrierPairings << "\n";
+    if (!res.taintedResources.empty()) {
+        std::cout << "tainted resources:\n";
+        for (const std::string &k : res.taintedResources)
+            std::cout << "  " << k << "\n";
+    }
+    if (res.causality()) {
+        std::cout << "CAUSALITY DETECTED (" << res.findings.size()
+                  << " finding(s)):\n";
+        for (const core::Finding &f : res.findings)
+            std::cout << "  " << f.describe() << "\n";
+        return 1;
+    }
+    std::cout << "no causality between the sources and any sink\n";
+    return 0;
+}
+
+int
+cmdTaint(const CliOptions &opt)
+{
+    auto module = compileProgram(opt, false);
+    taint::TaintRunOptions topt;
+    if (opt.policy == "taintgrind")
+        topt.policy = taint::TaintPolicy::taintgrind();
+    else if (opt.policy == "libdft")
+        topt.policy = taint::TaintPolicy::libdft();
+    else if (opt.policy == "control")
+        topt.policy = taint::TaintPolicy::controlAugmented();
+    else
+        usage("unknown policy " + opt.policy);
+    topt.sources = opt.sources;
+    core::SinkConfig sinks = opt.sinks;
+    topt.sinkChannel = [sinks](const std::string &channel) {
+        return sinks.matchesChannel(channel);
+    };
+    topt.retTokenSinks = opt.sinks.retTokens;
+    topt.allocSizeSinks = opt.sinks.allocSizes;
+    auto res = taint::runTaintAnalysis(*module, opt.world, topt);
+    std::cout << "sink events: " << res.totalSinks << ", tainted: "
+              << res.taintedSinks.size() << "\n";
+    for (const auto &evt : res.taintedSinks) {
+        std::cout << "  " << evt.channel << " labels=0x" << std::hex
+                  << evt.labels << std::dec;
+        if (evt.loc.line)
+            std::cout << " line=" << evt.loc.line;
+        std::cout << "\n";
+    }
+    return res.taintedSinks.empty() ? 0 : 1;
+}
+
+int
+cmdDump(const CliOptions &opt)
+{
+    auto module = compileProgram(opt, opt.instrument);
+    ir::printModule(std::cout, *module);
+    return 0;
+}
+
+int
+cmdCorpus()
+{
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        std::cout << w.name << "  [" << categoryName(w.category)
+                  << "]  " << w.description << "\n";
+    }
+    return 0;
+}
+
+int
+cmdBench(const CliOptions &opt)
+{
+    const workloads::Workload *w = workloads::findWorkload(opt.program);
+    if (!w)
+        usage("unknown workload " + opt.program + " (see 'ldx corpus')");
+    core::EngineConfig cfg;
+    cfg.sinks = w->sinks;
+    cfg.sources = w->sources;
+    cfg.threaded = opt.threaded;
+    core::DualEngine engine(workloads::workloadModule(*w, true),
+                            w->world(w->defaultScale), cfg);
+    auto res = engine.run();
+    std::cout << w->name << ": "
+              << (res.causality() ? "causality detected" : "clean")
+              << " (aligned " << res.alignedSyscalls << ", diffs "
+              << res.syscallDiffs << ", " << res.findings.size()
+              << " finding(s))\n";
+    for (const core::Finding &f : res.findings)
+        std::cout << "  " << f.describe() << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        CliOptions opt = parseArgs(argc, argv);
+        if (opt.command == "run")
+            return cmdRun(opt);
+        if (opt.command == "dual")
+            return cmdDual(opt);
+        if (opt.command == "taint")
+            return cmdTaint(opt);
+        if (opt.command == "dump")
+            return cmdDump(opt);
+        if (opt.command == "corpus")
+            return cmdCorpus();
+        if (opt.command == "bench")
+            return cmdBench(opt);
+        usage();
+    } catch (const ldx::FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    } catch (const ldx::PanicError &e) {
+        std::cerr << "internal error: " << e.what() << "\n";
+        return 3;
+    }
+}
