@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dualexec.dir/table2_dualexec.cc.o"
+  "CMakeFiles/table2_dualexec.dir/table2_dualexec.cc.o.d"
+  "table2_dualexec"
+  "table2_dualexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dualexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

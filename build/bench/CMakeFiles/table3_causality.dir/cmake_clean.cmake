@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_causality.dir/table3_causality.cc.o"
+  "CMakeFiles/table3_causality.dir/table3_causality.cc.o.d"
+  "table3_causality"
+  "table3_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

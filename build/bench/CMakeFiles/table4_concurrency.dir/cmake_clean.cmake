@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_concurrency.dir/table4_concurrency.cc.o"
+  "CMakeFiles/table4_concurrency.dir/table4_concurrency.cc.o.d"
+  "table4_concurrency"
+  "table4_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_raise.dir/employee_raise.cpp.o"
+  "CMakeFiles/employee_raise.dir/employee_raise.cpp.o.d"
+  "employee_raise"
+  "employee_raise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_raise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

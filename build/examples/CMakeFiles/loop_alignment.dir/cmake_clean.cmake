@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_alignment.dir/loop_alignment.cpp.o"
+  "CMakeFiles/loop_alignment.dir/loop_alignment.cpp.o.d"
+  "loop_alignment"
+  "loop_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

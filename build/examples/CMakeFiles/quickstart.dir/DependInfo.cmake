@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ldx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/ldx_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldx/CMakeFiles/ldx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/ldx_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ldx_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ldx_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ldx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ldx_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ldx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

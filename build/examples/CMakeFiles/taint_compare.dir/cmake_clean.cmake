@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_compare.dir/taint_compare.cpp.o"
+  "CMakeFiles/taint_compare.dir/taint_compare.cpp.o.d"
+  "taint_compare"
+  "taint_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_analysis.dir/callgraph.cc.o"
+  "CMakeFiles/ldx_analysis.dir/callgraph.cc.o.d"
+  "CMakeFiles/ldx_analysis.dir/dominators.cc.o"
+  "CMakeFiles/ldx_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/ldx_analysis.dir/graph.cc.o"
+  "CMakeFiles/ldx_analysis.dir/graph.cc.o.d"
+  "CMakeFiles/ldx_analysis.dir/loops.cc.o"
+  "CMakeFiles/ldx_analysis.dir/loops.cc.o.d"
+  "libldx_analysis.a"
+  "libldx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_instrument.dir/instrument.cc.o"
+  "CMakeFiles/ldx_instrument.dir/instrument.cc.o.d"
+  "libldx_instrument.a"
+  "libldx_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

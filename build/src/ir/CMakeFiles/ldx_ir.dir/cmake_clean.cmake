@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_ir.dir/builder.cc.o"
+  "CMakeFiles/ldx_ir.dir/builder.cc.o.d"
+  "CMakeFiles/ldx_ir.dir/ir.cc.o"
+  "CMakeFiles/ldx_ir.dir/ir.cc.o.d"
+  "CMakeFiles/ldx_ir.dir/printer.cc.o"
+  "CMakeFiles/ldx_ir.dir/printer.cc.o.d"
+  "CMakeFiles/ldx_ir.dir/verifier.cc.o"
+  "CMakeFiles/ldx_ir.dir/verifier.cc.o.d"
+  "libldx_ir.a"
+  "libldx_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

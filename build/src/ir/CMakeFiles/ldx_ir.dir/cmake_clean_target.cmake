@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldx_ir.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_lang.dir/compiler.cc.o"
+  "CMakeFiles/ldx_lang.dir/compiler.cc.o.d"
+  "CMakeFiles/ldx_lang.dir/lexer.cc.o"
+  "CMakeFiles/ldx_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/ldx_lang.dir/parser.cc.o"
+  "CMakeFiles/ldx_lang.dir/parser.cc.o.d"
+  "libldx_lang.a"
+  "libldx_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

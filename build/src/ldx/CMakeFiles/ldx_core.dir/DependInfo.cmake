@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ldx/controller.cc" "src/ldx/CMakeFiles/ldx_core.dir/controller.cc.o" "gcc" "src/ldx/CMakeFiles/ldx_core.dir/controller.cc.o.d"
+  "/root/repo/src/ldx/engine.cc" "src/ldx/CMakeFiles/ldx_core.dir/engine.cc.o" "gcc" "src/ldx/CMakeFiles/ldx_core.dir/engine.cc.o.d"
+  "/root/repo/src/ldx/mutation.cc" "src/ldx/CMakeFiles/ldx_core.dir/mutation.cc.o" "gcc" "src/ldx/CMakeFiles/ldx_core.dir/mutation.cc.o.d"
+  "/root/repo/src/ldx/report.cc" "src/ldx/CMakeFiles/ldx_core.dir/report.cc.o" "gcc" "src/ldx/CMakeFiles/ldx_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/ldx_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ldx_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ldx_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ldx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ldx_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_core.dir/controller.cc.o"
+  "CMakeFiles/ldx_core.dir/controller.cc.o.d"
+  "CMakeFiles/ldx_core.dir/engine.cc.o"
+  "CMakeFiles/ldx_core.dir/engine.cc.o.d"
+  "CMakeFiles/ldx_core.dir/mutation.cc.o"
+  "CMakeFiles/ldx_core.dir/mutation.cc.o.d"
+  "CMakeFiles/ldx_core.dir/report.cc.o"
+  "CMakeFiles/ldx_core.dir/report.cc.o.d"
+  "libldx_core.a"
+  "libldx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/ldx_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/ldx_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/sysno.cc" "src/os/CMakeFiles/ldx_os.dir/sysno.cc.o" "gcc" "src/os/CMakeFiles/ldx_os.dir/sysno.cc.o.d"
+  "/root/repo/src/os/vfs.cc" "src/os/CMakeFiles/ldx_os.dir/vfs.cc.o" "gcc" "src/os/CMakeFiles/ldx_os.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ldx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_os.dir/kernel.cc.o"
+  "CMakeFiles/ldx_os.dir/kernel.cc.o.d"
+  "CMakeFiles/ldx_os.dir/sysno.cc.o"
+  "CMakeFiles/ldx_os.dir/sysno.cc.o.d"
+  "CMakeFiles/ldx_os.dir/vfs.cc.o"
+  "CMakeFiles/ldx_os.dir/vfs.cc.o.d"
+  "libldx_os.a"
+  "libldx_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_support.dir/diag.cc.o"
+  "CMakeFiles/ldx_support.dir/diag.cc.o.d"
+  "CMakeFiles/ldx_support.dir/strings.cc.o"
+  "CMakeFiles/ldx_support.dir/strings.cc.o.d"
+  "CMakeFiles/ldx_support.dir/table.cc.o"
+  "CMakeFiles/ldx_support.dir/table.cc.o.d"
+  "libldx_support.a"
+  "libldx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

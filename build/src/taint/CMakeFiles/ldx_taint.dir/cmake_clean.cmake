@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_taint.dir/indexing.cc.o"
+  "CMakeFiles/ldx_taint.dir/indexing.cc.o.d"
+  "CMakeFiles/ldx_taint.dir/tightlip.cc.o"
+  "CMakeFiles/ldx_taint.dir/tightlip.cc.o.d"
+  "CMakeFiles/ldx_taint.dir/tracker.cc.o"
+  "CMakeFiles/ldx_taint.dir/tracker.cc.o.d"
+  "libldx_taint.a"
+  "libldx_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

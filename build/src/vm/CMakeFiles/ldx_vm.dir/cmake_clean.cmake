@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_vm.dir/machine.cc.o"
+  "CMakeFiles/ldx_vm.dir/machine.cc.o.d"
+  "CMakeFiles/ldx_vm.dir/memory.cc.o"
+  "CMakeFiles/ldx_vm.dir/memory.cc.o.d"
+  "libldx_vm.a"
+  "libldx_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

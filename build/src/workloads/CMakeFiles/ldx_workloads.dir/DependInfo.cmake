@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/conc_workloads.cc" "src/workloads/CMakeFiles/ldx_workloads.dir/conc_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ldx_workloads.dir/conc_workloads.cc.o.d"
+  "/root/repo/src/workloads/netsys_workloads.cc" "src/workloads/CMakeFiles/ldx_workloads.dir/netsys_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ldx_workloads.dir/netsys_workloads.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/ldx_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/ldx_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/spec_workloads.cc" "src/workloads/CMakeFiles/ldx_workloads.dir/spec_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ldx_workloads.dir/spec_workloads.cc.o.d"
+  "/root/repo/src/workloads/vuln_workloads.cc" "src/workloads/CMakeFiles/ldx_workloads.dir/vuln_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ldx_workloads.dir/vuln_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ldx/CMakeFiles/ldx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/ldx_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ldx_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ldx_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ldx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldx_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ldx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ldx_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

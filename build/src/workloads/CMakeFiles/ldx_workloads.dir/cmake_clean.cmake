@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx_workloads.dir/conc_workloads.cc.o"
+  "CMakeFiles/ldx_workloads.dir/conc_workloads.cc.o.d"
+  "CMakeFiles/ldx_workloads.dir/netsys_workloads.cc.o"
+  "CMakeFiles/ldx_workloads.dir/netsys_workloads.cc.o.d"
+  "CMakeFiles/ldx_workloads.dir/registry.cc.o"
+  "CMakeFiles/ldx_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/ldx_workloads.dir/spec_workloads.cc.o"
+  "CMakeFiles/ldx_workloads.dir/spec_workloads.cc.o.d"
+  "CMakeFiles/ldx_workloads.dir/vuln_workloads.cc.o"
+  "CMakeFiles/ldx_workloads.dir/vuln_workloads.cc.o.d"
+  "libldx_workloads.a"
+  "libldx_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/ldx_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/dual_test.cc" "tests/CMakeFiles/ldx_tests.dir/dual_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/dual_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/ldx_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/instrument_edge_test.cc" "tests/CMakeFiles/ldx_tests.dir/instrument_edge_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/instrument_edge_test.cc.o.d"
+  "/root/repo/tests/instrument_test.cc" "tests/CMakeFiles/ldx_tests.dir/instrument_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/instrument_test.cc.o.d"
+  "/root/repo/tests/lang_test.cc" "tests/CMakeFiles/ldx_tests.dir/lang_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/lang_test.cc.o.d"
+  "/root/repo/tests/os_test.cc" "tests/CMakeFiles/ldx_tests.dir/os_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/os_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/ldx_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ldx_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/protocol_test.cc" "tests/CMakeFiles/ldx_tests.dir/protocol_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/protocol_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/ldx_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/subsumption_test.cc" "tests/CMakeFiles/ldx_tests.dir/subsumption_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/subsumption_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/ldx_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/taint_test.cc" "tests/CMakeFiles/ldx_tests.dir/taint_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/taint_test.cc.o.d"
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/ldx_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/vm_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/ldx_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/ldx_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ldx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/ldx_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldx/CMakeFiles/ldx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/ldx_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ldx_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ldx_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ldx_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ldx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ldx_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ldx_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ldx_tests[1]_include.cmake")
+add_test(cli_corpus "/root/repo/build/tools/ldx" "corpus")
+set_tests_properties(cli_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/ldx")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/tools/ldx" "run" "/root/repo/build/tests/cli_demo.mc" "--env" "SECRET=abc")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_dual_leak "/root/repo/build/tools/ldx" "dual" "/root/repo/build/tests/cli_demo.mc" "--env" "SECRET=abc" "--source-env" "SECRET")
+set_tests_properties(cli_dual_leak PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;47;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_dump "/root/repo/build/tools/ldx" "dump" "/root/repo/build/tests/cli_demo.mc")
+set_tests_properties(cli_dump PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bench "/root/repo/build/tools/ldx" "bench" "401.bzip2")
+set_tests_properties(cli_bench PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;53;add_test;/root/repo/tests/CMakeLists.txt;0;")

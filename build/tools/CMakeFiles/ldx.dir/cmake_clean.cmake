@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldx.dir/ldx_cli.cc.o"
+  "CMakeFiles/ldx.dir/ldx_cli.cc.o.d"
+  "ldx"
+  "ldx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
