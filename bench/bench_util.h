@@ -6,10 +6,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "ldx/engine.h"
+#include "obs/json.h"
 #include "os/kernel.h"
+#include "support/stats.h"
 #include "vm/machine.h"
 #include "workloads/workloads.h"
 
@@ -66,6 +70,40 @@ runDual(const workloads::Workload &w, int scale,
     core::DualEngine engine(workloads::workloadModule(w, true),
                             w.world(scale), cfg);
     return engine.run();
+}
+
+/** A RunningStats aggregate as one JSON object. */
+inline std::string
+statsJson(const RunningStats &s)
+{
+    std::string out = "{\"count\":" + std::to_string(s.count());
+    out += ",\"min\":" + obs::jsonNumber(s.min());
+    out += ",\"max\":" + obs::jsonNumber(s.max());
+    out += ",\"mean\":" + obs::jsonNumber(s.mean());
+    out += ",\"stddev\":" + obs::jsonNumber(s.stddev());
+    out += ",\"geomean\":" + obs::jsonNumber(s.geomean());
+    out += ",\"p50\":" + obs::jsonNumber(s.p50());
+    out += ",\"p95\":" + obs::jsonNumber(s.p95());
+    out += ",\"p99\":" + obs::jsonNumber(s.p99());
+    out += '}';
+    return out;
+}
+
+/**
+ * Write @p json to BENCH_<name>.json in the working directory so CI
+ * and scripts can diff machine-readable results run over run.
+ */
+inline void
+writeBenchBlob(const std::string &name, const std::string &json)
+{
+    std::string path = "BENCH_" + name + ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::cerr << "[bench] cannot write " << path << "\n";
+        return;
+    }
+    out << json << "\n";
+    std::cerr << "[bench] wrote " << path << "\n";
 }
 
 /** Count the source lines of a workload's MiniC text. */

@@ -56,6 +56,7 @@ main()
     TextTable table({"Program", "native(ms)", "ldx same-in",
                      "ldx mutated", "ovh same", "ovh mutated"});
     RunningStats same_ratio, mut_ratio;
+    std::string rows_json;
 
     for (const workloads::Workload &w : workloads::allWorkloads()) {
         bool skip = false;
@@ -92,6 +93,16 @@ main()
                       formatDouble(mutated * 1e3, 2),
                       formatPercent(r_same - 1.0),
                       formatPercent(r_mut - 1.0)});
+
+        if (!rows_json.empty())
+            rows_json += ',';
+        rows_json += "{\"name\":" + obs::jsonString(w.name);
+        rows_json += ",\"native_ms\":" + obs::jsonNumber(native * 1e3);
+        rows_json += ",\"same_ms\":" + obs::jsonNumber(same * 1e3);
+        rows_json += ",\"mutated_ms\":" + obs::jsonNumber(mutated * 1e3);
+        rows_json += ",\"ratio_same\":" + obs::jsonNumber(r_same);
+        rows_json += ",\"ratio_mutated\":" + obs::jsonNumber(r_mut);
+        rows_json += '}';
     }
 
     table.print(std::cout);
@@ -103,6 +114,23 @@ main()
               << formatPercent(same_ratio.mean() - 1.0)
               << "   mutated: "
               << formatPercent(mut_ratio.mean() - 1.0) << "\n";
+    std::cout << "Overhead p50/p95/p99  same-input: "
+              << formatPercent(same_ratio.p50() - 1.0) << " / "
+              << formatPercent(same_ratio.p95() - 1.0) << " / "
+              << formatPercent(same_ratio.p99() - 1.0)
+              << "   mutated: "
+              << formatPercent(mut_ratio.p50() - 1.0) << " / "
+              << formatPercent(mut_ratio.p95() - 1.0) << " / "
+              << formatPercent(mut_ratio.p99() - 1.0) << "\n";
     std::cout << "(Paper: geomean 4.45% / 4.7%, arith 5.7% / 6.08%.)\n";
+
+    std::string blob = "{\"bench\":\"fig6_overhead\"";
+    blob += ",\"cpus\":" + std::to_string(cpus);
+    blob += ",\"baseline_factor\":" + obs::jsonNumber(baseline_factor);
+    blob += ",\"programs\":[" + rows_json + ']';
+    blob += ",\"ratio_same\":" + bench::statsJson(same_ratio);
+    blob += ",\"ratio_mutated\":" + bench::statsJson(mut_ratio);
+    blob += '}';
+    bench::writeBenchBlob("fig6_overhead", blob);
     return 0;
 }

@@ -112,7 +112,9 @@ BENCHMARK(BM_InstrumentPass);
 void
 BM_ChannelRoundtrip(benchmark::State &state)
 {
-    core::SyncChannel chan;
+    obs::Registry registry;
+    obs::Scope scope(registry, nullptr);
+    core::SyncChannel chan(scope);
     core::ThreadChannel &ch = chan.thread(0);
     std::int64_t cnt = 0;
     for (auto _ : state) {

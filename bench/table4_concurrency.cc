@@ -26,7 +26,10 @@ main()
     std::cout << "== Table 4: concurrency effectiveness (" << kRuns
               << " dual executions per program) ==\n\n";
     TextTable table({"Program", "diffs min/max/stddev",
-                     "tainted sinks min/max/stddev"});
+                     "diffs p50/p95/p99",
+                     "tainted sinks min/max/stddev",
+                     "sinks p50/p95/p99"});
+    std::string rows_json;
 
     for (const workloads::Workload *w :
          workloads::workloadsIn(workloads::Category::Concurrent)) {
@@ -43,9 +46,27 @@ main()
                    formatDouble(s.max(), 0) + " / " +
                    formatDouble(s.stddev(), 2);
         };
-        table.addRow({w->name, fmt(diffs), fmt(sinks)});
+        auto pct = [](const RunningStats &s) {
+            return formatDouble(s.p50(), 0) + " / " +
+                   formatDouble(s.p95(), 0) + " / " +
+                   formatDouble(s.p99(), 0);
+        };
+        table.addRow({w->name, fmt(diffs), pct(diffs), fmt(sinks),
+                      pct(sinks)});
+
+        if (!rows_json.empty())
+            rows_json += ',';
+        rows_json += "{\"name\":" + obs::jsonString(w->name);
+        rows_json += ",\"syscall_diffs\":" + bench::statsJson(diffs);
+        rows_json += ",\"tainted_sinks\":" + bench::statsJson(sinks);
+        rows_json += '}';
     }
     table.print(std::cout);
+    bench::writeBenchBlob(
+        "table4_concurrency",
+        "{\"bench\":\"table4_concurrency\",\"runs\":" +
+            std::to_string(kRuns) + ",\"programs\":[" + rows_json +
+            "]}");
     std::cout << "\n(Paper: tainted sinks rarely change across runs "
                  "while syscall diffs do;\n x264 and axel show small "
                  "tainted-sink variation from racy statistics and\n "

@@ -63,6 +63,9 @@ enum class Opcode : std::uint8_t
     CntPop,     ///< pop the counter stack into cnt
 };
 
+/** Number of opcodes (CntPop is last). */
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::CntPop) + 1;
+
 /** True if @p op ends a basic block. */
 bool isTerminator(Opcode op);
 

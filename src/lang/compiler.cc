@@ -974,9 +974,22 @@ compile(const Program &prog)
 std::unique_ptr<ir::Module>
 compileSource(const std::string &source)
 {
-    Program prog = parse(source);
-    auto module = compile(prog);
-    ir::verifyOrDie(*module);
+    return compileSource(source, nullptr);
+}
+
+std::unique_ptr<ir::Module>
+compileSource(const std::string &source, obs::PhaseTimer *timer)
+{
+    if (!timer) {
+        Program prog = parse(source);
+        auto module = compile(prog);
+        ir::verifyOrDie(*module);
+        return module;
+    }
+    Program prog =
+        timer->time("parse", [&] { return parse(source); });
+    auto module = timer->time("irgen", [&] { return compile(prog); });
+    timer->time("verify", [&] { ir::verifyOrDie(*module); });
     return module;
 }
 

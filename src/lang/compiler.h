@@ -18,6 +18,7 @@
 
 #include "ir/ir.h"
 #include "lang/ast.h"
+#include "obs/phase.h"
 
 namespace ldx::lang {
 
@@ -26,5 +27,12 @@ std::unique_ptr<ir::Module> compile(const Program &prog);
 
 /** Parse + compile + verify MiniC source. */
 std::unique_ptr<ir::Module> compileSource(const std::string &source);
+
+/**
+ * Like compileSource(), timing the parse / irgen / verify phases into
+ * @p timer (which may be null).
+ */
+std::unique_ptr<ir::Module> compileSource(const std::string &source,
+                                          obs::PhaseTimer *timer);
 
 } // namespace ldx::lang

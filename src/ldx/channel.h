@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "ldx/report.h"
+#include "obs/scope.h"
 #include "os/kernel.h"
 #include "os/taintmap.h"
 
@@ -143,6 +144,41 @@ class SyncChannel
     /** Maximum entries kept per thread queue. */
     static constexpr std::size_t kQueueCap = 8192;
 
+    /** Maximum in-memory TraceEvents retained. */
+    static constexpr std::size_t kTraceCap = 100000;
+
+    /**
+     * All channel tallies live in the scope's metrics registry; the
+     * cached handles below are the single source of truth the engine
+     * reads back into DualResult, so registry totals and the legacy
+     * counters agree by construction.
+     */
+    explicit SyncChannel(obs::Scope &scope)
+        : alignedSyscalls(&scope.registry().counter("dual.syscalls.aligned")),
+          syscallDiffs(&scope.registry().counter("dual.syscalls.diff")),
+          slaveSyscalls(&scope.registry().counter("dual.syscalls.slave_total")),
+          barrierPairings(&scope.registry().counter("dual.barrier.pairings")),
+          barrierSkips(&scope.registry().counter("dual.barrier.skips")),
+          copies(&scope.registry().counter("dual.align.copies")),
+          executes(&scope.registry().counter("dual.align.executes")),
+          decouples(&scope.registry().counter("dual.align.decouples")),
+          sinkAligned(&scope.registry().counter("dual.sink.aligned")),
+          sinkDiffs(&scope.registry().counter("dual.sink.diffs")),
+          sinkVanished(&scope.registry().counter("dual.sink.vanished")),
+          blockedPolls(&scope.registry().counter("chan.blocked_polls")),
+          watchdogPolls(&scope.registry().counter("watchdog.polls")),
+          watchdogExpired(&scope.registry().counter("watchdog.expired")),
+          lockShares(&scope.registry().counter("lock.order_shared")),
+          lockDiverged(&scope.registry().counter("lock.order_diverged")),
+          waitPolls(&scope.registry().histogram(
+              "chan.wait_polls",
+              {0, 1, 4, 16, 64, 256, 1024, 4096, 16384, 65536})),
+          scope_(scope)
+    {
+    }
+
+    obs::Scope &scope() { return scope_; }
+
     /** Channel for thread pair @p tid (created on first use). */
     ThreadChannel &
     thread(int tid)
@@ -193,15 +229,41 @@ class SyncChannel
         return std::move(findings_);
     }
 
-    // ---- optional alignment trace ----
+    // ---- alignment trace (in-memory and/or structured sink) ----
     bool traceEnabled = false;
 
-    void
-    addTrace(TraceEvent evt)
+    /** True when recordEvent() would do anything (cheap pre-check). */
+    bool
+    wantsEvents() const
     {
-        std::lock_guard<std::mutex> lock(traceMutex_);
-        if (trace_.size() < 100000)
-            trace_.push_back(std::move(evt));
+        return traceEnabled || scope_.tracing();
+    }
+
+    /**
+     * Record one alignment action: appended to the capped in-memory
+     * trace when EngineConfig::recordTrace is set, and mirrored to the
+     * scope's structured trace sink (per-side lanes) when one is
+     * attached.
+     */
+    void
+    recordEvent(const TraceEvent &evt)
+    {
+        if (traceEnabled) {
+            std::lock_guard<std::mutex> lock(traceMutex_);
+            if (trace_.size() < kTraceCap)
+                trace_.push_back(evt);
+        }
+        if (scope_.tracing()) {
+            obs::TraceRecord rec;
+            rec.name = traceKindName(evt.kind);
+            rec.lane = evt.side == Side::Master ? obs::kMasterLane
+                                                : obs::kSlaveLane;
+            rec.tid = evt.tid;
+            rec.numArgs = {{"sys", evt.sysNo},
+                           {"cnt", evt.cnt},
+                           {"site", evt.site}};
+            scope_.emit(std::move(rec));
+        }
     }
 
     std::vector<TraceEvent>
@@ -211,10 +273,24 @@ class SyncChannel
         return std::move(trace_);
     }
 
-    std::atomic<std::uint64_t> alignedSyscalls{0};
-    std::atomic<std::uint64_t> syscallDiffs{0};
-    std::atomic<std::uint64_t> slaveSyscalls{0};
-    std::atomic<std::uint64_t> barrierPairings{0};
+    // Registry-backed tallies (see docs/OBSERVABILITY.md).
+    obs::Counter *alignedSyscalls;
+    obs::Counter *syscallDiffs;
+    obs::Counter *slaveSyscalls;
+    obs::Counter *barrierPairings;
+    obs::Counter *barrierSkips;
+    obs::Counter *copies;
+    obs::Counter *executes;
+    obs::Counter *decouples;
+    obs::Counter *sinkAligned;
+    obs::Counter *sinkDiffs;
+    obs::Counter *sinkVanished;
+    obs::Counter *blockedPolls;
+    obs::Counter *watchdogPolls;
+    obs::Counter *watchdogExpired;
+    obs::Counter *lockShares;
+    obs::Counter *lockDiverged;
+    obs::Histogram *waitPolls;
 
     /** Progress heartbeat for the deadlock watchdog. */
     std::atomic<std::uint64_t> progress[2] = {0, 0};
@@ -223,6 +299,7 @@ class SyncChannel
     std::atomic<bool> abort{false};
 
   private:
+    obs::Scope &scope_;
     std::mutex traceMutex_;
     std::vector<TraceEvent> trace_;
     std::mutex mapMutex_;

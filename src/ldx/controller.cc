@@ -70,6 +70,7 @@ Controller::bumpProgress()
 bool
 Controller::waitExpired(int tid, std::uint64_t budget)
 {
+    chan_.watchdogPolls->inc();
     if (chan_.abort.load(std::memory_order_acquire))
         return true;
     WaitState &w = waits_[tid];
@@ -82,6 +83,7 @@ Controller::waitExpired(int tid, std::uint64_t budget)
     }
     if (++w.polls > budget) {
         w.polls = 0;
+        chan_.watchdogExpired->inc();
         return true;
     }
     return false;
@@ -90,14 +92,18 @@ Controller::waitExpired(int tid, std::uint64_t budget)
 void
 Controller::clearWait(int tid)
 {
-    waits_.erase(tid);
+    auto it = waits_.find(tid);
+    if (it == waits_.end())
+        return;
+    chan_.waitPolls->observe(static_cast<double>(it->second.polls));
+    waits_.erase(it);
 }
 
 
 void
 Controller::trace(TraceEvent::Kind kind, const vm::SyscallRequest &req)
 {
-    if (!chan_.traceEnabled)
+    if (!chan_.wantsEvents())
         return;
     TraceEvent evt;
     evt.kind = kind;
@@ -106,7 +112,7 @@ Controller::trace(TraceEvent::Kind kind, const vm::SyscallRequest &req)
     evt.sysNo = req.sysNo;
     evt.cnt = req.cnt;
     evt.site = req.site;
-    chan_.addTrace(std::move(evt));
+    chan_.recordEvent(evt);
 }
 
 std::uint64_t
@@ -245,6 +251,7 @@ Controller::handleMasterShared(const vm::SyscallRequest &req,
     LDX_TRACE_EVT("[%c] input sys=%lld cnt=%lld site=%d -> exec+enqueue\n",
                   opts_.side == Side::Master ? 'M' : 'S',
                   (long long)req.sysNo, (long long)req.cnt, req.site);
+    chan_.executes->inc();
     trace(TraceEvent::Kind::Execute, req);
     bumpProgress();
     return vm::PortReply::Done;
@@ -276,8 +283,9 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
         if (!key.empty())
             chan_.taints.taint(key);
         out = vm.kernel().execute(req.sysNo, req.args, vm.memory());
-        chan_.syscallDiffs.fetch_add(1, std::memory_order_relaxed);
-        chan_.slaveSyscalls.fetch_add(1, std::memory_order_relaxed);
+        chan_.syscallDiffs->inc();
+        chan_.slaveSyscalls->inc();
+        chan_.decouples->inc();
         trace(TraceEvent::Kind::Decouple, req);
         clearWait(req.tid);
         bumpProgress();
@@ -322,8 +330,10 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
                  (mpos.site != req.site ||
                   mpos.kind == PosKind::Barrier));
             if (!peer_gone && !passed &&
-                !waitExpired(req.tid, opts_.stallTimeout))
+                !waitExpired(req.tid, opts_.stallTimeout)) {
+                chan_.blockedPolls->inc();
                 return vm::PortReply::Blocked;
+            }
         }
     }
 
@@ -340,8 +350,9 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
             return decouple();
         }
         out = copied;
-        chan_.alignedSyscalls.fetch_add(1, std::memory_order_relaxed);
-        chan_.slaveSyscalls.fetch_add(1, std::memory_order_relaxed);
+        chan_.alignedSyscalls->inc();
+        chan_.slaveSyscalls->inc();
+        chan_.copies->inc();
         trace(TraceEvent::Kind::Copy, req);
         clearWait(req.tid);
         bumpProgress();
@@ -411,8 +422,8 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
                 f.kind = CauseKind::SinkValueDiff;
             } else {
                 report = false;
-                chan_.alignedSyscalls.fetch_add(
-                    1, std::memory_order_relaxed);
+                chan_.alignedSyscalls->inc();
+                chan_.sinkAligned->inc();
             }
             if (report) {
                 if (opts_.side == Side::Master) {
@@ -423,8 +434,8 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
                     f.slaveValue = payload;
                 }
                 chan_.addFinding(std::move(f));
-                chan_.syscallDiffs.fetch_add(1,
-                                             std::memory_order_relaxed);
+                chan_.syscallDiffs->inc();
+                chan_.sinkDiffs->inc();
                 reported_divergence = true;
             }
             theirs.resolved = true;
@@ -447,7 +458,8 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
             (opts_.side == Side::Master ? f.masterValue : f.slaveValue) =
                 payload;
             chan_.addFinding(std::move(f));
-            chan_.syscallDiffs.fetch_add(1, std::memory_order_relaxed);
+            chan_.syscallDiffs->inc();
+            chan_.sinkVanished->inc();
             reported_divergence = true;
             mine.valid = false;
             proceed = true;
@@ -479,8 +491,11 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
                 (opts_.side == Side::Master ? f.masterValue
                                             : f.slaveValue) = payload;
                 chan_.addFinding(std::move(f));
-                chan_.syscallDiffs.fetch_add(1,
-                                             std::memory_order_relaxed);
+                chan_.syscallDiffs->inc();
+                if (f.kind == CauseKind::SinkVanished)
+                    chan_.sinkVanished->inc();
+                else
+                    chan_.sinkDiffs->inc();
                 reported_divergence = true;
                 mine.valid = false;
                 proceed = true;
@@ -488,8 +503,10 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
         }
     }
 
-    if (!proceed)
+    if (!proceed) {
+        chan_.blockedPolls->inc();
         return vm::PortReply::Blocked;
+    }
 
     trace(reported_divergence ? TraceEvent::Kind::SinkDiff
                               : TraceEvent::Kind::SinkAligned,
@@ -514,7 +531,7 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
     // the slave (its kernel journals outputs as suppressed).
     out = vm.kernel().execute(req.sysNo, req.args, vm.memory());
     if (opts_.side == Side::Slave)
-        chan_.slaveSyscalls.fetch_add(1, std::memory_order_relaxed);
+        chan_.slaveSyscalls->inc();
     clearWait(req.tid);
     bumpProgress();
     return vm::PortReply::Done;
@@ -557,13 +574,15 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
         if (order[idx] == req.tid) {
             chan_.slaveLockIdx[id] = idx + 1;
             chan_.lockPolls.erase({req.tid, id});
+            chan_.lockShares->inc();
             bumpProgress();
             return vm::PortReply::Done;
         }
         // Order diverged: taint the lock, run decoupled from now on.
         chan_.taints.taint(key);
         chan_.slaveLockIdx[id] = idx + 1;
-        chan_.syscallDiffs.fetch_add(1, std::memory_order_relaxed);
+        chan_.syscallDiffs->inc();
+        chan_.lockDiverged->inc();
         bumpProgress();
         return vm::PortReply::Done;
     }
@@ -576,10 +595,12 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
     if (++polls > opts_.lockPollTimeout) {
         chan_.taints.taint(key);
         chan_.lockPolls.erase({req.tid, id});
-        chan_.syscallDiffs.fetch_add(1, std::memory_order_relaxed);
+        chan_.syscallDiffs->inc();
+        chan_.lockDiverged->inc();
         bumpProgress();
         return vm::PortReply::Done;
     }
+    chan_.blockedPolls->inc();
     return vm::PortReply::Blocked;
 }
 
@@ -631,15 +652,15 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
         bp.consumed[0] = false;
         bp.consumed[1] = false;
         bp.consumed[self()] = true;
-        chan_.barrierPairings.fetch_add(1, std::memory_order_relaxed);
-        if (chan_.traceEnabled) {
+        chan_.barrierPairings->inc();
+        if (chan_.wantsEvents()) {
             TraceEvent evt;
             evt.kind = TraceEvent::Kind::BarrierPair;
             evt.side = opts_.side;
             evt.tid = tid;
             evt.cnt = cnt;
             evt.site = static_cast<int>(site);
-            chan_.addTrace(std::move(evt));
+            chan_.recordEvent(evt);
         }
         // The peer is about to pass too; publish its post-reset
         // position now. Otherwise its stale latch-level counter (the
@@ -649,14 +670,15 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
         return pass();
     }
     auto skip = [&]() -> vm::PortReply {
-        if (chan_.traceEnabled) {
+        chan_.barrierSkips->inc();
+        if (chan_.wantsEvents()) {
             TraceEvent evt;
             evt.kind = TraceEvent::Kind::BarrierSkip;
             evt.side = opts_.side;
             evt.tid = tid;
             evt.cnt = cnt;
             evt.site = static_cast<int>(site);
-            chan_.addTrace(std::move(evt));
+            chan_.recordEvent(evt);
         }
         return pass();
     };
@@ -676,6 +698,7 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
         return skip();
     if (waitExpired(tid, opts_.stallTimeout))
         return skip();
+    chan_.blockedPolls->inc();
     return vm::PortReply::Blocked;
 }
 

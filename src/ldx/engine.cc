@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "instrument/instrument.h"
+#include "obs/phase.h"
+#include "obs/scope.h"
 #include "support/diag.h"
 #include "support/strings.h"
 
@@ -54,6 +56,35 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Publish one side's VM and kernel tallies into the registry. */
+void
+publishSideStats(obs::Registry &registry, const std::string &side,
+                 const vm::MachineStats &ms, const os::KernelStats &ks)
+{
+    const std::string vm_prefix = "vm." + side + ".";
+    registry.counter(vm_prefix + "instructions").inc(ms.instructions);
+    registry.counter(vm_prefix + "syscalls").inc(ms.syscalls);
+    registry.counter(vm_prefix + "barriers").inc(ms.barriers);
+    registry.counter(vm_prefix + "mix.data").inc(ms.mixData);
+    registry.counter(vm_prefix + "mix.alu").inc(ms.mixAlu);
+    registry.counter(vm_prefix + "mix.mem").inc(ms.mixMem);
+    registry.counter(vm_prefix + "mix.call").inc(ms.mixCall);
+    registry.counter(vm_prefix + "mix.branch").inc(ms.mixBranch);
+    registry.counter(vm_prefix + "mix.syscall").inc(ms.mixSyscall);
+    registry.counter(vm_prefix + "mix.counter").inc(ms.mixCounter);
+    registry.gauge(vm_prefix + "max_cnt")
+        .set(static_cast<double>(ms.maxCnt));
+    registry.gauge(vm_prefix + "avg_cnt").set(ms.avgCnt);
+
+    const std::string os_prefix = "os." + side + ".";
+    registry.counter(os_prefix + "executes").inc(ks.executes);
+    registry.counter(os_prefix + "replays").inc(ks.replays);
+    registry.counter(os_prefix + "vfs_ops").inc(ks.vfsOps);
+    registry.counter(os_prefix + "sock_ops").inc(ks.sockOps);
+    registry.counter(os_prefix + "console_ops").inc(ks.consoleOps);
+    registry.counter(os_prefix + "nondet_ops").inc(ks.nondetOps);
+}
+
 } // namespace
 
 bool
@@ -79,13 +110,27 @@ DualEngine::DualEngine(const ir::Module &module, os::WorldSpec world,
 DualResult
 DualEngine::run()
 {
+    obs::Registry local_registry;
+    obs::Registry &registry =
+        cfg_.registry ? *cfg_.registry : local_registry;
+    obs::Scope scope(registry, cfg_.traceSink);
+    if (cfg_.traceSink) {
+        cfg_.traceSink->setLaneName(obs::kMasterLane, "master");
+        cfg_.traceSink->setLaneName(obs::kSlaveLane, "slave");
+        cfg_.traceSink->setLaneName(obs::kPipelineLane, "pipeline");
+    }
+    obs::PhaseTimer timer(cfg_.traceSink);
+
+    timer.begin("mutate");
     Prng mutation_prng(cfg_.mutationSeed);
     MutatedWorld mutated = mutateWorld(world_, cfg_.sources,
                                        cfg_.strategy, mutation_prng);
     os::WorldSpec slave_world =
         mutated.world.withNondetVariant(cfg_.nondetSalt);
+    timer.end();
 
-    SyncChannel chan;
+    timer.begin("setup");
+    SyncChannel chan(scope);
     chan.traceEnabled = cfg_.recordTrace;
     for (const std::string &key : mutated.taintKeys)
         chan.taints.taint(key);
@@ -93,6 +138,8 @@ DualEngine::run()
     os::Kernel master_kernel(world_);
     os::Kernel slave_kernel(slave_world);
     slave_kernel.setSuppressOutputs(true);
+    master_kernel.setObs(&scope, obs::kMasterLane);
+    slave_kernel.setObs(&scope, obs::kSlaveLane);
 
     vm::MachineConfig master_cfg = cfg_.vmConfig;
     vm::MachineConfig slave_cfg = cfg_.vmConfig;
@@ -102,6 +149,8 @@ DualEngine::run()
 
     vm::Machine master(module_, master_kernel, master_cfg);
     vm::Machine slave(module_, slave_kernel, slave_cfg);
+    master.setObs(&scope, obs::kMasterLane);
+    slave.setObs(&scope, obs::kSlaveLane);
 
     auto sink_pred = [this](const std::string &channel) {
         return cfg_.sinks.matchesChannel(channel);
@@ -126,25 +175,36 @@ DualEngine::run()
         slave.setSinkHook(&slave_rec);
     }
 
+    timer.end(); // setup
+
     auto t0 = std::chrono::steady_clock::now();
     bool deadlocked = false;
+    obs::Counter *driver_yields = &registry.counter("driver.yields");
+    obs::Counter *driver_idle = &registry.counter("driver.idle_rounds");
 
+    timer.begin("dual-run");
     master.start();
     slave.start();
 
     if (cfg_.threaded) {
-        auto loop = [&chan](vm::Machine &m, int side) {
+        auto loop = [&chan, &timer, driver_yields](vm::Machine &m,
+                                                   int side) {
+            std::int64_t start_us = obs::nowUs();
+            auto side_t0 = std::chrono::steady_clock::now();
             while (!m.finished()) {
                 vm::StepStatus st = m.step();
                 if (st == vm::StepStatus::Progress) {
                     chan.progress[side].fetch_add(
                         1, std::memory_order_relaxed);
                 } else if (st == vm::StepStatus::Stalled) {
+                    driver_yields->inc();
                     std::this_thread::yield();
                 } else {
                     break;
                 }
             }
+            timer.record(side == 0 ? "master-run" : "slave-run", 1,
+                         start_us, secondsSince(side_t0));
         };
         std::thread mt(loop, std::ref(master), 0);
         std::thread st(loop, std::ref(slave), 1);
@@ -175,28 +235,32 @@ DualEngine::run()
             }
             if (progressed) {
                 idle_rounds = 0;
-            } else if (++idle_rounds % 8192 == 0 &&
-                       secondsSince(t0) > cfg_.wallClockCap) {
-                deadlocked = true;
-                chan.abort.store(true, std::memory_order_release);
+            } else {
+                driver_idle->inc();
+                if (++idle_rounds % 8192 == 0 &&
+                    secondsSince(t0) > cfg_.wallClockCap) {
+                    deadlocked = true;
+                    chan.abort.store(true, std::memory_order_release);
+                }
             }
         }
     }
+    timer.end(); // dual-run
 
+    timer.begin("verdict");
     DualResult res;
     res.wallSeconds = secondsSince(t0);
     res.deadlocked = deadlocked;
     res.findings = chan.takeFindings();
     if (cfg_.recordTrace)
         res.trace = chan.takeTrace();
-    res.alignedSyscalls =
-        chan.alignedSyscalls.load(std::memory_order_relaxed);
-    res.syscallDiffs =
-        chan.syscallDiffs.load(std::memory_order_relaxed);
-    res.totalSlaveSyscalls =
-        chan.slaveSyscalls.load(std::memory_order_relaxed);
-    res.barrierPairings =
-        chan.barrierPairings.load(std::memory_order_relaxed);
+    // The registry is the single source for the alignment tallies;
+    // the legacy result fields read back the same counters, so
+    // DualResult::metrics agrees with them exactly.
+    res.alignedSyscalls = chan.alignedSyscalls->value();
+    res.syscallDiffs = chan.syscallDiffs->value();
+    res.totalSlaveSyscalls = chan.slaveSyscalls->value();
+    res.barrierPairings = chan.barrierPairings->value();
     res.masterExit = master.exitCode();
     res.slaveExit = slave.exitCode();
     res.masterTrapped = master.trap().has_value();
@@ -267,7 +331,21 @@ DualEngine::run()
         f.slaveValue = res.slaveTrapped ? res.slaveTrapMessage : "ok";
         res.findings.push_back(std::move(f));
     }
+    timer.end(); // verdict
 
+    publishSideStats(registry, "master", res.masterStats,
+                     master_kernel.stats());
+    publishSideStats(registry, "slave", res.slaveStats,
+                     slave_kernel.stats());
+    registry.counter("driver.steps.master")
+        .inc(chan.progress[0].load(std::memory_order_relaxed));
+    registry.counter("driver.steps.slave")
+        .inc(chan.progress[1].load(std::memory_order_relaxed));
+    registry.counter("dual.findings").inc(res.findings.size());
+    registry.gauge("dual.wall_seconds").set(res.wallSeconds);
+
+    res.metrics = registry.snapshot();
+    res.phases = timer.samples();
     return res;
 }
 

@@ -18,6 +18,8 @@
 #include "ldx/controller.h"
 #include "ldx/mutation.h"
 #include "ldx/report.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "os/world.h"
 #include "vm/machine.h"
 
@@ -75,6 +77,21 @@ struct EngineConfig
 
     /** Record a Fig. 3-style alignment trace into DualResult::trace. */
     bool recordTrace = false;
+
+    /**
+     * Metrics registry to accumulate into. When null the engine uses
+     * a private registry whose totals are still returned in
+     * DualResult::metrics; pass one to accumulate across runs (the
+     * bench harnesses) or to read counters while a run is live.
+     */
+    obs::Registry *registry = nullptr;
+
+    /**
+     * Structured trace sink (JSONL / Chrome trace_event). Alignment
+     * actions, VM thread lifecycle, kernel outputs, and phase timing
+     * are emitted with per-side lanes. Null disables emission.
+     */
+    obs::TraceSink *traceSink = nullptr;
 };
 
 /** Dual-execution engine. */

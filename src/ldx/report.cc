@@ -42,6 +42,22 @@ Finding::describe() const
 
 namespace ldx::core {
 
+const char *
+traceKindName(TraceEvent::Kind kind)
+{
+    switch (kind) {
+      case TraceEvent::Kind::Copy: return "copy";
+      case TraceEvent::Kind::Execute: return "execute";
+      case TraceEvent::Kind::Decouple: return "decouple";
+      case TraceEvent::Kind::SinkAligned: return "sink_aligned";
+      case TraceEvent::Kind::SinkDiff: return "sink_diff";
+      case TraceEvent::Kind::SinkVanish: return "sink_vanish";
+      case TraceEvent::Kind::BarrierPair: return "barrier_pair";
+      case TraceEvent::Kind::BarrierSkip: return "barrier_skip";
+    }
+    return "?";
+}
+
 std::string
 TraceEvent::describe() const
 {

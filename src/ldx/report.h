@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "ir/ir.h"
+#include "obs/phase.h"
+#include "obs/registry.h"
 #include "vm/machine.h"
 
 namespace ldx::core {
@@ -96,6 +98,9 @@ struct TraceEvent
     std::string describe() const;
 };
 
+/** Stable machine-readable slug of a trace event kind ("copy", ...). */
+const char *traceKindName(TraceEvent::Kind kind);
+
 /** Result of one dual execution. */
 struct DualResult
 {
@@ -142,6 +147,18 @@ struct DualResult
 
     /** Wall-clock seconds of the whole dual execution. */
     double wallSeconds = 0.0;
+
+    /**
+     * Registry totals at the end of the run (see
+     * docs/OBSERVABILITY.md for the metric name schema). The legacy
+     * counters above are read from the same registry, so e.g.
+     * `metrics.counterOr("dual.syscalls.aligned")` always equals
+     * `alignedSyscalls`.
+     */
+    obs::MetricsSnapshot metrics;
+
+    /** Pipeline phase timing (mutate/setup/run/verdict, per side). */
+    std::vector<obs::PhaseSample> phases;
 
     /** Number of distinct tainted sinks (counts findings). */
     std::size_t taintedSinkCount() const { return findings.size(); }

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the obs backends (metrics
+ * snapshots, JSONL and Chrome trace sinks, bench blobs). Writing only
+ * — the repo never needs to parse JSON, so there is no parser.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ldx::obs {
+
+/** Append @p s to @p out as a quoted, escaped JSON string. */
+inline void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        unsigned char u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", u);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** @p s as a quoted, escaped JSON string. */
+inline std::string
+jsonString(const std::string &s)
+{
+    std::string out;
+    appendJsonString(out, s);
+    return out;
+}
+
+/** A double as a JSON number (JSON has no NaN/Inf; map those to 0). */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+inline std::string
+jsonNumber(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+inline std::string
+jsonNumber(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace ldx::obs

@@ -1,0 +1,89 @@
+#include "obs/phase.h"
+
+#include "obs/registry.h"
+#include "support/diag.h"
+
+namespace ldx::obs {
+
+PhaseTimer::PhaseTimer(TraceSink *sink, int lane)
+    : sink_(sink), lane_(lane)
+{}
+
+void
+PhaseTimer::begin(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stack_.push_back({name, nowUs(), std::chrono::steady_clock::now()});
+}
+
+double
+PhaseTimer::end()
+{
+    PhaseSample sample;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        checkInvariant(!stack_.empty(),
+                       "PhaseTimer::end without a begin");
+        OpenPhase open = std::move(stack_.back());
+        stack_.pop_back();
+        sample.name = std::move(open.name);
+        sample.depth = static_cast<int>(stack_.size());
+        sample.startUs = open.startUs;
+        sample.seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - open.t0)
+                             .count();
+        samples_.push_back(sample);
+    }
+    if (sink_) {
+        TraceRecord rec;
+        rec.name = sample.name;
+        rec.phase = 'X';
+        rec.lane = lane_;
+        rec.tid = sample.depth;
+        rec.tsUs = sample.startUs;
+        rec.durUs = static_cast<std::int64_t>(sample.seconds * 1e6);
+        sink_->emit(rec);
+    }
+    return sample.seconds;
+}
+
+void
+PhaseTimer::record(const std::string &name, int depth,
+                   std::int64_t start_us, double seconds)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        samples_.push_back({name, depth, start_us, seconds});
+    }
+    if (sink_) {
+        TraceRecord rec;
+        rec.name = name;
+        rec.phase = 'X';
+        rec.lane = lane_;
+        rec.tid = depth;
+        rec.tsUs = start_us;
+        rec.durUs = static_cast<std::int64_t>(seconds * 1e6);
+        sink_->emit(rec);
+    }
+}
+
+std::vector<PhaseSample>
+PhaseTimer::samples() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+}
+
+double
+PhaseTimer::total(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    double sum = 0.0;
+    for (const PhaseSample &s : samples_) {
+        if (s.name == name)
+            sum += s.seconds;
+    }
+    return sum;
+}
+
+} // namespace ldx::obs

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Phase timing for the compile/instrument/run pipeline.
+ *
+ * A PhaseTimer records a stack of named, possibly nested phases
+ * (lex/parse, IR build, instrumentation, master run, slave run,
+ * verdict, ...), keeps every completed sample, and mirrors each one
+ * into a trace sink as a Chrome 'X' (complete) event on the pipeline
+ * lane. begin()/end() pair on one thread; record() lets worker
+ * threads report phases they timed themselves (the threaded driver's
+ * per-side run loops).
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ldx::obs {
+
+/** One completed phase. */
+struct PhaseSample
+{
+    std::string name;
+    int depth = 0;          ///< nesting level at begin()
+    std::int64_t startUs = 0; ///< obs::nowUs() timeline
+    double seconds = 0.0;
+};
+
+/** Records nested phase durations; optionally mirrors to a sink. */
+class PhaseTimer
+{
+  public:
+    explicit PhaseTimer(TraceSink *sink = nullptr,
+                        int lane = kPipelineLane);
+
+    /** Open a phase (nests under any phase already open). */
+    void begin(const std::string &name);
+
+    /** Close the innermost open phase; returns its seconds. */
+    double end();
+
+    /** Add an externally timed sample (thread-safe). */
+    void record(const std::string &name, int depth,
+                std::int64_t start_us, double seconds);
+
+    /** Time a callable as one phase. */
+    template <typename Fn>
+    auto
+    time(const std::string &name, Fn &&fn)
+    {
+        begin(name);
+        if constexpr (std::is_void_v<decltype(fn())>) {
+            fn();
+            end();
+        } else {
+            auto result = fn();
+            end();
+            return result;
+        }
+    }
+
+    /** RAII phase. */
+    class Guard
+    {
+      public:
+        Guard(PhaseTimer &timer, const std::string &name)
+            : timer_(timer)
+        {
+            timer_.begin(name);
+        }
+        ~Guard() { timer_.end(); }
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+
+      private:
+        PhaseTimer &timer_;
+    };
+
+    /** Completed samples in completion order. */
+    std::vector<PhaseSample> samples() const;
+
+    /** Sum of seconds over samples named @p name. */
+    double total(const std::string &name) const;
+
+  private:
+    struct OpenPhase
+    {
+        std::string name;
+        std::int64_t startUs;
+        std::chrono::steady_clock::time_point t0;
+    };
+
+    mutable std::mutex mutex_;
+    TraceSink *sink_;
+    int lane_;
+    std::vector<OpenPhase> stack_;
+    std::vector<PhaseSample> samples_;
+};
+
+} // namespace ldx::obs

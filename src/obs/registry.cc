@@ -1,0 +1,223 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json.h"
+#include "support/diag.h"
+
+namespace ldx::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1])
+{
+    checkInvariant(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bounds must be ascending");
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double x)
+{
+    std::size_t i = static_cast<std::size_t>(
+        std::upper_bound(bounds_.begin(), bounds_.end(), x) -
+        bounds_.begin());
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+double
+HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    double rank = (std::clamp(p, 0.0, 100.0) / 100.0) *
+                  static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        std::uint64_t in_bucket = counts[i];
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(seen + in_bucket) >= rank) {
+            double lo = i == 0 ? 0.0 : bounds[i - 1];
+            if (i >= bounds.size()) // overflow bucket: no upper bound
+                return bounds.empty() ? 0.0 : bounds.back();
+            double hi = bounds[i];
+            double frac = (rank - static_cast<double>(seen)) /
+                          static_cast<double>(in_bucket);
+            return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        }
+        seen += in_bucket;
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::uint64_t
+MetricsSnapshot::counterOr(const std::string &name,
+                           std::uint64_t dflt) const
+{
+    for (const auto &[n, v] : counters) {
+        if (n == name)
+            return v;
+    }
+    return dflt;
+}
+
+double
+MetricsSnapshot::gaugeOr(const std::string &name, double dflt) const
+{
+    for (const auto &[n, v] : gauges) {
+        if (n == name)
+            return v;
+    }
+    return dflt;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, name);
+        out += ':';
+        out += jsonNumber(value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, name);
+        out += ':';
+        out += jsonNumber(value);
+    }
+    out += "},\"histograms\":[";
+    first = true;
+    for (const HistogramSnapshot &h : histograms) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, h.name);
+        out += ",\"bounds\":[";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i)
+                out += ',';
+            out += jsonNumber(h.bounds[i]);
+        }
+        out += "],\"counts\":[";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (i)
+                out += ',';
+            out += jsonNumber(h.counts[i]);
+        }
+        out += "],\"count\":" + jsonNumber(h.count);
+        out += ",\"sum\":" + jsonNumber(h.sum);
+        out += ",\"p50\":" + jsonNumber(h.percentile(50));
+        out += ",\"p95\":" + jsonNumber(h.percentile(95));
+        out += ",\"p99\":" + jsonNumber(h.percentile(99));
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+void
+MetricsSnapshot::writeText(std::ostream &os) const
+{
+    std::size_t width = 0;
+    for (const auto &[name, value] : counters)
+        width = std::max(width, name.size());
+    for (const auto &[name, value] : gauges)
+        width = std::max(width, name.size());
+    for (const auto &[name, value] : counters) {
+        os << "  " << name
+           << std::string(width - name.size() + 2, ' ') << value
+           << "\n";
+    }
+    for (const auto &[name, value] : gauges) {
+        os << "  " << name
+           << std::string(width - name.size() + 2, ' ') << value
+           << "\n";
+    }
+    for (const HistogramSnapshot &h : histograms) {
+        os << "  " << h.name << "  count=" << h.count
+           << " sum=" << h.sum << " p50=" << h.percentile(50)
+           << " p95=" << h.percentile(95)
+           << " p99=" << h.percentile(99) << "\n";
+    }
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, c] : counters_)
+        snap.counters.emplace_back(name, c->value());
+    for (const auto &[name, g] : gauges_)
+        snap.gauges.emplace_back(name, g->value());
+    for (const auto &[name, h] : histograms_) {
+        HistogramSnapshot hs;
+        hs.name = name;
+        hs.bounds = h->bounds();
+        for (std::size_t i = 0; i < h->numBuckets(); ++i)
+            hs.counts.push_back(h->bucketCount(i));
+        hs.count = h->count();
+        hs.sum = h->sum();
+        snap.histograms.push_back(std::move(hs));
+    }
+    return snap;
+}
+
+std::int64_t
+nowUs()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+} // namespace ldx::obs

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The obs metrics registry: named counters, gauges, and fixed-bucket
+ * histograms.
+ *
+ * Design constraints, in order:
+ *  - the hot path (controller syscall handling, channel spin loops,
+ *    the threaded driver) must pay at most one relaxed atomic RMW per
+ *    recorded event — identical to the ad-hoc `std::atomic` tallies
+ *    this registry replaces;
+ *  - handles returned by the registry are stable for its lifetime, so
+ *    callers cache `Counter *` once and never look names up again;
+ *  - reads (snapshot/serialization) may be slow and take locks.
+ *
+ * Registration is mutex-guarded; instruments themselves are lock-free.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ldx::obs {
+
+/** Monotone event count. Lock-free; relaxed ordering. */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written point-in-time value (double so ratios/seconds fit). */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Buckets are defined by ascending upper
+ * bounds; an implicit overflow bucket catches everything above the
+ * last bound. observe() is one relaxed RMW per bucket/sum/count.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double x);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    std::size_t numBuckets() const { return bounds_.size() + 1; }
+
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Read-only copy of one histogram. */
+struct HistogramSnapshot
+{
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    /**
+     * Estimated p-th percentile (p in [0, 100]) assuming a uniform
+     * distribution within each bucket. The overflow bucket reports
+     * the last finite bound.
+     */
+    double percentile(double p) const;
+};
+
+/** Point-in-time copy of every instrument in a registry. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+
+    /** Counter value by name; @p dflt when absent. */
+    std::uint64_t counterOr(const std::string &name,
+                            std::uint64_t dflt = 0) const;
+
+    /** Gauge value by name; @p dflt when absent. */
+    double gaugeOr(const std::string &name, double dflt = 0.0) const;
+
+    /** `{"counters":{...},"gauges":{...},"histograms":[...]}`. */
+    std::string toJson() const;
+
+    /** Aligned plain-text rendering (CLI `--metrics`). */
+    void writeText(std::ostream &os) const;
+};
+
+/**
+ * Named-instrument registry. Lookup-or-create is mutex-guarded and
+ * returns stable references; increments on the returned instruments
+ * never lock.
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Histogram with the given bucket bounds. Bounds are fixed at
+     * first registration; later calls with the same name return the
+     * existing histogram regardless of @p bounds.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds);
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * Microseconds since the first call in this process (steady clock).
+ * Every obs timestamp shares this timeline, so trace events emitted
+ * by different components (CLI front end, engine, controllers) stay
+ * ordered in one trace file.
+ */
+std::int64_t nowUs();
+
+} // namespace ldx::obs

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * obs::Scope — the bundle one dual-execution run threads through its
+ * components: the metrics registry everything counts into and the
+ * (optional) trace sink everything emits into. Components hold a
+ * `Scope *` and treat a null sink as "tracing off"; the registry is
+ * always present so counters never need a null check.
+ */
+#pragma once
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace ldx::obs {
+
+/** Per-run observability context. */
+class Scope
+{
+  public:
+    explicit Scope(Registry &registry, TraceSink *sink = nullptr)
+        : registry_(registry), sink_(sink)
+    {}
+
+    Registry &registry() const { return registry_; }
+    TraceSink *sink() const { return sink_; }
+    bool tracing() const { return sink_ != nullptr; }
+
+    /** Emit @p rec when a sink is attached. */
+    void
+    emit(const TraceRecord &rec) const
+    {
+        if (sink_)
+            sink_->emit(rec);
+    }
+
+  private:
+    Registry &registry_;
+    TraceSink *sink_;
+};
+
+} // namespace ldx::obs

@@ -1,0 +1,173 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+#include "obs/registry.h"
+
+namespace ldx::obs {
+
+namespace {
+
+/** Shared argument rendering: `"k1":1,"k2":"v"` (no braces). */
+std::string
+renderArgs(const TraceRecord &rec)
+{
+    std::string out;
+    for (const auto &[k, v] : rec.numArgs) {
+        if (!out.empty())
+            out += ',';
+        appendJsonString(out, k);
+        out += ':';
+        out += jsonNumber(v);
+    }
+    for (const auto &[k, v] : rec.strArgs) {
+        if (!out.empty())
+            out += ',';
+        appendJsonString(out, k);
+        out += ':';
+        appendJsonString(out, v);
+    }
+    return out;
+}
+
+std::int64_t
+stampOf(const TraceRecord &rec)
+{
+    return rec.tsUs >= 0 ? rec.tsUs : nowUs();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- JSONL
+
+JsonlTraceSink::JsonlTraceSink(std::ostream &os, std::uint64_t cap)
+    : os_(os), cap_(cap)
+{}
+
+void
+JsonlTraceSink::emit(const TraceRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (emitted_ >= cap_)
+        return;
+    ++emitted_;
+    std::string line = "{\"ts_us\":" + jsonNumber(stampOf(rec));
+    line += ",\"name\":";
+    appendJsonString(line, rec.name);
+    line += ",\"ph\":\"";
+    line += rec.phase;
+    line += "\",\"lane\":" + jsonNumber(
+        static_cast<std::int64_t>(rec.lane));
+    line += ",\"tid\":" + jsonNumber(static_cast<std::int64_t>(rec.tid));
+    if (rec.phase == 'X')
+        line += ",\"dur_us\":" + jsonNumber(rec.durUs);
+    std::string args = renderArgs(rec);
+    if (!args.empty())
+        line += ',' + args;
+    line += "}\n";
+    os_ << line;
+}
+
+void
+JsonlTraceSink::setLaneName(int lane, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string line = "{\"ts_us\":" + jsonNumber(nowUs());
+    line += ",\"name\":\"lane\",\"ph\":\"M\",\"lane\":" +
+            jsonNumber(static_cast<std::int64_t>(lane));
+    line += ",\"tid\":0,\"label\":";
+    appendJsonString(line, name);
+    line += "}\n";
+    os_ << line;
+}
+
+void
+JsonlTraceSink::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_.flush();
+}
+
+// --------------------------------------------------------------- Chrome
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os, std::uint64_t cap)
+    : os_(os), cap_(cap)
+{
+    os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    flush();
+}
+
+void
+ChromeTraceSink::writeEvent(const std::string &body)
+{
+    if (closed_)
+        return;
+    if (any_)
+        os_ << ",\n";
+    any_ = true;
+    os_ << body;
+}
+
+void
+ChromeTraceSink::emit(const TraceRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (emitted_ >= cap_)
+        return;
+    ++emitted_;
+    std::string ev = "{\"name\":";
+    appendJsonString(ev, rec.name);
+    ev += ",\"ph\":\"";
+    ev += rec.phase;
+    ev += "\"";
+    if (rec.phase == 'i')
+        ev += ",\"s\":\"t\""; // thread-scoped instant marker
+    ev += ",\"pid\":" + jsonNumber(static_cast<std::int64_t>(rec.lane));
+    ev += ",\"tid\":" + jsonNumber(static_cast<std::int64_t>(rec.tid));
+    ev += ",\"ts\":" + jsonNumber(stampOf(rec));
+    if (rec.phase == 'X')
+        ev += ",\"dur\":" + jsonNumber(rec.durUs);
+    std::string args = renderArgs(rec);
+    if (!args.empty())
+        ev += ",\"args\":{" + args + "}";
+    ev += '}';
+    writeEvent(ev);
+}
+
+void
+ChromeTraceSink::setLaneName(int lane, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string ev = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+                     jsonNumber(static_cast<std::int64_t>(lane));
+    ev += ",\"tid\":0,\"args\":{\"name\":";
+    appendJsonString(ev, name);
+    ev += "}}";
+    writeEvent(ev);
+}
+
+void
+ChromeTraceSink::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!closed_) {
+        os_ << "\n]}\n";
+        closed_ = true;
+    }
+    os_.flush();
+}
+
+std::unique_ptr<TraceSink>
+makeTraceSink(const std::string &format, std::ostream &os)
+{
+    if (format == "jsonl")
+        return std::make_unique<JsonlTraceSink>(os);
+    if (format == "chrome")
+        return std::make_unique<ChromeTraceSink>(os);
+    return nullptr;
+}
+
+} // namespace ldx::obs

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Structured trace sinks.
+ *
+ * A TraceRecord is one timestamped event on a (lane, tid) pair; lanes
+ * map to Chrome trace "processes" so a dual-execution trace renders
+ * with one lane per side plus one for the compile/run pipeline. Two
+ * backends serialize records:
+ *
+ *  - JsonlTraceSink: one self-contained JSON object per line — easy
+ *    to grep, stream, and post-process;
+ *  - ChromeTraceSink: the Chrome `trace_event` JSON format, loadable
+ *    in about://tracing or https://ui.perfetto.dev.
+ *
+ * Both are thread-safe (controllers on two OS threads emit
+ * concurrently) and both apply a record cap so a runaway spin loop
+ * cannot fill the disk.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ldx::obs {
+
+/** Well-known lanes (Chrome "pid"s). */
+inline constexpr int kMasterLane = 0;
+inline constexpr int kSlaveLane = 1;
+inline constexpr int kPipelineLane = 2;
+
+/** One trace event. */
+struct TraceRecord
+{
+    std::string name;
+    /** 'i' = instant, 'X' = complete (has durUs). */
+    char phase = 'i';
+    int lane = kPipelineLane;
+    int tid = 0;
+    /** Microseconds on the obs::nowUs() timeline; -1 = stamp at emit. */
+    std::int64_t tsUs = -1;
+    std::int64_t durUs = 0;
+    std::vector<std::pair<std::string, std::int64_t>> numArgs;
+    std::vector<std::pair<std::string, std::string>> strArgs;
+};
+
+/** Abstract sink for trace records. */
+class TraceSink
+{
+  public:
+    /** Default cap on records accepted before further emits drop. */
+    static constexpr std::uint64_t kDefaultCap = 1'000'000;
+
+    virtual ~TraceSink() = default;
+
+    /** Serialize one record (thread-safe). */
+    virtual void emit(const TraceRecord &rec) = 0;
+
+    /** Name a lane ("master", "slave", "pipeline"). */
+    virtual void setLaneName(int lane, const std::string &name) = 0;
+
+    /** Finish the output (closes the Chrome JSON array). */
+    virtual void flush() = 0;
+};
+
+/** JSON-lines backend. */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    /** @p os must outlive the sink. */
+    explicit JsonlTraceSink(std::ostream &os,
+                            std::uint64_t cap = kDefaultCap);
+
+    void emit(const TraceRecord &rec) override;
+    void setLaneName(int lane, const std::string &name) override;
+    void flush() override;
+
+  private:
+    std::mutex mutex_;
+    std::ostream &os_;
+    std::uint64_t cap_;
+    std::uint64_t emitted_ = 0;
+};
+
+/** Chrome trace_event backend ({"traceEvents":[...]}). */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    /** @p os must outlive the sink. */
+    explicit ChromeTraceSink(std::ostream &os,
+                             std::uint64_t cap = kDefaultCap);
+    ~ChromeTraceSink() override;
+
+    void emit(const TraceRecord &rec) override;
+    void setLaneName(int lane, const std::string &name) override;
+    void flush() override;
+
+  private:
+    void writeEvent(const std::string &body); ///< caller holds mutex_
+
+    std::mutex mutex_;
+    std::ostream &os_;
+    std::uint64_t cap_;
+    std::uint64_t emitted_ = 0;
+    bool any_ = false;
+    bool closed_ = false;
+};
+
+/**
+ * Construct a sink by format name ("jsonl" or "chrome"); nullptr on
+ * an unknown format.
+ */
+std::unique_ptr<TraceSink> makeTraceSink(const std::string &format,
+                                         std::ostream &os);
+
+} // namespace ldx::obs

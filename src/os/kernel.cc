@@ -38,6 +38,56 @@ Kernel::journalOutput(std::int64_t no, const std::string &channel,
     rec.payload = payload;
     rec.suppressed = suppressOutputs_;
     journal_.push_back(std::move(rec));
+    if (obs_ && obs_->tracing()) {
+        obs::TraceRecord trec;
+        trec.name = "output";
+        trec.lane = obsLane_;
+        trec.numArgs = {{"sys", no},
+                        {"bytes",
+                         static_cast<std::int64_t>(payload.size())},
+                        {"suppressed", suppressOutputs_ ? 1 : 0}};
+        trec.strArgs = {{"channel", channel}};
+        obs_->emit(std::move(trec));
+    }
+}
+
+void
+Kernel::accountOp(std::int64_t no)
+{
+    switch (static_cast<Sys>(no)) {
+      case Sys::Open:
+      case Sys::Read:
+      case Sys::Write:
+      case Sys::Close:
+      case Sys::Lseek:
+      case Sys::Mkdir:
+      case Sys::Rmdir:
+      case Sys::Unlink:
+      case Sys::Rename:
+      case Sys::Stat:
+        ++stats_.vfsOps;
+        break;
+      case Sys::Socket:
+      case Sys::Connect:
+      case Sys::Send:
+      case Sys::Recv:
+      case Sys::Listen:
+      case Sys::Accept:
+        ++stats_.sockOps;
+        break;
+      case Sys::Print:
+        ++stats_.consoleOps;
+        break;
+      case Sys::Time:
+      case Sys::Rdtsc:
+      case Sys::Random:
+      case Sys::GetPid:
+      case Sys::GetEnv:
+        ++stats_.nondetOps;
+        break;
+      default:
+        break;
+    }
 }
 
 std::string
@@ -216,6 +266,8 @@ Outcome
 Kernel::execute(std::int64_t no, const std::vector<std::int64_t> &args,
                 MemAccess &mem)
 {
+    ++stats_.executes;
+    accountOp(no);
     Outcome out;
     out.stamp = now();
     Sys sys = static_cast<Sys>(no);
@@ -411,6 +463,8 @@ bool
 Kernel::replay(std::int64_t no, const std::vector<std::int64_t> &args,
                const Outcome &out, MemAccess &mem)
 {
+    ++stats_.replays;
+    accountOp(no);
     Sys sys = static_cast<Sys>(no);
     switch (sys) {
       case Sys::Open: {

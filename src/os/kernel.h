@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/scope.h"
 #include "os/memaccess.h"
 #include "os/sysno.h"
 #include "os/vfs.h"
@@ -47,6 +48,20 @@ struct OutputRecord
     std::string channel;  ///< "file:<path>", "net:<host>", "console"
     std::string payload;
     bool suppressed = false; ///< slave-side output (not external)
+};
+
+/**
+ * Kernel operation tallies, grouped by syscall number (a Read on a
+ * socket fd still counts as a VFS op — the grouping is static).
+ */
+struct KernelStats
+{
+    std::uint64_t executes = 0;   ///< execute() calls
+    std::uint64_t replays = 0;    ///< replay() calls
+    std::uint64_t vfsOps = 0;     ///< open/read/write/stat/... family
+    std::uint64_t sockOps = 0;    ///< socket/connect/send/recv/...
+    std::uint64_t consoleOps = 0; ///< print
+    std::uint64_t nondetOps = 0;  ///< time/rdtsc/random/getpid/getenv
 };
 
 /** Per-execution virtual kernel. */
@@ -87,6 +102,17 @@ class Kernel
     /** When true, outputs are journaled as suppressed (slave mode). */
     void setSuppressOutputs(bool v) { suppressOutputs_ = v; }
 
+    /** Attach observability: "output" trace instants on @p lane. */
+    void
+    setObs(obs::Scope *scope, int lane)
+    {
+        obs_ = scope;
+        obsLane_ = lane;
+    }
+
+    /** Operation tallies since construction. */
+    const KernelStats &stats() const { return stats_; }
+
     /** Advance the virtual clock by @p n executed instructions. */
     void tickInstructions(std::uint64_t n) { instrTicks_ += n; }
 
@@ -120,6 +146,7 @@ class Kernel
 
     std::int64_t now() const;
     std::int64_t arg(const std::vector<std::int64_t> &a, int i) const;
+    void accountOp(std::int64_t no);
     void journalOutput(std::int64_t no, const std::string &channel,
                        const std::string &payload);
     std::string channelOfFd(std::int64_t fd) const;
@@ -144,6 +171,9 @@ class Kernel
     bool suppressOutputs_ = false;
     bool exited_ = false;
     std::int64_t exitCode_ = 0;
+    KernelStats stats_;
+    obs::Scope *obs_ = nullptr;
+    int obsLane_ = 0;
 };
 
 } // namespace ldx::os

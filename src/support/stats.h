@@ -1,11 +1,12 @@
 /**
  * @file
  * Running statistics used by the benchmark harnesses: min/max/mean,
- * sample standard deviation, and geometric mean — the aggregates the
- * paper reports in Tables 2/4 and Figure 6.
+ * sample standard deviation, percentiles, and geometric mean — the
+ * aggregates the paper reports in Tables 2/4 and Figure 6.
  */
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -51,6 +52,32 @@ class RunningStats
             acc += (x - m) * (x - m);
         return std::sqrt(acc / (samples_.size() - 1));
     }
+
+    /**
+     * p-th percentile (p in [0, 100]), linearly interpolated between
+     * order statistics. Sorts a copy — fine at bench sample counts.
+     */
+    double
+    percentile(double p) const
+    {
+        if (samples_.empty())
+            return 0.0;
+        std::vector<double> sorted(samples_);
+        std::sort(sorted.begin(), sorted.end());
+        if (p <= 0.0)
+            return sorted.front();
+        if (p >= 100.0)
+            return sorted.back();
+        double rank = p / 100.0 * (sorted.size() - 1);
+        std::size_t lo = static_cast<std::size_t>(rank);
+        if (lo + 1 >= sorted.size())
+            return sorted.back();
+        return sorted[lo] + (rank - lo) * (sorted[lo + 1] - sorted[lo]);
+    }
+
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
 
     /** Geometric mean; samples must be positive. */
     double

@@ -69,7 +69,24 @@ Machine::newContext(int fn, std::vector<std::int64_t> args)
     frame.spAtEntry = ctx->sp;
     ctx->frames.push_back(std::move(frame));
     contexts_.push_back(std::move(ctx));
+    emitObsInstant("thread_start", contexts_.back()->tid,
+                   module_.function(fn).name());
     return *contexts_.back();
+}
+
+void
+Machine::emitObsInstant(const char *name, int tid,
+                        const std::string &detail)
+{
+    if (!obs_ || !obs_->tracing())
+        return;
+    obs::TraceRecord rec;
+    rec.name = name;
+    rec.lane = obsLane_;
+    rec.tid = tid;
+    if (!detail.empty())
+        rec.strArgs = {{"detail", detail}};
+    obs_->emit(std::move(rec));
 }
 
 std::int64_t
@@ -159,6 +176,7 @@ Machine::step()
             }
             trap_ = TrapInfo{TrapKind::BadSyscall,
                              "guest deadlock: all threads blocked", 0, {}};
+            emitObsInstant("trap", 0, trap_->message);
             finished_ = true;
             if (port_)
                 port_->onFinished(*this);
@@ -179,6 +197,7 @@ Machine::step()
                     static_cast<std::size_t>(fr.ip)];
             trap_ = TrapInfo{trap.kind(), trap.what(), ctx.tid,
                              instr.loc};
+            emitObsInstant("trap", ctx.tid, trap_->message);
             finished_ = true;
             if (port_)
                 port_->onFinished(*this);
@@ -208,6 +227,7 @@ Machine::run()
             trap_ = TrapInfo{TrapKind::BadSyscall,
                              "stalled without a dual-execution driver",
                              0, {}};
+            emitObsInstant("trap", 0, trap_->message);
             finished_ = true;
             return StepStatus::Trapped;
         }
@@ -266,6 +286,7 @@ Machine::executeOne(Context &ctx)
     auto account = [&]() {
         ++ctx.instrCount;
         ++totalInstrs_;
+        ++opCounts_[static_cast<std::size_t>(instr.op)];
         kernel_.tickInstructions(1);
     };
 
@@ -533,6 +554,7 @@ Machine::finishContext(Context &ctx, std::int64_t ret_val)
 {
     ctx.state = Context::State::Done;
     ctx.retVal = ret_val;
+    emitObsInstant("thread_done", ctx.tid);
     if (port_)
         port_->onThreadDone(ctx.tid, *this);
     for (auto &other : contexts_) {
@@ -700,6 +722,7 @@ Machine::doSyscall(Context &ctx, const ir::Instr &instr)
     ++totalSyscalls_;
     ++ctx.instrCount;
     ++totalInstrs_;
+    ++opCounts_[static_cast<std::size_t>(ir::Opcode::Syscall)];
     kernel_.tickInstructions(1);
     if (out.exited) {
         finishProgram(req.args.empty() ? 0 : req.args[0]);
@@ -818,6 +841,28 @@ Machine::stats() const
     s.instructions = totalInstrs_;
     s.syscalls = totalSyscalls_;
     s.barriers = totalBarriers_;
+    auto op = [&](ir::Opcode o) {
+        return opCounts_[static_cast<std::size_t>(o)];
+    };
+    s.mixData = op(ir::Opcode::Const) + op(ir::Opcode::Move);
+    s.mixAlu = op(ir::Opcode::Add) + op(ir::Opcode::Sub) +
+               op(ir::Opcode::Mul) + op(ir::Opcode::Div) +
+               op(ir::Opcode::Rem) + op(ir::Opcode::And) +
+               op(ir::Opcode::Or) + op(ir::Opcode::Xor) +
+               op(ir::Opcode::Shl) + op(ir::Opcode::Shr) +
+               op(ir::Opcode::Neg) + op(ir::Opcode::Not) +
+               op(ir::Opcode::CmpEq) + op(ir::Opcode::CmpNe) +
+               op(ir::Opcode::CmpLt) + op(ir::Opcode::CmpLe) +
+               op(ir::Opcode::CmpGt) + op(ir::Opcode::CmpGe);
+    s.mixMem = op(ir::Opcode::Load) + op(ir::Opcode::Store) +
+               op(ir::Opcode::Alloca) + op(ir::Opcode::GlobalAddr);
+    s.mixCall = op(ir::Opcode::Call) + op(ir::Opcode::ICall) +
+                op(ir::Opcode::FnAddr) + op(ir::Opcode::LibCall) +
+                op(ir::Opcode::Ret);
+    s.mixBranch = op(ir::Opcode::Br) + op(ir::Opcode::CondBr);
+    s.mixSyscall = op(ir::Opcode::Syscall);
+    s.mixCounter = op(ir::Opcode::CntAdd) + op(ir::Opcode::SyncBarrier) +
+                   op(ir::Opcode::CntPush) + op(ir::Opcode::CntPop);
     double sum = 0.0;
     std::uint64_t samples = 0;
     for (const auto &ctx : contexts_) {

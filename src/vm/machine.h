@@ -13,6 +13,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "ir/ir.h"
+#include "obs/scope.h"
 #include "os/kernel.h"
 #include "support/prng.h"
 #include "vm/hooks.h"
@@ -114,6 +116,15 @@ struct MachineStats
     double avgCnt = 0.0;
     std::size_t maxCntDepth = 0;
     std::uint64_t barriers = 0;
+
+    // Retired instruction mix by opcode category.
+    std::uint64_t mixData = 0;    ///< Const/Move
+    std::uint64_t mixAlu = 0;     ///< arithmetic, compares, Neg/Not
+    std::uint64_t mixMem = 0;     ///< Load/Store/Alloca/GlobalAddr
+    std::uint64_t mixCall = 0;    ///< Call/ICall/FnAddr/LibCall/Ret
+    std::uint64_t mixBranch = 0;  ///< Br/CondBr
+    std::uint64_t mixSyscall = 0; ///< Syscall
+    std::uint64_t mixCounter = 0; ///< CntAdd/SyncBarrier/CntPush/CntPop
 };
 
 /** Function-address token encoding used by FnAddr / ICall. */
@@ -142,6 +153,14 @@ class Machine
     void setSyscallPort(SyscallPort *port) { port_ = port; }
     void setExecHook(ExecHook *hook) { execHook_ = hook; }
     void setSinkHook(SinkHook *hook) { sinkHook_ = hook; }
+
+    /** Attach observability: thread lifecycle / trap trace instants. */
+    void
+    setObs(obs::Scope *scope, int lane)
+    {
+        obs_ = scope;
+        obsLane_ = lane;
+    }
 
     Memory &memory() { return *memory_; }
     const Memory &memory() const { return *memory_; }
@@ -184,6 +203,10 @@ class Machine
 
     std::int64_t makeToken(int fn, int block, int ip) const;
 
+    /** Emit an instant event onto this machine's lane (null-safe). */
+    void emitObsInstant(const char *name, int tid,
+                        const std::string &detail = std::string());
+
     const ir::Module &module_;
     os::Kernel &kernel_;
     MachineConfig cfg_;
@@ -202,6 +225,8 @@ class Machine
     SyscallPort *port_ = nullptr;
     ExecHook *execHook_ = nullptr;
     SinkHook *sinkHook_ = nullptr;
+    obs::Scope *obs_ = nullptr;
+    int obsLane_ = 0;
 
     bool started_ = false;
     bool finished_ = false;
@@ -210,6 +235,9 @@ class Machine
     std::uint64_t totalInstrs_ = 0;
     std::uint64_t totalSyscalls_ = 0;
     std::uint64_t totalBarriers_ = 0;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(ir::kNumOpcodes)>
+        opCounts_{};
 };
 
 } // namespace ldx::vm

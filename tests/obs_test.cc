@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests for the obs layer: registry semantics (counters, gauges,
+ * histograms, snapshots), trace sink output well-formedness, phase
+ * timer nesting — and the load-bearing invariant that the metrics
+ * registry totals agree exactly with the legacy DualResult counters.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+#include "obs/phase.h"
+#include "obs/registry.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
+
+namespace ldx {
+namespace {
+
+using core::DualEngine;
+using core::EngineConfig;
+using core::SourceSpec;
+
+// ----------------------------------------------------------- registry
+
+TEST(RegistryTest, CounterIncrementAndLookup)
+{
+    obs::Registry reg;
+    obs::Counter &c = reg.counter("a.b");
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Same name resolves to the same instrument.
+    EXPECT_EQ(&reg.counter("a.b"), &c);
+    EXPECT_EQ(reg.counter("a.b").value(), 42u);
+}
+
+TEST(RegistryTest, CounterIsThreadSafe)
+{
+    obs::Registry reg;
+    obs::Counter &c = reg.counter("hot");
+    constexpr int kThreads = 4;
+    constexpr int kIncs = 50000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kIncs; ++i)
+                c.inc();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(RegistryTest, GaugeHoldsLastValue)
+{
+    obs::Registry reg;
+    reg.gauge("g").set(1.5);
+    reg.gauge("g").set(-2.25);
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), -2.25);
+}
+
+TEST(RegistryTest, HistogramBucketsAndOverflow)
+{
+    obs::Registry reg;
+    obs::Histogram &h = reg.histogram("h", {1.0, 10.0, 100.0});
+    h.observe(0.5);    // bucket 0: [0, 1)
+    h.observe(5.0);    // bucket 1: [1, 10)
+    h.observe(10.0);   // bucket 2: [10, 100) — bounds are lower-inclusive
+    h.observe(1000.0); // overflow bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 1015.5);
+    EXPECT_EQ(h.numBuckets(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+}
+
+TEST(RegistryTest, SnapshotAndAccessors)
+{
+    obs::Registry reg;
+    reg.counter("c1").inc(7);
+    reg.gauge("g1").set(3.5);
+    reg.histogram("h1", {1.0, 2.0}).observe(1.5);
+    obs::MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counterOr("c1"), 7u);
+    EXPECT_EQ(snap.counterOr("missing", 99), 99u);
+    EXPECT_DOUBLE_EQ(snap.gaugeOr("g1"), 3.5);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, 1u);
+
+    std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"c1\":7"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RegistryTest, HistogramPercentileEstimate)
+{
+    obs::Registry reg;
+    obs::Histogram &h = reg.histogram("p", {10.0, 20.0, 30.0});
+    for (int i = 0; i < 100; ++i)
+        h.observe(5.0); // all in the first bucket
+    obs::MetricsSnapshot snap = reg.snapshot();
+    double p50 = snap.histograms[0].percentile(50.0);
+    EXPECT_GE(p50, 0.0);
+    EXPECT_LE(p50, 10.0);
+    // Everything below the last bound: p99 stays in bucket 0 too.
+    EXPECT_LE(snap.histograms[0].percentile(99.0), 10.0);
+}
+
+// -------------------------------------------------------- trace sinks
+
+obs::TraceRecord
+makeRecord(const std::string &name, int lane)
+{
+    obs::TraceRecord rec;
+    rec.name = name;
+    rec.lane = lane;
+    rec.tid = 1;
+    rec.tsUs = 123;
+    rec.numArgs = {{"sys", 7}};
+    rec.strArgs = {{"detail", "a\"b\n"}};
+    return rec;
+}
+
+TEST(TraceSinkTest, JsonlOneObjectPerLine)
+{
+    std::ostringstream os;
+    obs::JsonlTraceSink sink(os);
+    sink.setLaneName(obs::kMasterLane, "master");
+    sink.emit(makeRecord("copy", obs::kMasterLane));
+    sink.emit(makeRecord("execute", obs::kSlaveLane));
+    sink.flush();
+
+    std::istringstream in(os.str());
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        ++lines;
+    }
+    EXPECT_EQ(lines, 3); // lane metadata line + two records
+    // The quote and newline in strArgs must be escaped.
+    EXPECT_NE(os.str().find("a\\\"b\\n"), std::string::npos);
+}
+
+TEST(TraceSinkTest, ChromeTraceIsOneJsonObject)
+{
+    std::ostringstream os;
+    {
+        obs::ChromeTraceSink sink(os);
+        sink.setLaneName(obs::kMasterLane, "master");
+        sink.setLaneName(obs::kSlaveLane, "slave");
+        sink.emit(makeRecord("copy", obs::kMasterLane));
+        obs::TraceRecord dur = makeRecord("master-run", obs::kMasterLane);
+        dur.phase = 'X';
+        dur.durUs = 55;
+        sink.emit(dur);
+        sink.flush();
+    }
+    std::string out = os.str();
+    EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"dur\":55"), std::string::npos);
+    // flush() closes the array/object.
+    std::string tail = out.substr(out.size() - 3);
+    EXPECT_NE(tail.find("]}"), std::string::npos);
+}
+
+TEST(TraceSinkTest, MakeTraceSinkByName)
+{
+    std::ostringstream os;
+    EXPECT_NE(obs::makeTraceSink("jsonl", os), nullptr);
+    EXPECT_NE(obs::makeTraceSink("chrome", os), nullptr);
+    EXPECT_EQ(obs::makeTraceSink("xml", os), nullptr);
+}
+
+TEST(TraceSinkTest, ScopeWithoutSinkDropsRecords)
+{
+    obs::Registry reg;
+    obs::Scope scope(reg, nullptr);
+    EXPECT_FALSE(scope.tracing());
+    scope.emit(makeRecord("ignored", 0)); // must not crash
+}
+
+// -------------------------------------------------------- phase timer
+
+TEST(PhaseTimerTest, NestingDepthsAndSamples)
+{
+    obs::PhaseTimer timer;
+    timer.begin("outer");
+    timer.begin("inner");
+    timer.end();
+    timer.end();
+    timer.record("worker", 1, 0, 0.5);
+
+    auto samples = timer.samples();
+    ASSERT_EQ(samples.size(), 3u);
+    // Completion order: inner closes first.
+    EXPECT_EQ(samples[0].name, "inner");
+    EXPECT_EQ(samples[0].depth, 1);
+    EXPECT_EQ(samples[1].name, "outer");
+    EXPECT_EQ(samples[1].depth, 0);
+    EXPECT_GE(samples[1].seconds, samples[0].seconds);
+    EXPECT_EQ(samples[2].name, "worker");
+    EXPECT_DOUBLE_EQ(timer.total("worker"), 0.5);
+}
+
+TEST(PhaseTimerTest, TimeReturnsCallableResult)
+{
+    obs::PhaseTimer timer;
+    int v = timer.time("calc", [] { return 41 + 1; });
+    EXPECT_EQ(v, 42);
+    timer.time("side-effect", [] {});
+    EXPECT_EQ(timer.samples().size(), 2u);
+}
+
+TEST(PhaseTimerTest, MirrorsIntoSink)
+{
+    std::ostringstream os;
+    obs::JsonlTraceSink sink(os);
+    obs::PhaseTimer timer(&sink);
+    timer.begin("parse");
+    timer.end();
+    EXPECT_NE(os.str().find("\"parse\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"X\""), std::string::npos);
+}
+
+// ----------------------------------------- engine metrics integration
+
+const char *kLeakProgram = R"(
+int main() {
+    char secret[16];
+    getenv("SECRET", secret, 16);
+    int grade = 0;
+    if (secret[0] == 'a') { grade = 1; } else { grade = 2; }
+    char out[8];
+    itoa(grade, out);
+    print(out, strlen(out));
+    int fd = open("/log.txt", 1);
+    write(fd, out, strlen(out));
+    close(fd);
+    return 0;
+}
+)";
+
+core::DualResult
+dualRun(EngineConfig cfg)
+{
+    auto module = lang::compileSource(kLeakProgram);
+    instrument::CounterInstrumenter pass(*module);
+    pass.run();
+    os::WorldSpec world;
+    world.env["SECRET"] = "abc";
+    cfg.wallClockCap = 20.0;
+    DualEngine engine(*module, world, cfg);
+    auto res = engine.run();
+    EXPECT_FALSE(res.deadlocked);
+    return res;
+}
+
+void
+expectMetricsMatchResult(const core::DualResult &res)
+{
+    EXPECT_EQ(res.metrics.counterOr("dual.syscalls.aligned"),
+              res.alignedSyscalls);
+    EXPECT_EQ(res.metrics.counterOr("dual.syscalls.diff"),
+              res.syscallDiffs);
+    EXPECT_EQ(res.metrics.counterOr("dual.syscalls.slave_total"),
+              res.totalSlaveSyscalls);
+    EXPECT_EQ(res.metrics.counterOr("dual.barrier.pairings"),
+              res.barrierPairings);
+    EXPECT_EQ(res.metrics.counterOr("dual.findings"),
+              res.findings.size());
+    EXPECT_DOUBLE_EQ(res.metrics.gaugeOr("dual.wall_seconds"),
+                     res.wallSeconds);
+    // Side stats flow through too.
+    EXPECT_GT(res.metrics.counterOr("vm.master.instructions"), 0u);
+    EXPECT_GT(res.metrics.counterOr("vm.slave.instructions"), 0u);
+    EXPECT_GT(res.metrics.counterOr("os.master.executes"), 0u);
+}
+
+TEST(EngineObsTest, MetricsMatchResultCleanRun)
+{
+    auto res = dualRun({});
+    EXPECT_FALSE(res.causality());
+    expectMetricsMatchResult(res);
+    EXPECT_GT(res.metrics.counterOr("dual.align.copies"), 0u);
+    EXPECT_EQ(res.metrics.counterOr("dual.syscalls.diff"), 0u);
+}
+
+TEST(EngineObsTest, MetricsMatchResultMutatedRun)
+{
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("SECRET")};
+    auto res = dualRun(cfg);
+    EXPECT_TRUE(res.causality());
+    expectMetricsMatchResult(res);
+}
+
+TEST(EngineObsTest, MetricsMatchResultThreadedRun)
+{
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("SECRET")};
+    cfg.threaded = true;
+    auto res = dualRun(cfg);
+    expectMetricsMatchResult(res);
+}
+
+TEST(EngineObsTest, PhasesCoverThePipeline)
+{
+    auto res = dualRun({});
+    ASSERT_FALSE(res.phases.empty());
+    bool saw_run = false;
+    for (const auto &p : res.phases)
+        saw_run |= p.name == "dual-run";
+    EXPECT_TRUE(saw_run);
+}
+
+TEST(EngineObsTest, ExternalRegistryAccumulatesAcrossRuns)
+{
+    obs::Registry reg;
+    EngineConfig cfg;
+    cfg.registry = &reg;
+    auto first = dualRun(cfg);
+    std::uint64_t after_one =
+        reg.counter("dual.syscalls.aligned").value();
+    EXPECT_EQ(after_one, first.alignedSyscalls);
+    dualRun(cfg);
+    EXPECT_EQ(reg.counter("dual.syscalls.aligned").value(),
+              2 * after_one);
+}
+
+TEST(EngineObsTest, ChromeTraceHasPerSideLanes)
+{
+    std::ostringstream os;
+    obs::ChromeTraceSink sink(os);
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("SECRET")};
+    cfg.traceSink = &sink;
+    dualRun(cfg);
+    sink.flush();
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"pid\":0"), std::string::npos); // master lane
+    EXPECT_NE(out.find("\"pid\":1"), std::string::npos); // slave lane
+    EXPECT_NE(out.find("\"copy\""), std::string::npos);
+}
+
+} // namespace
+} // namespace ldx

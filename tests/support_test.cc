@@ -92,6 +92,29 @@ TEST(StatsTest, Geomean)
     EXPECT_NEAR(s.geomean(), 10.0, 1e-9);
 }
 
+TEST(StatsTest, Percentiles)
+{
+    RunningStats s;
+    // Insertion order must not matter.
+    for (double v : {9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0, 10.0})
+        s.add(v);
+    EXPECT_NEAR(s.p50(), 5.5, 1e-12);
+    EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(s.percentile(100.0), 10.0, 1e-12);
+    // Linear interpolation between order statistics.
+    EXPECT_NEAR(s.p95(), 9.55, 1e-12);
+    EXPECT_NEAR(s.p99(), 9.91, 1e-12);
+}
+
+TEST(StatsTest, PercentileEdgeCases)
+{
+    RunningStats s;
+    EXPECT_EQ(s.p50(), 0.0);
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(s.p99(), 42.0);
+}
+
 TEST(TableTest, AlignsColumns)
 {
     TextTable t({"a", "bb"});

@@ -25,10 +25,16 @@
  *   --policy P           taintgrind | libdft | control   (taint)
  *   --threaded           two-OS-thread driver            (dual)
  *   --trace              print the alignment trace       (dual)
+ *   --metrics[=json]     print the metrics registry and phase
+ *                        timings; =json emits one machine-readable
+ *                        object on stdout         (dual/bench)
+ *   --trace-out FILE     write a structured trace (dual/bench)
+ *   --trace-format F     jsonl | chrome (default jsonl)
  *   --no-instrument      skip the counter pass           (dump)
  */
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +43,10 @@
 #include "ir/printer.h"
 #include "lang/compiler.h"
 #include "ldx/engine.h"
+#include "obs/json.h"
+#include "obs/phase.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 #include "support/diag.h"
 #include "support/strings.h"
@@ -61,6 +71,10 @@ struct CliOptions
     bool threaded = false;
     bool traceAlignment = false;
     bool instrument = true;
+    bool metrics = false;
+    bool metricsJson = false;
+    std::string traceOut;
+    std::string traceFormat = "jsonl";
 };
 
 [[noreturn]] void
@@ -186,6 +200,18 @@ parseArgs(int argc, char **argv)
             opt.threaded = true;
         } else if (arg == "--trace") {
             opt.traceAlignment = true;
+        } else if (arg == "--metrics" || arg == "--metrics=text") {
+            opt.metrics = true;
+        } else if (arg == "--metrics=json") {
+            opt.metrics = true;
+            opt.metricsJson = true;
+        } else if (arg == "--trace-out") {
+            opt.traceOut = next("--trace-out");
+        } else if (arg == "--trace-format") {
+            opt.traceFormat = next("--trace-format");
+            if (opt.traceFormat != "jsonl" && opt.traceFormat != "chrome")
+                usage("unknown trace format " + opt.traceFormat +
+                      " (expected jsonl or chrome)");
         } else if (arg == "--no-instrument") {
             opt.instrument = false;
         } else {
@@ -198,18 +224,96 @@ parseArgs(int argc, char **argv)
 }
 
 std::unique_ptr<ir::Module>
-compileProgram(const CliOptions &opt, bool instrumented)
+compileProgram(const CliOptions &opt, bool instrumented,
+               obs::PhaseTimer *timer = nullptr)
 {
-    auto module = lang::compileSource(readHostFile(opt.program));
+    auto module = lang::compileSource(readHostFile(opt.program), timer);
     if (instrumented) {
+        if (timer)
+            timer->begin("instrument");
         instrument::CounterInstrumenter pass(*module);
         auto stats = pass.run();
+        if (timer)
+            timer->end();
         std::cerr << "[ldx] instrumented " << stats.insertedOps
                   << " counter ops (" << stats.syscallSites
                   << " syscall sites, " << stats.loops
                   << " loops, max cnt " << stats.maxStaticCnt << ")\n";
     }
     return module;
+}
+
+/**
+ * Open the --trace-out sink, if requested. @p file backs the sink and
+ * must outlive it.
+ */
+std::unique_ptr<obs::TraceSink>
+openTraceSink(const CliOptions &opt, std::ofstream &file)
+{
+    if (opt.traceOut.empty())
+        return nullptr;
+    file.open(opt.traceOut, std::ios::binary);
+    if (!file)
+        usage("cannot write " + opt.traceOut);
+    auto sink = obs::makeTraceSink(opt.traceFormat, file);
+    if (!sink)
+        usage("unknown trace format " + opt.traceFormat);
+    return sink;
+}
+
+std::string
+phasesJson(const std::vector<obs::PhaseSample> &phases)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        if (i)
+            out += ',';
+        out += "{\"name\":" + obs::jsonString(phases[i].name);
+        out += ",\"depth\":" + std::to_string(phases[i].depth);
+        out += ",\"start_us\":" + std::to_string(phases[i].startUs);
+        out += ",\"seconds\":" + obs::jsonNumber(phases[i].seconds);
+        out += '}';
+    }
+    out += ']';
+    return out;
+}
+
+/**
+ * One machine-readable object for --metrics=json: verdict, findings,
+ * phase timings (front end + engine), and the full metrics snapshot.
+ */
+std::string
+resultJson(const core::DualResult &res,
+           const std::vector<obs::PhaseSample> &phases)
+{
+    std::string out = "{\"causality\":";
+    out += res.causality() ? "true" : "false";
+    out += ",\"wall_seconds\":" + obs::jsonNumber(res.wallSeconds);
+    out += ",\"findings\":[";
+    for (std::size_t i = 0; i < res.findings.size(); ++i) {
+        if (i)
+            out += ',';
+        out += obs::jsonString(res.findings[i].describe());
+    }
+    out += "],\"phases\":" + phasesJson(phases);
+    out += ",\"metrics\":" + res.metrics.toJson();
+    out += '}';
+    return out;
+}
+
+void
+printMetricsText(std::ostream &os, const core::DualResult &res,
+                 const std::vector<obs::PhaseSample> &phases)
+{
+    os << "metrics:\n";
+    res.metrics.writeText(os);
+    os << "phases:\n";
+    for (const obs::PhaseSample &p : phases) {
+        os << "  ";
+        for (int d = 0; d < p.depth; ++d)
+            os << "  ";
+        os << p.name << ": " << p.seconds * 1e3 << " ms\n";
+    }
 }
 
 int
@@ -236,38 +340,59 @@ cmdRun(const CliOptions &opt)
 int
 cmdDual(const CliOptions &opt)
 {
-    auto module = compileProgram(opt, true);
+    std::ofstream trace_file;
+    std::unique_ptr<obs::TraceSink> sink = openTraceSink(opt, trace_file);
+
+    obs::PhaseTimer front(sink.get());
+    auto module = compileProgram(opt, true, &front);
+
+    obs::Registry registry;
     core::EngineConfig cfg;
     cfg.sources = opt.sources;
     cfg.strategy = opt.strategy;
     cfg.sinks = opt.sinks;
     cfg.threaded = opt.threaded;
     cfg.recordTrace = opt.traceAlignment;
+    cfg.registry = &registry;
+    cfg.traceSink = sink.get();
     core::DualEngine engine(*module, opt.world, cfg);
     core::DualResult res = engine.run();
+    if (sink)
+        sink->flush();
+
+    std::vector<obs::PhaseSample> phases = front.samples();
+    phases.insert(phases.end(), res.phases.begin(), res.phases.end());
+
+    // With --metrics=json, stdout carries exactly one JSON object; the
+    // human-readable verdict moves to stderr.
+    std::ostream &out = opt.metricsJson ? std::cerr : std::cout;
 
     if (opt.traceAlignment) {
-        std::cout << "alignment trace:\n";
+        out << "alignment trace:\n";
         for (const core::TraceEvent &evt : res.trace)
-            std::cout << "  " << evt.describe() << "\n";
+            out << "  " << evt.describe() << "\n";
     }
-    std::cout << "aligned syscalls:    " << res.alignedSyscalls << "\n";
-    std::cout << "misaligned syscalls: " << res.syscallDiffs << "\n";
-    std::cout << "barrier pairings:    " << res.barrierPairings << "\n";
+    out << "aligned syscalls:    " << res.alignedSyscalls << "\n";
+    out << "misaligned syscalls: " << res.syscallDiffs << "\n";
+    out << "barrier pairings:    " << res.barrierPairings << "\n";
     if (!res.taintedResources.empty()) {
-        std::cout << "tainted resources:\n";
+        out << "tainted resources:\n";
         for (const std::string &k : res.taintedResources)
-            std::cout << "  " << k << "\n";
+            out << "  " << k << "\n";
     }
     if (res.causality()) {
-        std::cout << "CAUSALITY DETECTED (" << res.findings.size()
-                  << " finding(s)):\n";
+        out << "CAUSALITY DETECTED (" << res.findings.size()
+            << " finding(s)):\n";
         for (const core::Finding &f : res.findings)
-            std::cout << "  " << f.describe() << "\n";
-        return 1;
+            out << "  " << f.describe() << "\n";
+    } else {
+        out << "no causality between the sources and any sink\n";
     }
-    std::cout << "no causality between the sources and any sink\n";
-    return 0;
+    if (opt.metricsJson)
+        std::cout << resultJson(res, phases) << "\n";
+    else if (opt.metrics)
+        printMetricsText(std::cout, res, phases);
+    return res.causality() ? 1 : 0;
 }
 
 int
@@ -327,20 +452,32 @@ cmdBench(const CliOptions &opt)
     const workloads::Workload *w = workloads::findWorkload(opt.program);
     if (!w)
         usage("unknown workload " + opt.program + " (see 'ldx corpus')");
+    std::ofstream trace_file;
+    std::unique_ptr<obs::TraceSink> sink = openTraceSink(opt, trace_file);
+    obs::Registry registry;
     core::EngineConfig cfg;
     cfg.sinks = w->sinks;
     cfg.sources = w->sources;
     cfg.threaded = opt.threaded;
+    cfg.registry = &registry;
+    cfg.traceSink = sink.get();
     core::DualEngine engine(workloads::workloadModule(*w, true),
                             w->world(w->defaultScale), cfg);
     auto res = engine.run();
-    std::cout << w->name << ": "
-              << (res.causality() ? "causality detected" : "clean")
-              << " (aligned " << res.alignedSyscalls << ", diffs "
-              << res.syscallDiffs << ", " << res.findings.size()
-              << " finding(s))\n";
+    if (sink)
+        sink->flush();
+    std::ostream &out = opt.metricsJson ? std::cerr : std::cout;
+    out << w->name << ": "
+        << (res.causality() ? "causality detected" : "clean")
+        << " (aligned " << res.alignedSyscalls << ", diffs "
+        << res.syscallDiffs << ", " << res.findings.size()
+        << " finding(s))\n";
     for (const core::Finding &f : res.findings)
-        std::cout << "  " << f.describe() << "\n";
+        out << "  " << f.describe() << "\n";
+    if (opt.metricsJson)
+        std::cout << resultJson(res, res.phases) << "\n";
+    else if (opt.metrics)
+        printMetricsText(std::cout, res, res.phases);
     return 0;
 }
 
