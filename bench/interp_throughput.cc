@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Interpreter throughput: retired instructions per second on the
+ * legacy per-step dispatch path vs the predecoded fast path, for the
+ * single-VM instrumented run and for full dual execution under both
+ * drivers. The instruction counts themselves must not move — only the
+ * wall clock does — so each row also cross-checks that legacy and
+ * fast retire the same number of instructions.
+ *
+ * Emits BENCH_interp.json for run-over-run diffing.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "support/table.h"
+
+using namespace ldx;
+
+namespace {
+
+struct Sample
+{
+    double seconds = 0.0;
+    std::uint64_t instructions = 0;
+    double yields = 0.0;
+    double backoffNs = 0.0;
+
+    double
+    minstrPerSec() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(instructions) / seconds / 1e6
+                   : 0.0;
+    }
+};
+
+/** Single-VM instrumented run on one dispatch path. */
+Sample
+runSingle(const workloads::Workload &w, int scale, bool predecode)
+{
+    const ir::Module &m = workloads::workloadModule(w, true);
+    Sample s;
+    s.seconds = bench::timeSeconds([&] {
+        os::Kernel kernel(w.world(scale));
+        vm::MachineConfig cfg;
+        cfg.predecode = predecode;
+        vm::Machine machine(m, kernel, cfg);
+        machine.run();
+        s.instructions = machine.stats().instructions;
+    });
+    return s;
+}
+
+/** Dual run (both sides on one dispatch path), counting both VMs. */
+Sample
+runDualTimed(const workloads::Workload &w, int scale, bool predecode,
+             bool threaded)
+{
+    Sample s;
+    s.seconds = bench::timeSeconds([&] {
+        core::EngineConfig cfg;
+        cfg.sinks = w.sinks;
+        cfg.threaded = threaded;
+        cfg.wallClockCap = 60.0;
+        cfg.vmConfig.predecode = predecode;
+        core::DualEngine engine(workloads::workloadModule(w, true),
+                                w.world(scale), cfg);
+        core::DualResult res = engine.run();
+        s.instructions = res.masterStats.instructions +
+                         res.slaveStats.instructions;
+        s.yields = res.metrics.counterOr("driver.yields");
+        s.backoffNs = res.metrics.counterOr("driver.backoff_ns");
+    });
+    return s;
+}
+
+std::string
+sampleJson(const Sample &s)
+{
+    std::string out = "{\"seconds\":" + obs::jsonNumber(s.seconds);
+    out += ",\"instructions\":" + std::to_string(s.instructions);
+    out += ",\"minstr_per_sec\":" + obs::jsonNumber(s.minstrPerSec());
+    out += '}';
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "== Interpreter throughput: legacy vs predecoded ==\n\n";
+
+    std::vector<std::string> programs = {"401.bzip2", "456.hmmer",
+                                         "462.libquantum", "429.mcf"};
+
+    TextTable table({"Program", "Minstr", "legacy Mi/s", "fast Mi/s",
+                     "speedup", "dual-lk x", "dual-thr x"});
+    RunningStats speedups;
+    std::string rows_json;
+
+    for (const std::string &name : programs) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        if (!w) {
+            std::cerr << "[bench] unknown workload " << name << "\n";
+            continue;
+        }
+        workloads::workloadModule(*w, true); // warm the module cache
+
+        // Grow the scale until the legacy run is long enough to time.
+        int scale = w->defaultScale * 4;
+        Sample legacy = runSingle(*w, scale, false);
+        while (legacy.seconds < 0.05 && scale < 256) {
+            scale *= 2;
+            legacy = runSingle(*w, scale, false);
+        }
+        Sample fast = runSingle(*w, scale, true);
+        if (legacy.instructions != fast.instructions) {
+            std::cerr << "[bench] MISMATCH " << name
+                      << ": legacy retired " << legacy.instructions
+                      << " instructions, fast " << fast.instructions
+                      << " — dispatch paths diverged\n";
+            return 1;
+        }
+
+        Sample dl_legacy = runDualTimed(*w, scale, false, false);
+        Sample dl_fast = runDualTimed(*w, scale, true, false);
+        Sample dt_legacy = runDualTimed(*w, scale, false, true);
+        Sample dt_fast = runDualTimed(*w, scale, true, true);
+
+        double speedup = fast.minstrPerSec() / legacy.minstrPerSec();
+        double dl_speedup = dl_legacy.seconds / dl_fast.seconds;
+        double dt_speedup = dt_legacy.seconds / dt_fast.seconds;
+        speedups.add(speedup);
+
+        table.addRow(
+            {name,
+             formatDouble(static_cast<double>(legacy.instructions) /
+                              1e6,
+                          1),
+             formatDouble(legacy.minstrPerSec(), 1),
+             formatDouble(fast.minstrPerSec(), 1),
+             formatDouble(speedup, 2) + "x",
+             formatDouble(dl_speedup, 2) + "x",
+             formatDouble(dt_speedup, 2) + "x"});
+
+        if (!rows_json.empty())
+            rows_json += ',';
+        rows_json += "{\"name\":" + obs::jsonString(name);
+        rows_json += ",\"scale\":" + std::to_string(scale);
+        rows_json += ",\"single_legacy\":" + sampleJson(legacy);
+        rows_json += ",\"single_fast\":" + sampleJson(fast);
+        rows_json += ",\"dual_lockstep_legacy\":" + sampleJson(dl_legacy);
+        rows_json += ",\"dual_lockstep_fast\":" + sampleJson(dl_fast);
+        rows_json += ",\"dual_threaded_legacy\":" + sampleJson(dt_legacy);
+        rows_json += ",\"dual_threaded_fast\":" + sampleJson(dt_fast);
+        rows_json += ",\"speedup\":" + obs::jsonNumber(speedup);
+        rows_json +=
+            ",\"dual_threaded_yields\":" + obs::jsonNumber(dt_fast.yields);
+        rows_json += ",\"dual_threaded_backoff_ns\":" +
+                     obs::jsonNumber(dt_fast.backoffNs);
+        rows_json += '}';
+    }
+
+    table.print(std::cout);
+    std::cout << "\nGeomean single-VM speedup: "
+              << formatDouble(speedups.geomean(), 2) << "x\n";
+
+    std::string blob = "{\"bench\":\"interp_throughput\"";
+    blob += ",\"programs\":[" + rows_json + ']';
+    blob += ",\"speedup\":" + bench::statsJson(speedups);
+    blob += '}';
+    bench::writeBenchBlob("interp", blob);
+    return 0;
+}

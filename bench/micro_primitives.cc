@@ -118,8 +118,8 @@ BM_ChannelRoundtrip(benchmark::State &state)
     core::ThreadChannel &ch = chan.thread(0);
     std::int64_t cnt = 0;
     for (auto _ : state) {
-        std::lock_guard<std::mutex> lock(ch.mutex);
-        ch.pos[0] = {core::PosKind::Input, ++cnt, 1, 0};
+        std::lock_guard<core::CountingMutex> lock(ch.mutex);
+        ch.publishPos(0, {core::PosKind::Input, ++cnt, 1, 0});
         core::QueueEntry e;
         e.cnt = cnt;
         e.site = 1;
@@ -129,6 +129,23 @@ BM_ChannelRoundtrip(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ChannelRoundtrip);
+
+void
+BM_PosCellPublishRead(benchmark::State &state)
+{
+    core::PosCell cell;
+    std::vector<std::int64_t> stack = {3, 7};
+    std::vector<std::int64_t> scratch;
+    core::Position p;
+    std::int64_t cnt = 0;
+    for (auto _ : state) {
+        cell.publish({core::PosKind::Input, ++cnt, 1, 0}, stack);
+        bool truncated = false;
+        cell.read(p, scratch, truncated);
+        benchmark::DoNotOptimize(p.cnt);
+    }
+}
+BENCHMARK(BM_PosCellPublishRead);
 
 } // namespace
 

@@ -22,9 +22,19 @@
  * requests), so no condition variables are needed and the same code
  * drives both the deterministic lockstep driver and the two-OS-thread
  * driver.
+ *
+ * Two lock-free mirrors keep the poll fast path off that mutex:
+ *  - each side's position (and counter stack) is also published
+ *    through a seqlock PosCell, so a blocked peer re-evaluates its
+ *    wait predicate against a consistent snapshot without locking;
+ *  - every *structural* mutation (queue push, sink slot change,
+ *    barrier pairing, thread-done flag) bumps stateVersion, so a
+ *    waiter whose inputs are provably unchanged can return Blocked
+ *    without touching the mutex at all (see Controller::fastPoll).
  */
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -117,10 +127,129 @@ Progress compareProgress(const std::vector<std::int64_t> &peer_stack,
                          const std::vector<std::int64_t> &my_stack,
                          std::int64_t my_cnt);
 
+/**
+ * A mutex that counts its acquisitions. The count is the contention
+ * diagnostic the poll fast path is judged by: blocked re-polls that
+ * resolve through the lock-free mirrors leave it untouched.
+ */
+class CountingMutex
+{
+  public:
+    void
+    lock()
+    {
+        mu_.lock();
+        acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    bool
+    try_lock()
+    {
+        if (!mu_.try_lock())
+            return false;
+        acquisitions_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    void unlock() { mu_.unlock(); }
+
+    std::uint64_t
+    acquisitions() const
+    {
+        return acquisitions_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::mutex mu_;
+    std::atomic<std::uint64_t> acquisitions_{0};
+};
+
+/**
+ * Seqlock-published position snapshot: one side's Position plus its
+ * saved counter stack, readable by the peer without the channel
+ * mutex. Writers are already serialized under ThreadChannel::mutex;
+ * readers retry while a write is in flight (odd sequence).
+ */
+class PosCell
+{
+  public:
+    /** Stack levels mirrored; deeper stacks force the locked path. */
+    static constexpr std::size_t kMaxDepth = 48;
+
+    /** Publish @p p and @p stack (caller holds the channel mutex). */
+    void
+    publish(const Position &p, const std::vector<std::int64_t> &stack)
+    {
+        std::uint64_t s = seq_.load(std::memory_order_relaxed);
+        seq_.store(s + 1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+        kind_.store(static_cast<std::uint8_t>(p.kind),
+                    std::memory_order_relaxed);
+        cnt_.store(p.cnt, std::memory_order_relaxed);
+        site_.store(p.site, std::memory_order_relaxed);
+        iter_.store(p.iter, std::memory_order_relaxed);
+        std::size_t depth = std::min(stack.size(), kMaxDepth);
+        depth_.store(static_cast<std::uint32_t>(stack.size()),
+                     std::memory_order_relaxed);
+        for (std::size_t i = 0; i < depth; ++i)
+            stack_[i].store(stack[i], std::memory_order_relaxed);
+        seq_.store(s + 2, std::memory_order_release);
+    }
+
+    /**
+     * Read a consistent snapshot into @p p / @p stack without any
+     * lock; returns the (even) sequence it observed. @p truncated is
+     * set when the published stack exceeded kMaxDepth, in which case
+     * the caller must fall back to the locked path.
+     */
+    std::uint64_t
+    read(Position &p, std::vector<std::int64_t> &stack,
+         bool &truncated) const
+    {
+        for (;;) {
+            std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+            if (s1 & 1)
+                continue;
+            p.kind = static_cast<PosKind>(
+                kind_.load(std::memory_order_relaxed));
+            p.cnt = cnt_.load(std::memory_order_relaxed);
+            p.site = site_.load(std::memory_order_relaxed);
+            p.iter = iter_.load(std::memory_order_relaxed);
+            std::uint32_t depth =
+                depth_.load(std::memory_order_relaxed);
+            truncated = depth > kMaxDepth;
+            std::size_t n = std::min<std::size_t>(depth, kMaxDepth);
+            stack.clear();
+            for (std::size_t i = 0; i < n; ++i)
+                stack.push_back(
+                    stack_[i].load(std::memory_order_relaxed));
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (seq_.load(std::memory_order_relaxed) == s1)
+                return s1;
+        }
+    }
+
+    /** Current sequence (cheap change detector for pollers). */
+    std::uint64_t
+    seq() const
+    {
+        return seq_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<std::uint64_t> seq_{0};
+    std::atomic<std::uint8_t> kind_{0};
+    std::atomic<std::int64_t> cnt_{0};
+    std::atomic<int> site_{-1};
+    std::atomic<std::int64_t> iter_{0};
+    std::atomic<std::uint32_t> depth_{0};
+    std::array<std::atomic<std::int64_t>, kMaxDepth> stack_{};
+};
+
 /** Coupling state for one thread pair. */
 struct ThreadChannel
 {
-    std::mutex mutex;
+    CountingMutex mutex;
     Position pos[2];
     /** Saved counter stacks (§6) published at push/pop. */
     std::vector<std::int64_t> cntStack[2];
@@ -129,11 +258,37 @@ struct ThreadChannel
     SinkSlot sink[2];
     BarrierPair barrier;
 
+    /** Lock-free mirrors of pos[]/cntStack[] (see file comment). */
+    PosCell posCell[2];
+
+    /**
+     * Bumped under the mutex on every structural mutation a blocked
+     * waiter's decision could depend on (queue, sinks, barrier
+     * pairing, threadDone). Position-only moves go through posCell
+     * instead, so a busy peer does not force waiters onto the mutex.
+     */
+    std::atomic<std::uint64_t> stateVersion{0};
+
+    void
+    bumpVersion()
+    {
+        stateVersion.fetch_add(1, std::memory_order_release);
+    }
+
+    /** Publish @p side's position (mutex held). */
+    void
+    publishPos(int side, const Position &p)
+    {
+        pos[side] = p;
+        posCell[side].publish(p, cntStack[side]);
+    }
+
     /** Drop unconsumed queue entries (window closed). */
     void
     purgeQueue()
     {
         queue.clear();
+        bumpVersion();
     }
 };
 
@@ -209,7 +364,19 @@ class SyncChannel
     std::mutex lockMutex;
     std::map<std::int64_t, std::vector<int>> lockOrder;
     std::map<std::int64_t, std::size_t> slaveLockIdx;
-    std::map<std::pair<int, std::int64_t>, std::uint64_t> lockPolls;
+    /** Bumped whenever lockOrder/slaveLockIdx change (fast gates). */
+    std::atomic<std::uint64_t> lockVersion{0};
+
+    /** Sum of every ThreadChannel mutex acquisition so far. */
+    std::uint64_t
+    totalMutexAcquisitions()
+    {
+        std::lock_guard<std::mutex> lock(mapMutex_);
+        std::uint64_t total = 0;
+        for (auto &[tid, ch] : channels_)
+            total += ch->mutex.acquisitions();
+        return total;
+    }
 
     // ---- resource tainting ----
     os::ResourceTaintMap taints;

@@ -70,10 +70,14 @@ Controller::bumpProgress()
 bool
 Controller::waitExpired(int tid, std::uint64_t budget)
 {
+    WaitState &w = waits_[tid];
+    // Sticky: the budget cannot re-arm between the fast-path expiry
+    // and the locked re-evaluation that acts on it.
+    if (w.expired)
+        return true;
     chan_.watchdogPolls->inc();
     if (chan_.abort.load(std::memory_order_acquire))
         return true;
-    WaitState &w = waits_[tid];
     std::uint64_t p =
         chan_.progress[peer()].load(std::memory_order_relaxed);
     if (p != w.peerProgressSnapshot) {
@@ -82,7 +86,7 @@ Controller::waitExpired(int tid, std::uint64_t budget)
         return false;
     }
     if (++w.polls > budget) {
-        w.polls = 0;
+        w.expired = true;
         chan_.watchdogExpired->inc();
         return true;
     }
@@ -97,6 +101,138 @@ Controller::clearWait(int tid)
         return;
     chan_.waitPolls->observe(static_cast<double>(it->second.polls));
     waits_.erase(it);
+}
+
+ThreadChannel &
+Controller::channel(int tid)
+{
+    auto it = channelCache_.find(tid);
+    if (it != channelCache_.end())
+        return *it->second;
+    ThreadChannel &ch = chan_.thread(tid);
+    channelCache_[tid] = &ch;
+    return ch;
+}
+
+void
+Controller::invalidateGate(int tid)
+{
+    auto it = waits_.find(tid);
+    if (it != waits_.end())
+        it->second.gate = WaitState::Gate::None;
+}
+
+bool
+Controller::fastPollBlocked(PollSite where, int tid, std::int64_t cnt,
+                            int site, std::int64_t iter)
+{
+    auto it = waits_.find(tid);
+    if (it == waits_.end())
+        return false;
+    WaitState &w = it->second;
+    if (w.gate == WaitState::Gate::None || w.gateCnt != cnt ||
+        w.gateSite != site || w.gateIter != iter || w.expired)
+        return false;
+    switch (where) {
+      case PollSite::Syscall:
+        if (w.gate != WaitState::Gate::Input &&
+            w.gate != WaitState::Gate::SinkWait &&
+            w.gate != WaitState::Gate::SinkBehind)
+            return false;
+        break;
+      case PollSite::Barrier:
+        if (w.gate != WaitState::Gate::Barrier)
+            return false;
+        break;
+      case PollSite::Lock:
+        if (w.gate != WaitState::Gate::Lock)
+            return false;
+        break;
+    }
+
+    // Anything the gate's versions cannot prove unchanged forces the
+    // locked evaluation: engine abort, a finished peer side, a
+    // structural channel mutation, or a new taint.
+    if (chan_.abort.load(std::memory_order_acquire) ||
+        chan_.sideFinished(peerOf(opts_.side)))
+        return false;
+    ThreadChannel &ch = channel(tid);
+    if (ch.stateVersion.load(std::memory_order_acquire) != w.gateState ||
+        chan_.taints.version() != w.gateTaint)
+        return false;
+
+    if (w.gate == WaitState::Gate::Lock) {
+        if (chan_.lockVersion.load(std::memory_order_acquire) !=
+            w.gateLockVer)
+            return false;
+        // Same poll budget as the locked path; on overflow the locked
+        // path performs the taint-and-decouple.
+        std::uint64_t &polls = lockPolls_[{tid, w.gateLockId}];
+        if (++polls > opts_.lockPollTimeout)
+            return false;
+        chan_.blockedPolls->inc();
+        return true;
+    }
+
+    // Only the peer's position can have moved. Re-evaluate the wait
+    // predicate against the seqlock snapshot; take the mutex only if
+    // the wait might actually resolve.
+    std::uint64_t seq = ch.posCell[peer()].seq();
+    if (seq != w.gatePeerSeq) {
+        bool truncated = false;
+        seq = ch.posCell[peer()].read(peerPosScratch_,
+                                      peerStackScratch_, truncated);
+        if (truncated)
+            return false;
+        const Position &ppos = peerPosScratch_;
+        switch (w.gate) {
+          case WaitState::Gate::Input:
+          case WaitState::Gate::SinkWait: {
+            Progress pr = compareProgress(peerStackScratch_, ppos.cnt,
+                                          w.gateMyStack, cnt);
+            bool passed =
+                pr == Progress::Passed ||
+                (pr == Progress::Same &&
+                 (ppos.site != site || ppos.kind == PosKind::Barrier));
+            if (passed)
+                return false;
+            break;
+          }
+          case WaitState::Gate::SinkBehind: {
+            Progress pr =
+                compareProgress(peerStackScratch_, w.gateTheirsCnt,
+                                w.gateMyStack, cnt);
+            if (pr == Progress::Same || pr == Progress::Passed)
+                return false;
+            break;
+          }
+          case WaitState::Gate::Barrier: {
+            Progress pr = compareProgress(peerStackScratch_, ppos.cnt,
+                                          w.gateMyStack, cnt);
+            if (pr == Progress::Passed)
+                return false;
+            if (ppos.kind == PosKind::Barrier && ppos.site == site &&
+                ppos.iter >= iter)
+                return false;
+            if (ppos.kind == PosKind::Barrier &&
+                pr == Progress::Same && ppos.site != site)
+                return false;
+            break;
+          }
+          default:
+            return false;
+        }
+        w.gatePeerSeq = seq;
+    }
+
+    // Still blocked: run the same watchdog the locked path would.
+    // SinkBehind waits carry no watchdog (the peer's parked sink can
+    // only resolve through peer movement), matching the locked path.
+    if (w.gate != WaitState::Gate::SinkBehind &&
+        waitExpired(tid, opts_.stallTimeout))
+        return false;
+    chan_.blockedPolls->inc();
+    return true;
 }
 
 
@@ -193,24 +329,31 @@ Controller::onSyscall(const vm::SyscallRequest &req, vm::Machine &vm,
     const os::SysDesc &desc = os::sysDesc(req.sysNo);
     switch (desc.klass) {
       case os::SysClass::Local: {
-        ThreadChannel &ch = chan_.thread(req.tid);
-        std::lock_guard<std::mutex> lock(ch.mutex);
-        ch.pos[self()] = {PosKind::Local, req.cnt, req.site, 0};
+        ThreadChannel &ch = channel(req.tid);
+        std::lock_guard<CountingMutex> lock(ch.mutex);
+        ch.publishPos(self(), {PosKind::Local, req.cnt, req.site, 0});
         bumpProgress();
         return vm::PortReply::Done;
       }
       case os::SysClass::Sync:
         return handleLock(req, vm);
-      case os::SysClass::Output: {
-        std::string payload;
-        if (isSink(req, vm, &payload, nullptr))
-            return handleSink(req, vm, out, payload);
-        [[fallthrough]];
-      }
-      case os::SysClass::Input:
+      case os::SysClass::Output:
+      case os::SysClass::Input: {
+        // Re-poll of a recorded shared/sink wait: answer from the
+        // lock-free gate (this also skips the per-poll payload /
+        // argument-signature recomputation the locked path redoes).
+        if (fastPollBlocked(PollSite::Syscall, req.tid, req.cnt,
+                            req.site, 0))
+            return vm::PortReply::Blocked;
+        if (desc.klass == os::SysClass::Output) {
+            std::string payload;
+            if (isSink(req, vm, &payload, nullptr))
+                return handleSink(req, vm, out, payload);
+        }
         if (opts_.side == Side::Master)
             return handleMasterShared(req, vm, out);
         return handleSlaveShared(req, vm, out);
+      }
     }
     panic("unhandled syscall class");
 }
@@ -232,10 +375,11 @@ Controller::handleMasterShared(const vm::SyscallRequest &req,
 
     out = vm.kernel().execute(req.sysNo, req.args, vm.memory());
 
-    ThreadChannel &ch = chan_.thread(req.tid);
+    invalidateGate(req.tid);
+    ThreadChannel &ch = channel(req.tid);
     {
-        std::lock_guard<std::mutex> lock(ch.mutex);
-        ch.pos[self()] = {PosKind::Input, req.cnt, req.site, 0};
+        std::lock_guard<CountingMutex> lock(ch.mutex);
+        ch.publishPos(self(), {PosKind::Input, req.cnt, req.site, 0});
         if (!tainted && !chan_.sideFinished(Side::Slave)) {
             if (ch.queue.size() >= SyncChannel::kQueueCap)
                 ch.queue.pop_front();
@@ -246,6 +390,7 @@ Controller::handleMasterShared(const vm::SyscallRequest &req,
             entry.argSig = argSignature(req, vm);
             entry.out = out;
             ch.queue.push_back(std::move(entry));
+            ch.bumpVersion();
         }
     }
     LDX_TRACE_EVT("[%c] input sys=%lld cnt=%lld site=%d -> exec+enqueue\n",
@@ -269,12 +414,17 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
             return "";
         }
     };
+    // Sampled before the membership check: a taint that lands after
+    // this point bumps the version past the gate's snapshot, so the
+    // next poll re-runs the locked evaluation with fresh taint state.
+    std::uint64_t taint_ver = chan_.taints.version();
     std::string key;
     if (chan_.taints.size() != 0)
         key = resource_key();
     bool tainted = !key.empty() && chan_.taints.isTainted(key);
 
-    ThreadChannel &ch = chan_.thread(req.tid);
+    invalidateGate(req.tid);
+    ThreadChannel &ch = channel(req.tid);
     // Any misaligned operation taints its resource (§7), so later
     // syscalls on it never couple diverged state.
     auto decouple = [&]() -> vm::PortReply {
@@ -297,8 +447,8 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
     bool have_copy = false;
     bool mismatch = false;
     {
-        std::lock_guard<std::mutex> lock(ch.mutex);
-        ch.pos[self()] = {PosKind::Input, req.cnt, req.site, 0};
+        std::lock_guard<CountingMutex> lock(ch.mutex);
+        ch.publishPos(self(), {PosKind::Input, req.cnt, req.site, 0});
         if (!tainted) {
             for (QueueEntry &e : ch.queue) {
                 if (e.consumed || e.cnt != req.cnt || e.site != req.site)
@@ -331,6 +481,16 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
                   mpos.kind == PosKind::Barrier));
             if (!peer_gone && !passed &&
                 !waitExpired(req.tid, opts_.stallTimeout)) {
+                WaitState &w = waits_[req.tid];
+                w.gate = WaitState::Gate::Input;
+                w.gateCnt = req.cnt;
+                w.gateSite = req.site;
+                w.gateIter = 0;
+                w.gateState =
+                    ch.stateVersion.load(std::memory_order_relaxed);
+                w.gateTaint = taint_ver;
+                w.gatePeerSeq = ch.posCell[peer()].seq();
+                w.gateMyStack = ch.cntStack[self()];
                 chan_.blockedPolls->inc();
                 return vm::PortReply::Blocked;
             }
@@ -377,12 +537,13 @@ vm::PortReply
 Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
                        os::Outcome &out, const std::string &payload)
 {
-    ThreadChannel &ch = chan_.thread(req.tid);
+    invalidateGate(req.tid);
+    ThreadChannel &ch = channel(req.tid);
     bool proceed = false;
     bool reported_divergence = false;
     {
-        std::lock_guard<std::mutex> lock(ch.mutex);
-        ch.pos[self()] = {PosKind::Sink, req.cnt, req.site, 0};
+        std::lock_guard<CountingMutex> lock(ch.mutex);
+        ch.publishPos(self(), {PosKind::Sink, req.cnt, req.site, 0});
         SinkSlot &mine = ch.sink[self()];
         SinkSlot &theirs = ch.sink[peer()];
 
@@ -394,6 +555,7 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
             mine.sysNo = req.sysNo;
             mine.payload = payload;
             mine.loc = req.loc;
+            ch.bumpVersion();
         }
 
         if (mine.resolved) {
@@ -402,6 +564,7 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
             mine.valid = false;
             mine.resolved = false;
             mine.divergent = false;
+            ch.bumpVersion();
             proceed = true;
         } else if (theirs.valid && !theirs.resolved &&
                    compareProgress(ch.cntStack[peer()], theirs.cnt,
@@ -441,6 +604,7 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
             theirs.resolved = true;
             theirs.divergent = report;
             mine.valid = false;
+            ch.bumpVersion();
             proceed = true;
         } else if (theirs.valid && !theirs.resolved &&
                    compareProgress(ch.cntStack[peer()], theirs.cnt,
@@ -462,6 +626,7 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
             chan_.sinkVanished->inc();
             reported_divergence = true;
             mine.valid = false;
+            ch.bumpVersion();
             proceed = true;
         } else if (!theirs.valid || theirs.resolved) {
             bool peer_gone = chan_.sideFinished(peerOf(opts_.side)) ||
@@ -498,8 +663,29 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
                     chan_.sinkDiffs->inc();
                 reported_divergence = true;
                 mine.valid = false;
+                ch.bumpVersion();
                 proceed = true;
             }
+        }
+
+        if (!proceed) {
+            // Either the peer has no unresolved sink yet (SinkWait,
+            // watchdog-guarded above) or its parked sink is behind /
+            // incomparable (SinkBehind, resolvable only by peer
+            // movement). Record the gate for lock-free re-polls.
+            WaitState &w = waits_[req.tid];
+            w.gate = (!theirs.valid || theirs.resolved)
+                         ? WaitState::Gate::SinkWait
+                         : WaitState::Gate::SinkBehind;
+            w.gateCnt = req.cnt;
+            w.gateSite = req.site;
+            w.gateIter = 0;
+            w.gateTheirsCnt = theirs.cnt;
+            w.gateState =
+                ch.stateVersion.load(std::memory_order_relaxed);
+            w.gateTaint = chan_.taints.version();
+            w.gatePeerSeq = ch.posCell[peer()].seq();
+            w.gateMyStack = ch.cntStack[self()];
         }
     }
 
@@ -541,10 +727,16 @@ vm::PortReply
 Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
 {
     (void)vm;
-    ThreadChannel &ch = chan_.thread(req.tid);
+    // Re-poll of a recorded lock-follow wait: the gate path skips
+    // the position republish, the key construction, and both locks.
+    if (fastPollBlocked(PollSite::Lock, req.tid, req.cnt, req.site, 0))
+        return vm::PortReply::Blocked;
+
+    invalidateGate(req.tid);
+    ThreadChannel &ch = channel(req.tid);
     {
-        std::lock_guard<std::mutex> lock(ch.mutex);
-        ch.pos[self()] = {PosKind::Local, req.cnt, req.site, 0};
+        std::lock_guard<CountingMutex> lock(ch.mutex);
+        ch.publishPos(self(), {PosKind::Local, req.cnt, req.site, 0});
     }
     os::Sys sys = static_cast<os::Sys>(req.sysNo);
     if (!opts_.shareLockOrder || sys != os::Sys::MutexLock) {
@@ -553,6 +745,7 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
     }
 
     std::int64_t id = req.args.empty() ? 0 : req.args[0];
+    std::uint64_t taint_ver = chan_.taints.version();
     std::string key = "mutex:" + std::to_string(id);
     if (chan_.taints.isTainted(key)) {
         bumpProgress();
@@ -564,6 +757,7 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
         // FIFO waiter semantics in the VM make approval order equal
         // acquisition order per mutex.
         chan_.lockOrder[id].push_back(req.tid);
+        chan_.lockVersion.fetch_add(1, std::memory_order_release);
         bumpProgress();
         return vm::PortReply::Done;
     }
@@ -573,7 +767,8 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
     if (order.size() > idx) {
         if (order[idx] == req.tid) {
             chan_.slaveLockIdx[id] = idx + 1;
-            chan_.lockPolls.erase({req.tid, id});
+            chan_.lockVersion.fetch_add(1, std::memory_order_release);
+            lockPolls_.erase({req.tid, id});
             chan_.lockShares->inc();
             bumpProgress();
             return vm::PortReply::Done;
@@ -581,6 +776,7 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
         // Order diverged: taint the lock, run decoupled from now on.
         chan_.taints.taint(key);
         chan_.slaveLockIdx[id] = idx + 1;
+        chan_.lockVersion.fetch_add(1, std::memory_order_release);
         chan_.syscallDiffs->inc();
         chan_.lockDiverged->inc();
         bumpProgress();
@@ -591,15 +787,24 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
         bumpProgress();
         return vm::PortReply::Done;
     }
-    std::uint64_t &polls = chan_.lockPolls[{req.tid, id}];
+    std::uint64_t &polls = lockPolls_[{req.tid, id}];
     if (++polls > opts_.lockPollTimeout) {
         chan_.taints.taint(key);
-        chan_.lockPolls.erase({req.tid, id});
+        lockPolls_.erase({req.tid, id});
         chan_.syscallDiffs->inc();
         chan_.lockDiverged->inc();
         bumpProgress();
         return vm::PortReply::Done;
     }
+    WaitState &w = waits_[req.tid];
+    w.gate = WaitState::Gate::Lock;
+    w.gateCnt = req.cnt;
+    w.gateSite = req.site;
+    w.gateIter = 0;
+    w.gateLockId = id;
+    w.gateState = ch.stateVersion.load(std::memory_order_acquire);
+    w.gateTaint = taint_ver;
+    w.gateLockVer = chan_.lockVersion.load(std::memory_order_relaxed);
     chan_.blockedPolls->inc();
     return vm::PortReply::Blocked;
 }
@@ -610,10 +815,15 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
                       vm::Machine &vm)
 {
     (void)vm;
-    ThreadChannel &ch = chan_.thread(tid);
-    std::lock_guard<std::mutex> lock(ch.mutex);
-    ch.pos[self()] = {PosKind::Barrier, cnt, static_cast<int>(site),
-                      iter};
+    if (fastPollBlocked(PollSite::Barrier, tid, cnt,
+                        static_cast<int>(site), iter))
+        return vm::PortReply::Blocked;
+
+    invalidateGate(tid);
+    ThreadChannel &ch = channel(tid);
+    std::lock_guard<CountingMutex> lock(ch.mutex);
+    ch.publishPos(self(), {PosKind::Barrier, cnt,
+                           static_cast<int>(site), iter});
 
     auto pass = [&]() -> vm::PortReply {
         // Publish the post-reset position so the peer never mistakes
@@ -621,7 +831,8 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
         LDX_TRACE_EVT("[%c] barrier site=%lld iter=%lld cnt=%lld pass\n",
                       opts_.side == Side::Master ? 'M' : 'S',
                       (long long)site, (long long)iter, (long long)cnt);
-        ch.pos[self()] = {PosKind::Running, cnt + reset_delta, -1, 0};
+        ch.publishPos(self(),
+                      {PosKind::Running, cnt + reset_delta, -1, 0});
         clearWait(tid);
         bumpProgress();
         return vm::PortReply::Done;
@@ -633,6 +844,7 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
         bp.consumed[self()] = true;
         if (bp.consumed[0] && bp.consumed[1])
             bp.valid = false;
+        ch.bumpVersion();
         return pass();
     }
 
@@ -652,6 +864,7 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
         bp.consumed[0] = false;
         bp.consumed[1] = false;
         bp.consumed[self()] = true;
+        ch.bumpVersion();
         chan_.barrierPairings->inc();
         if (chan_.wantsEvents()) {
             TraceEvent evt;
@@ -666,7 +879,8 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
         // position now. Otherwise its stale latch-level counter (the
         // highest value in the window) would make us believe it had
         // passed the low counter levels of the next iteration.
-        ch.pos[peer()] = {PosKind::Running, cnt + reset_delta, -1, 0};
+        ch.publishPos(peer(),
+                      {PosKind::Running, cnt + reset_delta, -1, 0});
         return pass();
     }
     auto skip = [&]() -> vm::PortReply {
@@ -698,6 +912,15 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
         return skip();
     if (waitExpired(tid, opts_.stallTimeout))
         return skip();
+    WaitState &w = waits_[tid];
+    w.gate = WaitState::Gate::Barrier;
+    w.gateCnt = cnt;
+    w.gateSite = static_cast<int>(site);
+    w.gateIter = iter;
+    w.gateState = ch.stateVersion.load(std::memory_order_relaxed);
+    w.gateTaint = chan_.taints.version();
+    w.gatePeerSeq = ch.posCell[peer()].seq();
+    w.gateMyStack = ch.cntStack[self()];
     chan_.blockedPolls->inc();
     return vm::PortReply::Blocked;
 }
@@ -706,30 +929,31 @@ void
 Controller::onCounterPush(int tid, std::int64_t saved, vm::Machine &vm)
 {
     (void)vm;
-    ThreadChannel &ch = chan_.thread(tid);
-    std::lock_guard<std::mutex> lock(ch.mutex);
+    ThreadChannel &ch = channel(tid);
+    std::lock_guard<CountingMutex> lock(ch.mutex);
     ch.cntStack[self()].push_back(saved);
-    ch.pos[self()] = {PosKind::Running, 0, -1, 0};
+    ch.publishPos(self(), {PosKind::Running, 0, -1, 0});
 }
 
 void
 Controller::onCounterPop(int tid, std::int64_t restored, vm::Machine &vm)
 {
     (void)vm;
-    ThreadChannel &ch = chan_.thread(tid);
-    std::lock_guard<std::mutex> lock(ch.mutex);
+    ThreadChannel &ch = channel(tid);
+    std::lock_guard<CountingMutex> lock(ch.mutex);
     if (!ch.cntStack[self()].empty())
         ch.cntStack[self()].pop_back();
-    ch.pos[self()] = {PosKind::Running, restored, -1, 0};
+    ch.publishPos(self(), {PosKind::Running, restored, -1, 0});
 }
 
 void
 Controller::onThreadDone(int tid, vm::Machine &vm)
 {
     (void)vm;
-    ThreadChannel &ch = chan_.thread(tid);
-    std::lock_guard<std::mutex> lock(ch.mutex);
+    ThreadChannel &ch = channel(tid);
+    std::lock_guard<CountingMutex> lock(ch.mutex);
     ch.threadDone[self()] = true;
+    ch.bumpVersion();
 }
 
 void

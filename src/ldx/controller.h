@@ -27,6 +27,17 @@
  * retires no instructions across a large poll budget, the waiter
  * decouples instead of hanging (this also bounds the cost of threads
  * that exist in only one execution).
+ *
+ * Poll fast path: the VM re-issues a blocked request on every
+ * scheduling round, so most controller invocations are re-polls whose
+ * decision inputs have not changed. Each Blocked return records a
+ * *gate* — the identity of the wait plus the versions of everything
+ * the locked evaluation depended on (channel stateVersion, taint-map
+ * version, lock-order version, the peer's position seqlock). A
+ * re-poll whose gate still holds is answered Blocked without touching
+ * the channel mutex; when only the peer's position moved, the wait
+ * predicate is re-evaluated against the lock-free PosCell snapshot
+ * and the mutex is taken only when the wait might actually resolve.
  */
 #pragma once
 
@@ -34,6 +45,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "ldx/channel.h"
 #include "vm/hooks.h"
@@ -80,6 +92,17 @@ class Controller : public vm::SyscallPort
     int self() const { return static_cast<int>(opts_.side); }
     int peer() const { return static_cast<int>(peerOf(opts_.side)); }
 
+    /** Which handler a fast-poll gate belongs to. */
+    enum class PollSite
+    {
+        Syscall, ///< shared input / sink waits
+        Barrier,
+        Lock,
+    };
+
+    /** Per-tid ThreadChannel lookup without SyncChannel's map mutex. */
+    ThreadChannel &channel(int tid);
+
     /** Argument signature used to match syscalls across executions. */
     std::uint64_t argSignature(const vm::SyscallRequest &req,
                                vm::Machine &vm) const;
@@ -91,6 +114,19 @@ class Controller : public vm::SyscallPort
     /** Watchdog bookkeeping; true when the wait should give up. */
     bool waitExpired(int tid, std::uint64_t budget);
     void clearWait(int tid);
+
+    /**
+     * True when the re-poll identified by (site of call, tid, cnt,
+     * site, iter) provably still blocks, judged entirely from
+     * lock-free state. On true the caller returns Blocked without
+     * acquiring the channel mutex; on false it runs the full locked
+     * evaluation (which re-records or clears the gate).
+     */
+    bool fastPollBlocked(PollSite where, int tid, std::int64_t cnt,
+                         int site, std::int64_t iter);
+
+    /** Drop any recorded gate for @p tid (slow path is running). */
+    void invalidateGate(int tid);
 
     vm::PortReply handleSink(const vm::SyscallRequest &req,
                              vm::Machine &vm, os::Outcome &out,
@@ -110,13 +146,53 @@ class Controller : public vm::SyscallPort
     SyncChannel &chan_;
     ControllerOptions opts_;
 
-    /** Per-thread watchdog state. */
+    /** Per-thread watchdog + poll-gate state. */
     struct WaitState
     {
         std::uint64_t polls = 0;
         std::uint64_t peerProgressSnapshot = 0;
+        /**
+         * Sticky watchdog verdict: once a wait expires it stays
+         * expired until the wait resolves (clearWait). The locked
+         * path consults this first, so a fast-path expiry followed by
+         * the locked re-evaluation cannot silently re-arm the budget.
+         */
+        bool expired = false;
+
+        /** What kind of wait the recorded gate protects. */
+        enum class Gate : std::uint8_t
+        {
+            None,
+            Input,      ///< slave shared-input wait
+            SinkWait,   ///< sink wait, peer sink absent/resolved
+            SinkBehind, ///< sink wait, peer's sink is behind/unknown
+            Barrier,
+            Lock,
+        };
+        Gate gate = Gate::None;
+        std::int64_t gateCnt = 0;
+        int gateSite = -1;
+        std::int64_t gateIter = 0;
+        std::int64_t gateTheirsCnt = 0; ///< SinkBehind: peer sink cnt
+        std::int64_t gateLockId = 0;    ///< Lock: mutex id
+        std::uint64_t gateState = 0;    ///< ThreadChannel::stateVersion
+        std::uint64_t gateTaint = 0;    ///< taint-map version
+        std::uint64_t gateLockVer = 0;  ///< SyncChannel::lockVersion
+        std::uint64_t gatePeerSeq = 0;  ///< peer PosCell sequence
+        /** My counter stack at gate time (stable while blocked). */
+        std::vector<std::int64_t> gateMyStack;
     };
     std::map<int, WaitState> waits_;
+
+    /** Slave lock-follow poll budgets (was shared channel state). */
+    std::map<std::pair<int, std::int64_t>, std::uint64_t> lockPolls_;
+
+    /** Stable ThreadChannel pointers (channels are never removed). */
+    std::map<int, ThreadChannel *> channelCache_;
+
+    // Fast-poll scratch (avoids per-poll allocation).
+    Position peerPosScratch_;
+    std::vector<std::int64_t> peerStackScratch_;
 };
 
 } // namespace ldx::core

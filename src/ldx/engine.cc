@@ -56,6 +56,19 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** CPU-relax hint for the spin stage of the stall backoff. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
 /** Publish one side's VM and kernel tallies into the registry. */
 void
 publishSideStats(obs::Registry &registry, const std::string &side,
@@ -181,24 +194,51 @@ DualEngine::run()
     bool deadlocked = false;
     obs::Counter *driver_yields = &registry.counter("driver.yields");
     obs::Counter *driver_idle = &registry.counter("driver.idle_rounds");
+    obs::Counter *driver_backoff =
+        &registry.counter("driver.backoff_ns");
 
     timer.begin("dual-run");
     master.start();
     slave.start();
 
     if (cfg_.threaded) {
-        auto loop = [&chan, &timer, driver_yields](vm::Machine &m,
-                                                   int side) {
+        const DriverConfig dc = cfg_.driver;
+        auto loop = [&chan, &timer, dc, driver_yields,
+                     driver_backoff](vm::Machine &m, int side) {
             std::int64_t start_us = obs::nowUs();
             auto side_t0 = std::chrono::steady_clock::now();
+            std::uint64_t stalls = 0;
             while (!m.finished()) {
-                vm::StepStatus st = m.step();
-                if (st == vm::StepStatus::Progress) {
+                std::uint64_t got = 0;
+                vm::StepStatus st = m.stepMany(128, got);
+                if (got)
                     chan.progress[side].fetch_add(
-                        1, std::memory_order_relaxed);
+                        got, std::memory_order_relaxed);
+                if (st == vm::StepStatus::Progress) {
+                    stalls = 0;
                 } else if (st == vm::StepStatus::Stalled) {
-                    driver_yields->inc();
-                    std::this_thread::yield();
+                    if (got) {
+                        stalls = 0;
+                        continue; // partial batch: poll again at once
+                    }
+                    ++stalls;
+                    if (stalls <= dc.spinCount) {
+                        cpuRelax();
+                    } else if (stalls <= std::uint64_t{dc.spinCount} +
+                                             dc.yieldCount) {
+                        driver_yields->inc();
+                        std::this_thread::yield();
+                    } else {
+                        driver_yields->inc();
+                        auto b0 = std::chrono::steady_clock::now();
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(dc.sleepMicros));
+                        driver_backoff->inc(static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - b0)
+                                .count()));
+                    }
                 } else {
                     break;
                 }
@@ -218,19 +258,20 @@ DualEngine::run()
         mt.join();
         st.join();
     } else {
-        constexpr int kQuantum = 64;
+        constexpr std::uint64_t kQuantum = 64;
         std::uint64_t idle_rounds = 0;
         while (!(master.finished() && slave.finished())) {
             bool progressed = false;
             for (int side = 0; side < 2; ++side) {
                 vm::Machine &m = side == 0 ? master : slave;
-                for (int i = 0; i < kQuantum && !m.finished(); ++i) {
-                    vm::StepStatus st = m.step();
-                    if (st != vm::StepStatus::Progress)
-                        break;
+                if (m.finished())
+                    continue;
+                std::uint64_t got = 0;
+                m.stepMany(kQuantum, got);
+                if (got) {
                     progressed = true;
                     chan.progress[side].fetch_add(
-                        1, std::memory_order_relaxed);
+                        got, std::memory_order_relaxed);
                 }
             }
             if (progressed) {
@@ -341,6 +382,8 @@ DualEngine::run()
         .inc(chan.progress[0].load(std::memory_order_relaxed));
     registry.counter("driver.steps.slave")
         .inc(chan.progress[1].load(std::memory_order_relaxed));
+    registry.counter("chan.mutex_acquisitions")
+        .inc(chan.totalMutexAcquisitions());
     registry.counter("dual.findings").inc(res.findings.size());
     registry.gauge("dual.wall_seconds").set(res.wallSeconds);
 

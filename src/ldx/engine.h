@@ -38,10 +38,32 @@ struct SinkConfig
     bool matchesChannel(const std::string &channel) const;
 };
 
+/**
+ * Threaded-driver stall backoff (pause -> yield -> sleep). A stalled
+ * side first spins with a cpu-relax hint (the peer usually publishes
+ * within a few hundred cycles), then yields its timeslice, then
+ * sleeps in short bursts, so an idle waiter neither burns a core nor
+ * steals cycles from a busy peer. Time spent in the sleep stage is
+ * accounted in the driver.backoff_ns counter; yields (stage two and
+ * three) keep feeding driver.yields.
+ */
+struct DriverConfig
+{
+    /** Stalled poll rounds spent in cpu-relax spins. */
+    std::uint32_t spinCount = 64;
+    /** Further stalled rounds spent yielding before sleeping. */
+    std::uint32_t yieldCount = 64;
+    /** Sleep length per stalled round once spin/yield are exhausted. */
+    std::uint32_t sleepMicros = 50;
+};
+
 /** Engine configuration. */
 struct EngineConfig
 {
     SinkConfig sinks;
+
+    /** Threaded-driver stall backoff (--spin-policy on the CLI). */
+    DriverConfig driver;
 
     /** Sources mutated in the slave. */
     std::vector<SourceSpec> sources;

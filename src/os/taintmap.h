@@ -10,6 +10,8 @@
  */
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <set>
 #include <string>
@@ -26,6 +28,7 @@ class ResourceTaintMap
     {
         std::lock_guard<std::mutex> lock(mutex_);
         keys_.insert(key);
+        version_.fetch_add(1, std::memory_order_release);
     }
 
     /** True if @p key has been tainted. */
@@ -52,9 +55,21 @@ class ResourceTaintMap
         return keys_;
     }
 
+    /**
+     * Monotonic change counter. A poller that cached a membership
+     * answer may keep it while the version is unchanged (taints are
+     * only ever added, never removed).
+     */
+    std::uint64_t
+    version() const
+    {
+        return version_.load(std::memory_order_acquire);
+    }
+
   private:
     mutable std::mutex mutex_;
     std::set<std::string> keys_;
+    std::atomic<std::uint64_t> version_{0};
 };
 
 } // namespace ldx::os

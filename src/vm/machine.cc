@@ -30,6 +30,8 @@ Machine::Machine(const ir::Module &module, os::Kernel &kernel,
     memory_ = std::make_unique<Memory>(
         offset, cfg.stackSize, cfg.maxThreads,
         kernel.heapBaseJitter());
+    if (cfg.predecode)
+        decoded_ = std::make_unique<PredecodedModule>(module);
     for (std::size_t g = 0; g < module.numGlobals(); ++g) {
         const ir::Global &gl = module.global(static_cast<int>(g));
         if (!gl.init.empty())
@@ -159,29 +161,8 @@ Machine::step()
     std::vector<bool> tried(static_cast<std::size_t>(n), false);
     for (int attempts = 0; attempts < n; ++attempts) {
         int c = pickContext();
-        if (c < 0) {
-            bool all_done = true;
-            for (const auto &ctx : contexts_) {
-                if (ctx->state != Context::State::Done)
-                    all_done = false;
-            }
-            if (all_done) {
-                // Main returning finishes the program, so reaching
-                // here means auxiliary threads outlived main; treat
-                // as finished.
-                finished_ = true;
-                if (port_)
-                    port_->onFinished(*this);
-                return StepStatus::Finished;
-            }
-            trap_ = TrapInfo{TrapKind::BadSyscall,
-                             "guest deadlock: all threads blocked", 0, {}};
-            emitObsInstant("trap", 0, trap_->message);
-            finished_ = true;
-            if (port_)
-                port_->onFinished(*this);
-            return StepStatus::Trapped;
-        }
+        if (c < 0)
+            return settleNoPollable();
         if (tried[static_cast<std::size_t>(c)])
             return StepStatus::Stalled;
         tried[static_cast<std::size_t>(c)] = true;
@@ -216,11 +197,112 @@ Machine::step()
 }
 
 StepStatus
+Machine::settleNoPollable()
+{
+    bool all_done = true;
+    for (const auto &ctx : contexts_) {
+        if (ctx->state != Context::State::Done)
+            all_done = false;
+    }
+    if (all_done) {
+        // Main returning finishes the program, so reaching here
+        // means auxiliary threads outlived main; treat as finished.
+        finished_ = true;
+        if (port_)
+            port_->onFinished(*this);
+        return StepStatus::Finished;
+    }
+    trap_ = TrapInfo{TrapKind::BadSyscall,
+                     "guest deadlock: all threads blocked", 0, {}};
+    emitObsInstant("trap", 0, trap_->message);
+    finished_ = true;
+    if (port_)
+        port_->onFinished(*this);
+    return StepStatus::Trapped;
+}
+
+StepStatus
+Machine::stepMany(std::uint64_t budget, std::uint64_t &retired)
+{
+    retired = 0;
+    checkInvariant(started_, "Machine::stepMany before start");
+    if (finished_)
+        return trap_ ? StepStatus::Trapped : StepStatus::Finished;
+
+    if (!useFastPath()) {
+        // Legacy oracle path: byte-for-byte the seed interpreter.
+        while (retired < budget) {
+            StepStatus st = step();
+            if (st != StepStatus::Progress)
+                return st;
+            ++retired;
+        }
+        return StepStatus::Progress;
+    }
+
+    ++triedGen_;
+    while (retired < budget) {
+        int c = pickContext();
+        if (c < 0)
+            return settleNoPollable();
+        if (triedSeen_.size() < contexts_.size())
+            triedSeen_.resize(contexts_.size(), 0);
+        if (triedSeen_[static_cast<std::size_t>(c)] == triedGen_)
+            return StepStatus::Stalled;
+
+        Context &ctx = *contexts_[static_cast<std::size_t>(c)];
+        std::uint64_t got = 0;
+        try {
+            Frame &fr = ctx.frames.back();
+            const DecodedFunction &df = decoded_->function(fr.fn);
+            const DecodedInstr &head =
+                df.code()[df.blockStart(fr.block) +
+                          static_cast<std::uint32_t>(fr.ip)];
+            if (head.isSlow()) {
+                if (executeOne(ctx)) {
+                    got = 1;
+                    --sliceLeft_;
+                }
+            } else {
+                std::uint64_t limit = budget - retired;
+                if (limit > static_cast<std::uint64_t>(sliceLeft_))
+                    limit = static_cast<std::uint64_t>(sliceLeft_);
+                got = fastRun(ctx, limit);
+                sliceLeft_ -= static_cast<int>(got);
+            }
+        } catch (const VmTrap &trap) {
+            const Frame &fr = ctx.frames.back();
+            const ir::Instr &instr =
+                module_.function(fr.fn).block(fr.block).instrs()[
+                    static_cast<std::size_t>(fr.ip)];
+            trap_ = TrapInfo{trap.kind(), trap.what(), ctx.tid,
+                             instr.loc};
+            emitObsInstant("trap", ctx.tid, trap_->message);
+            finished_ = true;
+            if (port_)
+                port_->onFinished(*this);
+            return StepStatus::Trapped;
+        }
+        retired += got;
+        if (finished_)
+            return trap_ ? StepStatus::Trapped : StepStatus::Finished;
+        if (got > 0) {
+            ++triedGen_; // progress resets the polled set
+        } else {
+            triedSeen_[static_cast<std::size_t>(c)] = triedGen_;
+            sliceLeft_ = 0; // blocked; rotate to the next candidate
+        }
+    }
+    return StepStatus::Progress;
+}
+
+StepStatus
 Machine::run()
 {
     start();
     while (true) {
-        StepStatus st = step();
+        std::uint64_t retired = 0;
+        StepStatus st = stepMany(1u << 20, retired);
         if (st == StepStatus::Finished || st == StepStatus::Trapped)
             return st;
         if (st == StepStatus::Stalled) {
@@ -478,6 +560,184 @@ Machine::executeOne(Context &ctx)
     if (execHook_ && has_result)
         execHook_->onInstr(ctx.tid, instr, eff_addr, result, *this);
     return true;
+}
+
+std::uint64_t
+Machine::fastRun(Context &ctx, std::uint64_t limit)
+{
+    Frame &fr = ctx.frames.back();
+    const DecodedFunction &df = decoded_->function(fr.fn);
+    const DecodedInstr *code = df.code();
+    std::uint32_t pc =
+        df.blockStart(fr.block) + static_cast<std::uint32_t>(fr.ip);
+    const DecodedInstr &head = code[pc];
+
+    if (totalInstrs_ >= cfg_.maxInstructions)
+        throw VmTrap(TrapKind::BudgetExceeded,
+                     "instruction budget exceeded");
+
+    // Cap the run so it cannot cross the instruction budget; the
+    // budget trap then fires at the head of the next run, exactly
+    // where the per-instruction check would have fired.
+    std::uint64_t run = head.runLen;
+    if (run > limit)
+        run = limit;
+    if (run > cfg_.maxInstructions - totalInstrs_)
+        run = cfg_.maxInstructions - totalInstrs_;
+
+    std::int64_t *regs = fr.regs.data();
+    Memory &mem = *memory_;
+    const std::uint32_t start = pc;
+    std::uint64_t k = 0;
+
+    // Retirement accounting for [start, start+k): a full canonical
+    // run applies its precomputed histogram; a truncated or trapped
+    // run walks the contiguous retired range (branches only sit at
+    // run ends, so the range is always contiguous).
+    auto flush = [&]() {
+        if (k == head.runLen && head.histIdx >= 0) {
+            for (const auto &[op, cnt] : df.hist(head.histIdx))
+                opCounts_[static_cast<std::size_t>(op)] += cnt;
+        } else {
+            for (std::uint32_t i = start; i < start + k; ++i)
+                ++opCounts_[static_cast<std::size_t>(code[i].op)];
+        }
+        totalInstrs_ += k;
+        ctx.instrCount += k;
+        kernel_.tickInstructions(static_cast<std::int64_t>(k));
+        fr.block = code[pc].block;
+        fr.ip = code[pc].ip;
+    };
+
+    try {
+        for (; k < run; ++k) {
+            const DecodedInstr &d = code[pc];
+            auto A = [&]() -> std::int64_t {
+                return (d.flags & DecodedInstr::kAReg)
+                           ? regs[d.a] : d.a;
+            };
+            auto B = [&]() -> std::int64_t {
+                return (d.flags & DecodedInstr::kBReg)
+                           ? regs[d.b] : d.b;
+            };
+            auto set = [&](std::int64_t v) {
+                if (d.dst >= 0)
+                    regs[d.dst] = v;
+            };
+            switch (d.op) {
+              case ir::Opcode::Const: set(d.imm); ++pc; break;
+              case ir::Opcode::Move: set(A()); ++pc; break;
+              case ir::Opcode::Neg: set(-A()); ++pc; break;
+              case ir::Opcode::Not: set(~A()); ++pc; break;
+              case ir::Opcode::Add: set(A() + B()); ++pc; break;
+              case ir::Opcode::Sub: set(A() - B()); ++pc; break;
+              case ir::Opcode::Mul: set(A() * B()); ++pc; break;
+              case ir::Opcode::Div: {
+                std::int64_t a = A(), b = B();
+                if (b == 0)
+                    throw VmTrap(TrapKind::DivideByZero,
+                                 "division by zero");
+                set(a == INT64_MIN && b == -1 ? INT64_MIN : a / b);
+                ++pc;
+                break;
+              }
+              case ir::Opcode::Rem: {
+                std::int64_t a = A(), b = B();
+                if (b == 0)
+                    throw VmTrap(TrapKind::DivideByZero,
+                                 "remainder by zero");
+                set(a == INT64_MIN && b == -1 ? 0 : a % b);
+                ++pc;
+                break;
+              }
+              case ir::Opcode::And: set(A() & B()); ++pc; break;
+              case ir::Opcode::Or: set(A() | B()); ++pc; break;
+              case ir::Opcode::Xor: set(A() ^ B()); ++pc; break;
+              case ir::Opcode::Shl:
+                set(static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(A()) << (B() & 63)));
+                ++pc;
+                break;
+              case ir::Opcode::Shr:
+                set(static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(A()) >> (B() & 63)));
+                ++pc;
+                break;
+              case ir::Opcode::CmpEq: set(A() == B()); ++pc; break;
+              case ir::Opcode::CmpNe: set(A() != B()); ++pc; break;
+              case ir::Opcode::CmpLt: set(A() < B()); ++pc; break;
+              case ir::Opcode::CmpLe: set(A() <= B()); ++pc; break;
+              case ir::Opcode::CmpGt: set(A() > B()); ++pc; break;
+              case ir::Opcode::CmpGe: set(A() >= B()); ++pc; break;
+              case ir::Opcode::Load: {
+                std::uint64_t addr = static_cast<std::uint64_t>(A());
+                set(d.size == 1
+                        ? static_cast<std::int64_t>(mem.readU8(addr))
+                        : mem.readI64(addr));
+                ++pc;
+                break;
+              }
+              case ir::Opcode::Store: {
+                std::uint64_t addr = static_cast<std::uint64_t>(A());
+                std::int64_t v = B();
+                if (d.size == 1)
+                    mem.writeU8(addr, static_cast<std::uint8_t>(v));
+                else
+                    mem.writeI64(addr, v);
+                ++pc;
+                break;
+              }
+              case ir::Opcode::Alloca: {
+                std::uint64_t size = static_cast<std::uint64_t>(d.imm);
+                if (ctx.sp < mem.stackFloor(ctx.tid) + size)
+                    throw VmTrap(TrapKind::StackOverflow,
+                                 "stack overflow");
+                ctx.sp -= size;
+                set(static_cast<std::int64_t>(ctx.sp));
+                ++pc;
+                break;
+              }
+              case ir::Opcode::GlobalAddr:
+                set(static_cast<std::int64_t>(
+                    globalAddrs_[static_cast<std::size_t>(d.imm)]));
+                ++pc;
+                break;
+              case ir::Opcode::FnAddr:
+                set(kFnTokenBase + d.imm);
+                ++pc;
+                break;
+              case ir::Opcode::LibCall: {
+                std::uint64_t eff = 0;
+                set(doLibCall(ctx, *d.src, eff));
+                ++pc;
+                break;
+              }
+              case ir::Opcode::CntAdd:
+                ctx.cnt += d.imm;
+                ctx.maxCnt = std::max(ctx.maxCnt, ctx.cnt);
+                ++pc;
+                break;
+              case ir::Opcode::Br:
+                pc = static_cast<std::uint32_t>(d.target0);
+                break;
+              case ir::Opcode::CondBr:
+                pc = static_cast<std::uint32_t>(
+                    A() != 0 ? d.target0 : d.target1);
+                break;
+              default:
+                panic("slow opcode reached the fast run loop");
+            }
+        }
+    } catch (const VmTrap &) {
+        // pc still names the trapping instruction: the retired range
+        // is [start, start+k) and fr must point at the fault site for
+        // the trap report (the faulting instruction is not retired,
+        // exactly like the legacy path).
+        flush();
+        throw;
+    }
+    flush();
+    return k;
 }
 
 void

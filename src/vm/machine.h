@@ -27,6 +27,7 @@
 #include "support/prng.h"
 #include "vm/hooks.h"
 #include "vm/memory.h"
+#include "vm/predecode.h"
 
 namespace ldx::vm {
 
@@ -105,6 +106,13 @@ struct MachineConfig
     std::uint64_t schedSeed = 1;   ///< preemption jitter seed
     bool schedJitter = false;      ///< vary slice lengths (Table 4 runs)
     std::uint64_t maxInstructions = 200'000'000;
+    /**
+     * Dispatch through the predecoded instruction stream (see
+     * predecode.h). Retired state is bit-identical to the legacy
+     * per-step path; disable to force the seed interpreter (the
+     * differential-test oracle).
+     */
+    bool predecode = true;
 };
 
 /** Aggregated runtime statistics. */
@@ -142,6 +150,16 @@ class Machine
 
     /** Advance at most one instruction. */
     StepStatus step();
+
+    /**
+     * Advance up to @p budget instructions, stopping early at the
+     * first blocked poll round, trap, or completion — semantically
+     * identical to calling step() until the first non-Progress
+     * result. @p retired is set to the number of instructions that
+     * actually retired. On the fast path (predecode enabled, no
+     * ExecHook) this batches dispatch and accounting per run.
+     */
+    StepStatus stepMany(std::uint64_t budget, std::uint64_t &retired);
 
     /** Run to completion (native, non-dual executions). */
     StepStatus run();
@@ -182,6 +200,24 @@ class Machine
     /** Execute one instruction of @p ctx; returns false if blocked. */
     bool executeOne(Context &ctx);
 
+    /**
+     * Execute one run of fast instructions of @p ctx (at most
+     * @p limit of them) through the predecoded stream; returns the
+     * number retired. Never blocks — the caller dispatches slow
+     * (flagged) instructions through executeOne.
+     */
+    std::uint64_t fastRun(Context &ctx, std::uint64_t limit);
+
+    /** True when the predecoded dispatch loop may be used. */
+    bool
+    useFastPath() const
+    {
+        return decoded_ != nullptr && execHook_ == nullptr;
+    }
+
+    /** Shared completion/deadlock handling when no context is pollable. */
+    StepStatus settleNoPollable();
+
     /** Handle the Syscall opcode; returns false if blocked. */
     bool doSyscall(Context &ctx, const ir::Instr &instr);
 
@@ -211,12 +247,20 @@ class Machine
     os::Kernel &kernel_;
     MachineConfig cfg_;
     std::unique_ptr<Memory> memory_;
+    std::unique_ptr<PredecodedModule> decoded_;
     std::vector<std::uint64_t> globalAddrs_;
 
     std::vector<std::unique_ptr<Context>> contexts_;
     int curCtx_ = -1;
     int sliceLeft_ = 0;
     Prng schedPrng_;
+
+    // stepMany poll bookkeeping: a context whose generation equals
+    // triedGen_ has already been polled without progress since the
+    // last retired instruction (mirrors step()'s tried[] vector
+    // without the per-call allocation).
+    std::vector<std::uint64_t> triedSeen_;
+    std::uint64_t triedGen_ = 0;
 
     // Mutexes: id -> owner tid (-1 free) and FIFO waiters.
     std::map<std::int64_t, std::int64_t> mutexOwner_;

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Predecoded fast-path differential tests: the predecoded dispatch
+ * loop must retire bit-identical state to the seed per-step
+ * interpreter — same instruction counts and mix, same counter
+ * statistics, same exits and traps, and (through the lockstep dual
+ * driver, the oracle) the same causality verdict on every workload.
+ */
+#include <gtest/gtest.h>
+
+#include "ldx/engine.h"
+#include "os/kernel.h"
+#include "vm/machine.h"
+#include "vm/predecode.h"
+#include "workloads/workloads.h"
+
+namespace ldx {
+namespace {
+
+using core::DualResult;
+using core::EngineConfig;
+using workloads::Workload;
+
+/** Field-by-field MachineStats comparison with a labelled context. */
+void
+expectSameStats(const vm::MachineStats &a, const vm::MachineStats &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.syscalls, b.syscalls) << what;
+    EXPECT_EQ(a.maxCnt, b.maxCnt) << what;
+    EXPECT_DOUBLE_EQ(a.avgCnt, b.avgCnt) << what;
+    EXPECT_EQ(a.maxCntDepth, b.maxCntDepth) << what;
+    EXPECT_EQ(a.barriers, b.barriers) << what;
+    EXPECT_EQ(a.mixData, b.mixData) << what;
+    EXPECT_EQ(a.mixAlu, b.mixAlu) << what;
+    EXPECT_EQ(a.mixMem, b.mixMem) << what;
+    EXPECT_EQ(a.mixCall, b.mixCall) << what;
+    EXPECT_EQ(a.mixBranch, b.mixBranch) << what;
+    EXPECT_EQ(a.mixSyscall, b.mixSyscall) << what;
+    EXPECT_EQ(a.mixCounter, b.mixCounter) << what;
+}
+
+class PredecodeDifferential : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const Workload &
+    workload() const
+    {
+        const Workload *w = workloads::findWorkload(GetParam());
+        EXPECT_NE(w, nullptr);
+        return *w;
+    }
+};
+
+/** Single-VM native run: legacy step() path vs predecoded path. */
+TEST_P(PredecodeDifferential, NativeRunMatchesLegacy)
+{
+    const Workload &w = workload();
+    const ir::Module &module = workloads::workloadModule(w, true);
+
+    auto run = [&](bool predecode, vm::MachineStats &stats,
+                   std::int64_t &exit_code, std::string &trap) {
+        os::Kernel kernel(w.world(w.defaultScale));
+        vm::MachineConfig cfg;
+        cfg.predecode = predecode;
+        vm::Machine m(module, kernel, cfg);
+        m.run();
+        stats = m.stats();
+        exit_code = m.exitCode();
+        trap = m.trap() ? m.trap()->message : "";
+    };
+
+    vm::MachineStats legacy_stats, fast_stats;
+    std::int64_t legacy_exit = 0, fast_exit = 0;
+    std::string legacy_trap, fast_trap;
+    run(false, legacy_stats, legacy_exit, legacy_trap);
+    run(true, fast_stats, fast_exit, fast_trap);
+
+    EXPECT_EQ(legacy_exit, fast_exit);
+    EXPECT_EQ(legacy_trap, fast_trap);
+    expectSameStats(legacy_stats, fast_stats, w.name);
+}
+
+/**
+ * Dual lockstep run (the deterministic oracle): the full DualResult —
+ * verdict, findings, alignment tallies, both sides' retired state —
+ * must be identical with and without predecoding.
+ */
+TEST_P(PredecodeDifferential, DualLockstepMatchesLegacy)
+{
+    const Workload &w = workload();
+    const ir::Module &module = workloads::workloadModule(w, true);
+
+    auto run = [&](bool predecode) {
+        EngineConfig cfg;
+        cfg.sinks = w.sinks;
+        cfg.sources = w.sources;
+        cfg.threaded = false;
+        cfg.wallClockCap = 60.0;
+        cfg.vmConfig.predecode = predecode;
+        core::DualEngine engine(module, w.world(w.defaultScale), cfg);
+        return engine.run();
+    };
+
+    DualResult legacy = run(false);
+    DualResult fast = run(true);
+
+    EXPECT_EQ(legacy.deadlocked, fast.deadlocked) << w.name;
+    EXPECT_EQ(legacy.alignedSyscalls, fast.alignedSyscalls) << w.name;
+    EXPECT_EQ(legacy.syscallDiffs, fast.syscallDiffs) << w.name;
+    EXPECT_EQ(legacy.totalSlaveSyscalls, fast.totalSlaveSyscalls)
+        << w.name;
+    EXPECT_EQ(legacy.barrierPairings, fast.barrierPairings) << w.name;
+    EXPECT_EQ(legacy.masterExit, fast.masterExit) << w.name;
+    EXPECT_EQ(legacy.slaveExit, fast.slaveExit) << w.name;
+    EXPECT_EQ(legacy.masterTrapped, fast.masterTrapped) << w.name;
+    EXPECT_EQ(legacy.slaveTrapped, fast.slaveTrapped) << w.name;
+    EXPECT_EQ(legacy.masterTrapMessage, fast.masterTrapMessage)
+        << w.name;
+    EXPECT_EQ(legacy.slaveTrapMessage, fast.slaveTrapMessage) << w.name;
+    expectSameStats(legacy.masterStats, fast.masterStats,
+                    w.name + "/master");
+    expectSameStats(legacy.slaveStats, fast.slaveStats,
+                    w.name + "/slave");
+    EXPECT_EQ(legacy.taintedResources, fast.taintedResources) << w.name;
+
+    ASSERT_EQ(legacy.findings.size(), fast.findings.size()) << w.name;
+    for (std::size_t i = 0; i < legacy.findings.size(); ++i)
+        EXPECT_EQ(legacy.findings[i].describe(),
+                  fast.findings[i].describe())
+            << w.name << " finding " << i;
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : workloads::allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PredecodeDifferential,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------------
+// Structural invariants of the decoded stream.
+// ---------------------------------------------------------------------
+
+TEST(PredecodeTest, DecodedStreamMirrorsFunctionLayout)
+{
+    const Workload *w = workloads::findWorkload("401.bzip2");
+    ASSERT_NE(w, nullptr);
+    const ir::Module &module = workloads::workloadModule(*w, true);
+
+    for (int fn = 0; fn < static_cast<int>(module.numFunctions());
+         ++fn) {
+        const ir::Function &f = module.function(fn);
+        vm::DecodedFunction df(f);
+
+        std::size_t total = 0;
+        for (std::size_t b = 0; b < f.numBlocks(); ++b) {
+            ASSERT_EQ(df.blockStart(static_cast<int>(b)), total);
+            total += f.block(static_cast<int>(b)).instrs().size();
+        }
+        ASSERT_EQ(df.numInstrs(), total);
+
+        const vm::DecodedInstr *code = df.code();
+        for (std::size_t i = 0; i < df.numInstrs(); ++i) {
+            const vm::DecodedInstr &d = code[i];
+            // (block, ip) coordinates invert the flattening.
+            ASSERT_EQ(df.blockStart(d.block) +
+                          static_cast<std::uint32_t>(d.ip),
+                      i);
+            ASSERT_EQ(&f.block(d.block).instrs()[static_cast<
+                          std::size_t>(d.ip)],
+                      d.src);
+            // Branch targets are pre-resolved to flat indices.
+            if (d.op == ir::Opcode::Br) {
+                ASSERT_EQ(d.target0,
+                          static_cast<std::int32_t>(
+                              df.blockStart(d.src->target0)));
+            }
+            if (d.op == ir::Opcode::CondBr) {
+                ASSERT_EQ(d.target0,
+                          static_cast<std::int32_t>(
+                              df.blockStart(d.src->target0)));
+                ASSERT_EQ(d.target1,
+                          static_cast<std::int32_t>(
+                              df.blockStart(d.src->target1)));
+            }
+            // Fast instructions carry consistent run metadata: the
+            // whole [i, i + runLen) range is fast, within one block,
+            // and a canonical head's histogram sums to its run length.
+            if (!d.isSlow()) {
+                ASSERT_GE(d.runLen, 1u);
+                for (std::uint16_t k = 0; k < d.runLen; ++k) {
+                    ASSERT_FALSE(code[i + k].isSlow());
+                    ASSERT_EQ(code[i + k].block, d.block);
+                }
+                if (d.histIdx >= 0) {
+                    std::uint64_t sum = 0;
+                    for (const auto &[op, n] : df.hist(d.histIdx))
+                        sum += n;
+                    ASSERT_EQ(sum, d.runLen);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ldx

@@ -24,6 +24,9 @@
  *   --sinks LIST         comma list of net,file,console,ret,alloc
  *   --policy P           taintgrind | libdft | control   (taint)
  *   --threaded           two-OS-thread driver            (dual)
+ *   --spin-policy S,Y,U  threaded-driver stall backoff: S cpu-relax
+ *                        spins, then Y yields, then sleeps of U
+ *                        microseconds (default 64,64,50)     (dual)
  *   --trace              print the alignment trace       (dual)
  *   --metrics[=json]     print the metrics registry and phase
  *                        timings; =json emits one machine-readable
@@ -69,6 +72,7 @@ struct CliOptions
     core::SinkConfig sinks;
     std::string policy = "taintgrind";
     bool threaded = false;
+    core::DriverConfig driver;
     bool traceAlignment = false;
     bool instrument = true;
     bool metrics = false;
@@ -198,6 +202,16 @@ parseArgs(int argc, char **argv)
             opt.policy = next("--policy");
         } else if (arg == "--threaded") {
             opt.threaded = true;
+        } else if (arg == "--spin-policy") {
+            auto parts = splitString(next("--spin-policy"), ',');
+            if (parts.size() != 3)
+                usage("--spin-policy expects SPINS,YIELDS,SLEEP_US");
+            opt.driver.spinCount =
+                static_cast<std::uint32_t>(std::stoul(parts[0]));
+            opt.driver.yieldCount =
+                static_cast<std::uint32_t>(std::stoul(parts[1]));
+            opt.driver.sleepMicros =
+                static_cast<std::uint32_t>(std::stoul(parts[2]));
         } else if (arg == "--trace") {
             opt.traceAlignment = true;
         } else if (arg == "--metrics" || arg == "--metrics=text") {
@@ -352,6 +366,7 @@ cmdDual(const CliOptions &opt)
     cfg.strategy = opt.strategy;
     cfg.sinks = opt.sinks;
     cfg.threaded = opt.threaded;
+    cfg.driver = opt.driver;
     cfg.recordTrace = opt.traceAlignment;
     cfg.registry = &registry;
     cfg.traceSink = sink.get();
@@ -459,6 +474,7 @@ cmdBench(const CliOptions &opt)
     cfg.sinks = w->sinks;
     cfg.sources = w->sources;
     cfg.threaded = opt.threaded;
+    cfg.driver = opt.driver;
     cfg.registry = &registry;
     cfg.traceSink = sink.get();
     core::DualEngine engine(workloads::workloadModule(*w, true),
