@@ -59,7 +59,7 @@ runInstrumentedNative(const workloads::Workload &w, int scale)
 inline core::DualResult
 runDual(const workloads::Workload &w, int scale,
         std::vector<core::SourceSpec> sources, bool threaded,
-        std::uint64_t sched_delta = 0)
+        std::uint64_t sched_delta = 0, bool recorder = true)
 {
     core::EngineConfig cfg;
     cfg.sinks = w.sinks;
@@ -67,6 +67,7 @@ runDual(const workloads::Workload &w, int scale,
     cfg.threaded = threaded;
     cfg.slaveSchedSeedDelta = sched_delta;
     cfg.wallClockCap = 60.0;
+    cfg.flightRecorder = recorder;
     core::DualEngine engine(workloads::workloadModule(w, true),
                             w.world(scale), cfg);
     return engine.run();

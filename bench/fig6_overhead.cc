@@ -54,8 +54,9 @@ main()
                                          "ngircd", "gzip-alloc"};
 
     TextTable table({"Program", "native(ms)", "ldx same-in",
-                     "ldx mutated", "ovh same", "ovh mutated"});
-    RunningStats same_ratio, mut_ratio;
+                     "ldx mutated", "ovh same", "ovh mutated",
+                     "ovh rec-off"});
+    RunningStats same_ratio, mut_ratio, mut_norec_ratio;
     double driver_yields = 0, driver_backoff_ns = 0,
            mutex_acquisitions = 0;
     std::string rows_json;
@@ -80,11 +81,24 @@ main()
                 bench::timeSeconds([&] { bench::runNative(w, scale); });
         }
 
+        // Untimed dual warm-up: the first dual run per program pays
+        // one-time costs (page faults, allocator growth) that would
+        // otherwise land entirely on the first timed column and skew
+        // the three-way comparison below.
+        bench::runDual(w, scale, w.sources, parallel);
+
         double same = bench::timeSeconds(
             [&] { bench::runDual(w, scale, {}, parallel); });
         core::DualResult mut_res;
         double mutated = bench::timeSeconds([&] {
             mut_res = bench::runDual(w, scale, w.sources, parallel);
+        });
+        // Same configuration with the flight recorder off: the delta
+        // between this column and "ovh mutated" is the recorder's
+        // whole cost (the default-on setting must be within noise).
+        double mutated_norec = bench::timeSeconds([&] {
+            bench::runDual(w, scale, w.sources, parallel, 0,
+                           /*recorder=*/false);
         });
         // Threaded-driver backoff accounting: how the stalled side
         // waited (yields + timed sleeps) instead of holding the
@@ -101,14 +115,18 @@ main()
 
         double r_same = same / (native * baseline_factor);
         double r_mut = mutated / (native * baseline_factor);
+        double r_mut_norec =
+            mutated_norec / (native * baseline_factor);
         same_ratio.add(r_same);
         mut_ratio.add(r_mut);
+        mut_norec_ratio.add(r_mut_norec);
 
         table.addRow({w.name, formatDouble(native * 1e3, 2),
                       formatDouble(same * 1e3, 2),
                       formatDouble(mutated * 1e3, 2),
                       formatPercent(r_same - 1.0),
-                      formatPercent(r_mut - 1.0)});
+                      formatPercent(r_mut - 1.0),
+                      formatPercent(r_mut_norec - 1.0)});
 
         if (!rows_json.empty())
             rows_json += ',';
@@ -118,6 +136,10 @@ main()
         rows_json += ",\"mutated_ms\":" + obs::jsonNumber(mutated * 1e3);
         rows_json += ",\"ratio_same\":" + obs::jsonNumber(r_same);
         rows_json += ",\"ratio_mutated\":" + obs::jsonNumber(r_mut);
+        rows_json += ",\"mutated_norec_ms\":" +
+                     obs::jsonNumber(mutated_norec * 1e3);
+        rows_json += ",\"ratio_mutated_norec\":" +
+                     obs::jsonNumber(r_mut_norec);
         rows_json += ",\"driver_yields\":" + obs::jsonNumber(yields);
         rows_json +=
             ",\"driver_backoff_ns\":" + obs::jsonNumber(backoff_ns);
@@ -144,6 +166,10 @@ main()
               << formatPercent(mut_ratio.p95() - 1.0) << " / "
               << formatPercent(mut_ratio.p99() - 1.0) << "\n";
     std::cout << "(Paper: geomean 4.45% / 4.7%, arith 5.7% / 6.08%.)\n";
+    std::cout << "Flight recorder (mutated runs): on "
+              << formatPercent(mut_ratio.geomean() - 1.0) << " vs off "
+              << formatPercent(mut_norec_ratio.geomean() - 1.0)
+              << " geomean overhead\n";
     std::cout << "Driver backoff (mutated runs, all programs): "
               << formatDouble(driver_yields, 0) << " yields, "
               << formatDouble(driver_backoff_ns / 1e6, 2)
@@ -157,6 +183,8 @@ main()
     blob += ",\"programs\":[" + rows_json + ']';
     blob += ",\"ratio_same\":" + bench::statsJson(same_ratio);
     blob += ",\"ratio_mutated\":" + bench::statsJson(mut_ratio);
+    blob += ",\"ratio_mutated_norec\":" +
+            bench::statsJson(mut_norec_ratio);
     blob += ",\"driver_yields\":" + obs::jsonNumber(driver_yields);
     blob +=
         ",\"driver_backoff_ns\":" + obs::jsonNumber(driver_backoff_ns);

@@ -54,7 +54,7 @@ runSingle(const workloads::Workload &w, int scale, bool predecode)
 /** Dual run (both sides on one dispatch path), counting both VMs. */
 Sample
 runDualTimed(const workloads::Workload &w, int scale, bool predecode,
-             bool threaded)
+             bool threaded, bool recorder = true)
 {
     Sample s;
     s.seconds = bench::timeSeconds([&] {
@@ -63,6 +63,7 @@ runDualTimed(const workloads::Workload &w, int scale, bool predecode,
         cfg.threaded = threaded;
         cfg.wallClockCap = 60.0;
         cfg.vmConfig.predecode = predecode;
+        cfg.flightRecorder = recorder;
         core::DualEngine engine(workloads::workloadModule(w, true),
                                 w.world(scale), cfg);
         core::DualResult res = engine.run();
@@ -95,8 +96,8 @@ main()
                                          "462.libquantum", "429.mcf"};
 
     TextTable table({"Program", "Minstr", "legacy Mi/s", "fast Mi/s",
-                     "speedup", "dual-lk x", "dual-thr x"});
-    RunningStats speedups;
+                     "speedup", "dual-lk x", "dual-thr x", "rec ovh"});
+    RunningStats speedups, recorder_overheads;
     std::string rows_json;
 
     for (const std::string &name : programs) {
@@ -123,15 +124,24 @@ main()
             return 1;
         }
 
+        // The dual rows run with the flight recorder on (the engine
+        // default); the rec-off row isolates its cost, which must be
+        // within noise of free.
         Sample dl_legacy = runDualTimed(*w, scale, false, false);
         Sample dl_fast = runDualTimed(*w, scale, true, false);
+        Sample dl_norec =
+            runDualTimed(*w, scale, true, false, /*recorder=*/false);
         Sample dt_legacy = runDualTimed(*w, scale, false, true);
         Sample dt_fast = runDualTimed(*w, scale, true, true);
 
         double speedup = fast.minstrPerSec() / legacy.minstrPerSec();
         double dl_speedup = dl_legacy.seconds / dl_fast.seconds;
         double dt_speedup = dt_legacy.seconds / dt_fast.seconds;
+        double rec_overhead = dl_norec.seconds > 0.0
+                                  ? dl_fast.seconds / dl_norec.seconds
+                                  : 1.0;
         speedups.add(speedup);
+        recorder_overheads.add(rec_overhead);
 
         table.addRow(
             {name,
@@ -142,7 +152,8 @@ main()
              formatDouble(fast.minstrPerSec(), 1),
              formatDouble(speedup, 2) + "x",
              formatDouble(dl_speedup, 2) + "x",
-             formatDouble(dt_speedup, 2) + "x"});
+             formatDouble(dt_speedup, 2) + "x",
+             formatDouble(rec_overhead, 3) + "x"});
 
         if (!rows_json.empty())
             rows_json += ',';
@@ -152,6 +163,10 @@ main()
         rows_json += ",\"single_fast\":" + sampleJson(fast);
         rows_json += ",\"dual_lockstep_legacy\":" + sampleJson(dl_legacy);
         rows_json += ",\"dual_lockstep_fast\":" + sampleJson(dl_fast);
+        rows_json +=
+            ",\"dual_lockstep_fast_norec\":" + sampleJson(dl_norec);
+        rows_json +=
+            ",\"recorder_overhead\":" + obs::jsonNumber(rec_overhead);
         rows_json += ",\"dual_threaded_legacy\":" + sampleJson(dt_legacy);
         rows_json += ",\"dual_threaded_fast\":" + sampleJson(dt_fast);
         rows_json += ",\"speedup\":" + obs::jsonNumber(speedup);
@@ -165,10 +180,16 @@ main()
     table.print(std::cout);
     std::cout << "\nGeomean single-VM speedup: "
               << formatDouble(speedups.geomean(), 2) << "x\n";
+    std::cout << "Geomean flight-recorder overhead (dual lockstep, "
+                 "on/off): "
+              << formatDouble(recorder_overheads.geomean(), 3)
+              << "x\n";
 
     std::string blob = "{\"bench\":\"interp_throughput\"";
     blob += ",\"programs\":[" + rows_json + ']';
     blob += ",\"speedup\":" + bench::statsJson(speedups);
+    blob += ",\"recorder_overhead\":" +
+            bench::statsJson(recorder_overheads);
     blob += '}';
     bench::writeBenchBlob("interp", blob);
     return 0;

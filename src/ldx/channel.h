@@ -367,6 +367,20 @@ class SyncChannel
     /** Bumped whenever lockOrder/slaveLockIdx change (fast gates). */
     std::atomic<std::uint64_t> lockVersion{0};
 
+    /**
+     * Visit every thread channel (post-run diagnostics: the engine
+     * snapshots positions/queues into the divergence report). The
+     * callback runs under the map mutex; it must not call thread().
+     */
+    template <typename Fn>
+    void
+    forEachChannel(Fn fn)
+    {
+        std::lock_guard<std::mutex> lock(mapMutex_);
+        for (auto &[tid, ch] : channels_)
+            fn(tid, *ch);
+    }
+
     /** Sum of every ThreadChannel mutex acquisition so far. */
     std::uint64_t
     totalMutexAcquisitions()

@@ -52,10 +52,38 @@ compareProgress(const std::vector<std::int64_t> &peer_stack,
 }
 
 Controller::Controller(SyncChannel &chan, ControllerOptions opts)
-    : chan_(chan), opts_(std::move(opts))
+    : chan_(chan), opts_(std::move(opts)),
+      rec_(chan.scope().recorder())
 {
     if (!opts_.isSinkChannel)
         opts_.isSinkChannel = [](const std::string &) { return true; };
+}
+
+void
+Controller::recordEvt(obs::RecKind kind, int tid, std::int64_t cnt,
+                      int site, std::int64_t sysNo, std::uint64_t arg)
+{
+    if (!rec_)
+        return;
+    obs::RecEvent e;
+    e.kind = kind;
+    e.tid = static_cast<std::uint16_t>(tid);
+    e.cnt = cnt;
+    e.site = site;
+    e.sysNo = sysNo;
+    e.arg = arg;
+    rec_->record(self(), e);
+}
+
+void
+Controller::recordBlock(WaitState &w, int tid, std::int64_t sysNo)
+{
+    if (w.blockRecorded)
+        return;
+    w.blockRecorded = true;
+    w.gateSysNo = sysNo;
+    recordEvt(obs::RecKind::Block, tid, w.gateCnt, w.gateSite, sysNo,
+              static_cast<std::uint64_t>(w.gate));
 }
 
 void
@@ -88,6 +116,8 @@ Controller::waitExpired(int tid, std::uint64_t budget)
     if (++w.polls > budget) {
         w.expired = true;
         chan_.watchdogExpired->inc();
+        recordEvt(obs::RecKind::WatchdogExpire, tid, w.gateCnt,
+                  w.gateSite, w.gateSysNo, w.polls);
         return true;
     }
     return false;
@@ -99,7 +129,13 @@ Controller::clearWait(int tid)
     auto it = waits_.find(tid);
     if (it == waits_.end())
         return;
-    chan_.waitPolls->observe(static_cast<double>(it->second.polls));
+    WaitState &w = it->second;
+    chan_.waitPolls->observe(static_cast<double>(w.polls));
+    // The Unblock closing a recorded Block; a watchdog-expired wait
+    // already ended with a WatchdogExpire event instead.
+    if (w.blockRecorded && !w.expired)
+        recordEvt(obs::RecKind::Unblock, tid, w.gateCnt, w.gateSite,
+                  w.gateSysNo, w.polls);
     waits_.erase(it);
 }
 
@@ -375,6 +411,10 @@ Controller::handleMasterShared(const vm::SyscallRequest &req,
 
     out = vm.kernel().execute(req.sysNo, req.args, vm.memory());
 
+    // Computed outside the lock; needed for the queue entry and as
+    // the recorded event's hashed-argument digest.
+    std::uint64_t sig = argSignature(req, vm);
+
     invalidateGate(req.tid);
     ThreadChannel &ch = channel(req.tid);
     {
@@ -387,7 +427,7 @@ Controller::handleMasterShared(const vm::SyscallRequest &req,
             entry.cnt = req.cnt;
             entry.site = req.site;
             entry.sysNo = req.sysNo;
-            entry.argSig = argSignature(req, vm);
+            entry.argSig = sig;
             entry.out = out;
             ch.queue.push_back(std::move(entry));
             ch.bumpVersion();
@@ -398,6 +438,8 @@ Controller::handleMasterShared(const vm::SyscallRequest &req,
                   (long long)req.sysNo, (long long)req.cnt, req.site);
     chan_.executes->inc();
     trace(TraceEvent::Kind::Execute, req);
+    recordEvt(obs::RecKind::SyscallExecute, req.tid, req.cnt, req.site,
+              req.sysNo, sig);
     bumpProgress();
     return vm::PortReply::Done;
 }
@@ -425,6 +467,7 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
 
     invalidateGate(req.tid);
     ThreadChannel &ch = channel(req.tid);
+    std::uint64_t sig = argSignature(req, vm);
     // Any misaligned operation taints its resource (§7), so later
     // syscalls on it never couple diverged state.
     auto decouple = [&]() -> vm::PortReply {
@@ -438,11 +481,11 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
         chan_.decouples->inc();
         trace(TraceEvent::Kind::Decouple, req);
         clearWait(req.tid);
+        recordEvt(obs::RecKind::SyscallDecouple, req.tid, req.cnt,
+                  req.site, req.sysNo, sig);
         bumpProgress();
         return vm::PortReply::Done;
     };
-
-    std::uint64_t sig = argSignature(req, vm);
     os::Outcome copied;
     bool have_copy = false;
     bool mismatch = false;
@@ -491,6 +534,7 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
                 w.gateTaint = taint_ver;
                 w.gatePeerSeq = ch.posCell[peer()].seq();
                 w.gateMyStack = ch.cntStack[self()];
+                recordBlock(w, req.tid, req.sysNo);
                 chan_.blockedPolls->inc();
                 return vm::PortReply::Blocked;
             }
@@ -515,6 +559,8 @@ Controller::handleSlaveShared(const vm::SyscallRequest &req,
         chan_.copies->inc();
         trace(TraceEvent::Kind::Copy, req);
         clearWait(req.tid);
+        recordEvt(obs::RecKind::SyscallCopy, req.tid, req.cnt,
+                  req.site, req.sysNo, sig);
         bumpProgress();
         return vm::PortReply::Done;
     }
@@ -541,6 +587,7 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
     ThreadChannel &ch = channel(req.tid);
     bool proceed = false;
     bool reported_divergence = false;
+    bool vanished = false;
     {
         std::lock_guard<CountingMutex> lock(ch.mutex);
         ch.publishPos(self(), {PosKind::Sink, req.cnt, req.site, 0});
@@ -625,6 +672,7 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
             chan_.syscallDiffs->inc();
             chan_.sinkVanished->inc();
             reported_divergence = true;
+            vanished = true;
             mine.valid = false;
             ch.bumpVersion();
             proceed = true;
@@ -655,9 +703,10 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
                 f.loc = req.loc;
                 (opts_.side == Side::Master ? f.masterValue
                                             : f.slaveValue) = payload;
+                vanished = f.kind == CauseKind::SinkVanished;
                 chan_.addFinding(std::move(f));
                 chan_.syscallDiffs->inc();
-                if (f.kind == CauseKind::SinkVanished)
+                if (vanished)
                     chan_.sinkVanished->inc();
                 else
                     chan_.sinkDiffs->inc();
@@ -686,6 +735,7 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
             w.gateTaint = chan_.taints.version();
             w.gatePeerSeq = ch.posCell[peer()].seq();
             w.gateMyStack = ch.cntStack[self()];
+            recordBlock(w, req.tid, req.sysNo);
         }
     }
 
@@ -697,6 +747,11 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
     trace(reported_divergence ? TraceEvent::Kind::SinkDiff
                               : TraceEvent::Kind::SinkAligned,
           req);
+    recordEvt(vanished ? obs::RecKind::SinkVanish
+                       : reported_divergence ? obs::RecKind::SinkDiff
+                                             : obs::RecKind::SinkAligned,
+              req.tid, req.cnt, req.site, req.sysNo,
+              obs::fnv1a(payload));
 
     // A misaligned or value-divergent sink leaves the two worlds'
     // copies of the resource different: taint it (§7).
@@ -770,6 +825,10 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
             chan_.lockVersion.fetch_add(1, std::memory_order_release);
             lockPolls_.erase({req.tid, id});
             chan_.lockShares->inc();
+            clearWait(req.tid);
+            recordEvt(obs::RecKind::LockShare, req.tid, req.cnt,
+                      req.site, req.sysNo,
+                      static_cast<std::uint64_t>(id));
             bumpProgress();
             return vm::PortReply::Done;
         }
@@ -779,6 +838,9 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
         chan_.lockVersion.fetch_add(1, std::memory_order_release);
         chan_.syscallDiffs->inc();
         chan_.lockDiverged->inc();
+        clearWait(req.tid);
+        recordEvt(obs::RecKind::LockDiverge, req.tid, req.cnt,
+                  req.site, req.sysNo, static_cast<std::uint64_t>(id));
         bumpProgress();
         return vm::PortReply::Done;
     }
@@ -793,6 +855,9 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
         lockPolls_.erase({req.tid, id});
         chan_.syscallDiffs->inc();
         chan_.lockDiverged->inc();
+        clearWait(req.tid);
+        recordEvt(obs::RecKind::LockDiverge, req.tid, req.cnt,
+                  req.site, req.sysNo, static_cast<std::uint64_t>(id));
         bumpProgress();
         return vm::PortReply::Done;
     }
@@ -805,6 +870,7 @@ Controller::handleLock(const vm::SyscallRequest &req, vm::Machine &vm)
     w.gateState = ch.stateVersion.load(std::memory_order_acquire);
     w.gateTaint = taint_ver;
     w.gateLockVer = chan_.lockVersion.load(std::memory_order_relaxed);
+    recordBlock(w, req.tid, req.sysNo);
     chan_.blockedPolls->inc();
     return vm::PortReply::Blocked;
 }
@@ -866,6 +932,9 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
         bp.consumed[self()] = true;
         ch.bumpVersion();
         chan_.barrierPairings->inc();
+        recordEvt(obs::RecKind::BarrierPair, tid, cnt,
+                  static_cast<int>(site), -1,
+                  static_cast<std::uint64_t>(iter));
         if (chan_.wantsEvents()) {
             TraceEvent evt;
             evt.kind = TraceEvent::Kind::BarrierPair;
@@ -885,6 +954,9 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
     }
     auto skip = [&]() -> vm::PortReply {
         chan_.barrierSkips->inc();
+        recordEvt(obs::RecKind::BarrierSkip, tid, cnt,
+                  static_cast<int>(site), -1,
+                  static_cast<std::uint64_t>(iter));
         if (chan_.wantsEvents()) {
             TraceEvent evt;
             evt.kind = TraceEvent::Kind::BarrierSkip;
@@ -921,6 +993,7 @@ Controller::onBarrier(int tid, std::int64_t site, std::int64_t iter,
     w.gateTaint = chan_.taints.version();
     w.gatePeerSeq = ch.posCell[peer()].seq();
     w.gateMyStack = ch.cntStack[self()];
+    recordBlock(w, tid, -1);
     chan_.blockedPolls->inc();
     return vm::PortReply::Blocked;
 }
@@ -930,9 +1003,15 @@ Controller::onCounterPush(int tid, std::int64_t saved, vm::Machine &vm)
 {
     (void)vm;
     ThreadChannel &ch = channel(tid);
-    std::lock_guard<CountingMutex> lock(ch.mutex);
-    ch.cntStack[self()].push_back(saved);
-    ch.publishPos(self(), {PosKind::Running, 0, -1, 0});
+    std::size_t depth;
+    {
+        std::lock_guard<CountingMutex> lock(ch.mutex);
+        ch.cntStack[self()].push_back(saved);
+        depth = ch.cntStack[self()].size();
+        ch.publishPos(self(), {PosKind::Running, 0, -1, 0});
+    }
+    recordEvt(obs::RecKind::CounterPush, tid, saved, -1, -1,
+              static_cast<std::uint64_t>(depth));
 }
 
 void
@@ -940,10 +1019,16 @@ Controller::onCounterPop(int tid, std::int64_t restored, vm::Machine &vm)
 {
     (void)vm;
     ThreadChannel &ch = channel(tid);
-    std::lock_guard<CountingMutex> lock(ch.mutex);
-    if (!ch.cntStack[self()].empty())
-        ch.cntStack[self()].pop_back();
-    ch.publishPos(self(), {PosKind::Running, restored, -1, 0});
+    std::size_t depth;
+    {
+        std::lock_guard<CountingMutex> lock(ch.mutex);
+        if (!ch.cntStack[self()].empty())
+            ch.cntStack[self()].pop_back();
+        depth = ch.cntStack[self()].size();
+        ch.publishPos(self(), {PosKind::Running, restored, -1, 0});
+    }
+    recordEvt(obs::RecKind::CounterPop, tid, restored, -1, -1,
+              static_cast<std::uint64_t>(depth));
 }
 
 void

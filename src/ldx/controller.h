@@ -143,8 +143,13 @@ class Controller : public vm::SyscallPort
     /** Record a Fig. 3-style trace event when tracing is on. */
     void trace(TraceEvent::Kind kind, const vm::SyscallRequest &req);
 
+    /** Append one event to this side's flight-recorder ring. */
+    void recordEvt(obs::RecKind kind, int tid, std::int64_t cnt,
+                   int site, std::int64_t sysNo, std::uint64_t arg = 0);
+
     SyncChannel &chan_;
     ControllerOptions opts_;
+    obs::FlightRecorder *rec_;
 
     /** Per-thread watchdog + poll-gate state. */
     struct WaitState
@@ -170,6 +175,9 @@ class Controller : public vm::SyscallPort
             Lock,
         };
         Gate gate = Gate::None;
+        /** One Block event is recorded per wait (not per re-poll). */
+        bool blockRecorded = false;
+        std::int64_t gateSysNo = -1; ///< syscall waited at (-1 barrier)
         std::int64_t gateCnt = 0;
         int gateSite = -1;
         std::int64_t gateIter = 0;
@@ -183,6 +191,9 @@ class Controller : public vm::SyscallPort
         std::vector<std::int64_t> gateMyStack;
     };
     std::map<int, WaitState> waits_;
+
+    /** Record @p w's Block event (first block of the wait only). */
+    void recordBlock(WaitState &w, int tid, std::int64_t sysNo);
 
     /** Slave lock-follow poll budgets (was shared channel state). */
     std::map<std::pair<int, std::int64_t>, std::uint64_t> lockPolls_;

@@ -1,11 +1,13 @@
 #include "ldx/engine.h"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "instrument/instrument.h"
 #include "obs/phase.h"
 #include "obs/scope.h"
+#include "os/sysno.h"
 #include "support/diag.h"
 #include "support/strings.h"
 
@@ -126,7 +128,11 @@ DualEngine::run()
     obs::Registry local_registry;
     obs::Registry &registry =
         cfg_.registry ? *cfg_.registry : local_registry;
-    obs::Scope scope(registry, cfg_.traceSink);
+    std::optional<obs::FlightRecorder> recorder;
+    if (cfg_.flightRecorder)
+        recorder.emplace(cfg_.recorderCapacity);
+    obs::Scope scope(registry, cfg_.traceSink,
+                     recorder ? &*recorder : nullptr);
     if (cfg_.traceSink) {
         cfg_.traceSink->setLaneName(obs::kMasterLane, "master");
         cfg_.traceSink->setLaneName(obs::kSlaveLane, "slave");
@@ -145,8 +151,17 @@ DualEngine::run()
     timer.begin("setup");
     SyncChannel chan(scope);
     chan.traceEnabled = cfg_.recordTrace;
-    for (const std::string &key : mutated.taintKeys)
+    for (const std::string &key : mutated.taintKeys) {
         chan.taints.taint(key);
+        if (recorder) {
+            // The mutation events open the slave's timeline: the first
+            // divergence in a report is always downstream of one.
+            obs::RecEvent evt;
+            evt.kind = obs::RecKind::Mutation;
+            evt.arg = obs::fnv1a(key);
+            recorder->record(obs::kSlaveLane, evt);
+        }
+    }
 
     os::Kernel master_kernel(world_);
     os::Kernel slave_kernel(slave_world);
@@ -371,6 +386,57 @@ DualEngine::run()
         f.masterValue = res.masterTrapped ? res.masterTrapMessage : "ok";
         f.slaveValue = res.slaveTrapped ? res.slaveTrapMessage : "ok";
         res.findings.push_back(std::move(f));
+    }
+
+    if (recorder) {
+        registry.counter("recorder.events.master")
+            .inc(recorder->total(0));
+        registry.counter("recorder.events.slave")
+            .inc(recorder->total(1));
+        registry.counter("recorder.dropped")
+            .inc(recorder->dropped(0) + recorder->dropped(1));
+        const bool non_clean =
+            !res.findings.empty() || res.deadlocked ||
+            res.masterTrapped || res.slaveTrapped ||
+            chan.decouples->value() || chan.watchdogExpired->value() ||
+            chan.sinkDiffs->value() || chan.sinkVanished->value();
+        if (non_clean) {
+            obs::DivergenceInput in;
+            in.recorder = &*recorder;
+            in.sysName = [](std::int64_t no) {
+                return os::sysName(no);
+            };
+            if (!res.findings.empty())
+                in.outcome = causeKindName(res.findings.front().kind);
+            else if (res.deadlocked)
+                in.outcome = "deadlock";
+            else if (chan.watchdogExpired->value())
+                in.outcome = "watchdog-expiry";
+            else
+                in.outcome = "decouple";
+            in.mutatedKeys = mutated.taintKeys;
+            in.taintedKeys.assign(res.taintedResources.begin(),
+                                  res.taintedResources.end());
+            // Both VMs have finished and the driver threads are
+            // joined, so the channels are quiescent: read them
+            // without their mutexes (locking here would perturb the
+            // chan.mutex_acquisitions tally).
+            chan.forEachChannel([&in](int tid, ThreadChannel &ch) {
+                obs::ChannelSnapshot snap;
+                snap.tid = tid;
+                for (int side = 0; side < 2; ++side) {
+                    snap.cnt[side] = ch.pos[side].cnt;
+                    snap.site[side] = ch.pos[side].site;
+                    snap.posKind[side] =
+                        static_cast<std::uint8_t>(ch.pos[side].kind);
+                    snap.cntStack[side] = ch.cntStack[side];
+                    snap.threadDone[side] = ch.threadDone[side];
+                }
+                snap.queueDepth = ch.queue.size();
+                in.channels.push_back(std::move(snap));
+            });
+            res.divergence = obs::buildDivergenceReport(in);
+        }
     }
     timer.end(); // verdict
 

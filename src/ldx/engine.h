@@ -18,6 +18,7 @@
 #include "ldx/controller.h"
 #include "ldx/mutation.h"
 #include "ldx/report.h"
+#include "obs/recorder.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "os/world.h"
@@ -99,6 +100,18 @@ struct EngineConfig
 
     /** Record a Fig. 3-style alignment trace into DualResult::trace. */
     bool recordTrace = false;
+
+    /**
+     * Keep a flight recorder (per-side slow-path event rings) and, on
+     * any non-clean outcome, attach a DivergenceReport to the result.
+     * Default on: events are only recorded at operations that already
+     * pay for a mutex or an atomic, so the cost is negligible
+     * (bench/interp_throughput measures the on-vs-off delta).
+     */
+    bool flightRecorder = true;
+
+    /** Per-side flight-recorder ring capacity (events kept). */
+    std::size_t recorderCapacity = obs::FlightRecorder::kDefaultCapacity;
 
     /**
      * Metrics registry to accumulate into. When null the engine uses

@@ -2,6 +2,7 @@
 
 #include "ldx/channel.h"
 
+#include "obs/json.h"
 #include "os/sysno.h"
 #include "support/strings.h"
 
@@ -82,6 +83,50 @@ TraceEvent::describe() const
     out += " cnt=" + std::to_string(cnt);
     if (site >= 0)
         out += " site#" + std::to_string(site);
+    return out;
+}
+
+std::string
+phasesJson(const std::vector<obs::PhaseSample> &phases)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        if (i)
+            out += ',';
+        out += "{\"name\":" + obs::jsonString(phases[i].name);
+        out += ",\"depth\":" + std::to_string(phases[i].depth);
+        out += ",\"start_us\":" + std::to_string(phases[i].startUs);
+        out += ",\"seconds\":" + obs::jsonNumber(phases[i].seconds);
+        out += '}';
+    }
+    out += ']';
+    return out;
+}
+
+std::string
+resultJson(const DualResult &res,
+           const std::vector<obs::PhaseSample> &phases)
+{
+    std::string out = "{\"causality\":";
+    out += res.causality() ? "true" : "false";
+    out += ",\"wall_seconds\":" + obs::jsonNumber(res.wallSeconds);
+    out += ",\"findings\":[";
+    for (std::size_t i = 0; i < res.findings.size(); ++i) {
+        if (i)
+            out += ',';
+        out += obs::jsonString(res.findings[i].describe());
+    }
+    out += "],\"divergence\":{\"present\":";
+    out += res.divergence.present ? "true" : "false";
+    out += ",\"outcome\":" + obs::jsonString(res.divergence.outcome);
+    out += ",\"summary\":" + obs::jsonString(res.divergence.summary());
+    out += ",\"dropped\":" +
+           std::to_string(res.divergence.droppedEvents[0] +
+                          res.divergence.droppedEvents[1]);
+    out += '}';
+    out += ",\"phases\":" + phasesJson(phases);
+    out += ",\"metrics\":" + res.metrics.toJson();
+    out += '}';
     return out;
 }
 

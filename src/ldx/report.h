@@ -20,6 +20,7 @@
 #include "ir/ir.h"
 #include "obs/phase.h"
 #include "obs/registry.h"
+#include "obs/report.h"
 #include "vm/machine.h"
 
 namespace ldx::core {
@@ -160,8 +161,29 @@ struct DualResult
     /** Pipeline phase timing (mutate/setup/run/verdict, per side). */
     std::vector<obs::PhaseSample> phases;
 
+    /**
+     * Flight-recorder post-mortem. `present` only on a non-clean run
+     * with EngineConfig::flightRecorder on; see docs/OBSERVABILITY.md
+     * ("Flight recorder & divergence reports").
+     */
+    obs::DivergenceReport divergence;
+
     /** Number of distinct tainted sinks (counts findings). */
     std::size_t taintedSinkCount() const { return findings.size(); }
 };
+
+/** JSON array of phase samples (part of the --metrics=json schema). */
+std::string phasesJson(const std::vector<obs::PhaseSample> &phases);
+
+/**
+ * The one machine-readable object `--metrics=json` prints: stable
+ * top-level keys `causality` (bool), `wall_seconds` (number),
+ * `findings` (array of strings), `divergence` (object: `present`
+ * bool, `outcome` string, `summary` string, `dropped` number),
+ * `phases` (array), `metrics` (object). tests/obs_test.cc pins this
+ * schema.
+ */
+std::string resultJson(const DualResult &res,
+                       const std::vector<obs::PhaseSample> &phases);
 
 } // namespace ldx::core

@@ -1,0 +1,405 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ldx::obs {
+
+namespace {
+
+std::string
+resolveSys(const SysNameFn &fn, std::int64_t no)
+{
+    if (no < 0)
+        return "";
+    if (fn)
+        return fn(no);
+    return "sys#" + std::to_string(no);
+}
+
+const char *
+sideTag(std::uint8_t side)
+{
+    return side == 0 ? "M" : "S";
+}
+
+/** "S decouple read cnt=7 site#3 arg=0x1a2b [t=123us]". */
+std::string
+eventLine(const RecEvent &e, const SysNameFn &sysName)
+{
+    std::ostringstream os;
+    os << sideTag(e.side) << ' ' << recKindName(e.kind);
+    std::string sys = resolveSys(sysName, e.sysNo);
+    if (!sys.empty())
+        os << ' ' << sys;
+    os << " tid=" << e.tid << " cnt=" << e.cnt;
+    if (e.site >= 0)
+        os << " site#" << e.site;
+    if (e.arg)
+        os << " arg=0x" << std::hex << e.arg << std::dec;
+    os << " [t=" << e.tsUs << "us]";
+    return os.str();
+}
+
+/** Merge both rings, ordered by (timestamp, seq, side). */
+std::vector<const RecEvent *>
+mergedTimeline(const std::vector<RecEvent> &m,
+               const std::vector<RecEvent> &s)
+{
+    std::vector<const RecEvent *> all;
+    all.reserve(m.size() + s.size());
+    for (const RecEvent &e : m)
+        all.push_back(&e);
+    for (const RecEvent &e : s)
+        all.push_back(&e);
+    std::stable_sort(all.begin(), all.end(),
+                     [](const RecEvent *a, const RecEvent *b) {
+                         if (a->tsUs != b->tsUs)
+                             return a->tsUs < b->tsUs;
+                         if (a->seq != b->seq)
+                             return a->seq < b->seq;
+                         return a->side < b->side;
+                     });
+    return all;
+}
+
+std::string
+eventJson(const RecEvent &e, const SysNameFn &sysName)
+{
+    std::string out = "{\"type\":\"event\"";
+    out += ",\"side\":\"";
+    out += e.side == 0 ? "master" : "slave";
+    out += "\",\"seq\":" + std::to_string(e.seq);
+    out += ",\"ts_us\":" + std::to_string(e.tsUs);
+    out += ",\"kind\":" + jsonString(recKindName(e.kind));
+    out += ",\"tid\":" + std::to_string(e.tid);
+    out += ",\"cnt\":" + std::to_string(e.cnt);
+    out += ",\"site\":" + std::to_string(e.site);
+    out += ",\"sys\":" + std::to_string(e.sysNo);
+    std::string sys = resolveSys(sysName, e.sysNo);
+    if (!sys.empty())
+        out += ",\"sys_name\":" + jsonString(sys);
+    out += ",\"arg\":" + std::to_string(e.arg);
+    out += '}';
+    return out;
+}
+
+} // namespace
+
+DivergenceReport
+buildDivergenceReport(const DivergenceInput &input)
+{
+    DivergenceReport rep;
+    if (!input.recorder)
+        return rep;
+    rep.present = true;
+    rep.outcome = input.outcome;
+    rep.ringCapacity = input.recorder->capacity();
+    for (int side = 0; side < 2; ++side) {
+        rep.totalEvents[side] = input.recorder->total(side);
+        rep.droppedEvents[side] = input.recorder->dropped(side);
+        rep.events[side] = input.recorder->snapshot(side);
+    }
+    rep.mutatedKeys = input.mutatedKeys;
+    rep.taintedKeys = input.taintedKeys;
+    rep.channels = input.channels;
+
+    // First diverging event: the earliest divergent-kind record on
+    // the shared timestamp timeline, ties broken by sequence (both
+    // rings stamp from the same clock, so cross-side order is
+    // meaningful at microsecond granularity). Alignment-protocol
+    // divergences (decouple, sink diff/vanish, barrier skip, lock
+    // order) outrank terminal symptoms (trap, watchdog expiry): a
+    // trap is downstream of the decouple that let the sides drift, and
+    // the lockstep driver can retire one side's trap before the other
+    // side's decouple is even recorded.
+    auto alignment_divergent = [](RecKind k) {
+        return k == RecKind::SyscallDecouple || k == RecKind::SinkDiff ||
+               k == RecKind::SinkVanish || k == RecKind::BarrierSkip ||
+               k == RecKind::LockDiverge;
+    };
+    const RecEvent *first = nullptr;
+    bool first_is_alignment = false;
+    for (int side = 0; side < 2; ++side) {
+        for (const RecEvent &e : rep.events[side]) {
+            if (!recKindDivergent(e.kind))
+                continue;
+            bool align = alignment_divergent(e.kind);
+            if (first) {
+                if (first_is_alignment && !align)
+                    continue;
+                if (first_is_alignment == align &&
+                    (e.tsUs > first->tsUs ||
+                     (e.tsUs == first->tsUs && e.seq >= first->seq)))
+                    continue;
+            }
+            first = &e;
+            first_is_alignment = align;
+        }
+    }
+    if (first) {
+        rep.hasFirstDivergence = true;
+        rep.firstDivergence = *first;
+        rep.firstDivergenceSyscall =
+            resolveSys(input.sysName, first->sysNo);
+
+        // Peer context: the peer's event at the same logical position
+        // (counter and site), else its latest event not after the
+        // divergence — what the other execution was doing "then".
+        int peer = first->side == 0 ? 1 : 0;
+        const RecEvent *ctx = nullptr;
+        for (const RecEvent &e : rep.events[peer]) {
+            if (e.cnt == first->cnt && e.site == first->site) {
+                ctx = &e;
+                break;
+            }
+        }
+        if (!ctx) {
+            for (const RecEvent &e : rep.events[peer]) {
+                if (e.tsUs <= first->tsUs)
+                    ctx = &e;
+                else
+                    break;
+            }
+        }
+        if (ctx) {
+            rep.hasPeerContext = true;
+            rep.peerContext = *ctx;
+        }
+    }
+
+    // Stall attribution: pair each Block with the Unblock or
+    // WatchdogExpire that ended it, per (side, tid).
+    for (int side = 0; side < 2; ++side) {
+        // tid -> pending Block event (tids are small and few).
+        std::vector<std::pair<std::uint16_t, const RecEvent *>> open;
+        auto find_open = [&](std::uint16_t tid)
+            -> std::pair<std::uint16_t, const RecEvent *> * {
+            for (auto &p : open)
+                if (p.first == tid)
+                    return &p;
+            return nullptr;
+        };
+        for (const RecEvent &e : rep.events[side]) {
+            if (e.kind == RecKind::Block) {
+                auto *slot = find_open(e.tid);
+                if (slot)
+                    slot->second = &e;
+                else
+                    open.push_back({e.tid, &e});
+                continue;
+            }
+            if (e.kind != RecKind::Unblock &&
+                e.kind != RecKind::WatchdogExpire)
+                continue;
+            auto *slot = find_open(e.tid);
+            if (!slot || !slot->second)
+                continue;
+            const RecEvent &b = *slot->second;
+            StallRecord st;
+            st.side = static_cast<std::uint8_t>(side);
+            st.tid = e.tid;
+            st.sysNo = b.sysNo;
+            st.site = b.site;
+            st.cnt = b.cnt;
+            st.gate = b.arg;
+            st.polls = e.arg;
+            st.durUs = e.tsUs - b.tsUs;
+            st.expired = e.kind == RecKind::WatchdogExpire;
+            rep.stalls.push_back(st);
+            slot->second = nullptr;
+        }
+    }
+    std::stable_sort(rep.stalls.begin(), rep.stalls.end(),
+                     [](const StallRecord &a, const StallRecord &b) {
+                         return a.durUs > b.durUs;
+                     });
+    return rep;
+}
+
+std::string
+DivergenceReport::summary() const
+{
+    if (!present)
+        return "no divergence report";
+    if (!hasFirstDivergence)
+        return "outcome " + outcome + ", no divergent event recorded";
+    std::ostringstream os;
+    os << "first divergence: "
+       << recKindName(firstDivergence.kind);
+    if (!firstDivergenceSyscall.empty())
+        os << " at " << firstDivergenceSyscall;
+    os << " (" << sideTag(firstDivergence.side)
+       << " tid=" << firstDivergence.tid
+       << " cnt=" << firstDivergence.cnt;
+    if (firstDivergence.site >= 0)
+        os << " site#" << firstDivergence.site;
+    os << ")";
+    return os.str();
+}
+
+std::string
+DivergenceReport::text(const SysNameFn &sysName) const
+{
+    std::ostringstream os;
+    if (!present) {
+        os << "clean run: no divergence report\n";
+        return os.str();
+    }
+    os << "== divergence report ==\n";
+    os << "outcome: " << outcome << "\n";
+    os << "ring: capacity " << ringCapacity << "/side, master "
+       << totalEvents[0] << " events (" << droppedEvents[0]
+       << " dropped), slave " << totalEvents[1] << " events ("
+       << droppedEvents[1] << " dropped)\n";
+
+    if (!mutatedKeys.empty()) {
+        os << "mutated sources:\n";
+        for (const std::string &k : mutatedKeys)
+            os << "  " << k << "\n";
+    }
+
+    os << "\n" << summary() << "\n";
+    if (hasFirstDivergence)
+        os << "  " << eventLine(firstDivergence, sysName) << "\n";
+    if (hasPeerContext)
+        os << "  peer context: " << eventLine(peerContext, sysName)
+           << "\n";
+
+    if (!stalls.empty()) {
+        os << "\ncoupling stalls (longest first):\n";
+        std::size_t shown = 0;
+        for (const StallRecord &st : stalls) {
+            if (shown++ >= 16) {
+                os << "  ... " << stalls.size() - 16 << " more\n";
+                break;
+            }
+            os << "  " << sideTag(st.side) << " tid=" << st.tid
+               << " ";
+            std::string sys = st.sysNo >= 0
+                                  ? (sysName ? sysName(st.sysNo)
+                                             : "sys#" +
+                                                   std::to_string(
+                                                       st.sysNo))
+                                  : std::string("barrier");
+            os << sys << " cnt=" << st.cnt;
+            if (st.site >= 0)
+                os << " site#" << st.site;
+            os << ": " << st.durUs << "us, " << st.polls << " polls"
+               << (st.expired ? " (watchdog expired)" : "") << "\n";
+        }
+    }
+
+    if (!channels.empty()) {
+        os << "\nfinal channel state:\n";
+        for (const ChannelSnapshot &ch : channels) {
+            os << "  tid " << ch.tid << ": master cnt=" << ch.cnt[0]
+               << " site#" << ch.site[0]
+               << (ch.threadDone[0] ? " done" : "")
+               << " | slave cnt=" << ch.cnt[1] << " site#"
+               << ch.site[1] << (ch.threadDone[1] ? " done" : "")
+               << " | queue depth " << ch.queueDepth << "\n";
+        }
+    }
+
+    if (!taintedKeys.empty()) {
+        os << "\ntainted resources:\n";
+        for (const std::string &k : taintedKeys)
+            os << "  " << k << "\n";
+    }
+
+    auto all = mergedTimeline(events[0], events[1]);
+    os << "\ntimeline (last " << std::min<std::size_t>(all.size(), 48)
+       << " of " << all.size() << " events):\n";
+    std::size_t start = all.size() > 48 ? all.size() - 48 : 0;
+    for (std::size_t i = start; i < all.size(); ++i)
+        os << "  " << eventLine(*all[i], sysName) << "\n";
+    return os.str();
+}
+
+void
+DivergenceReport::writeJsonl(std::ostream &os,
+                             const SysNameFn &sysName) const
+{
+    std::string head = "{\"type\":\"divergence-report\"";
+    head += ",\"present\":";
+    head += present ? "true" : "false";
+    head += ",\"outcome\":" + jsonString(outcome);
+    head += ",\"ring_capacity\":" + std::to_string(ringCapacity);
+    head += ",\"events\":{\"master\":" + std::to_string(totalEvents[0]);
+    head += ",\"slave\":" + std::to_string(totalEvents[1]);
+    head += "},\"dropped\":{\"master\":" +
+            std::to_string(droppedEvents[0]);
+    head += ",\"slave\":" + std::to_string(droppedEvents[1]) + '}';
+    head += ",\"first_divergence\":";
+    head += hasFirstDivergence ? eventJson(firstDivergence, sysName)
+                               : "null";
+    head += ",\"peer_context\":";
+    head += hasPeerContext ? eventJson(peerContext, sysName) : "null";
+    head += ",\"mutated\":[";
+    for (std::size_t i = 0; i < mutatedKeys.size(); ++i) {
+        if (i)
+            head += ',';
+        head += jsonString(mutatedKeys[i]);
+    }
+    head += "],\"tainted\":[";
+    for (std::size_t i = 0; i < taintedKeys.size(); ++i) {
+        if (i)
+            head += ',';
+        head += jsonString(taintedKeys[i]);
+    }
+    head += "],\"stalls\":[";
+    for (std::size_t i = 0; i < stalls.size(); ++i) {
+        const StallRecord &st = stalls[i];
+        if (i)
+            head += ',';
+        head += "{\"side\":\"";
+        head += st.side == 0 ? "master" : "slave";
+        head += "\",\"tid\":" + std::to_string(st.tid);
+        head += ",\"sys\":" + std::to_string(st.sysNo);
+        head += ",\"site\":" + std::to_string(st.site);
+        head += ",\"cnt\":" + std::to_string(st.cnt);
+        head += ",\"dur_us\":" + std::to_string(st.durUs);
+        head += ",\"polls\":" + std::to_string(st.polls);
+        head += ",\"expired\":";
+        head += st.expired ? "true" : "false";
+        head += '}';
+    }
+    head += "]}";
+    os << head << "\n";
+
+    for (const RecEvent *e : mergedTimeline(events[0], events[1]))
+        os << eventJson(*e, sysName) << "\n";
+}
+
+void
+DivergenceReport::writeChromeTrace(std::ostream &os,
+                                   const SysNameFn &sysName) const
+{
+    os << "[";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"args\":{\"name\":\"master\"}},\n";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\"slave\"}}";
+    for (const RecEvent *ep : mergedTimeline(events[0], events[1])) {
+        const RecEvent &e = *ep;
+        os << ",\n{\"name\":";
+        std::string sys = resolveSys(sysName, e.sysNo);
+        std::string name = recKindName(e.kind);
+        if (!sys.empty())
+            name += ":" + sys;
+        os << jsonString(name);
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+        os << ",\"pid\":" << static_cast<int>(e.side);
+        os << ",\"tid\":" << e.tid;
+        os << ",\"ts\":" << e.tsUs;
+        os << ",\"args\":{\"cnt\":" << e.cnt << ",\"site\":" << e.site
+           << ",\"seq\":" << e.seq << ",\"arg\":" << e.arg << "}}";
+    }
+    os << "\n]\n";
+}
+
+} // namespace ldx::obs

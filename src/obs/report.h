@@ -1,0 +1,126 @@
+/**
+ * @file
+ * obs::DivergenceReport — the post-mortem artifact of a non-clean
+ * dual run.
+ *
+ * When a run ends with any divergence signal (a causality finding, a
+ * decouple, a trap, a watchdog expiry, a deadlock), the engine
+ * snapshots both flight-recorder rings plus the per-thread channel
+ * state into this structure, which then:
+ *
+ *  - aligns the two timelines: every event carries the shared
+ *    obs::nowUs() timestamp plus its logical position (counter stack
+ *    depth is folded into the counter at record time), so the two
+ *    rings merge into one ordered history;
+ *  - localizes the *first diverging event* — the earliest event of a
+ *    divergent kind (decouple, sink diff/vanish, barrier skip, lock
+ *    divergence, trap, watchdog expiry) across both rings — and looks
+ *    up the peer's event at the same logical position (cnt, site) for
+ *    context;
+ *  - attributes coupling stalls: every Block/Unblock (or
+ *    Block/WatchdogExpire) pair becomes a stall record charged to the
+ *    syscall or barrier that waited, sorted by duration.
+ *
+ * The report renders as human text, as JSONL (one event per line,
+ * header first), or as a dual-lane Chrome trace_event file. The
+ * `ldx explain` subcommand is a thin wrapper over these renderers.
+ *
+ * This layer depends only on obs; syscall numbers are resolved to
+ * names through an injected resolver so obs never includes os
+ * headers.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace ldx::obs {
+
+/** Resolves a syscall number to a display name ("read", ...). */
+using SysNameFn = std::function<std::string(std::int64_t)>;
+
+/** One attributed coupling stall (a Block..Unblock interval). */
+struct StallRecord
+{
+    std::uint8_t side = 0;
+    std::uint16_t tid = 0;
+    std::int64_t sysNo = -1;  ///< syscall waited at (-1 = barrier)
+    std::int32_t site = -1;
+    std::int64_t cnt = 0;
+    std::uint64_t gate = 0;   ///< wait gate kind (controller enum)
+    std::uint64_t polls = 0;  ///< polls spent while blocked
+    std::int64_t durUs = 0;   ///< wall time blocked
+    bool expired = false;     ///< ended by watchdog, not resolution
+};
+
+/** One thread pair's channel state at the end of the run. */
+struct ChannelSnapshot
+{
+    int tid = 0;
+    std::int64_t cnt[2] = {0, 0};
+    std::int32_t site[2] = {-1, -1};
+    std::uint8_t posKind[2] = {0, 0};
+    std::vector<std::int64_t> cntStack[2];
+    bool threadDone[2] = {false, false};
+    std::size_t queueDepth = 0; ///< unconsumed master outcomes
+};
+
+/** Everything the builder needs; assembled by the engine. */
+struct DivergenceInput
+{
+    const FlightRecorder *recorder = nullptr;
+    SysNameFn sysName;                      ///< may be null
+    std::string outcome;                    ///< "sink-diff", ...
+    std::vector<std::string> mutatedKeys;   ///< pre-tainted sources
+    std::vector<std::string> taintedKeys;   ///< final taint set
+    std::vector<ChannelSnapshot> channels;
+};
+
+/** The structured post-mortem of one non-clean dual run. */
+struct DivergenceReport
+{
+    bool present = false;
+    std::string outcome;
+
+    std::size_t ringCapacity = 0;
+    std::uint64_t totalEvents[2] = {0, 0};
+    std::uint64_t droppedEvents[2] = {0, 0};
+    std::vector<RecEvent> events[2]; ///< oldest-first snapshots
+
+    bool hasFirstDivergence = false;
+    RecEvent firstDivergence{};
+    std::string firstDivergenceSyscall; ///< resolved name ("" none)
+
+    bool hasPeerContext = false;
+    RecEvent peerContext{}; ///< peer event at the same (cnt, site)
+
+    std::vector<StallRecord> stalls; ///< longest first
+
+    std::vector<std::string> mutatedKeys;
+    std::vector<std::string> taintedKeys;
+    std::vector<ChannelSnapshot> channels;
+
+    /** One-line summary ("first divergence: decouple at read ..."). */
+    std::string summary() const;
+
+    /** Multi-section human-readable rendering. */
+    std::string text(const SysNameFn &sysName = nullptr) const;
+
+    /** JSONL: one header object, then one object per event. */
+    void writeJsonl(std::ostream &os,
+                    const SysNameFn &sysName = nullptr) const;
+
+    /** Chrome trace_event JSON with one lane per side. */
+    void writeChromeTrace(std::ostream &os,
+                          const SysNameFn &sysName = nullptr) const;
+};
+
+/** Snapshot, localize, and attribute; see the file comment. */
+DivergenceReport buildDivergenceReport(const DivergenceInput &input);
+
+} // namespace ldx::obs

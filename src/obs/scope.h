@@ -8,6 +8,7 @@
  */
 #pragma once
 
+#include "obs/recorder.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -17,13 +18,25 @@ namespace ldx::obs {
 class Scope
 {
   public:
-    explicit Scope(Registry &registry, TraceSink *sink = nullptr)
-        : registry_(registry), sink_(sink)
+    explicit Scope(Registry &registry, TraceSink *sink = nullptr,
+                   FlightRecorder *recorder = nullptr)
+        : registry_(registry), sink_(sink), recorder_(recorder)
     {}
 
     Registry &registry() const { return registry_; }
     TraceSink *sink() const { return sink_; }
     bool tracing() const { return sink_ != nullptr; }
+
+    /** Flight recorder, or null when event recording is off. */
+    FlightRecorder *recorder() const { return recorder_; }
+
+    /** Record @p evt on @p side's ring when a recorder is attached. */
+    void
+    record(int side, const RecEvent &evt) const
+    {
+        if (recorder_)
+            recorder_->record(side, evt);
+    }
 
     /** Emit @p rec when a sink is attached. */
     void
@@ -36,6 +49,7 @@ class Scope
   private:
     Registry &registry_;
     TraceSink *sink_;
+    FlightRecorder *recorder_;
 };
 
 } // namespace ldx::obs

@@ -38,6 +38,13 @@ Kernel::journalOutput(std::int64_t no, const std::string &channel,
     rec.payload = payload;
     rec.suppressed = suppressOutputs_;
     journal_.push_back(std::move(rec));
+    if (obs_ && obs_->recorder()) {
+        obs::RecEvent evt;
+        evt.kind = obs::RecKind::Output;
+        evt.sysNo = no;
+        evt.arg = obs::fnv1a(payload);
+        obs_->record(obsLane_, evt);
+    }
     if (obs_ && obs_->tracing()) {
         obs::TraceRecord trec;
         trec.name = "output";

@@ -71,16 +71,26 @@ Machine::newContext(int fn, std::vector<std::int64_t> args)
     frame.spAtEntry = ctx->sp;
     ctx->frames.push_back(std::move(frame));
     contexts_.push_back(std::move(ctx));
-    emitObsInstant("thread_start", contexts_.back()->tid,
+    emitObsInstant(obs::RecKind::ThreadStart, "thread_start",
+                   contexts_.back()->tid,
                    module_.function(fn).name());
     return *contexts_.back();
 }
 
 void
-Machine::emitObsInstant(const char *name, int tid,
+Machine::emitObsInstant(obs::RecKind kind, const char *name, int tid,
                         const std::string &detail)
 {
-    if (!obs_ || !obs_->tracing())
+    if (!obs_)
+        return;
+    if (obs_->recorder()) {
+        obs::RecEvent evt;
+        evt.kind = kind;
+        evt.tid = static_cast<std::uint16_t>(tid);
+        evt.arg = detail.empty() ? 0 : obs::fnv1a(detail);
+        obs_->record(obsLane_, evt);
+    }
+    if (!obs_->tracing())
         return;
     obs::TraceRecord rec;
     rec.name = name;
@@ -178,7 +188,8 @@ Machine::step()
                     static_cast<std::size_t>(fr.ip)];
             trap_ = TrapInfo{trap.kind(), trap.what(), ctx.tid,
                              instr.loc};
-            emitObsInstant("trap", ctx.tid, trap_->message);
+            emitObsInstant(obs::RecKind::Trap, "trap", ctx.tid,
+                           trap_->message);
             finished_ = true;
             if (port_)
                 port_->onFinished(*this);
@@ -214,7 +225,7 @@ Machine::settleNoPollable()
     }
     trap_ = TrapInfo{TrapKind::BadSyscall,
                      "guest deadlock: all threads blocked", 0, {}};
-    emitObsInstant("trap", 0, trap_->message);
+    emitObsInstant(obs::RecKind::Trap, "trap", 0, trap_->message);
     finished_ = true;
     if (port_)
         port_->onFinished(*this);
@@ -277,7 +288,8 @@ Machine::stepMany(std::uint64_t budget, std::uint64_t &retired)
                     static_cast<std::size_t>(fr.ip)];
             trap_ = TrapInfo{trap.kind(), trap.what(), ctx.tid,
                              instr.loc};
-            emitObsInstant("trap", ctx.tid, trap_->message);
+            emitObsInstant(obs::RecKind::Trap, "trap", ctx.tid,
+                           trap_->message);
             finished_ = true;
             if (port_)
                 port_->onFinished(*this);
@@ -309,7 +321,7 @@ Machine::run()
             trap_ = TrapInfo{TrapKind::BadSyscall,
                              "stalled without a dual-execution driver",
                              0, {}};
-            emitObsInstant("trap", 0, trap_->message);
+            emitObsInstant(obs::RecKind::Trap, "trap", 0, trap_->message);
             finished_ = true;
             return StepStatus::Trapped;
         }
@@ -814,7 +826,7 @@ Machine::finishContext(Context &ctx, std::int64_t ret_val)
 {
     ctx.state = Context::State::Done;
     ctx.retVal = ret_val;
-    emitObsInstant("thread_done", ctx.tid);
+    emitObsInstant(obs::RecKind::ThreadDone, "thread_done", ctx.tid);
     if (port_)
         port_->onThreadDone(ctx.tid, *this);
     for (auto &other : contexts_) {

@@ -239,8 +239,8 @@ class Machine
 
     std::int64_t makeToken(int fn, int block, int ip) const;
 
-    /** Emit an instant event onto this machine's lane (null-safe). */
-    void emitObsInstant(const char *name, int tid,
+    /** Record + trace an instant on this machine's lane (null-safe). */
+    void emitObsInstant(obs::RecKind kind, const char *name, int tid,
                         const std::string &detail = std::string());
 
     const ir::Module &module_;

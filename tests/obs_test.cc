@@ -360,5 +360,179 @@ TEST(EngineObsTest, ChromeTraceHasPerSideLanes)
     EXPECT_NE(out.find("\"copy\""), std::string::npos);
 }
 
+// ------------------------------------------- flight-recorder rings
+
+TEST(FlightRecorderTest, RecordsBelowCapacityWithoutDrops)
+{
+    obs::FlightRecorder rec(16);
+    for (int i = 0; i < 10; ++i) {
+        obs::RecEvent e;
+        e.kind = obs::RecKind::SyscallExecute;
+        e.cnt = i;
+        rec.record(0, e);
+    }
+    EXPECT_EQ(rec.total(0), 10u);
+    EXPECT_EQ(rec.dropped(0), 0u);
+    EXPECT_EQ(rec.total(1), 0u); // sides are independent
+    auto snap = rec.snapshot(0);
+    ASSERT_EQ(snap.size(), 10u);
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].cnt, static_cast<std::int64_t>(i));
+        EXPECT_EQ(snap[i].seq, i);
+        EXPECT_EQ(snap[i].side, 0);
+    }
+}
+
+TEST(FlightRecorderTest, WraparoundDropsOldestFirst)
+{
+    constexpr std::size_t kCap = 8;
+    constexpr std::uint64_t kTotal = 21;
+    obs::FlightRecorder rec(kCap);
+    for (std::uint64_t i = 0; i < kTotal; ++i) {
+        obs::RecEvent e;
+        e.kind = obs::RecKind::SyscallCopy;
+        e.cnt = static_cast<std::int64_t>(i);
+        rec.record(1, e);
+    }
+    // Exact drop accounting: everything past the capacity is lost.
+    EXPECT_EQ(rec.total(1), kTotal);
+    EXPECT_EQ(rec.dropped(1), kTotal - kCap);
+    auto snap = rec.snapshot(1);
+    ASSERT_EQ(snap.size(), kCap);
+    // Survivors are the newest kCap events, returned oldest-first.
+    for (std::size_t i = 0; i < kCap; ++i) {
+        EXPECT_EQ(snap[i].seq, kTotal - kCap + i);
+        EXPECT_EQ(snap[i].cnt,
+                  static_cast<std::int64_t>(kTotal - kCap + i));
+    }
+}
+
+TEST(FlightRecorderTest, SequenceAndTimestampAreMonotonic)
+{
+    obs::FlightRecorder rec(4);
+    for (int i = 0; i < 9; ++i)
+        rec.record(0, obs::RecEvent{});
+    auto snap = rec.snapshot(0);
+    ASSERT_EQ(snap.size(), 4u);
+    for (std::size_t i = 1; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].seq, snap[i - 1].seq + 1);
+        EXPECT_GE(snap[i].tsUs, snap[i - 1].tsUs);
+    }
+}
+
+TEST(FlightRecorderTest, ZeroCapacityClampsToOne)
+{
+    obs::FlightRecorder rec(0);
+    EXPECT_EQ(rec.capacity(), 1u);
+    rec.record(0, obs::RecEvent{});
+    rec.record(0, obs::RecEvent{});
+    EXPECT_EQ(rec.total(0), 2u);
+    EXPECT_EQ(rec.dropped(0), 1u);
+    EXPECT_EQ(rec.snapshot(0).size(), 1u);
+}
+
+TEST(FlightRecorderTest, DivergentKindClassification)
+{
+    EXPECT_TRUE(obs::recKindDivergent(obs::RecKind::SyscallDecouple));
+    EXPECT_TRUE(obs::recKindDivergent(obs::RecKind::SinkDiff));
+    EXPECT_TRUE(obs::recKindDivergent(obs::RecKind::SinkVanish));
+    EXPECT_TRUE(obs::recKindDivergent(obs::RecKind::BarrierSkip));
+    EXPECT_TRUE(obs::recKindDivergent(obs::RecKind::LockDiverge));
+    EXPECT_TRUE(obs::recKindDivergent(obs::RecKind::Trap));
+    EXPECT_TRUE(obs::recKindDivergent(obs::RecKind::WatchdogExpire));
+    EXPECT_FALSE(obs::recKindDivergent(obs::RecKind::SyscallExecute));
+    EXPECT_FALSE(obs::recKindDivergent(obs::RecKind::SyscallCopy));
+    EXPECT_FALSE(obs::recKindDivergent(obs::RecKind::SinkAligned));
+    EXPECT_FALSE(obs::recKindDivergent(obs::RecKind::Mutation));
+    EXPECT_FALSE(obs::recKindDivergent(obs::RecKind::Block));
+}
+
+TEST(FlightRecorderTest, DualRunPublishesDropAccounting)
+{
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("SECRET")};
+    cfg.recorderCapacity = 2; // force overflow on any real run
+    auto res = dualRun(cfg);
+    ASSERT_TRUE(res.divergence.present);
+    EXPECT_GT(res.metrics.counterOr("recorder.dropped"), 0u);
+    EXPECT_EQ(res.metrics.counterOr("recorder.dropped"),
+              res.divergence.droppedEvents[0] +
+                  res.divergence.droppedEvents[1]);
+    EXPECT_EQ(res.divergence.events[0].size(), 2u);
+    EXPECT_EQ(res.divergence.events[1].size(), 2u);
+}
+
+// -------------------------------------- --metrics=json stable schema
+
+/** `"key":` present with a value of the expected JSON type. */
+void
+expectJsonKey(const std::string &json, const std::string &key,
+              const char *type)
+{
+    std::size_t pos = json.find("\"" + key + "\":");
+    ASSERT_NE(pos, std::string::npos) << key << " missing\n" << json;
+    char c = json[pos + key.size() + 3];
+    std::string t = type;
+    if (t == "bool")
+        EXPECT_TRUE(c == 't' || c == 'f') << key;
+    else if (t == "number")
+        EXPECT_TRUE((c >= '0' && c <= '9') || c == '-') << key;
+    else if (t == "string")
+        EXPECT_EQ(c, '"') << key;
+    else if (t == "array")
+        EXPECT_EQ(c, '[') << key;
+    else if (t == "object")
+        EXPECT_EQ(c, '{') << key;
+}
+
+TEST(ResultJsonTest, StableTopLevelSchema)
+{
+    EngineConfig cfg;
+    cfg.sources = {SourceSpec::env("SECRET")};
+    auto res = dualRun(cfg);
+    std::string json = core::resultJson(res, res.phases);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    expectJsonKey(json, "causality", "bool");
+    expectJsonKey(json, "wall_seconds", "number");
+    expectJsonKey(json, "findings", "array");
+    expectJsonKey(json, "divergence", "object");
+    expectJsonKey(json, "present", "bool");
+    expectJsonKey(json, "outcome", "string");
+    expectJsonKey(json, "summary", "string");
+    expectJsonKey(json, "dropped", "number");
+    expectJsonKey(json, "phases", "array");
+    expectJsonKey(json, "metrics", "object");
+}
+
+TEST(ResultJsonTest, SchemaHoldsOnCleanRunToo)
+{
+    // No mutated sources: divergence.present=false, but every key is
+    // still there — consumers never need to branch on key presence.
+    auto res = dualRun({});
+    std::string json = core::resultJson(res, res.phases);
+    expectJsonKey(json, "causality", "bool");
+    expectJsonKey(json, "divergence", "object");
+    expectJsonKey(json, "present", "bool");
+    expectJsonKey(json, "outcome", "string");
+    expectJsonKey(json, "summary", "string");
+    expectJsonKey(json, "dropped", "number");
+    EXPECT_NE(json.find("\"present\":false"), std::string::npos);
+}
+
+TEST(ResultJsonTest, PhasesJsonShapesEachSample)
+{
+    obs::PhaseSample s;
+    s.name = "dual-run";
+    s.depth = 1;
+    s.startUs = 42;
+    s.seconds = 0.25;
+    std::string json = core::phasesJson({s});
+    EXPECT_NE(json.find("\"name\":\"dual-run\""), std::string::npos);
+    EXPECT_NE(json.find("\"depth\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"start_us\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"seconds\":0.25"), std::string::npos);
+}
+
 } // namespace
 } // namespace ldx

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Flight-recorder and divergence-forensics tests.
+ *
+ * The load-bearing property is localization: for every workload in the
+ * vulnerable program set, the DivergenceReport's first diverging event
+ * must be the slave's decouple at the exact syscall where the mutated
+ * resource enters the program (the injection point) — "open" for the
+ * file-input attacks, "connect" for the outbound-peer attack, "recv"
+ * for the inbound-request attacks. A report that points anywhere else
+ * (e.g. at the downstream trap) is forensically useless.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "ldx/engine.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
+#include "os/sysno.h"
+#include "workloads/workloads.h"
+
+namespace ldx {
+namespace {
+
+using core::DualEngine;
+using core::DualResult;
+using core::EngineConfig;
+using workloads::Workload;
+
+DualResult
+runWorkload(const std::string &name, bool threaded = false,
+            bool recorder = true, std::size_t capacity =
+                obs::FlightRecorder::kDefaultCapacity)
+{
+    const Workload *w = workloads::findWorkload(name);
+    EXPECT_NE(w, nullptr) << name;
+    EngineConfig cfg;
+    cfg.sinks = w->sinks;
+    cfg.sources = w->sources;
+    cfg.threaded = threaded;
+    cfg.flightRecorder = recorder;
+    cfg.recorderCapacity = capacity;
+    DualEngine engine(workloads::workloadModule(*w, true),
+                      w->world(w->defaultScale), cfg);
+    return engine.run();
+}
+
+// ---------------------------------------------------------------------
+// Localization: first divergence == known injection point, for every
+// vulnerable workload (ISSUE 3 acceptance criterion).
+// ---------------------------------------------------------------------
+
+struct InjectionPoint
+{
+    const char *workload;
+    const char *syscall; ///< where the tainted resource is first read
+};
+
+class DivergenceLocalization
+    : public ::testing::TestWithParam<InjectionPoint>
+{
+};
+
+TEST_P(DivergenceLocalization, FirstDivergenceAtInjectionPoint)
+{
+    const InjectionPoint &p = GetParam();
+    DualResult res = runWorkload(p.workload);
+    ASSERT_TRUE(res.causality()) << p.workload;
+    ASSERT_TRUE(res.divergence.present);
+    ASSERT_TRUE(res.divergence.hasFirstDivergence);
+    EXPECT_EQ(res.divergence.firstDivergence.kind,
+              obs::RecKind::SyscallDecouple)
+        << obs::recKindName(res.divergence.firstDivergence.kind);
+    EXPECT_EQ(res.divergence.firstDivergenceSyscall, p.syscall)
+        << res.divergence.summary();
+    // The decouple is on the slave (the mutated side).
+    EXPECT_EQ(res.divergence.firstDivergence.side, 1);
+}
+
+TEST_P(DivergenceLocalization, ThreadedDriverAgrees)
+{
+    const InjectionPoint &p = GetParam();
+    DualResult res = runWorkload(p.workload, /*threaded=*/true);
+    ASSERT_TRUE(res.divergence.present);
+    ASSERT_TRUE(res.divergence.hasFirstDivergence);
+    EXPECT_EQ(res.divergence.firstDivergence.kind,
+              obs::RecKind::SyscallDecouple);
+    EXPECT_EQ(res.divergence.firstDivergenceSyscall, p.syscall);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vuln, DivergenceLocalization,
+    ::testing::Values(InjectionPoint{"gif2png", "open"},
+                      InjectionPoint{"mp3info", "open"},
+                      InjectionPoint{"gzip-alloc", "open"},
+                      InjectionPoint{"prozilla", "connect"},
+                      InjectionPoint{"yopsweb", "recv"},
+                      InjectionPoint{"ngircd", "recv"}),
+    [](const ::testing::TestParamInfo<InjectionPoint> &info) {
+        std::string n = info.param.workload;
+        for (char &c : n)
+            if (c == '-' || c == '.')
+                c = '_';
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// Report contents.
+// ---------------------------------------------------------------------
+
+TEST(DivergenceReportTest, CarriesMutatedAndTaintedKeys)
+{
+    DualResult res = runWorkload("gif2png");
+    ASSERT_TRUE(res.divergence.present);
+    ASSERT_EQ(res.divergence.mutatedKeys.size(), 1u);
+    EXPECT_EQ(res.divergence.mutatedKeys[0], "path:/input.gif");
+    EXPECT_FALSE(res.divergence.taintedKeys.empty());
+    EXPECT_FALSE(res.divergence.channels.empty());
+    EXPECT_EQ(res.divergence.ringCapacity,
+              obs::FlightRecorder::kDefaultCapacity);
+}
+
+TEST(DivergenceReportTest, PeerContextIsMasterAtSamePosition)
+{
+    DualResult res = runWorkload("gif2png");
+    ASSERT_TRUE(res.divergence.hasPeerContext);
+    const obs::RecEvent &d = res.divergence.firstDivergence;
+    const obs::RecEvent &ctx = res.divergence.peerContext;
+    EXPECT_EQ(ctx.side, 0);
+    // The master executed the same syscall at the same position; the
+    // decouple is purely taint-driven (the arg signatures match).
+    EXPECT_EQ(ctx.kind, obs::RecKind::SyscallExecute);
+    EXPECT_EQ(ctx.cnt, d.cnt);
+    EXPECT_EQ(ctx.site, d.site);
+    EXPECT_EQ(ctx.arg, d.arg);
+}
+
+TEST(DivergenceReportTest, SlaveTimelineStartsWithMutation)
+{
+    DualResult res = runWorkload("mp3info");
+    ASSERT_TRUE(res.divergence.present);
+    const auto &slave = res.divergence.events[1];
+    ASSERT_FALSE(slave.empty());
+    EXPECT_EQ(slave.front().kind, obs::RecKind::Mutation);
+    EXPECT_EQ(slave.front().arg, obs::fnv1a("path:/song.mp3"));
+}
+
+TEST(DivergenceReportTest, RecorderOffMeansNoReport)
+{
+    DualResult res = runWorkload("gif2png", false, /*recorder=*/false);
+    EXPECT_TRUE(res.causality()); // the verdict is unaffected
+    EXPECT_FALSE(res.divergence.present);
+    EXPECT_EQ(res.metrics.counterOr("recorder.events.master", 0), 0u);
+    EXPECT_EQ(res.metrics.counterOr("recorder.events.slave", 0), 0u);
+}
+
+TEST(DivergenceReportTest, RecorderCountersPublished)
+{
+    DualResult res = runWorkload("gif2png");
+    EXPECT_GT(res.metrics.counterOr("recorder.events.master", 0), 0u);
+    EXPECT_GT(res.metrics.counterOr("recorder.events.slave", 0), 0u);
+    EXPECT_EQ(res.metrics.counterOr("recorder.dropped", 1), 0u);
+    EXPECT_EQ(res.metrics.counterOr("recorder.events.master", 0),
+              res.divergence.totalEvents[0]);
+    EXPECT_EQ(res.metrics.counterOr("recorder.events.slave", 0),
+              res.divergence.totalEvents[1]);
+}
+
+TEST(DivergenceReportTest, TinyRingStillLocalizes)
+{
+    // With a 4-event ring almost everything is dropped, yet the
+    // decouple events are the newest history, so the injection point
+    // survives for the file workloads (mutation + 3 decouples + trap
+    // push the open decouple out only on deeper programs; capacity 8
+    // keeps it for gif2png: mutation, thread-start, 3 decouples,
+    // trap, thread-done = 7 slave events).
+    DualResult res = runWorkload("gif2png", false, true, 8);
+    ASSERT_TRUE(res.divergence.present);
+    EXPECT_EQ(res.divergence.ringCapacity, 8u);
+    ASSERT_TRUE(res.divergence.hasFirstDivergence);
+    EXPECT_EQ(res.divergence.firstDivergenceSyscall, "open");
+}
+
+// ---------------------------------------------------------------------
+// Renderers.
+// ---------------------------------------------------------------------
+
+TEST(DivergenceRenderTest, SummaryNamesKindAndSyscall)
+{
+    DualResult res = runWorkload("prozilla");
+    std::string s = res.divergence.summary();
+    EXPECT_NE(s.find("decouple"), std::string::npos) << s;
+    EXPECT_NE(s.find("connect"), std::string::npos) << s;
+}
+
+TEST(DivergenceRenderTest, TextHasAllSections)
+{
+    DualResult res = runWorkload("gif2png");
+    std::string txt =
+        res.divergence.text([](std::int64_t no) { return os::sysName(no); });
+    EXPECT_NE(txt.find("== divergence report =="), std::string::npos);
+    EXPECT_NE(txt.find("mutated sources:"), std::string::npos);
+    EXPECT_NE(txt.find("first divergence:"), std::string::npos);
+    EXPECT_NE(txt.find("peer context:"), std::string::npos);
+    EXPECT_NE(txt.find("final channel state:"), std::string::npos);
+    EXPECT_NE(txt.find("tainted resources:"), std::string::npos);
+    EXPECT_NE(txt.find("timeline ("), std::string::npos);
+    EXPECT_NE(txt.find("decouple open"), std::string::npos) << txt;
+}
+
+TEST(DivergenceRenderTest, JsonlHeaderThenOneEventPerLine)
+{
+    DualResult res = runWorkload("gif2png");
+    std::ostringstream os;
+    res.divergence.writeJsonl(
+        os, [](std::int64_t no) { return os::sysName(no); });
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("\"type\":\"divergence-report\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"first_divergence\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"sys_name\":\"open\""), std::string::npos);
+    std::size_t events = 0;
+    while (std::getline(in, line)) {
+        EXPECT_NE(line.find("\"type\":\"event\""), std::string::npos);
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        ++events;
+    }
+    EXPECT_EQ(events, res.divergence.events[0].size() +
+                          res.divergence.events[1].size());
+}
+
+TEST(DivergenceRenderTest, ChromeTraceIsBracketedJsonArray)
+{
+    DualResult res = runWorkload("gif2png");
+    std::ostringstream os;
+    res.divergence.writeChromeTrace(
+        os, [](std::int64_t no) { return os::sysName(no); });
+    std::string out = os.str();
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out[out.find_last_not_of('\n')], ']');
+    EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(out.find("\"decouple:open\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Clean runs: the recorder is on, the report is absent.
+// ---------------------------------------------------------------------
+
+TEST(DivergenceReportTest, CleanRunHasNoReport)
+{
+    const Workload *w = workloads::findWorkload("401.bzip2");
+    ASSERT_NE(w, nullptr);
+    EngineConfig cfg;
+    cfg.sinks = w->sinks;
+    // No mutated sources: master and slave stay fully aligned.
+    DualEngine engine(workloads::workloadModule(*w, true),
+                      w->world(w->defaultScale), cfg);
+    DualResult res = engine.run();
+    EXPECT_FALSE(res.causality());
+    EXPECT_FALSE(res.divergence.present);
+    // The recorder itself still ran.
+    EXPECT_GT(res.metrics.counterOr("recorder.events.master", 0), 0u);
+}
+
+} // namespace
+} // namespace ldx

@@ -8,6 +8,9 @@
  *   ldx dump <prog.mc> [options]      print the (instrumented) IR
  *   ldx corpus                        list the built-in workloads
  *   ldx bench <workload-name>         dual-execute a built-in workload
+ *   ldx explain <workload|prog.mc>    dual-execute with the flight
+ *                                     recorder and print the
+ *                                     divergence forensics report
  *
  * Options:
  *   --env K=V            environment variable (repeatable)
@@ -33,6 +36,11 @@
  *                        object on stdout         (dual/bench)
  *   --trace-out FILE     write a structured trace (dual/bench)
  *   --trace-format F     jsonl | chrome (default jsonl)
+ *   --flight-recorder[=N]  keep N events/side in the flight recorder
+ *                        (default on, 8192)      (dual/bench/explain)
+ *   --no-flight-recorder disable the flight recorder (dual/bench)
+ *   --explain-format F   text | jsonl | chrome (default text)
+ *   --explain-out FILE   write the explain report to FILE  (explain)
  *   --no-instrument      skip the counter pass           (dump)
  */
 #include <fstream>
@@ -51,6 +59,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "os/kernel.h"
+#include "os/sysno.h"
 #include "support/diag.h"
 #include "support/strings.h"
 #include "taint/tracker.h"
@@ -79,6 +88,10 @@ struct CliOptions
     bool metricsJson = false;
     std::string traceOut;
     std::string traceFormat = "jsonl";
+    bool flightRecorder = true;
+    std::size_t recorderCapacity = obs::FlightRecorder::kDefaultCapacity;
+    std::string explainFormat = "text";
+    std::string explainOut;
 };
 
 [[noreturn]] void
@@ -89,6 +102,7 @@ usage(const std::string &error = "")
     std::cerr <<
         "usage: ldx <run|dual|taint|dump> <prog.mc> [options]\n"
         "       ldx corpus | ldx bench <workload>\n"
+        "       ldx explain <workload|prog.mc> [options]\n"
         "see the file header of tools/ldx_cli.cc for options\n";
     std::exit(2);
 }
@@ -123,7 +137,7 @@ parseArgs(int argc, char **argv)
     int i = 2;
     if (opt.command == "run" || opt.command == "dual" ||
         opt.command == "taint" || opt.command == "dump" ||
-        opt.command == "bench") {
+        opt.command == "bench" || opt.command == "explain") {
         if (argc < 3)
             usage(opt.command + " needs an argument");
         opt.program = argv[2];
@@ -226,6 +240,26 @@ parseArgs(int argc, char **argv)
             if (opt.traceFormat != "jsonl" && opt.traceFormat != "chrome")
                 usage("unknown trace format " + opt.traceFormat +
                       " (expected jsonl or chrome)");
+        } else if (arg == "--flight-recorder") {
+            opt.flightRecorder = true;
+        } else if (startsWith(arg, "--flight-recorder=")) {
+            opt.flightRecorder = true;
+            std::string n = arg.substr(sizeof("--flight-recorder=") - 1);
+            std::size_t cap = std::stoul(n);
+            if (!cap)
+                usage("--flight-recorder capacity must be > 0");
+            opt.recorderCapacity = cap;
+        } else if (arg == "--no-flight-recorder") {
+            opt.flightRecorder = false;
+        } else if (arg == "--explain-format") {
+            opt.explainFormat = next("--explain-format");
+            if (opt.explainFormat != "text" &&
+                opt.explainFormat != "jsonl" &&
+                opt.explainFormat != "chrome")
+                usage("unknown explain format " + opt.explainFormat +
+                      " (expected text, jsonl or chrome)");
+        } else if (arg == "--explain-out") {
+            opt.explainOut = next("--explain-out");
         } else if (arg == "--no-instrument") {
             opt.instrument = false;
         } else {
@@ -275,44 +309,11 @@ openTraceSink(const CliOptions &opt, std::ofstream &file)
     return sink;
 }
 
+/** Syscall-number resolver handed to the divergence renderers. */
 std::string
-phasesJson(const std::vector<obs::PhaseSample> &phases)
+resolveSysName(std::int64_t no)
 {
-    std::string out = "[";
-    for (std::size_t i = 0; i < phases.size(); ++i) {
-        if (i)
-            out += ',';
-        out += "{\"name\":" + obs::jsonString(phases[i].name);
-        out += ",\"depth\":" + std::to_string(phases[i].depth);
-        out += ",\"start_us\":" + std::to_string(phases[i].startUs);
-        out += ",\"seconds\":" + obs::jsonNumber(phases[i].seconds);
-        out += '}';
-    }
-    out += ']';
-    return out;
-}
-
-/**
- * One machine-readable object for --metrics=json: verdict, findings,
- * phase timings (front end + engine), and the full metrics snapshot.
- */
-std::string
-resultJson(const core::DualResult &res,
-           const std::vector<obs::PhaseSample> &phases)
-{
-    std::string out = "{\"causality\":";
-    out += res.causality() ? "true" : "false";
-    out += ",\"wall_seconds\":" + obs::jsonNumber(res.wallSeconds);
-    out += ",\"findings\":[";
-    for (std::size_t i = 0; i < res.findings.size(); ++i) {
-        if (i)
-            out += ',';
-        out += obs::jsonString(res.findings[i].describe());
-    }
-    out += "],\"phases\":" + phasesJson(phases);
-    out += ",\"metrics\":" + res.metrics.toJson();
-    out += '}';
-    return out;
+    return os::sysName(no);
 }
 
 void
@@ -368,6 +369,8 @@ cmdDual(const CliOptions &opt)
     cfg.threaded = opt.threaded;
     cfg.driver = opt.driver;
     cfg.recordTrace = opt.traceAlignment;
+    cfg.flightRecorder = opt.flightRecorder;
+    cfg.recorderCapacity = opt.recorderCapacity;
     cfg.registry = &registry;
     cfg.traceSink = sink.get();
     core::DualEngine engine(*module, opt.world, cfg);
@@ -403,8 +406,11 @@ cmdDual(const CliOptions &opt)
     } else {
         out << "no causality between the sources and any sink\n";
     }
+    if (res.divergence.present)
+        out << "divergence: " << res.divergence.summary()
+            << " (run 'ldx explain' for the full report)\n";
     if (opt.metricsJson)
-        std::cout << resultJson(res, phases) << "\n";
+        std::cout << core::resultJson(res, phases) << "\n";
     else if (opt.metrics)
         printMetricsText(std::cout, res, phases);
     return res.causality() ? 1 : 0;
@@ -475,6 +481,8 @@ cmdBench(const CliOptions &opt)
     cfg.sources = w->sources;
     cfg.threaded = opt.threaded;
     cfg.driver = opt.driver;
+    cfg.flightRecorder = opt.flightRecorder;
+    cfg.recorderCapacity = opt.recorderCapacity;
     cfg.registry = &registry;
     cfg.traceSink = sink.get();
     core::DualEngine engine(workloads::workloadModule(*w, true),
@@ -490,10 +498,85 @@ cmdBench(const CliOptions &opt)
         << " finding(s))\n";
     for (const core::Finding &f : res.findings)
         out << "  " << f.describe() << "\n";
+    if (res.divergence.present)
+        out << "divergence: " << res.divergence.summary()
+            << " (run 'ldx explain' for the full report)\n";
     if (opt.metricsJson)
-        std::cout << resultJson(res, res.phases) << "\n";
+        std::cout << core::resultJson(res, res.phases) << "\n";
     else if (opt.metrics)
         printMetricsText(std::cout, res, res.phases);
+    return 0;
+}
+
+/**
+ * Dual-execute with the flight recorder forced on and render the
+ * DivergenceReport. The argument is a built-in workload name (its
+ * attack mutation and sinks apply) or a .mc source file (combine with
+ * --source-* / --sinks as for `ldx dual`).
+ */
+int
+cmdExplain(const CliOptions &opt)
+{
+    obs::Registry registry;
+    core::EngineConfig cfg;
+    cfg.threaded = opt.threaded;
+    cfg.driver = opt.driver;
+    cfg.flightRecorder = true;
+    cfg.recorderCapacity = opt.recorderCapacity;
+    cfg.registry = &registry;
+
+    std::unique_ptr<ir::Module> owned;
+    const ir::Module *module = nullptr;
+    os::WorldSpec world;
+    const workloads::Workload *w = workloads::findWorkload(opt.program);
+    if (w) {
+        cfg.sinks = w->sinks;
+        cfg.sources = w->sources;
+        module = &workloads::workloadModule(*w, true);
+        world = w->world(w->defaultScale);
+    } else {
+        cfg.sinks = opt.sinks;
+        cfg.sources = opt.sources;
+        cfg.strategy = opt.strategy;
+        owned = compileProgram(opt, true);
+        module = owned.get();
+        world = opt.world;
+    }
+
+    core::DualEngine engine(*module, world, cfg);
+    core::DualResult res = engine.run();
+
+    std::ofstream out_file;
+    std::ostream *os = &std::cout;
+    if (!opt.explainOut.empty()) {
+        out_file.open(opt.explainOut, std::ios::binary);
+        if (!out_file)
+            usage("cannot write " + opt.explainOut);
+        os = &out_file;
+    }
+
+    if (!res.divergence.present) {
+        // A clean run has no forensics to explain; still emit a valid
+        // document so scripted consumers never see an empty file.
+        if (opt.explainFormat == "text")
+            *os << "clean dual execution: no divergence to explain\n";
+        else if (opt.explainFormat == "jsonl")
+            *os << "{\"type\":\"divergence-report\",\"present\":false}"
+                << "\n";
+        else
+            *os << "[]\n";
+        return 0;
+    }
+
+    if (opt.explainFormat == "text")
+        *os << res.divergence.text(resolveSysName);
+    else if (opt.explainFormat == "jsonl")
+        res.divergence.writeJsonl(*os, resolveSysName);
+    else
+        res.divergence.writeChromeTrace(*os, resolveSysName);
+    if (!opt.explainOut.empty())
+        std::cerr << "[ldx] explain report written to " << opt.explainOut
+                  << "\n";
     return 0;
 }
 
@@ -516,6 +599,8 @@ main(int argc, char **argv)
             return cmdCorpus();
         if (opt.command == "bench")
             return cmdBench(opt);
+        if (opt.command == "explain")
+            return cmdExplain(opt);
         usage();
     } catch (const ldx::FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
