@@ -1,0 +1,803 @@
+#include "fuzz/generator.h"
+
+namespace ldx::fuzz {
+
+// ---------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+renderStmt(const GenStmt &s, const std::string &indent,
+           const std::set<int> &removed, const std::set<int> &unwrapped,
+           std::string &out)
+{
+    if (removed.count(s.id))
+        return;
+    if (!s.isBlock()) {
+        out += indent + s.head + "\n";
+        return;
+    }
+    if (unwrapped.count(s.id)) {
+        // Flatten: children at the parent's indentation, no braces.
+        for (const GenStmt &c : s.body)
+            renderStmt(c, indent, removed, unwrapped, out);
+        for (const GenStmt &c : s.elseBody)
+            renderStmt(c, indent, removed, unwrapped, out);
+        return;
+    }
+    out += indent + s.head + "\n";
+    for (const GenStmt &c : s.body)
+        renderStmt(c, indent + "    ", removed, unwrapped, out);
+    if (s.hasElse) {
+        out += indent + "} else {\n";
+        for (const GenStmt &c : s.elseBody)
+            renderStmt(c, indent + "    ", removed, unwrapped, out);
+    }
+    out += indent + s.tail + "\n";
+}
+
+void
+walkAlive(const GenStmt &s, const std::set<int> &removed,
+          bool removableOnly, bool blocksOnly, std::vector<int> &out)
+{
+    if (removed.count(s.id))
+        return;
+    bool report = blocksOnly ? (s.isBlock() && s.removable)
+                             : (s.removable && !removableOnly) ||
+                                   (removableOnly && s.removable);
+    if (blocksOnly) {
+        if (s.isBlock() && s.removable)
+            out.push_back(s.id);
+    } else if (report) {
+        out.push_back(s.id);
+    }
+    for (const GenStmt &c : s.body)
+        walkAlive(c, removed, removableOnly, blocksOnly, out);
+    for (const GenStmt &c : s.elseBody)
+        walkAlive(c, removed, removableOnly, blocksOnly, out);
+}
+
+int
+assignIds(GenStmt &s, int next)
+{
+    s.id = next++;
+    for (GenStmt &c : s.body)
+        next = assignIds(c, next);
+    for (GenStmt &c : s.elseBody)
+        next = assignIds(c, next);
+    return next;
+}
+
+} // namespace
+
+std::string
+GenProgram::render() const
+{
+    return render({}, {});
+}
+
+std::string
+GenProgram::render(const std::set<int> &removed,
+                   const std::set<int> &unwrapped) const
+{
+    std::string out;
+    for (const std::string &g : globals)
+        out += g + "\n";
+    out += "\n";
+    for (const GenFunction &f : functions) {
+        if (removed.count(f.id))
+            continue;
+        out += f.open + "\n";
+        for (const GenStmt &s : f.body)
+            renderStmt(s, "    ", removed, unwrapped, out);
+        out += "}\n\n";
+    }
+    return out;
+}
+
+std::vector<int>
+GenProgram::aliveRemovable(const std::set<int> &removed,
+                           const std::set<int> &) const
+{
+    std::vector<int> out;
+    for (const GenFunction &f : functions) {
+        if (removed.count(f.id))
+            continue;
+        if (f.removable)
+            out.push_back(f.id);
+        for (const GenStmt &s : f.body)
+            walkAlive(s, removed, /*removableOnly=*/true,
+                      /*blocksOnly=*/false, out);
+    }
+    return out;
+}
+
+std::vector<int>
+GenProgram::aliveBlocks(const std::set<int> &removed,
+                        const std::set<int> &unwrapped) const
+{
+    std::vector<int> out;
+    for (const GenFunction &f : functions) {
+        if (removed.count(f.id))
+            continue;
+        for (const GenStmt &s : f.body)
+            walkAlive(s, removed, /*removableOnly=*/false,
+                      /*blocksOnly=*/true, out);
+    }
+    std::vector<int> fresh;
+    for (int id : out) {
+        if (!unwrapped.count(id))
+            fresh.push_back(id);
+    }
+    return fresh;
+}
+
+// ---------------------------------------------------------------------
+// Generation.
+// ---------------------------------------------------------------------
+
+ProgramGenerator::ProgramGenerator(std::uint64_t seed, GenOptions opt)
+    : prng_(seed), opt_(opt)
+{}
+
+os::WorldSpec
+ProgramGenerator::worldFor(std::uint64_t seed)
+{
+    os::WorldSpec w;
+    Prng prng(seed * 77 + 5);
+    std::string input;
+    for (int i = 0; i < 48; ++i)
+        input += static_cast<char>(1 + prng.below(120));
+    w.files["/input.txt"] = input;
+    w.files["/data.bin"] = "0123456789abcdef";
+    std::string ev;
+    for (int i = 0; i < 8; ++i)
+        ev += static_cast<char>('A' + prng.below(26));
+    w.env["FUZZ"] = ev;
+    w.peers["sink.example.com"] = {};
+    os::PeerScript feed;
+    for (int r = 0; r < 3; ++r) {
+        std::string resp;
+        int len = 4 + static_cast<int>(prng.below(8));
+        for (int i = 0; i < len; ++i)
+            resp += static_cast<char>('a' + prng.below(26));
+        feed.responses.push_back(resp);
+    }
+    w.peers["feed.example.com"] = feed;
+    return w;
+}
+
+std::string
+ProgramGenerator::generate()
+{
+    return generateProgram().render();
+}
+
+GenProgram
+ProgramGenerator::generateProgram()
+{
+    var_ = 0;
+    threadUnits_ = 0;
+    usesThreads_ = false;
+
+    GenProgram prog;
+    prog.globals = {
+        "char inputv[64];",
+        "int acc;",
+        "int arr[16];",
+        "char scratch[32];",
+        "int shared0;",
+        "int shared1;",
+    };
+
+    numWorkers_ = opt_.wThreads > 0 && opt_.maxThreadUnits > 0
+                      ? 1 + static_cast<int>(prng_.below(2))
+                      : 0;
+    numHelpers_ =
+        1 + static_cast<int>(
+                prng_.below(static_cast<std::uint64_t>(
+                    opt_.maxHelpers > 0 ? opt_.maxHelpers : 1)));
+
+    for (int w = 0; w < numWorkers_; ++w)
+        prog.functions.push_back(makeWorker(w));
+    if (opt_.wRecursion > 0) {
+        prog.functions.push_back(makeRec(1));
+        prog.functions.push_back(makeRec(2));
+    }
+    for (int h = 0; h < numHelpers_; ++h)
+        prog.functions.push_back(makeHelper(h));
+    prog.functions.push_back(makeMain());
+
+    prog.usesThreads = usesThreads_;
+
+    int next = 0;
+    for (GenFunction &f : prog.functions) {
+        f.id = next++;
+        for (GenStmt &s : f.body)
+            next = assignIds(s, next);
+    }
+    prog.numNodes = next;
+    return prog;
+}
+
+// -- expressions ------------------------------------------------------
+
+std::string
+ProgramGenerator::atom()
+{
+    switch (prng_.below(usesThreads_ ? 6 : 5)) {
+      case 0:
+        return "acc";
+      case 1:
+        return std::to_string(prng_.below(100));
+      case 2:
+        return "inputv[" + std::to_string(prng_.below(48)) + "]";
+      case 3:
+        return "arr[" + std::to_string(prng_.below(16)) + "]";
+      case 4:
+        return "acc";
+      default:
+        return prng_.chance(1, 2) ? "shared0" : "shared1";
+    }
+}
+
+std::string
+ProgramGenerator::expr(int depth)
+{
+    if (depth >= 2 || prng_.chance(2, 5))
+        return atom();
+    std::string a = expr(depth + 1);
+    switch (prng_.below(7)) {
+      case 0:
+        return "(" + a + " + " + expr(depth + 1) + ")";
+      case 1:
+        return "(" + a + " ^ " + expr(depth + 1) + ")";
+      case 2:
+        return "(" + a + " - " + expr(depth + 1) + ")";
+      case 3:
+        return "(" + a + " * " + std::to_string(1 + prng_.below(5)) +
+               ")";
+      case 4:
+        return "(" + a + " % " + std::to_string(2 + prng_.below(96)) +
+               ")";
+      case 5:
+        return "(" + a + " >> " + std::to_string(1 + prng_.below(4)) +
+               ")";
+      default:
+        return "(" + a + " & " + std::to_string(1 + prng_.below(255)) +
+               ")";
+    }
+}
+
+std::string
+ProgramGenerator::cond()
+{
+    switch (prng_.below(4)) {
+      case 0:
+        return "((" + expr() + ") & 1) == 0";
+      case 1:
+        return "(" + expr() + ") % " +
+               std::to_string(2 + prng_.below(5)) + " == " +
+               std::to_string(prng_.below(2));
+      case 2:
+        return "inputv[" + std::to_string(prng_.below(48)) + "] > " +
+               std::to_string(40 + prng_.below(60));
+      default:
+        return "(" + expr() + ") < (" + expr() + ")";
+    }
+}
+
+// -- statement helpers ------------------------------------------------
+
+GenStmt
+ProgramGenerator::line(std::string text, bool removable)
+{
+    GenStmt s;
+    s.head = std::move(text);
+    s.removable = removable;
+    return s;
+}
+
+GenStmt
+ProgramGenerator::unit(std::vector<GenStmt> body)
+{
+    GenStmt s;
+    s.head = "{";
+    s.tail = "}";
+    s.body = std::move(body);
+    return s;
+}
+
+// -- feature emitters -------------------------------------------------
+
+GenStmt
+ProgramGenerator::stAssign()
+{
+    return line("acc = " + expr() + ";");
+}
+
+GenStmt
+ProgramGenerator::stNondet()
+{
+    switch (prng_.below(4)) {
+      case 0:
+        return line("acc = acc + time() % 7;");
+      case 1:
+        return line("acc = acc ^ (random() % 1000);");
+      case 2:
+        return line("acc = acc + getpid() % 13;");
+      default:
+        return line("acc = acc ^ (rdtsc() & 255);");
+    }
+}
+
+GenStmt
+ProgramGenerator::stArray()
+{
+    switch (prng_.below(3)) {
+      case 0:
+        return line("arr[(" + expr() + ") & 15] = " + expr() + ";");
+      case 1:
+        return line("acc = acc + arr[(" + expr() + ") & 15];");
+      default:
+        return line("inputv[(" + expr() + ") & 63] = (" + expr() +
+                    ") & 127;");
+    }
+}
+
+GenStmt
+ProgramGenerator::stPointer()
+{
+    int v = var_++;
+    std::string p = "p" + std::to_string(v);
+    if (prng_.chance(1, 3)) {
+        return unit({
+            line("int *" + p + " = &acc;"),
+            line("*" + p + " = *" + p + " ^ " +
+                 std::to_string(1 + prng_.below(64)) + ";"),
+        });
+    }
+    if (prng_.chance(1, 2)) {
+        return unit({
+            line("int *" + p + " = arr + ((" + expr() + ") & 15);"),
+            line("*" + p + " = *" + p + " + " +
+                 std::to_string(1 + prng_.below(32)) + ";"),
+            line("acc = acc + *" + p + ";"),
+        });
+    }
+    return unit({
+        line("char *" + p + " = inputv + ((" + expr() + ") & 63);"),
+        line("acc = acc + *" + p + ";"),
+    });
+}
+
+GenStmt
+ProgramGenerator::stHeap()
+{
+    int v = var_++;
+    std::string m = "m" + std::to_string(v);
+    return unit({
+        line("char *" + m + " = malloc(16);"),
+        line("memset(" + m + ", (" + expr() + ") & 255, 16);"),
+        line(m + "[(" + expr() + ") & 15] = (" + expr() + ") & 127;"),
+        line("acc = acc + " + m + "[(" + expr() + ") & 15];"),
+        line("free(" + m + ");"),
+    });
+}
+
+GenStmt
+ProgramGenerator::stFnPtr()
+{
+    if (callableHelpers_ <= 0)
+        return stAssign();
+    int target = static_cast<int>(
+        prng_.below(static_cast<std::uint64_t>(callableHelpers_)));
+    int v = var_++;
+    std::string f = "f" + std::to_string(v);
+    return unit({
+        line("fn " + f + " = &helper" + std::to_string(target) + ";"),
+        line("acc = acc + " + f + "((" + expr() + ") & 63);"),
+    });
+}
+
+GenStmt
+ProgramGenerator::stHelperCall()
+{
+    if (callableHelpers_ <= 0)
+        return stAssign();
+    int target = static_cast<int>(
+        prng_.below(static_cast<std::uint64_t>(callableHelpers_)));
+    return line("acc = acc + helper" + std::to_string(target) + "((" +
+                expr() + ") & 63);");
+}
+
+GenStmt
+ProgramGenerator::stRecursion()
+{
+    std::string entry = prng_.chance(1, 2) ? "rec1" : "rec2";
+    return line("acc = acc + " + entry + "(inputv[" +
+                std::to_string(prng_.below(48)) + "] & 7);");
+}
+
+GenStmt
+ProgramGenerator::stFileRead()
+{
+    int v = var_++;
+    std::string fd = "fd" + std::to_string(v);
+    std::string t = "t" + std::to_string(v);
+    std::string r = "r" + std::to_string(v);
+    return unit({
+        line("int " + fd + " = open(\"/data.bin\", 0);"),
+        line("char " + t + "[8];"),
+        line("int " + r + " = read(" + fd + ", " + t + ", 7);"),
+        line("acc = acc + " + r + " + " + t + "[(" + expr() +
+             ") & 7];"),
+        line("close(" + fd + ");"),
+    });
+}
+
+GenStmt
+ProgramGenerator::stFileWrite()
+{
+    int v = var_++;
+    std::string fd = "fd" + std::to_string(v);
+    std::string path = "/out" + std::to_string(prng_.below(3)) + ".log";
+    std::string mode = prng_.chance(1, 3) ? "2" : "1";
+    return unit({
+        line("int " + fd + " = open(\"" + path + "\", " + mode + ");"),
+        line("itoa(acc & 65535, scratch);"),
+        line("write(" + fd + ", scratch, strlen(scratch));"),
+        line("close(" + fd + ");"),
+    });
+}
+
+GenStmt
+ProgramGenerator::stSocketOut()
+{
+    int v = var_++;
+    std::string s = "s" + std::to_string(v);
+    return unit({
+        line("int " + s + " = socket();"),
+        line("connect(" + s + ", \"sink.example.com\");"),
+        line("itoa(acc & 4095, scratch);"),
+        line("send(" + s + ", scratch, strlen(scratch));"),
+        line("close(" + s + ");"),
+    });
+}
+
+GenStmt
+ProgramGenerator::stSocketIn()
+{
+    int v = var_++;
+    std::string s = "s" + std::to_string(v);
+    std::string rb = "rb" + std::to_string(v);
+    std::string r = "r" + std::to_string(v);
+    return unit({
+        line("int " + s + " = socket();"),
+        line("connect(" + s + ", \"feed.example.com\");"),
+        line("char " + rb + "[16];"),
+        line("int " + r + " = recv(" + s + ", " + rb + ", 15);"),
+        line("acc = acc + " + r + ";"),
+        line("if (" + r + " > 0) { acc = acc + " + rb + "[(" + expr() +
+             ") & 15]; }"),
+        line("close(" + s + ");"),
+    });
+}
+
+GenStmt
+ProgramGenerator::stGetEnv()
+{
+    int v = var_++;
+    std::string ev = "ev" + std::to_string(v);
+    return unit({
+        line("char " + ev + "[16];"),
+        line("getenv(\"FUZZ\", " + ev + ", 15);"),
+        line("acc = acc + " + ev + "[(" + expr() + ") & 15];"),
+    });
+}
+
+GenStmt
+ProgramGenerator::stIf(int depth, int fuel)
+{
+    GenStmt s;
+    s.head = "if (" + cond() + ") {";
+    s.tail = "}";
+    s.body = block(depth + 1, fuel - 1);
+    if (prng_.chance(1, 2)) {
+        s.hasElse = true;
+        s.elseBody = block(depth + 1, fuel - 1);
+    }
+    return s;
+}
+
+GenStmt
+ProgramGenerator::stLoop(int depth, int fuel)
+{
+    // No thread units anywhere under a loop: a spawn per iteration
+    // would exhaust the VM's context budget (contexts are never
+    // recycled after join), and the generator promises trap-freedom.
+    struct LoopScope
+    {
+        bool &flag;
+        bool saved;
+        explicit LoopScope(bool &f) : flag(f), saved(f) { f = true; }
+        ~LoopScope() { flag = saved; }
+    } scope(inLoop_);
+    std::string bound =
+        prng_.chance(1, 2)
+            ? std::to_string(2 + prng_.below(6))
+            : "(inputv[" + std::to_string(prng_.below(48)) +
+                  "] & 7) + 1";
+    int v = var_++;
+    switch (prng_.below(3)) {
+      case 0: {
+        std::string i = "i" + std::to_string(v);
+        GenStmt s;
+        s.head = "for (int " + i + " = 0; " + i + " < " + bound +
+                 "; " + i + " = " + i + " + 1) {";
+        s.tail = "}";
+        s.body = block(depth + 1, fuel - 1);
+        return s;
+      }
+      case 1: {
+        // while with an explicit countdown. The decrement is
+        // non-removable: dropping it would compile into an infinite
+        // loop, which the shrinker must never even try.
+        std::string w = "w" + std::to_string(v);
+        GenStmt loop;
+        loop.head = "while (" + w + " > 0) {";
+        loop.tail = "}";
+        loop.body = block(depth + 1, fuel - 1);
+        loop.body.push_back(
+            line(w + " = " + w + " - 1;", /*removable=*/false));
+        return unit({
+            line("int " + w + " = " + bound + ";",
+                 /*removable=*/false),
+            loop,
+        });
+      }
+      default: {
+        std::string d = "d" + std::to_string(v);
+        GenStmt loop;
+        loop.head = "do {";
+        loop.tail = "} while (" + d + " > 0);";
+        loop.body = block(depth + 1, fuel - 1);
+        loop.body.push_back(
+            line(d + " = " + d + " - 1;", /*removable=*/false));
+        return unit({
+            line("int " + d + " = " + bound + ";",
+                 /*removable=*/false),
+            loop,
+        });
+      }
+    }
+}
+
+GenStmt
+ProgramGenerator::stThreadUnit()
+{
+    usesThreads_ = true;
+    ++threadUnits_;
+    int v = var_++;
+    int spawns = 1 + static_cast<int>(prng_.below(2));
+    std::vector<GenStmt> body;
+    std::vector<std::string> tids;
+    for (int i = 0; i < spawns; ++i) {
+        int w = static_cast<int>(
+            prng_.below(static_cast<std::uint64_t>(numWorkers_)));
+        std::string t =
+            "t" + std::to_string(v) + "_" + std::to_string(i);
+        tids.push_back(t);
+        // spawn/join stay paired; an unjoined thread or a joined
+        // non-thread is exactly the cross-side hazard we don't want
+        // the *generator* to create (the mutation will).
+        body.push_back(line("int " + t + " = spawn(&worker" +
+                                std::to_string(w) + ", (" + expr() +
+                                ") & 7);",
+                            /*removable=*/false));
+    }
+    for (const std::string &t : tids)
+        body.push_back(line("join(" + t + ");", /*removable=*/false));
+    body.push_back(line("acc = acc + shared0 + shared1;",
+                        /*removable=*/false));
+    return unit(std::move(body));
+}
+
+// -- blocks and dispatch ----------------------------------------------
+
+std::vector<GenStmt>
+ProgramGenerator::block(int depth, int fuel)
+{
+    int stmts = 1 + static_cast<int>(prng_.below(
+                        static_cast<std::uint64_t>(
+                            opt_.maxStmtsPerBlock > 0
+                                ? opt_.maxStmtsPerBlock
+                                : 1)));
+    std::vector<GenStmt> out;
+    for (int i = 0; i < stmts; ++i)
+        out.push_back(randomStmt(depth, fuel));
+    return out;
+}
+
+GenStmt
+ProgramGenerator::randomStmt(int depth, int fuel)
+{
+    enum Kind
+    {
+        Assign, Nondet, Array, Pointer, Heap, FnPtr, HelperCall,
+        Recursion, FileRead, FileWrite, SocketOut, SocketIn, GetEnv,
+        If, Loop, ThreadUnit,
+    };
+
+    bool nested_ok = depth < opt_.maxBlockDepth && fuel > 0;
+    bool threads_ok = inMain_ && !inLoop_ && depth <= 1 &&
+                      numWorkers_ > 0 &&
+                      threadUnits_ < opt_.maxThreadUnits;
+
+    struct Entry
+    {
+        Kind kind;
+        int weight;
+    };
+    const Entry table[] = {
+        {Assign, opt_.wAssign},
+        {Nondet, opt_.wNondet},
+        {Array, opt_.wArray},
+        {Pointer, opt_.wPointer},
+        {Heap, opt_.wHeap},
+        {FnPtr, opt_.wFnPtr},
+        {HelperCall, opt_.wHelperCall},
+        {Recursion, opt_.wRecursion},
+        {FileRead, opt_.wFileRead},
+        {FileWrite, opt_.wFileWrite},
+        {SocketOut, opt_.wSocketOut},
+        {SocketIn, opt_.wSocketIn},
+        {GetEnv, opt_.wGetEnv},
+        {If, nested_ok ? opt_.wIf : 0},
+        {Loop, nested_ok ? opt_.wLoop : 0},
+        {ThreadUnit, threads_ok ? opt_.wThreads : 0},
+    };
+
+    std::uint64_t total = 0;
+    for (const Entry &e : table)
+        total += static_cast<std::uint64_t>(e.weight > 0 ? e.weight : 0);
+    if (total == 0)
+        return stAssign();
+    std::uint64_t pick = prng_.below(total);
+    Kind kind = Assign;
+    for (const Entry &e : table) {
+        std::uint64_t w =
+            static_cast<std::uint64_t>(e.weight > 0 ? e.weight : 0);
+        if (pick < w) {
+            kind = e.kind;
+            break;
+        }
+        pick -= w;
+    }
+
+    switch (kind) {
+      case Assign: return stAssign();
+      case Nondet: return stNondet();
+      case Array: return stArray();
+      case Pointer: return stPointer();
+      case Heap: return stHeap();
+      case FnPtr: return stFnPtr();
+      case HelperCall: return stHelperCall();
+      case Recursion: return stRecursion();
+      case FileRead: return stFileRead();
+      case FileWrite: return stFileWrite();
+      case SocketOut: return stSocketOut();
+      case SocketIn: return stSocketIn();
+      case GetEnv: return stGetEnv();
+      case If: return stIf(depth, fuel);
+      case Loop: return stLoop(depth, fuel);
+      case ThreadUnit: return stThreadUnit();
+    }
+    return stAssign();
+}
+
+// -- functions --------------------------------------------------------
+
+GenFunction
+ProgramGenerator::makeWorker(int w)
+{
+    // Workers are commutative accumulators under a lock and perform
+    // no nondeterminism syscalls, so the final shared values (and
+    // every per-thread syscall stream) are independent of the
+    // interleaving — the cross-driver identity oracle depends on it.
+    GenFunction f;
+    f.removable = true;
+    f.open = "int worker" + std::to_string(w) + "(int p) {";
+    int lk = w % 2;
+    std::string shared = "shared" + std::to_string(lk);
+    bool yields = prng_.chance(1, 2);
+    int extra = static_cast<int>(prng_.below(20));
+    f.body.push_back(line("int k = 0;", false));
+    GenStmt loop;
+    loop.head = "while (k < (p & 3) + 1) {";
+    loop.tail = "}";
+    loop.removable = false;
+    loop.body.push_back(
+        line("lock(" + std::to_string(lk) + ");", false));
+    loop.body.push_back(line(shared + " = " + shared + " + p + k + " +
+                                 std::to_string(extra) + ";",
+                             false));
+    loop.body.push_back(
+        line("unlock(" + std::to_string(lk) + ");", false));
+    if (yields)
+        loop.body.push_back(line("yield();", false));
+    loop.body.push_back(line("k = k + 1;", false));
+    f.body.push_back(std::move(loop));
+    f.body.push_back(line("return 0;", false));
+    return f;
+}
+
+GenFunction
+ProgramGenerator::makeRec(int which)
+{
+    // rec1 <-> rec2 mutual recursion on a strictly decreasing
+    // non-negative argument; rec1 keeps the nondet syscall the v1
+    // generator had, so recursion under counter save/reset still
+    // crosses alignment points.
+    GenFunction f;
+    f.removable = true;
+    f.open = "int rec" + std::to_string(which) + "(int n) {";
+    f.body.push_back(line("if (n <= 0) { return " +
+                              std::to_string(which - 1) + "; }",
+                          false));
+    if (which == 1) {
+        f.body.push_back(line("time();", false));
+        f.body.push_back(line("return n + rec2(n - 1);", false));
+    } else {
+        f.body.push_back(line("return n + rec1(n - 2);", false));
+    }
+    return f;
+}
+
+GenFunction
+ProgramGenerator::makeHelper(int h)
+{
+    callableHelpers_ = h; // strictly lower ids only: chains terminate
+    inMain_ = false;
+    GenFunction f;
+    f.removable = true;
+    f.open = "int helper" + std::to_string(h) + "(int p) {";
+    f.body.push_back(line("int save = acc;", false));
+    f.body.push_back(line("acc = p;", false));
+    for (GenStmt &s : block(1, 1))
+        f.body.push_back(std::move(s));
+    f.body.push_back(line("int r = acc;", false));
+    f.body.push_back(line("acc = save;", false));
+    f.body.push_back(line("return r % 1000;", false));
+    return f;
+}
+
+GenFunction
+ProgramGenerator::makeMain()
+{
+    callableHelpers_ = numHelpers_;
+    inMain_ = true;
+    GenFunction f;
+    f.open = "int main() {";
+    f.body.push_back(unit({
+        line("int fd = open(\"/input.txt\", 0);"),
+        line("int n = read(fd, inputv, 63);"),
+        line("close(fd);"),
+        line("acc = n;"),
+    }));
+    for (GenStmt &s : block(0, opt_.mainFuel))
+        f.body.push_back(std::move(s));
+    f.body.push_back(unit({
+        line("itoa(acc % 100000, scratch);"),
+        line("int s = socket();"),
+        line("connect(s, \"sink.example.com\");"),
+        line("send(s, scratch, strlen(scratch));"),
+    }));
+    f.body.push_back(line("return 0;", false));
+    inMain_ = false;
+    return f;
+}
+
+} // namespace ldx::fuzz

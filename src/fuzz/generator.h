@@ -1,0 +1,214 @@
+/**
+ * @file
+ * fuzz::ProgramGenerator — seeded random MiniC programs covering the
+ * full feature set of the language (pointers, arrays, function
+ * pointers, spawn/lock threads, file and socket syscalls, nested
+ * mutual recursion) while guaranteeing termination and trap-freedom.
+ *
+ * The generator is the seed source of the differential fuzzing
+ * subsystem (docs/FUZZING.md): fuzz::Oracle dual-executes every
+ * generated program across the engine's config matrix and asserts the
+ * paper's invariants, and fuzz::Shrinker delta-debugs the generator's
+ * emission decisions when a seed fails.
+ *
+ * To make shrinking possible the generator does not emit a flat
+ * string: it builds a GenProgram — a tree of GenStmt nodes, one per
+ * emission decision — which renders to MiniC source. Every node has a
+ * stable id, and rendering accepts a set of removed/unwrapped ids, so
+ * the shrinker can delete or flatten decisions and recompile. A
+ * candidate that drops a load-bearing node (say, a declaration whose
+ * uses survive) simply fails to compile and is rejected; no
+ * def-use bookkeeping is needed.
+ *
+ * Safety rules baked into the grammar (the termination/trap-freedom
+ * guarantee):
+ *  - every loop bound is a small constant or `(input & 7) + 1`;
+ *  - recursion (rec1 <-> rec2) strictly decreases a non-negative
+ *    argument; helper calls only target strictly lower helper ids;
+ *  - every array/pointer index is masked with `& (size-1)`, which is
+ *    non-negative even for negative operands;
+ *  - divisors and shift amounts are nonzero constants;
+ *  - lock()/unlock() are balanced within one non-removable line
+ *    group, with a single lock per region (no lock-order deadlock);
+ *  - spawn() and join() are paired inside one unit; worker functions
+ *    are commutative accumulators under a lock and perform no
+ *    nondeterminism syscalls, so results are schedule-independent;
+ *  - heap blocks are malloc'd, used with masked indices, and freed in
+ *    the same unit.
+ *
+ * Determinism: the same (seed, options) pair yields a byte-identical
+ * program — the generator draws only from the seeded SplitMix64 Prng
+ * and never consults global state (tests/fuzz_test.cc pins this).
+ */
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "os/world.h"
+#include "support/prng.h"
+
+namespace ldx::fuzz {
+
+/**
+ * Per-feature emission weights and structural bounds. A weight of 0
+ * disables the feature entirely; relative magnitudes set how often a
+ * statement slot picks it.
+ */
+struct GenOptions
+{
+    // Structural bounds.
+    int maxHelpers = 3;       ///< 1..maxHelpers helper functions
+    int maxBlockDepth = 2;    ///< nesting depth of if/loop bodies
+    int maxStmtsPerBlock = 4; ///< 1..max statements per block
+    int mainFuel = 3;         ///< block budget in main
+    int maxThreadUnits = 2;   ///< spawn/join units per program
+
+    // Feature weights.
+    int wAssign = 5;
+    int wNondet = 3;   ///< time/random/getpid/rdtsc
+    int wIf = 3;
+    int wLoop = 3;
+    int wHelperCall = 2;
+    int wRecursion = 2;
+    int wArray = 3;
+    int wPointer = 2;
+    int wFnPtr = 2;
+    int wHeap = 2;
+    int wFileRead = 2;
+    int wFileWrite = 1;
+    int wSocketOut = 1;
+    int wSocketIn = 1;
+    int wGetEnv = 1;
+    int wThreads = 2; ///< spawn/join units (main only)
+};
+
+/**
+ * One emission decision: either a single source line (tail empty) or
+ * a block (head opens it, body/elseBody nest, tail closes it).
+ */
+struct GenStmt
+{
+    int id = -1;            ///< DFS index; assigned by finalize()
+    bool removable = true;  ///< shrinker may delete this node
+    std::string head;       ///< the line, or a block opener ("if.. {")
+    std::string tail;       ///< "" for plain lines; "}" etc. for blocks
+    std::vector<GenStmt> body;
+    std::vector<GenStmt> elseBody; ///< rendered after "} else {"
+    bool hasElse = false;
+
+    bool isBlock() const { return !tail.empty(); }
+};
+
+/** One function: an opener line, a statement tree, a closing brace. */
+struct GenFunction
+{
+    int id = -1;
+    bool removable = false; ///< whole-function removal (helpers etc.)
+    std::string open;       ///< "int helper0(int p) {"
+    std::vector<GenStmt> body;
+};
+
+/** A generated program, rendered on demand. */
+struct GenProgram
+{
+    std::vector<std::string> globals; ///< fixed declaration lines
+    std::vector<GenFunction> functions;
+    bool usesThreads = false;
+    int numNodes = 0; ///< total ids assigned (functions + statements)
+
+    /** Full render. */
+    std::string render() const;
+
+    /**
+     * Render with every node in @p removed dropped (subtree and all)
+     * and every block node in @p unwrapped replaced by its children.
+     * Candidates that drop a declaration whose uses survive simply
+     * fail to compile downstream.
+     */
+    std::string render(const std::set<int> &removed,
+                       const std::set<int> &unwrapped) const;
+
+    /**
+     * Ids of removable nodes still alive under (@p removed,
+     * @p unwrapped), in DFS order. Children of a removed node are not
+     * reported (they are already gone).
+     */
+    std::vector<int> aliveRemovable(const std::set<int> &removed,
+                                    const std::set<int> &unwrapped) const;
+
+    /** Ids of alive block nodes eligible for unwrapping. */
+    std::vector<int> aliveBlocks(const std::set<int> &removed,
+                                 const std::set<int> &unwrapped) const;
+};
+
+/** Seeded random MiniC program generator (v2). */
+class ProgramGenerator
+{
+  public:
+    explicit ProgramGenerator(std::uint64_t seed, GenOptions opt = {});
+
+    /** Generate the program tree for this seed. */
+    GenProgram generateProgram();
+
+    /** Convenience: generateProgram().render(). */
+    std::string generate();
+
+    /**
+     * The world every generated program runs against: /input.txt (48
+     * seed-derived bytes, the default mutation source), /data.bin, a
+     * FUZZ env var, a sink peer, and a feed peer with scripted
+     * responses. Derivation is unchanged from the original
+     * property-test generator so historical seeds keep their inputs.
+     */
+    static os::WorldSpec worldFor(std::uint64_t seed);
+
+  private:
+    // Expression / condition grammar.
+    std::string expr(int depth = 0);
+    std::string atom();
+    std::string cond();
+
+    // Statement emitters (see file comment for the safety rules).
+    GenStmt line(std::string text, bool removable = true);
+    GenStmt unit(std::vector<GenStmt> body);
+    GenStmt stAssign();
+    GenStmt stNondet();
+    GenStmt stArray();
+    GenStmt stPointer();
+    GenStmt stHeap();
+    GenStmt stFnPtr();
+    GenStmt stHelperCall();
+    GenStmt stRecursion();
+    GenStmt stFileRead();
+    GenStmt stFileWrite();
+    GenStmt stSocketOut();
+    GenStmt stSocketIn();
+    GenStmt stGetEnv();
+    GenStmt stIf(int depth, int fuel);
+    GenStmt stLoop(int depth, int fuel);
+    GenStmt stThreadUnit();
+
+    std::vector<GenStmt> block(int depth, int fuel);
+    GenStmt randomStmt(int depth, int fuel);
+
+    GenFunction makeWorker(int w);
+    GenFunction makeRec(int which);
+    GenFunction makeHelper(int h);
+    GenFunction makeMain();
+
+    Prng prng_;
+    GenOptions opt_;
+    int var_ = 0;            ///< unique local-variable suffix
+    int callableHelpers_ = 0;///< helpers callable from the cursor
+    int numHelpers_ = 0;
+    int numWorkers_ = 0;
+    int threadUnits_ = 0;    ///< spawn/join units emitted so far
+    bool inMain_ = false;
+    bool inLoop_ = false;
+    bool usesThreads_ = false;
+};
+
+} // namespace ldx::fuzz

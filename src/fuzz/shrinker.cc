@@ -1,0 +1,83 @@
+#include "fuzz/shrinker.h"
+
+#include <algorithm>
+
+namespace ldx::fuzz {
+
+Shrinker::Shrinker(const Oracle &oracle, ShrinkOptions opt)
+    : oracle_(oracle), opt_(opt)
+{}
+
+ShrinkResult
+Shrinker::shrink(std::uint64_t seed, const GenProgram &prog) const
+{
+    ShrinkResult out;
+    std::set<int> removed;
+    std::set<int> unwrapped;
+
+    auto stillFails = [&](const std::set<int> &rm,
+                          const std::set<int> &uw) {
+        if (out.evaluations >= opt_.maxEvaluations)
+            return false;
+        ++out.evaluations;
+        SeedReport rep =
+            oracle_.runSource(seed, prog.render(rm, uw));
+        return rep.compiled && !rep.violations.empty();
+    };
+
+    bool progress = true;
+    while (progress && out.evaluations < opt_.maxEvaluations) {
+        progress = false;
+
+        // Removal passes: try dropping chunks of alive removable
+        // nodes, halving the chunk until single nodes.
+        std::vector<int> alive = prog.aliveRemovable(removed, unwrapped);
+        std::size_t chunk = std::max<std::size_t>(alive.size() / 2, 1);
+        while (true) {
+            bool any = false;
+            alive = prog.aliveRemovable(removed, unwrapped);
+            for (std::size_t i = 0; i < alive.size(); i += chunk) {
+                std::set<int> rm = removed;
+                std::size_t end =
+                    std::min(i + chunk, alive.size());
+                for (std::size_t j = i; j < end; ++j)
+                    rm.insert(alive[j]);
+                if (rm.size() == removed.size())
+                    continue;
+                if (stillFails(rm, unwrapped)) {
+                    removed = std::move(rm);
+                    any = true;
+                    progress = true;
+                }
+            }
+            if (!any && chunk == 1)
+                break;
+            if (!any)
+                chunk = std::max<std::size_t>(chunk / 2, 1);
+            if (out.evaluations >= opt_.maxEvaluations)
+                break;
+        }
+
+        // Unwrap passes: replace an if/loop wrapper by its children.
+        for (int id : prog.aliveBlocks(removed, unwrapped)) {
+            std::set<int> uw = unwrapped;
+            uw.insert(id);
+            if (stillFails(removed, uw)) {
+                unwrapped = std::move(uw);
+                progress = true;
+            }
+            if (out.evaluations >= opt_.maxEvaluations)
+                break;
+        }
+    }
+
+    out.removed = removed;
+    out.unwrapped = unwrapped;
+    out.removedNodes =
+        static_cast<int>(removed.size() + unwrapped.size());
+    out.changed = out.removedNodes > 0;
+    out.source = prog.render(removed, unwrapped);
+    return out;
+}
+
+} // namespace ldx::fuzz

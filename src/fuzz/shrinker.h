@@ -1,0 +1,73 @@
+/**
+ * @file
+ * fuzz::Shrinker — delta-debugging over the generator's emission
+ * decisions.
+ *
+ * Rather than shrinking MiniC text (which mostly yields syntax
+ * errors), the shrinker operates on the GenProgram tree: each
+ * candidate removes a subset of removable nodes (statements, units,
+ * whole helper/worker/rec functions) or unwraps a block (keeping its
+ * children, dropping the if/loop around them), re-renders, and asks
+ * the oracle whether the candidate still violates an invariant. A
+ * candidate that drops a load-bearing declaration simply fails to
+ * compile and is rejected by construction; loop-control lines and
+ * lock/spawn pairings are marked non-removable by the generator, so
+ * no candidate can introduce nontermination or a deadlock the
+ * original didn't have.
+ *
+ * The algorithm is ddmin-style: chunked removal passes (chunk size
+ * halving from n/2 to 1) alternating with block-unwrap passes, until
+ * a full round makes no progress or the evaluation budget runs out.
+ */
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+
+namespace ldx::fuzz {
+
+/** Shrinker configuration. */
+struct ShrinkOptions
+{
+    /** Hard cap on oracle evaluations (each is a full matrix run). */
+    int maxEvaluations = 400;
+};
+
+/** Outcome of one shrink. */
+struct ShrinkResult
+{
+    std::string source;      ///< minimal reproducing program
+    int evaluations = 0;     ///< oracle calls spent
+    int removedNodes = 0;    ///< nodes removed or unwrapped
+    bool changed = false;    ///< anything was shrunk at all
+
+    /** The final node sets (for re-rendering / debugging). */
+    std::set<int> removed;
+    std::set<int> unwrapped;
+};
+
+/** Delta-debugger for failing seeds. */
+class Shrinker
+{
+  public:
+    explicit Shrinker(const Oracle &oracle, ShrinkOptions opt = {});
+
+    /**
+     * Shrink @p prog (the program generated for @p seed, which the
+     * oracle found violating) to a minimal program that still
+     * violates some invariant. The full program is assumed failing;
+     * callers should verify that first.
+     */
+    ShrinkResult shrink(std::uint64_t seed,
+                        const GenProgram &prog) const;
+
+  private:
+    const Oracle &oracle_;
+    ShrinkOptions opt_;
+};
+
+} // namespace ldx::fuzz

@@ -165,6 +165,17 @@ CounterInstrumenter::instrumentFunction(ir::Function &fn,
                 bool rec = recursive_[static_cast<std::size_t>(
                     instr.callee)];
                 if (rec) {
+                    // The call region consumes one unit of caller
+                    // progress. Without this, two calls made at the
+                    // same caller counter value push identical outer
+                    // counters and the hierarchical comparison (§6)
+                    // cannot tell the frames apart — a side still in
+                    // the first frame then looks "passed" to a peer
+                    // already in the second.
+                    ir::Instr add = makeCntAdd(1);
+                    add.loc = instr.loc;
+                    out.push_back(add);
+                    inc[b] += 1;
                     ir::Instr push;
                     push.op = ir::Opcode::CntPush;
                     push.loc = instr.loc;
@@ -174,7 +185,7 @@ CounterInstrumenter::instrumentFunction(ir::Function &fn,
                     out.push_back(push);
                     out.push_back(std::move(instr));
                     out.push_back(pop);
-                    stats.insertedOps += 2;
+                    stats.insertedOps += 3;
                     active[b] = true;
                 } else {
                     inc[b] += fcnt_[instr.callee];
@@ -185,6 +196,13 @@ CounterInstrumenter::instrumentFunction(ir::Function &fn,
                 break;
               }
               case ir::Opcode::ICall: {
+                // Same caller-progress bump as the recursive case
+                // above: the saved outer counter must be unique per
+                // dynamic call occurrence.
+                ir::Instr add = makeCntAdd(1);
+                add.loc = instr.loc;
+                out.push_back(add);
+                inc[b] += 1;
                 ir::Instr push;
                 push.op = ir::Opcode::CntPush;
                 push.loc = instr.loc;
@@ -194,7 +212,7 @@ CounterInstrumenter::instrumentFunction(ir::Function &fn,
                 out.push_back(push);
                 out.push_back(std::move(instr));
                 out.push_back(pop);
-                stats.insertedOps += 2;
+                stats.insertedOps += 3;
                 ++stats.indirectCallSites;
                 active[b] = true;
                 break;

@@ -690,11 +690,17 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
                   ppos.kind == PosKind::Barrier));
             if (peer_gone || passed ||
                 waitExpired(req.tid, opts_.stallTimeout)) {
+                // No counterpart sink ever parked: the only
+                // deterministic classification is "vanished".
+                // Guessing "site mismatch" from the peer's transient
+                // position would make the finding kind depend on
+                // driver timing — the same divergent sink would be
+                // labelled differently under the lockstep and
+                // threaded drivers. A true site mismatch is only
+                // reported from the rendezvous comparison above,
+                // where both sinks are actually parked.
                 Finding f;
-                f.kind = ppos.cnt == req.cnt && ppos.site != req.site &&
-                         !peer_gone
-                    ? CauseKind::SinkSiteMismatch
-                    : CauseKind::SinkVanished;
+                f.kind = CauseKind::SinkVanished;
                 f.observer = opts_.side;
                 f.tid = req.tid;
                 f.site = req.site;
@@ -703,13 +709,10 @@ Controller::handleSink(const vm::SyscallRequest &req, vm::Machine &vm,
                 f.loc = req.loc;
                 (opts_.side == Side::Master ? f.masterValue
                                             : f.slaveValue) = payload;
-                vanished = f.kind == CauseKind::SinkVanished;
+                vanished = true;
                 chan_.addFinding(std::move(f));
                 chan_.syscallDiffs->inc();
-                if (vanished)
-                    chan_.sinkVanished->inc();
-                else
-                    chan_.sinkDiffs->inc();
+                chan_.sinkVanished->inc();
                 reported_divergence = true;
                 mine.valid = false;
                 ch.bumpVersion();

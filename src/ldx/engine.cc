@@ -1,5 +1,7 @@
 #include "ldx/engine.h"
 
+#include <algorithm>
+#include <limits>
 #include <chrono>
 #include <optional>
 #include <thread>
@@ -273,7 +275,10 @@ DualEngine::run()
         mt.join();
         st.join();
     } else {
-        constexpr std::uint64_t kQuantum = 64;
+        const std::uint64_t kQuantum =
+            cfg_.lockstepQuantum
+                ? cfg_.lockstepQuantum
+                : std::numeric_limits<std::uint64_t>::max();
         std::uint64_t idle_rounds = 0;
         while (!(master.finished() && slave.finished())) {
             bool progressed = false;
@@ -387,6 +392,17 @@ DualEngine::run()
         f.slaveValue = res.slaveTrapped ? res.slaveTrapMessage : "ok";
         res.findings.push_back(std::move(f));
     }
+
+    // Per-channel findings were appended in whatever cross-thread
+    // order the controllers hit them, which the threaded driver does
+    // not reproduce run to run. Group by tid (stable within a tid,
+    // where order is guest-deterministic) so the findings list — and
+    // everything derived from it, like divergence.outcome — is
+    // identical across drivers and repeated runs.
+    std::stable_sort(res.findings.begin(), res.findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.tid < b.tid;
+                     });
 
     if (recorder) {
         registry.counter("recorder.events.master")

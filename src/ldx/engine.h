@@ -114,6 +114,15 @@ struct EngineConfig
     std::size_t recorderCapacity = obs::FlightRecorder::kDefaultCapacity;
 
     /**
+     * stepMany batch size for the lockstep driver; 0 means unbounded
+     * (each side runs until its first blocked poll). The protocol
+     * outcome must be independent of this value — it only trades
+     * dispatch overhead against alternation granularity. Exposed so
+     * tests can pin batch-boundary behaviour.
+     */
+    std::uint64_t lockstepQuantum = 64;
+
+    /**
      * Metrics registry to accumulate into. When null the engine uses
      * a private registry whose totals are still returned in
      * DualResult::metrics; pass one to accumulate across runs (the

@@ -130,4 +130,39 @@ resultJson(const DualResult &res,
     return out;
 }
 
+std::string
+resultJsonStable(const DualResult &res)
+{
+    auto stable = [](const std::string &name) {
+        return name.rfind("dual.", 0) == 0 ||
+               name.rfind("lock.", 0) == 0 ||
+               name.rfind("vm.", 0) == 0 ||
+               name.rfind("os.", 0) == 0;
+    };
+    std::string out = "{\"causality\":";
+    out += res.causality() ? "true" : "false";
+    out += ",\"findings\":[";
+    for (std::size_t i = 0; i < res.findings.size(); ++i) {
+        if (i)
+            out += ',';
+        out += obs::jsonString(res.findings[i].describe());
+    }
+    out += "],\"divergence\":{\"present\":";
+    out += res.divergence.present ? "true" : "false";
+    out += ",\"outcome\":" + obs::jsonString(res.divergence.outcome);
+    out += "},\"metrics\":{\"counters\":{";
+    bool first = true;
+    for (const auto &c : res.metrics.counters) {
+        if (!stable(c.first))
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        out += obs::jsonString(c.first) + ":" +
+               std::to_string(c.second);
+    }
+    out += "}}}";
+    return out;
+}
+
 } // namespace ldx::core

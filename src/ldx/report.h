@@ -186,4 +186,16 @@ std::string phasesJson(const std::vector<obs::PhaseSample> &phases);
 std::string resultJson(const DualResult &res,
                        const std::vector<obs::PhaseSample> &phases);
 
+/**
+ * Deterministic subset of resultJson() (`--metrics=json-stable`):
+ * same seed and config must yield byte-identical output across
+ * repeated runs and both drivers. Keeps `causality`, `findings`,
+ * `divergence` ({present, outcome} only), and the protocol-semantic
+ * metrics (`dual.*`, `lock.*`, `vm.*`, `os.*` counters); drops
+ * wall-clock timing, phases, and the scheduling-dependent
+ * driver/chan/watchdog/recorder tallies. tests/fuzz_test.cc pins the
+ * determinism property.
+ */
+std::string resultJsonStable(const DualResult &res);
+
 } // namespace ldx::core

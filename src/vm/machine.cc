@@ -524,7 +524,9 @@ Machine::executeOne(Context &ctx)
         doRet(ctx, instr);
         return true;
       case ir::Opcode::CntAdd:
-        ctx.cnt += instr.imm;
+        if (!cfg_.chaosSkipCntAddPeriod ||
+            ++chaosCntAdds_ % cfg_.chaosSkipCntAddPeriod != 0)
+            ctx.cnt += instr.imm;
         ctx.maxCnt = std::max(ctx.maxCnt, ctx.cnt);
         ++fr.ip;
         break;
@@ -725,7 +727,9 @@ Machine::fastRun(Context &ctx, std::uint64_t limit)
                 break;
               }
               case ir::Opcode::CntAdd:
-                ctx.cnt += d.imm;
+                if (!cfg_.chaosSkipCntAddPeriod ||
+                    ++chaosCntAdds_ % cfg_.chaosSkipCntAddPeriod != 0)
+                    ctx.cnt += d.imm;
                 ctx.maxCnt = std::max(ctx.maxCnt, ctx.cnt);
                 ++pc;
                 break;

@@ -113,6 +113,15 @@ struct MachineConfig
      * differential-test oracle).
      */
     bool predecode = true;
+    /**
+     * Fault injection for the fuzzing oracle's self-test: when
+     * nonzero, every Nth retired CntAdd is skipped (its compensation
+     * delta is dropped), applied identically on both decode paths.
+     * This simulates a missed compensating increment — the class of
+     * instrumentation bug the final-counter invariant exists to
+     * catch. Never set outside tests / `ldx fuzz --inject-skip-cnt`.
+     */
+    std::uint64_t chaosSkipCntAddPeriod = 0;
 };
 
 /** Aggregated runtime statistics. */
@@ -278,6 +287,7 @@ class Machine
     std::optional<TrapInfo> trap_;
     std::uint64_t totalInstrs_ = 0;
     std::uint64_t totalSyscalls_ = 0;
+    std::uint64_t chaosCntAdds_ = 0; ///< CntAdds seen (fault injection)
     std::uint64_t totalBarriers_ = 0;
     std::array<std::uint64_t,
                static_cast<std::size_t>(ir::kNumOpcodes)>

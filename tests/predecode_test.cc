@@ -8,7 +8,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <sstream>
+
 #include "ldx/engine.h"
+#include "obs/recorder.h"
 #include "os/kernel.h"
 #include "vm/machine.h"
 #include "vm/predecode.h"
@@ -216,6 +220,118 @@ TEST(PredecodeTest, DecodedStreamMirrorsFunctionLayout)
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// stepMany batch boundaries: the batch size is a pure scheduling
+// knob. Whatever budget the driver hands stepMany — one instruction,
+// a prime that lands mid-run, the production quantum, or the whole
+// program — retirement, counters, and the recorded event order must
+// not move.
+// ---------------------------------------------------------------------
+
+// 0 encodes "unbounded" in both harnesses below.
+constexpr std::uint64_t kBatchSizes[] = {1, 7, 64, 0};
+
+/** Native single-VM run driven by stepMany with a fixed budget. */
+TEST(StepManyBatchTest, NativeFinalStateIndependentOfBatchSize)
+{
+    const Workload *w = workloads::findWorkload("401.bzip2");
+    ASSERT_NE(w, nullptr);
+    const ir::Module &module = workloads::workloadModule(*w, true);
+
+    struct Outcome
+    {
+        std::int64_t exit = 0;
+        std::int64_t cnt = 0;
+        vm::MachineStats stats;
+    };
+    auto run = [&](std::uint64_t batch) {
+        os::Kernel kernel(w->world(w->defaultScale));
+        vm::Machine m(module, kernel, {});
+        m.start();
+        std::uint64_t budget =
+            batch ? batch : std::numeric_limits<std::uint64_t>::max();
+        vm::StepStatus st = vm::StepStatus::Progress;
+        while (st == vm::StepStatus::Progress) {
+            std::uint64_t got = 0;
+            st = m.stepMany(budget, got);
+        }
+        EXPECT_EQ(st, vm::StepStatus::Finished)
+            << (m.trap() ? m.trap()->message : "");
+        Outcome o;
+        o.exit = m.exitCode();
+        o.cnt = m.context(0).cnt;
+        o.stats = m.stats();
+        return o;
+    };
+
+    Outcome ref = run(64);
+    EXPECT_GT(ref.cnt, 0);
+    for (std::uint64_t batch : kBatchSizes) {
+        SCOPED_TRACE("batch " + std::to_string(batch));
+        Outcome o = run(batch);
+        EXPECT_EQ(o.exit, ref.exit);
+        EXPECT_EQ(o.cnt, ref.cnt); // final-counter invariant
+        expectSameStats(o.stats, ref.stats,
+                        "batch " + std::to_string(batch));
+    }
+}
+
+/**
+ * Dual lockstep run at each quantum: verdict, alignment tallies, and
+ * the flight recorder's event sequence (everything except wall-clock
+ * timestamps) must be identical.
+ */
+TEST(StepManyBatchTest, RecorderEventOrderIndependentOfBatchSize)
+{
+    const Workload *w = workloads::findWorkload("gif2png");
+    ASSERT_NE(w, nullptr);
+    const ir::Module &module = workloads::workloadModule(*w, true);
+
+    auto run = [&](std::uint64_t quantum) {
+        EngineConfig cfg;
+        cfg.sinks = w->sinks;
+        cfg.sources = w->sources;
+        cfg.flightRecorder = true;
+        cfg.wallClockCap = 60.0;
+        cfg.lockstepQuantum = quantum;
+        core::DualEngine engine(module, w->world(w->defaultScale), cfg);
+        return engine.run();
+    };
+
+    auto eventKey = [](const obs::RecEvent &e) {
+        std::ostringstream os;
+        os << obs::recKindName(e.kind) << " tid=" << e.tid
+           << " cnt=" << e.cnt << " site=" << e.site
+           << " sys=" << e.sysNo << " arg=" << e.arg;
+        return os.str();
+    };
+    auto timeline = [&](const DualResult &res, int side) {
+        std::vector<std::string> keys;
+        for (const obs::RecEvent &e : res.divergence.events[side])
+            keys.push_back(eventKey(e));
+        return keys;
+    };
+
+    DualResult ref = run(64);
+    ASSERT_TRUE(ref.divergence.present);
+    for (std::uint64_t quantum : kBatchSizes) {
+        SCOPED_TRACE("quantum " + std::to_string(quantum));
+        DualResult res = run(quantum);
+        EXPECT_EQ(res.causality(), ref.causality());
+        EXPECT_EQ(res.syscallDiffs, ref.syscallDiffs);
+        EXPECT_EQ(res.alignedSyscalls, ref.alignedSyscalls);
+        EXPECT_EQ(res.masterExit, ref.masterExit);
+        EXPECT_EQ(res.slaveExit, ref.slaveExit);
+        ASSERT_TRUE(res.divergence.present);
+        EXPECT_EQ(timeline(res, 0), timeline(ref, 0));
+        EXPECT_EQ(timeline(res, 1), timeline(ref, 1));
+        ASSERT_EQ(res.findings.size(), ref.findings.size());
+        for (std::size_t i = 0; i < res.findings.size(); ++i)
+            EXPECT_EQ(res.findings[i].describe(),
+                      ref.findings[i].describe());
     }
 }
 

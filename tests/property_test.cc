@@ -2,250 +2,37 @@
  * @file
  * Property tests over randomly generated programs.
  *
- * A seeded generator emits random (but terminating, trap-free) MiniC
- * programs mixing bounded loops, branches gated on input bytes,
- * helper calls, recursion, indirect calls, and syscalls. For every
- * seed we check the protocol's core guarantees:
+ * The shared fuzz::ProgramGenerator (src/fuzz/generator.h) emits
+ * random — but terminating, trap-free — MiniC programs covering the
+ * full language surface: pointers, arrays, function pointers, heap
+ * use, spawn/lock thread units, file and socket syscalls, and nested
+ * recursion. For every seed we check the protocol's core guarantees:
  *
- *  1. no-mutation dual execution aligns perfectly: zero syscall
- *     diffs, zero findings, no deadlock — nondeterminism (clock,
- *     PRNG, pid, heap base) is fully suppressed by outcome sharing;
+ *  1. no-mutation dual execution aligns: zero syscall diffs beyond
+ *     best-effort lock-order divergences (§7, threaded guests only),
+ *     zero findings, no deadlock — nondeterminism (clock, PRNG, pid,
+ *     heap base) is fully suppressed by outcome sharing;
  *  2. under mutation, dual execution always terminates without
  *     deadlock (path differences are tolerated and realigned);
  *  3. the final counter equals FCNT(main) in every run (the
  *     instrumentation invariant).
+ *
+ * The exhaustive version of these checks — per-cell across the whole
+ * driver × decode × recorder × mutation matrix — lives in
+ * fuzz::Oracle and runs via `ldx fuzz`; this suite is the fast
+ * in-tree sweep.
  */
 #include <gtest/gtest.h>
 
+#include "fuzz/generator.h"
 #include "instrument/instrument.h"
 #include "lang/compiler.h"
 #include "ldx/engine.h"
 #include "os/kernel.h"
-#include "support/prng.h"
 #include "vm/machine.h"
 
 namespace ldx {
 namespace {
-
-/** Emits random structured MiniC programs. */
-class ProgramGenerator
-{
-  public:
-    explicit ProgramGenerator(std::uint64_t seed)
-        : prng_(seed)
-    {}
-
-    std::string
-    generate()
-    {
-        src_.clear();
-        src_ += "char inputv[64];\nint acc;\n\n";
-        int helpers = 1 + static_cast<int>(prng_.below(3));
-        for (int h = 0; h < helpers; ++h)
-            emitHelper(h);
-        emitRecursive();
-        emitMain(helpers);
-        return src_;
-    }
-
-  private:
-    void
-    line(const std::string &text)
-    {
-        src_ += indent_ + text + "\n";
-    }
-
-    std::string
-    randomExpr()
-    {
-        switch (prng_.below(5)) {
-          case 0:
-            return "acc + " + std::to_string(prng_.below(50));
-          case 1:
-            return "inputv[" + std::to_string(prng_.below(8)) + "] * " +
-                   std::to_string(1 + prng_.below(5));
-          case 2:
-            return "acc * 3 + 1";
-          case 3:
-            return "acc % 97";
-          default:
-            return std::to_string(prng_.below(100));
-        }
-    }
-
-    std::string
-    randomCond()
-    {
-        switch (prng_.below(3)) {
-          case 0:
-            return "inputv[" + std::to_string(prng_.below(8)) +
-                   "] % 2 == 0";
-          case 1:
-            return "acc % " + std::to_string(2 + prng_.below(5)) +
-                   " == 1";
-          default:
-            return "inputv[" + std::to_string(prng_.below(8)) + "] > " +
-                   std::to_string(40 + prng_.below(60));
-        }
-    }
-
-    void
-    emitSyscall()
-    {
-        switch (prng_.below(4)) {
-          case 0:
-            line("acc = acc + time() % 7;");
-            break;
-          case 1:
-            line("acc = acc ^ (random() % 1000);");
-            break;
-          case 2:
-            line("acc = acc + getpid() % 13;");
-            break;
-          default: {
-            line("{ int fd = open(\"/data.bin\", 0); char t[4];");
-            line("  acc = acc + read(fd, t, 3); close(fd); }");
-            break;
-          }
-        }
-    }
-
-    void
-    emitBlock(int depth, int fuel)
-    {
-        int stmts = 1 + static_cast<int>(prng_.below(4));
-        for (int i = 0; i < stmts; ++i) {
-            switch (prng_.below(6)) {
-              case 0:
-                line("acc = " + randomExpr() + ";");
-                break;
-              case 1:
-                emitSyscall();
-                break;
-              case 2:
-                if (depth < 2 && fuel > 0) {
-                    line("if (" + randomCond() + ") {");
-                    indent_ += "    ";
-                    emitBlock(depth + 1, fuel - 1);
-                    indent_.resize(indent_.size() - 4);
-                    if (prng_.chance(1, 2)) {
-                        line("} else {");
-                        indent_ += "    ";
-                        emitBlock(depth + 1, fuel - 1);
-                        indent_.resize(indent_.size() - 4);
-                    }
-                    line("}");
-                } else {
-                    line("acc = acc + 1;");
-                }
-                break;
-              case 3:
-                if (depth < 2 && fuel > 0) {
-                    std::string bound =
-                        prng_.chance(1, 2)
-                            ? std::to_string(2 + prng_.below(6))
-                            : "inputv[" + std::to_string(prng_.below(8)) +
-                                  "] % 7 + 1";
-                    std::string v =
-                        "i" + std::to_string(loopVar_++);
-                    line("for (int " + v + " = 0; " + v + " < " + bound +
-                         "; " + v + " = " + v + " + 1) {");
-                    indent_ += "    ";
-                    emitBlock(depth + 1, fuel - 1);
-                    indent_.resize(indent_.size() - 4);
-                    line("}");
-                } else {
-                    line("acc = acc ^ 5;");
-                }
-                break;
-              case 4:
-                // Only call helpers with a smaller id (or none, when
-                // emitting helper 0) so helper call chains terminate.
-                if (callableHelpers_ > 0) {
-                    line("acc = acc + helper" +
-                         std::to_string(prng_.below(
-                             static_cast<std::uint64_t>(
-                                 callableHelpers_))) +
-                         "(acc % 50);");
-                } else {
-                    line("acc = acc * 2 + 1;");
-                }
-                break;
-              default:
-                line("acc = acc + rec(inputv[" +
-                     std::to_string(prng_.below(8)) + "] % 6);");
-                break;
-            }
-        }
-    }
-
-    void
-    emitHelper(int id)
-    {
-        callableHelpers_ = id; // strictly lower ids only
-        src_ += "int helper" + std::to_string(id) + "(int p) {\n";
-        indent_ = "    ";
-        line("int save = acc;");
-        line("acc = p;");
-        emitBlock(1, 1);
-        line("int r = acc;");
-        line("acc = save;");
-        line("return r % 1000;");
-        indent_.clear();
-        src_ += "}\n\n";
-    }
-
-    void
-    emitRecursive()
-    {
-        src_ += "int rec(int n) {\n";
-        src_ += "    if (n <= 0) { return 0; }\n";
-        src_ += "    time();\n";
-        src_ += "    return n + rec(n - 1);\n";
-        src_ += "}\n\n";
-    }
-
-    void
-    emitMain(int helpers)
-    {
-        callableHelpers_ = helpers;
-        src_ += "int main() {\n";
-        indent_ = "    ";
-        line("int fd = open(\"/input.txt\", 0);");
-        line("int n = read(fd, inputv, 63);");
-        line("close(fd);");
-        line("acc = n;");
-        emitBlock(0, 3);
-        line("char out[24];");
-        line("itoa(acc % 100000, out);");
-        line("int s = socket();");
-        line("connect(s, \"sink.example.com\");");
-        line("send(s, out, strlen(out));");
-        line("return 0;");
-        indent_.clear();
-        src_ += "}\n";
-    }
-
-    Prng prng_;
-    std::string src_;
-    std::string indent_;
-    int loopVar_ = 0;
-    int callableHelpers_ = 0;
-};
-
-os::WorldSpec
-worldFor(std::uint64_t seed)
-{
-    os::WorldSpec w;
-    Prng prng(seed * 77 + 5);
-    std::string input;
-    for (int i = 0; i < 48; ++i)
-        input += static_cast<char>(1 + prng.below(120));
-    w.files["/input.txt"] = input;
-    w.files["/data.bin"] = "0123456789abcdef";
-    w.peers["sink.example.com"] = {};
-    return w;
-}
 
 class RandomProgramSweep : public ::testing::TestWithParam<int>
 {};
@@ -253,16 +40,17 @@ class RandomProgramSweep : public ::testing::TestWithParam<int>
 TEST_P(RandomProgramSweep, AlignmentInvariantsHold)
 {
     std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
-    ProgramGenerator gen(seed);
+    fuzz::ProgramGenerator gen(seed);
     std::string source = gen.generate();
     SCOPED_TRACE("seed " + std::to_string(seed));
+    const bool threads = source.find("spawn(") != std::string::npos;
 
     auto module = lang::compileSource(source);
     instrument::CounterInstrumenter pass(*module);
     pass.run();
     std::int64_t fcnt_main = pass.fcnt().at(module->mainFunction());
 
-    os::WorldSpec world = worldFor(seed);
+    os::WorldSpec world = fuzz::ProgramGenerator::worldFor(seed);
 
     // Native run on the instrumented module: the final counter must
     // equal FCNT(main) (path-invariance of the instrumentation).
@@ -275,13 +63,19 @@ TEST_P(RandomProgramSweep, AlignmentInvariantsHold)
     }
 
     // 1. No mutation: perfect alignment despite nondeterminism seeds.
+    //    With contended mutexes across guest threads the lock-order
+    //    sharing is best effort (§7): a reordered acquisition taints
+    //    the mutex and counts a syscall diff but must never produce a
+    //    finding, so every clean-run diff must be a lock divergence.
     {
         core::EngineConfig cfg;
         cfg.wallClockCap = 30.0;
         core::DualEngine engine(*module, world, cfg);
         auto res = engine.run();
         ASSERT_FALSE(res.deadlocked);
-        EXPECT_EQ(res.syscallDiffs, 0u);
+        std::uint64_t lock_div =
+            res.metrics.counterOr("lock.order_diverged");
+        EXPECT_EQ(res.syscallDiffs, threads ? lock_div : 0u);
         EXPECT_FALSE(res.causality())
             << res.findings[0].describe() << "\nprogram:\n"
             << source;

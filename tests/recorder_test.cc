@@ -15,10 +15,15 @@
 #include <sstream>
 #include <string>
 
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
 #include "ldx/engine.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
 #include "os/sysno.h"
+#include "testutil.h"
 #include "workloads/workloads.h"
 
 namespace ldx {
@@ -266,6 +271,92 @@ TEST(DivergenceReportTest, CleanRunHasNoReport)
     EXPECT_FALSE(res.divergence.present);
     // The recorder itself still ran.
     EXPECT_GT(res.metrics.counterOr("recorder.events.master", 0), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Schema: every divergence report — all six vulnerable workloads and a
+// fuzz-found one — must render as valid text, JSONL, and Chrome trace
+// output, with a localized first-divergence site in each format.
+// ---------------------------------------------------------------------
+
+void
+expectValidRenderings(const DualResult &res, const std::string &label)
+{
+    SCOPED_TRACE(label);
+    ASSERT_TRUE(res.divergence.present);
+    ASSERT_TRUE(res.divergence.hasFirstDivergence);
+    EXPECT_GE(res.divergence.firstDivergence.site, 0);
+
+    auto names = [](std::int64_t no) { return os::sysName(no); };
+
+    std::string text = res.divergence.text(names);
+    EXPECT_NE(text.find("first divergence"), std::string::npos);
+    EXPECT_NE(text.find(res.divergence.firstDivergenceSyscall),
+              std::string::npos);
+
+    std::ostringstream jsonl;
+    res.divergence.writeJsonl(jsonl, names);
+    EXPECT_TRUE(test::validJsonl(jsonl.str())) << jsonl.str();
+    std::string header = jsonl.str().substr(0, jsonl.str().find('\n'));
+    EXPECT_NE(header.find("\"type\":\"divergence-report\""),
+              std::string::npos);
+    EXPECT_NE(header.find("\"first_divergence\""), std::string::npos);
+    EXPECT_NE(header.find("\"site\":" +
+                          std::to_string(
+                              res.divergence.firstDivergence.site)),
+              std::string::npos);
+
+    std::ostringstream chrome;
+    res.divergence.writeChromeTrace(chrome, names);
+    EXPECT_TRUE(test::validJson(chrome.str())) << chrome.str();
+}
+
+class DivergenceSchema : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DivergenceSchema, AllFormatsRenderValidOutput)
+{
+    expectValidRenderings(runWorkload(GetParam()), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vuln, DivergenceSchema,
+    ::testing::Values("gif2png", "mp3info", "gzip-alloc", "prozilla",
+                      "yopsweb", "ngircd"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (c == '-' || c == '.')
+                c = '_';
+        return n;
+    });
+
+TEST(DivergenceSchema, FuzzFoundDivergenceRendersValidOutput)
+{
+    // Sweep generated seeds under mutation until one diverges, then
+    // hold its report to the same schema bar as the curated
+    // workloads. Mutating /input.txt at offset 0 flips the branch
+    // structure of most generated programs, so this terminates fast.
+    fuzz::Oracle oracle;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        fuzz::ProgramGenerator gen(seed);
+        auto module = lang::compileSource(gen.generate());
+        instrument::CounterInstrumenter pass(*module);
+        pass.run();
+        EngineConfig cfg;
+        cfg.flightRecorder = true;
+        cfg.wallClockCap = 30.0;
+        cfg.sources = {core::SourceSpec::file("/input.txt", 0)};
+        DualEngine engine(*module,
+                          fuzz::ProgramGenerator::worldFor(seed), cfg);
+        DualResult res = engine.run();
+        if (!res.divergence.present)
+            continue;
+        expectValidRenderings(res, "seed " + std::to_string(seed));
+        return;
+    }
+    FAIL() << "no mutated seed diverged within 50 seeds";
 }
 
 } // namespace

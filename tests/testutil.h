@@ -1,10 +1,13 @@
 /**
  * @file
  * Shared helpers for the test suite: compile MiniC and run it natively
- * (no dual execution) against a WorldSpec.
+ * (no dual execution) against a WorldSpec, plus a small JSON validator
+ * for pinning the machine-readable output schemas (the obs emitters
+ * are write-only; nothing in the library parses JSON back).
  */
 #pragma once
 
+#include <cctype>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +54,153 @@ runProgram(const std::string &source, const os::WorldSpec &spec = {},
     if (machine.trap())
         result.trapMessage = machine.trap()->message;
     return result;
+}
+
+namespace detail {
+
+/** Recursive-descent JSON value check; advances @p i past the value. */
+inline bool
+jsonValue(const std::string &s, std::size_t &i)
+{
+    auto ws = [&] {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+    };
+    auto literal = [&](const char *lit) {
+        std::size_t n = std::string(lit).size();
+        if (s.compare(i, n, lit) != 0)
+            return false;
+        i += n;
+        return true;
+    };
+    ws();
+    if (i >= s.size())
+        return false;
+    char c = s[i];
+    if (c == '"') {
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                ++i;
+                if (i >= s.size())
+                    return false;
+                if (s[i] == 'u') {
+                    for (int k = 0; k < 4; ++k) {
+                        ++i;
+                        if (i >= s.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s[i])))
+                            return false;
+                    }
+                }
+            }
+            ++i;
+        }
+        if (i >= s.size())
+            return false;
+        ++i;
+        return true;
+    }
+    if (c == '{') {
+        ++i;
+        ws();
+        if (i < s.size() && s[i] == '}') {
+            ++i;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (i >= s.size() || s[i] != '"' || !jsonValue(s, i))
+                return false;
+            ws();
+            if (i >= s.size() || s[i] != ':')
+                return false;
+            ++i;
+            if (!jsonValue(s, i))
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        if (i >= s.size() || s[i] != '}')
+            return false;
+        ++i;
+        return true;
+    }
+    if (c == '[') {
+        ++i;
+        ws();
+        if (i < s.size() && s[i] == ']') {
+            ++i;
+            return true;
+        }
+        while (true) {
+            if (!jsonValue(s, i))
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        if (i >= s.size() || s[i] != ']')
+            return false;
+        ++i;
+        return true;
+    }
+    if (literal("true") || literal("false") || literal("null"))
+        return true;
+    // Number.
+    std::size_t start = i;
+    if (i < s.size() && s[i] == '-')
+        ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) ||
+            s[i] == '.' || s[i] == 'e' || s[i] == 'E' || s[i] == '+' ||
+            s[i] == '-'))
+        ++i;
+    return i > start;
+}
+
+} // namespace detail
+
+/** True iff @p text is exactly one syntactically valid JSON value. */
+inline bool
+validJson(const std::string &text)
+{
+    std::size_t i = 0;
+    if (!detail::jsonValue(text, i))
+        return false;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    return i == text.size();
+}
+
+/** True iff every non-empty line of @p text is a valid JSON value. */
+inline bool
+validJsonl(const std::string &text)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        std::string line = text.substr(pos, nl - pos);
+        bool blank = true;
+        for (char c : line)
+            blank = blank &&
+                    std::isspace(static_cast<unsigned char>(c));
+        if (!blank && !validJson(line))
+            return false;
+        pos = nl + 1;
+    }
+    return true;
 }
 
 } // namespace ldx::test

@@ -11,6 +11,10 @@
  *   ldx explain <workload|prog.mc>    dual-execute with the flight
  *                                     recorder and print the
  *                                     divergence forensics report
+ *   ldx fuzz [options]                differential fuzzing: generate
+ *                                     seeded programs and check the
+ *                                     oracle invariants across the
+ *                                     config matrix (docs/FUZZING.md)
  *
  * Options:
  *   --env K=V            environment variable (repeatable)
@@ -42,13 +46,36 @@
  *   --explain-format F   text | jsonl | chrome (default text)
  *   --explain-out FILE   write the explain report to FILE  (explain)
  *   --no-instrument      skip the counter pass           (dump)
+ *
+ * Fuzzing options (fuzz):
+ *   --seeds N            seeds to sweep (default 100)
+ *   --seed-start N       first seed (default 1); also the world seed
+ *                        used by --replay FILE
+ *   --time-budget SECS   stop the sweep after SECS seconds (0 = off)
+ *   --matrix M           full (16 cells) | quick (4 cells)
+ *   --mutations N        mutated sources per mutated cell (1..3)
+ *   --artifacts-dir DIR  write seed-N.mc / seed-N.min.mc /
+ *                        seed-N.violations.txt /
+ *                        seed-N.divergence.jsonl for failing seeds
+ *   --replay SEED|FILE   re-check one seed, or a .mc reproducer
+ *   --no-shrink          skip delta-debugging failing seeds
+ *   --inject-skip-cnt N  fault injection: skip every Nth CntAdd in
+ *                        both VMs (oracle self-test; the sweep is
+ *                        expected to fail)
  */
+#include <cctype>
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/shrinker.h"
 
 #include "instrument/instrument.h"
 #include "ir/printer.h"
@@ -86,12 +113,24 @@ struct CliOptions
     bool instrument = true;
     bool metrics = false;
     bool metricsJson = false;
+    bool metricsJsonStable = false;
     std::string traceOut;
     std::string traceFormat = "jsonl";
     bool flightRecorder = true;
     std::size_t recorderCapacity = obs::FlightRecorder::kDefaultCapacity;
     std::string explainFormat = "text";
     std::string explainOut;
+
+    // fuzz
+    std::uint64_t fuzzSeeds = 100;
+    std::uint64_t fuzzSeedStart = 1;
+    double fuzzTimeBudget = 0.0;
+    std::string fuzzMatrix = "full";
+    int fuzzMutations = 1;
+    std::string fuzzArtifactsDir;
+    std::string fuzzReplay;
+    bool fuzzShrink = true;
+    std::uint64_t fuzzInjectSkipCnt = 0;
 };
 
 [[noreturn]] void
@@ -103,6 +142,7 @@ usage(const std::string &error = "")
         "usage: ldx <run|dual|taint|dump> <prog.mc> [options]\n"
         "       ldx corpus | ldx bench <workload>\n"
         "       ldx explain <workload|prog.mc> [options]\n"
+        "       ldx fuzz [options]\n"
         "see the file header of tools/ldx_cli.cc for options\n";
     std::exit(2);
 }
@@ -142,7 +182,7 @@ parseArgs(int argc, char **argv)
             usage(opt.command + " needs an argument");
         opt.program = argv[2];
         i = 3;
-    } else if (opt.command != "corpus") {
+    } else if (opt.command != "corpus" && opt.command != "fuzz") {
         usage("unknown command " + opt.command);
     }
 
@@ -233,6 +273,10 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--metrics=json") {
             opt.metrics = true;
             opt.metricsJson = true;
+        } else if (arg == "--metrics=json-stable") {
+            opt.metrics = true;
+            opt.metricsJson = true;
+            opt.metricsJsonStable = true;
         } else if (arg == "--trace-out") {
             opt.traceOut = next("--trace-out");
         } else if (arg == "--trace-format") {
@@ -262,6 +306,30 @@ parseArgs(int argc, char **argv)
             opt.explainOut = next("--explain-out");
         } else if (arg == "--no-instrument") {
             opt.instrument = false;
+        } else if (arg == "--seeds") {
+            opt.fuzzSeeds = std::stoull(next("--seeds"));
+        } else if (arg == "--seed-start") {
+            opt.fuzzSeedStart = std::stoull(next("--seed-start"));
+        } else if (arg == "--time-budget") {
+            opt.fuzzTimeBudget = std::stod(next("--time-budget"));
+        } else if (arg == "--matrix") {
+            opt.fuzzMatrix = next("--matrix");
+            if (opt.fuzzMatrix != "full" && opt.fuzzMatrix != "quick")
+                usage("unknown matrix " + opt.fuzzMatrix +
+                      " (expected full or quick)");
+        } else if (arg == "--mutations") {
+            opt.fuzzMutations = std::stoi(next("--mutations"));
+            if (opt.fuzzMutations < 0 || opt.fuzzMutations > 3)
+                usage("--mutations expects 0..3");
+        } else if (arg == "--artifacts-dir") {
+            opt.fuzzArtifactsDir = next("--artifacts-dir");
+        } else if (arg == "--replay") {
+            opt.fuzzReplay = next("--replay");
+        } else if (arg == "--no-shrink") {
+            opt.fuzzShrink = false;
+        } else if (arg == "--inject-skip-cnt") {
+            opt.fuzzInjectSkipCnt =
+                std::stoull(next("--inject-skip-cnt"));
         } else {
             usage("unknown option " + arg);
         }
@@ -409,7 +477,9 @@ cmdDual(const CliOptions &opt)
     if (res.divergence.present)
         out << "divergence: " << res.divergence.summary()
             << " (run 'ldx explain' for the full report)\n";
-    if (opt.metricsJson)
+    if (opt.metricsJsonStable)
+        std::cout << core::resultJsonStable(res) << "\n";
+    else if (opt.metricsJson)
         std::cout << core::resultJson(res, phases) << "\n";
     else if (opt.metrics)
         printMetricsText(std::cout, res, phases);
@@ -501,7 +571,9 @@ cmdBench(const CliOptions &opt)
     if (res.divergence.present)
         out << "divergence: " << res.divergence.summary()
             << " (run 'ldx explain' for the full report)\n";
-    if (opt.metricsJson)
+    if (opt.metricsJsonStable)
+        std::cout << core::resultJsonStable(res) << "\n";
+    else if (opt.metricsJson)
         std::cout << core::resultJson(res, res.phases) << "\n";
     else if (opt.metrics)
         printMetricsText(std::cout, res, res.phases);
@@ -580,6 +652,146 @@ cmdExplain(const CliOptions &opt)
     return 0;
 }
 
+/** Oracle configuration from the CLI flags. */
+fuzz::OracleOptions
+fuzzOracleOptions(const CliOptions &opt)
+{
+    fuzz::OracleOptions oopt;
+    oopt.mutationSources = opt.fuzzMutations;
+    oopt.fullMatrix = opt.fuzzMatrix == "full";
+    oopt.chaosSkipCntAddPeriod = opt.fuzzInjectSkipCnt;
+    return oopt;
+}
+
+/**
+ * Dump the artifacts of one failing seed: the full generated program,
+ * the shrunk reproducer (when shrinking ran), the violation list, and
+ * the failing cell's divergence report as JSONL.
+ */
+void
+writeFuzzArtifacts(const CliOptions &opt, const fuzz::SeedReport &rep,
+                   const std::string &minSource)
+{
+    if (opt.fuzzArtifactsDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(opt.fuzzArtifactsDir, ec);
+    std::string base =
+        opt.fuzzArtifactsDir + "/seed-" + std::to_string(rep.seed);
+    std::ofstream(base + ".mc", std::ios::binary) << rep.source;
+    if (!minSource.empty())
+        std::ofstream(base + ".min.mc", std::ios::binary) << minSource;
+    {
+        std::ofstream out(base + ".violations.txt", std::ios::binary);
+        for (const fuzz::Violation &v : rep.violations)
+            out << v.describe() << "\n";
+    }
+    if (rep.hasFailingResult && rep.failingResult.divergence.present) {
+        std::ofstream out(base + ".divergence.jsonl",
+                          std::ios::binary);
+        rep.failingResult.divergence.writeJsonl(out, resolveSysName);
+    }
+    std::cerr << "[ldx] artifacts written to " << base << ".*\n";
+}
+
+/**
+ * Handle one failing seed: report, shrink (unless --no-shrink), dump
+ * artifacts.
+ */
+void
+handleFuzzFailure(const CliOptions &opt, const fuzz::Oracle &oracle,
+                  const fuzz::SeedReport &rep)
+{
+    std::cerr << "[ldx] seed " << rep.seed << ": "
+              << rep.violations.size() << " violation(s)\n";
+    for (const fuzz::Violation &v : rep.violations)
+        std::cerr << "  " << v.describe() << "\n";
+    std::string min_source;
+    if (opt.fuzzShrink && rep.compiled) {
+        fuzz::ProgramGenerator gen(rep.seed,
+                                   oracle.options().gen);
+        fuzz::GenProgram prog = gen.generateProgram();
+        // Only shrink what the generator produced; a replayed file
+        // has no emission tree to delta-debug.
+        if (prog.render() == rep.source) {
+            fuzz::Shrinker shrinker(oracle);
+            fuzz::ShrinkResult sr = shrinker.shrink(rep.seed, prog);
+            min_source = sr.source;
+            std::cerr << "[ldx] shrunk seed " << rep.seed << " ("
+                      << sr.evaluations << " evaluations, "
+                      << sr.removedNodes
+                      << " nodes removed):\n"
+                      << min_source;
+        }
+    }
+    writeFuzzArtifacts(opt, rep, min_source);
+}
+
+int
+cmdFuzz(const CliOptions &opt)
+{
+    fuzz::Oracle oracle(fuzzOracleOptions(opt));
+
+    // Replay mode: one seed, or one .mc reproducer checked against
+    // --seed-start's world and mutation plan.
+    if (!opt.fuzzReplay.empty()) {
+        bool numeric = !opt.fuzzReplay.empty();
+        for (char c : opt.fuzzReplay)
+            numeric = numeric &&
+                      std::isdigit(static_cast<unsigned char>(c));
+        fuzz::SeedReport rep =
+            numeric ? oracle.run(std::stoull(opt.fuzzReplay))
+                    : oracle.runSource(opt.fuzzSeedStart,
+                                       readHostFile(opt.fuzzReplay));
+        if (!rep.compiled) {
+            std::cerr << "[ldx] replay program does not compile\n";
+            return 2;
+        }
+        if (rep.ok()) {
+            std::cout << "replay clean: no oracle violations\n";
+            return 0;
+        }
+        handleFuzzFailure(opt, oracle, rep);
+        std::cout << "replay: " << rep.violations.size()
+                  << " oracle violation(s)\n";
+        return 1;
+    }
+
+    // Sweep mode.
+    auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    std::uint64_t checked = 0;
+    std::uint64_t failing = 0;
+    std::uint64_t last = opt.fuzzSeedStart + opt.fuzzSeeds;
+    for (std::uint64_t seed = opt.fuzzSeedStart; seed < last; ++seed) {
+        if (opt.fuzzTimeBudget > 0.0 &&
+            elapsed() > opt.fuzzTimeBudget) {
+            std::cerr << "[ldx] time budget exhausted after "
+                      << checked << " seeds\n";
+            break;
+        }
+        fuzz::SeedReport rep = oracle.run(seed);
+        ++checked;
+        if (!rep.ok()) {
+            ++failing;
+            handleFuzzFailure(opt, oracle, rep);
+        }
+        if (checked % 50 == 0)
+            std::cerr << "[ldx] " << checked << " seeds, " << failing
+                      << " failing, " << elapsed() << "s\n";
+    }
+    std::cout << "fuzz: " << checked << " seeds checked, " << failing
+              << " failing ("
+              << fuzz::Oracle::matrix(oracle.options().fullMatrix)
+                     .size()
+              << " dual cells/seed, " << elapsed() << "s)\n";
+    return failing ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -601,6 +813,8 @@ main(int argc, char **argv)
             return cmdBench(opt);
         if (opt.command == "explain")
             return cmdExplain(opt);
+        if (opt.command == "fuzz")
+            return cmdFuzz(opt);
         usage();
     } catch (const ldx::FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
