@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Campaign throughput: batch causality inference scaling with worker
+ * count (docs/EXPERIMENTS.md "Campaign throughput").
+ *
+ * For each benchmark workload the full campaign (enumerate -> plan ->
+ * dual-execute every (source, policy) query -> aggregate) runs cold at
+ * --jobs 1/2/4/8, reporting queries/sec and per-query latency
+ * percentiles, then once more against a warm in-memory cache to
+ * report the hit rate and the warm wall time. Emits
+ * BENCH_campaign.json for CI diffing.
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "query/campaign.h"
+
+using namespace ldx;
+
+namespace {
+
+struct JobsRun
+{
+    int jobs = 0;
+    std::size_t queries = 0;
+    double seconds = 0.0;
+    double queriesPerSec = 0.0;
+    RunningStats latency; ///< per-query seconds (executed only)
+};
+
+JobsRun
+coldCampaign(const workloads::Workload &w, int jobs)
+{
+    query::CampaignConfig cfg;
+    cfg.sinks = w.sinks;
+    cfg.jobs = jobs;
+    cfg.deadlineSeconds = 60.0;
+
+    JobsRun run;
+    run.jobs = jobs;
+    query::CampaignResult res;
+    run.seconds = bench::timeSeconds(
+        [&] {
+            res = query::runCampaign(workloads::workloadModule(w, true),
+                                     w.world(w.defaultScale), cfg);
+        },
+        1);
+    run.queries = res.queries.size();
+    run.queriesPerSec =
+        run.seconds > 0.0 ? res.queries.size() / run.seconds : 0.0;
+    for (std::size_t i = 0; i < res.queries.size(); ++i)
+        if (!res.fromCache[i] &&
+            res.outcomes[i].status == query::RunStatus::Done)
+            run.latency.add(res.outcomes[i].seconds);
+    return run;
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *names[] = {"gif2png", "mp3info", "prozilla", "ngircd"};
+    const int jobs_axis[] = {1, 2, 4, 8};
+
+    std::string json = "{\"bench\":\"campaign\",\"workloads\":[";
+    bool first_w = true;
+    for (const char *name : names) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        if (!w) {
+            std::cerr << "[bench] unknown workload " << name << "\n";
+            return 2;
+        }
+        if (!first_w)
+            json += ',';
+        first_w = false;
+        json += "{\"workload\":" + obs::jsonString(w->name);
+        json += ",\"runs\":[";
+
+        std::cout << w->name << ":\n";
+        for (std::size_t j = 0; j < std::size(jobs_axis); ++j) {
+            JobsRun run = coldCampaign(*w, jobs_axis[j]);
+            std::cout << "  jobs " << run.jobs << ": " << run.queries
+                      << " queries in " << run.seconds * 1e3 << " ms ("
+                      << run.queriesPerSec << " q/s, p50 "
+                      << run.latency.p50() * 1e3 << " ms, p95 "
+                      << run.latency.p95() * 1e3 << " ms)\n";
+            if (j)
+                json += ',';
+            json += "{\"jobs\":" + std::to_string(run.jobs);
+            json += ",\"queries\":" + std::to_string(run.queries);
+            json += ",\"seconds\":" + obs::jsonNumber(run.seconds);
+            json += ",\"queries_per_sec\":" +
+                    obs::jsonNumber(run.queriesPerSec);
+            json += ",\"latency_seconds\":" +
+                    bench::statsJson(run.latency);
+            json += '}';
+        }
+        json += ']';
+
+        // Warm pass: run the campaign twice against a per-workload
+        // disk cache in the working directory and measure the second
+        // (fully cached) run.
+        query::CampaignConfig warm_cfg;
+        warm_cfg.sinks = w->sinks;
+        warm_cfg.jobs = 4;
+        warm_cfg.deadlineSeconds = 60.0;
+        warm_cfg.cacheDir =
+            std::string("campaign-cache-") + w->name;
+        query::runCampaign(workloads::workloadModule(*w, true),
+                           w->world(w->defaultScale), warm_cfg);
+        query::CampaignResult warm;
+        double warm_seconds = bench::timeSeconds(
+            [&] {
+                warm = query::runCampaign(
+                    workloads::workloadModule(*w, true),
+                    w->world(w->defaultScale), warm_cfg);
+            },
+            1);
+        double hit_rate =
+            warm.queries.empty()
+                ? 0.0
+                : static_cast<double>(warm.cacheHits) /
+                      static_cast<double>(warm.queries.size());
+        std::cout << "  warm: " << warm.cacheHits << "/"
+                  << warm.queries.size() << " cached ("
+                  << warm.dualExecutions << " executed, "
+                  << warm_seconds * 1e3 << " ms)\n";
+        json += ",\"warm\":{\"cache_hit_rate\":" +
+                obs::jsonNumber(hit_rate);
+        json += ",\"dual_executions\":" +
+                std::to_string(warm.dualExecutions);
+        json += ",\"seconds\":" + obs::jsonNumber(warm_seconds) + "}";
+        json += '}';
+    }
+    json += "]}";
+    bench::writeBenchBlob("campaign", json);
+    return 0;
+}

@@ -174,6 +174,18 @@ class Registry
 };
 
 /**
+ * Canonical bucket bounds (seconds) for wall-clock latency
+ * histograms. Shared so every latency histogram in the repo (campaign
+ * query runtimes, bench harnesses) reports percentiles on the same
+ * grid and snapshots stay comparable across subsystems.
+ */
+inline std::vector<double>
+latencySecondsBounds()
+{
+    return {0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0};
+}
+
+/**
  * Microseconds since the first call in this process (steady clock).
  * Every obs timestamp shares this timeline, so trace events emitted
  * by different components (CLI front end, engine, controllers) stay

@@ -1,0 +1,287 @@
+#include "query/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ir/printer.h"
+#include "obs/recorder.h"
+
+namespace ldx::query {
+
+namespace {
+
+constexpr const char *kRecordMagic = "ldx-campaign-cache v1";
+
+void
+appendKv(std::string &out, const std::string &k, const std::string &v)
+{
+    out += k;
+    out += '\t';
+    out += v;
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+CacheKey::digest() const
+{
+    // Fold the structured key into one collision-resistant-enough
+    // name: two fnv1a passes over the textual rendering.
+    std::string text = std::to_string(programHash) + "|" +
+                       std::to_string(worldHash) + "|" + sourceId +
+                       "|" + policy;
+    std::uint64_t h1 = obs::fnv1a(text);
+    std::uint64_t h2 = obs::fnv1a(text + "#2");
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(h1),
+                  static_cast<unsigned long long>(h2));
+    return buf;
+}
+
+std::string
+canonicalWorld(const os::WorldSpec &world)
+{
+    // std::map iteration gives a canonical order for files/peers/env.
+    std::string out;
+    for (const auto &[path, data] : world.files)
+        appendKv(out, "file:" + path, data);
+    for (const auto &[host, script] : world.peers) {
+        std::string resp;
+        for (const std::string &r : script.responses) {
+            resp += std::to_string(r.size());
+            resp += ':';
+            resp += r;
+        }
+        appendKv(out, "peer:" + host,
+                 (script.echo ? "echo|" : "script|") + resp);
+    }
+    for (const os::IncomingConn &conn : world.incoming)
+        appendKv(out, "incoming", conn.request);
+    for (const auto &[name, value] : world.env)
+        appendKv(out, "env:" + name, value);
+    appendKv(out, "pid", std::to_string(world.pid));
+    appendKv(out, "clock",
+             std::to_string(world.clockBase) + "+" +
+                 std::to_string(world.clockStepPerQuery));
+    appendKv(out, "rdtsc", std::to_string(world.rdtscSeed));
+    appendKv(out, "random", std::to_string(world.randomSeed));
+    appendKv(out, "heap", std::to_string(world.heapBaseJitter));
+    return out;
+}
+
+std::uint64_t
+hashWorld(const os::WorldSpec &world)
+{
+    return obs::fnv1a(canonicalWorld(world));
+}
+
+std::uint64_t
+hashProgram(const ir::Module &module)
+{
+    std::ostringstream ss;
+    ir::printModule(ss, module);
+    return obs::fnv1a(ss.str());
+}
+
+std::string
+serializeVerdict(const QueryVerdict &v)
+{
+    std::string out = kRecordMagic;
+    out += '\n';
+    appendKv(out, "causality", v.causality ? "1" : "0");
+    appendKv(out, "quality", verdictQualityName(v.quality));
+    appendKv(out, "master_exit", std::to_string(v.masterExit));
+    appendKv(out, "slave_exit", std::to_string(v.slaveExit));
+    appendKv(out, "master_trapped", v.masterTrapped ? "1" : "0");
+    appendKv(out, "slave_trapped", v.slaveTrapped ? "1" : "0");
+    appendKv(out, "aligned", std::to_string(v.alignedSyscalls));
+    appendKv(out, "diffs", std::to_string(v.syscallDiffs));
+    appendKv(out, "findings", std::to_string(v.findings));
+    for (const EdgeEvidence &e : v.edges)
+        appendKv(out, "edge",
+                 e.sinkId + "\t" + e.kind + "\t" +
+                     std::to_string(e.count));
+    return out;
+}
+
+std::optional<QueryVerdict>
+parseVerdict(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kRecordMagic)
+        return std::nullopt;
+    QueryVerdict v;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto tab = line.find('\t');
+        if (tab == std::string::npos)
+            return std::nullopt;
+        std::string key = line.substr(0, tab);
+        std::string val = line.substr(tab + 1);
+        try {
+            if (key == "causality") {
+                v.causality = val == "1";
+            } else if (key == "quality") {
+                if (val == "clean")
+                    v.quality = VerdictQuality::Clean;
+                else if (val == "decoupled")
+                    v.quality = VerdictQuality::Decoupled;
+                else if (val == "timed-out")
+                    v.quality = VerdictQuality::TimedOut;
+                else
+                    return std::nullopt;
+            } else if (key == "master_exit") {
+                v.masterExit = std::stoll(val);
+            } else if (key == "slave_exit") {
+                v.slaveExit = std::stoll(val);
+            } else if (key == "master_trapped") {
+                v.masterTrapped = val == "1";
+            } else if (key == "slave_trapped") {
+                v.slaveTrapped = val == "1";
+            } else if (key == "aligned") {
+                v.alignedSyscalls = std::stoull(val);
+            } else if (key == "diffs") {
+                v.syscallDiffs = std::stoull(val);
+            } else if (key == "findings") {
+                v.findings = std::stoull(val);
+            } else if (key == "edge") {
+                auto t1 = val.find('\t');
+                auto t2 = val.find('\t', t1 + 1);
+                if (t1 == std::string::npos || t2 == std::string::npos)
+                    return std::nullopt;
+                EdgeEvidence e;
+                e.sinkId = val.substr(0, t1);
+                e.kind = val.substr(t1 + 1, t2 - t1 - 1);
+                e.count = std::stoull(val.substr(t2 + 1));
+                v.edges.push_back(std::move(e));
+            }
+            // Unknown keys are skipped so v2 readers stay compatible.
+        } catch (const std::exception &) {
+            return std::nullopt;
+        }
+    }
+    return v;
+}
+
+ResultCache::ResultCache(std::size_t capacity, std::string dir,
+                         obs::Registry *registry)
+    : capacity_(capacity ? capacity : 1), dir_(std::move(dir)),
+      registry_(registry)
+{}
+
+void
+ResultCache::touch(std::map<CacheKey, std::size_t>::iterator it)
+{
+    Slot &slot = slots_[it->second];
+    lru_.erase(slot.lruPos);
+    lru_.push_front(it->second);
+    slot.lruPos = lru_.begin();
+}
+
+std::optional<QueryVerdict>
+ResultCache::lookup(const CacheKey &key)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        touch(it);
+        ++hits_;
+        if (registry_)
+            registry_->counter("campaign.cache.hits").inc();
+        return slots_[it->second].verdict;
+    }
+    if (!dir_.empty()) {
+        std::optional<QueryVerdict> disk = loadFromDisk(key);
+        if (disk) {
+            ++hits_;
+            if (registry_) {
+                registry_->counter("campaign.cache.hits").inc();
+                registry_->counter("campaign.cache.disk_loads").inc();
+            }
+            // Promote into the memory tier (without re-writing disk).
+            QueryVerdict v = *disk;
+            storeInMemory(key, v);
+            return disk;
+        }
+    }
+    ++misses_;
+    if (registry_)
+        registry_->counter("campaign.cache.misses").inc();
+    return std::nullopt;
+}
+
+void
+ResultCache::store(const CacheKey &key, const QueryVerdict &verdict)
+{
+    storeInMemory(key, verdict);
+    if (!dir_.empty())
+        storeToDisk(key, verdict);
+}
+
+void
+ResultCache::storeInMemory(const CacheKey &key,
+                           const QueryVerdict &verdict)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        slots_[it->second].verdict = verdict;
+        touch(it);
+        return;
+    }
+    if (entries_.size() >= capacity_) {
+        std::size_t victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(slots_[victim].key);
+        freeSlots_.push_back(victim);
+        ++evictions_;
+        if (registry_)
+            registry_->counter("campaign.cache.evictions").inc();
+    }
+    std::size_t slot_idx;
+    if (!freeSlots_.empty()) {
+        slot_idx = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot_idx = slots_.size();
+        slots_.emplace_back();
+    }
+    Slot &slot = slots_[slot_idx];
+    slot.key = key;
+    slot.verdict = verdict;
+    lru_.push_front(slot_idx);
+    slot.lruPos = lru_.begin();
+    entries_.emplace(key, slot_idx);
+}
+
+std::optional<QueryVerdict>
+ResultCache::loadFromDisk(const CacheKey &key)
+{
+    std::ifstream in(dir_ + "/" + key.digest() + ".ldxq",
+                     std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseVerdict(ss.str());
+}
+
+void
+ResultCache::storeToDisk(const CacheKey &key, const QueryVerdict &verdict)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    std::string path = dir_ + "/" + key.digest() + ".ldxq";
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return;
+    out << serializeVerdict(verdict);
+    if (registry_)
+        registry_->counter("campaign.cache.disk_stores").inc();
+}
+
+} // namespace ldx::query

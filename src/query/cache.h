@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Result cache for the batch causality-inference engine.
+ *
+ * A campaign query's verdict is fully determined by (program, world,
+ * source, mutation policy) — the dual-execution protocol makes the
+ * verdict independent of the driver, worker count, and completion
+ * order — so verdicts are cached under exactly that key:
+ *
+ *   (program hash, world hash, source id, policy)
+ *
+ * The in-memory tier is a bounded LRU map. When a cache directory is
+ * configured, verdicts are additionally persisted as small text
+ * records (one file per key, named by the key hash), so a re-run of
+ * the same campaign — or an overlapping campaign over the same
+ * program/world — performs zero dual executions for the shared
+ * queries. Hit/miss/eviction tallies land in the campaign's metrics
+ * registry (campaign.cache.*).
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "query/verdict.h"
+
+namespace ldx::query {
+
+/** Cache key of one query. */
+struct CacheKey
+{
+    std::uint64_t programHash = 0; ///< fnv1a of the printed IR
+    std::uint64_t worldHash = 0;   ///< fnv1a of the canonical world
+    std::string sourceId;          ///< SourceCandidate::id + offset
+    std::string policy;            ///< mutationStrategyName
+
+    /** Stable file/hash name of this key. */
+    std::string digest() const;
+
+    bool
+    operator<(const CacheKey &o) const
+    {
+        if (programHash != o.programHash)
+            return programHash < o.programHash;
+        if (worldHash != o.worldHash)
+            return worldHash < o.worldHash;
+        if (sourceId != o.sourceId)
+            return sourceId < o.sourceId;
+        return policy < o.policy;
+    }
+};
+
+/** Canonical world serialization backing CacheKey::worldHash. */
+std::string canonicalWorld(const os::WorldSpec &world);
+
+/** fnv1a of the canonical serialization of @p world. */
+std::uint64_t hashWorld(const os::WorldSpec &world);
+
+/** fnv1a of the printed IR of @p module. */
+std::uint64_t hashProgram(const ir::Module &module);
+
+/** Bounded LRU verdict cache with optional directory persistence. */
+class ResultCache
+{
+  public:
+    /**
+     * @param capacity  in-memory entry cap (>= 1)
+     * @param dir       persistence directory ("" = memory only); it
+     *                  is created on first store
+     * @param registry  campaign metrics registry (may be null)
+     */
+    ResultCache(std::size_t capacity, std::string dir,
+                obs::Registry *registry);
+
+    /** Verdict for @p key, or nullopt. Counts a hit or a miss. */
+    std::optional<QueryVerdict> lookup(const CacheKey &key);
+
+    /** Insert (or refresh) @p verdict under @p key. */
+    void store(const CacheKey &key, const QueryVerdict &verdict);
+
+    std::size_t size() const { return entries_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    void touch(std::map<CacheKey, std::size_t>::iterator it);
+    void storeInMemory(const CacheKey &key, const QueryVerdict &verdict);
+    std::optional<QueryVerdict> loadFromDisk(const CacheKey &key);
+    void storeToDisk(const CacheKey &key, const QueryVerdict &verdict);
+
+    std::size_t capacity_;
+    std::string dir_;
+    obs::Registry *registry_;
+
+    // LRU bookkeeping: entries_ maps key -> slot in slots_; lru_
+    // orders slot indices, most recent first.
+    struct Slot
+    {
+        CacheKey key;
+        QueryVerdict verdict;
+        std::list<std::size_t>::iterator lruPos;
+    };
+    std::map<CacheKey, std::size_t> entries_;
+    std::vector<Slot> slots_;
+    std::vector<std::size_t> freeSlots_;
+    std::list<std::size_t> lru_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+/**
+ * Serialize @p verdict as the versioned text record used by the disk
+ * tier (docs/CAMPAIGN.md "Cache key & record format").
+ */
+std::string serializeVerdict(const QueryVerdict &verdict);
+
+/** Parse a record; nullopt on version mismatch or corruption. */
+std::optional<QueryVerdict> parseVerdict(const std::string &text);
+
+} // namespace ldx::query

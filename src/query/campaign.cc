@@ -1,0 +1,183 @@
+#include "query/campaign.h"
+
+#include <atomic>
+#include <utility>
+
+#include "support/diag.h"
+
+namespace ldx::query {
+
+namespace {
+
+CacheKey
+keyOf(const CampaignResult &res, const CampaignQuery &q)
+{
+    CacheKey key;
+    key.programHash = res.programHash;
+    key.worldHash = res.worldHash;
+    key.sourceId = q.cacheSourceId();
+    key.policy = core::mutationStrategyName(q.strategy);
+    return key;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const ir::Module &module, const os::WorldSpec &world,
+            const CampaignConfig &cfg)
+{
+    if (cfg.jobs < 1)
+        fatal("campaign requires jobs >= 1");
+    if (cfg.queueCap < 1)
+        fatal("campaign requires queue-cap >= 1");
+    if (cfg.cacheCapacity < 1)
+        fatal("campaign requires cache-cap >= 1");
+    if (cfg.policies.empty())
+        fatal("campaign requires at least one mutation policy");
+
+    obs::Registry fallback;
+    obs::Registry *reg = cfg.registry ? cfg.registry : &fallback;
+    obs::PhaseTimer timer(cfg.traceSink);
+
+    CampaignResult res;
+
+    timer.begin("campaign.enumerate");
+    EnumerateOptions eopts;
+    eopts.sinks = cfg.sinks;
+    eopts.eventCap = cfg.eventCap;
+    eopts.vmConfig = cfg.vmConfig;
+    res.baseline = enumerateBaseline(module, world, eopts);
+    timer.end();
+
+    // Plan: queryable sources x policies, in enumeration order. The
+    // query index is the aggregation order — everything downstream is
+    // slot-addressed by it, which is what makes the campaign's output
+    // independent of scheduling.
+    timer.begin("campaign.plan");
+    res.programHash = hashProgram(module);
+    res.worldHash = hashWorld(world);
+    for (const SourceCandidate *src : res.baseline.queryableSources()) {
+        for (core::MutationStrategy policy : cfg.policies) {
+            CampaignQuery q;
+            q.index = res.queries.size();
+            q.sourceId = src->id;
+            q.sourceResource = src->resource;
+            q.spec = src->spec;
+            q.spec.offset = cfg.offset;
+            q.strategy = policy;
+            res.queries.push_back(std::move(q));
+        }
+    }
+    timer.end();
+
+    res.verdicts.assign(res.queries.size(), std::nullopt);
+    res.outcomes.assign(res.queries.size(), RunOutcome{});
+    res.fromCache.assign(res.queries.size(), false);
+
+    // Probe the cache on this thread; only misses reach the pool.
+    timer.begin("campaign.probe-cache");
+    ResultCache cache(cfg.cacheCapacity, cfg.cacheDir, reg);
+    std::vector<std::size_t> misses;
+    for (const CampaignQuery &q : res.queries) {
+        if (std::optional<QueryVerdict> v = cache.lookup(keyOf(res, q))) {
+            res.verdicts[q.index] = std::move(*v);
+            res.fromCache[q.index] = true;
+            res.outcomes[q.index].status = RunStatus::Done;
+        } else {
+            misses.push_back(q.index);
+        }
+    }
+    timer.end();
+
+    timer.begin("campaign.execute");
+    obs::Counter &dual_execs = reg->counter("campaign.dual.executions");
+    std::atomic<std::uint64_t> ran{0};
+    std::vector<std::optional<QueryVerdict>> miss_verdicts(misses.size());
+    auto runOne = [&](std::size_t j) {
+        const CampaignQuery &q = res.queries[misses[j]];
+        core::EngineConfig ecfg;
+        ecfg.sinks = cfg.sinks;
+        ecfg.driver = cfg.driver;
+        ecfg.sources = {q.spec};
+        ecfg.strategy = q.strategy;
+        ecfg.threaded = cfg.threaded;
+        ecfg.vmConfig = cfg.vmConfig;
+        // The per-query deadline is the engine's wall-clock cap; an
+        // expired pair surfaces as deadlocked -> TimedOut verdict.
+        ecfg.wallClockCap = cfg.deadlineSeconds;
+        // Batch mode: skip the forensics ring; `ldx explain` is the
+        // tool for digging into one pair.
+        ecfg.flightRecorder = false;
+        // Each query gets a private engine registry: DualResult's
+        // legacy tallies are registry-backed and a shared one would
+        // accumulate across queries.
+        ecfg.registry = nullptr;
+        dual_execs.inc();
+        ran.fetch_add(1, std::memory_order_relaxed);
+        core::DualEngine engine(module, world, ecfg);
+        core::DualResult r = engine.run();
+        miss_verdicts[j] = verdictFromResult(r);
+    };
+    SchedulerConfig scfg;
+    scfg.jobs = cfg.jobs;
+    scfg.queueCap = cfg.queueCap;
+    scfg.cancel = cfg.cancel;
+    scfg.registry = reg;
+    std::vector<RunOutcome> pool = runOnPool(misses.size(), runOne, scfg);
+    timer.end();
+
+    // Fold pool results back into the per-query slots and populate
+    // the cache — on this thread, in query-index order, so the cache
+    // (and its disk tier) fills deterministically.
+    timer.begin("campaign.aggregate");
+    for (std::size_t j = 0; j < misses.size(); ++j) {
+        std::size_t qi = misses[j];
+        res.outcomes[qi] = pool[j];
+        if (pool[j].status == RunStatus::Done && miss_verdicts[j]) {
+            res.verdicts[qi] = std::move(miss_verdicts[j]);
+            cache.store(keyOf(res, res.queries[qi]), *res.verdicts[qi]);
+        }
+    }
+    for (std::size_t i = 0; i < res.queries.size(); ++i) {
+        switch (res.outcomes[i].status) {
+          case RunStatus::Done: break;
+          case RunStatus::Cancelled: ++res.cancelledQueries; break;
+          case RunStatus::Failed: ++res.failedQueries; break;
+        }
+        if (res.verdicts[i] &&
+            res.verdicts[i]->quality == VerdictQuality::TimedOut)
+            ++res.timedOutQueries;
+    }
+    res.dualExecutions = ran.load(std::memory_order_relaxed);
+    res.cacheHits = cache.hits();
+    res.cacheMisses = cache.misses();
+    res.cacheEvictions = cache.evictions();
+
+    std::vector<const QueryVerdict *> slots(res.queries.size(), nullptr);
+    for (std::size_t i = 0; i < res.queries.size(); ++i)
+        if (res.verdicts[i])
+            slots[i] = &*res.verdicts[i];
+    std::vector<std::string> policy_names;
+    policy_names.reserve(cfg.policies.size());
+    for (core::MutationStrategy p : cfg.policies)
+        policy_names.push_back(core::mutationStrategyName(p));
+    res.graph = buildGraph(res.baseline, res.queries, slots,
+                           policy_names, res.programHash, res.worldHash);
+    timer.end();
+
+    reg->counter("campaign.queries.total").inc(res.queries.size());
+    reg->counter("campaign.queries.timed_out").inc(res.timedOutQueries);
+    reg->gauge("campaign.sources.total")
+        .set(static_cast<double>(res.baseline.sources.size()));
+    reg->gauge("campaign.sources.queryable")
+        .set(static_cast<double>(res.baseline.queryableSources().size()));
+    reg->gauge("campaign.sinks.total")
+        .set(static_cast<double>(res.baseline.sinks.size()));
+    reg->gauge("campaign.graph.edges")
+        .set(static_cast<double>(res.graph.edges.size()));
+
+    res.phases = timer.samples();
+    return res;
+}
+
+} // namespace ldx::query

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The batch causality-inference engine (`ldx campaign`).
+ *
+ * A campaign answers "which inputs influence which outputs of this
+ * program?" in one shot. One native baseline run enumerates candidate
+ * sources and sinks (query/enumerate.h); the planner crosses every
+ * queryable source with every mutation policy into a query list; the
+ * result cache is probed on the planning thread; cache misses run as
+ * independent dual executions on the work-stealing pool
+ * (query/scheduler.h); and the aggregator folds the per-query
+ * verdicts into a deterministic causality graph (query/graph.h).
+ *
+ * Determinism contract: for a fixed (module, world, sink config,
+ * policy list, offset), the campaign's graph JSON/DOT are
+ * byte-identical across worker counts, queue caps, completion orders,
+ * cache states (cold vs warm), and drivers (lockstep vs threaded).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "ldx/engine.h"
+#include "obs/phase.h"
+#include "obs/registry.h"
+#include "os/world.h"
+#include "query/cache.h"
+#include "query/enumerate.h"
+#include "query/graph.h"
+#include "query/scheduler.h"
+#include "query/verdict.h"
+
+namespace ldx::query {
+
+/** Campaign configuration. */
+struct CampaignConfig
+{
+    /** Mutation policies crossed with every queryable source. */
+    std::vector<core::MutationStrategy> policies = {
+        core::MutationStrategy::OffByOne,
+        core::MutationStrategy::Zero,
+        core::MutationStrategy::BitFlip,
+    };
+
+    /**
+     * Byte offset mutated within each source value;
+     * SourceSpec::kWholeValue (the default) perturbs every byte so an
+     * enumerated source reliably disturbs behaviour without knowing
+     * the workload's sensitive offset.
+     */
+    std::size_t offset = core::SourceSpec::kWholeValue;
+
+    /** Sink channels considered (shared with the enumeration). */
+    core::SinkConfig sinks;
+
+    /** Run each pair with the threaded driver (default: lockstep). */
+    bool threaded = false;
+    core::DriverConfig driver;
+
+    /** Worker threads (>= 1). */
+    int jobs = 1;
+
+    /** Admission cap: max outstanding queries (>= 1). */
+    std::size_t queueCap = 256;
+
+    /**
+     * Per-query deadline (seconds) enforced as the engine's
+     * wall-clock cap; an expired query yields a TimedOut verdict.
+     */
+    double deadlineSeconds = 30.0;
+
+    /** In-memory result-cache capacity (entries, >= 1). */
+    std::size_t cacheCapacity = 4096;
+
+    /** Cache persistence directory ("" = memory only). */
+    std::string cacheDir;
+
+    /** Retained baseline events (enumeration cap). */
+    std::uint64_t eventCap = 1 << 16;
+
+    /** Cooperative cancellation flag (the CLI's SIGINT latch). */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /**
+     * Campaign-level metrics registry (scheduler, cache, planner
+     * tallies). Each dual execution always runs with a *private*
+     * engine registry — DualResult's legacy counters are
+     * registry-backed and would otherwise accumulate across queries.
+     */
+    obs::Registry *registry = nullptr;
+
+    /** Structured trace sink for phase timing (may be null). */
+    obs::TraceSink *traceSink = nullptr;
+
+    /** VM configuration common to every run. */
+    vm::MachineConfig vmConfig;
+};
+
+/** Everything a campaign produced. */
+struct CampaignResult
+{
+    BaselineEnumeration baseline;
+
+    std::uint64_t programHash = 0;
+    std::uint64_t worldHash = 0;
+
+    /** Planned queries (queryable sources x policies). */
+    std::vector<CampaignQuery> queries;
+
+    /**
+     * Verdict per query (slot i answers queries[i]); nullopt when the
+     * query was cancelled or failed.
+     */
+    std::vector<std::optional<QueryVerdict>> verdicts;
+
+    /** Scheduler outcome per query (cache hits report Done). */
+    std::vector<RunOutcome> outcomes;
+
+    /** Whether the verdict came from the cache. */
+    std::vector<bool> fromCache;
+
+    CausalityGraph graph;
+
+    // Tallies (also in the metrics registry as campaign.*).
+    std::uint64_t dualExecutions = 0; ///< engine runs actually made
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEvictions = 0;
+    std::uint64_t cancelledQueries = 0;
+    std::uint64_t failedQueries = 0;
+    std::uint64_t timedOutQueries = 0;
+
+    /** Phase timing (enumerate / plan / probe-cache / execute /
+     *  aggregate), completion order. */
+    std::vector<obs::PhaseSample> phases;
+
+    bool anyCausality() const { return graph.anyCausality(); }
+};
+
+/**
+ * Run a full campaign over @p module (counter-instrumented; fatal
+ * otherwise) in @p world.
+ */
+CampaignResult runCampaign(const ir::Module &module,
+                           const os::WorldSpec &world,
+                           const CampaignConfig &cfg);
+
+} // namespace ldx::query

@@ -1,0 +1,287 @@
+#include "query/enumerate.h"
+
+#include <map>
+
+#include "instrument/instrument.h"
+#include "obs/recorder.h"
+#include "os/kernel.h"
+#include "os/sysno.h"
+#include "os/vfs.h"
+#include "support/diag.h"
+
+namespace ldx::query {
+
+namespace {
+
+/**
+ * Pass-through SyscallPort that mirrors the port-less execution
+ * semantics exactly (input/output syscalls execute against the
+ * kernel; local/sync syscalls are left to the VM) while recording
+ * every non-sync event into the enumeration.
+ */
+class RecordingPort : public vm::SyscallPort
+{
+  public:
+    RecordingPort(BaselineEnumeration &out, const EnumerateOptions &opts)
+        : out_(out), opts_(opts)
+    {}
+
+    vm::PortReply
+    onSyscall(const vm::SyscallRequest &req, vm::Machine &vm,
+              os::Outcome &out) override
+    {
+        const os::SysDesc &desc = os::sysDesc(req.sysNo);
+        if (desc.klass == os::SysClass::Sync)
+            return vm::PortReply::Done; // mutex traffic is not an event
+
+        BaselineEvent evt;
+        evt.tid = req.tid;
+        evt.sysNo = req.sysNo;
+        evt.site = req.site;
+        evt.cnt = req.cnt;
+        evt.loc = req.loc;
+        // Resource / payload are read before execution (a read()'s
+        // resource is the fd's backing file regardless of outcome).
+        try {
+            evt.resource =
+                vm.kernel().resourceKey(req.sysNo, req.args, vm.memory());
+        } catch (const vm::VmTrap &) {
+            evt.resource.clear();
+        }
+        if (desc.klass == os::SysClass::Output) {
+            std::string payload;
+            try {
+                payload = vm.kernel().sinkPayload(req.sysNo, req.args,
+                                                  vm.memory());
+            } catch (const vm::VmTrap &) {
+                payload = "fault|";
+            }
+            evt.channel = payload.substr(0, payload.find('|'));
+            evt.payloadHash = obs::fnv1a(payload);
+        }
+        if (desc.klass != os::SysClass::Local) {
+            out = vm.kernel().execute(req.sysNo, req.args, vm.memory());
+            evt.ret = out.ret;
+        }
+        append(std::move(evt));
+        return vm::PortReply::Done;
+    }
+
+    vm::PortReply
+    onBarrier(int, std::int64_t, std::int64_t, std::int64_t,
+              std::int64_t, vm::Machine &) override
+    {
+        // Native run: the barrier degenerates to its counter reset,
+        // which the VM applies after Done.
+        return vm::PortReply::Done;
+    }
+
+  private:
+    void
+    append(BaselineEvent evt)
+    {
+        evt.id = out_.totalEvents++;
+        classify(evt);
+        if (out_.events.size() < opts_.eventCap)
+            out_.events.push_back(std::move(evt));
+        else
+            ++out_.droppedEvents;
+    }
+
+    void
+    classify(const BaselineEvent &evt)
+    {
+        switch (static_cast<os::Sys>(evt.sysNo)) {
+          case os::Sys::GetEnv:
+            noteSource(evt, SourceClass::Env);
+            break;
+          case os::Sys::Read:
+            if (evt.resource.rfind("path:", 0) == 0)
+                noteSource(evt, SourceClass::File);
+            else if (evt.resource == "net:client")
+                noteSource(evt, SourceClass::Incoming);
+            else if (evt.resource.rfind("net:", 0) == 0)
+                noteSource(evt, SourceClass::Peer);
+            break;
+          case os::Sys::Recv:
+            noteSource(evt, evt.resource == "net:client"
+                                ? SourceClass::Incoming
+                                : SourceClass::Peer);
+            break;
+          case os::Sys::Time:
+          case os::Sys::Rdtsc:
+            noteSource(evt, SourceClass::Clock);
+            break;
+          case os::Sys::Random:
+            noteSource(evt, SourceClass::Rand);
+            break;
+          case os::Sys::GetPid:
+            noteSource(evt, SourceClass::Pid);
+            break;
+          case os::Sys::Write:
+          case os::Sys::Send:
+          case os::Sys::Print:
+            noteSink(evt);
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    noteSource(const BaselineEvent &evt, SourceClass klass)
+    {
+        // The nondeterminism family has no resource key; synthesize a
+        // per-class one so each family aggregates into one candidate.
+        std::string resource = evt.resource.empty()
+                                   ? std::string("nondet:") +
+                                         sourceClassName(klass)
+                                   : evt.resource;
+        auto it = sourceIdx_.find(resource);
+        if (it == sourceIdx_.end()) {
+            SourceCandidate cand;
+            cand.id = std::string("src:") + sourceClassName(klass) +
+                      ":" + resource;
+            cand.klass = klass;
+            cand.resource = resource;
+            it = sourceIdx_.emplace(resource, out_.sources.size()).first;
+            out_.sources.push_back(std::move(cand));
+        }
+        out_.sources[it->second].events.push_back(evt.id);
+    }
+
+    void
+    noteSink(const BaselineEvent &evt)
+    {
+        if (evt.channel.empty() ||
+            !opts_.sinks.matchesChannel(evt.channel))
+            return;
+        auto it = sinkIdx_.find(evt.channel);
+        if (it == sinkIdx_.end()) {
+            SinkCandidate cand;
+            cand.id = "sink:" + evt.channel;
+            cand.channel = evt.channel;
+            it = sinkIdx_.emplace(evt.channel, out_.sinks.size()).first;
+            out_.sinks.push_back(std::move(cand));
+        }
+        SinkCandidate &cand = out_.sinks[it->second];
+        cand.events.push_back(evt.id);
+        bool known = false;
+        for (int s : cand.sites)
+            known |= s == evt.site;
+        if (!known)
+            cand.sites.push_back(evt.site);
+    }
+
+    BaselineEnumeration &out_;
+    const EnumerateOptions &opts_;
+    std::map<std::string, std::size_t> sourceIdx_;
+    std::map<std::string, std::size_t> sinkIdx_;
+};
+
+/**
+ * Resolve which WorldSpec resource backs @p cand and fill in its
+ * mutation spec. A source is queryable only when the resource exists
+ * in the world image — mutateWorld() perturbs the *initial* world, so
+ * a file created at runtime and read back has no mutable backing.
+ */
+void
+resolveSpec(SourceCandidate &cand, const os::WorldSpec &world)
+{
+    switch (cand.klass) {
+      case SourceClass::Env: {
+        std::string name = cand.resource.substr(sizeof("env:") - 1);
+        if (world.env.count(name)) {
+            cand.spec = core::SourceSpec::env(name);
+            cand.queryable = true;
+        }
+        break;
+      }
+      case SourceClass::File: {
+        std::string path = cand.resource.substr(sizeof("path:") - 1);
+        for (const auto &[key, _] : world.files) {
+            if (os::Vfs::normalize(key) == path) {
+                cand.spec = core::SourceSpec::file(key);
+                cand.queryable = true;
+                break;
+            }
+        }
+        break;
+      }
+      case SourceClass::Peer: {
+        std::string host = cand.resource.substr(sizeof("net:") - 1);
+        if (world.peers.count(host)) {
+            cand.spec = core::SourceSpec::peer(host);
+            cand.queryable = true;
+        }
+        break;
+      }
+      case SourceClass::Incoming:
+        if (!world.incoming.empty()) {
+            cand.spec = core::SourceSpec::incoming();
+            cand.queryable = true;
+        }
+        break;
+      case SourceClass::Clock:
+      case SourceClass::Rand:
+      case SourceClass::Pid:
+        // The coupling exists to suppress this nondeterminism; there
+        // is no world resource a mutation policy could perturb.
+        break;
+    }
+}
+
+} // namespace
+
+const char *
+sourceClassName(SourceClass c)
+{
+    switch (c) {
+      case SourceClass::Env: return "env";
+      case SourceClass::File: return "file";
+      case SourceClass::Peer: return "peer";
+      case SourceClass::Incoming: return "incoming";
+      case SourceClass::Clock: return "clock";
+      case SourceClass::Rand: return "rand";
+      case SourceClass::Pid: return "pid";
+    }
+    return "?";
+}
+
+std::vector<const SourceCandidate *>
+BaselineEnumeration::queryableSources() const
+{
+    std::vector<const SourceCandidate *> out;
+    for (const SourceCandidate &s : sources)
+        if (s.queryable)
+            out.push_back(&s);
+    return out;
+}
+
+BaselineEnumeration
+enumerateBaseline(const ir::Module &module, const os::WorldSpec &world,
+                  const EnumerateOptions &opts)
+{
+    if (!instrument::isInstrumented(module))
+        fatal("enumerateBaseline requires a counter-instrumented "
+              "module");
+
+    BaselineEnumeration out;
+    RecordingPort port(out, opts);
+    os::Kernel kernel(world);
+    vm::Machine machine(module, kernel, opts.vmConfig);
+    machine.setSyscallPort(&port);
+    vm::StepStatus st = machine.run();
+
+    out.exitCode = machine.exitCode();
+    out.trapped = st == vm::StepStatus::Trapped;
+    if (machine.trap())
+        out.trapMessage = machine.trap()->message;
+    out.instructions = machine.stats().instructions;
+
+    for (SourceCandidate &cand : out.sources)
+        resolveSpec(cand, world);
+    return out;
+}
+
+} // namespace ldx::query

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Baseline source/sink enumeration for the batch causality-inference
+ * engine (`ldx campaign`, docs/CAMPAIGN.md).
+ *
+ * One native run of the instrumented module records the syscall event
+ * stream through a SyscallPort observer (no coupling, no slave — the
+ * kernel executes every syscall exactly as a port-less run would).
+ * From that stream the enumerator derives:
+ *
+ *  - candidate *source* events: input-bearing syscalls (read of a
+ *    world file, recv from a scripted peer or inbound request, getenv,
+ *    and the nondeterminism family time/rdtsc/random/getpid). A source
+ *    is *queryable* when the mutation layer can perturb the backing
+ *    resource (env var / file / peer script / inbound request present
+ *    in the WorldSpec); the nondeterminism sources are enumerated for
+ *    completeness but marked non-queryable — the coupling exists to
+ *    suppress exactly that noise;
+ *  - candidate *sink* events: output syscalls (write/send/print)
+ *    whose channel matches the campaign's SinkConfig.
+ *
+ * Every recorded event carries a stable id: its ordinal in the
+ * baseline's deterministic execution order. Because the master of a
+ * later dual execution replays the same world with the same
+ * deterministic schedule, a finding's (site, cnt) pair maps back onto
+ * these ids, letting the aggregator attach causality edges to the
+ * concrete baseline events that realized them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "ldx/engine.h"
+#include "ldx/mutation.h"
+#include "os/world.h"
+
+namespace ldx::query {
+
+/** One syscall observed in the baseline run. */
+struct BaselineEvent
+{
+    std::uint64_t id = 0;      ///< ordinal in baseline order (stable)
+    int tid = 0;
+    std::int64_t sysNo = -1;
+    int site = -1;             ///< instrumented static site id
+    std::int64_t cnt = 0;      ///< alignment counter at the call
+    std::int64_t ret = 0;      ///< kernel return value
+    std::string resource;      ///< Kernel::resourceKey ("" when none)
+    std::string channel;       ///< sink channel ("" for non-outputs)
+    std::uint64_t payloadHash = 0; ///< fnv1a of the sink payload
+    ir::SourceLoc loc;
+};
+
+/** Input family a source belongs to. */
+enum class SourceClass
+{
+    Env,       ///< getenv
+    File,      ///< read on a world file
+    Peer,      ///< recv from a scripted peer
+    Incoming,  ///< recv on an inbound (accepted) connection
+    Clock,     ///< time / rdtsc
+    Rand,      ///< random
+    Pid,       ///< getpid
+};
+
+/** Stable slug of a source class ("env", "file", ...). */
+const char *sourceClassName(SourceClass c);
+
+/** One candidate source: a resource touched by input syscalls. */
+struct SourceCandidate
+{
+    std::string id;            ///< "src:<class>:<resource>" (stable)
+    SourceClass klass = SourceClass::Env;
+    std::string resource;      ///< kernel resource key
+    /**
+     * How the mutation layer perturbs this source (valid only when
+     * queryable). The offset is filled in by the campaign planner.
+     */
+    core::SourceSpec spec;
+    bool queryable = false;
+    std::vector<std::uint64_t> events; ///< baseline event ids
+};
+
+/** One candidate sink: an output channel hit by the baseline. */
+struct SinkCandidate
+{
+    std::string id;            ///< "sink:<channel>" (stable)
+    std::string channel;
+    std::vector<std::uint64_t> events; ///< baseline event ids
+    std::vector<int> sites;    ///< distinct static sites, first-seen order
+};
+
+/** Result of the baseline enumeration run. */
+struct BaselineEnumeration
+{
+    /**
+     * Recorded events, oldest first. At most `eventCap` events are
+     * retained (the newest are dropped, `droppedEvents` counts them);
+     * source/sink aggregation always sees the full stream.
+     */
+    std::vector<BaselineEvent> events;
+    std::uint64_t totalEvents = 0;
+    std::uint64_t droppedEvents = 0;
+
+    /** Candidate sources, ordered by first baseline touch. */
+    std::vector<SourceCandidate> sources;
+
+    /** Candidate sinks, ordered by first baseline touch. */
+    std::vector<SinkCandidate> sinks;
+
+    // Baseline termination.
+    std::int64_t exitCode = 0;
+    bool trapped = false;
+    std::string trapMessage;
+    std::uint64_t instructions = 0;
+
+    /** Queryable subset of `sources`, in order. */
+    std::vector<const SourceCandidate *> queryableSources() const;
+};
+
+/** Enumeration options. */
+struct EnumerateOptions
+{
+    /** Sink channels considered (same predicate the engine uses). */
+    core::SinkConfig sinks;
+
+    /** Retained-event cap (aggregation is unaffected). */
+    std::uint64_t eventCap = 1 << 16;
+
+    /** VM configuration (defaults match the engine). */
+    vm::MachineConfig vmConfig;
+};
+
+/**
+ * Run @p module (counter-instrumented; fatal otherwise) natively
+ * against @p world and enumerate sources and sinks. Deterministic:
+ * the same module and world always produce the same enumeration.
+ */
+BaselineEnumeration enumerateBaseline(const ir::Module &module,
+                                      const os::WorldSpec &world,
+                                      const EnumerateOptions &opts);
+
+} // namespace ldx::query

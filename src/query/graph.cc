@@ -1,0 +1,281 @@
+#include "query/graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/json.h"
+
+namespace ldx::query {
+
+namespace {
+
+/** The worse (less trustworthy) of two qualities. */
+VerdictQuality
+worseOf(VerdictQuality a, VerdictQuality b)
+{
+    return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+void
+appendSourceJson(std::string &out, const GraphSource &s)
+{
+    out += "{\"id\":";
+    obs::appendJsonString(out, s.id);
+    out += ",\"class\":";
+    obs::appendJsonString(out, s.klass);
+    out += ",\"resource\":";
+    obs::appendJsonString(out, s.resource);
+    out += ",\"queryable\":";
+    out += s.queryable ? "true" : "false";
+    out += ",\"events\":" + std::to_string(s.eventCount);
+    out += ",\"first_event\":" + std::to_string(s.firstEvent);
+    out += "}";
+}
+
+void
+appendSinkJson(std::string &out, const GraphSink &s)
+{
+    out += "{\"id\":";
+    obs::appendJsonString(out, s.id);
+    out += ",\"channel\":";
+    obs::appendJsonString(out, s.channel);
+    out += ",\"events\":" + std::to_string(s.eventCount);
+    out += "}";
+}
+
+void
+appendEdgeJson(std::string &out, const GraphEdge &e)
+{
+    out += "{\"from\":";
+    obs::appendJsonString(out, e.from);
+    out += ",\"to\":";
+    obs::appendJsonString(out, e.to);
+    out += ",\"kinds\":{";
+    bool first = true;
+    for (const auto &[kind, count] : e.kinds) {
+        if (!first)
+            out += ',';
+        first = false;
+        obs::appendJsonString(out, kind);
+        out += ':' + std::to_string(count);
+    }
+    out += "},\"policies\":[";
+    for (std::size_t i = 0; i < e.policies.size(); ++i) {
+        if (i)
+            out += ',';
+        obs::appendJsonString(out, e.policies[i]);
+    }
+    out += "],\"confidence\":" + obs::jsonNumber(e.confidence);
+    out += ",\"quality\":";
+    obs::appendJsonString(out, verdictQualityName(e.quality));
+    out += "}";
+}
+
+} // namespace
+
+std::string
+CausalityGraph::toJson() const
+{
+    std::string out = "{\"schema\":\"ldx-campaign-graph-v1\"";
+    out += ",\"program_hash\":\"" + std::to_string(programHash) + "\"";
+    out += ",\"world_hash\":\"" + std::to_string(worldHash) + "\"";
+    out += ",\"policies\":[";
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        if (i)
+            out += ',';
+        obs::appendJsonString(out, policies[i]);
+    }
+    out += "],\"sources\":[";
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        if (i)
+            out += ',';
+        appendSourceJson(out, sources[i]);
+    }
+    out += "],\"sinks\":[";
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+        if (i)
+            out += ',';
+        appendSinkJson(out, sinks[i]);
+    }
+    out += "],\"edges\":[";
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (i)
+            out += ',';
+        appendEdgeJson(out, edges[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+namespace {
+
+/** DOT identifiers: quote and escape. */
+std::string
+dotId(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+CausalityGraph::toDot() const
+{
+    std::string out = "digraph campaign {\n  rankdir=LR;\n";
+    for (const GraphSource &s : sources) {
+        out += "  " + dotId(s.id) + " [shape=ellipse,label=" +
+               dotId(s.resource) +
+               (s.queryable ? "" : ",style=dashed") + "];\n";
+    }
+    for (const GraphSink &s : sinks) {
+        out += "  " + dotId(s.id) + " [shape=box,label=" +
+               dotId(s.channel.empty() ? s.id : s.channel) + "];\n";
+    }
+    for (const GraphEdge &e : edges) {
+        std::string label;
+        for (const auto &[kind, count] : e.kinds) {
+            if (!label.empty())
+                label += "\\n";
+            label += kind + " x" + std::to_string(count);
+        }
+        char conf[32];
+        std::snprintf(conf, sizeof conf, "%.2f", e.confidence);
+        label += std::string("\\nconf=") + conf + " (" +
+                 verdictQualityName(e.quality) + ")";
+        out += "  " + dotId(e.from) + " -> " + dotId(e.to) +
+               " [label=" + dotId(label) + "];\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+CausalityGraph::summaryText() const
+{
+    std::string out;
+    if (edges.empty()) {
+        out = "no causality between any enumerated source and sink\n";
+        return out;
+    }
+    out = "causality edges (" + std::to_string(edges.size()) + "):\n";
+    for (const GraphEdge &e : edges) {
+        out += "  " + e.from + " -> " + e.to + "  [";
+        bool first = true;
+        for (const auto &[kind, count] : e.kinds) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += kind + " x" + std::to_string(count);
+        }
+        char conf[32];
+        std::snprintf(conf, sizeof conf, "%.2f", e.confidence);
+        out += std::string("] conf=") + conf + " quality=" +
+               verdictQualityName(e.quality) + "\n";
+    }
+    return out;
+}
+
+CausalityGraph
+buildGraph(const BaselineEnumeration &baseline,
+           const std::vector<CampaignQuery> &queries,
+           const std::vector<const QueryVerdict *> &verdicts,
+           const std::vector<std::string> &policies,
+           std::uint64_t program_hash, std::uint64_t world_hash)
+{
+    CausalityGraph g;
+    g.programHash = program_hash;
+    g.worldHash = world_hash;
+    g.policies = policies;
+
+    for (const SourceCandidate &s : baseline.sources) {
+        GraphSource node;
+        node.id = s.id;
+        node.klass = sourceClassName(s.klass);
+        node.resource = s.resource;
+        node.queryable = s.queryable;
+        node.eventCount = s.events.size();
+        node.firstEvent = s.events.empty() ? 0 : s.events.front();
+        g.sources.push_back(std::move(node));
+    }
+    std::set<std::string> sink_ids;
+    for (const SinkCandidate &s : baseline.sinks) {
+        GraphSink node;
+        node.id = s.id;
+        node.channel = s.channel;
+        node.eventCount = s.events.size();
+        sink_ids.insert(node.id);
+        g.sinks.push_back(std::move(node));
+    }
+
+    // Fold verdicts into edges, keyed (source node, sink node).
+    // Queries are visited in campaign order, so the policies vector
+    // of every edge is ordered and deterministic.
+    std::map<std::pair<std::string, std::string>, GraphEdge> edges;
+    std::map<std::string, std::uint64_t> policies_per_source;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const QueryVerdict *v =
+            i < verdicts.size() ? verdicts[i] : nullptr;
+        if (!v)
+            continue;
+        const CampaignQuery &q = queries[i];
+        ++policies_per_source[q.sourceId];
+        for (const EdgeEvidence &ev : v->edges) {
+            GraphEdge &edge = edges[{q.sourceId, ev.sinkId}];
+            if (edge.from.empty()) {
+                edge.from = q.sourceId;
+                edge.to = ev.sinkId;
+            }
+            edge.kinds[ev.kind] += ev.count;
+            std::string policy = core::mutationStrategyName(q.strategy);
+            if (std::find(edge.policies.begin(), edge.policies.end(),
+                          policy) == edge.policies.end())
+                edge.policies.push_back(policy);
+            edge.quality = worseOf(edge.quality, v->quality);
+
+            // Evidence may hit a sink the baseline never produced
+            // (a VM-level sink, or a channel only the slave touched):
+            // append it once, after the baseline sinks.
+            if (sink_ids.insert(ev.sinkId).second) {
+                GraphSink node;
+                node.id = ev.sinkId;
+                if (ev.sinkId.rfind("sink:", 0) == 0 &&
+                    ev.sinkId != "sink:ret-token" &&
+                    ev.sinkId != "sink:alloc-size" &&
+                    ev.sinkId != "sink:termination")
+                    node.channel =
+                        ev.sinkId.substr(sizeof("sink:") - 1);
+                g.sinks.push_back(std::move(node));
+            }
+        }
+    }
+    for (auto &[key, edge] : edges) {
+        std::uint64_t ran = policies_per_source[edge.from];
+        edge.confidence =
+            ran ? static_cast<double>(edge.policies.size()) /
+                      static_cast<double>(ran)
+                : 0.0;
+        g.edges.push_back(std::move(edge));
+    }
+    // std::map iteration already sorted g.edges by (from, to).
+
+    // Synthetic sinks appended above depend only on verdict content,
+    // which is deterministic; still, sort the non-baseline tail by id
+    // so the ordering is self-evidently canonical.
+    std::size_t baseline_sinks = baseline.sinks.size();
+    std::sort(g.sinks.begin() +
+                  static_cast<std::ptrdiff_t>(baseline_sinks),
+              g.sinks.end(),
+              [](const GraphSink &a, const GraphSink &b) {
+                  return a.id < b.id;
+              });
+    return g;
+}
+
+} // namespace ldx::query

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic source→sink causality graph (docs/CAMPAIGN.md "Graph
+ * schema").
+ *
+ * The aggregator folds per-query verdicts into a graph whose JSON and
+ * DOT renderings are byte-identical for a given (program, world,
+ * source set, policy set) — independent of worker count, completion
+ * order, caching, and driver. This is the artifact Causal Program
+ * Dependence Analysis calls the causal-dependence graph: nodes are
+ * the baseline's candidate sources and the sinks evidence attached
+ * to; an edge (S, T) aggregates every policy's evidence that mutating
+ * S changed T, with a confidence (agreeing policies / total policies)
+ * and the worst evidence quality seen (clean / decoupled /
+ * timed-out).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/enumerate.h"
+#include "query/verdict.h"
+
+namespace ldx::query {
+
+/** One source node. */
+struct GraphSource
+{
+    std::string id;        ///< SourceCandidate::id
+    std::string klass;     ///< sourceClassName
+    std::string resource;
+    bool queryable = false;
+    std::uint64_t eventCount = 0;
+    std::uint64_t firstEvent = 0; ///< id of the first baseline touch
+};
+
+/** One sink node. */
+struct GraphSink
+{
+    std::string id;        ///< "sink:<channel>" or a VM-level sink
+    std::string channel;   ///< "" for VM-level sinks
+    std::uint64_t eventCount = 0; ///< baseline events (0 = VM-level)
+};
+
+/** One causality edge. */
+struct GraphEdge
+{
+    std::string from;   ///< source node id
+    std::string to;     ///< sink node id
+    /** Evidence kinds seen, kind -> total finding count. */
+    std::map<std::string, std::uint64_t> kinds;
+    /** Policies whose query produced this edge, in campaign order. */
+    std::vector<std::string> policies;
+    /** Agreeing policies / policies run against the source. */
+    double confidence = 0.0;
+    /** Worst quality over contributing queries. */
+    VerdictQuality quality = VerdictQuality::Clean;
+};
+
+/** The aggregated campaign graph. */
+struct CausalityGraph
+{
+    std::uint64_t programHash = 0;
+    std::uint64_t worldHash = 0;
+    std::vector<std::string> policies; ///< campaign policy order
+
+    std::vector<GraphSource> sources;  ///< enumeration order
+    std::vector<GraphSink> sinks;      ///< baseline order, then VM-level
+    std::vector<GraphEdge> edges;      ///< sorted by (from, to)
+
+    bool anyCausality() const { return !edges.empty(); }
+
+    /**
+     * Canonical JSON document. Deterministic: object keys are fixed,
+     * arrays are ordered as documented above, and no timing or
+     * scheduling data is included.
+     */
+    std::string toJson() const;
+
+    /** Graphviz DOT rendering (sources as ellipses, sinks as boxes). */
+    std::string toDot() const;
+
+    /** Human-readable edge list for the CLI summary. */
+    std::string summaryText() const;
+};
+
+/**
+ * Fold @p verdicts (slot i answers @p queries[i]; a null slot means
+ * the query was cancelled or failed and contributes nothing) into the
+ * graph for @p baseline.
+ */
+CausalityGraph buildGraph(const BaselineEnumeration &baseline,
+                          const std::vector<CampaignQuery> &queries,
+                          const std::vector<const QueryVerdict *> &verdicts,
+                          const std::vector<std::string> &policies,
+                          std::uint64_t program_hash,
+                          std::uint64_t world_hash);
+
+} // namespace ldx::query

@@ -1,0 +1,199 @@
+#include "query/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "support/diag.h"
+
+namespace ldx::query {
+
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Done: return "done";
+      case RunStatus::Cancelled: return "cancelled";
+      case RunStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Shared pool state: per-worker deques plus drain bookkeeping. */
+struct Pool
+{
+    explicit Pool(int jobs) : deques(jobs) {}
+
+    struct WorkerDeque
+    {
+        std::deque<std::size_t> items;
+    };
+
+    std::mutex mutex;
+    std::condition_variable workCv;  ///< workers: new work / shutdown
+    std::condition_variable roomCv;  ///< submitter: backlog drained
+    std::vector<WorkerDeque> deques;
+    std::size_t outstanding = 0; ///< submitted, not yet finished
+    bool closed = false;         ///< no further submissions
+
+    /**
+     * Pop work for @p self: front of its own deque, else steal from
+     * the back of the fullest peer. Returns false when no work is
+     * available anywhere.
+     */
+    bool
+    pop(int self, std::size_t &item, bool &stolen)
+    {
+        WorkerDeque &mine = deques[self];
+        if (!mine.items.empty()) {
+            item = mine.items.front();
+            mine.items.pop_front();
+            stolen = false;
+            return true;
+        }
+        int victim = -1;
+        std::size_t best = 0;
+        for (int w = 0; w < static_cast<int>(deques.size()); ++w) {
+            if (w == self)
+                continue;
+            if (deques[w].items.size() > best) {
+                best = deques[w].items.size();
+                victim = w;
+            }
+        }
+        if (victim < 0)
+            return false;
+        item = deques[victim].items.back();
+        deques[victim].items.pop_back();
+        stolen = true;
+        return true;
+    }
+};
+
+} // namespace
+
+std::vector<RunOutcome>
+runOnPool(std::size_t count, const std::function<void(std::size_t)> &fn,
+          const SchedulerConfig &cfg)
+{
+    if (cfg.jobs < 1)
+        fatal("scheduler requires jobs >= 1");
+    if (cfg.queueCap < 1)
+        fatal("scheduler requires queueCap >= 1");
+
+    std::vector<RunOutcome> outcomes(count);
+    Pool pool(cfg.jobs);
+    obs::Counter *steals =
+        cfg.registry ? &cfg.registry->counter("campaign.sched.steals")
+                     : nullptr;
+    obs::Counter *completed =
+        cfg.registry
+            ? &cfg.registry->counter("campaign.sched.completed")
+            : nullptr;
+    obs::Histogram *latency =
+        cfg.registry
+            ? &cfg.registry->histogram("campaign.query_seconds",
+                                       obs::latencySecondsBounds())
+            : nullptr;
+
+    auto worker = [&](int self) {
+        for (;;) {
+            std::size_t item = 0;
+            bool stolen = false;
+            {
+                std::unique_lock<std::mutex> lock(pool.mutex);
+                pool.workCv.wait(lock, [&] {
+                    bool any = false;
+                    for (const Pool::WorkerDeque &d : pool.deques)
+                        any |= !d.items.empty();
+                    return any || pool.closed;
+                });
+                if (!pool.pop(self, item, stolen)) {
+                    if (pool.closed)
+                        return;
+                    continue;
+                }
+            }
+            if (stolen && steals)
+                steals->inc();
+
+            RunOutcome &out = outcomes[item];
+            out.worker = self;
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                fn(item);
+                out.status = RunStatus::Done;
+            } catch (const std::exception &e) {
+                out.status = RunStatus::Failed;
+                out.error = e.what();
+            } catch (...) {
+                out.status = RunStatus::Failed;
+                out.error = "unknown exception";
+            }
+            out.seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            if (latency)
+                latency->observe(out.seconds);
+            if (completed)
+                completed->inc();
+            {
+                std::lock_guard<std::mutex> lock(pool.mutex);
+                --pool.outstanding;
+            }
+            pool.roomCv.notify_one();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.jobs);
+    for (int w = 0; w < cfg.jobs; ++w)
+        threads.emplace_back(worker, w);
+
+    // Submission loop: round-robin into the worker deques, blocking
+    // while the backlog is at the admission cap. Cancellation stops
+    // submission; already-queued work still runs (graceful drain of
+    // the accepted set only — unsubmitted queries stay Cancelled).
+    std::uint64_t cancelled = 0;
+    {
+        int next_worker = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (cfg.cancel &&
+                cfg.cancel->load(std::memory_order_relaxed)) {
+                cancelled = count - i;
+                break;
+            }
+            {
+                std::unique_lock<std::mutex> lock(pool.mutex);
+                pool.roomCv.wait(lock, [&] {
+                    return pool.outstanding < cfg.queueCap;
+                });
+                pool.deques[next_worker].items.push_back(i);
+                ++pool.outstanding;
+            }
+            pool.workCv.notify_one();
+            next_worker = (next_worker + 1) % cfg.jobs;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(pool.mutex);
+        pool.closed = true;
+    }
+    pool.workCv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+
+    if (cfg.registry) {
+        cfg.registry->counter("campaign.sched.submitted")
+            .inc(count - cancelled);
+        cfg.registry->counter("campaign.sched.cancelled").inc(cancelled);
+        cfg.registry->gauge("campaign.sched.jobs")
+            .set(static_cast<double>(cfg.jobs));
+    }
+    return outcomes;
+}
+
+} // namespace ldx::query

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bounded work-stealing scheduler for campaign queries.
+ *
+ * The pool runs one dual-execution pair per query on a fixed set of
+ * worker threads. Design constraints (docs/CAMPAIGN.md "Scheduler
+ * semantics"):
+ *
+ *  - *Determinism*: results are collected into a slot array indexed
+ *    by query id and aggregated only after the pool drains, so the
+ *    campaign's output is byte-identical regardless of worker count,
+ *    stealing, or completion order.
+ *  - *Admission control*: at most `queueCap` queries are outstanding
+ *    (queued but unfinished) at once; the submitting thread blocks
+ *    until workers drain the backlog. This bounds memory for
+ *    campaigns with hundreds of thousands of queries.
+ *  - *Work stealing*: each worker owns a deque fed round-robin; a
+ *    worker that runs dry pops from the back of the fullest peer
+ *    deque (campaign.sched.steals counts them), so one slow query
+ *    never idles the rest of the pool.
+ *  - *Cancellation / graceful drain*: when the cancel flag flips (the
+ *    CLI's SIGINT handler), submission stops and queued-but-unstarted
+ *    queries return Cancelled; in-flight queries run to completion so
+ *    their verdicts are never torn.
+ *  - *Deadline/watchdog*: the per-query deadline is enforced by the
+ *    engine's wall-clock cap (the query fn maps expiry to a TimedOut
+ *    verdict); the scheduler additionally tracks per-query runtime
+ *    into the campaign.query_seconds histogram.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace ldx::query {
+
+/** How one scheduled query ended. */
+enum class RunStatus
+{
+    Done,       ///< the query fn returned a verdict
+    Cancelled,  ///< drained before starting (SIGINT)
+    Failed,     ///< the query fn threw; error holds the message
+};
+
+/** Stable slug of a run status ("done", "cancelled", "failed"). */
+const char *runStatusName(RunStatus s);
+
+/** Scheduler outcome of one query. */
+struct RunOutcome
+{
+    RunStatus status = RunStatus::Cancelled;
+    std::string error;     ///< Failed only
+    double seconds = 0.0;  ///< wall time inside the query fn
+    int worker = -1;       ///< worker that ran it (observability only)
+};
+
+/** Pool configuration. */
+struct SchedulerConfig
+{
+    /** Worker threads (>= 1). */
+    int jobs = 1;
+
+    /** Max outstanding (submitted, unfinished) queries (>= 1). */
+    std::size_t queueCap = 256;
+
+    /** Cooperative cancellation flag (may be null). */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /** Campaign metrics registry (may be null). */
+    obs::Registry *registry = nullptr;
+};
+
+/**
+ * Run @p fn(i) for every i in [0, count) on the pool and return one
+ * outcome per index. @p fn must be thread-safe across distinct
+ * indices; it is invoked at most once per index.
+ */
+std::vector<RunOutcome> runOnPool(std::size_t count,
+                                  const std::function<void(std::size_t)> &fn,
+                                  const SchedulerConfig &cfg);
+
+} // namespace ldx::query

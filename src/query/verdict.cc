@@ -1,0 +1,86 @@
+#include "query/verdict.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ldx::query {
+
+std::string
+CampaignQuery::cacheSourceId() const
+{
+    std::string off = spec.offset == core::SourceSpec::kWholeValue
+                          ? std::string("whole")
+                          : std::to_string(spec.offset);
+    return sourceId + "@" + off;
+}
+
+const char *
+verdictQualityName(VerdictQuality q)
+{
+    switch (q) {
+      case VerdictQuality::Clean: return "clean";
+      case VerdictQuality::Decoupled: return "decoupled";
+      case VerdictQuality::TimedOut: return "timed-out";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Sink node id a finding's evidence attaches to. */
+std::string
+sinkIdOf(const core::Finding &f)
+{
+    switch (f.kind) {
+      case core::CauseKind::RetTokenDiff:
+        return "sink:ret-token";
+      case core::CauseKind::AllocSizeDiff:
+        return "sink:alloc-size";
+      case core::CauseKind::TerminationDiff:
+        return "sink:termination";
+      case core::CauseKind::SinkVanished:
+      case core::CauseKind::SinkSiteMismatch:
+      case core::CauseKind::SinkValueDiff: {
+        // Syscall-sink payloads are "channel|bytes"; a vanished sink
+        // recorded only the observing side's payload.
+        const std::string &payload =
+            f.masterValue.empty() ? f.slaveValue : f.masterValue;
+        std::string channel = payload.substr(0, payload.find('|'));
+        return "sink:" + (channel.empty() ? "unknown" : channel);
+      }
+    }
+    return "sink:unknown";
+}
+
+} // namespace
+
+QueryVerdict
+verdictFromResult(const core::DualResult &res)
+{
+    QueryVerdict v;
+    v.causality = res.causality();
+    v.masterExit = res.masterExit;
+    v.slaveExit = res.slaveExit;
+    v.masterTrapped = res.masterTrapped;
+    v.slaveTrapped = res.slaveTrapped;
+    v.alignedSyscalls = res.alignedSyscalls;
+    v.syscallDiffs = res.syscallDiffs;
+    v.findings = res.findings.size();
+
+    if (res.deadlocked)
+        v.quality = VerdictQuality::TimedOut;
+    else if (res.syscallDiffs)
+        v.quality = VerdictQuality::Decoupled;
+    else
+        v.quality = VerdictQuality::Clean;
+
+    std::map<std::pair<std::string, std::string>, std::uint64_t> agg;
+    for (const core::Finding &f : res.findings)
+        ++agg[{sinkIdOf(f), core::causeKindName(f.kind)}];
+    for (const auto &[key, count] : agg)
+        v.edges.push_back({key.first, key.second, count});
+    // std::map iteration is already (sinkId, kind)-sorted.
+    return v;
+}
+
+} // namespace ldx::query

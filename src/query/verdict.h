@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Campaign query and verdict types shared by the scheduler, the
+ * result cache, and the causality-graph aggregator.
+ *
+ * A *query* asks: does this baseline source influence any sink, under
+ * one mutation policy? A *verdict* is the distilled, deterministic
+ * answer — which sinks diffed, with what evidence kind, and how
+ * trustworthy the run was (clean / decoupled / timed-out). Verdicts
+ * deliberately exclude wall-clock timing and scheduling-dependent
+ * tallies so that the aggregated graph is byte-identical across
+ * worker counts, completion orders, and drivers.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldx/mutation.h"
+#include "ldx/report.h"
+
+namespace ldx::query {
+
+/** One (source, policy) causality query. */
+struct CampaignQuery
+{
+    std::size_t index = 0;       ///< dense id; aggregation order
+    std::string sourceId;        ///< SourceCandidate::id
+    std::string sourceResource;  ///< kernel resource key
+    core::SourceSpec spec;       ///< mutation target (offset applied)
+    core::MutationStrategy strategy = core::MutationStrategy::OffByOne;
+
+    /** Cache source-id: candidate id plus the mutation offset. */
+    std::string cacheSourceId() const;
+};
+
+/** Evidence quality of one dual execution. */
+enum class VerdictQuality
+{
+    Clean,     ///< coupled run, no decoupling beyond the mutation
+    Decoupled, ///< syscalls misaligned; verdict still sound (§4.2)
+    TimedOut,  ///< deadline/watchdog expired; verdict incomplete
+};
+
+/** Stable slug of a quality ("clean", "decoupled", "timed-out"). */
+const char *verdictQualityName(VerdictQuality q);
+
+/** Aggregated evidence that one sink diffed under a query. */
+struct EdgeEvidence
+{
+    std::string sinkId;  ///< "sink:<channel>" or a VM-level sink
+    std::string kind;    ///< causeKindName of the finding
+    std::uint64_t count = 0;
+
+    bool
+    operator==(const EdgeEvidence &o) const
+    {
+        return sinkId == o.sinkId && kind == o.kind && count == o.count;
+    }
+};
+
+/** Deterministic verdict of one query. */
+struct QueryVerdict
+{
+    bool causality = false;
+    VerdictQuality quality = VerdictQuality::Clean;
+
+    /** Evidence per sink, sorted by (sinkId, kind). */
+    std::vector<EdgeEvidence> edges;
+
+    std::int64_t masterExit = 0;
+    std::int64_t slaveExit = 0;
+    bool masterTrapped = false;
+    bool slaveTrapped = false;
+    std::uint64_t alignedSyscalls = 0;
+    std::uint64_t syscallDiffs = 0;
+    std::uint64_t findings = 0;
+
+    bool
+    operator==(const QueryVerdict &o) const
+    {
+        return causality == o.causality && quality == o.quality &&
+               edges == o.edges && masterExit == o.masterExit &&
+               slaveExit == o.slaveExit &&
+               masterTrapped == o.masterTrapped &&
+               slaveTrapped == o.slaveTrapped &&
+               alignedSyscalls == o.alignedSyscalls &&
+               syscallDiffs == o.syscallDiffs && findings == o.findings;
+    }
+};
+
+/**
+ * Distill @p res into a verdict: map each finding onto its sink node
+ * ("sink:<channel>" for syscall sinks; "sink:ret-token",
+ * "sink:alloc-size", "sink:termination" for the VM-level sinks),
+ * aggregate evidence counts, and grade the run's quality.
+ */
+QueryVerdict verdictFromResult(const core::DualResult &res);
+
+} // namespace ldx::query

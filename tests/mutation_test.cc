@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Mutation-policy unit tests: every strategy must produce a value
+ * that differs from the baseline and stays inside its documented
+ * domain (mutation.h), for single-byte, clamped, and whole-value
+ * offsets, and mutateWorld must taint exactly the named resources.
+ */
+#include <gtest/gtest.h>
+
+#include "ldx/mutation.h"
+
+namespace ldx {
+namespace {
+
+using core::MutationStrategy;
+using core::SourceSpec;
+using core::mutateByteAt;
+using core::mutateWorld;
+
+TEST(MutationPolicy, OffByOneIncrementsByteAndWraps)
+{
+    Prng prng(1);
+    std::string v = "abc";
+    ASSERT_TRUE(mutateByteAt(v, 0, MutationStrategy::OffByOne, prng));
+    EXPECT_EQ(v, "bbc");
+
+    std::string wrap("\xff", 1);
+    ASSERT_TRUE(
+        mutateByteAt(wrap, 0, MutationStrategy::OffByOne, prng));
+    EXPECT_EQ(wrap[0], '\0'); // 255 + 1 wraps to 0
+}
+
+TEST(MutationPolicy, ZeroClearsByteAndIsIdempotent)
+{
+    Prng prng(1);
+    std::string v = "abc";
+    ASSERT_TRUE(mutateByteAt(v, 1, MutationStrategy::Zero, prng));
+    EXPECT_EQ(v[0], 'a');
+    EXPECT_EQ(v[1], '\0');
+    EXPECT_EQ(v[2], 'c');
+
+    // An already-zero byte cannot change: no mutation happened.
+    EXPECT_FALSE(mutateByteAt(v, 1, MutationStrategy::Zero, prng));
+    EXPECT_EQ(v[1], '\0');
+}
+
+TEST(MutationPolicy, BitFlipTogglesLowestBit)
+{
+    Prng prng(1);
+    std::string v = "abc"; // 'a' == 0x61
+    ASSERT_TRUE(mutateByteAt(v, 0, MutationStrategy::BitFlip, prng));
+    EXPECT_EQ(v[0], '`'); // 0x60
+    ASSERT_TRUE(mutateByteAt(v, 0, MutationStrategy::BitFlip, prng));
+    EXPECT_EQ(v[0], 'a'); // flipping twice restores the baseline
+}
+
+TEST(MutationPolicy, RandomAlwaysDiffersFromBaseline)
+{
+    // The random policy re-rolls collisions into +1, so the mutated
+    // byte must differ from the baseline for every seed.
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        Prng prng(seed);
+        std::string v = "x";
+        ASSERT_TRUE(
+            mutateByteAt(v, 0, MutationStrategy::Random, prng));
+        EXPECT_NE(v[0], 'x') << "seed " << seed;
+    }
+}
+
+TEST(MutationPolicy, WholeValuePerturbsEveryByte)
+{
+    Prng prng(1);
+    std::string v = "abcd";
+    ASSERT_TRUE(mutateByteAt(v, SourceSpec::kWholeValue,
+                             MutationStrategy::OffByOne, prng));
+    EXPECT_EQ(v, "bcde");
+}
+
+TEST(MutationPolicy, OffsetClampsToLastByte)
+{
+    Prng prng(1);
+    std::string v = "abc";
+    ASSERT_TRUE(mutateByteAt(v, 99, MutationStrategy::OffByOne, prng));
+    EXPECT_EQ(v, "abd");
+}
+
+TEST(MutationPolicy, EmptyValueNeverMutates)
+{
+    Prng prng(1);
+    std::string v;
+    for (MutationStrategy s :
+         {MutationStrategy::OffByOne, MutationStrategy::Zero,
+          MutationStrategy::BitFlip, MutationStrategy::Random}) {
+        EXPECT_FALSE(mutateByteAt(v, 0, s, prng));
+        EXPECT_TRUE(v.empty());
+    }
+}
+
+TEST(MutationPolicy, MutateWorldTaintsNamedResources)
+{
+    os::WorldSpec world;
+    world.env["SECRET"] = "abc";
+    world.files["/data.txt"] = "hello";
+    Prng prng(1);
+    core::MutatedWorld out = mutateWorld(
+        world,
+        {SourceSpec::env("SECRET"), SourceSpec::file("/data.txt")},
+        MutationStrategy::OffByOne, prng);
+    EXPECT_TRUE(out.anyChange);
+    EXPECT_EQ(out.world.env["SECRET"], "bbc");
+    EXPECT_EQ(out.world.files["/data.txt"], "iello");
+    ASSERT_EQ(out.taintKeys.size(), 2u);
+    EXPECT_EQ(out.taintKeys[0], "env:SECRET");
+    EXPECT_EQ(out.taintKeys[1], "path:/data.txt");
+}
+
+TEST(MutationPolicy, MutateWorldIgnoresAbsentResources)
+{
+    os::WorldSpec world;
+    world.env["PRESENT"] = "x";
+    Prng prng(1);
+    core::MutatedWorld out =
+        mutateWorld(world, {SourceSpec::env("ABSENT")},
+                    MutationStrategy::OffByOne, prng);
+    EXPECT_FALSE(out.anyChange);
+    EXPECT_EQ(out.world.env["PRESENT"], "x");
+    // The resource is still pre-tainted: the slave's read of it must
+    // not be overwritten by the coupling even if nothing changed.
+    ASSERT_EQ(out.taintKeys.size(), 1u);
+    EXPECT_EQ(out.taintKeys[0], "env:ABSENT");
+}
+
+// Every strategy stays in-domain for every input byte value.
+TEST(MutationPolicy, DomainsHoldForAllByteValues)
+{
+    Prng prng(123);
+    for (int b = 0; b < 256; ++b) {
+        unsigned char before = static_cast<unsigned char>(b);
+        std::string v(1, static_cast<char>(before));
+
+        std::string off = v;
+        mutateByteAt(off, 0, MutationStrategy::OffByOne, prng);
+        EXPECT_EQ(static_cast<unsigned char>(off[0]),
+                  static_cast<unsigned char>(before + 1));
+
+        std::string zero = v;
+        mutateByteAt(zero, 0, MutationStrategy::Zero, prng);
+        EXPECT_EQ(zero[0], '\0');
+
+        std::string flip = v;
+        mutateByteAt(flip, 0, MutationStrategy::BitFlip, prng);
+        EXPECT_EQ(static_cast<unsigned char>(flip[0]), before ^ 1u);
+
+        std::string rnd = v;
+        ASSERT_TRUE(
+            mutateByteAt(rnd, 0, MutationStrategy::Random, prng));
+        EXPECT_NE(static_cast<unsigned char>(rnd[0]), before);
+    }
+}
+
+} // namespace
+} // namespace ldx

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Batch causality-inference engine tests (src/query/): baseline
+ * enumeration and classification, scheduler semantics, the result
+ * cache (LRU, persistence, record format), and the campaign's
+ * determinism contract — byte-identical graphs across worker counts
+ * and drivers, and zero dual executions on a warm cache.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <memory>
+
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "query/campaign.h"
+#include "workloads/workloads.h"
+
+namespace ldx {
+namespace {
+
+using query::CampaignConfig;
+using query::CampaignResult;
+using query::ResultCache;
+
+/** Compile + instrument once per source text. */
+const ir::Module &
+instrumentedModule(const std::string &source)
+{
+    static std::map<std::string, std::unique_ptr<ir::Module>> cache;
+    auto it = cache.find(source);
+    if (it == cache.end()) {
+        auto module = lang::compileSource(source);
+        instrument::CounterInstrumenter pass(*module);
+        pass.run();
+        it = cache.emplace(source, std::move(module)).first;
+    }
+    return *it->second;
+}
+
+const char *kMixedProgram = R"(
+int main() {
+    char secret[16];
+    getenv("SECRET", secret, 16);
+    char buf[8];
+    int fd = open("/data.txt", 0);
+    read(fd, buf, 4);
+    int t = time();
+    int r = random();
+    char out[8];
+    itoa(secret[0] + buf[0], out);
+    print(out, strlen(out));
+    return 0;
+}
+)";
+
+os::WorldSpec
+mixedWorld()
+{
+    os::WorldSpec world;
+    world.env["SECRET"] = "abc";
+    world.files["/data.txt"] = "data";
+    return world;
+}
+
+// ---------------------------------------------------------------------
+// Enumeration
+// ---------------------------------------------------------------------
+
+TEST(Enumerate, ClassifiesSourcesAndSinks)
+{
+    query::BaselineEnumeration base = query::enumerateBaseline(
+        instrumentedModule(kMixedProgram), mixedWorld(), {});
+
+    std::map<std::string, const query::SourceCandidate *> byId;
+    for (const query::SourceCandidate &s : base.sources)
+        byId[s.id] = &s;
+
+    ASSERT_TRUE(byId.count("src:env:env:SECRET"));
+    EXPECT_TRUE(byId["src:env:env:SECRET"]->queryable);
+    ASSERT_TRUE(byId.count("src:file:path:/data.txt"));
+    EXPECT_TRUE(byId["src:file:path:/data.txt"]->queryable);
+    ASSERT_TRUE(byId.count("src:clock:nondet:clock"));
+    EXPECT_FALSE(byId["src:clock:nondet:clock"]->queryable);
+    ASSERT_TRUE(byId.count("src:rand:nondet:rand"));
+    EXPECT_FALSE(byId["src:rand:nondet:rand"]->queryable);
+
+    ASSERT_EQ(base.sinks.size(), 1u);
+    EXPECT_EQ(base.sinks[0].id, "sink:console");
+    EXPECT_EQ(base.sinks[0].events.size(), 1u);
+
+    EXPECT_EQ(base.queryableSources().size(), 2u);
+    EXPECT_FALSE(base.trapped);
+    EXPECT_EQ(base.exitCode, 0);
+}
+
+TEST(Enumerate, IsDeterministic)
+{
+    auto a = query::enumerateBaseline(instrumentedModule(kMixedProgram),
+                                      mixedWorld(), {});
+    auto b = query::enumerateBaseline(instrumentedModule(kMixedProgram),
+                                      mixedWorld(), {});
+    ASSERT_EQ(a.totalEvents, b.totalEvents);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].id, b.events[i].id);
+        EXPECT_EQ(a.events[i].sysNo, b.events[i].sysNo);
+        EXPECT_EQ(a.events[i].resource, b.events[i].resource);
+        EXPECT_EQ(a.events[i].payloadHash, b.events[i].payloadHash);
+    }
+    ASSERT_EQ(a.sources.size(), b.sources.size());
+    for (std::size_t i = 0; i < a.sources.size(); ++i)
+        EXPECT_EQ(a.sources[i].id, b.sources[i].id);
+}
+
+TEST(Enumerate, EventCapDropsTailButKeepsAggregation)
+{
+    query::EnumerateOptions opts;
+    opts.eventCap = 2;
+    auto base = query::enumerateBaseline(
+        instrumentedModule(kMixedProgram), mixedWorld(), opts);
+    EXPECT_EQ(base.events.size(), 2u);
+    EXPECT_GT(base.droppedEvents, 0u);
+    EXPECT_EQ(base.totalEvents,
+              base.events.size() + base.droppedEvents);
+    // Aggregation still saw the dropped events.
+    EXPECT_EQ(base.sinks.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+TEST(Scheduler, RunsEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(64);
+    query::SchedulerConfig cfg;
+    cfg.jobs = 4;
+    cfg.queueCap = 2; // admission control engaged
+    auto outcomes = query::runOnPool(
+        hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, cfg);
+    ASSERT_EQ(outcomes.size(), hits.size());
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << i;
+        EXPECT_EQ(outcomes[i].status, query::RunStatus::Done) << i;
+        EXPECT_GE(outcomes[i].worker, 0);
+        EXPECT_LT(outcomes[i].worker, 4);
+    }
+}
+
+TEST(Scheduler, ExceptionBecomesFailedOutcome)
+{
+    query::SchedulerConfig cfg;
+    cfg.jobs = 2;
+    auto outcomes = query::runOnPool(
+        4,
+        [&](std::size_t i) {
+            if (i == 2)
+                throw std::runtime_error("query exploded");
+        },
+        cfg);
+    EXPECT_EQ(outcomes[0].status, query::RunStatus::Done);
+    EXPECT_EQ(outcomes[2].status, query::RunStatus::Failed);
+    EXPECT_EQ(outcomes[2].error, "query exploded");
+}
+
+TEST(Scheduler, PreSetCancelDrainsWithoutRunning)
+{
+    std::atomic<bool> cancel{true};
+    std::atomic<int> ran{0};
+    query::SchedulerConfig cfg;
+    cfg.jobs = 2;
+    cfg.cancel = &cancel;
+    auto outcomes = query::runOnPool(
+        8, [&](std::size_t) { ran.fetch_add(1); }, cfg);
+    EXPECT_EQ(ran.load(), 0);
+    for (const query::RunOutcome &o : outcomes)
+        EXPECT_EQ(o.status, query::RunStatus::Cancelled);
+}
+
+// ---------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------
+
+query::CacheKey
+keyN(int n)
+{
+    query::CacheKey k;
+    k.programHash = 1;
+    k.worldHash = 2;
+    k.sourceId = "src:env:env:K" + std::to_string(n) + "@whole";
+    k.policy = "off-by-one";
+    return k;
+}
+
+query::QueryVerdict
+verdictN(int n)
+{
+    query::QueryVerdict v;
+    v.causality = true;
+    v.quality = query::VerdictQuality::Decoupled;
+    v.edges.push_back({"sink:console", "sink-value-diff",
+                       static_cast<std::uint64_t>(n)});
+    v.masterExit = 0;
+    v.slaveExit = n;
+    v.alignedSyscalls = 10 + n;
+    v.syscallDiffs = 1;
+    v.findings = 1;
+    return v;
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    ResultCache cache(2, "", nullptr);
+    cache.store(keyN(1), verdictN(1));
+    cache.store(keyN(2), verdictN(2));
+    EXPECT_TRUE(cache.lookup(keyN(1)).has_value()); // refresh 1
+    cache.store(keyN(3), verdictN(3));              // evicts 2
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.lookup(keyN(2)).has_value());
+    ASSERT_TRUE(cache.lookup(keyN(1)).has_value());
+    ASSERT_TRUE(cache.lookup(keyN(3)).has_value());
+    EXPECT_EQ(*cache.lookup(keyN(3)), verdictN(3));
+}
+
+TEST(Cache, RecordRoundTripsAndRejectsCorruption)
+{
+    query::QueryVerdict v = verdictN(7);
+    v.edges.push_back({"sink:ret-token", "ret-token-diff", 2});
+    std::string text = query::serializeVerdict(v);
+    auto parsed = query::parseVerdict(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(*parsed == v);
+
+    EXPECT_FALSE(query::parseVerdict("not a record").has_value());
+    EXPECT_FALSE(query::parseVerdict("").has_value());
+}
+
+TEST(Cache, DiskTierSurvivesANewInstance)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "ldx_query_cache_test";
+    std::filesystem::remove_all(dir);
+
+    {
+        ResultCache cache(8, dir.string(), nullptr);
+        cache.store(keyN(1), verdictN(1));
+    }
+    ResultCache fresh(8, dir.string(), nullptr);
+    auto v = fresh.lookup(keyN(1));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(*v == verdictN(1));
+    EXPECT_EQ(fresh.hits(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, WorldHashCoversEveryInputKind)
+{
+    os::WorldSpec a = mixedWorld();
+    os::WorldSpec b = a;
+    EXPECT_EQ(query::hashWorld(a), query::hashWorld(b));
+    b.env["SECRET"] = "abd";
+    EXPECT_NE(query::hashWorld(a), query::hashWorld(b));
+
+    os::WorldSpec c = a;
+    c.files["/data.txt"] = "datb";
+    EXPECT_NE(query::hashWorld(a), query::hashWorld(c));
+
+    os::WorldSpec d = a;
+    d.incoming.push_back({"GET /"});
+    EXPECT_NE(query::hashWorld(a), query::hashWorld(d));
+}
+
+// ---------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------
+
+CampaignConfig
+fastConfig()
+{
+    CampaignConfig cfg;
+    cfg.deadlineSeconds = 20.0;
+    return cfg;
+}
+
+TEST(Campaign, FindsTheLeakInTheDemoProgram)
+{
+    CampaignResult res = query::runCampaign(
+        instrumentedModule(kMixedProgram), mixedWorld(), fastConfig());
+    // 2 queryable sources x 3 default policies.
+    EXPECT_EQ(res.queries.size(), 6u);
+    EXPECT_EQ(res.dualExecutions, 6u);
+    EXPECT_TRUE(res.anyCausality());
+    bool env_edge = false;
+    for (const query::GraphEdge &e : res.graph.edges)
+        env_edge |= e.from == "src:env:env:SECRET" &&
+                    e.to == "sink:console";
+    EXPECT_TRUE(env_edge) << res.graph.toJson();
+}
+
+TEST(Campaign, GraphIsByteIdenticalAcrossJobsAndDrivers)
+{
+    const ir::Module &module = instrumentedModule(kMixedProgram);
+    CampaignConfig base = fastConfig();
+
+    CampaignConfig jobs8 = base;
+    jobs8.jobs = 8;
+    jobs8.queueCap = 2;
+
+    CampaignConfig threaded = base;
+    threaded.jobs = 4;
+    threaded.threaded = true;
+
+    std::string ref =
+        query::runCampaign(module, mixedWorld(), base).graph.toJson();
+    EXPECT_EQ(ref,
+              query::runCampaign(module, mixedWorld(), jobs8)
+                  .graph.toJson());
+    EXPECT_EQ(ref,
+              query::runCampaign(module, mixedWorld(), threaded)
+                  .graph.toJson());
+}
+
+TEST(Campaign, WarmCacheDoesZeroDualExecutions)
+{
+    std::filesystem::path dir = std::filesystem::temp_directory_path() /
+                                "ldx_query_campaign_cache";
+    std::filesystem::remove_all(dir);
+
+    const ir::Module &module = instrumentedModule(kMixedProgram);
+    CampaignConfig cfg = fastConfig();
+    cfg.cacheDir = dir.string();
+
+    CampaignResult cold = query::runCampaign(module, mixedWorld(), cfg);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.dualExecutions, cold.queries.size());
+
+    CampaignResult warm = query::runCampaign(module, mixedWorld(), cfg);
+    EXPECT_EQ(warm.dualExecutions, 0u);
+    EXPECT_EQ(warm.cacheHits, warm.queries.size());
+    EXPECT_EQ(cold.graph.toJson(), warm.graph.toJson());
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, CancelledCampaignReportsCancelledQueries)
+{
+    std::atomic<bool> cancel{true};
+    CampaignConfig cfg = fastConfig();
+    cfg.cancel = &cancel;
+    CampaignResult res = query::runCampaign(
+        instrumentedModule(kMixedProgram), mixedWorld(), cfg);
+    EXPECT_EQ(res.dualExecutions, 0u);
+    EXPECT_EQ(res.cancelledQueries, res.queries.size());
+    EXPECT_FALSE(res.anyCausality());
+}
+
+TEST(Campaign, MetricsLandInTheRegistry)
+{
+    obs::Registry registry;
+    CampaignConfig cfg = fastConfig();
+    cfg.registry = &registry;
+    CampaignResult res = query::runCampaign(
+        instrumentedModule(kMixedProgram), mixedWorld(), cfg);
+    obs::MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counterOr("campaign.dual.executions"),
+              res.dualExecutions);
+    EXPECT_EQ(snap.counterOr("campaign.queries.total"),
+              res.queries.size());
+    EXPECT_EQ(snap.counterOr("campaign.cache.misses"),
+              res.cacheMisses);
+    EXPECT_EQ(snap.counterOr("campaign.sched.completed"),
+              res.queries.size());
+    // Phase timing covered the pipeline.
+    bool saw_execute = false;
+    for (const obs::PhaseSample &p : res.phases)
+        saw_execute |= p.name == "campaign.execute";
+    EXPECT_TRUE(saw_execute);
+}
+
+// Acceptance: every vulnerable workload's campaign reports an edge
+// from the known injected source to an observable sink.
+TEST(Campaign, VulnerableWorkloadsReportTheInjectedEdge)
+{
+    const char *names[] = {"gif2png",  "mp3info", "prozilla",
+                           "yopsweb",  "ngircd",  "gzip-alloc"};
+    for (const char *name : names) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        ASSERT_NE(w, nullptr) << name;
+        CampaignConfig cfg = fastConfig();
+        cfg.sinks = w->sinks;
+        cfg.policies = {core::MutationStrategy::OffByOne};
+        CampaignResult res =
+            query::runCampaign(workloads::workloadModule(*w, true),
+                               w->world(w->defaultScale), cfg);
+        EXPECT_TRUE(res.anyCausality()) << name;
+
+        ASSERT_FALSE(w->sources.empty()) << name;
+        std::string key = w->sources.front().resourceKey();
+        bool from_injected = false;
+        for (const query::GraphEdge &e : res.graph.edges)
+            from_injected |= key.empty()
+                                 ? e.from.find("incoming") !=
+                                       std::string::npos
+                                 : e.from.find(key) !=
+                                       std::string::npos;
+        EXPECT_TRUE(from_injected)
+            << name << ": no edge from " << key << " in "
+            << res.graph.toJson();
+    }
+}
+
+} // namespace
+} // namespace ldx

@@ -15,6 +15,20 @@
  *                                     seeded programs and check the
  *                                     oracle invariants across the
  *                                     config matrix (docs/FUZZING.md)
+ *   ldx campaign <workload|prog.mc>   batch causality inference: one
+ *                                     baseline run enumerates sources
+ *                                     and sinks, a worker pool runs
+ *                                     one dual execution per (source,
+ *                                     policy), and the aggregated
+ *                                     causality graph is emitted as
+ *                                     JSON/DOT (docs/CAMPAIGN.md)
+ *
+ * Exit codes (uniform across subcommands):
+ *   0  clean — no causality, divergence, trap, or oracle violation
+ *   1  findings — causality edges, divergence, a guest trap, or
+ *      oracle violations were detected
+ *   2  usage or input error (bad flags, unreadable files)
+ *   3  internal error (engine invariant violation, failed queries)
  *
  * Options:
  *   --env K=V            environment variable (repeatable)
@@ -62,9 +76,25 @@
  *   --inject-skip-cnt N  fault injection: skip every Nth CntAdd in
  *                        both VMs (oracle self-test; the sweep is
  *                        expected to fail)
+ *
+ * Campaign options (campaign):
+ *   --jobs N             worker threads (default 1)
+ *   --queue-cap N        max outstanding queries (default 256)
+ *   --deadline-ms N      per-query deadline (default 30000)
+ *   --policies LIST      comma list of off-by-one,zero,bit-flip,random
+ *                        (default off-by-one,zero,bit-flip)
+ *   --offset N           mutation byte offset (default: whole value)
+ *   --graph-out FILE     write the causality graph JSON to FILE
+ *   --dot-out FILE       write the Graphviz DOT rendering to FILE
+ *   --cache-dir DIR      persist query verdicts under DIR
+ *   --cache-cap N        in-memory cache entries (default 4096)
  */
+#include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -87,6 +117,7 @@
 #include "obs/trace.h"
 #include "os/kernel.h"
 #include "os/sysno.h"
+#include "query/campaign.h"
 #include "support/diag.h"
 #include "support/strings.h"
 #include "taint/tracker.h"
@@ -104,6 +135,7 @@ struct CliOptions
     os::WorldSpec world;
     std::vector<core::SourceSpec> sources;
     std::size_t offset = 0;
+    bool offsetSet = false;
     core::MutationStrategy strategy = core::MutationStrategy::OffByOne;
     core::SinkConfig sinks;
     std::string policy = "taintgrind";
@@ -120,6 +152,16 @@ struct CliOptions
     std::size_t recorderCapacity = obs::FlightRecorder::kDefaultCapacity;
     std::string explainFormat = "text";
     std::string explainOut;
+
+    // campaign
+    int jobs = 1;
+    std::size_t queueCap = 256;
+    double deadlineMs = 30'000.0;
+    std::vector<core::MutationStrategy> policies;
+    std::string graphOut;
+    std::string dotOut;
+    std::string cacheDir;
+    std::size_t cacheCap = 4096;
 
     // fuzz
     std::uint64_t fuzzSeeds = 100;
@@ -142,9 +184,70 @@ usage(const std::string &error = "")
         "usage: ldx <run|dual|taint|dump> <prog.mc> [options]\n"
         "       ldx corpus | ldx bench <workload>\n"
         "       ldx explain <workload|prog.mc> [options]\n"
+        "       ldx campaign <workload|prog.mc> [options]\n"
         "       ldx fuzz [options]\n"
         "see the file header of tools/ldx_cli.cc for options\n";
     std::exit(2);
+}
+
+/**
+ * Strict numeric flag parsing. Every numeric flag goes through these:
+ * garbage ("abc", "1x", "-3", "1.5" for integers) and out-of-range
+ * values are usage errors (exit 2), never silent truncation, and
+ * flags with a documented floor ("--jobs 0") are rejected.
+ */
+std::uint64_t
+parseUint(const std::string &value, const char *flag,
+          std::uint64_t min_value = 0)
+{
+    if (value.empty())
+        usage(std::string(flag) + " expects a number");
+    for (char c : value)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            usage(std::string(flag) +
+                  " expects a non-negative integer, got '" + value +
+                  "'");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE || end != value.c_str() + value.size())
+        usage(std::string(flag) + " value out of range: " + value);
+    if (parsed < min_value)
+        usage(std::string(flag) + " must be >= " +
+              std::to_string(min_value) + ", got " + value);
+    return parsed;
+}
+
+double
+parseDouble(const std::string &value, const char *flag,
+            double min_value = 0.0)
+{
+    if (value.empty())
+        usage(std::string(flag) + " expects a number");
+    errno = 0;
+    char *end = nullptr;
+    double parsed = std::strtod(value.c_str(), &end);
+    if (errno == ERANGE || end != value.c_str() + value.size())
+        usage(std::string(flag) + " expects a number, got '" + value +
+              "'");
+    if (!(parsed >= min_value))
+        usage(std::string(flag) + " must be >= " +
+              std::to_string(min_value) + ", got " + value);
+    return parsed;
+}
+
+core::MutationStrategy
+parseStrategy(const std::string &s, const char *flag)
+{
+    if (s == "off-by-one")
+        return core::MutationStrategy::OffByOne;
+    if (s == "zero")
+        return core::MutationStrategy::Zero;
+    if (s == "bit-flip")
+        return core::MutationStrategy::BitFlip;
+    if (s == "random")
+        return core::MutationStrategy::Random;
+    usage(std::string(flag) + ": unknown strategy " + s);
 }
 
 std::string
@@ -177,7 +280,8 @@ parseArgs(int argc, char **argv)
     int i = 2;
     if (opt.command == "run" || opt.command == "dual" ||
         opt.command == "taint" || opt.command == "dump" ||
-        opt.command == "bench" || opt.command == "explain") {
+        opt.command == "bench" || opt.command == "explain" ||
+        opt.command == "campaign") {
         if (argc < 3)
             usage(opt.command + " needs an argument");
         opt.program = argv[2];
@@ -221,19 +325,12 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--source-incoming") {
             opt.sources.push_back(core::SourceSpec::incoming());
         } else if (arg == "--offset") {
-            opt.offset = std::stoul(next("--offset"));
+            opt.offset = static_cast<std::size_t>(
+                parseUint(next("--offset"), "--offset"));
+            opt.offsetSet = true;
         } else if (arg == "--strategy") {
-            std::string s = next("--strategy");
-            if (s == "off-by-one")
-                opt.strategy = core::MutationStrategy::OffByOne;
-            else if (s == "zero")
-                opt.strategy = core::MutationStrategy::Zero;
-            else if (s == "bit-flip")
-                opt.strategy = core::MutationStrategy::BitFlip;
-            else if (s == "random")
-                opt.strategy = core::MutationStrategy::Random;
-            else
-                usage("unknown strategy " + s);
+            opt.strategy = parseStrategy(next("--strategy"),
+                                         "--strategy");
         } else if (arg == "--sinks") {
             opt.sinks = core::SinkConfig{};
             opt.sinks.net = opt.sinks.file = opt.sinks.console = false;
@@ -260,12 +357,12 @@ parseArgs(int argc, char **argv)
             auto parts = splitString(next("--spin-policy"), ',');
             if (parts.size() != 3)
                 usage("--spin-policy expects SPINS,YIELDS,SLEEP_US");
-            opt.driver.spinCount =
-                static_cast<std::uint32_t>(std::stoul(parts[0]));
-            opt.driver.yieldCount =
-                static_cast<std::uint32_t>(std::stoul(parts[1]));
-            opt.driver.sleepMicros =
-                static_cast<std::uint32_t>(std::stoul(parts[2]));
+            opt.driver.spinCount = static_cast<std::uint32_t>(
+                parseUint(parts[0], "--spin-policy"));
+            opt.driver.yieldCount = static_cast<std::uint32_t>(
+                parseUint(parts[1], "--spin-policy"));
+            opt.driver.sleepMicros = static_cast<std::uint32_t>(
+                parseUint(parts[2], "--spin-policy"));
         } else if (arg == "--trace") {
             opt.traceAlignment = true;
         } else if (arg == "--metrics" || arg == "--metrics=text") {
@@ -289,10 +386,8 @@ parseArgs(int argc, char **argv)
         } else if (startsWith(arg, "--flight-recorder=")) {
             opt.flightRecorder = true;
             std::string n = arg.substr(sizeof("--flight-recorder=") - 1);
-            std::size_t cap = std::stoul(n);
-            if (!cap)
-                usage("--flight-recorder capacity must be > 0");
-            opt.recorderCapacity = cap;
+            opt.recorderCapacity = static_cast<std::size_t>(
+                parseUint(n, "--flight-recorder", 1));
         } else if (arg == "--no-flight-recorder") {
             opt.flightRecorder = false;
         } else if (arg == "--explain-format") {
@@ -307,20 +402,24 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--no-instrument") {
             opt.instrument = false;
         } else if (arg == "--seeds") {
-            opt.fuzzSeeds = std::stoull(next("--seeds"));
+            opt.fuzzSeeds = parseUint(next("--seeds"), "--seeds", 1);
         } else if (arg == "--seed-start") {
-            opt.fuzzSeedStart = std::stoull(next("--seed-start"));
+            opt.fuzzSeedStart =
+                parseUint(next("--seed-start"), "--seed-start");
         } else if (arg == "--time-budget") {
-            opt.fuzzTimeBudget = std::stod(next("--time-budget"));
+            opt.fuzzTimeBudget =
+                parseDouble(next("--time-budget"), "--time-budget");
         } else if (arg == "--matrix") {
             opt.fuzzMatrix = next("--matrix");
             if (opt.fuzzMatrix != "full" && opt.fuzzMatrix != "quick")
                 usage("unknown matrix " + opt.fuzzMatrix +
                       " (expected full or quick)");
         } else if (arg == "--mutations") {
-            opt.fuzzMutations = std::stoi(next("--mutations"));
-            if (opt.fuzzMutations < 0 || opt.fuzzMutations > 3)
+            std::uint64_t n = parseUint(next("--mutations"),
+                                        "--mutations");
+            if (n > 3)
                 usage("--mutations expects 0..3");
+            opt.fuzzMutations = static_cast<int>(n);
         } else if (arg == "--artifacts-dir") {
             opt.fuzzArtifactsDir = next("--artifacts-dir");
         } else if (arg == "--replay") {
@@ -329,7 +428,33 @@ parseArgs(int argc, char **argv)
             opt.fuzzShrink = false;
         } else if (arg == "--inject-skip-cnt") {
             opt.fuzzInjectSkipCnt =
-                std::stoull(next("--inject-skip-cnt"));
+                parseUint(next("--inject-skip-cnt"),
+                          "--inject-skip-cnt");
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<int>(
+                parseUint(next("--jobs"), "--jobs", 1));
+        } else if (arg == "--queue-cap") {
+            opt.queueCap = static_cast<std::size_t>(
+                parseUint(next("--queue-cap"), "--queue-cap", 1));
+        } else if (arg == "--deadline-ms") {
+            opt.deadlineMs = static_cast<double>(
+                parseUint(next("--deadline-ms"), "--deadline-ms", 1));
+        } else if (arg == "--policies") {
+            opt.policies.clear();
+            for (const std::string &s :
+                 splitString(next("--policies"), ','))
+                opt.policies.push_back(parseStrategy(s, "--policies"));
+            if (opt.policies.empty())
+                usage("--policies expects at least one policy");
+        } else if (arg == "--graph-out") {
+            opt.graphOut = next("--graph-out");
+        } else if (arg == "--dot-out") {
+            opt.dotOut = next("--dot-out");
+        } else if (arg == "--cache-dir") {
+            opt.cacheDir = next("--cache-dir");
+        } else if (arg == "--cache-cap") {
+            opt.cacheCap = static_cast<std::size_t>(
+                parseUint(next("--cache-cap"), "--cache-cap", 1));
         } else {
             usage("unknown option " + arg);
         }
@@ -413,11 +538,11 @@ cmdRun(const CliOptions &opt)
     if (st == vm::StepStatus::Trapped) {
         std::cerr << "[ldx] trapped: " << machine.trap()->message
                   << "\n";
-        return 139;
+        return 1;
     }
     std::cerr << "[ldx] exit " << machine.exitCode() << " after "
               << machine.stats().instructions << " instructions\n";
-    return static_cast<int>(machine.exitCode());
+    return 0;
 }
 
 int
@@ -577,7 +702,7 @@ cmdBench(const CliOptions &opt)
         std::cout << core::resultJson(res, res.phases) << "\n";
     else if (opt.metrics)
         printMetricsText(std::cout, res, res.phases);
-    return 0;
+    return res.causality() ? 1 : 0;
 }
 
 /**
@@ -649,7 +774,119 @@ cmdExplain(const CliOptions &opt)
     if (!opt.explainOut.empty())
         std::cerr << "[ldx] explain report written to " << opt.explainOut
                   << "\n";
-    return 0;
+    return 1; // divergence present = findings
+}
+
+/** SIGINT latch: campaign workers drain gracefully when this flips. */
+std::atomic<bool> g_campaignCancel{false};
+
+extern "C" void
+campaignSigint(int)
+{
+    g_campaignCancel.store(true, std::memory_order_relaxed);
+}
+
+/**
+ * Write @p text to @p path (usage error when unwritable) and note it
+ * on stderr.
+ */
+void
+writeArtifact(const std::string &path, const std::string &text,
+              const char *what)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        usage(std::string("cannot write ") + path);
+    out << text;
+    std::cerr << "[ldx] " << what << " written to " << path << "\n";
+}
+
+int
+cmdCampaign(const CliOptions &opt)
+{
+    std::ofstream trace_file;
+    std::unique_ptr<obs::TraceSink> sink = openTraceSink(opt, trace_file);
+
+    // The argument is a built-in workload (its sinks apply) or a .mc
+    // source combined with --env/--file/... and --sinks.
+    std::unique_ptr<ir::Module> owned;
+    const ir::Module *module = nullptr;
+    os::WorldSpec world;
+    query::CampaignConfig cfg;
+    const workloads::Workload *w = workloads::findWorkload(opt.program);
+    if (w) {
+        cfg.sinks = w->sinks;
+        module = &workloads::workloadModule(*w, true);
+        world = w->world(w->defaultScale);
+    } else {
+        cfg.sinks = opt.sinks;
+        owned = compileProgram(opt, true);
+        module = owned.get();
+        world = opt.world;
+    }
+
+    obs::Registry registry;
+    if (!opt.policies.empty())
+        cfg.policies = opt.policies;
+    if (opt.offsetSet)
+        cfg.offset = opt.offset;
+    cfg.threaded = opt.threaded;
+    cfg.driver = opt.driver;
+    cfg.jobs = opt.jobs;
+    cfg.queueCap = opt.queueCap;
+    cfg.deadlineSeconds = opt.deadlineMs / 1e3;
+    cfg.cacheCapacity = opt.cacheCap;
+    cfg.cacheDir = opt.cacheDir;
+    cfg.cancel = &g_campaignCancel;
+    cfg.registry = &registry;
+    cfg.traceSink = sink.get();
+
+    auto prev = std::signal(SIGINT, campaignSigint);
+    query::CampaignResult res = query::runCampaign(*module, world, cfg);
+    std::signal(SIGINT, prev);
+    if (sink)
+        sink->flush();
+
+    std::ostream &out = opt.metricsJson ? std::cerr : std::cout;
+    out << "baseline: " << res.baseline.totalEvents << " events, "
+        << res.baseline.sources.size() << " sources ("
+        << res.baseline.queryableSources().size() << " queryable), "
+        << res.baseline.sinks.size() << " sinks\n";
+    out << "queries: " << res.queries.size() << " ("
+        << res.cacheHits << " cached, " << res.dualExecutions
+        << " executed, " << res.cancelledQueries << " cancelled, "
+        << res.failedQueries << " failed, " << res.timedOutQueries
+        << " timed out)\n";
+    out << res.graph.summaryText();
+    for (std::size_t i = 0; i < res.queries.size(); ++i)
+        if (res.outcomes[i].status == query::RunStatus::Failed)
+            std::cerr << "[ldx] query " << res.queries[i].sourceId
+                      << " [" << core::mutationStrategyName(
+                             res.queries[i].strategy)
+                      << "] failed: " << res.outcomes[i].error << "\n";
+
+    if (!opt.graphOut.empty())
+        writeArtifact(opt.graphOut, res.graph.toJson(),
+                      "causality graph");
+    if (!opt.dotOut.empty())
+        writeArtifact(opt.dotOut, res.graph.toDot(), "DOT graph");
+    if (opt.metricsJson) {
+        std::cout << registry.snapshot().toJson() << "\n";
+    } else if (opt.metrics) {
+        std::cout << "metrics:\n";
+        registry.snapshot().writeText(std::cout);
+        std::cout << "phases:\n";
+        for (const obs::PhaseSample &p : res.phases) {
+            std::cout << "  ";
+            for (int d = 0; d < p.depth; ++d)
+                std::cout << "  ";
+            std::cout << p.name << ": " << p.seconds * 1e3 << " ms\n";
+        }
+    }
+
+    if (res.failedQueries)
+        return 3;
+    return res.anyCausality() ? 1 : 0;
 }
 
 /** Oracle configuration from the CLI flags. */
@@ -740,7 +977,7 @@ cmdFuzz(const CliOptions &opt)
             numeric = numeric &&
                       std::isdigit(static_cast<unsigned char>(c));
         fuzz::SeedReport rep =
-            numeric ? oracle.run(std::stoull(opt.fuzzReplay))
+            numeric ? oracle.run(parseUint(opt.fuzzReplay, "--replay"))
                     : oracle.runSource(opt.fuzzSeedStart,
                                        readHostFile(opt.fuzzReplay));
         if (!rep.compiled) {
@@ -813,6 +1050,8 @@ main(int argc, char **argv)
             return cmdBench(opt);
         if (opt.command == "explain")
             return cmdExplain(opt);
+        if (opt.command == "campaign")
+            return cmdCampaign(opt);
         if (opt.command == "fuzz")
             return cmdFuzz(opt);
         usage();
