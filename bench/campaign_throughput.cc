@@ -7,14 +7,19 @@
  * dual-execute every (source, policy) query -> aggregate) runs cold at
  * --jobs 1/2/4/8, reporting queries/sec and per-query latency
  * percentiles, then once more against a warm in-memory cache to
- * report the hit rate and the warm wall time. Emits
- * BENCH_campaign.json for CI diffing.
+ * report the hit rate and the warm wall time, and finally a
+ * telemetry-off vs telemetry-on pair (exporter + trace + spans all
+ * enabled) at --jobs 4 to measure the observability overhead — the
+ * acceptance budget is <= 5%. Emits BENCH_campaign.json for CI
+ * diffing.
  */
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/exporter.h"
 #include "query/campaign.h"
 
 using namespace ldx;
@@ -55,6 +60,68 @@ coldCampaign(const workloads::Workload &w, int jobs)
             res.outcomes[i].status == query::RunStatus::Done)
             run.latency.add(res.outcomes[i].seconds);
     return run;
+}
+
+/** Telemetry-overhead pair: best-of-N seconds with telemetry off/on. */
+struct TelemetryPair
+{
+    double offSeconds = 0.0;
+    double onSeconds = 0.0;
+};
+
+/**
+ * Measure one workload's cold --jobs 4 campaign with telemetry off vs
+ * fully on (metrics registry, exporter sampling into throwaway files,
+ * span-correlated tracing into an in-memory stream). The campaigns
+ * finish in ~1 ms, so the off/on runs are *interleaved* and best-of-N
+ * taken on each side — back-to-back blocks would fold CPU-frequency
+ * drift into the delta and swamp the effect being measured.
+ */
+TelemetryPair
+telemetryOverhead(const workloads::Workload &w)
+{
+    query::CampaignConfig off_cfg;
+    off_cfg.sinks = w.sinks;
+    off_cfg.jobs = 4;
+    off_cfg.deadlineSeconds = 60.0;
+
+    query::CampaignConfig on_cfg = off_cfg;
+    obs::Registry reg;
+    std::ostringstream trace_out;
+    obs::JsonlTraceSink sink(trace_out);
+    on_cfg.registry = &reg;
+    on_cfg.traceSink = &sink;
+
+    obs::ExporterConfig ecfg;
+    ecfg.jsonlPath = std::string("bench-telemetry-") + w.name + ".jsonl";
+    ecfg.promPath = std::string("bench-telemetry-") + w.name + ".prom";
+    ecfg.intervalMs = 100;
+    obs::Exporter exporter(reg, ecfg);
+    exporter.start();
+
+    TelemetryPair pair;
+    pair.offSeconds = pair.onSeconds = 1e30;
+    const int reps = 20;
+    for (int r = 0; r < reps; ++r) {
+        double off = bench::timeSeconds(
+            [&] {
+                query::runCampaign(workloads::workloadModule(w, true),
+                                   w.world(w.defaultScale), off_cfg);
+            },
+            1);
+        double on = bench::timeSeconds(
+            [&] {
+                query::runCampaign(workloads::workloadModule(w, true),
+                                   w.world(w.defaultScale), on_cfg);
+            },
+            1);
+        if (off < pair.offSeconds)
+            pair.offSeconds = off;
+        if (on < pair.onSeconds)
+            pair.onSeconds = on;
+    }
+    exporter.stop();
+    return pair;
 }
 
 } // namespace
@@ -133,6 +200,20 @@ main()
         json += ",\"dual_executions\":" +
                 std::to_string(warm.dualExecutions);
         json += ",\"seconds\":" + obs::jsonNumber(warm_seconds) + "}";
+
+        // Telemetry overhead: cold --jobs 4 with everything off vs
+        // everything on (registry + exporter + span trace).
+        TelemetryPair pair = telemetryOverhead(*w);
+        double overhead = pair.offSeconds > 0.0
+                              ? pair.onSeconds / pair.offSeconds - 1.0
+                              : 0.0;
+        std::cout << "  telemetry: off " << pair.offSeconds * 1e3
+                  << " ms, on " << pair.onSeconds * 1e3 << " ms ("
+                  << overhead * 100.0 << "% overhead)\n";
+        json += ",\"telemetry\":{\"off_seconds\":" +
+                obs::jsonNumber(pair.offSeconds);
+        json += ",\"on_seconds\":" + obs::jsonNumber(pair.onSeconds);
+        json += ",\"overhead\":" + obs::jsonNumber(overhead) + "}";
         json += '}';
     }
     json += "]}";

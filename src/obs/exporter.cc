@@ -1,0 +1,257 @@
+#include "obs/exporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace ldx::obs {
+
+namespace {
+
+/** Prometheus metric name: `ldx_` prefix, [a-zA-Z0-9_] only. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "ldx_";
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** A double in the exposition format (Prometheus accepts %g). */
+std::string
+promNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const MetricsSnapshot &snap)
+{
+    std::string out;
+    for (const auto &[name, value] : snap.counters) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " counter\n";
+        out += n + " " + std::to_string(value) + "\n";
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " gauge\n";
+        out += n + " " + promNumber(value) + "\n";
+    }
+    for (const HistogramSnapshot &h : snap.histograms) {
+        std::string n = promName(h.name);
+        out += "# TYPE " + n + " histogram\n";
+        // Exposition buckets are cumulative; the snapshot's are not.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            cum += h.counts[i];
+            std::string le = i < h.bounds.size()
+                                 ? promNumber(h.bounds[i])
+                                 : std::string("+Inf");
+            out += n + "_bucket{le=\"" + le +
+                   "\"} " + std::to_string(cum) + "\n";
+        }
+        out += n + "_sum " + promNumber(h.sum) + "\n";
+        out += n + "_count " + std::to_string(h.count) + "\n";
+    }
+    return out;
+}
+
+Exporter::Exporter(const Registry &registry, ExporterConfig cfg)
+    : registry_(registry), cfg_(std::move(cfg))
+{
+    if (cfg_.intervalMs < 1)
+        cfg_.intervalMs = 1;
+}
+
+Exporter::~Exporter()
+{
+    stop();
+}
+
+bool
+Exporter::start()
+{
+    if (running_)
+        return true;
+    if (!cfg_.jsonlPath.empty()) {
+        jsonl_.open(cfg_.jsonlPath,
+                    std::ios::binary | std::ios::app);
+        if (!jsonl_) {
+            error_ = "cannot write " + cfg_.jsonlPath;
+            return false;
+        }
+    }
+    if (!cfg_.promPath.empty()) {
+        // Probe writability up front so a bad path fails at start(),
+        // not silently on the sampler thread.
+        std::ofstream probe(cfg_.promPath, std::ios::binary);
+        if (!probe) {
+            error_ = "cannot write " + cfg_.promPath;
+            return false;
+        }
+    }
+    stopRequested_ = false;
+    running_ = true;
+    thread_ = std::thread(&Exporter::run, this);
+    return true;
+}
+
+void
+Exporter::stop()
+{
+    if (!running_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    running_ = false;
+    // Final sample: the post-drain registry state always lands in
+    // both sinks, however short the run was.
+    exportOnce();
+    if (jsonl_.is_open())
+        jsonl_.flush();
+}
+
+void
+Exporter::run()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (cv_.wait_for(lock,
+                         std::chrono::milliseconds(cfg_.intervalMs),
+                         [&] { return stopRequested_; }))
+            return; // stop() takes the final sample
+        lock.unlock();
+        exportOnce();
+        lock.lock();
+    }
+}
+
+void
+Exporter::exportOnce()
+{
+    MetricsSnapshot snap = registry_.snapshot();
+    std::uint64_t seq =
+        samples_.fetch_add(1, std::memory_order_relaxed);
+    if (jsonl_.is_open()) {
+        std::string line = "{\"ts_us\":" + std::to_string(nowUs());
+        line += ",\"seq\":" + std::to_string(seq);
+        line += ",\"metrics\":" + snap.toJson() + "}\n";
+        jsonl_ << line;
+        jsonl_.flush();
+    }
+    if (!cfg_.promPath.empty()) {
+        // Atomic replace: a concurrent reader never sees a torn file.
+        std::string tmp = cfg_.promPath + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::binary);
+            if (!out)
+                return;
+            out << renderPrometheus(snap);
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, cfg_.promPath, ec);
+    }
+}
+
+ProgressMeter::ProgressMeter(const Registry &registry,
+                             std::ostream &out, int intervalMs)
+    : registry_(registry), out_(out),
+      intervalMs_(intervalMs < 1 ? 1 : intervalMs),
+      t0_(std::chrono::steady_clock::now())
+{}
+
+ProgressMeter::~ProgressMeter()
+{
+    stop();
+}
+
+void
+ProgressMeter::start()
+{
+    if (running_)
+        return;
+    stopRequested_ = false;
+    running_ = true;
+    t0_ = std::chrono::steady_clock::now();
+    thread_ = std::thread(&ProgressMeter::run, this);
+}
+
+void
+ProgressMeter::stop()
+{
+    if (!running_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    running_ = false;
+    out_ << '\r' << renderLine() << '\n';
+    out_.flush();
+}
+
+std::string
+ProgressMeter::renderLine() const
+{
+    MetricsSnapshot snap = registry_.snapshot();
+    double total = snap.gaugeOr("campaign.queries.planned");
+    std::uint64_t hits = snap.counterOr("campaign.cache.hits");
+    std::uint64_t misses = snap.counterOr("campaign.cache.misses");
+    std::uint64_t done = snap.counterOr("campaign.sched.completed") +
+                         hits;
+    double active = snap.gaugeOr("campaign.sched.active_workers");
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0_)
+                         .count();
+    double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+    double remaining = total > done ? total - done : 0.0;
+    double eta = rate > 0.0 ? remaining / rate : 0.0;
+    double hit_pct = hits + misses
+                         ? 100.0 * hits / (hits + misses)
+                         : 0.0;
+    double pct = total > 0.0 ? 100.0 * done / total : 0.0;
+
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "[ldx] %llu/%.0f queries (%.1f%%) | %.1f q/s | "
+                  "ETA %.1fs | cache %.1f%% | %d workers",
+                  static_cast<unsigned long long>(done), total, pct,
+                  rate, eta, hit_pct, static_cast<int>(active));
+    return buf;
+}
+
+void
+ProgressMeter::run()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (cv_.wait_for(lock,
+                         std::chrono::milliseconds(intervalMs_),
+                         [&] { return stopRequested_; }))
+            return; // stop() renders the final line
+        lock.unlock();
+        out_ << '\r' << renderLine();
+        out_.flush();
+        lock.lock();
+    }
+}
+
+} // namespace ldx::obs

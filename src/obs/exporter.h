@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Campaign-scale telemetry exporters: a background registry sampler
+ * and a live progress meter.
+ *
+ * `Exporter` snapshots an `obs::Registry` every N ms on its own
+ * thread and serializes each sample to two optional surfaces:
+ *
+ *  - a **JSONL time-series** file — one `{"ts_us":…,"seq":…,
+ *    "metrics":{…}}` object per line, appended, so a campaign leaves
+ *    a replayable metric history;
+ *  - a **Prometheus-style text exposition** file — rewritten
+ *    atomically (write-to-temp + rename) on every tick, so an
+ *    external scraper always reads a complete document. This is the
+ *    exact `/metrics` surface a future `ldx serve` mounts.
+ *
+ * Start/stop semantics are strict: `start()` opens the sinks and
+ * spawns the sampler; `stop()` wakes it, takes one final snapshot
+ * (so even a run shorter than the interval exports at least one
+ * sample — including a SIGINT-drained campaign), joins, and flushes.
+ * `stop()` is idempotent and the destructor calls it.
+ *
+ * `ProgressMeter` is the human-facing sibling: a background thread
+ * that renders one live, carriage-return-overwritten status line
+ * (done/total, queries/s, ETA, cache hit rate, active workers) from
+ * the same registry aggregates the exporter samples. Neither class
+ * touches the hot path: both only *read* the lock-free instruments.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace ldx::obs {
+
+/**
+ * Render @p snap in the Prometheus text exposition format (v0.0.4):
+ * one `# TYPE` line per metric, metric names sanitized to
+ * `[a-zA-Z0-9_]` with an `ldx_` prefix, histograms expanded into
+ * cumulative `_bucket{le="…"}` series plus `_sum`/`_count`.
+ */
+std::string renderPrometheus(const MetricsSnapshot &snap);
+
+/** Exporter configuration. */
+struct ExporterConfig
+{
+    /** JSONL time-series path ("" = disabled). Appended per tick. */
+    std::string jsonlPath;
+
+    /** Prometheus exposition path ("" = disabled). Atomically
+     *  rewritten per tick. */
+    std::string promPath;
+
+    /** Sampling interval in milliseconds (>= 1). */
+    int intervalMs = 500;
+};
+
+/** Background registry sampler (see file header). */
+class Exporter
+{
+  public:
+    /** @p registry must outlive the exporter. */
+    Exporter(const Registry &registry, ExporterConfig cfg);
+    ~Exporter();
+
+    Exporter(const Exporter &) = delete;
+    Exporter &operator=(const Exporter &) = delete;
+
+    /**
+     * Open the configured sinks and spawn the sampler thread.
+     * Returns false (with `error()` set) when a sink cannot be
+     * opened; the exporter then stays inert.
+     */
+    bool start();
+
+    /**
+     * Take one final snapshot, stop the sampler, and flush both
+     * sinks. Idempotent; safe to call after a SIGINT-drained run.
+     */
+    void stop();
+
+    /** Samples exported so far (final stop() sample included). */
+    std::uint64_t samples() const
+    {
+        return samples_.load(std::memory_order_relaxed);
+    }
+
+    /** Why start() failed ("" when it did not). */
+    const std::string &error() const { return error_; }
+
+  private:
+    void run();
+    void exportOnce();
+
+    const Registry &registry_;
+    ExporterConfig cfg_;
+    std::ofstream jsonl_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopRequested_ = false;
+    bool running_ = false;
+    std::atomic<std::uint64_t> samples_{0};
+    std::string error_;
+};
+
+/**
+ * Live one-line progress display driven off the campaign aggregates
+ * (`campaign.queries.planned`, `campaign.sched.completed`,
+ * `campaign.cache.{hits,misses}`, `campaign.sched.active_workers`).
+ * Renders to @p out (stderr in the CLI) every `intervalMs`,
+ * overwriting itself with '\r'; stop() prints the final state and a
+ * newline so subsequent output starts clean.
+ */
+class ProgressMeter
+{
+  public:
+    /** @p registry and @p out must outlive the meter. */
+    ProgressMeter(const Registry &registry, std::ostream &out,
+                  int intervalMs = 200);
+    ~ProgressMeter();
+
+    ProgressMeter(const ProgressMeter &) = delete;
+    ProgressMeter &operator=(const ProgressMeter &) = delete;
+
+    void start();
+
+    /** Render the final line (newline-terminated) and join. */
+    void stop();
+
+    /** One rendered status line (no '\r'/'\n'); exposed for tests. */
+    std::string renderLine() const;
+
+  private:
+    void run();
+
+    const Registry &registry_;
+    std::ostream &out_;
+    int intervalMs_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopRequested_ = false;
+    bool running_ = false;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace ldx::obs

@@ -35,10 +35,20 @@ Histogram::observe(double x)
 double
 HistogramSnapshot::percentile(double p) const
 {
-    if (count == 0)
+    // Rank against the bucket total, not the `count` header: a
+    // snapshot races relaxed bucket/count increments, so the two can
+    // disagree by a few in-flight observations. Basing the rank on
+    // the buckets themselves keeps the walk self-consistent, and an
+    // empty (or torn-to-empty) snapshot deterministically reports 0
+    // rather than falling through to a stale bound — exporter samples
+    // taken before the first observation are well-defined.
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts)
+        total += c;
+    if (total == 0)
         return 0.0;
     double rank = (std::clamp(p, 0.0, 100.0) / 100.0) *
-                  static_cast<double>(count);
+                  static_cast<double>(total);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
         std::uint64_t in_bucket = counts[i];

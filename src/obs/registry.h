@@ -119,7 +119,10 @@ struct HistogramSnapshot
     /**
      * Estimated p-th percentile (p in [0, 100]) assuming a uniform
      * distribution within each bucket. The overflow bucket reports
-     * the last finite bound.
+     * the last finite bound. Ranks against the bucket total (not the
+     * `count` header, which can disagree on a torn snapshot); a
+     * snapshot with zero observed samples deterministically reports
+     * 0.0.
      */
     double percentile(double p) const;
 };

@@ -33,6 +33,14 @@ inline constexpr int kMasterLane = 0;
 inline constexpr int kSlaveLane = 1;
 inline constexpr int kPipelineLane = 2;
 
+/**
+ * Per-worker lanes for campaign spans: worker w of a scheduler pool
+ * emits on lane kWorkerLaneBase + w, so a merged campaign trace
+ * renders each worker's queries as one swim-lane alongside the
+ * pipeline lane. Safely above the fixed lanes.
+ */
+inline constexpr int kWorkerLaneBase = 16;
+
 /** One trace event. */
 struct TraceRecord
 {
@@ -116,5 +124,31 @@ class ChromeTraceSink : public TraceSink
  */
 std::unique_ptr<TraceSink> makeTraceSink(const std::string &format,
                                          std::ostream &os);
+
+/**
+ * Emit one span-correlated campaign event: a complete ('X') span
+ * when @p durUs >= 0, an instant ('i') otherwise, carrying the
+ * stable span id as a numeric "span" argument so every phase of one
+ * query (queue-wait, cache-probe, dual-execution) correlates across
+ * lanes in the merged trace. No-op when @p sink is null.
+ */
+inline void
+emitSpan(TraceSink *sink, const std::string &name,
+         std::uint64_t spanId, int lane, std::int64_t tsUs,
+         std::int64_t durUs)
+{
+    if (!sink)
+        return;
+    TraceRecord rec;
+    rec.name = name;
+    rec.phase = durUs >= 0 ? 'X' : 'i';
+    rec.lane = lane;
+    rec.tid = 0;
+    rec.tsUs = tsUs;
+    rec.durUs = durUs >= 0 ? durUs : 0;
+    rec.numArgs.emplace_back("span",
+                             static_cast<std::int64_t>(spanId));
+    sink->emit(rec);
+}
 
 } // namespace ldx::obs

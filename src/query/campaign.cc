@@ -74,15 +74,31 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
     res.outcomes.assign(res.queries.size(), RunOutcome{});
     res.fromCache.assign(res.queries.size(), false);
 
+    // Live aggregates: the progress meter and exporter read the
+    // planned total while the pool is still draining, so it must be
+    // set up front (the campaign.queries.total counter only lands
+    // after aggregation).
+    reg->gauge("campaign.queries.planned")
+        .set(static_cast<double>(res.queries.size()));
+
     // Probe the cache on this thread; only misses reach the pool.
+    // Every query's probe is a span on the pipeline lane; a hit
+    // additionally emits the query's terminal `query.cached` marker.
     timer.begin("campaign.probe-cache");
     ResultCache cache(cfg.cacheCapacity, cfg.cacheDir, reg);
     std::vector<std::size_t> misses;
     for (const CampaignQuery &q : res.queries) {
-        if (std::optional<QueryVerdict> v = cache.lookup(keyOf(res, q))) {
+        std::int64_t probe_t0 = obs::nowUs();
+        std::optional<QueryVerdict> v = cache.lookup(keyOf(res, q));
+        obs::emitSpan(cfg.traceSink, "query.probe", q.index,
+                      obs::kPipelineLane, probe_t0,
+                      obs::nowUs() - probe_t0);
+        if (v) {
             res.verdicts[q.index] = std::move(*v);
             res.fromCache[q.index] = true;
             res.outcomes[q.index].status = RunStatus::Done;
+            obs::emitSpan(cfg.traceSink, "query.cached", q.index,
+                          obs::kPipelineLane, obs::nowUs(), -1);
         } else {
             misses.push_back(q.index);
         }
@@ -123,6 +139,8 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
     scfg.queueCap = cfg.queueCap;
     scfg.cancel = cfg.cancel;
     scfg.registry = reg;
+    scfg.traceSink = cfg.traceSink;
+    scfg.spanIds = &misses;
     std::vector<RunOutcome> pool = runOnPool(misses.size(), runOne, scfg);
     timer.end();
 
@@ -138,6 +156,24 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
             cache.store(keyOf(res, res.queries[qi]), *res.verdicts[qi]);
         }
     }
+    // Disposition fold: exactly one campaign.queries.* bump per query
+    // (mutually exclusive; they sum to campaign.queries.total), plus
+    // the per-query engine tallies folded into campaign.dual.*
+    // aggregates. Cancelled queries never reached a worker, so their
+    // terminal span marker is emitted here, deterministically.
+    obs::Counter &agg_completed =
+        reg->counter("campaign.queries.completed");
+    obs::Counter &agg_cached = reg->counter("campaign.queries.cached");
+    obs::Counter &agg_timed_out =
+        reg->counter("campaign.queries.timed_out");
+    obs::Counter &agg_cancelled =
+        reg->counter("campaign.queries.cancelled");
+    obs::Counter &agg_failed = reg->counter("campaign.queries.failed");
+    obs::Counter &agg_aligned =
+        reg->counter("campaign.dual.aligned_syscalls");
+    obs::Counter &agg_diffs =
+        reg->counter("campaign.dual.syscall_diffs");
+    obs::Counter &agg_findings = reg->counter("campaign.dual.findings");
     for (std::size_t i = 0; i < res.queries.size(); ++i) {
         switch (res.outcomes[i].status) {
           case RunStatus::Done: break;
@@ -147,6 +183,27 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
         if (res.verdicts[i] &&
             res.verdicts[i]->quality == VerdictQuality::TimedOut)
             ++res.timedOutQueries;
+
+        if (res.fromCache[i]) {
+            agg_cached.inc();
+        } else if (res.outcomes[i].status == RunStatus::Cancelled) {
+            agg_cancelled.inc();
+            obs::emitSpan(cfg.traceSink, "query.cancelled", i,
+                          obs::kPipelineLane, obs::nowUs(), -1);
+        } else if (res.outcomes[i].status == RunStatus::Failed) {
+            agg_failed.inc();
+        } else if (res.verdicts[i] &&
+                   res.verdicts[i]->quality ==
+                       VerdictQuality::TimedOut) {
+            agg_timed_out.inc();
+        } else {
+            agg_completed.inc();
+        }
+        if (!res.fromCache[i] && res.verdicts[i]) {
+            agg_aligned.inc(res.verdicts[i]->alignedSyscalls);
+            agg_diffs.inc(res.verdicts[i]->syscallDiffs);
+            agg_findings.inc(res.verdicts[i]->findings);
+        }
     }
     res.dualExecutions = ran.load(std::memory_order_relaxed);
     res.cacheHits = cache.hits();
@@ -166,7 +223,6 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
     timer.end();
 
     reg->counter("campaign.queries.total").inc(res.queries.size());
-    reg->counter("campaign.queries.timed_out").inc(res.timedOutQueries);
     reg->gauge("campaign.sources.total")
         .set(static_cast<double>(res.baseline.sources.size()));
     reg->gauge("campaign.sources.queryable")

@@ -94,7 +94,16 @@ struct CampaignConfig
      */
     obs::Registry *registry = nullptr;
 
-    /** Structured trace sink for phase timing (may be null). */
+    /**
+     * Structured trace sink (may be null). Receives the campaign
+     * phase spans on the pipeline lane plus one span-correlated set
+     * of per-query spans: every query emits `query.probe`, then
+     * exactly one terminal marker — `query.cached`, `query.exec`
+     * (with `query.queue-wait`, on the running worker's lane), or
+     * `query.cancelled` — all carrying the query index as the
+     * numeric "span" argument (docs/OBSERVABILITY.md "Campaign
+     * telemetry").
+     */
     obs::TraceSink *traceSink = nullptr;
 
     /** VM configuration common to every run. */

@@ -1,0 +1,164 @@
+#include "query/profile.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "obs/json.h"
+#include "support/stats.h"
+
+namespace ldx::query {
+
+namespace {
+
+/** min/mean/p50/p95/p99/max summary of @p s as one JSON object. */
+std::string
+statsJson(const RunningStats &s)
+{
+    std::string out = "{";
+    out += "\"count\":" +
+           obs::jsonNumber(static_cast<std::uint64_t>(s.count()));
+    out += ",\"min\":" + obs::jsonNumber(s.min());
+    out += ",\"mean\":" + obs::jsonNumber(s.mean());
+    out += ",\"p50\":" + obs::jsonNumber(s.p50());
+    out += ",\"p95\":" + obs::jsonNumber(s.p95());
+    out += ",\"p99\":" + obs::jsonNumber(s.p99());
+    out += ",\"max\":" + obs::jsonNumber(s.max());
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+profileJson(const CampaignResult &res, const obs::MetricsSnapshot &snap,
+            const ProfileOptions &opt)
+{
+    const std::size_t total = res.queries.size();
+
+    // Disposition counts, same partition as the campaign.queries.*
+    // fold: every query lands in exactly one bucket.
+    std::uint64_t cached = 0, cancelled = 0, failed = 0, timed_out = 0,
+                  completed = 0;
+    // Executed (non-cached, Done) queries carry the timing data.
+    RunningStats exec_s, wait_s;
+    std::vector<std::size_t> executed;
+    for (std::size_t i = 0; i < total; ++i) {
+        if (res.fromCache[i]) {
+            ++cached;
+            continue;
+        }
+        switch (res.outcomes[i].status) {
+          case RunStatus::Cancelled: ++cancelled; continue;
+          case RunStatus::Failed: ++failed; break;
+          case RunStatus::Done:
+            if (res.verdicts[i] &&
+                res.verdicts[i]->quality == VerdictQuality::TimedOut)
+                ++timed_out;
+            else
+                ++completed;
+            break;
+        }
+        executed.push_back(i);
+        exec_s.add(res.outcomes[i].seconds);
+        wait_s.add(res.outcomes[i].queueWaitSeconds);
+    }
+
+    std::string out = "{\"schema\":\"ldx-campaign-profile-v1\"";
+
+    out += ",\"queries\":{";
+    out += "\"total\":" + obs::jsonNumber(static_cast<std::uint64_t>(total));
+    out += ",\"completed\":" + obs::jsonNumber(completed);
+    out += ",\"cached\":" + obs::jsonNumber(cached);
+    out += ",\"timed_out\":" + obs::jsonNumber(timed_out);
+    out += ",\"cancelled\":" + obs::jsonNumber(cancelled);
+    out += ",\"failed\":" + obs::jsonNumber(failed);
+    out += ",\"dual_executions\":" + obs::jsonNumber(res.dualExecutions);
+    out += "}";
+
+    out += ",\"latency_seconds\":" + statsJson(exec_s);
+    out += ",\"queue_wait_seconds\":" + statsJson(wait_s);
+
+    out += ",\"cache\":{";
+    out += "\"hits\":" + obs::jsonNumber(res.cacheHits);
+    out += ",\"misses\":" + obs::jsonNumber(res.cacheMisses);
+    out += ",\"evictions\":" + obs::jsonNumber(res.cacheEvictions);
+    out += ",\"disk_loads\":" +
+           obs::jsonNumber(snap.counterOr("campaign.cache.disk_loads"));
+    out += ",\"disk_stores\":" +
+           obs::jsonNumber(snap.counterOr("campaign.cache.disk_stores"));
+    out += "}";
+
+    out += ",\"sched\":{";
+    out += "\"jobs\":" + obs::jsonNumber(snap.gaugeOr("campaign.sched.jobs"));
+    out += ",\"steals\":" +
+           obs::jsonNumber(snap.counterOr("campaign.sched.steals"));
+    out += ",\"utilization\":" +
+           obs::jsonNumber(snap.gaugeOr("campaign.sched.utilization"));
+    out += ",\"worker_busy_seconds\":[";
+    for (std::size_t w = 0;; ++w) {
+        std::string key = "campaign.sched.worker." + std::to_string(w) +
+                          ".busy_seconds";
+        double busy = snap.gaugeOr(key, -1.0); // busy time is never < 0
+        if (busy < 0.0)
+            break;
+        if (w)
+            out += ",";
+        out += obs::jsonNumber(busy);
+    }
+    out += "]}";
+
+    out += ",\"phases\":[";
+    for (std::size_t i = 0; i < res.phases.size(); ++i) {
+        if (i)
+            out += ",";
+        out += "{\"name\":" + obs::jsonString(res.phases[i].name);
+        out += ",\"seconds\":" + obs::jsonNumber(res.phases[i].seconds);
+        out += "}";
+    }
+    out += "]";
+
+    // Top-N slowest executed queries, per-phase breakdown each.
+    // Ties break on query index so the ordering is reproducible.
+    std::sort(executed.begin(), executed.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (res.outcomes[a].seconds != res.outcomes[b].seconds)
+                      return res.outcomes[a].seconds >
+                             res.outcomes[b].seconds;
+                  return a < b;
+              });
+    if (executed.size() > opt.topN)
+        executed.resize(opt.topN);
+    out += ",\"slowest\":[";
+    for (std::size_t r = 0; r < executed.size(); ++r) {
+        std::size_t i = executed[r];
+        const CampaignQuery &q = res.queries[i];
+        const RunOutcome &o = res.outcomes[i];
+        if (r)
+            out += ",";
+        out += "{\"rank\":" +
+               obs::jsonNumber(static_cast<std::uint64_t>(r + 1));
+        out += ",\"query\":" +
+               obs::jsonNumber(static_cast<std::uint64_t>(i));
+        out += ",\"source\":" + obs::jsonString(q.sourceId);
+        out += ",\"policy\":" + obs::jsonString(
+                   core::mutationStrategyName(q.strategy));
+        out += ",\"status\":" + obs::jsonString(runStatusName(o.status));
+        out += ",\"quality\":" +
+               (res.verdicts[i]
+                    ? obs::jsonString(
+                          verdictQualityName(res.verdicts[i]->quality))
+                    : std::string("null"));
+        out += ",\"seconds\":" + obs::jsonNumber(o.seconds);
+        out += ",\"queue_wait_seconds\":" +
+               obs::jsonNumber(o.queueWaitSeconds);
+        out += ",\"worker\":" +
+               obs::jsonNumber(static_cast<std::int64_t>(o.worker));
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace ldx::query

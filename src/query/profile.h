@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Post-run campaign profiler (`ldx campaign --profile-out`).
+ *
+ * The causality graph is deliberately timing-free so it byte-diffs
+ * across worker counts; the profiler is the opposite artifact — all
+ * the timing and scheduling data a performance investigation needs,
+ * written separately so the `ldx-campaign-graph-v1` output stays
+ * untouched:
+ *
+ *  - disposition counts (completed / cached / timed-out / cancelled /
+ *    failed) and dual-execution totals;
+ *  - exec-latency and queue-wait percentile summaries (p50/p95/p99)
+ *    over the executed queries;
+ *  - cache and work-stealing statistics plus per-worker busy time and
+ *    overall pool utilization from the campaign registry;
+ *  - the campaign phase breakdown (enumerate / plan / probe-cache /
+ *    execute / aggregate);
+ *  - the top-N slowest queries with per-phase (queue-wait, exec)
+ *    breakdown, worker, status, and verdict quality.
+ *
+ * Schema `ldx-campaign-profile-v1`. Ordering is deterministic (ties
+ * in the slowest-query ranking break on query index), but the values
+ * are wall-clock measurements — never byte-diff this artifact.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/registry.h"
+#include "query/campaign.h"
+
+namespace ldx::query {
+
+/** Profiler options. */
+struct ProfileOptions
+{
+    /** Slowest-query entries reported (>= 0). */
+    std::size_t topN = 10;
+};
+
+/**
+ * Render the profile report of @p res as one JSON document.
+ * @p snap is the campaign registry's post-run snapshot (cache, steal,
+ * and utilization statistics are read from it).
+ */
+std::string profileJson(const CampaignResult &res,
+                        const obs::MetricsSnapshot &snap,
+                        const ProfileOptions &opt = {});
+
+} // namespace ldx::query

@@ -98,6 +98,22 @@ runOnPool(std::size_t count, const std::function<void(std::size_t)> &fn,
             ? &cfg.registry->histogram("campaign.query_seconds",
                                        obs::latencySecondsBounds())
             : nullptr;
+    obs::Histogram *queue_wait =
+        cfg.registry
+            ? &cfg.registry->histogram("campaign.queue_wait_seconds",
+                                       obs::latencySecondsBounds())
+            : nullptr;
+    obs::Gauge *active_gauge =
+        cfg.registry
+            ? &cfg.registry->gauge("campaign.sched.active_workers")
+            : nullptr;
+
+    // Telemetry shared state: submission timestamps (for queue-wait
+    // spans) and per-worker busy time (for utilization gauges).
+    std::vector<std::int64_t> submit_us(count, 0);
+    std::vector<double> busy_seconds(cfg.jobs, 0.0);
+    std::atomic<int> active{0};
+    auto t_pool = std::chrono::steady_clock::now();
 
     auto worker = [&](int self) {
         for (;;) {
@@ -122,6 +138,21 @@ runOnPool(std::size_t count, const std::function<void(std::size_t)> &fn,
 
             RunOutcome &out = outcomes[item];
             out.worker = self;
+            out.startUs = obs::nowUs();
+            out.queueWaitSeconds =
+                (out.startUs - submit_us[item]) / 1e6;
+            if (queue_wait)
+                queue_wait->observe(out.queueWaitSeconds);
+            std::uint64_t span =
+                cfg.spanIds ? (*cfg.spanIds)[item] : item;
+            obs::emitSpan(cfg.traceSink, "query.queue-wait", span,
+                          obs::kWorkerLaneBase + self,
+                          submit_us[item],
+                          out.startUs - submit_us[item]);
+            if (active_gauge)
+                active_gauge->set(
+                    active.fetch_add(1, std::memory_order_relaxed) +
+                    1);
             auto t0 = std::chrono::steady_clock::now();
             try {
                 fn(item);
@@ -136,6 +167,15 @@ runOnPool(std::size_t count, const std::function<void(std::size_t)> &fn,
             out.seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
+            busy_seconds[self] += out.seconds;
+            obs::emitSpan(cfg.traceSink, "query.exec", span,
+                          obs::kWorkerLaneBase + self, out.startUs,
+                          static_cast<std::int64_t>(out.seconds *
+                                                    1e6));
+            if (active_gauge)
+                active_gauge->set(
+                    active.fetch_sub(1, std::memory_order_relaxed) -
+                    1);
             if (latency)
                 latency->observe(out.seconds);
             if (completed)
@@ -147,6 +187,12 @@ runOnPool(std::size_t count, const std::function<void(std::size_t)> &fn,
             pool.roomCv.notify_one();
         }
     };
+
+    if (cfg.traceSink) {
+        for (int w = 0; w < cfg.jobs; ++w)
+            cfg.traceSink->setLaneName(obs::kWorkerLaneBase + w,
+                                       "worker-" + std::to_string(w));
+    }
 
     std::vector<std::thread> threads;
     threads.reserve(cfg.jobs);
@@ -171,6 +217,7 @@ runOnPool(std::size_t count, const std::function<void(std::size_t)> &fn,
                 pool.roomCv.wait(lock, [&] {
                     return pool.outstanding < cfg.queueCap;
                 });
+                submit_us[i] = obs::nowUs();
                 pool.deques[next_worker].items.push_back(i);
                 ++pool.outstanding;
             }
@@ -192,6 +239,23 @@ runOnPool(std::size_t count, const std::function<void(std::size_t)> &fn,
         cfg.registry->counter("campaign.sched.cancelled").inc(cancelled);
         cfg.registry->gauge("campaign.sched.jobs")
             .set(static_cast<double>(cfg.jobs));
+        cfg.registry->gauge("campaign.sched.active_workers").set(0.0);
+
+        // Utilization: busy seconds per worker over the pool's wall
+        // time (observability only — never in the campaign output).
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t_pool)
+                          .count();
+        double busy_total = 0.0;
+        for (int w = 0; w < cfg.jobs; ++w) {
+            busy_total += busy_seconds[w];
+            cfg.registry
+                ->gauge("campaign.sched.worker." +
+                        std::to_string(w) + ".busy_seconds")
+                .set(busy_seconds[w]);
+        }
+        cfg.registry->gauge("campaign.sched.utilization")
+            .set(wall > 0.0 ? busy_total / (wall * cfg.jobs) : 0.0);
     }
     return outcomes;
 }

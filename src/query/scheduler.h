@@ -26,6 +26,13 @@
  *    engine's wall-clock cap (the query fn maps expiry to a TimedOut
  *    verdict); the scheduler additionally tracks per-query runtime
  *    into the campaign.query_seconds histogram.
+ *  - *Telemetry*: per-item queue wait and execution latency land in
+ *    the campaign.{queue_wait_seconds,query_seconds} histograms, a
+ *    live campaign.sched.active_workers gauge plus post-drain
+ *    per-worker busy/utilization gauges feed the progress meter and
+ *    the exporter, and when a trace sink is configured every executed
+ *    item emits span-correlated queue-wait and exec spans on its
+ *    worker's lane (docs/OBSERVABILITY.md "Campaign telemetry").
  */
 #pragma once
 
@@ -39,6 +46,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace ldx::query {
 
@@ -59,6 +67,10 @@ struct RunOutcome
     RunStatus status = RunStatus::Cancelled;
     std::string error;     ///< Failed only
     double seconds = 0.0;  ///< wall time inside the query fn
+    /** Time between submission and a worker picking the query up. */
+    double queueWaitSeconds = 0.0;
+    /** obs::nowUs() when the query fn started (0 if never run). */
+    std::int64_t startUs = 0;
     int worker = -1;       ///< worker that ran it (observability only)
 };
 
@@ -76,6 +88,22 @@ struct SchedulerConfig
 
     /** Campaign metrics registry (may be null). */
     obs::Registry *registry = nullptr;
+
+    /**
+     * Span-correlated trace sink (may be null). Each executed item
+     * emits a `query.queue-wait` and a `query.exec` span on its
+     * worker's lane (obs::kWorkerLaneBase + worker) carrying the
+     * item's span id.
+     */
+    obs::TraceSink *traceSink = nullptr;
+
+    /**
+     * Optional map from pool item index to the stable span id on
+     * emitted trace records — the campaign passes query indices here
+     * because it only schedules cache misses. Item index itself when
+     * null. Must outlive the pool and have `count` entries.
+     */
+    const std::vector<std::size_t> *spanIds = nullptr;
 };
 
 /**

@@ -56,6 +56,9 @@ class RunningStats
     /**
      * p-th percentile (p in [0, 100]), linearly interpolated between
      * order statistics. Sorts a copy — fine at bench sample counts.
+     * With zero samples every percentile is deterministically 0.0
+     * (as are min/max/mean/stddev/geomean) — profiler and exporter
+     * consumers can report an idle stream without special-casing.
      */
     double
     percentile(double p) const
@@ -79,15 +82,22 @@ class RunningStats
     double p95() const { return percentile(95.0); }
     double p99() const { return percentile(99.0); }
 
-    /** Geometric mean; samples must be positive. */
+    /**
+     * Geometric mean. Zero samples — or any non-positive sample,
+     * whose log would poison the accumulator with -inf/NaN — report
+     * 0.0 deterministically.
+     */
     double
     geomean() const
     {
         if (samples_.empty())
             return 0.0;
         double acc = 0.0;
-        for (double x : samples_)
+        for (double x : samples_) {
+            if (!(x > 0.0))
+                return 0.0;
             acc += std::log(x);
+        }
         return std::exp(acc / samples_.size());
     }
 

@@ -7,6 +7,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -14,6 +17,7 @@
 #include "instrument/instrument.h"
 #include "lang/compiler.h"
 #include "ldx/engine.h"
+#include "obs/exporter.h"
 #include "obs/phase.h"
 #include "obs/registry.h"
 #include "obs/scope.h"
@@ -116,6 +120,36 @@ TEST(RegistryTest, HistogramPercentileEstimate)
     EXPECT_LE(p50, 10.0);
     // Everything below the last bound: p99 stays in bucket 0 too.
     EXPECT_LE(snap.histograms[0].percentile(99.0), 10.0);
+}
+
+TEST(RegistryTest, HistogramPercentileZeroSamplesPinsToZero)
+{
+    // An idle stream must report 0, never a stale bucket bound: the
+    // exporter and profiler render percentiles unconditionally.
+    obs::Registry reg;
+    reg.histogram("empty", obs::latencySecondsBounds());
+    obs::MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.histograms[0].percentile(50.0), 0.0);
+    EXPECT_EQ(snap.histograms[0].percentile(99.0), 0.0);
+    EXPECT_EQ(snap.histograms[0].percentile(0.0), 0.0);
+    EXPECT_EQ(snap.histograms[0].percentile(100.0), 0.0);
+}
+
+TEST(RegistryTest, HistogramPercentileTornSnapshotRanksBucketTotal)
+{
+    // A snapshot can observe count > 0 with the bucket increment not
+    // yet visible (the two RMWs are independent). Percentile must rank
+    // against the bucket total, not the count header — a torn
+    // snapshot reports 0, not the last bound (60s on the latency
+    // grid).
+    obs::HistogramSnapshot h;
+    h.name = "torn";
+    h.bounds = obs::latencySecondsBounds();
+    h.counts.assign(h.bounds.size() + 1, 0);
+    h.count = 1; // header ticked, buckets not yet
+    h.sum = 0.05;
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+    EXPECT_EQ(h.percentile(99.0), 0.0);
 }
 
 // -------------------------------------------------------- trace sinks
@@ -532,6 +566,111 @@ TEST(ResultJsonTest, PhasesJsonShapesEachSample)
     EXPECT_NE(json.find("\"depth\":1"), std::string::npos);
     EXPECT_NE(json.find("\"start_us\":42"), std::string::npos);
     EXPECT_NE(json.find("\"seconds\":0.25"), std::string::npos);
+}
+
+// ----------------------------------------------------------- exporter
+
+TEST(PrometheusTest, RendersAllInstrumentKinds)
+{
+    obs::Registry reg;
+    reg.counter("campaign.cache.hits").inc(7);
+    reg.gauge("campaign.sched.utilization").set(0.5);
+    obs::Histogram &h =
+        reg.histogram("campaign.query_seconds", {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(0.5);
+    h.observe(5.0);
+
+    std::string text = obs::renderPrometheus(reg.snapshot());
+    // Names are sanitized ([a-zA-Z0-9_]) and ldx_-prefixed, with one
+    // TYPE line per metric.
+    EXPECT_NE(text.find("# TYPE ldx_campaign_cache_hits counter\n"
+                        "ldx_campaign_cache_hits 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE ldx_campaign_sched_utilization gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("ldx_campaign_sched_utilization 0.5"),
+              std::string::npos);
+    // Histogram buckets are cumulative and end in +Inf.
+    EXPECT_NE(
+        text.find("ldx_campaign_query_seconds_bucket{le=\"1\"} 2"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("ldx_campaign_query_seconds_bucket{le=\"10\"} 3"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("ldx_campaign_query_seconds_bucket{le=\"+Inf\"} 3"),
+        std::string::npos);
+    EXPECT_NE(text.find("ldx_campaign_query_seconds_sum 6"),
+              std::string::npos);
+    EXPECT_NE(text.find("ldx_campaign_query_seconds_count 3"),
+              std::string::npos);
+    EXPECT_EQ(text.find("campaign."), std::string::npos);
+}
+
+TEST(ExporterTest, WritesJsonlSeriesAndAtomicExposition)
+{
+    std::string dir = std::filesystem::temp_directory_path() /
+                      "ldx_obs_exporter";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::string jsonl = dir + "/m.jsonl";
+    std::string prom = dir + "/m.prom";
+
+    obs::Registry reg;
+    reg.counter("ticks").inc(3);
+
+    obs::ExporterConfig cfg;
+    cfg.jsonlPath = jsonl;
+    cfg.promPath = prom;
+    cfg.intervalMs = 2;
+    {
+        obs::Exporter exporter(reg, cfg);
+        ASSERT_TRUE(exporter.start());
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        reg.counter("ticks").inc(39);
+        exporter.stop();
+        // Idempotent: a second stop (and the destructor) is a no-op.
+        exporter.stop();
+        EXPECT_GE(exporter.samples(), 1u);
+    }
+
+    // Every line is one self-contained snapshot; the last one carries
+    // the final registry state (the stop() sample).
+    std::ifstream in(jsonl);
+    std::string line, last;
+    std::uint64_t lines = 0;
+    while (std::getline(in, line))
+        if (!line.empty()) {
+            last = line;
+            ++lines;
+        }
+    EXPECT_GE(lines, 1u);
+    EXPECT_EQ(last.find("{\"ts_us\":"), 0u);
+    EXPECT_NE(last.find("\"seq\":"), std::string::npos);
+    EXPECT_NE(last.find("\"ticks\":42"), std::string::npos);
+
+    // The exposition file holds the final state, with no leftover
+    // temp file from the atomic-replace protocol.
+    std::ifstream pin(prom);
+    std::stringstream pss;
+    pss << pin.rdbuf();
+    EXPECT_NE(pss.str().find("ldx_ticks 42"), std::string::npos);
+    EXPECT_FALSE(std::filesystem::exists(prom + ".tmp"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ExporterTest, UnwritablePathFailsAtStart)
+{
+    obs::Registry reg;
+    obs::ExporterConfig cfg;
+    cfg.jsonlPath = "/nonexistent-dir/metrics.jsonl";
+    obs::Exporter exporter(reg, cfg);
+    EXPECT_FALSE(exporter.start());
+    EXPECT_NE(exporter.error().find("cannot write"),
+              std::string::npos);
+    exporter.stop(); // inert: never started
+    EXPECT_EQ(exporter.samples(), 0u);
 }
 
 } // namespace

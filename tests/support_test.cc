@@ -115,6 +115,34 @@ TEST(StatsTest, PercentileEdgeCases)
     EXPECT_DOUBLE_EQ(s.p99(), 42.0);
 }
 
+TEST(StatsTest, EmptyStreamPinsEveryAggregateToZero)
+{
+    // The profiler and exporter serialize these unconditionally; an
+    // idle stream must be all-zero, never inf/NaN/stale.
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.geomean(), 0.0);
+    EXPECT_EQ(s.percentile(0.0), 0.0);
+    EXPECT_EQ(s.percentile(100.0), 0.0);
+}
+
+TEST(StatsTest, GeomeanNonPositiveSamplePinsToZero)
+{
+    // log(0)/log(-x) would poison the accumulator with -inf/NaN.
+    RunningStats zero;
+    zero.add(4.0);
+    zero.add(0.0);
+    EXPECT_EQ(zero.geomean(), 0.0);
+    RunningStats neg;
+    neg.add(4.0);
+    neg.add(-1.0);
+    EXPECT_EQ(neg.geomean(), 0.0);
+}
+
 TEST(TableTest, AlignsColumns)
 {
     TextTable t({"a", "bb"});

@@ -88,6 +88,17 @@
  *   --dot-out FILE       write the Graphviz DOT rendering to FILE
  *   --cache-dir DIR      persist query verdicts under DIR
  *   --cache-cap N        in-memory cache entries (default 4096)
+ *   --exporter-out FILE  append a JSONL metrics time-series to FILE
+ *                        (one snapshot per sampling interval)
+ *   --exporter-prom FILE rewrite FILE atomically with the Prometheus
+ *                        text exposition every sampling interval
+ *   --exporter-interval-ms N
+ *                        exporter sampling interval (default 500)
+ *   --progress           live progress line on stderr (done/total,
+ *                        q/s, ETA, cache hit rate, active workers)
+ *   --profile-out FILE   write the post-run profiler report
+ *                        (ldx-campaign-profile-v1 JSON) to FILE
+ *   --profile-top N      slowest queries in the profile (default 10)
  */
 #include <atomic>
 #include <cctype>
@@ -111,6 +122,7 @@
 #include "ir/printer.h"
 #include "lang/compiler.h"
 #include "ldx/engine.h"
+#include "obs/exporter.h"
 #include "obs/json.h"
 #include "obs/phase.h"
 #include "obs/registry.h"
@@ -118,6 +130,7 @@
 #include "os/kernel.h"
 #include "os/sysno.h"
 #include "query/campaign.h"
+#include "query/profile.h"
 #include "support/diag.h"
 #include "support/strings.h"
 #include "taint/tracker.h"
@@ -162,6 +175,12 @@ struct CliOptions
     std::string dotOut;
     std::string cacheDir;
     std::size_t cacheCap = 4096;
+    std::string exporterOut;
+    std::string exporterProm;
+    int exporterIntervalMs = 500;
+    bool progress = false;
+    std::string profileOut;
+    std::size_t profileTop = 10;
 
     // fuzz
     std::uint64_t fuzzSeeds = 100;
@@ -455,6 +474,21 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--cache-cap") {
             opt.cacheCap = static_cast<std::size_t>(
                 parseUint(next("--cache-cap"), "--cache-cap", 1));
+        } else if (arg == "--exporter-out") {
+            opt.exporterOut = next("--exporter-out");
+        } else if (arg == "--exporter-prom") {
+            opt.exporterProm = next("--exporter-prom");
+        } else if (arg == "--exporter-interval-ms") {
+            opt.exporterIntervalMs = static_cast<int>(
+                parseUint(next("--exporter-interval-ms"),
+                          "--exporter-interval-ms", 1));
+        } else if (arg == "--progress") {
+            opt.progress = true;
+        } else if (arg == "--profile-out") {
+            opt.profileOut = next("--profile-out");
+        } else if (arg == "--profile-top") {
+            opt.profileTop = static_cast<std::size_t>(
+                parseUint(next("--profile-top"), "--profile-top"));
         } else {
             usage("unknown option " + arg);
         }
@@ -841,9 +875,30 @@ cmdCampaign(const CliOptions &opt)
     cfg.registry = &registry;
     cfg.traceSink = sink.get();
 
+    // Telemetry around the run: the exporter samples the campaign
+    // registry on its own thread, the progress meter renders to
+    // stderr. Both stop cleanly after the (possibly SIGINT-drained)
+    // run returns, so the final registry state always lands in the
+    // exporter sinks.
+    obs::ExporterConfig expcfg;
+    expcfg.jsonlPath = opt.exporterOut;
+    expcfg.promPath = opt.exporterProm;
+    expcfg.intervalMs = opt.exporterIntervalMs;
+    obs::Exporter exporter(registry, expcfg);
+    if (!opt.exporterOut.empty() || !opt.exporterProm.empty())
+        if (!exporter.start())
+            usage(exporter.error());
+    obs::ProgressMeter progress(registry, std::cerr);
+    if (opt.progress)
+        progress.start();
+
     auto prev = std::signal(SIGINT, campaignSigint);
     query::CampaignResult res = query::runCampaign(*module, world, cfg);
     std::signal(SIGINT, prev);
+
+    if (opt.progress)
+        progress.stop();
+    exporter.stop();
     if (sink)
         sink->flush();
 
@@ -870,6 +925,13 @@ cmdCampaign(const CliOptions &opt)
                       "causality graph");
     if (!opt.dotOut.empty())
         writeArtifact(opt.dotOut, res.graph.toDot(), "DOT graph");
+    if (!opt.profileOut.empty()) {
+        query::ProfileOptions popt;
+        popt.topN = opt.profileTop;
+        writeArtifact(opt.profileOut,
+                      query::profileJson(res, registry.snapshot(), popt),
+                      "profile report");
+    }
     if (opt.metricsJson) {
         std::cout << registry.snapshot().toJson() << "\n";
     } else if (opt.metrics) {
