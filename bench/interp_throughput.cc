@@ -9,6 +9,7 @@
  *
  * Emits BENCH_interp.json for run-over-run diffing.
  */
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.h"
@@ -49,6 +50,61 @@ runSingle(const workloads::Workload &w, int scale, bool predecode)
         s.instructions = machine.stats().instructions;
     });
     return s;
+}
+
+/** Single-VM instrumented run under one fast-path dispatch mode. */
+Sample
+runSingleMode(const workloads::Workload &w, int scale,
+              vm::DispatchMode mode)
+{
+    const ir::Module &m = workloads::workloadModule(w, true);
+    Sample s;
+    s.seconds = bench::timeSeconds([&] {
+        os::Kernel kernel(w.world(scale));
+        vm::MachineConfig cfg;
+        cfg.dispatch = mode;
+        vm::Machine machine(m, kernel, cfg);
+        machine.run();
+        s.instructions = machine.stats().instructions;
+    });
+    return s;
+}
+
+/** Lockstep dual run with both sides on one dispatch mode. */
+Sample
+runDualMode(const workloads::Workload &w, int scale,
+            vm::DispatchMode mode)
+{
+    Sample s;
+    s.seconds = bench::timeSeconds([&] {
+        core::EngineConfig cfg;
+        cfg.sinks = w.sinks;
+        cfg.wallClockCap = 60.0;
+        cfg.vmConfig.dispatch = mode;
+        core::DualEngine engine(workloads::workloadModule(w, true),
+                                w.world(scale), cfg);
+        core::DualResult res = engine.run();
+        s.instructions = res.masterStats.instructions +
+                         res.slaveStats.instructions;
+    });
+    return s;
+}
+
+/**
+ * Dynamic opcode-pair frequencies of one instrumented run (legacy
+ * per-step path, so every retired instruction is observed), folded
+ * into @p table (kNumOpcodes x kNumOpcodes row-major).
+ */
+void
+profilePairs(const workloads::Workload &w, int scale,
+             std::vector<std::uint64_t> &table)
+{
+    os::Kernel kernel(w.world(scale));
+    vm::MachineConfig cfg;
+    cfg.pairProfile = table.data();
+    vm::Machine machine(workloads::workloadModule(w, true), kernel,
+                        cfg);
+    machine.run();
 }
 
 /** Dual run (both sides on one dispatch path), counting both VMs. */
@@ -97,8 +153,16 @@ main()
 
     TextTable table({"Program", "Minstr", "legacy Mi/s", "fast Mi/s",
                      "speedup", "dual-lk x", "dual-thr x", "rec ovh"});
+    TextTable dispatch_table({"Program", "switch Mi/s", "threaded Mi/s",
+                              "fused Mi/s", "single x", "dual-sw Mi/s",
+                              "dual-fu Mi/s", "dual x"});
     RunningStats speedups, recorder_overheads;
+    RunningStats dispatch_speedups, dual_dispatch_speedups;
     std::string rows_json;
+    std::vector<std::uint64_t> pair_table(
+        static_cast<std::size_t>(ir::kNumOpcodes) *
+            static_cast<std::size_t>(ir::kNumOpcodes),
+        0);
 
     for (const std::string &name : programs) {
         const workloads::Workload *w = workloads::findWorkload(name);
@@ -133,6 +197,56 @@ main()
             runDualTimed(*w, scale, true, false, /*recorder=*/false);
         Sample dt_legacy = runDualTimed(*w, scale, false, true);
         Sample dt_fast = runDualTimed(*w, scale, true, true);
+
+        // Dispatch-mode A/B on the same build: the retired count must
+        // not move, only the wall clock. The dual rows are the paper's
+        // operating point (lockstep dual, recorder on).
+        Sample m_switch =
+            runSingleMode(*w, scale, vm::DispatchMode::Switch);
+        Sample m_threaded =
+            runSingleMode(*w, scale, vm::DispatchMode::Threaded);
+        Sample m_fused =
+            runSingleMode(*w, scale, vm::DispatchMode::Fused);
+        if (m_switch.instructions != fast.instructions ||
+            m_threaded.instructions != fast.instructions ||
+            m_fused.instructions != fast.instructions) {
+            std::cerr << "[bench] MISMATCH " << name
+                      << ": dispatch modes retired different "
+                         "instruction counts\n";
+            return 1;
+        }
+        Sample dm_switch =
+            runDualMode(*w, scale, vm::DispatchMode::Switch);
+        Sample dm_threaded =
+            runDualMode(*w, scale, vm::DispatchMode::Threaded);
+        Sample dm_fused =
+            runDualMode(*w, scale, vm::DispatchMode::Fused);
+        if (dm_switch.instructions != dm_fused.instructions ||
+            dm_threaded.instructions != dm_fused.instructions) {
+            std::cerr << "[bench] MISMATCH " << name
+                      << ": dual dispatch modes retired different "
+                         "instruction counts\n";
+            return 1;
+        }
+        double mode_speedup =
+            m_fused.minstrPerSec() / m_switch.minstrPerSec();
+        double dual_mode_speedup =
+            dm_fused.minstrPerSec() / dm_switch.minstrPerSec();
+        dispatch_speedups.add(mode_speedup);
+        dual_dispatch_speedups.add(dual_mode_speedup);
+        dispatch_table.addRow(
+            {name, formatDouble(m_switch.minstrPerSec(), 1),
+             formatDouble(m_threaded.minstrPerSec(), 1),
+             formatDouble(m_fused.minstrPerSec(), 1),
+             formatDouble(mode_speedup, 2) + "x",
+             formatDouble(dm_switch.minstrPerSec(), 1),
+             formatDouble(dm_fused.minstrPerSec(), 1),
+             formatDouble(dual_mode_speedup, 2) + "x"});
+
+        // Opcode-pair frequencies feed the superinstruction set
+        // (docs/PERFORMANCE.md); the default scale keeps the slow
+        // legacy observation pass cheap.
+        profilePairs(*w, w->defaultScale, pair_table);
 
         double speedup = fast.minstrPerSec() / legacy.minstrPerSec();
         double dl_speedup = dl_legacy.seconds / dl_fast.seconds;
@@ -169,6 +283,17 @@ main()
             ",\"recorder_overhead\":" + obs::jsonNumber(rec_overhead);
         rows_json += ",\"dual_threaded_legacy\":" + sampleJson(dt_legacy);
         rows_json += ",\"dual_threaded_fast\":" + sampleJson(dt_fast);
+        rows_json += ",\"single_switch\":" + sampleJson(m_switch);
+        rows_json += ",\"single_threaded\":" + sampleJson(m_threaded);
+        rows_json += ",\"single_fused\":" + sampleJson(m_fused);
+        rows_json += ",\"dual_lockstep_switch\":" + sampleJson(dm_switch);
+        rows_json +=
+            ",\"dual_lockstep_threaded\":" + sampleJson(dm_threaded);
+        rows_json += ",\"dual_lockstep_fused\":" + sampleJson(dm_fused);
+        rows_json +=
+            ",\"dispatch_speedup\":" + obs::jsonNumber(mode_speedup);
+        rows_json += ",\"dual_dispatch_speedup\":" +
+                     obs::jsonNumber(dual_mode_speedup);
         rows_json += ",\"speedup\":" + obs::jsonNumber(speedup);
         rows_json +=
             ",\"dual_threaded_yields\":" + obs::jsonNumber(dt_fast.yields);
@@ -185,11 +310,83 @@ main()
               << formatDouble(recorder_overheads.geomean(), 3)
               << "x\n";
 
+    std::cout << "\n== Dispatch modes (switch vs threaded vs fused, "
+              << (vm::hasThreadedDispatch() ? "computed goto available"
+                                            : "SWITCH-ONLY BUILD")
+              << ") ==\n\n";
+    dispatch_table.print(std::cout);
+    std::cout << "\nGeomean threaded+fused vs switch: single-VM "
+              << formatDouble(dispatch_speedups.geomean(), 2)
+              << "x, lockstep dual "
+              << formatDouble(dual_dispatch_speedups.geomean(), 2)
+              << "x\n";
+
+    // The dynamic pair profile, most frequent first; pairs the
+    // predecoder fuses are flagged so the curated set can be checked
+    // against fresh data run over run.
+    struct PairCount
+    {
+        ir::Opcode a, b;
+        std::uint64_t count;
+    };
+    std::vector<PairCount> pairs;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(ir::kNumOpcodes); ++i)
+        for (std::size_t j = 0;
+             j < static_cast<std::size_t>(ir::kNumOpcodes); ++j)
+            if (std::uint64_t c = pair_table
+                    [i * static_cast<std::size_t>(ir::kNumOpcodes) + j])
+                pairs.push_back({static_cast<ir::Opcode>(i),
+                                 static_cast<ir::Opcode>(j), c});
+    std::sort(pairs.begin(), pairs.end(),
+              [](const PairCount &x, const PairCount &y) {
+                  return x.count > y.count;
+              });
+    std::uint64_t pair_total = 0;
+    for (const PairCount &p : pairs)
+        pair_total += p.count;
+    std::cout << "\n== Hottest dynamic opcode pairs (all programs, "
+                 "default scale) ==\n\n";
+    std::string pairs_json;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const PairCount &p = pairs[i];
+        bool fused = vm::fusedXop(p.a, p.b) != 0;
+        if (i < 20) {
+            std::cout << "  " << ir::opcodeName(p.a) << " -> "
+                      << ir::opcodeName(p.b) << ": " << p.count << " ("
+                      << formatDouble(100.0 *
+                                          static_cast<double>(p.count) /
+                                          static_cast<double>(
+                                              pair_total),
+                                      1)
+                      << "%)" << (fused ? "  [fused]" : "") << "\n";
+        }
+        if (i < 32) {
+            if (!pairs_json.empty())
+                pairs_json += ',';
+            pairs_json += "{\"a\":";
+            pairs_json += obs::jsonString(ir::opcodeName(p.a));
+            pairs_json += ",\"b\":";
+            pairs_json += obs::jsonString(ir::opcodeName(p.b));
+            pairs_json += ",\"count\":" + std::to_string(p.count);
+            pairs_json +=
+                std::string(",\"fused\":") + (fused ? "true" : "false");
+            pairs_json += '}';
+        }
+    }
+
     std::string blob = "{\"bench\":\"interp_throughput\"";
     blob += ",\"programs\":[" + rows_json + ']';
     blob += ",\"speedup\":" + bench::statsJson(speedups);
     blob += ",\"recorder_overhead\":" +
             bench::statsJson(recorder_overheads);
+    blob += std::string(",\"dispatch_supported\":") +
+            (vm::hasThreadedDispatch() ? "true" : "false");
+    blob += ",\"dispatch_speedup\":" +
+            bench::statsJson(dispatch_speedups);
+    blob += ",\"dual_dispatch_speedup\":" +
+            bench::statsJson(dual_dispatch_speedups);
+    blob += ",\"opcode_pairs\":[" + pairs_json + ']';
     blob += '}';
     bench::writeBenchBlob("interp", blob);
     return 0;

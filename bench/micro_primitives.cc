@@ -53,6 +53,33 @@ BM_InstrumentedRun(benchmark::State &state)
 }
 BENCHMARK(BM_InstrumentedRun);
 
+/**
+ * Per-op dispatch cost of the fast path, one run per DispatchMode
+ * (arg 0 = switch, 1 = threaded, 2 = fused). items_per_second is
+ * retired instructions per second, so 1/items_per_second is the
+ * amortized cost of dispatching one op under that mode.
+ */
+void
+BM_DispatchPerOp(benchmark::State &state)
+{
+    auto mode = static_cast<vm::DispatchMode>(state.range(0));
+    const ir::Module &m = workloads::workloadModule(bzip(), true);
+    os::WorldSpec world = bzip().world(1);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        os::Kernel kernel(world);
+        vm::MachineConfig cfg;
+        cfg.dispatch = mode;
+        vm::Machine machine(m, kernel, cfg);
+        machine.run();
+        instrs += machine.stats().instructions;
+        benchmark::DoNotOptimize(machine.exitCode());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+    state.SetLabel(vm::dispatchModeName(mode));
+}
+BENCHMARK(BM_DispatchPerOp)->Arg(0)->Arg(1)->Arg(2);
+
 void
 BM_DualLockstep(benchmark::State &state)
 {

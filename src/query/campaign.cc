@@ -41,11 +41,26 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
 
     CampaignResult res;
 
+    // Predecode the module once and share the streams across the
+    // baseline run and every query VM (master and slave alike), so a
+    // campaign of N queries does not flatten the program 2N+1 times.
+    // A caller-provided predecode (e.g. one deserialized from a
+    // bytecode image) is reused as-is.
+    vm::MachineConfig vm_config = cfg.vmConfig;
+    if (vm_config.predecode && !vm_config.predecoded) {
+        timer.begin("campaign.predecode");
+        auto shared =
+            std::make_shared<vm::PredecodedModule>(module);
+        shared->decodeAll();
+        vm_config.predecoded = std::move(shared);
+        timer.end();
+    }
+
     timer.begin("campaign.enumerate");
     EnumerateOptions eopts;
     eopts.sinks = cfg.sinks;
     eopts.eventCap = cfg.eventCap;
-    eopts.vmConfig = cfg.vmConfig;
+    eopts.vmConfig = vm_config;
     res.baseline = enumerateBaseline(module, world, eopts);
     timer.end();
 
@@ -117,7 +132,7 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
         ecfg.sources = {q.spec};
         ecfg.strategy = q.strategy;
         ecfg.threaded = cfg.threaded;
-        ecfg.vmConfig = cfg.vmConfig;
+        ecfg.vmConfig = vm_config;
         // The per-query deadline is the engine's wall-clock cap; an
         // expired pair surfaces as deadlocked -> TimedOut verdict.
         ecfg.wallClockCap = cfg.deadlineSeconds;

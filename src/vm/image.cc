@@ -1,0 +1,660 @@
+#include "vm/image.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ir/verifier.h"
+#include "obs/recorder.h"
+
+namespace ldx::vm {
+
+namespace {
+
+/** Internal parse failure: any throw unwinds to a clean cache miss. */
+struct BadImage
+{};
+
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
+/** Header bytes covered by the digest (magic through contentHash). */
+constexpr std::size_t kHashedPrefix = 8 + 4 + 4 + 4 + 4 + 8;
+constexpr std::size_t kMaxName = 1u << 16;
+constexpr std::size_t kMaxInit = 1u << 26;
+
+/** Little-endian append-only byte sink. */
+struct Writer
+{
+    std::string out;
+
+    void
+    u8(std::uint8_t v)
+    {
+        out.push_back(static_cast<char>(v));
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        out.append(s);
+    }
+};
+
+/** Bounds-checked little-endian cursor; throws BadImage past the end. */
+struct Reader
+{
+    const std::string &s;
+    std::size_t pos = 0;
+
+    void
+    need(std::size_t n) const
+    {
+        if (s.size() - pos < n)
+            throw BadImage{};
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(s[pos++]);
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    std::string
+    str(std::size_t cap)
+    {
+        std::uint32_t n = u32();
+        if (n > cap)
+            throw BadImage{};
+        need(n);
+        std::string v = s.substr(pos, n);
+        pos += n;
+        return v;
+    }
+
+    /** A count that must leave at least @p unit bytes per element. */
+    std::uint32_t
+    count(std::size_t unit)
+    {
+        std::uint32_t n = u32();
+        if (unit && n > (s.size() - pos) / unit)
+            throw BadImage{};
+        return n;
+    }
+
+    std::size_t remaining() const { return s.size() - pos; }
+};
+
+void
+putOperand(Writer &w, const ir::Operand &o)
+{
+    w.u8(static_cast<std::uint8_t>(o.kind));
+    w.i32(o.reg);
+    w.i64(o.imm);
+}
+
+ir::Operand
+getOperand(Reader &r)
+{
+    std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(ir::Operand::Kind::Imm))
+        throw BadImage{};
+    ir::Operand o;
+    o.kind = static_cast<ir::Operand::Kind>(kind);
+    o.reg = r.i32();
+    o.imm = r.i64();
+    return o;
+}
+
+void
+putModule(Writer &w, const ir::Module &m)
+{
+    w.u32(static_cast<std::uint32_t>(m.numGlobals()));
+    for (std::size_t g = 0; g < m.numGlobals(); ++g) {
+        const ir::Global &gl = m.global(static_cast<int>(g));
+        w.str(gl.name);
+        w.i64(gl.size);
+        w.str(gl.init);
+    }
+    w.u32(static_cast<std::uint32_t>(m.numFunctions()));
+    for (std::size_t f = 0; f < m.numFunctions(); ++f) {
+        const ir::Function &fn = m.function(static_cast<int>(f));
+        w.str(fn.name());
+        w.i32(fn.numParams());
+        w.i32(fn.numRegs());
+        w.u32(static_cast<std::uint32_t>(fn.numBlocks()));
+        for (std::size_t b = 0; b < fn.numBlocks(); ++b) {
+            const auto &instrs = fn.block(static_cast<int>(b)).instrs();
+            w.u32(static_cast<std::uint32_t>(instrs.size()));
+            for (const ir::Instr &in : instrs) {
+                w.u8(static_cast<std::uint8_t>(in.op));
+                w.i32(in.dst);
+                putOperand(w, in.a);
+                putOperand(w, in.b);
+                w.u32(static_cast<std::uint32_t>(in.args.size()));
+                for (const ir::Operand &a : in.args)
+                    putOperand(w, a);
+                w.i32(in.callee);
+                w.i64(in.imm);
+                w.i32(in.size);
+                w.i32(in.target0);
+                w.i32(in.target1);
+                w.i32(in.site);
+                w.i32(in.loc.line);
+                w.i32(in.loc.col);
+            }
+        }
+    }
+}
+
+std::unique_ptr<ir::Module>
+getModule(Reader &r)
+{
+    auto m = std::make_unique<ir::Module>();
+    std::uint32_t nglobals = r.count(4 + 8 + 4);
+    for (std::uint32_t g = 0; g < nglobals; ++g) {
+        std::string name = r.str(kMaxName);
+        std::int64_t size = r.i64();
+        std::string init = r.str(kMaxInit);
+        m->addGlobal(name, size, std::move(init));
+    }
+    std::uint32_t nfns = r.count(4 + 4 + 4 + 4);
+    for (std::uint32_t f = 0; f < nfns; ++f) {
+        std::string name = r.str(kMaxName);
+        std::int32_t nparams = r.i32();
+        std::int32_t nregs = r.i32();
+        if (nparams < 0 || nregs < 0 || nparams > nregs ||
+            nregs > (1 << 20))
+            throw BadImage{};
+        ir::Function &fn = m->addFunction(name, nparams);
+        fn.reserveRegs(nregs);
+        std::uint32_t nblocks = r.count(4);
+        for (std::uint32_t b = 0; b < nblocks; ++b) {
+            ir::BasicBlock &bb = fn.newBlock();
+            std::uint32_t ninstrs = r.count(1 + 4 + 13 + 13 + 4 + 36);
+            bb.instrs().reserve(ninstrs);
+            for (std::uint32_t i = 0; i < ninstrs; ++i) {
+                ir::Instr in;
+                std::uint8_t op = r.u8();
+                if (op >= static_cast<std::uint8_t>(ir::kNumOpcodes))
+                    throw BadImage{};
+                in.op = static_cast<ir::Opcode>(op);
+                in.dst = r.i32();
+                in.a = getOperand(r);
+                in.b = getOperand(r);
+                std::uint32_t nargs = r.count(13);
+                in.args.reserve(nargs);
+                for (std::uint32_t a = 0; a < nargs; ++a)
+                    in.args.push_back(getOperand(r));
+                in.callee = r.i32();
+                in.imm = r.i64();
+                in.size = r.i32();
+                in.target0 = r.i32();
+                in.target1 = r.i32();
+                in.site = r.i32();
+                in.loc.line = r.i32();
+                in.loc.col = r.i32();
+                bb.instrs().push_back(std::move(in));
+            }
+        }
+    }
+    return m;
+}
+
+constexpr std::size_t kCodeEntrySize =
+    1 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 2;
+
+void
+putDecoded(Writer &w, const DecodedFunction &df)
+{
+    w.u32(static_cast<std::uint32_t>(df.numInstrs()));
+    w.u32(static_cast<std::uint32_t>(df.numBlocks()));
+    w.u32(static_cast<std::uint32_t>(df.numHists()));
+    for (std::size_t b = 0; b < df.numBlocks(); ++b)
+        w.u32(df.blockStart(static_cast<int>(b)));
+    const DecodedInstr *code = df.code();
+    for (std::size_t i = 0; i < df.numInstrs(); ++i) {
+        const DecodedInstr &d = code[i];
+        w.u8(static_cast<std::uint8_t>(d.op));
+        w.u8(d.flags);
+        w.u8(d.size);
+        w.u8(d.xop);
+        w.i32(d.dst);
+        w.i64(d.a);
+        w.i64(d.b);
+        w.i64(d.imm);
+        w.i32(d.target0);
+        w.i32(d.target1);
+        w.i32(d.block);
+        w.i32(d.ip);
+        w.i32(d.histIdx);
+        w.u16(d.runLen);
+    }
+    for (std::size_t h = 0; h < df.numHists(); ++h) {
+        const RunHist &hist = df.hist(static_cast<std::int32_t>(h));
+        w.u32(static_cast<std::uint32_t>(hist.size()));
+        for (const auto &[op, cnt] : hist) {
+            w.u8(static_cast<std::uint8_t>(op));
+            w.u32(cnt);
+        }
+    }
+}
+
+/**
+ * Parse and fully validate one function's decoded stream against the
+ * already-verified @p fn. Every field is either bounds-checked or
+ * required to equal what predecoding @p fn would produce (the run
+ * metadata, histograms, and fusion marks are recomputed here with the
+ * decoder's exact rules), so an adopted stream is indistinguishable
+ * from a freshly built one.
+ */
+std::unique_ptr<DecodedFunction>
+getDecoded(Reader &r, const ir::Function &fn,
+           const ir::Module &module)
+{
+    std::uint32_t ninstrs = r.count(kCodeEntrySize);
+    std::uint32_t nblocks = r.count(0);
+    std::uint32_t nhists = r.count(0);
+    if (nblocks != fn.numBlocks())
+        throw BadImage{};
+    r.need(nblocks * std::size_t{4});
+
+    // Block starts must be the cumulative block sizes of fn.
+    std::vector<std::uint32_t> block_start(nblocks);
+    std::size_t total = 0;
+    for (std::uint32_t b = 0; b < nblocks; ++b) {
+        block_start[b] = r.u32();
+        if (block_start[b] != total)
+            throw BadImage{};
+        total += fn.block(static_cast<int>(b)).instrs().size();
+    }
+    if (ninstrs != total)
+        throw BadImage{};
+
+    int num_regs = fn.numRegs();
+    std::vector<DecodedInstr> code(ninstrs);
+    for (std::uint32_t i = 0; i < ninstrs; ++i) {
+        DecodedInstr &d = code[i];
+        std::uint8_t op = r.u8();
+        if (op >= static_cast<std::uint8_t>(ir::kNumOpcodes))
+            throw BadImage{};
+        d.op = static_cast<ir::Opcode>(op);
+        d.flags = r.u8();
+        d.size = r.u8();
+        d.xop = r.u8();
+        d.dst = r.i32();
+        d.a = r.i64();
+        d.b = r.i64();
+        d.imm = r.i64();
+        d.target0 = r.i32();
+        d.target1 = r.i32();
+        d.block = r.i32();
+        d.ip = r.i32();
+        d.histIdx = r.i32();
+        d.runLen = r.u16();
+
+        // Coordinates first: everything else cross-checks through the
+        // source instruction they name.
+        if (d.block < 0 ||
+            static_cast<std::uint32_t>(d.block) >= nblocks ||
+            d.ip < 0 ||
+            block_start[static_cast<std::uint32_t>(d.block)] +
+                    static_cast<std::uint32_t>(d.ip) != i)
+            throw BadImage{};
+        const ir::Instr &in =
+            fn.block(d.block).instrs()[static_cast<std::size_t>(d.ip)];
+        if (in.op != d.op || in.dst != d.dst)
+            throw BadImage{};
+
+        std::uint8_t flags = 0;
+        if (isSlowOpcode(in.op))
+            flags |= DecodedInstr::kSlow;
+        if (in.op == ir::Opcode::Br || in.op == ir::Opcode::CondBr ||
+            in.op == ir::Opcode::Ret)
+            flags |= DecodedInstr::kTerm;
+        if (in.a.isReg())
+            flags |= DecodedInstr::kAReg;
+        if (in.b.isReg())
+            flags |= DecodedInstr::kBReg;
+        if (d.flags != flags || d.size != static_cast<std::uint8_t>(
+                                              in.size))
+            throw BadImage{};
+        if (d.a != ((d.flags & DecodedInstr::kAReg)
+                        ? in.a.reg
+                        : (in.a.isImm() ? in.a.imm : 0)) ||
+            ((d.flags & DecodedInstr::kAReg) &&
+             (d.a < 0 || d.a >= num_regs)))
+            throw BadImage{};
+        if (d.b != ((d.flags & DecodedInstr::kBReg)
+                        ? in.b.reg
+                        : (in.b.isImm() ? in.b.imm : 0)) ||
+            ((d.flags & DecodedInstr::kBReg) &&
+             (d.b < 0 || d.b >= num_regs)))
+            throw BadImage{};
+
+        // Pre-resolved payloads per opcode (mirrors the decoder).
+        switch (in.op) {
+          case ir::Opcode::Alloca:
+            if (d.imm != static_cast<std::int64_t>(
+                    (static_cast<std::uint64_t>(
+                         std::max<std::int64_t>(8, in.imm)) + 7) &
+                    ~std::uint64_t{7}))
+                throw BadImage{};
+            break;
+          case ir::Opcode::FnAddr:
+            if (d.imm != in.callee)
+                throw BadImage{};
+            break;
+          case ir::Opcode::GlobalAddr:
+            if (d.imm != in.imm || d.imm < 0 ||
+                d.imm >= static_cast<std::int64_t>(module.numGlobals()))
+                throw BadImage{};
+            break;
+          case ir::Opcode::Br:
+            if (in.target0 < 0 ||
+                static_cast<std::uint32_t>(in.target0) >= nblocks ||
+                d.target0 != static_cast<std::int32_t>(
+                    block_start[static_cast<std::uint32_t>(
+                        in.target0)]))
+                throw BadImage{};
+            break;
+          case ir::Opcode::CondBr:
+            if (in.target0 < 0 || in.target1 < 0 ||
+                static_cast<std::uint32_t>(in.target0) >= nblocks ||
+                static_cast<std::uint32_t>(in.target1) >= nblocks ||
+                d.target0 != static_cast<std::int32_t>(
+                    block_start[static_cast<std::uint32_t>(
+                        in.target0)]) ||
+                d.target1 != static_cast<std::int32_t>(
+                    block_start[static_cast<std::uint32_t>(
+                        in.target1)]))
+                throw BadImage{};
+            break;
+          default:
+            if (d.imm != in.imm)
+                throw BadImage{};
+            break;
+        }
+        d.src = &in;
+    }
+
+    // Histograms as serialized.
+    std::vector<RunHist> hists(nhists);
+    for (std::uint32_t h = 0; h < nhists; ++h) {
+        std::uint32_t n = r.count(1 + 4);
+        hists[h].reserve(n);
+        for (std::uint32_t e = 0; e < n; ++e) {
+            std::uint8_t op = r.u8();
+            std::uint32_t cnt = r.u32();
+            if (op >= static_cast<std::uint8_t>(ir::kNumOpcodes))
+                throw BadImage{};
+            hists[h].emplace_back(static_cast<ir::Opcode>(op), cnt);
+        }
+    }
+
+    // Recompute the run metadata with the decoder's rules and demand
+    // the serialized values match exactly — the fast path trusts
+    // runLen/histIdx blindly, so they must be provably consistent.
+    std::size_t pos = 0;
+    std::uint32_t hist_count = 0;
+    while (pos < code.size()) {
+        if (code[pos].isSlow()) {
+            if (code[pos].runLen != 1 || code[pos].histIdx != -1)
+                throw BadImage{};
+            ++pos;
+            continue;
+        }
+        std::size_t end = pos;
+        int block = code[pos].block;
+        while (end < code.size() && !code[end].isSlow() &&
+               code[end].block == block && end - pos < 0xffff)
+            ++end;
+        std::array<std::uint32_t,
+                   static_cast<std::size_t>(ir::kNumOpcodes)>
+            counts{};
+        for (std::size_t i = pos; i < end; ++i)
+            ++counts[static_cast<std::size_t>(code[i].op)];
+        RunHist expect;
+        for (std::size_t o = 0; o < counts.size(); ++o) {
+            if (counts[o])
+                expect.emplace_back(static_cast<ir::Opcode>(o),
+                                    counts[o]);
+        }
+        if (code[pos].histIdx !=
+                static_cast<std::int32_t>(hist_count) ||
+            hist_count >= hists.size() || hists[hist_count] != expect)
+            throw BadImage{};
+        ++hist_count;
+        for (std::size_t i = pos; i < end; ++i) {
+            if (code[i].runLen !=
+                    static_cast<std::uint16_t>(end - i) ||
+                (i != pos && code[i].histIdx != -1))
+                throw BadImage{};
+        }
+        pos = end;
+    }
+    if (hist_count != hists.size())
+        throw BadImage{};
+
+    // Fusion marks likewise.
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        std::uint8_t expect = static_cast<std::uint8_t>(code[i].op);
+        if (code[i].runLen >= 2) {
+            std::uint8_t f = fusedXop(code[i].op, code[i + 1].op);
+            if (f)
+                expect = f;
+        }
+        if (code[i].xop != expect)
+            throw BadImage{};
+    }
+
+    return std::make_unique<DecodedFunction>(
+        std::move(code), std::move(block_start), std::move(hists));
+}
+
+/** Fold @p bytes into a running FNV-1a digest @p h. */
+std::uint64_t
+fnv1aChain(std::uint64_t h, const std::string &bytes)
+{
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** FNV-1a offset basis (obs::fnv1a's starting state). */
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+} // namespace
+
+std::string
+serializeImage(const ir::Module &module, bool instrumented,
+               std::uint64_t content_hash)
+{
+    Writer payload;
+    putModule(payload, module);
+    PredecodedModule decoded(module);
+    decoded.decodeAll();
+    for (std::size_t f = 0; f < module.numFunctions(); ++f)
+        putDecoded(payload, decoded.function(static_cast<int>(f)));
+
+    Writer w;
+    w.out.append(kImageMagic, sizeof(kImageMagic));
+    w.u32(kImageEndianTag);
+    w.u32(kImageVersion);
+    w.u32(instrumented ? kImageFlagInstrumented : 0);
+    w.u32(0); // reserved
+    w.u64(content_hash);
+    // The digest covers the header prefix written so far (magic
+    // through contentHash) plus the payload, so a bit flip anywhere
+    // except inside this very field fails the hash check.
+    w.u64(fnv1aChain(fnv1aChain(kFnvBasis, w.out), payload.out));
+    w.u64(payload.out.size());
+    w.out.append(payload.out);
+    return std::move(w.out);
+}
+
+std::optional<LoadedImage>
+loadImage(const std::string &bytes)
+{
+    try {
+        if (bytes.size() < kHeaderSize ||
+            std::memcmp(bytes.data(), kImageMagic,
+                        sizeof(kImageMagic)) != 0)
+            return std::nullopt;
+        Reader r{bytes, sizeof(kImageMagic)};
+        if (r.u32() != kImageEndianTag || r.u32() != kImageVersion)
+            return std::nullopt;
+        std::uint32_t flags = r.u32();
+        r.u32(); // reserved
+        std::uint64_t content_hash = r.u64();
+        std::uint64_t payload_hash = r.u64();
+        std::uint64_t payload_size = r.u64();
+        if (payload_size != bytes.size() - kHeaderSize)
+            return std::nullopt;
+        std::uint64_t digest = fnv1aChain(
+            fnv1aChain(kFnvBasis, bytes.substr(0, kHashedPrefix)),
+            bytes.substr(kHeaderSize));
+        if (digest != payload_hash)
+            return std::nullopt;
+
+        LoadedImage img;
+        img.contentHash = content_hash;
+        img.instrumented = (flags & kImageFlagInstrumented) != 0;
+        img.module = getModule(r);
+        if (!ir::verifyModule(*img.module).empty())
+            return std::nullopt;
+        img.predecoded =
+            std::make_shared<PredecodedModule>(*img.module);
+        for (std::size_t f = 0; f < img.module->numFunctions(); ++f)
+            img.predecoded->adopt(
+                static_cast<int>(f),
+                getDecoded(r, img.module->function(static_cast<int>(f)),
+                           *img.module));
+        if (r.remaining() != 0 || !img.predecoded->fullyDecoded())
+            return std::nullopt;
+        return img;
+    } catch (const BadImage &) {
+        return std::nullopt;
+    } catch (const std::bad_alloc &) {
+        return std::nullopt;
+    }
+}
+
+std::uint64_t
+imageKey(const std::string &source, bool instrumented)
+{
+    // Same recipe as the query cache: two fnv1a passes combined, with
+    // the instrumentation variant folded into the text.
+    std::string text = source;
+    text += instrumented ? "\n#ldx-image:instr" : "\n#ldx-image:plain";
+    std::uint64_t h1 = obs::fnv1a(text);
+    std::uint64_t h2 = obs::fnv1a(text + "#2");
+    return h1 ^ (h2 * 0x9e3779b97f4a7c15ULL);
+}
+
+std::string
+imageCachePath(const std::string &dir, std::uint64_t key)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return dir + "/" + hex + ".ldxi";
+}
+
+std::optional<LoadedImage>
+probeImageCache(const std::string &dir, std::uint64_t key)
+{
+    std::ifstream in(imageCachePath(dir, key), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string bytes = ss.str();
+    auto img = loadImage(bytes);
+    if (img && img->contentHash != key)
+        return std::nullopt; // hash-collision rename or stale file
+    return img;
+}
+
+bool
+storeImageCache(const std::string &dir, std::uint64_t key,
+                const ir::Module &module, bool instrumented)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path = imageCachePath(dir, key);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        std::string bytes = serializeImage(module, instrumented, key);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return false;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    return !ec;
+}
+
+} // namespace ldx::vm

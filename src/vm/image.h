@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bytecode images: the `ldx-image-v1` on-disk format and its cache.
+ *
+ * An image is a little-endian snapshot of a compiled program — the
+ * ir::Module plus the predecoded instruction streams (vm/predecode.h)
+ * — so a warm start is one read plus pointer/index fixup: no lexing,
+ * parsing, sema, codegen, or predecoding. The format is versioned and
+ * self-checking; loadImage() treats ANY defect (truncation, bit
+ * flips, wrong magic/version/endianness, out-of-range indices) as a
+ * clean cache miss by returning nullopt, never by crashing.
+ *
+ * Layout (all multi-byte fields little endian):
+ *
+ *   magic        8 bytes  "LDXIMG01"
+ *   endianTag    u32      0x01020304 (rejects byte-swapped writers)
+ *   version      u32      1
+ *   flags        u32      bit0 = counter-instrumented module
+ *   reserved     u32      0
+ *   contentHash  u64      cache key (fnv1a of source + variant tag)
+ *   payloadHash  u64      fnv1a of header bytes [0,32) + the payload
+ *   payloadSize  u64      length of the payload that follows
+ *   payload      serialized module, then per-function decoded streams
+ *
+ * The payload hash catches corruption cheaply; the loader still
+ * bounds-checks every index, re-runs ir::verifyModule on the
+ * reconstructed module, and revalidates the superinstruction marks,
+ * so even an adversarial image degrades to a miss.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ir/ir.h"
+#include "vm/predecode.h"
+
+namespace ldx::vm {
+
+/** Format constants (header fields above). */
+inline constexpr char kImageMagic[8] = {'L', 'D', 'X', 'I',
+                                        'M', 'G', '0', '1'};
+inline constexpr std::uint32_t kImageEndianTag = 0x01020304;
+inline constexpr std::uint32_t kImageVersion = 1;
+inline constexpr std::uint32_t kImageFlagInstrumented = 1u << 0;
+
+/** A deserialized image: the module and its ready-to-run streams. */
+struct LoadedImage
+{
+    /** Owns the program; predecoded holds references into it. */
+    std::unique_ptr<ir::Module> module;
+    /** Fully decoded (decodeAll() invariant holds) and fused. */
+    std::shared_ptr<PredecodedModule> predecoded;
+    std::uint64_t contentHash = 0;
+    bool instrumented = false;
+};
+
+/** Serialize @p module (with its predecoded streams) to image bytes. */
+std::string serializeImage(const ir::Module &module, bool instrumented,
+                           std::uint64_t content_hash);
+
+/**
+ * Deserialize image bytes. nullopt on any malformed input — the
+ * caller falls back to the front end.
+ */
+std::optional<LoadedImage> loadImage(const std::string &bytes);
+
+/** Cache key for @p source compiled with/without instrumentation. */
+std::uint64_t imageKey(const std::string &source, bool instrumented);
+
+/** Path of the cached image for @p key under @p dir. */
+std::string imageCachePath(const std::string &dir, std::uint64_t key);
+
+/**
+ * Load the cached image for @p key from @p dir; nullopt on a miss
+ * (absent file, stale key, or malformed bytes).
+ */
+std::optional<LoadedImage> probeImageCache(const std::string &dir,
+                                           std::uint64_t key);
+
+/**
+ * Write @p module into the cache (atomically: temp file + rename).
+ * Returns false on IO failure; the caller loses nothing but warmth.
+ */
+bool storeImageCache(const std::string &dir, std::uint64_t key,
+                     const ir::Module &module, bool instrumented);
+
+} // namespace ldx::vm

@@ -12,6 +12,31 @@ constexpr std::int64_t kTokenTag = 0x5a00000000000000LL;
 
 } // namespace
 
+const char *
+dispatchModeName(DispatchMode mode)
+{
+    switch (mode) {
+      case DispatchMode::Switch: return "switch";
+      case DispatchMode::Threaded: return "threaded";
+      case DispatchMode::Fused: return "fused";
+    }
+    return "?";
+}
+
+bool
+parseDispatchMode(const std::string &name, DispatchMode &out)
+{
+    if (name == "switch")
+        out = DispatchMode::Switch;
+    else if (name == "threaded")
+        out = DispatchMode::Threaded;
+    else if (name == "fused")
+        out = DispatchMode::Fused;
+    else
+        return false;
+    return true;
+}
+
 Machine::Machine(const ir::Module &module, os::Kernel &kernel,
                  MachineConfig cfg)
     : module_(module), kernel_(kernel), cfg_(cfg),
@@ -30,8 +55,35 @@ Machine::Machine(const ir::Module &module, os::Kernel &kernel,
     memory_ = std::make_unique<Memory>(
         offset, cfg.stackSize, cfg.maxThreads,
         kernel.heapBaseJitter());
-    if (cfg.predecode)
-        decoded_ = std::make_unique<PredecodedModule>(module);
+    if (cfg.predecode) {
+        if (cfg.predecoded) {
+            // A shared predecoded module is read-only here, so it can
+            // back many machines at once (both dual sides, campaign
+            // pool workers) — but only if every slot is already built.
+            checkInvariant(cfg.predecoded->fullyDecoded(),
+                           "shared PredecodedModule must be decodeAll()ed");
+            checkInvariant(&cfg.predecoded->module() == &module,
+                           "shared PredecodedModule wraps another module");
+            decodedShared_ = cfg.predecoded;
+            decoded_ = decodedShared_.get();
+        } else {
+            decodedOwned_ = std::make_unique<PredecodedModule>(module);
+            decoded_ = decodedOwned_.get();
+        }
+    }
+    switch (cfg.dispatch) {
+      case DispatchMode::Switch:
+        dispatch_ = ResolvedDispatch::Switch;
+        break;
+      case DispatchMode::Threaded:
+        dispatch_ = hasThreadedDispatch() ? ResolvedDispatch::Goto
+                                          : ResolvedDispatch::Switch;
+        break;
+      case DispatchMode::Fused:
+        dispatch_ = hasThreadedDispatch() ? ResolvedDispatch::GotoFused
+                                          : ResolvedDispatch::Switch;
+        break;
+    }
     for (std::size_t g = 0; g < module.numGlobals(); ++g) {
         const ir::Global &gl = module.global(static_cast<int>(g));
         if (!gl.init.empty())
@@ -278,7 +330,25 @@ Machine::stepMany(std::uint64_t budget, std::uint64_t &retired)
                 std::uint64_t limit = budget - retired;
                 if (limit > static_cast<std::uint64_t>(sliceLeft_))
                     limit = static_cast<std::uint64_t>(sliceLeft_);
-                got = fastRun(ctx, limit);
+                switch (dispatch_) {
+                  case ResolvedDispatch::Switch:
+                    got = fastRun(ctx, limit);
+                    break;
+#if LDX_HAS_COMPUTED_GOTO
+                  case ResolvedDispatch::Goto:
+                    got = fastRunThreaded<false>(ctx, limit);
+                    break;
+                  case ResolvedDispatch::GotoFused:
+                    got = fastRunThreaded<true>(ctx, limit);
+                    break;
+#else
+                  default:
+                    // The ctor resolves Threaded/Fused to Switch when
+                    // computed goto is unavailable; unreachable.
+                    got = fastRun(ctx, limit);
+                    break;
+#endif
+                }
                 sliceLeft_ -= static_cast<int>(got);
             }
         } catch (const VmTrap &trap) {
@@ -382,6 +452,7 @@ Machine::executeOne(Context &ctx)
         ++totalInstrs_;
         ++opCounts_[static_cast<std::size_t>(instr.op)];
         kernel_.tickInstructions(1);
+        profilePair(ctx, instr.op);
     };
 
     std::uint64_t eff_addr = 0;
@@ -756,6 +827,221 @@ Machine::fastRun(Context &ctx, std::uint64_t limit)
     return k;
 }
 
+#if LDX_HAS_COMPUTED_GOTO
+
+#include "vm/dispatch.inc"
+
+/**
+ * One dispatch: stop at the limit, otherwise jump through the token
+ * table. Slow opcodes map to the exit label, so the loop needs no
+ * explicit isSlow() test. Fused tokens retire two instructions, so
+ * they are only taken with at least two instructions of headroom;
+ * with one left, the base opcode runs alone.
+ */
+#define LDX_NEXT() \
+    do { \
+        if (k >= lim) \
+            goto L_done; \
+        d = &code[pc]; \
+        goto *tbl[Fused && lim - k >= 2 \
+                      ? d->xop \
+                      : static_cast<std::uint8_t>(d->op)]; \
+    } while (0)
+
+/** Ordinary label: body, retire one instruction, dispatch the next. */
+#define LDX_OP_LABEL(name) \
+    L_##name: \
+    LDX_BODY_##name; \
+    ++opCounts_[static_cast<std::size_t>(ir::Opcode::name)]; \
+    ++k; \
+    LDX_NEXT()
+
+/**
+ * Fused label: both bodies back to back with a single dispatch. The
+ * second instruction is refetched from pc, and each half retires
+ * separately, so a trap in the second body leaves the first half
+ * retired and pc at the fault site — indistinguishable from two
+ * unfused dispatches.
+ */
+#define LDX_FUSED_LABEL(pair, op1, op2) \
+    L_##pair: \
+    LDX_BODY_##op1; \
+    ++opCounts_[static_cast<std::size_t>(ir::Opcode::op1)]; \
+    ++k; \
+    d = &code[pc]; \
+    LDX_BODY_##op2; \
+    ++opCounts_[static_cast<std::size_t>(ir::Opcode::op2)]; \
+    ++k; \
+    LDX_NEXT()
+
+template <bool Fused>
+std::uint64_t
+Machine::fastRunThreaded(Context &ctx, std::uint64_t limit)
+{
+    Frame &fr = ctx.frames.back();
+    const DecodedFunction &df = decoded_->function(fr.fn);
+    const DecodedInstr *code = df.code();
+    std::uint32_t pc =
+        df.blockStart(fr.block) + static_cast<std::uint32_t>(fr.ip);
+
+    if (totalInstrs_ >= cfg_.maxInstructions)
+        throw VmTrap(TrapKind::BudgetExceeded,
+                     "instruction budget exceeded");
+
+    // Unlike fastRun this loop chains across branches, so the retired
+    // range is not contiguous and per-run histograms do not apply:
+    // opCounts_ is bumped per label (a compile-time-constant index),
+    // and the cap only has to keep the budget trap at the same
+    // instruction the switch dispatcher would fault on.
+    std::uint64_t lim = limit;
+    if (lim > cfg_.maxInstructions - totalInstrs_)
+        lim = cfg_.maxInstructions - totalInstrs_;
+
+    std::int64_t *regs = fr.regs.data();
+    Memory &mem = *memory_;
+    std::uint64_t k = 0;
+
+    // Deferred accounting identical to fastRun's flush(): totals move
+    // once per call, and fr re-derives (block, ip) from the flat pc —
+    // on a trap that names the fault site, otherwise the resume point.
+    auto flush = [&]() {
+        totalInstrs_ += k;
+        ctx.instrCount += k;
+        kernel_.tickInstructions(static_cast<std::int64_t>(k));
+        fr.block = code[pc].block;
+        fr.ip = code[pc].ip;
+    };
+
+    // Token table indexed by DecodedInstr::xop. Base opcodes first —
+    // in ir::Opcode declaration order, asserted below — then the
+    // fused pairs in kXop* declaration order.
+    static_assert(static_cast<int>(ir::Opcode::Const) == 0);
+    static_assert(static_cast<int>(ir::Opcode::Add) == 2);
+    static_assert(static_cast<int>(ir::Opcode::Neg) == 12);
+    static_assert(static_cast<int>(ir::Opcode::CmpEq) == 14);
+    static_assert(static_cast<int>(ir::Opcode::Load) == 20);
+    static_assert(static_cast<int>(ir::Opcode::Call) == 24);
+    static_assert(static_cast<int>(ir::Opcode::Br) == 29);
+    static_assert(static_cast<int>(ir::Opcode::CntAdd) == 32);
+    static_assert(static_cast<int>(ir::Opcode::CntPop) == 35);
+    static_assert(kXopFusedBase == 36 && kXopCount == 49);
+    static const void *tbl[kXopCount] = {
+        &&L_Const, &&L_Move,
+        &&L_Add, &&L_Sub, &&L_Mul, &&L_Div, &&L_Rem,
+        &&L_And, &&L_Or, &&L_Xor, &&L_Shl, &&L_Shr,
+        &&L_Neg, &&L_Not,
+        &&L_CmpEq, &&L_CmpNe, &&L_CmpLt, &&L_CmpLe, &&L_CmpGt,
+        &&L_CmpGe,
+        &&L_Load, &&L_Store, &&L_Alloca, &&L_GlobalAddr,
+        &&L_done /* Call */, &&L_done /* ICall */,
+        &&L_FnAddr, &&L_LibCall,
+        &&L_done /* Syscall */,
+        &&L_Br, &&L_CondBr,
+        &&L_done /* Ret */,
+        &&L_CntAdd,
+        &&L_done /* SyncBarrier */, &&L_done /* CntPush */,
+        &&L_done /* CntPop */,
+        &&L_CmpEqCondBr, &&L_CmpNeCondBr, &&L_CmpLtCondBr,
+        &&L_CmpLeCondBr, &&L_CmpGtCondBr, &&L_CmpGeCondBr,
+        &&L_CntAddBr, &&L_CntAddConst, &&L_CntAddLoad, &&L_CntAddMove,
+        &&L_LoadAdd, &&L_AddStore, &&L_ConstStore,
+    };
+
+    const DecodedInstr *d;
+    try {
+        LDX_NEXT();
+
+        LDX_OP_LABEL(Const);
+        LDX_OP_LABEL(Move);
+        LDX_OP_LABEL(Neg);
+        LDX_OP_LABEL(Not);
+        LDX_OP_LABEL(Add);
+        LDX_OP_LABEL(Sub);
+        LDX_OP_LABEL(Mul);
+        LDX_OP_LABEL(Div);
+        LDX_OP_LABEL(Rem);
+        LDX_OP_LABEL(And);
+        LDX_OP_LABEL(Or);
+        LDX_OP_LABEL(Xor);
+        LDX_OP_LABEL(Shl);
+        LDX_OP_LABEL(Shr);
+        LDX_OP_LABEL(CmpEq);
+        LDX_OP_LABEL(CmpNe);
+        LDX_OP_LABEL(CmpLt);
+        LDX_OP_LABEL(CmpLe);
+        LDX_OP_LABEL(CmpGt);
+        LDX_OP_LABEL(CmpGe);
+        LDX_OP_LABEL(Load);
+        LDX_OP_LABEL(Store);
+        LDX_OP_LABEL(Alloca);
+        LDX_OP_LABEL(GlobalAddr);
+        LDX_OP_LABEL(FnAddr);
+        LDX_OP_LABEL(LibCall);
+        LDX_OP_LABEL(CntAdd);
+        LDX_OP_LABEL(Br);
+        LDX_OP_LABEL(CondBr);
+
+        LDX_FUSED_LABEL(CmpEqCondBr, CmpEq, CondBr);
+        LDX_FUSED_LABEL(CmpNeCondBr, CmpNe, CondBr);
+        LDX_FUSED_LABEL(CmpLtCondBr, CmpLt, CondBr);
+        LDX_FUSED_LABEL(CmpLeCondBr, CmpLe, CondBr);
+        LDX_FUSED_LABEL(CmpGtCondBr, CmpGt, CondBr);
+        LDX_FUSED_LABEL(CmpGeCondBr, CmpGe, CondBr);
+        LDX_FUSED_LABEL(CntAddBr, CntAdd, Br);
+        LDX_FUSED_LABEL(CntAddConst, CntAdd, Const);
+        LDX_FUSED_LABEL(CntAddLoad, CntAdd, Load);
+        LDX_FUSED_LABEL(CntAddMove, CntAdd, Move);
+        LDX_FUSED_LABEL(LoadAdd, Load, Add);
+        LDX_FUSED_LABEL(AddStore, Add, Store);
+        LDX_FUSED_LABEL(ConstStore, Const, Store);
+
+    L_done:;
+    } catch (const VmTrap &) {
+        flush();
+        throw;
+    }
+    flush();
+    return k;
+}
+
+#undef LDX_NEXT
+#undef LDX_OP_LABEL
+#undef LDX_FUSED_LABEL
+#undef LDX_A
+#undef LDX_B
+#undef LDX_SET
+#undef LDX_BODY_Const
+#undef LDX_BODY_Move
+#undef LDX_BODY_Neg
+#undef LDX_BODY_Not
+#undef LDX_BODY_Add
+#undef LDX_BODY_Sub
+#undef LDX_BODY_Mul
+#undef LDX_BODY_Div
+#undef LDX_BODY_Rem
+#undef LDX_BODY_And
+#undef LDX_BODY_Or
+#undef LDX_BODY_Xor
+#undef LDX_BODY_Shl
+#undef LDX_BODY_Shr
+#undef LDX_BODY_CmpEq
+#undef LDX_BODY_CmpNe
+#undef LDX_BODY_CmpLt
+#undef LDX_BODY_CmpLe
+#undef LDX_BODY_CmpGt
+#undef LDX_BODY_CmpGe
+#undef LDX_BODY_Load
+#undef LDX_BODY_Store
+#undef LDX_BODY_Alloca
+#undef LDX_BODY_GlobalAddr
+#undef LDX_BODY_FnAddr
+#undef LDX_BODY_LibCall
+#undef LDX_BODY_CntAdd
+#undef LDX_BODY_Br
+#undef LDX_BODY_CondBr
+
+#endif // LDX_HAS_COMPUTED_GOTO
+
 void
 Machine::doCall(Context &ctx, const ir::Instr &instr, int callee)
 {
@@ -1000,6 +1286,7 @@ Machine::doSyscall(Context &ctx, const ir::Instr &instr)
     ++totalInstrs_;
     ++opCounts_[static_cast<std::size_t>(ir::Opcode::Syscall)];
     kernel_.tickInstructions(1);
+    profilePair(ctx, ir::Opcode::Syscall);
     if (out.exited) {
         finishProgram(req.args.empty() ? 0 : req.args[0]);
         return true;

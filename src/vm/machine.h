@@ -29,7 +29,44 @@
 #include "vm/memory.h"
 #include "vm/predecode.h"
 
+/**
+ * Computed-goto (token-threaded) dispatch needs the GNU address-of-
+ * label extension. Define LDX_FORCE_SWITCH_DISPATCH to build the
+ * portable switch fallback everywhere (the CI matrix covers it).
+ */
+#if !defined(LDX_FORCE_SWITCH_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define LDX_HAS_COMPUTED_GOTO 1
+#else
+#define LDX_HAS_COMPUTED_GOTO 0
+#endif
+
 namespace ldx::vm {
+
+/**
+ * Fast-path dispatch strategy. All modes retire the identical
+ * instruction stream — verdicts, stats, and recorder event order are
+ * byte-identical — only the wall clock moves (docs/PERFORMANCE.md).
+ */
+enum class DispatchMode
+{
+    Switch,   ///< portable switch loop (the seed fast path)
+    Threaded, ///< computed-goto token threading, run chaining
+    Fused,    ///< Threaded + superinstruction pairs (default)
+};
+
+/** True when this build can run computed-goto dispatch. */
+inline constexpr bool
+hasThreadedDispatch()
+{
+    return LDX_HAS_COMPUTED_GOTO != 0;
+}
+
+/** Stable mode name ("switch" | "threaded" | "fused"). */
+const char *dispatchModeName(DispatchMode mode);
+
+/** Parse a --dispatch value; false on unknown names. */
+bool parseDispatchMode(const std::string &name, DispatchMode &out);
 
 /** Result of one step() call. */
 enum class StepStatus
@@ -86,6 +123,9 @@ struct Context
     double cntSum = 0.0;
     std::uint64_t cntSamples = 0;
     std::size_t maxCntDepth = 0;
+
+    /** Previous retired opcode (0xff none); pair-profile bookkeeping. */
+    std::uint8_t lastOp = 0xff;
 };
 
 /** Trap report. */
@@ -113,6 +153,29 @@ struct MachineConfig
      * differential-test oracle).
      */
     bool predecode = true;
+    /**
+     * Fast-path dispatch strategy (`--dispatch`). Threaded/Fused
+     * degrade to Switch when the build lacks computed goto
+     * (hasThreadedDispatch()); semantics never depend on the mode.
+     */
+    DispatchMode dispatch = DispatchMode::Fused;
+    /**
+     * Optional shared predecoded module (image loads, campaign
+     * reuse). Must be decodeAll()ed — the machine then never mutates
+     * it, so one instance can back many VMs, including the threaded
+     * driver's two sides. Null: the machine predecodes privately
+     * (lazily) when `predecode` is set.
+     */
+    std::shared_ptr<PredecodedModule> predecoded;
+    /**
+     * Dynamic opcode-pair profile: when non-null, points at a
+     * kNumOpcodes x kNumOpcodes row-major table and every retired
+     * (previous, current) opcode pair per context increments one
+     * cell. Forces the legacy per-step path so every instruction is
+     * observed; used by bench/interp_throughput to curate the
+     * superinstruction set.
+     */
+    std::uint64_t *pairProfile = nullptr;
     /**
      * Fault injection for the fuzzing oracle's self-test: when
      * nonzero, every Nth retired CntAdd is skipped (its compensation
@@ -213,15 +276,43 @@ class Machine
      * Execute one run of fast instructions of @p ctx (at most
      * @p limit of them) through the predecoded stream; returns the
      * number retired. Never blocks — the caller dispatches slow
-     * (flagged) instructions through executeOne.
+     * (flagged) instructions through executeOne. This is the
+     * portable switch dispatcher (DispatchMode::Switch).
      */
     std::uint64_t fastRun(Context &ctx, std::uint64_t limit);
+
+    /**
+     * Token-threaded dispatcher: computed-goto dispatch that also
+     * chains across branches, so one call retires up to @p limit
+     * instructions without bouncing through stepMany at every block
+     * boundary. With Fused, marked pairs (DecodedInstr::xop) retire
+     * in a single dispatch. Retired state is bit-identical to
+     * fastRun. Only compiled when LDX_HAS_COMPUTED_GOTO.
+     */
+    template <bool Fused>
+    std::uint64_t fastRunThreaded(Context &ctx, std::uint64_t limit);
 
     /** True when the predecoded dispatch loop may be used. */
     bool
     useFastPath() const
     {
-        return decoded_ != nullptr && execHook_ == nullptr;
+        return decoded_ != nullptr && execHook_ == nullptr &&
+               cfg_.pairProfile == nullptr;
+    }
+
+    /** Count a retired opcode into cfg_.pairProfile (when set). */
+    void
+    profilePair(Context &ctx, ir::Opcode op)
+    {
+        if (!cfg_.pairProfile)
+            return;
+        std::uint8_t cur = static_cast<std::uint8_t>(op);
+        if (ctx.lastOp != 0xff)
+            ++cfg_.pairProfile[static_cast<std::size_t>(ctx.lastOp) *
+                                   static_cast<std::size_t>(
+                                       ir::kNumOpcodes) +
+                               cur];
+        ctx.lastOp = cur;
     }
 
     /** Shared completion/deadlock handling when no context is pollable. */
@@ -252,11 +343,22 @@ class Machine
     void emitObsInstant(obs::RecKind kind, const char *name, int tid,
                         const std::string &detail = std::string());
 
+    /** cfg_.dispatch resolved against compiler support. */
+    enum class ResolvedDispatch
+    {
+        Switch,
+        Goto,
+        GotoFused,
+    };
+
     const ir::Module &module_;
     os::Kernel &kernel_;
     MachineConfig cfg_;
     std::unique_ptr<Memory> memory_;
-    std::unique_ptr<PredecodedModule> decoded_;
+    std::unique_ptr<PredecodedModule> decodedOwned_;
+    std::shared_ptr<PredecodedModule> decodedShared_;
+    PredecodedModule *decoded_ = nullptr;
+    ResolvedDispatch dispatch_ = ResolvedDispatch::Switch;
     std::vector<std::uint64_t> globalAddrs_;
 
     std::vector<std::unique_ptr<Context>> contexts_;

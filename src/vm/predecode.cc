@@ -5,10 +5,8 @@
 
 namespace ldx::vm {
 
-namespace {
-
 bool
-isSlowOp(ir::Opcode op)
+isSlowOpcode(ir::Opcode op)
 {
     switch (op) {
       case ir::Opcode::Call:
@@ -23,6 +21,8 @@ isSlowOp(ir::Opcode op)
         return false;
     }
 }
+
+namespace {
 
 bool
 isTerminatorOp(ir::Opcode op)
@@ -48,6 +48,38 @@ encodeOperand(const ir::Operand &operand, std::uint8_t reg_flag,
 
 } // namespace
 
+std::uint8_t
+fusedXop(ir::Opcode a, ir::Opcode b)
+{
+    if (b == ir::Opcode::CondBr) {
+        switch (a) {
+          case ir::Opcode::CmpEq: return kXopCmpEqCondBr;
+          case ir::Opcode::CmpNe: return kXopCmpNeCondBr;
+          case ir::Opcode::CmpLt: return kXopCmpLtCondBr;
+          case ir::Opcode::CmpLe: return kXopCmpLeCondBr;
+          case ir::Opcode::CmpGt: return kXopCmpGtCondBr;
+          case ir::Opcode::CmpGe: return kXopCmpGeCondBr;
+          default: return 0;
+        }
+    }
+    if (a == ir::Opcode::CntAdd) {
+        switch (b) {
+          case ir::Opcode::Br: return kXopCntAddBr;
+          case ir::Opcode::Const: return kXopCntAddConst;
+          case ir::Opcode::Load: return kXopCntAddLoad;
+          case ir::Opcode::Move: return kXopCntAddMove;
+          default: return 0;
+        }
+    }
+    if (a == ir::Opcode::Load && b == ir::Opcode::Add)
+        return kXopLoadAdd;
+    if (a == ir::Opcode::Add && b == ir::Opcode::Store)
+        return kXopAddStore;
+    if (a == ir::Opcode::Const && b == ir::Opcode::Store)
+        return kXopConstStore;
+    return 0;
+}
+
 DecodedFunction::DecodedFunction(const ir::Function &fn)
 {
     std::size_t total = 0;
@@ -69,7 +101,7 @@ DecodedFunction::DecodedFunction(const ir::Function &fn)
             d.block = static_cast<std::int32_t>(b);
             d.ip = static_cast<std::int32_t>(i);
             d.src = &in;
-            if (isSlowOp(in.op))
+            if (isSlowOpcode(in.op))
                 d.flags |= DecodedInstr::kSlow;
             if (isTerminatorOp(in.op))
                 d.flags |= DecodedInstr::kTerm;
@@ -138,10 +170,44 @@ DecodedFunction::DecodedFunction(const ir::Function &fn)
             code_[i].runLen = static_cast<std::uint16_t>(end - i);
         pos = end;
     }
+
+    // Superinstruction marking: xop defaults to the base opcode; an
+    // instruction with at least one fast same-run successor may carry
+    // a fused id instead. runLen >= 2 guarantees the successor is in
+    // the same block and never a branch target (branches only enter
+    // at block starts), so the pair always executes back to back.
+    for (std::size_t i = 0; i < code_.size(); ++i)
+        code_[i].xop = static_cast<std::uint8_t>(code_[i].op);
+    for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
+        if (code_[i].runLen < 2)
+            continue;
+        std::uint8_t f = fusedXop(code_[i].op, code_[i + 1].op);
+        if (f)
+            code_[i].xop = f;
+    }
 }
 
 PredecodedModule::PredecodedModule(const ir::Module &module)
     : module_(module), fns_(module.numFunctions())
 {}
+
+void
+PredecodedModule::decodeAll()
+{
+    for (std::size_t f = 0; f < fns_.size(); ++f) {
+        if (!fns_[f])
+            fns_[f] = std::make_unique<DecodedFunction>(
+                module_.function(static_cast<int>(f)));
+    }
+}
+
+bool
+PredecodedModule::fullyDecoded() const
+{
+    for (const auto &slot : fns_)
+        if (!slot)
+            return false;
+    return true;
+}
 
 } // namespace ldx::vm

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Bytecode-image tests: serialize/load round trips must reproduce the
+ * predecoded streams bit for bit (including the superinstruction
+ * marks), runs from an image-loaded program must retire identical
+ * state to freshly compiled ones, and any corrupted/foreign image
+ * must parse to a clean "fall back to the front end" miss — never a
+ * crash or garbage execution.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/generator.h"
+#include "instrument/instrument.h"
+#include "lang/compiler.h"
+#include "ldx/engine.h"
+#include "obs/recorder.h"
+#include "os/kernel.h"
+#include "vm/image.h"
+#include "vm/machine.h"
+#include "workloads/workloads.h"
+
+namespace ldx {
+namespace {
+
+using workloads::Workload;
+
+/** Bit-level DecodedInstr equality; src is compared by coordinates. */
+void
+expectSameInstr(const vm::DecodedInstr &a, const vm::DecodedInstr &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.op, b.op) << what;
+    EXPECT_EQ(a.flags, b.flags) << what;
+    EXPECT_EQ(a.size, b.size) << what;
+    EXPECT_EQ(a.xop, b.xop) << what;
+    EXPECT_EQ(a.dst, b.dst) << what;
+    EXPECT_EQ(a.a, b.a) << what;
+    EXPECT_EQ(a.b, b.b) << what;
+    EXPECT_EQ(a.imm, b.imm) << what;
+    EXPECT_EQ(a.target0, b.target0) << what;
+    EXPECT_EQ(a.target1, b.target1) << what;
+    EXPECT_EQ(a.block, b.block) << what;
+    EXPECT_EQ(a.ip, b.ip) << what;
+    EXPECT_EQ(a.histIdx, b.histIdx) << what;
+    EXPECT_EQ(a.runLen, b.runLen) << what;
+}
+
+/** Round-trip @p module and compare every decoded stream. */
+void
+expectRoundTrip(const ir::Module &module, bool instrumented,
+                const std::string &what)
+{
+    std::string bytes = vm::serializeImage(module, instrumented, 42);
+    std::optional<vm::LoadedImage> img = vm::loadImage(bytes);
+    ASSERT_TRUE(img) << what;
+    EXPECT_EQ(img->contentHash, 42u) << what;
+    EXPECT_EQ(img->instrumented, instrumented) << what;
+    ASSERT_TRUE(img->predecoded->fullyDecoded()) << what;
+
+    vm::PredecodedModule ref(module);
+    ref.decodeAll();
+    ASSERT_EQ(img->predecoded->numFunctions(), ref.numFunctions())
+        << what;
+    for (int fn = 0; fn < static_cast<int>(ref.numFunctions()); ++fn) {
+        const vm::DecodedFunction &rf = ref.function(fn);
+        const vm::DecodedFunction &lf = img->predecoded->function(fn);
+        ASSERT_EQ(lf.numInstrs(), rf.numInstrs()) << what;
+        ASSERT_EQ(lf.numBlocks(), rf.numBlocks()) << what;
+        ASSERT_EQ(lf.numHists(), rf.numHists()) << what;
+        for (std::size_t b = 0; b < rf.numBlocks(); ++b)
+            EXPECT_EQ(lf.blockStart(static_cast<int>(b)),
+                      rf.blockStart(static_cast<int>(b)))
+                << what;
+        const ir::Function &loaded_fn = img->module->function(fn);
+        for (std::size_t i = 0; i < rf.numInstrs(); ++i) {
+            const vm::DecodedInstr &d = lf.code()[i];
+            expectSameInstr(d, rf.code()[i],
+                            what + " fn " + std::to_string(fn) +
+                                " instr " + std::to_string(i));
+            // src must be fixed up into the LOADED module.
+            ASSERT_EQ(d.src,
+                      &loaded_fn.block(d.block)
+                           .instrs()[static_cast<std::size_t>(d.ip)])
+                << what;
+        }
+        for (std::size_t h = 0; h < rf.numHists(); ++h)
+            EXPECT_EQ(lf.hist(static_cast<std::int32_t>(h)),
+                      rf.hist(static_cast<std::int32_t>(h)))
+                << what;
+    }
+}
+
+class ImageRoundTrip : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ImageRoundTrip, DecodedStreamsBitIdentical)
+{
+    const Workload *w = workloads::findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    expectRoundTrip(workloads::workloadModule(*w, true), true, w->name);
+}
+
+/** Native run from the image: final counters and stats must match. */
+TEST_P(ImageRoundTrip, NativeRunMatchesCompiled)
+{
+    const Workload *w = workloads::findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    const ir::Module &module = workloads::workloadModule(*w, true);
+
+    std::optional<vm::LoadedImage> img =
+        vm::loadImage(vm::serializeImage(module, true, 1));
+    ASSERT_TRUE(img);
+
+    auto run = [&](const ir::Module &m,
+                   std::shared_ptr<vm::PredecodedModule> pre,
+                   std::int64_t &cnt) {
+        os::Kernel kernel(w->world(w->defaultScale));
+        vm::MachineConfig cfg;
+        cfg.predecoded = std::move(pre);
+        vm::Machine machine(m, kernel, cfg);
+        machine.run();
+        cnt = machine.context(0).cnt;
+        return machine.stats();
+    };
+
+    std::int64_t cnt_ref = 0, cnt_img = 0;
+    vm::MachineStats ref = run(module, nullptr, cnt_ref);
+    vm::MachineStats got =
+        run(*img->module, img->predecoded, cnt_img);
+    EXPECT_EQ(got.instructions, ref.instructions);
+    EXPECT_EQ(got.syscalls, ref.syscalls);
+    EXPECT_EQ(got.maxCnt, ref.maxCnt);
+    EXPECT_EQ(cnt_img, cnt_ref); // final-counter invariant carries over
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : workloads::allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ImageRoundTrip, ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+/**
+ * Dual execution with the image's shared streams: verdict and the
+ * flight recorder's event sequence must match a freshly predecoded
+ * run (timestamps excluded, as everywhere).
+ */
+TEST(ImageTest, RecorderEventOrderMatchesCompiled)
+{
+    const Workload *w = workloads::findWorkload("gif2png");
+    ASSERT_NE(w, nullptr);
+    const ir::Module &module = workloads::workloadModule(*w, true);
+    std::optional<vm::LoadedImage> img =
+        vm::loadImage(vm::serializeImage(module, true, 1));
+    ASSERT_TRUE(img);
+
+    auto run = [&](const ir::Module &m,
+                   std::shared_ptr<vm::PredecodedModule> pre) {
+        core::EngineConfig cfg;
+        cfg.sinks = w->sinks;
+        cfg.sources = w->sources;
+        cfg.flightRecorder = true;
+        cfg.wallClockCap = 60.0;
+        cfg.vmConfig.predecoded = std::move(pre);
+        core::DualEngine engine(m, w->world(w->defaultScale), cfg);
+        return engine.run();
+    };
+    auto timeline = [](const core::DualResult &res, int side) {
+        std::vector<std::string> keys;
+        for (const obs::RecEvent &e : res.divergence.events[side]) {
+            std::ostringstream os;
+            os << obs::recKindName(e.kind) << " tid=" << e.tid
+               << " cnt=" << e.cnt << " site=" << e.site
+               << " sys=" << e.sysNo << " arg=" << e.arg;
+            keys.push_back(os.str());
+        }
+        return keys;
+    };
+
+    core::DualResult ref = run(module, nullptr);
+    core::DualResult got = run(*img->module, img->predecoded);
+    EXPECT_EQ(got.causality(), ref.causality());
+    EXPECT_EQ(got.alignedSyscalls, ref.alignedSyscalls);
+    EXPECT_EQ(got.syscallDiffs, ref.syscallDiffs);
+    ASSERT_EQ(got.divergence.present, ref.divergence.present);
+    if (ref.divergence.present) {
+        EXPECT_EQ(timeline(got, 0), timeline(ref, 0));
+        EXPECT_EQ(timeline(got, 1), timeline(ref, 1));
+    }
+}
+
+/** Fuzzer-generated programs round-trip too, instrumented and plain. */
+TEST(ImageTest, GeneratedProgramSweep)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        fuzz::ProgramGenerator gen(seed, {});
+        std::string source = gen.generate();
+        auto module = lang::compileSource(source);
+        expectRoundTrip(*module, false,
+                        "seed " + std::to_string(seed) + " plain");
+        instrument::CounterInstrumenter pass(*module);
+        pass.run();
+        expectRoundTrip(*module, true,
+                        "seed " + std::to_string(seed) + " instr");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Robustness: every malformed image is a clean miss.
+// ---------------------------------------------------------------------
+
+std::string
+sampleImage()
+{
+    const Workload *w = workloads::findWorkload("401.bzip2");
+    return vm::serializeImage(workloads::workloadModule(*w, true), true,
+                              7);
+}
+
+TEST(ImageRobustness, TruncationAtEveryLengthIsAMiss)
+{
+    std::string bytes = sampleImage();
+    ASSERT_TRUE(vm::loadImage(bytes));
+    // Every strict prefix must be rejected; step through the header
+    // byte by byte and the payload at a coarser stride.
+    for (std::size_t len = 0; len < bytes.size();
+         len += (len < 64 ? 1 : 61))
+        EXPECT_FALSE(vm::loadImage(bytes.substr(0, len)))
+            << "length " << len;
+}
+
+TEST(ImageRobustness, BitFlipsAreAMiss)
+{
+    std::string bytes = sampleImage();
+    // Flip one bit at a sweep of offsets: header, module payload, and
+    // decoded-stream payload. The payload hash (or, for the hash
+    // field itself, the field validation) must reject every one.
+    for (std::size_t pos = 0; pos < bytes.size();
+         pos += (pos < 48 ? 1 : 53)) {
+        std::string bad = bytes;
+        bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+        EXPECT_FALSE(vm::loadImage(bad)) << "offset " << pos;
+    }
+}
+
+TEST(ImageRobustness, WrongMagicVersionEndianAreAMiss)
+{
+    std::string bytes = sampleImage();
+
+    std::string wrong_magic = bytes;
+    wrong_magic[7] = '2'; // "LDXIMG02"
+    EXPECT_FALSE(vm::loadImage(wrong_magic));
+
+    std::string wrong_endian = bytes;
+    // Byte-swap the endian tag: a big-endian writer would store the
+    // tag bytes reversed.
+    std::swap(wrong_endian[8], wrong_endian[11]);
+    std::swap(wrong_endian[9], wrong_endian[10]);
+    EXPECT_FALSE(vm::loadImage(wrong_endian));
+
+    std::string wrong_version = bytes;
+    wrong_version[12] = 2;
+    EXPECT_FALSE(vm::loadImage(wrong_version));
+
+    EXPECT_FALSE(vm::loadImage(std::string()));
+    EXPECT_FALSE(vm::loadImage(std::string(1 << 10, '\0')));
+}
+
+TEST(ImageRobustness, OversizedPayloadLengthIsAMiss)
+{
+    std::string bytes = sampleImage();
+    // payloadSize at offset 40: claim more bytes than follow.
+    bytes[40] = static_cast<char>(bytes[40] + 1);
+    EXPECT_FALSE(vm::loadImage(bytes));
+}
+
+// ---------------------------------------------------------------------
+// Cache plumbing.
+// ---------------------------------------------------------------------
+
+struct TempDir
+{
+    std::filesystem::path path;
+    TempDir()
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("ldx_image_test_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(ImageCache, StoreThenProbeHits)
+{
+    TempDir tmp;
+    const Workload *w = workloads::findWorkload("401.bzip2");
+    const ir::Module &module = workloads::workloadModule(*w, true);
+    std::uint64_t key = vm::imageKey(w->source, true);
+
+    EXPECT_FALSE(vm::probeImageCache(tmp.path.string(), key));
+    ASSERT_TRUE(vm::storeImageCache(tmp.path.string(), key, module,
+                                    true));
+    std::optional<vm::LoadedImage> img =
+        vm::probeImageCache(tmp.path.string(), key);
+    ASSERT_TRUE(img);
+    EXPECT_EQ(img->contentHash, key);
+    EXPECT_TRUE(img->instrumented);
+
+    // A different key must miss even though a file for `key` exists.
+    EXPECT_FALSE(vm::probeImageCache(tmp.path.string(), key + 1));
+}
+
+TEST(ImageCache, KeySeparatesVariantsAndSources)
+{
+    EXPECT_NE(vm::imageKey("int main() {}", true),
+              vm::imageKey("int main() {}", false));
+    EXPECT_NE(vm::imageKey("int main() {}", true),
+              vm::imageKey("int main() { }", true));
+}
+
+TEST(ImageCache, CorruptedCacheFileIsAMiss)
+{
+    TempDir tmp;
+    const Workload *w = workloads::findWorkload("401.bzip2");
+    const ir::Module &module = workloads::workloadModule(*w, true);
+    std::uint64_t key = vm::imageKey(w->source, true);
+    ASSERT_TRUE(vm::storeImageCache(tmp.path.string(), key, module,
+                                    true));
+    std::string path = vm::imageCachePath(tmp.path.string(), key);
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "garbage";
+    }
+    EXPECT_FALSE(vm::probeImageCache(tmp.path.string(), key));
+}
+
+} // namespace
+} // namespace ldx

@@ -22,6 +22,11 @@
  *                                     policy), and the aggregated
  *                                     causality graph is emitted as
  *                                     JSON/DOT (docs/CAMPAIGN.md)
+ *   ldx compile <prog.mc> --image-cache-dir DIR
+ *                                     compile (and instrument, unless
+ *                                     --no-instrument) to an
+ *                                     ldx-image-v1 bytecode image in
+ *                                     the cache and print its path
  *
  * Exit codes (uniform across subcommands):
  *   0  clean — no causality, divergence, trap, or oracle violation
@@ -59,7 +64,15 @@
  *   --no-flight-recorder disable the flight recorder (dual/bench)
  *   --explain-format F   text | jsonl | chrome (default text)
  *   --explain-out FILE   write the explain report to FILE  (explain)
- *   --no-instrument      skip the counter pass           (dump)
+ *   --no-instrument      skip the counter pass      (dump/compile)
+ *   --dispatch M         interpreter dispatch: switch | threaded |
+ *                        fused (default fused; verdicts and recorder
+ *                        order are identical across modes — see
+ *                        docs/PERFORMANCE.md)
+ *   --image-cache-dir DIR  probe/store ldx-image-v1 bytecode images
+ *                        keyed by program content; warm starts skip
+ *                        the whole front end (run/dual/campaign/
+ *                        fuzz --replay FILE/compile)
  *
  * Fuzzing options (fuzz):
  *   --seeds N            seeds to sweep (default 100)
@@ -134,6 +147,7 @@
 #include "support/diag.h"
 #include "support/strings.h"
 #include "taint/tracker.h"
+#include "vm/image.h"
 #include "vm/machine.h"
 #include "workloads/workloads.h"
 
@@ -165,6 +179,8 @@ struct CliOptions
     std::size_t recorderCapacity = obs::FlightRecorder::kDefaultCapacity;
     std::string explainFormat = "text";
     std::string explainOut;
+    vm::DispatchMode dispatch = vm::DispatchMode::Fused;
+    std::string imageCacheDir;
 
     // campaign
     int jobs = 1;
@@ -204,6 +220,7 @@ usage(const std::string &error = "")
         "       ldx corpus | ldx bench <workload>\n"
         "       ldx explain <workload|prog.mc> [options]\n"
         "       ldx campaign <workload|prog.mc> [options]\n"
+        "       ldx compile <prog.mc> --image-cache-dir DIR\n"
         "       ldx fuzz [options]\n"
         "see the file header of tools/ldx_cli.cc for options\n";
     std::exit(2);
@@ -300,7 +317,7 @@ parseArgs(int argc, char **argv)
     if (opt.command == "run" || opt.command == "dual" ||
         opt.command == "taint" || opt.command == "dump" ||
         opt.command == "bench" || opt.command == "explain" ||
-        opt.command == "campaign") {
+        opt.command == "campaign" || opt.command == "compile") {
         if (argc < 3)
             usage(opt.command + " needs an argument");
         opt.program = argv[2];
@@ -420,6 +437,15 @@ parseArgs(int argc, char **argv)
             opt.explainOut = next("--explain-out");
         } else if (arg == "--no-instrument") {
             opt.instrument = false;
+        } else if (arg == "--dispatch") {
+            std::string v = next("--dispatch");
+            if (!vm::parseDispatchMode(v, opt.dispatch))
+                usage("unknown dispatch mode " + v +
+                      " (expected switch, threaded or fused)");
+        } else if (arg == "--image-cache-dir") {
+            opt.imageCacheDir = next("--image-cache-dir");
+            if (opt.imageCacheDir.empty())
+                usage("--image-cache-dir expects a directory");
         } else if (arg == "--seeds") {
             opt.fuzzSeeds = parseUint(next("--seeds"), "--seeds", 1);
         } else if (arg == "--seed-start") {
@@ -498,15 +524,57 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
-std::unique_ptr<ir::Module>
+/**
+ * A ready-to-run program: the module, plus (on a bytecode-image cache
+ * hit) the deserialized predecoded streams, shared into every VM so
+ * no machine re-predecodes. predecoded references module — keep the
+ * struct together.
+ */
+struct CompiledProgram
+{
+    std::unique_ptr<ir::Module> module;
+    std::shared_ptr<vm::PredecodedModule> predecoded;
+    bool fromImage = false;
+};
+
+/**
+ * Compile opt.program, probing the --image-cache-dir first: a valid
+ * cached image skips lex/parse/sema/codegen/predecode entirely (the
+ * only phase recorded is "image.load"); a miss runs the front end and
+ * repopulates the cache ("image.store").
+ */
+CompiledProgram
 compileProgram(const CliOptions &opt, bool instrumented,
                obs::PhaseTimer *timer = nullptr)
 {
-    auto module = lang::compileSource(readHostFile(opt.program), timer);
+    CompiledProgram prog;
+    std::string source = readHostFile(opt.program);
+    std::uint64_t key = 0;
+    if (!opt.imageCacheDir.empty()) {
+        key = vm::imageKey(source, instrumented);
+        std::optional<vm::LoadedImage> img;
+        auto probe = [&] {
+            img = vm::probeImageCache(opt.imageCacheDir, key);
+        };
+        if (timer)
+            timer->time("image.load", probe);
+        else
+            probe();
+        if (img && img->instrumented == instrumented) {
+            std::cerr << "[ldx] bytecode image hit ("
+                      << vm::imageCachePath(opt.imageCacheDir, key)
+                      << "), front end skipped\n";
+            prog.module = std::move(img->module);
+            prog.predecoded = std::move(img->predecoded);
+            prog.fromImage = true;
+            return prog;
+        }
+    }
+    prog.module = lang::compileSource(source, timer);
     if (instrumented) {
         if (timer)
             timer->begin("instrument");
-        instrument::CounterInstrumenter pass(*module);
+        instrument::CounterInstrumenter pass(*prog.module);
         auto stats = pass.run();
         if (timer)
             timer->end();
@@ -515,7 +583,19 @@ compileProgram(const CliOptions &opt, bool instrumented,
                   << " syscall sites, " << stats.loops
                   << " loops, max cnt " << stats.maxStaticCnt << ")\n";
     }
-    return module;
+    if (!opt.imageCacheDir.empty()) {
+        auto store = [&] {
+            if (!vm::storeImageCache(opt.imageCacheDir, key,
+                                     *prog.module, instrumented))
+                std::cerr << "[ldx] warning: cannot write image under "
+                          << opt.imageCacheDir << "\n";
+        };
+        if (timer)
+            timer->time("image.store", store);
+        else
+            store();
+    }
+    return prog;
 }
 
 /**
@@ -561,9 +641,12 @@ printMetricsText(std::ostream &os, const core::DualResult &res,
 int
 cmdRun(const CliOptions &opt)
 {
-    auto module = compileProgram(opt, false);
+    CompiledProgram prog = compileProgram(opt, false);
     os::Kernel kernel(opt.world);
-    vm::Machine machine(*module, kernel, {});
+    vm::MachineConfig mcfg;
+    mcfg.dispatch = opt.dispatch;
+    mcfg.predecoded = prog.predecoded;
+    vm::Machine machine(*prog.module, kernel, mcfg);
     vm::StepStatus st = machine.run();
     for (const os::OutputRecord &rec : kernel.outputs()) {
         std::cout << rec.channel << ": " << escapeBytes(rec.payload, 120)
@@ -586,10 +669,12 @@ cmdDual(const CliOptions &opt)
     std::unique_ptr<obs::TraceSink> sink = openTraceSink(opt, trace_file);
 
     obs::PhaseTimer front(sink.get());
-    auto module = compileProgram(opt, true, &front);
+    CompiledProgram prog = compileProgram(opt, true, &front);
 
     obs::Registry registry;
     core::EngineConfig cfg;
+    cfg.vmConfig.dispatch = opt.dispatch;
+    cfg.vmConfig.predecoded = prog.predecoded;
     cfg.sources = opt.sources;
     cfg.strategy = opt.strategy;
     cfg.sinks = opt.sinks;
@@ -600,7 +685,7 @@ cmdDual(const CliOptions &opt)
     cfg.recorderCapacity = opt.recorderCapacity;
     cfg.registry = &registry;
     cfg.traceSink = sink.get();
-    core::DualEngine engine(*module, opt.world, cfg);
+    core::DualEngine engine(*prog.module, opt.world, cfg);
     core::DualResult res = engine.run();
     if (sink)
         sink->flush();
@@ -648,7 +733,7 @@ cmdDual(const CliOptions &opt)
 int
 cmdTaint(const CliOptions &opt)
 {
-    auto module = compileProgram(opt, false);
+    CompiledProgram prog = compileProgram(opt, false);
     taint::TaintRunOptions topt;
     if (opt.policy == "taintgrind")
         topt.policy = taint::TaintPolicy::taintgrind();
@@ -665,7 +750,7 @@ cmdTaint(const CliOptions &opt)
     };
     topt.retTokenSinks = opt.sinks.retTokens;
     topt.allocSizeSinks = opt.sinks.allocSizes;
-    auto res = taint::runTaintAnalysis(*module, opt.world, topt);
+    auto res = taint::runTaintAnalysis(*prog.module, opt.world, topt);
     std::cout << "sink events: " << res.totalSinks << ", tainted: "
               << res.taintedSinks.size() << "\n";
     for (const auto &evt : res.taintedSinks) {
@@ -681,8 +766,30 @@ cmdTaint(const CliOptions &opt)
 int
 cmdDump(const CliOptions &opt)
 {
-    auto module = compileProgram(opt, opt.instrument);
-    ir::printModule(std::cout, *module);
+    CompiledProgram prog = compileProgram(opt, opt.instrument);
+    ir::printModule(std::cout, *prog.module);
+    return 0;
+}
+
+/**
+ * Ahead-of-time front end: populate the image cache for a program so
+ * later runs with the same --image-cache-dir start warm. Exit 0 on a
+ * fresh store and on an already-valid cache entry alike.
+ */
+int
+cmdCompile(const CliOptions &opt)
+{
+    if (opt.imageCacheDir.empty())
+        usage("ldx compile requires --image-cache-dir");
+    CompiledProgram prog = compileProgram(opt, opt.instrument);
+    std::uint64_t key = vm::imageKey(readHostFile(opt.program),
+                                     opt.instrument);
+    std::string path = vm::imageCachePath(opt.imageCacheDir, key);
+    if (!prog.fromImage && !vm::probeImageCache(opt.imageCacheDir, key)) {
+        std::cerr << "error: image not stored at " << path << "\n";
+        return 1;
+    }
+    std::cout << path << "\n";
     return 0;
 }
 
@@ -706,6 +813,7 @@ cmdBench(const CliOptions &opt)
     std::unique_ptr<obs::TraceSink> sink = openTraceSink(opt, trace_file);
     obs::Registry registry;
     core::EngineConfig cfg;
+    cfg.vmConfig.dispatch = opt.dispatch;
     cfg.sinks = w->sinks;
     cfg.sources = w->sources;
     cfg.threaded = opt.threaded;
@@ -750,13 +858,14 @@ cmdExplain(const CliOptions &opt)
 {
     obs::Registry registry;
     core::EngineConfig cfg;
+    cfg.vmConfig.dispatch = opt.dispatch;
     cfg.threaded = opt.threaded;
     cfg.driver = opt.driver;
     cfg.flightRecorder = true;
     cfg.recorderCapacity = opt.recorderCapacity;
     cfg.registry = &registry;
 
-    std::unique_ptr<ir::Module> owned;
+    CompiledProgram owned;
     const ir::Module *module = nullptr;
     os::WorldSpec world;
     const workloads::Workload *w = workloads::findWorkload(opt.program);
@@ -770,7 +879,8 @@ cmdExplain(const CliOptions &opt)
         cfg.sources = opt.sources;
         cfg.strategy = opt.strategy;
         owned = compileProgram(opt, true);
-        module = owned.get();
+        cfg.vmConfig.predecoded = owned.predecoded;
+        module = owned.module.get();
         world = opt.world;
     }
 
@@ -843,10 +953,12 @@ cmdCampaign(const CliOptions &opt)
 
     // The argument is a built-in workload (its sinks apply) or a .mc
     // source combined with --env/--file/... and --sinks.
-    std::unique_ptr<ir::Module> owned;
+    obs::PhaseTimer front(sink.get());
+    CompiledProgram owned;
     const ir::Module *module = nullptr;
     os::WorldSpec world;
     query::CampaignConfig cfg;
+    cfg.vmConfig.dispatch = opt.dispatch;
     const workloads::Workload *w = workloads::findWorkload(opt.program);
     if (w) {
         cfg.sinks = w->sinks;
@@ -854,8 +966,9 @@ cmdCampaign(const CliOptions &opt)
         world = w->world(w->defaultScale);
     } else {
         cfg.sinks = opt.sinks;
-        owned = compileProgram(opt, true);
-        module = owned.get();
+        owned = compileProgram(opt, true, &front);
+        cfg.vmConfig.predecoded = owned.predecoded;
+        module = owned.module.get();
         world = opt.world;
     }
 
@@ -937,8 +1050,11 @@ cmdCampaign(const CliOptions &opt)
     } else if (opt.metrics) {
         std::cout << "metrics:\n";
         registry.snapshot().writeText(std::cout);
+        std::vector<obs::PhaseSample> phases = front.samples();
+        phases.insert(phases.end(), res.phases.begin(),
+                      res.phases.end());
         std::cout << "phases:\n";
-        for (const obs::PhaseSample &p : res.phases) {
+        for (const obs::PhaseSample &p : phases) {
             std::cout << "  ";
             for (int d = 0; d < p.depth; ++d)
                 std::cout << "  ";
@@ -959,6 +1075,7 @@ fuzzOracleOptions(const CliOptions &opt)
     oopt.mutationSources = opt.fuzzMutations;
     oopt.fullMatrix = opt.fuzzMatrix == "full";
     oopt.chaosSkipCntAddPeriod = opt.fuzzInjectSkipCnt;
+    oopt.imageCacheDir = opt.imageCacheDir;
     return oopt;
 }
 
@@ -1106,6 +1223,8 @@ main(int argc, char **argv)
             return cmdTaint(opt);
         if (opt.command == "dump")
             return cmdDump(opt);
+        if (opt.command == "compile")
+            return cmdCompile(opt);
         if (opt.command == "corpus")
             return cmdCorpus();
         if (opt.command == "bench")
