@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "obs/profiler.h"
 #include "support/table.h"
 
 using namespace ldx;
@@ -63,6 +64,30 @@ runSingleMode(const workloads::Workload &w, int scale,
         os::Kernel kernel(w.world(scale));
         vm::MachineConfig cfg;
         cfg.dispatch = mode;
+        vm::Machine machine(m, kernel, cfg);
+        machine.run();
+        s.instructions = machine.stats().instructions;
+    });
+    return s;
+}
+
+/**
+ * Single-VM fast run with per-site profiling enabled. Paired with
+ * the profiling-off row to pin the profiler's two costs: the off
+ * configuration must be within noise of free (the counter fetch is
+ * compiled into a separate template instantiation), and the on
+ * configuration must stay a small constant factor.
+ */
+Sample
+runSingleProfiled(const workloads::Workload &w, int scale)
+{
+    const ir::Module &m = workloads::workloadModule(w, true);
+    Sample s;
+    s.seconds = bench::timeSeconds([&] {
+        os::Kernel kernel(w.world(scale));
+        obs::SiteCounters sites;
+        vm::MachineConfig cfg;
+        cfg.siteProfile = &sites;
         vm::Machine machine(m, kernel, cfg);
         machine.run();
         s.instructions = machine.stats().instructions;
@@ -156,7 +181,7 @@ main()
     TextTable dispatch_table({"Program", "switch Mi/s", "threaded Mi/s",
                               "fused Mi/s", "single x", "dual-sw Mi/s",
                               "dual-fu Mi/s", "dual x"});
-    RunningStats speedups, recorder_overheads;
+    RunningStats speedups, recorder_overheads, profiler_overheads;
     RunningStats dispatch_speedups, dual_dispatch_speedups;
     std::string rows_json;
     std::vector<std::uint64_t> pair_table(
@@ -180,6 +205,15 @@ main()
             legacy = runSingle(*w, scale, false);
         }
         Sample fast = runSingle(*w, scale, true);
+        Sample prof_on = runSingleProfiled(*w, scale);
+        if (prof_on.instructions != fast.instructions) {
+            std::cerr << "[bench] MISMATCH " << name
+                      << ": profiled run retired "
+                      << prof_on.instructions
+                      << " instructions, unprofiled " << fast.instructions
+                      << " — profiling changed execution\n";
+            return 1;
+        }
         if (legacy.instructions != fast.instructions) {
             std::cerr << "[bench] MISMATCH " << name
                       << ": legacy retired " << legacy.instructions
@@ -254,8 +288,12 @@ main()
         double rec_overhead = dl_norec.seconds > 0.0
                                   ? dl_fast.seconds / dl_norec.seconds
                                   : 1.0;
+        double prof_overhead = fast.seconds > 0.0
+                                   ? prof_on.seconds / fast.seconds
+                                   : 1.0;
         speedups.add(speedup);
         recorder_overheads.add(rec_overhead);
+        profiler_overheads.add(prof_overhead);
 
         table.addRow(
             {name,
@@ -281,6 +319,9 @@ main()
             ",\"dual_lockstep_fast_norec\":" + sampleJson(dl_norec);
         rows_json +=
             ",\"recorder_overhead\":" + obs::jsonNumber(rec_overhead);
+        rows_json += ",\"single_profiled\":" + sampleJson(prof_on);
+        rows_json +=
+            ",\"profiler_overhead\":" + obs::jsonNumber(prof_overhead);
         rows_json += ",\"dual_threaded_legacy\":" + sampleJson(dt_legacy);
         rows_json += ",\"dual_threaded_fast\":" + sampleJson(dt_fast);
         rows_json += ",\"single_switch\":" + sampleJson(m_switch);
@@ -308,6 +349,10 @@ main()
     std::cout << "Geomean flight-recorder overhead (dual lockstep, "
                  "on/off): "
               << formatDouble(recorder_overheads.geomean(), 3)
+              << "x\n";
+    std::cout << "Geomean site-profiler overhead (single fast, "
+                 "on/off): "
+              << formatDouble(profiler_overheads.geomean(), 3)
               << "x\n";
 
     std::cout << "\n== Dispatch modes (switch vs threaded vs fused, "
@@ -380,6 +425,8 @@ main()
     blob += ",\"speedup\":" + bench::statsJson(speedups);
     blob += ",\"recorder_overhead\":" +
             bench::statsJson(recorder_overheads);
+    blob += ",\"profiler_overhead\":" +
+            bench::statsJson(profiler_overheads);
     blob += std::string(",\"dispatch_supported\":") +
             (vm::hasThreadedDispatch() ? "true" : "false");
     blob += ",\"dispatch_speedup\":" +

@@ -136,6 +136,13 @@ Controller::clearWait(int tid)
     if (w.blockRecorded && !w.expired)
         recordEvt(obs::RecKind::Unblock, tid, w.gateCnt, w.gateSite,
                   w.gateSysNo, w.polls);
+    if (opts_.stalls && w.blockRecorded) {
+        obs::SiteStall &s = (*opts_.stalls)[w.gateSite];
+        ++s.episodes;
+        s.polls += w.polls;
+        if (w.expired)
+            ++s.expirations;
+    }
     waits_.erase(it);
 }
 

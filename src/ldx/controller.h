@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "ldx/channel.h"
+#include "obs/profiler.h"
 #include "vm/hooks.h"
 
 namespace ldx::core {
@@ -68,6 +69,15 @@ struct ControllerOptions
 
     /** Polls with no peer progress before any wait decouples. */
     std::uint64_t stallTimeout = 100000;
+
+    /**
+     * Guest-level stall attribution (the profiler's coupling-cost
+     * view): when non-null, every closed wait folds its episode,
+     * poll count, and watchdog expiry into the entry keyed by the
+     * instrumentation site that gated it. Single-threaded like the
+     * controller itself.
+     */
+    obs::SiteStallMap *stalls = nullptr;
 };
 
 /** One side's syscall controller. */

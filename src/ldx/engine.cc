@@ -176,6 +176,8 @@ DualEngine::run()
     slave_cfg.schedSeed += cfg_.slaveSchedSeedDelta;
     if (cfg_.slaveSchedSeedDelta)
         slave_cfg.schedJitter = true;
+    master_cfg.siteProfile = cfg_.masterSites;
+    slave_cfg.siteProfile = cfg_.slaveSites;
 
     vm::Machine master(module_, master_kernel, master_cfg);
     vm::Machine slave(module_, slave_kernel, slave_cfg);
@@ -191,8 +193,11 @@ DualEngine::run()
     mo.shareLockOrder = cfg_.shareLockOrder;
     mo.lockPollTimeout = cfg_.lockPollTimeout;
     mo.stallTimeout = cfg_.stallTimeout;
+    mo.stalls =
+        cfg_.masterSites ? &cfg_.masterSites->gateStalls : nullptr;
     ControllerOptions so = mo;
     so.side = Side::Slave;
+    so.stalls = cfg_.slaveSites ? &cfg_.slaveSites->gateStalls : nullptr;
     Controller master_ctl(chan, mo);
     Controller slave_ctl(chan, so);
     master.setSyscallPort(&master_ctl);

@@ -136,6 +136,16 @@ struct EngineConfig
      * are emitted with per-side lanes. Null disables emission.
      */
     obs::TraceSink *traceSink = nullptr;
+
+    /**
+     * Guest-level site profiles (`ldx profile`): when set, each VM
+     * attributes per-site cost into its SiteCounters and each
+     * controller folds gate stalls into the same struct's
+     * gateStalls. Shapes are established by the machines; pass
+     * default-constructed instances. Requires vmConfig.predecode.
+     */
+    obs::SiteCounters *masterSites = nullptr;
+    obs::SiteCounters *slaveSites = nullptr;
 };
 
 /** Dual-execution engine. */

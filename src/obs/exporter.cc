@@ -5,6 +5,10 @@
 #include <filesystem>
 #include <utility>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "obs/json.h"
 
 namespace ldx::obs {
@@ -36,9 +40,16 @@ promNumber(double v)
 } // namespace
 
 std::string
-renderPrometheus(const MetricsSnapshot &snap)
+renderPrometheus(const MetricsSnapshot &snap, const BuildInfo *build)
 {
     std::string out;
+    if (build && !build->version.empty()) {
+        out += "# TYPE ldx_build_info gauge\n";
+        out += "ldx_build_info{version=\"" + build->version +
+               "\",dispatch=\"" + build->dispatch +
+               "\",computed_goto=\"" +
+               (build->computedGoto ? "true" : "false") + "\"} 1\n";
+    }
     for (const auto &[name, value] : snap.counters) {
         std::string n = promName(name);
         out += "# TYPE " + n + " counter\n";
@@ -66,6 +77,16 @@ renderPrometheus(const MetricsSnapshot &snap)
         out += n + "_count " + std::to_string(h.count) + "\n";
     }
     return out;
+}
+
+bool
+stderrIsTty()
+{
+#if defined(_WIN32)
+    return false;
+#else
+    return isatty(STDERR_FILENO) != 0;
+#endif
 }
 
 Exporter::Exporter(const Registry &registry, ExporterConfig cfg)
@@ -162,7 +183,7 @@ Exporter::exportOnce()
             std::ofstream out(tmp, std::ios::binary);
             if (!out)
                 return;
-            out << renderPrometheus(snap);
+            out << renderPrometheus(snap, &cfg_.build);
         }
         std::error_code ec;
         std::filesystem::rename(tmp, cfg_.promPath, ec);

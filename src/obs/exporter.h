@@ -43,12 +43,31 @@
 namespace ldx::obs {
 
 /**
+ * Static build identity exported as the conventional Prometheus info
+ * gauge `ldx_build_info{version=…,dispatch=…,computed_goto=…} 1` —
+ * the one series a dashboard joins against to know what binary
+ * produced the rest of the metrics.
+ */
+struct BuildInfo
+{
+    std::string version;  ///< project version ("" = gauge omitted)
+    std::string dispatch; ///< configured dispatch mode name
+    bool computedGoto = false; ///< build has computed-goto dispatch
+};
+
+/**
  * Render @p snap in the Prometheus text exposition format (v0.0.4):
  * one `# TYPE` line per metric, metric names sanitized to
  * `[a-zA-Z0-9_]` with an `ldx_` prefix, histograms expanded into
- * cumulative `_bucket{le="…"}` series plus `_sum`/`_count`.
+ * cumulative `_bucket{le="…"}` series plus `_sum`/`_count`. A
+ * non-null @p build with a version emits the `ldx_build_info` gauge
+ * first.
  */
-std::string renderPrometheus(const MetricsSnapshot &snap);
+std::string renderPrometheus(const MetricsSnapshot &snap,
+                             const BuildInfo *build = nullptr);
+
+/** True when stderr is an interactive terminal (isatty). */
+bool stderrIsTty();
 
 /** Exporter configuration. */
 struct ExporterConfig
@@ -62,6 +81,9 @@ struct ExporterConfig
 
     /** Sampling interval in milliseconds (>= 1). */
     int intervalMs = 500;
+
+    /** Build identity for the exposition (empty version = omitted). */
+    BuildInfo build;
 };
 
 /** Background registry sampler (see file header). */

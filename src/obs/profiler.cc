@@ -1,0 +1,411 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "support/diag.h"
+
+namespace ldx::obs {
+
+namespace {
+
+std::uint64_t
+sumVec(const std::vector<std::uint64_t> &v)
+{
+    std::uint64_t s = 0;
+    for (std::uint64_t x : v)
+        s += x;
+    return s;
+}
+
+std::uint64_t
+sumAll(const std::vector<std::vector<std::uint64_t>> &vv)
+{
+    std::uint64_t s = 0;
+    for (const auto &v : vv)
+        s += sumVec(v);
+    return s;
+}
+
+/** Leaf frame label for one site: `op@line:col` (or just `op`). */
+std::string
+siteLabel(const SiteMeta &m)
+{
+    std::string s = m.op;
+    if (m.line > 0) {
+        s += '@';
+        s += std::to_string(m.line);
+        s += ':';
+        s += std::to_string(m.col);
+    }
+    return s;
+}
+
+/**
+ * Root-first dominant-caller chain for @p fn: follow the heaviest
+ * incoming call edge (ties to the lower caller id) until a function
+ * with root entries, a function with no callers, or a cycle.
+ */
+std::vector<std::size_t>
+dominantChain(const SiteCounters &c, std::size_t fn)
+{
+    std::vector<std::size_t> path{fn};
+    std::vector<bool> seen(c.numFns, false);
+    seen[fn] = true;
+    std::size_t cur = fn;
+    while (c.rootCalls[cur] == 0) {
+        std::size_t best = c.numFns;
+        std::uint64_t best_count = 0;
+        for (std::size_t caller = 0; caller < c.numFns; ++caller) {
+            std::uint64_t n = c.callEdges[caller * c.numFns + cur];
+            if (n > best_count) {
+                best_count = n;
+                best = caller;
+            }
+        }
+        if (best == c.numFns || seen[best])
+            break;
+        seen[best] = true;
+        path.push_back(best);
+        cur = best;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+void
+appendGateStalls(std::string &out, const SiteStallMap &gates)
+{
+    out += '[';
+    bool first = true;
+    for (const auto &[site, s] : gates) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"site\":" +
+               jsonNumber(static_cast<std::int64_t>(site));
+        out += ",\"episodes\":" + jsonNumber(s.episodes);
+        out += ",\"polls\":" + jsonNumber(s.polls);
+        out += ",\"expirations\":" + jsonNumber(s.expirations);
+        out += '}';
+    }
+    out += ']';
+}
+
+} // namespace
+
+void
+SiteCounters::shape(const std::vector<std::size_t> &sites_per_fn)
+{
+    if (shaped()) {
+        checkInvariant(retired.size() == sites_per_fn.size(),
+                       "SiteCounters reshaped for another program");
+        for (std::size_t f = 0; f < sites_per_fn.size(); ++f)
+            checkInvariant(retired[f].size() == sites_per_fn[f],
+                           "SiteCounters reshaped for another program");
+        return;
+    }
+    numFns = sites_per_fn.size();
+    retired.resize(numFns);
+    syscalls.resize(numFns);
+    sysTicks.resize(numFns);
+    stallPolls.resize(numFns);
+    for (std::size_t f = 0; f < numFns; ++f) {
+        retired[f].assign(sites_per_fn[f], 0);
+        syscalls[f].assign(sites_per_fn[f], 0);
+        sysTicks[f].assign(sites_per_fn[f], 0);
+        stallPolls[f].assign(sites_per_fn[f], 0);
+    }
+    callEdges.assign(numFns * numFns, 0);
+    rootCalls.assign(numFns, 0);
+}
+
+void
+SiteCounters::merge(const SiteCounters &other)
+{
+    checkInvariant(numFns == other.numFns,
+                   "SiteCounters::merge shape mismatch");
+    for (std::size_t f = 0; f < numFns; ++f) {
+        for (std::size_t i = 0; i < retired[f].size(); ++i) {
+            retired[f][i] += other.retired[f][i];
+            syscalls[f][i] += other.syscalls[f][i];
+            sysTicks[f][i] += other.sysTicks[f][i];
+            stallPolls[f][i] += other.stallPolls[f][i];
+        }
+    }
+    for (std::size_t i = 0; i < callEdges.size(); ++i)
+        callEdges[i] += other.callEdges[i];
+    for (std::size_t i = 0; i < rootCalls.size(); ++i)
+        rootCalls[i] += other.rootCalls[i];
+    for (const auto &[site, s] : other.gateStalls) {
+        SiteStall &dst = gateStalls[site];
+        dst.episodes += s.episodes;
+        dst.polls += s.polls;
+        dst.expirations += s.expirations;
+    }
+}
+
+std::uint64_t
+SiteCounters::totalRetired() const
+{
+    return sumAll(retired);
+}
+
+std::string
+profileReportJson(const ProfileMeta &meta, const SiteCounters &master,
+                  const SiteCounters *slave,
+                  const ProfileReportOptions &opt)
+{
+    checkInvariant(meta.fns.size() == master.numFns,
+                   "profile metadata does not match the counters");
+
+    std::string out = "{\"schema\":\"ldx-profile-v1\"";
+    out += ",\"program\":" + jsonString(meta.program);
+
+    auto totals = [](const SiteCounters &c) {
+        std::string t = "{\"retired\":" + jsonNumber(sumAll(c.retired));
+        t += ",\"syscalls\":" + jsonNumber(sumAll(c.syscalls));
+        t += ",\"sys_ticks\":" + jsonNumber(sumAll(c.sysTicks));
+        t += '}';
+        return t;
+    };
+    out += ",\"totals\":" + totals(master);
+    if (slave)
+        out += ",\"slave_totals\":" + totals(*slave);
+
+    out += ",\"functions\":[";
+    bool first_fn = true;
+    for (std::size_t f = 0; f < master.numFns; ++f) {
+        const std::uint64_t fn_retired = sumVec(master.retired[f]);
+        std::uint64_t incoming = master.rootCalls[f];
+        for (std::size_t c = 0; c < master.numFns; ++c)
+            incoming += master.callEdges[c * master.numFns + f];
+        if (fn_retired == 0 && incoming == 0)
+            continue;
+        if (!first_fn)
+            out += ',';
+        first_fn = false;
+        out += "{\"name\":" + jsonString(meta.fns[f].name);
+        out += ",\"retired\":" + jsonNumber(fn_retired);
+        out += ",\"syscalls\":" + jsonNumber(sumVec(master.syscalls[f]));
+        out += ",\"sys_ticks\":" + jsonNumber(sumVec(master.sysTicks[f]));
+        out += ",\"calls\":" + jsonNumber(incoming);
+
+        // Top-N sites by retired count (ties to the lower offset),
+        // re-sorted by offset so the listing reads in program order.
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < master.retired[f].size(); ++i)
+            if (master.retired[f][i] != 0)
+                idx.push_back(i);
+        std::sort(idx.begin(), idx.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (master.retired[f][a] != master.retired[f][b])
+                          return master.retired[f][a] >
+                                 master.retired[f][b];
+                      return a < b;
+                  });
+        if (idx.size() > opt.topSites)
+            idx.resize(opt.topSites);
+        std::sort(idx.begin(), idx.end());
+        out += ",\"sites\":[";
+        for (std::size_t r = 0; r < idx.size(); ++r) {
+            std::size_t i = idx[r];
+            const SiteMeta &m = meta.fns[f].sites[i];
+            if (r)
+                out += ',';
+            out += "{\"idx\":" +
+                   jsonNumber(static_cast<std::uint64_t>(i));
+            out += ",\"op\":" + jsonString(m.op);
+            out += ",\"line\":" +
+                   jsonNumber(static_cast<std::int64_t>(m.line));
+            out += ",\"col\":" +
+                   jsonNumber(static_cast<std::int64_t>(m.col));
+            if (m.siteId >= 0)
+                out += ",\"site\":" + jsonNumber(m.siteId);
+            out += ",\"retired\":" + jsonNumber(master.retired[f][i]);
+            if (master.syscalls[f][i]) {
+                out += ",\"syscalls\":" +
+                       jsonNumber(master.syscalls[f][i]);
+                out += ",\"sys_ticks\":" +
+                       jsonNumber(master.sysTicks[f][i]);
+            }
+            out += '}';
+        }
+        out += "]}";
+    }
+    out += ']';
+
+    out += ",\"call_edges\":[";
+    bool first_edge = true;
+    for (std::size_t c = 0; c < master.numFns; ++c) {
+        for (std::size_t f = 0; f < master.numFns; ++f) {
+            std::uint64_t n = master.callEdges[c * master.numFns + f];
+            if (!n)
+                continue;
+            if (!first_edge)
+                out += ',';
+            first_edge = false;
+            out += "{\"caller\":" + jsonString(meta.fns[c].name);
+            out += ",\"callee\":" + jsonString(meta.fns[f].name);
+            out += ",\"count\":" + jsonNumber(n);
+            out += '}';
+        }
+    }
+    out += ']';
+
+    if (slave) {
+        // Every site whose deterministic counts differ between the
+        // sides: the guest locations where the mutated input changed
+        // behaviour. Capped (in (fn, idx) order) to keep pathological
+        // divergence from exploding the report.
+        constexpr std::size_t kDiffCap = 256;
+        std::size_t emitted = 0;
+        bool truncated = false;
+        out += ",\"diff\":[";
+        for (std::size_t f = 0;
+             f < master.numFns && !truncated; ++f) {
+            for (std::size_t i = 0; i < master.retired[f].size(); ++i) {
+                bool differs =
+                    master.retired[f][i] != slave->retired[f][i] ||
+                    master.syscalls[f][i] != slave->syscalls[f][i] ||
+                    master.sysTicks[f][i] != slave->sysTicks[f][i];
+                if (!differs)
+                    continue;
+                if (emitted == kDiffCap) {
+                    truncated = true;
+                    break;
+                }
+                const SiteMeta &m = meta.fns[f].sites[i];
+                if (emitted)
+                    out += ',';
+                ++emitted;
+                out += "{\"fn\":" + jsonString(meta.fns[f].name);
+                out += ",\"idx\":" +
+                       jsonNumber(static_cast<std::uint64_t>(i));
+                out += ",\"op\":" + jsonString(m.op);
+                out += ",\"line\":" +
+                       jsonNumber(static_cast<std::int64_t>(m.line));
+                out += ",\"col\":" +
+                       jsonNumber(static_cast<std::int64_t>(m.col));
+                if (m.siteId >= 0)
+                    out += ",\"site\":" + jsonNumber(m.siteId);
+                out += ",\"master_retired\":" +
+                       jsonNumber(master.retired[f][i]);
+                out += ",\"slave_retired\":" +
+                       jsonNumber(slave->retired[f][i]);
+                if (master.syscalls[f][i] || slave->syscalls[f][i]) {
+                    out += ",\"master_syscalls\":" +
+                           jsonNumber(master.syscalls[f][i]);
+                    out += ",\"slave_syscalls\":" +
+                           jsonNumber(slave->syscalls[f][i]);
+                }
+                out += '}';
+            }
+        }
+        out += ']';
+        if (truncated)
+            out += ",\"diff_truncated\":true";
+    }
+
+    if (opt.includeStalls) {
+        // Driver-dependent: poll counts and gate episodes move with
+        // scheduling, so this section is opt-in and never byte-diffed.
+        out += ",\"stalls\":{\"master\":{\"vm_polls\":" +
+               jsonNumber(sumAll(master.stallPolls));
+        out += ",\"gates\":";
+        appendGateStalls(out, master.gateStalls);
+        out += '}';
+        if (slave) {
+            out += ",\"slave\":{\"vm_polls\":" +
+                   jsonNumber(sumAll(slave->stallPolls));
+            out += ",\"gates\":";
+            appendGateStalls(out, slave->gateStalls);
+            out += '}';
+        }
+        out += '}';
+    }
+
+    out += '}';
+    return out;
+}
+
+std::string
+collapsedStacks(const ProfileMeta &meta, const SiteCounters &c)
+{
+    checkInvariant(meta.fns.size() == c.numFns,
+                   "profile metadata does not match the counters");
+    std::string out;
+    for (std::size_t f = 0; f < c.numFns; ++f) {
+        if (sumVec(c.retired[f]) == 0)
+            continue;
+        std::vector<std::size_t> chain = dominantChain(c, f);
+        std::string prefix;
+        for (std::size_t fn : chain) {
+            prefix += meta.fns[fn].name;
+            prefix += ';';
+        }
+        for (std::size_t i = 0; i < c.retired[f].size(); ++i) {
+            if (!c.retired[f][i])
+                continue;
+            out += prefix;
+            out += siteLabel(meta.fns[f].sites[i]);
+            out += ' ';
+            out += std::to_string(c.retired[f][i]);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+annotateSource(const ProfileMeta &meta, const SiteCounters &master,
+               const SiteCounters *slave)
+{
+    checkInvariant(meta.fns.size() == master.numFns,
+                   "profile metadata does not match the counters");
+    const std::size_t n_lines = meta.sourceLines.size();
+    std::vector<std::uint64_t> retired(n_lines + 1, 0);
+    std::vector<std::uint64_t> ticks(n_lines + 1, 0);
+    std::vector<std::int64_t> delta(n_lines + 1, 0);
+    for (std::size_t f = 0; f < master.numFns; ++f) {
+        for (std::size_t i = 0; i < master.retired[f].size(); ++i) {
+            int line = meta.fns[f].sites[i].line;
+            if (line < 1 || static_cast<std::size_t>(line) > n_lines)
+                continue;
+            std::size_t l = static_cast<std::size_t>(line);
+            retired[l] += master.retired[f][i];
+            ticks[l] += master.sysTicks[f][i];
+            if (slave)
+                delta[l] +=
+                    static_cast<std::int64_t>(master.retired[f][i]) -
+                    static_cast<std::int64_t>(slave->retired[f][i]);
+        }
+    }
+
+    std::string out = "# ldx profile: " + meta.program + "\n";
+    out += slave ? "#      retired    sys_ticks     Δretired | source\n"
+                 : "#      retired    sys_ticks | source\n";
+    char buf[96];
+    for (std::size_t l = 1; l <= n_lines; ++l) {
+        if (retired[l] || ticks[l] || (slave && delta[l])) {
+            std::snprintf(buf, sizeof buf, "%12llu %12llu",
+                          static_cast<unsigned long long>(retired[l]),
+                          static_cast<unsigned long long>(ticks[l]));
+            out += buf;
+            if (slave) {
+                std::snprintf(buf, sizeof buf, " %+12lld",
+                              static_cast<long long>(delta[l]));
+                out += buf;
+            }
+        } else {
+            out.append(slave ? 38 : 25, ' ');
+        }
+        out += " | ";
+        out += meta.sourceLines[l - 1];
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ldx::obs

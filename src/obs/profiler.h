@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Guest-level causal profiler: per-site cost attribution for the
+ * programs the dual engine executes.
+ *
+ * The VM owns the counting (vm/machine.cc bumps one u64 per retired
+ * decoded-stream site, batched per run; see docs/PERFORMANCE.md for
+ * the zero-cost-when-off contract); this layer owns the storage and
+ * the reports. SiteCounters is deliberately plain data — vectors
+ * indexed by (function, flat decoded offset) — so the hot path never
+ * calls through obs and so master/slave profiles can be diffed with
+ * plain loops.
+ *
+ * Determinism contract: retired counts, syscall counts, virtual
+ * syscall latency, call edges, and root calls are protocol-state and
+ * therefore byte-identical across drivers, dispatch modes, and worker
+ * counts (tests/profiler_test.cc pins this). Stall polls and gate
+ * stalls depend on scheduling; reports only include them on request
+ * (ProfileReportOptions::includeStalls) and the deterministic
+ * artifacts never do.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldx::obs {
+
+/** Controller-side stall aggregate for one instrumentation site. */
+struct SiteStall
+{
+    std::uint64_t episodes = 0;    ///< Block..Unblock waits closed here
+    std::uint64_t polls = 0;       ///< blocked re-polls across episodes
+    std::uint64_t expirations = 0; ///< waits ended by the watchdog
+};
+
+/** Per-site stall map keyed by static instrumentation site id. */
+using SiteStallMap = std::map<int, SiteStall>;
+
+/**
+ * Per-site cost counters for one VM (one side of a dual pair).
+ *
+ * Shape: one slot per decoded instruction, per function, in decoded
+ * stream order — the flat offset the fast-path interpreter already
+ * dispatches on. A Machine shapes the arrays at construction
+ * (MachineConfig::siteProfile) and bumps them single-threaded; the
+ * struct needs no atomics because each side runs on one OS thread.
+ */
+struct SiteCounters
+{
+    /** Retired instructions per site. */
+    std::vector<std::vector<std::uint64_t>> retired;
+    /** Completed syscalls per site (subset of retired). */
+    std::vector<std::vector<std::uint64_t>> syscalls;
+    /** Deterministic virtual syscall latency (ticks) per site. */
+    std::vector<std::vector<std::uint64_t>> sysTicks;
+    /** Blocked port re-polls per site (driver-dependent). */
+    std::vector<std::vector<std::uint64_t>> stallPolls;
+    /** Call edge counts, row-major caller * numFns + callee. */
+    std::vector<std::uint64_t> callEdges;
+    /** Context entries per function (main + thread_create targets). */
+    std::vector<std::uint64_t> rootCalls;
+    /** Controller gate stalls by instrumentation site id. */
+    SiteStallMap gateStalls;
+    std::size_t numFns = 0;
+
+    /** True once shape() ran (arrays sized to the program). */
+    bool shaped() const { return numFns != 0 || !retired.empty(); }
+
+    /**
+     * Size every array for @p sites_per_fn decoded instructions per
+     * function. Idempotent for an identical shape; fatal on mismatch
+     * (one SiteCounters instance belongs to one program).
+     */
+    void shape(const std::vector<std::size_t> &sites_per_fn);
+
+    /** Accumulate @p other (same shape) into this. */
+    void merge(const SiteCounters &other);
+
+    /** Sum of all retired-instruction site counts. */
+    std::uint64_t totalRetired() const;
+};
+
+/** Metadata for one decoded site, extracted by the VM layer. */
+struct SiteMeta
+{
+    const char *op = "";  ///< opcode name (static storage)
+    int line = 0;         ///< MiniC source line (1-based; 0 unknown)
+    int col = 0;
+    std::int64_t siteId = -1; ///< instrumentation site id (-1 none)
+    bool isSyscall = false;
+};
+
+/** Metadata for one decoded function. */
+struct FunctionMeta
+{
+    std::string name;
+    std::vector<SiteMeta> sites; ///< decoded stream order
+};
+
+/**
+ * Everything the report builders need besides the counters. Built by
+ * vm::buildProfileMeta (the only layer that sees the decoded
+ * streams); obs stays free of vm/ir dependencies.
+ */
+struct ProfileMeta
+{
+    std::string program;               ///< workload / file label
+    std::vector<FunctionMeta> fns;     ///< function id order
+    std::vector<std::string> sourceLines; ///< MiniC source, for annotate
+};
+
+/** Report shaping knobs (`--profile-sites`, `--profile-stalls`). */
+struct ProfileReportOptions
+{
+    std::size_t topSites = 20; ///< sites per function in the JSON
+    bool includeStalls = false; ///< emit driver-dependent stall data
+};
+
+/**
+ * The `ldx-profile-v1` JSON report: per-function and per-site retired
+ * / syscall / virtual-latency attribution, call edges, and — when
+ * @p slave is non-null — the master-vs-slave diff section listing
+ * every site whose deterministic counts differ between the sides
+ * (the causal-coupling cost of the mutation). Deterministic unless
+ * opt.includeStalls is set.
+ */
+std::string profileReportJson(const ProfileMeta &meta,
+                              const SiteCounters &master,
+                              const SiteCounters *slave,
+                              const ProfileReportOptions &opt);
+
+/**
+ * Collapsed-stack flamegraph text, one line per hot site:
+ * `root;...;func;op@line:col count`, root-first, feedable to
+ * flamegraph.pl. Call paths are reconstructed deterministically from
+ * the call-edge counts (dominant caller per function, ties to the
+ * lower function id, cycles cut at first repeat).
+ */
+std::string collapsedStacks(const ProfileMeta &meta,
+                            const SiteCounters &c);
+
+/**
+ * Annotated MiniC source listing: per-line retired / syscall-tick
+ * sums, plus a master-minus-slave retired delta column when @p slave
+ * is non-null.
+ */
+std::string annotateSource(const ProfileMeta &meta,
+                           const SiteCounters &master,
+                           const SiteCounters *slave);
+
+} // namespace ldx::obs

@@ -6,6 +6,23 @@
 
 namespace ldx::os {
 
+std::int64_t
+virtualSyscallCost(std::int64_t no, const Outcome &out)
+{
+    const SysDesc &d = sysDesc(no);
+    std::int64_t base = 0;
+    switch (d.klass) {
+      case SysClass::Input: base = 250; break;  // world probe
+      case SysClass::Output: base = 400; break; // external effect
+      case SysClass::Local: base = 120; break;  // thread machinery
+      case SysClass::Sync: base = 60; break;    // lock handoff
+    }
+    std::int64_t payload = static_cast<std::int64_t>(out.data.size());
+    if (payload == 0 && d.klass == SysClass::Output && out.ret > 0)
+        payload = out.ret; // writes move bytes without an out-buffer
+    return base + payload;
+}
+
 Kernel::Kernel(const WorldSpec &spec)
     : spec_(spec), randomPrng_(spec.randomSeed), rdtscPrng_(spec.rdtscSeed)
 {

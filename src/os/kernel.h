@@ -41,6 +41,16 @@ struct Outcome
     bool exited = false;     ///< program called exit()
 };
 
+/**
+ * Deterministic virtual latency of one completed syscall, in ticks:
+ * a base cost per coupling class plus the payload bytes moved. Pure
+ * function of (syscall number, outcome) — it never advances the
+ * kernel clock (the clock feeds Outcome stamps and would perturb
+ * verdicts). Used by the guest-level profiler to attribute syscall
+ * cost to sites (obs::SiteCounters::sysTicks).
+ */
+std::int64_t virtualSyscallCost(std::int64_t no, const Outcome &out);
+
 /** One externally visible output (journal entry). */
 struct OutputRecord
 {

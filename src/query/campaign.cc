@@ -85,9 +85,14 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
     }
     timer.end();
 
+    if (cfg.siteProfile)
+        checkInvariant(vm_config.predecode,
+                       "site profiling requires predecode");
+
     res.verdicts.assign(res.queries.size(), std::nullopt);
     res.outcomes.assign(res.queries.size(), RunOutcome{});
     res.fromCache.assign(res.queries.size(), false);
+    res.queryProfiles.assign(res.queries.size(), {});
 
     // Live aggregates: the progress meter and exporter read the
     // planned total while the pool is still draining, so it must be
@@ -103,6 +108,13 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
     ResultCache cache(cfg.cacheCapacity, cfg.cacheDir, reg);
     std::vector<std::size_t> misses;
     for (const CampaignQuery &q : res.queries) {
+        // Site profiling bypasses the cache: a cached verdict has no
+        // counters, and the heat map must not depend on which queries
+        // happened to be warm.
+        if (cfg.siteProfile) {
+            misses.push_back(q.index);
+            continue;
+        }
         std::int64_t probe_t0 = obs::nowUs();
         std::optional<QueryVerdict> v = cache.lookup(keyOf(res, q));
         obs::emitSpan(cfg.traceSink, "query.probe", q.index,
@@ -124,6 +136,7 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
     obs::Counter &dual_execs = reg->counter("campaign.dual.executions");
     std::atomic<std::uint64_t> ran{0};
     std::vector<std::optional<QueryVerdict>> miss_verdicts(misses.size());
+    std::vector<std::vector<SiteHeatEntry>> miss_profiles(misses.size());
     auto runOne = [&](std::size_t j) {
         const CampaignQuery &q = res.queries[misses[j]];
         core::EngineConfig ecfg;
@@ -143,11 +156,39 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
         // legacy tallies are registry-backed and a shared one would
         // accumulate across queries.
         ecfg.registry = nullptr;
+        obs::SiteCounters master_sites, slave_sites;
+        if (cfg.siteProfile) {
+            ecfg.masterSites = &master_sites;
+            ecfg.slaveSites = &slave_sites;
+        }
         dual_execs.inc();
         ran.fetch_add(1, std::memory_order_relaxed);
         core::DualEngine engine(module, world, ecfg);
         core::DualResult r = engine.run();
         miss_verdicts[j] = verdictFromResult(r);
+        if (cfg.siteProfile) {
+            // Compact the dual counters into the hot (fn, idx) set:
+            // master cost plus the retired delta against the slave.
+            std::vector<SiteHeatEntry> prof;
+            for (std::size_t f = 0; f < master_sites.numFns; ++f) {
+                const auto &mr = master_sites.retired[f];
+                const auto &sr = slave_sites.retired[f];
+                for (std::size_t i = 0; i < mr.size(); ++i) {
+                    if (!mr[i] && !sr[i])
+                        continue;
+                    SiteHeatEntry e;
+                    e.fn = static_cast<std::uint32_t>(f);
+                    e.idx = static_cast<std::uint32_t>(i);
+                    e.retired = mr[i];
+                    e.syscalls = master_sites.syscalls[f][i];
+                    e.sysTicks = master_sites.sysTicks[f][i];
+                    e.dRetired = mr[i] > sr[i] ? mr[i] - sr[i]
+                                               : sr[i] - mr[i];
+                    prof.push_back(e);
+                }
+            }
+            miss_profiles[j] = std::move(prof);
+        }
     };
     SchedulerConfig scfg;
     scfg.jobs = cfg.jobs;
@@ -169,6 +210,7 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
         if (pool[j].status == RunStatus::Done && miss_verdicts[j]) {
             res.verdicts[qi] = std::move(miss_verdicts[j]);
             cache.store(keyOf(res, res.queries[qi]), *res.verdicts[qi]);
+            res.queryProfiles[qi] = std::move(miss_profiles[j]);
         }
     }
     // Disposition fold: exactly one campaign.queries.* bump per query

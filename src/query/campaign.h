@@ -108,6 +108,31 @@ struct CampaignConfig
 
     /** VM configuration common to every run. */
     vm::MachineConfig vmConfig;
+
+    /**
+     * Guest-level site profiling (`--site-profile-out`): every query
+     * runs with master/slave SiteCounters and its compacted profile
+     * lands in CampaignResult::queryProfiles. The cache is bypassed
+     * (probing skipped) so the heat map covers every query no matter
+     * the cache state — the artifact stays byte-identical across
+     * cold and warm runs. Requires vmConfig.predecode.
+     */
+    bool siteProfile = false;
+};
+
+/**
+ * One guest site's cost within a single query, compacted from the
+ * query's dual SiteCounters (master-side counts plus the absolute
+ * master-vs-slave retired delta — the mutation's causal footprint).
+ */
+struct SiteHeatEntry
+{
+    std::uint32_t fn = 0;       ///< function id
+    std::uint32_t idx = 0;      ///< flat decoded offset
+    std::uint64_t retired = 0;  ///< master retired instructions
+    std::uint64_t syscalls = 0; ///< master completed syscalls
+    std::uint64_t sysTicks = 0; ///< master virtual syscall latency
+    std::uint64_t dRetired = 0; ///< |master - slave| retired
 };
 
 /** Everything a campaign produced. */
@@ -132,6 +157,13 @@ struct CampaignResult
 
     /** Whether the verdict came from the cache. */
     std::vector<bool> fromCache;
+
+    /**
+     * Per-query compact site profiles (slot i answers queries[i]);
+     * empty vectors unless CampaignConfig::siteProfile was set and
+     * the query actually executed. Entries are (fn, idx)-ordered.
+     */
+    std::vector<std::vector<SiteHeatEntry>> queryProfiles;
 
     CausalityGraph graph;
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
@@ -155,6 +157,158 @@ profileJson(const CampaignResult &res, const obs::MetricsSnapshot &snap,
                obs::jsonNumber(o.queueWaitSeconds);
         out += ",\"worker\":" +
                obs::jsonNumber(static_cast<std::int64_t>(o.worker));
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+namespace {
+
+/** One merged heat-map site as a JSON object. */
+std::string
+heatSiteJson(const obs::ProfileMeta &meta, const SiteHeatEntry &e)
+{
+    const obs::SiteMeta *sm = nullptr;
+    if (e.fn < meta.fns.size() &&
+        e.idx < meta.fns[e.fn].sites.size())
+        sm = &meta.fns[e.fn].sites[e.idx];
+    std::string out = "{\"fn\":";
+    out += e.fn < meta.fns.size()
+               ? obs::jsonString(meta.fns[e.fn].name)
+               : obs::jsonString("#" + std::to_string(e.fn));
+    out += ",\"idx\":" +
+           obs::jsonNumber(static_cast<std::uint64_t>(e.idx));
+    if (sm) {
+        out += ",\"op\":" + obs::jsonString(sm->op);
+        out += ",\"line\":" +
+               obs::jsonNumber(static_cast<std::int64_t>(sm->line));
+        out += ",\"col\":" +
+               obs::jsonNumber(static_cast<std::int64_t>(sm->col));
+        if (sm->siteId >= 0)
+            out += ",\"site\":" + obs::jsonNumber(sm->siteId);
+    }
+    out += ",\"retired\":" + obs::jsonNumber(e.retired);
+    out += ",\"syscalls\":" + obs::jsonNumber(e.syscalls);
+    out += ",\"sys_ticks\":" + obs::jsonNumber(e.sysTicks);
+    out += ",\"d_retired\":" + obs::jsonNumber(e.dRetired);
+    out += "}";
+    return out;
+}
+
+/** Fold @p prof into the (fn, idx)-keyed accumulator @p acc. */
+void
+heatMerge(std::map<std::pair<std::uint32_t, std::uint32_t>,
+                   SiteHeatEntry> &acc,
+          const std::vector<SiteHeatEntry> &prof)
+{
+    for (const SiteHeatEntry &e : prof) {
+        SiteHeatEntry &slot = acc[{e.fn, e.idx}];
+        slot.fn = e.fn;
+        slot.idx = e.idx;
+        slot.retired += e.retired;
+        slot.syscalls += e.syscalls;
+        slot.sysTicks += e.sysTicks;
+        slot.dRetired += e.dRetired;
+    }
+}
+
+/**
+ * Rank @p acc's sites with @p hotter, cap at @p topSites, and emit
+ * the JSON array.
+ */
+std::string
+heatRankedJson(const obs::ProfileMeta &meta,
+               const std::map<std::pair<std::uint32_t, std::uint32_t>,
+                              SiteHeatEntry> &acc,
+               std::size_t topSites,
+               bool (*hotter)(const SiteHeatEntry &,
+                              const SiteHeatEntry &))
+{
+    std::vector<SiteHeatEntry> ranked;
+    ranked.reserve(acc.size());
+    for (const auto &kv : acc)
+        ranked.push_back(kv.second);
+    std::stable_sort(ranked.begin(), ranked.end(), hotter);
+    if (ranked.size() > topSites)
+        ranked.resize(topSites);
+    std::string out = "[";
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        if (i)
+            out += ",";
+        out += heatSiteJson(meta, ranked[i]);
+    }
+    out += "]";
+    return out;
+}
+
+bool
+hotterByRetired(const SiteHeatEntry &a, const SiteHeatEntry &b)
+{
+    if (a.retired != b.retired)
+        return a.retired > b.retired;
+    return std::make_pair(a.fn, a.idx) < std::make_pair(b.fn, b.idx);
+}
+
+bool
+hotterByDelta(const SiteHeatEntry &a, const SiteHeatEntry &b)
+{
+    if (a.dRetired != b.dRetired)
+        return a.dRetired > b.dRetired;
+    if (a.retired != b.retired)
+        return a.retired > b.retired;
+    return std::make_pair(a.fn, a.idx) < std::make_pair(b.fn, b.idx);
+}
+
+} // namespace
+
+std::string
+siteHeatJson(const CampaignResult &res, const obs::ProfileMeta &meta,
+             std::size_t topSites)
+{
+    using HeatMap = std::map<std::pair<std::uint32_t, std::uint32_t>,
+                             SiteHeatEntry>;
+
+    // Program-wide merge plus one accumulator per source id, both
+    // folded in query-index order (the campaign's aggregation order).
+    HeatMap global;
+    std::vector<std::string> source_order;
+    std::map<std::string, HeatMap> per_source;
+    std::map<std::string, std::uint64_t> source_queries;
+    std::uint64_t profiled = 0;
+    for (std::size_t i = 0; i < res.queries.size(); ++i) {
+        const std::vector<SiteHeatEntry> &prof = res.queryProfiles[i];
+        if (prof.empty())
+            continue;
+        ++profiled;
+        heatMerge(global, prof);
+        const std::string &src = res.queries[i].sourceId;
+        if (per_source.find(src) == per_source.end())
+            source_order.push_back(src);
+        heatMerge(per_source[src], prof);
+        ++source_queries[src];
+    }
+
+    std::string out = "{\"schema\":\"ldx-site-heat-v1\"";
+    out += ",\"program\":" + obs::jsonString(meta.program);
+    out += ",\"queries\":" + obs::jsonNumber(
+               static_cast<std::uint64_t>(res.queries.size()));
+    out += ",\"profiled_queries\":" + obs::jsonNumber(profiled);
+
+    out += ",\"sites\":" +
+           heatRankedJson(meta, global, topSites, hotterByRetired);
+
+    // Sources in enumeration (first-appearance) order; sites ranked
+    // by the causal footprint of that source's mutations.
+    out += ",\"sources\":[";
+    for (std::size_t s = 0; s < source_order.size(); ++s) {
+        const std::string &src = source_order[s];
+        if (s)
+            out += ",";
+        out += "{\"source\":" + obs::jsonString(src);
+        out += ",\"queries\":" + obs::jsonNumber(source_queries[src]);
+        out += ",\"sites\":" + heatRankedJson(meta, per_source[src],
+                                              topSites, hotterByDelta);
         out += "}";
     }
     out += "]}";

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "query/campaign.h"
 
@@ -48,5 +49,28 @@ struct ProfileOptions
 std::string profileJson(const CampaignResult &res,
                         const obs::MetricsSnapshot &snap,
                         const ProfileOptions &opt = {});
+
+/**
+ * Render the campaign's guest-site heat map (`--site-profile-out`,
+ * schema `ldx-site-heat-v1`) from the per-query compact profiles in
+ * CampaignResult::queryProfiles.
+ *
+ * Two views of the same counters:
+ *
+ *  - "sites": the program-wide hot list — every query's master-side
+ *    costs summed per (fn, idx), ranked by retired instructions
+ *    (ties break on (fn, idx)), capped at @p topSites;
+ *  - "sources": one entry per queried source id in enumeration
+ *    order, that source's queries merged, sites ranked by the
+ *    master-vs-slave retired delta (the mutation's causal footprint)
+ *    then by retired count.
+ *
+ * Built only from deterministic counters and merged in query-index
+ * order, so the document is byte-identical across worker counts,
+ * drivers, and dispatch modes.
+ */
+std::string siteHeatJson(const CampaignResult &res,
+                         const obs::ProfileMeta &meta,
+                         std::size_t topSites = 20);
 
 } // namespace ldx::query

@@ -84,6 +84,21 @@ Machine::Machine(const ir::Module &module, os::Kernel &kernel,
                                           : ResolvedDispatch::Switch;
         break;
     }
+    if (cfg_.siteProfile) {
+        // Site indices are decoded-stream offsets, so the whole
+        // program must be decoded up front: counters shaped once,
+        // never resized mid-run.
+        checkInvariant(decoded_ != nullptr,
+                       "site profiling requires predecode");
+        if (decodedOwned_)
+            decodedOwned_->decodeAll();
+        std::vector<std::size_t> sites(decoded_->numFunctions());
+        for (std::size_t f = 0; f < sites.size(); ++f)
+            sites[f] =
+                decoded_->function(static_cast<int>(f)).numInstrs();
+        cfg_.siteProfile->shape(sites);
+        prof_ = cfg_.siteProfile;
+    }
     for (std::size_t g = 0; g < module.numGlobals(); ++g) {
         const ir::Global &gl = module.global(static_cast<int>(g));
         if (!gl.init.empty())
@@ -123,6 +138,8 @@ Machine::newContext(int fn, std::vector<std::int64_t> args)
     frame.spAtEntry = ctx->sp;
     ctx->frames.push_back(std::move(frame));
     contexts_.push_back(std::move(ctx));
+    if (prof_)
+        ++prof_->rootCalls[static_cast<std::size_t>(fn)];
     emitObsInstant(obs::RecKind::ThreadStart, "thread_start",
                    contexts_.back()->tid,
                    module_.function(fn).name());
@@ -330,22 +347,32 @@ Machine::stepMany(std::uint64_t budget, std::uint64_t &retired)
                 std::uint64_t limit = budget - retired;
                 if (limit > static_cast<std::uint64_t>(sliceLeft_))
                     limit = static_cast<std::uint64_t>(sliceLeft_);
+                // One profiled-or-not branch per run batch; each
+                // instantiation compiles its counting in or out.
                 switch (dispatch_) {
                   case ResolvedDispatch::Switch:
-                    got = fastRun(ctx, limit);
+                    got = prof_ ? fastRun<true>(ctx, limit)
+                                : fastRun<false>(ctx, limit);
                     break;
 #if LDX_HAS_COMPUTED_GOTO
                   case ResolvedDispatch::Goto:
-                    got = fastRunThreaded<false>(ctx, limit);
+                    got = prof_
+                              ? fastRunThreaded<false, true>(ctx, limit)
+                              : fastRunThreaded<false, false>(ctx,
+                                                              limit);
                     break;
                   case ResolvedDispatch::GotoFused:
-                    got = fastRunThreaded<true>(ctx, limit);
+                    got = prof_
+                              ? fastRunThreaded<true, true>(ctx, limit)
+                              : fastRunThreaded<true, false>(ctx,
+                                                             limit);
                     break;
 #else
                   default:
                     // The ctor resolves Threaded/Fused to Switch when
                     // computed goto is unavailable; unreachable.
-                    got = fastRun(ctx, limit);
+                    got = prof_ ? fastRun<true>(ctx, limit)
+                                : fastRun<false>(ctx, limit);
                     break;
 #endif
                 }
@@ -406,6 +433,20 @@ Machine::executeOne(Context &ctx)
     const ir::BasicBlock &bb = fn.block(fr.block);
     const ir::Instr &instr = bb.instrs()[static_cast<std::size_t>(fr.ip)];
 
+    // Resolve the profile slots before the frame mutates (calls,
+    // branches, returns all move fr); the pointers stay valid.
+    std::uint64_t *prof_site = nullptr;
+    std::uint64_t *prof_stall = nullptr;
+    if (prof_) {
+        const DecodedFunction &pdf = decoded_->function(fr.fn);
+        std::uint32_t off = pdf.blockStart(fr.block) +
+                            static_cast<std::uint32_t>(fr.ip);
+        prof_site =
+            &prof_->retired[static_cast<std::size_t>(fr.fn)][off];
+        prof_stall =
+            &prof_->stallPolls[static_cast<std::size_t>(fr.fn)][off];
+    }
+
     if (totalInstrs_ >= cfg_.maxInstructions)
         throw VmTrap(TrapKind::BudgetExceeded,
                      "instruction budget exceeded");
@@ -453,6 +494,8 @@ Machine::executeOne(Context &ctx)
         ++opCounts_[static_cast<std::size_t>(instr.op)];
         kernel_.tickInstructions(1);
         profilePair(ctx, instr.op);
+        if (prof_site)
+            ++*prof_site;
     };
 
     std::uint64_t eff_addr = 0;
@@ -613,6 +656,8 @@ Machine::executeOne(Context &ctx)
         PortReply reply = port_->onBarrier(ctx.tid, instr.imm, iter,
                                            ctx.cnt, instr.a.imm, *this);
         if (reply == PortReply::Blocked) {
+            if (prof_stall)
+                ++*prof_stall;
             ctx.state = Context::State::BlockedPort;
             return false;
         }
@@ -647,6 +692,7 @@ Machine::executeOne(Context &ctx)
     return true;
 }
 
+template <bool Profiled>
 std::uint64_t
 Machine::fastRun(Context &ctx, std::uint64_t limit)
 {
@@ -656,6 +702,10 @@ Machine::fastRun(Context &ctx, std::uint64_t limit)
     std::uint32_t pc =
         df.blockStart(fr.block) + static_cast<std::uint32_t>(fr.ip);
     const DecodedInstr &head = code[pc];
+
+    [[maybe_unused]] std::uint64_t *prof = nullptr;
+    if constexpr (Profiled)
+        prof = prof_->retired[static_cast<std::size_t>(fr.fn)].data();
 
     if (totalInstrs_ >= cfg_.maxInstructions)
         throw VmTrap(TrapKind::BudgetExceeded,
@@ -686,6 +736,12 @@ Machine::fastRun(Context &ctx, std::uint64_t limit)
         } else {
             for (std::uint32_t i = start; i < start + k; ++i)
                 ++opCounts_[static_cast<std::size_t>(code[i].op)];
+        }
+        if constexpr (Profiled) {
+            // Per-site attribution always walks the retired range —
+            // one bump per site, batched per run.
+            for (std::uint32_t i = start; i < start + k; ++i)
+                ++prof[i];
         }
         totalInstrs_ += k;
         ctx.instrCount += k;
@@ -852,6 +908,7 @@ Machine::fastRun(Context &ctx, std::uint64_t limit)
 #define LDX_OP_LABEL(name) \
     L_##name: \
     LDX_BODY_##name; \
+    LDX_PROF_SITE(); \
     ++opCounts_[static_cast<std::size_t>(ir::Opcode::name)]; \
     ++k; \
     LDX_NEXT()
@@ -866,15 +923,17 @@ Machine::fastRun(Context &ctx, std::uint64_t limit)
 #define LDX_FUSED_LABEL(pair, op1, op2) \
     L_##pair: \
     LDX_BODY_##op1; \
+    LDX_PROF_SITE(); \
     ++opCounts_[static_cast<std::size_t>(ir::Opcode::op1)]; \
     ++k; \
     d = &code[pc]; \
     LDX_BODY_##op2; \
+    LDX_PROF_SITE(); \
     ++opCounts_[static_cast<std::size_t>(ir::Opcode::op2)]; \
     ++k; \
     LDX_NEXT()
 
-template <bool Fused>
+template <bool Fused, bool Profiled>
 std::uint64_t
 Machine::fastRunThreaded(Context &ctx, std::uint64_t limit)
 {
@@ -883,6 +942,12 @@ Machine::fastRunThreaded(Context &ctx, std::uint64_t limit)
     const DecodedInstr *code = df.code();
     std::uint32_t pc =
         df.blockStart(fr.block) + static_cast<std::uint32_t>(fr.ip);
+
+    // LDX_PROF_SITE's base pointer; never read unless Profiled (an
+    // if constexpr guard, not a ternary — prof_ may be null here).
+    [[maybe_unused]] std::uint64_t *prof = nullptr;
+    if constexpr (Profiled)
+        prof = prof_->retired[static_cast<std::size_t>(fr.fn)].data();
 
     if (totalInstrs_ >= cfg_.maxInstructions)
         throw VmTrap(TrapKind::BudgetExceeded,
@@ -1007,6 +1072,7 @@ Machine::fastRunThreaded(Context &ctx, std::uint64_t limit)
 #undef LDX_NEXT
 #undef LDX_OP_LABEL
 #undef LDX_FUSED_LABEL
+#undef LDX_PROF_SITE
 #undef LDX_A
 #undef LDX_B
 #undef LDX_SET
@@ -1055,6 +1121,10 @@ Machine::doCall(Context &ctx, const ir::Instr &instr, int callee)
 
     Frame &caller = ctx.frames.back();
     ++caller.ip; // resume point
+    if (prof_)
+        ++prof_->callEdges[static_cast<std::size_t>(caller.fn) *
+                               prof_->numFns +
+                           static_cast<std::size_t>(callee)];
 
     Frame frame;
     frame.fn = callee;
@@ -1239,6 +1309,16 @@ Machine::doSyscall(Context &ctx, const ir::Instr &instr)
         throw VmTrap(TrapKind::BadSyscall,
                      "invalid syscall number " + std::to_string(instr.imm));
 
+    // The syscall's decoded site, for stall polls while blocked and
+    // cost attribution once it completes.
+    std::size_t prof_fn = 0;
+    std::uint32_t prof_off = 0;
+    if (prof_) {
+        prof_fn = static_cast<std::size_t>(fr.fn);
+        prof_off = decoded_->function(fr.fn).blockStart(fr.block) +
+                   static_cast<std::uint32_t>(fr.ip);
+    }
+
     SyscallRequest req;
     req.tid = ctx.tid;
     req.sysNo = instr.imm;
@@ -1263,6 +1343,8 @@ Machine::doSyscall(Context &ctx, const ir::Instr &instr)
         if (port_) {
             PortReply reply = port_->onSyscall(req, *this, out);
             if (reply == PortReply::Blocked) {
+                if (prof_)
+                    ++prof_->stallPolls[prof_fn][prof_off];
                 ctx.state = Context::State::BlockedPort;
                 return false;
             }
@@ -1287,6 +1369,12 @@ Machine::doSyscall(Context &ctx, const ir::Instr &instr)
     ++opCounts_[static_cast<std::size_t>(ir::Opcode::Syscall)];
     kernel_.tickInstructions(1);
     profilePair(ctx, ir::Opcode::Syscall);
+    if (prof_) {
+        ++prof_->retired[prof_fn][prof_off];
+        ++prof_->syscalls[prof_fn][prof_off];
+        prof_->sysTicks[prof_fn][prof_off] += static_cast<std::uint64_t>(
+            os::virtualSyscallCost(req.sysNo, out));
+    }
     if (out.exited) {
         finishProgram(req.args.empty() ? 0 : req.args[0]);
         return true;

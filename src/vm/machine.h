@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ir/ir.h"
+#include "obs/profiler.h"
 #include "obs/scope.h"
 #include "os/kernel.h"
 #include "support/prng.h"
@@ -177,6 +178,17 @@ struct MachineConfig
      */
     std::uint64_t *pairProfile = nullptr;
     /**
+     * Guest-level site profiler (docs/OBSERVABILITY.md): when
+     * non-null, the machine shapes the counters to the decoded
+     * program at construction and attributes retired instructions,
+     * syscall counts, virtual syscall latency, blocked re-polls, and
+     * call edges to decoded instruction sites as it runs. Requires
+     * predecode; the counting is a template parameter of the fast
+     * paths, so a null pointer costs literally zero cycles
+     * (docs/PERFORMANCE.md, "Zero-cost-when-off site counters").
+     */
+    obs::SiteCounters *siteProfile = nullptr;
+    /**
      * Fault injection for the fuzzing oracle's self-test: when
      * nonzero, every Nth retired CntAdd is skipped (its compensation
      * delta is dropped), applied identically on both decode paths.
@@ -278,7 +290,9 @@ class Machine
      * number retired. Never blocks — the caller dispatches slow
      * (flagged) instructions through executeOne. This is the
      * portable switch dispatcher (DispatchMode::Switch).
+     * @tparam Profiled compile per-site profile counting in/out.
      */
+    template <bool Profiled>
     std::uint64_t fastRun(Context &ctx, std::uint64_t limit);
 
     /**
@@ -288,8 +302,9 @@ class Machine
      * boundary. With Fused, marked pairs (DecodedInstr::xop) retire
      * in a single dispatch. Retired state is bit-identical to
      * fastRun. Only compiled when LDX_HAS_COMPUTED_GOTO.
+     * @tparam Profiled compile per-site profile counting in/out.
      */
-    template <bool Fused>
+    template <bool Fused, bool Profiled>
     std::uint64_t fastRunThreaded(Context &ctx, std::uint64_t limit);
 
     /** True when the predecoded dispatch loop may be used. */
@@ -359,6 +374,7 @@ class Machine
     std::shared_ptr<PredecodedModule> decodedShared_;
     PredecodedModule *decoded_ = nullptr;
     ResolvedDispatch dispatch_ = ResolvedDispatch::Switch;
+    obs::SiteCounters *prof_ = nullptr; ///< cfg_.siteProfile, shaped
     std::vector<std::uint64_t> globalAddrs_;
 
     std::vector<std::unique_ptr<Context>> contexts_;

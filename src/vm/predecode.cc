@@ -210,4 +210,40 @@ PredecodedModule::fullyDecoded() const
     return true;
 }
 
+obs::ProfileMeta
+buildProfileMeta(PredecodedModule &pm, const std::string &program,
+                 const std::string &source)
+{
+    obs::ProfileMeta meta;
+    meta.program = program;
+    meta.fns.resize(pm.numFunctions());
+    for (std::size_t f = 0; f < pm.numFunctions(); ++f) {
+        const DecodedFunction &df = pm.function(static_cast<int>(f));
+        obs::FunctionMeta &fm = meta.fns[f];
+        fm.name = pm.module().function(static_cast<int>(f)).name();
+        fm.sites.resize(df.numInstrs());
+        const DecodedInstr *code = df.code();
+        for (std::size_t i = 0; i < df.numInstrs(); ++i) {
+            obs::SiteMeta &sm = fm.sites[i];
+            sm.op = ir::opcodeName(code[i].op);
+            sm.line = code[i].src->loc.line;
+            sm.col = code[i].src->loc.col;
+            sm.siteId = code[i].src->site;
+            sm.isSyscall = code[i].op == ir::Opcode::Syscall;
+        }
+    }
+    std::size_t begin = 0;
+    while (begin <= source.size() && !source.empty()) {
+        std::size_t end = source.find('\n', begin);
+        if (end == std::string::npos) {
+            if (begin < source.size())
+                meta.sourceLines.push_back(source.substr(begin));
+            break;
+        }
+        meta.sourceLines.push_back(source.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return meta;
+}
+
 } // namespace ldx::vm

@@ -22,10 +22,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "ir/ir.h"
+#include "obs/profiler.h"
 
 namespace ldx::vm {
 
@@ -184,5 +186,17 @@ class PredecodedModule
     const ir::Module &module_;
     std::vector<std::unique_ptr<DecodedFunction>> fns_;
 };
+
+/**
+ * Site metadata for the guest-level profiler: one obs::SiteMeta per
+ * decoded instruction (opcode name, source location, instrumentation
+ * site id), in the exact (function, flat offset) shape the profiled
+ * interpreter counts in. Decodes any not-yet-built function. @p
+ * program labels the report; @p source is the MiniC text for the
+ * annotated listing (may be empty).
+ */
+obs::ProfileMeta buildProfileMeta(PredecodedModule &pm,
+                                  const std::string &program,
+                                  const std::string &source);
 
 } // namespace ldx::vm

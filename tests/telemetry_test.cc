@@ -537,5 +537,201 @@ TEST(CampaignProgress, RenderLineTracksRegistry)
     EXPECT_NE(rendered.find("4/6 queries"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// Concurrency stress: snapshots vs. live writers
+// ---------------------------------------------------------------------
+
+// Snapshotting a histogram while writer threads observe into it must
+// always yield an internally consistent copy: right bucket shape,
+// monotonically growing totals, and finite percentiles — never a
+// torn vector or NaN. (The count header may lag the bucket total on
+// a torn read; percentile() ranks against the buckets for exactly
+// that reason.)
+TEST(RegistryStress, HistogramSnapshotsUnderConcurrentWriters)
+{
+    constexpr int kWriters = 4;
+    constexpr int kObservationsPerWriter = 50'000;
+
+    obs::Registry reg;
+    obs::Histogram &hist =
+        reg.histogram("stress.hist", {1.0, 10.0, 100.0});
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kObservationsPerWriter; ++i)
+                hist.observe(static_cast<double>((w + i) % 4) * 50.0);
+        });
+    }
+    go.store(true, std::memory_order_release);
+
+    std::uint64_t last_total = 0;
+    for (int round = 0; round < 200; ++round) {
+        obs::MetricsSnapshot snap = reg.snapshot();
+        ASSERT_EQ(snap.histograms.size(), 1u);
+        const obs::HistogramSnapshot &h = snap.histograms[0];
+        ASSERT_EQ(h.bounds.size(), 3u);
+        ASSERT_EQ(h.counts.size(), 4u);
+        std::uint64_t total = 0;
+        for (std::uint64_t c : h.counts)
+            total += c;
+        // Buckets only grow, and each is read atomically, so the
+        // bucket total is non-decreasing across snapshots.
+        EXPECT_GE(total, last_total);
+        last_total = total;
+        EXPECT_LE(total, std::uint64_t(kWriters) *
+                             kObservationsPerWriter);
+        double p99 = h.percentile(99.0);
+        EXPECT_TRUE(p99 == p99); // not NaN
+        EXPECT_GE(p99, 0.0);
+        EXPECT_LE(p99, 100.0); // last finite bound
+    }
+    for (std::thread &t : writers)
+        t.join();
+
+    // Quiescent final snapshot: exact totals.
+    obs::MetricsSnapshot snap = reg.snapshot();
+    const obs::HistogramSnapshot &h = snap.histograms[0];
+    std::uint64_t total = 0;
+    for (std::uint64_t c : h.counts)
+        total += c;
+    EXPECT_EQ(total, std::uint64_t(kWriters) * kObservationsPerWriter);
+    EXPECT_EQ(h.count, total);
+}
+
+// A scraper reading the Prometheus file while the exporter rewrites
+// it every tick must always see a complete document: the write-to-
+// temp + rename protocol never exposes a torn file.
+TEST(ExporterStress, PrometheusRewriteIsAtomicUnderReader)
+{
+    std::string dir = std::filesystem::temp_directory_path() /
+                      "ldx_telem_atomic";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::string prom = dir + "/metrics.prom";
+
+    obs::Registry reg;
+    obs::Counter &head = reg.counter("aaa_first");
+    // Sorted last in the exposition: its presence proves the read
+    // caught a complete document, not a prefix.
+    obs::Counter &sentinel = reg.counter("zzz_sentinel");
+    head.inc();
+    sentinel.inc();
+
+    obs::ExporterConfig ecfg;
+    ecfg.promPath = prom;
+    ecfg.intervalMs = 1;
+    ecfg.build.version = "test";
+    ecfg.build.dispatch = "fused";
+    obs::Exporter exporter(reg, ecfg);
+    ASSERT_TRUE(exporter.start());
+
+    // Writers keep the document churning while the reader scrapes.
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            head.inc();
+            sentinel.inc();
+        }
+    });
+
+    // Wait out the first tick so every reader round has a document.
+    while (exporter.samples() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    int reads = 0;
+    for (int round = 0; round < 400; ++round) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        std::ifstream in(prom, std::ios::binary);
+        if (!in)
+            continue; // rename may be mid-flight on this very round
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string doc = ss.str();
+        if (doc.empty())
+            continue;
+        ++reads;
+        // Complete head-to-tail: build info first, sentinel last.
+        EXPECT_EQ(doc.rfind("# TYPE ldx_build_info gauge\n", 0), 0u);
+        EXPECT_NE(doc.find("ldx_build_info{version=\"test\","
+                           "dispatch=\"fused\","),
+                  std::string::npos);
+        EXPECT_NE(doc.find("\nldx_zzz_sentinel "), std::string::npos);
+        EXPECT_EQ(doc.back(), '\n');
+    }
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    exporter.stop();
+    EXPECT_GT(reads, 0);
+
+    // The final document also reads complete, and no temp file leaks.
+    std::ifstream in(prom, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("\nldx_zzz_sentinel "), std::string::npos);
+    EXPECT_FALSE(std::filesystem::exists(prom + ".tmp"));
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// SIGINT-drain teardown: the sinks still produce valid artifacts
+// ---------------------------------------------------------------------
+
+// A campaign drained by the SIGINT latch must still leave a valid
+// Chrome trace (closed JSON array) and a final exporter sample — the
+// CLI keeps its handler installed through this whole teardown.
+TEST(CampaignDrain, ChromeTraceAndExporterCompleteOnCancel)
+{
+    std::string dir = std::filesystem::temp_directory_path() /
+                      "ldx_telem_drain";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::string trace = dir + "/trace.json";
+    std::string prom = dir + "/metrics.prom";
+
+    obs::Registry reg;
+    obs::ExporterConfig ecfg;
+    ecfg.promPath = prom;
+    ecfg.intervalMs = 1000; // only the final stop() sample lands
+    obs::Exporter exporter(reg, ecfg);
+    ASSERT_TRUE(exporter.start());
+
+    std::atomic<bool> cancel{true}; // pre-canceled: drain immediately
+    {
+        std::ofstream out(trace, std::ios::binary);
+        auto sink = obs::makeTraceSink("chrome", out);
+        ASSERT_NE(sink, nullptr);
+        CampaignConfig cfg = baseConfig(&reg, sink.get());
+        cfg.cancel = &cancel;
+        CampaignResult res = runCampaign(
+            instrumentedModule(kTelemetryProgram), telemetryWorld(),
+            cfg);
+        EXPECT_GT(res.cancelledQueries, 0u);
+        exporter.stop();
+        sink->flush();
+    }
+
+    // The Chrome document parses head-to-tail: array closed.
+    std::ifstream tin(trace, std::ios::binary);
+    std::stringstream tss;
+    tss << tin.rdbuf();
+    std::string doc = tss.str();
+    ASSERT_FALSE(doc.empty());
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\n]}\n"), std::string::npos);
+
+    // The final Prometheus sample carries the drained state.
+    std::ifstream pin(prom, std::ios::binary);
+    std::stringstream pss;
+    pss << pin.rdbuf();
+    EXPECT_NE(pss.str().find("ldx_campaign_queries_cancelled"),
+              std::string::npos);
+    EXPECT_GE(exporter.samples(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
 } // namespace
 } // namespace ldx

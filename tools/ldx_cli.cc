@@ -11,6 +11,10 @@
  *   ldx explain <workload|prog.mc>    dual-execute with the flight
  *                                     recorder and print the
  *                                     divergence forensics report
+ *   ldx profile <workload|prog.mc>    dual-execute with the guest
+ *                                     site profiler and print the
+ *                                     ldx-profile-v1 cost report
+ *                                     (docs/OBSERVABILITY.md)
  *   ldx fuzz [options]                differential fuzzing: generate
  *                                     seeded programs and check the
  *                                     oracle invariants across the
@@ -74,6 +78,18 @@
  *                        the whole front end (run/dual/campaign/
  *                        fuzz --replay FILE/compile)
  *
+ * Profiler options (profile; --profile-sites also shapes the
+ * campaign heat map):
+ *   --profile-sites N    top sites per function in the JSON report
+ *                        and per heat-map section (default 20)
+ *   --profile-stalls     include the driver-dependent stall section
+ *                        (the report is no longer byte-diffable)
+ *   --flame-out FILE     write collapsed flamegraph stacks (one
+ *                        `root;...;func;op@line:col count` line per
+ *                        hot site, feedable to flamegraph.pl)
+ *   --annotate FILE      write the per-line annotated MiniC source
+ *                        listing (retired / sys-ticks / vs-slave)
+ *
  * Fuzzing options (fuzz):
  *   --seeds N            seeds to sweep (default 100)
  *   --seed-start N       first seed (default 1); also the world seed
@@ -108,10 +124,18 @@
  *   --exporter-interval-ms N
  *                        exporter sampling interval (default 500)
  *   --progress           live progress line on stderr (done/total,
- *                        q/s, ETA, cache hit rate, active workers)
+ *                        q/s, ETA, cache hit rate, active workers);
+ *                        auto-disabled when stderr is not a TTY
+ *   --progress=force     render the progress line even when stderr
+ *                        is redirected (CI logs, pipes)
  *   --profile-out FILE   write the post-run profiler report
  *                        (ldx-campaign-profile-v1 JSON) to FILE
  *   --profile-top N      slowest queries in the profile (default 10)
+ *   --site-profile-out FILE
+ *                        run every query with the guest site profiler
+ *                        and write the merged ldx-site-heat-v1 heat
+ *                        map to FILE (bypasses the result cache so
+ *                        the artifact covers every query)
  */
 #include <atomic>
 #include <cctype>
@@ -155,6 +179,12 @@ namespace {
 
 using namespace ldx;
 
+/** Project version (CMake's PROJECT_VERSION; see tools/CMakeLists). */
+#ifndef LDX_VERSION
+#define LDX_VERSION "0.0.0"
+#endif
+constexpr const char *kLdxVersion = LDX_VERSION;
+
 struct CliOptions
 {
     std::string command;
@@ -195,8 +225,16 @@ struct CliOptions
     std::string exporterProm;
     int exporterIntervalMs = 500;
     bool progress = false;
+    bool progressForce = false;
     std::string profileOut;
     std::size_t profileTop = 10;
+
+    // profile
+    std::size_t profileSites = 20;
+    bool profileStalls = false;
+    std::string flameOut;
+    std::string annotateOut;
+    std::string siteProfileOut;
 
     // fuzz
     std::uint64_t fuzzSeeds = 100;
@@ -219,6 +257,7 @@ usage(const std::string &error = "")
         "usage: ldx <run|dual|taint|dump> <prog.mc> [options]\n"
         "       ldx corpus | ldx bench <workload>\n"
         "       ldx explain <workload|prog.mc> [options]\n"
+        "       ldx profile <workload|prog.mc> [options]\n"
         "       ldx campaign <workload|prog.mc> [options]\n"
         "       ldx compile <prog.mc> --image-cache-dir DIR\n"
         "       ldx fuzz [options]\n"
@@ -317,7 +356,8 @@ parseArgs(int argc, char **argv)
     if (opt.command == "run" || opt.command == "dual" ||
         opt.command == "taint" || opt.command == "dump" ||
         opt.command == "bench" || opt.command == "explain" ||
-        opt.command == "campaign" || opt.command == "compile") {
+        opt.command == "campaign" || opt.command == "compile" ||
+        opt.command == "profile") {
         if (argc < 3)
             usage(opt.command + " needs an argument");
         opt.program = argv[2];
@@ -510,11 +550,26 @@ parseArgs(int argc, char **argv)
                           "--exporter-interval-ms", 1));
         } else if (arg == "--progress") {
             opt.progress = true;
+        } else if (arg == "--progress=force") {
+            opt.progress = true;
+            opt.progressForce = true;
         } else if (arg == "--profile-out") {
             opt.profileOut = next("--profile-out");
         } else if (arg == "--profile-top") {
             opt.profileTop = static_cast<std::size_t>(
                 parseUint(next("--profile-top"), "--profile-top"));
+        } else if (arg == "--profile-sites") {
+            opt.profileSites = static_cast<std::size_t>(
+                parseUint(next("--profile-sites"), "--profile-sites",
+                          1));
+        } else if (arg == "--profile-stalls") {
+            opt.profileStalls = true;
+        } else if (arg == "--flame-out") {
+            opt.flameOut = next("--flame-out");
+        } else if (arg == "--annotate") {
+            opt.annotateOut = next("--annotate");
+        } else if (arg == "--site-profile-out") {
+            opt.siteProfileOut = next("--site-profile-out");
         } else {
             usage("unknown option " + arg);
         }
@@ -945,6 +1000,86 @@ writeArtifact(const std::string &path, const std::string &text,
     std::cerr << "[ldx] " << what << " written to " << path << "\n";
 }
 
+/**
+ * Dual-execute with the guest site profiler and print the
+ * `ldx-profile-v1` cost report on stdout. The argument is a built-in
+ * workload (its attack mutation and sinks apply) or a .mc source
+ * combined with --source-* / --sinks as for `ldx dual`. --flame-out
+ * and --annotate write the derived artifacts; the exit code follows
+ * the uniform contract (1 when the pair found causality).
+ */
+int
+cmdProfile(const CliOptions &opt)
+{
+    obs::Registry registry;
+    core::EngineConfig cfg;
+    cfg.vmConfig.dispatch = opt.dispatch;
+    cfg.threaded = opt.threaded;
+    cfg.driver = opt.driver;
+    cfg.flightRecorder = opt.flightRecorder;
+    cfg.recorderCapacity = opt.recorderCapacity;
+    cfg.registry = &registry;
+
+    CompiledProgram owned;
+    const ir::Module *module = nullptr;
+    os::WorldSpec world;
+    std::string source;
+    const workloads::Workload *w = workloads::findWorkload(opt.program);
+    if (w) {
+        cfg.sinks = w->sinks;
+        cfg.sources = w->sources;
+        module = &workloads::workloadModule(*w, true);
+        world = w->world(w->defaultScale);
+        source = w->source;
+    } else {
+        cfg.sinks = opt.sinks;
+        cfg.sources = opt.sources;
+        cfg.strategy = opt.strategy;
+        source = readHostFile(opt.program);
+        owned = compileProgram(opt, true);
+        cfg.vmConfig.predecoded = owned.predecoded;
+        module = owned.module.get();
+        world = opt.world;
+    }
+
+    // One decoded module backs both VMs and the report metadata, so
+    // the counters and the site names index the same decoded streams
+    // by construction.
+    std::shared_ptr<vm::PredecodedModule> decoded =
+        cfg.vmConfig.predecoded;
+    if (!decoded) {
+        decoded = std::make_shared<vm::PredecodedModule>(*module);
+        decoded->decodeAll();
+        cfg.vmConfig.predecoded = decoded;
+    }
+
+    obs::SiteCounters master, slave;
+    cfg.masterSites = &master;
+    cfg.slaveSites = &slave;
+
+    core::DualEngine engine(*module, world, cfg);
+    core::DualResult res = engine.run();
+
+    obs::ProfileMeta meta =
+        vm::buildProfileMeta(*decoded, opt.program, source);
+    obs::ProfileReportOptions popt;
+    popt.topSites = opt.profileSites;
+    popt.includeStalls = opt.profileStalls;
+    std::cout << obs::profileReportJson(meta, master, &slave, popt)
+              << "\n";
+    if (!opt.flameOut.empty())
+        writeArtifact(opt.flameOut, obs::collapsedStacks(meta, master),
+                      "flamegraph stacks");
+    if (!opt.annotateOut.empty())
+        writeArtifact(opt.annotateOut,
+                      obs::annotateSource(meta, master, &slave),
+                      "annotated source");
+    std::cerr << "[ldx] profiled " << master.totalRetired()
+              << " master / " << slave.totalRetired()
+              << " slave retired instructions\n";
+    return res.causality() ? 1 : 0;
+}
+
 int
 cmdCampaign(const CliOptions &opt)
 {
@@ -988,6 +1123,20 @@ cmdCampaign(const CliOptions &opt)
     cfg.registry = &registry;
     cfg.traceSink = sink.get();
 
+    // Site heat map: decode up front and share the streams so the
+    // heat map's metadata indexes the same decoded sites the per-query
+    // counters do (the campaign would otherwise predecode privately).
+    std::shared_ptr<vm::PredecodedModule> decoded =
+        cfg.vmConfig.predecoded;
+    if (!opt.siteProfileOut.empty()) {
+        cfg.siteProfile = true;
+        if (!decoded) {
+            decoded = std::make_shared<vm::PredecodedModule>(*module);
+            decoded->decodeAll();
+            cfg.vmConfig.predecoded = decoded;
+        }
+    }
+
     // Telemetry around the run: the exporter samples the campaign
     // registry on its own thread, the progress meter renders to
     // stderr. Both stop cleanly after the (possibly SIGINT-drained)
@@ -997,23 +1146,38 @@ cmdCampaign(const CliOptions &opt)
     expcfg.jsonlPath = opt.exporterOut;
     expcfg.promPath = opt.exporterProm;
     expcfg.intervalMs = opt.exporterIntervalMs;
+    expcfg.build.version = kLdxVersion;
+    expcfg.build.dispatch = vm::dispatchModeName(opt.dispatch);
+    expcfg.build.computedGoto = vm::hasThreadedDispatch();
     obs::Exporter exporter(registry, expcfg);
     if (!opt.exporterOut.empty() || !opt.exporterProm.empty())
         if (!exporter.start())
             usage(exporter.error());
+    // The live line is interactive chrome: writing '\r'-overwritten
+    // frames into a redirected stderr just fills logs, so a non-TTY
+    // disables it unless --progress=force.
     obs::ProgressMeter progress(registry, std::cerr);
-    if (opt.progress)
+    bool show_progress =
+        opt.progress && (opt.progressForce || obs::stderrIsTty());
+    if (opt.progress && !show_progress)
+        std::cerr << "[ldx] progress line disabled (stderr is not a "
+                     "TTY; use --progress=force to override)\n";
+    if (show_progress)
         progress.start();
 
+    // The SIGINT latch stays installed through telemetry teardown: a
+    // second Ctrl-C while the exporter writes its final sample or the
+    // Chrome sink closes its JSON array would otherwise kill the
+    // process mid-artifact.
     auto prev = std::signal(SIGINT, campaignSigint);
     query::CampaignResult res = query::runCampaign(*module, world, cfg);
-    std::signal(SIGINT, prev);
 
-    if (opt.progress)
+    if (show_progress)
         progress.stop();
     exporter.stop();
     if (sink)
         sink->flush();
+    std::signal(SIGINT, prev);
 
     std::ostream &out = opt.metricsJson ? std::cerr : std::cout;
     out << "baseline: " << res.baseline.totalEvents << " events, "
@@ -1044,6 +1208,13 @@ cmdCampaign(const CliOptions &opt)
         writeArtifact(opt.profileOut,
                       query::profileJson(res, registry.snapshot(), popt),
                       "profile report");
+    }
+    if (!opt.siteProfileOut.empty()) {
+        obs::ProfileMeta meta = vm::buildProfileMeta(
+            *decoded, opt.program, w ? w->source : std::string());
+        writeArtifact(opt.siteProfileOut,
+                      query::siteHeatJson(res, meta, opt.profileSites),
+                      "site heat map");
     }
     if (opt.metricsJson) {
         std::cout << registry.snapshot().toJson() << "\n";
@@ -1231,6 +1402,8 @@ main(int argc, char **argv)
             return cmdBench(opt);
         if (opt.command == "explain")
             return cmdExplain(opt);
+        if (opt.command == "profile")
+            return cmdProfile(opt);
         if (opt.command == "campaign")
             return cmdCampaign(opt);
         if (opt.command == "fuzz")
