@@ -1,108 +1,11 @@
 #include "ldx/engine.h"
 
-#include <algorithm>
-#include <limits>
-#include <chrono>
-#include <optional>
-#include <thread>
-
 #include "instrument/instrument.h"
-#include "obs/phase.h"
-#include "obs/scope.h"
-#include "os/sysno.h"
+#include "ldx/snapshot.h"
 #include "support/diag.h"
 #include "support/strings.h"
 
 namespace ldx::core {
-
-namespace {
-
-/** Records VM-level sink events (vulnerable program set). */
-class SinkRecorder : public vm::SinkHook
-{
-  public:
-    static constexpr std::size_t kCap = 65536;
-
-    SinkRecorder(bool record_rets, bool record_allocs)
-        : recordRets_(record_rets), recordAllocs_(record_allocs)
-    {}
-
-    void
-    onRetToken(int tid, std::uint64_t, std::int64_t token,
-               std::int64_t expected, vm::Machine &) override
-    {
-        // Only corruptions are interesting: a healthy return matches.
-        if (recordRets_ && token != expected &&
-            corruptions.size() < kCap)
-            corruptions.push_back({tid, token});
-    }
-
-    void
-    onAllocSize(int tid, std::int64_t size, vm::Machine &) override
-    {
-        if (recordAllocs_ && allocs.size() < kCap)
-            allocs.push_back({tid, size});
-    }
-
-    std::vector<std::pair<int, std::int64_t>> corruptions;
-    std::vector<std::pair<int, std::int64_t>> allocs;
-
-  private:
-    bool recordRets_;
-    bool recordAllocs_;
-};
-
-double
-secondsSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
-
-/** CPU-relax hint for the spin stage of the stall backoff. */
-inline void
-cpuRelax()
-{
-#if defined(__x86_64__) || defined(__i386__)
-    __builtin_ia32_pause();
-#elif defined(__aarch64__)
-    asm volatile("yield");
-#else
-    std::this_thread::yield();
-#endif
-}
-
-/** Publish one side's VM and kernel tallies into the registry. */
-void
-publishSideStats(obs::Registry &registry, const std::string &side,
-                 const vm::MachineStats &ms, const os::KernelStats &ks)
-{
-    const std::string vm_prefix = "vm." + side + ".";
-    registry.counter(vm_prefix + "instructions").inc(ms.instructions);
-    registry.counter(vm_prefix + "syscalls").inc(ms.syscalls);
-    registry.counter(vm_prefix + "barriers").inc(ms.barriers);
-    registry.counter(vm_prefix + "mix.data").inc(ms.mixData);
-    registry.counter(vm_prefix + "mix.alu").inc(ms.mixAlu);
-    registry.counter(vm_prefix + "mix.mem").inc(ms.mixMem);
-    registry.counter(vm_prefix + "mix.call").inc(ms.mixCall);
-    registry.counter(vm_prefix + "mix.branch").inc(ms.mixBranch);
-    registry.counter(vm_prefix + "mix.syscall").inc(ms.mixSyscall);
-    registry.counter(vm_prefix + "mix.counter").inc(ms.mixCounter);
-    registry.gauge(vm_prefix + "max_cnt")
-        .set(static_cast<double>(ms.maxCnt));
-    registry.gauge(vm_prefix + "avg_cnt").set(ms.avgCnt);
-
-    const std::string os_prefix = "os." + side + ".";
-    registry.counter(os_prefix + "executes").inc(ks.executes);
-    registry.counter(os_prefix + "replays").inc(ks.replays);
-    registry.counter(os_prefix + "vfs_ops").inc(ks.vfsOps);
-    registry.counter(os_prefix + "sock_ops").inc(ks.sockOps);
-    registry.counter(os_prefix + "console_ops").inc(ks.consoleOps);
-    registry.counter(os_prefix + "nondet_ops").inc(ks.nondetOps);
-}
-
-} // namespace
 
 bool
 SinkConfig::matchesChannel(const std::string &channel) const
@@ -127,356 +30,16 @@ DualEngine::DualEngine(const ir::Module &module, os::WorldSpec world,
 DualResult
 DualEngine::run()
 {
-    obs::Registry local_registry;
-    obs::Registry &registry =
-        cfg_.registry ? *cfg_.registry : local_registry;
-    std::optional<obs::FlightRecorder> recorder;
-    if (cfg_.flightRecorder)
-        recorder.emplace(cfg_.recorderCapacity);
-    obs::Scope scope(registry, cfg_.traceSink,
-                     recorder ? &*recorder : nullptr);
-    if (cfg_.traceSink) {
-        cfg_.traceSink->setLaneName(obs::kMasterLane, "master");
-        cfg_.traceSink->setLaneName(obs::kSlaveLane, "slave");
-        cfg_.traceSink->setLaneName(obs::kPipelineLane, "pipeline");
-    }
-    obs::PhaseTimer timer(cfg_.traceSink);
-
-    timer.begin("mutate");
-    Prng mutation_prng(cfg_.mutationSeed);
-    MutatedWorld mutated = mutateWorld(world_, cfg_.sources,
-                                       cfg_.strategy, mutation_prng);
-    os::WorldSpec slave_world =
-        mutated.world.withNondetVariant(cfg_.nondetSalt);
-    timer.end();
-
-    timer.begin("setup");
-    SyncChannel chan(scope);
-    chan.traceEnabled = cfg_.recordTrace;
-    for (const std::string &key : mutated.taintKeys) {
-        chan.taints.taint(key);
-        if (recorder) {
-            // The mutation events open the slave's timeline: the first
-            // divergence in a report is always downstream of one.
-            obs::RecEvent evt;
-            evt.kind = obs::RecKind::Mutation;
-            evt.arg = obs::fnv1a(key);
-            recorder->record(obs::kSlaveLane, evt);
-        }
-    }
-
-    os::Kernel master_kernel(world_);
-    os::Kernel slave_kernel(slave_world);
-    slave_kernel.setSuppressOutputs(true);
-    master_kernel.setObs(&scope, obs::kMasterLane);
-    slave_kernel.setObs(&scope, obs::kSlaveLane);
-
-    vm::MachineConfig master_cfg = cfg_.vmConfig;
-    vm::MachineConfig slave_cfg = cfg_.vmConfig;
-    slave_cfg.schedSeed += cfg_.slaveSchedSeedDelta;
-    if (cfg_.slaveSchedSeedDelta)
-        slave_cfg.schedJitter = true;
-    master_cfg.siteProfile = cfg_.masterSites;
-    slave_cfg.siteProfile = cfg_.slaveSites;
-
-    vm::Machine master(module_, master_kernel, master_cfg);
-    vm::Machine slave(module_, slave_kernel, slave_cfg);
-    master.setObs(&scope, obs::kMasterLane);
-    slave.setObs(&scope, obs::kSlaveLane);
-
-    auto sink_pred = [this](const std::string &channel) {
-        return cfg_.sinks.matchesChannel(channel);
-    };
-    ControllerOptions mo;
-    mo.side = Side::Master;
-    mo.isSinkChannel = sink_pred;
-    mo.shareLockOrder = cfg_.shareLockOrder;
-    mo.lockPollTimeout = cfg_.lockPollTimeout;
-    mo.stallTimeout = cfg_.stallTimeout;
-    mo.stalls =
-        cfg_.masterSites ? &cfg_.masterSites->gateStalls : nullptr;
-    ControllerOptions so = mo;
-    so.side = Side::Slave;
-    so.stalls = cfg_.slaveSites ? &cfg_.slaveSites->gateStalls : nullptr;
-    Controller master_ctl(chan, mo);
-    Controller slave_ctl(chan, so);
-    master.setSyscallPort(&master_ctl);
-    slave.setSyscallPort(&slave_ctl);
-
-    SinkRecorder master_rec(cfg_.sinks.retTokens, cfg_.sinks.allocSizes);
-    SinkRecorder slave_rec(cfg_.sinks.retTokens, cfg_.sinks.allocSizes);
-    if (cfg_.sinks.retTokens || cfg_.sinks.allocSizes) {
-        master.setSinkHook(&master_rec);
-        slave.setSinkHook(&slave_rec);
-    }
-
-    timer.end(); // setup
-
-    auto t0 = std::chrono::steady_clock::now();
-    bool deadlocked = false;
-    obs::Counter *driver_yields = &registry.counter("driver.yields");
-    obs::Counter *driver_idle = &registry.counter("driver.idle_rounds");
-    obs::Counter *driver_backoff =
-        &registry.counter("driver.backoff_ns");
-
-    timer.begin("dual-run");
-    master.start();
-    slave.start();
-
-    if (cfg_.threaded) {
-        const DriverConfig dc = cfg_.driver;
-        auto loop = [&chan, &timer, dc, driver_yields,
-                     driver_backoff](vm::Machine &m, int side) {
-            std::int64_t start_us = obs::nowUs();
-            auto side_t0 = std::chrono::steady_clock::now();
-            std::uint64_t stalls = 0;
-            while (!m.finished()) {
-                std::uint64_t got = 0;
-                vm::StepStatus st = m.stepMany(128, got);
-                if (got)
-                    chan.progress[side].fetch_add(
-                        got, std::memory_order_relaxed);
-                if (st == vm::StepStatus::Progress) {
-                    stalls = 0;
-                } else if (st == vm::StepStatus::Stalled) {
-                    if (got) {
-                        stalls = 0;
-                        continue; // partial batch: poll again at once
-                    }
-                    ++stalls;
-                    if (stalls <= dc.spinCount) {
-                        cpuRelax();
-                    } else if (stalls <= std::uint64_t{dc.spinCount} +
-                                             dc.yieldCount) {
-                        driver_yields->inc();
-                        std::this_thread::yield();
-                    } else {
-                        driver_yields->inc();
-                        auto b0 = std::chrono::steady_clock::now();
-                        std::this_thread::sleep_for(
-                            std::chrono::microseconds(dc.sleepMicros));
-                        driver_backoff->inc(static_cast<std::uint64_t>(
-                            std::chrono::duration_cast<
-                                std::chrono::nanoseconds>(
-                                std::chrono::steady_clock::now() - b0)
-                                .count()));
-                    }
-                } else {
-                    break;
-                }
-            }
-            timer.record(side == 0 ? "master-run" : "slave-run", 1,
-                         start_us, secondsSince(side_t0));
-        };
-        std::thread mt(loop, std::ref(master), 0);
-        std::thread st(loop, std::ref(slave), 1);
-        while (!(master.finished() && slave.finished())) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(5));
-            if (secondsSince(t0) > cfg_.wallClockCap) {
-                deadlocked = true;
-                chan.abort.store(true, std::memory_order_release);
-            }
-        }
-        mt.join();
-        st.join();
-    } else {
-        const std::uint64_t kQuantum =
-            cfg_.lockstepQuantum
-                ? cfg_.lockstepQuantum
-                : std::numeric_limits<std::uint64_t>::max();
-        std::uint64_t idle_rounds = 0;
-        while (!(master.finished() && slave.finished())) {
-            bool progressed = false;
-            for (int side = 0; side < 2; ++side) {
-                vm::Machine &m = side == 0 ? master : slave;
-                if (m.finished())
-                    continue;
-                std::uint64_t got = 0;
-                m.stepMany(kQuantum, got);
-                if (got) {
-                    progressed = true;
-                    chan.progress[side].fetch_add(
-                        got, std::memory_order_relaxed);
-                }
-            }
-            if (progressed) {
-                idle_rounds = 0;
-            } else {
-                driver_idle->inc();
-                if (++idle_rounds % 8192 == 0 &&
-                    secondsSince(t0) > cfg_.wallClockCap) {
-                    deadlocked = true;
-                    chan.abort.store(true, std::memory_order_release);
-                }
-            }
-        }
-    }
-    timer.end(); // dual-run
-
-    timer.begin("verdict");
-    DualResult res;
-    res.wallSeconds = secondsSince(t0);
-    res.deadlocked = deadlocked;
-    res.findings = chan.takeFindings();
-    if (cfg_.recordTrace)
-        res.trace = chan.takeTrace();
-    // The registry is the single source for the alignment tallies;
-    // the legacy result fields read back the same counters, so
-    // DualResult::metrics agrees with them exactly.
-    res.alignedSyscalls = chan.alignedSyscalls->value();
-    res.syscallDiffs = chan.syscallDiffs->value();
-    res.totalSlaveSyscalls = chan.slaveSyscalls->value();
-    res.barrierPairings = chan.barrierPairings->value();
-    res.masterExit = master.exitCode();
-    res.slaveExit = slave.exitCode();
-    res.masterTrapped = master.trap().has_value();
-    res.slaveTrapped = slave.trap().has_value();
-    if (master.trap())
-        res.masterTrapMessage = master.trap()->message;
-    if (slave.trap())
-        res.slaveTrapMessage = slave.trap()->message;
-    res.masterStats = master.stats();
-    res.slaveStats = slave.stats();
-    res.taintedResources = chan.taints.snapshot();
-
-    // Return-token sinks: any difference in the corruption event
-    // streams is causality between the mutated input and control
-    // state.
-    if (cfg_.sinks.retTokens &&
-        master_rec.corruptions != slave_rec.corruptions) {
-        Finding f;
-        f.kind = CauseKind::RetTokenDiff;
-        f.observer = Side::Master;
-        f.masterValue =
-            std::to_string(master_rec.corruptions.size()) +
-            " corruption(s)";
-        f.slaveValue = std::to_string(slave_rec.corruptions.size()) +
-                       " corruption(s)";
-        res.findings.push_back(std::move(f));
-    }
-
-    // Allocation-size sinks: pairwise comparison of malloc arguments.
-    if (cfg_.sinks.allocSizes) {
-        std::size_t n = std::min(master_rec.allocs.size(),
-                                 slave_rec.allocs.size());
-        int reported = 0;
-        for (std::size_t i = 0; i < n && reported < 32; ++i) {
-            if (master_rec.allocs[i] != slave_rec.allocs[i]) {
-                Finding f;
-                f.kind = CauseKind::AllocSizeDiff;
-                f.observer = Side::Master;
-                f.masterValue =
-                    std::to_string(master_rec.allocs[i].second);
-                f.slaveValue =
-                    std::to_string(slave_rec.allocs[i].second);
-                res.findings.push_back(std::move(f));
-                ++reported;
-            }
-        }
-        if (master_rec.allocs.size() != slave_rec.allocs.size()) {
-            Finding f;
-            f.kind = CauseKind::AllocSizeDiff;
-            f.observer = Side::Master;
-            f.masterValue =
-                std::to_string(master_rec.allocs.size()) + " allocs";
-            f.slaveValue =
-                std::to_string(slave_rec.allocs.size()) + " allocs";
-            res.findings.push_back(std::move(f));
-        }
-    }
-
-    // Termination divergence (e.g., the slave crashed under mutation).
-    bool master_hijack = res.masterTrapped;
-    bool slave_hijack = res.slaveTrapped;
-    if (master_hijack != slave_hijack ||
-        (master_hijack && res.masterTrapMessage != res.slaveTrapMessage)) {
-        Finding f;
-        f.kind = CauseKind::TerminationDiff;
-        f.observer = Side::Master;
-        f.masterValue = res.masterTrapped ? res.masterTrapMessage : "ok";
-        f.slaveValue = res.slaveTrapped ? res.slaveTrapMessage : "ok";
-        res.findings.push_back(std::move(f));
-    }
-
-    // Per-channel findings were appended in whatever cross-thread
-    // order the controllers hit them, which the threaded driver does
-    // not reproduce run to run. Group by tid (stable within a tid,
-    // where order is guest-deterministic) so the findings list — and
-    // everything derived from it, like divergence.outcome — is
-    // identical across drivers and repeated runs.
-    std::stable_sort(res.findings.begin(), res.findings.end(),
-                     [](const Finding &a, const Finding &b) {
-                         return a.tid < b.tid;
-                     });
-
-    if (recorder) {
-        registry.counter("recorder.events.master")
-            .inc(recorder->total(0));
-        registry.counter("recorder.events.slave")
-            .inc(recorder->total(1));
-        registry.counter("recorder.dropped")
-            .inc(recorder->dropped(0) + recorder->dropped(1));
-        const bool non_clean =
-            !res.findings.empty() || res.deadlocked ||
-            res.masterTrapped || res.slaveTrapped ||
-            chan.decouples->value() || chan.watchdogExpired->value() ||
-            chan.sinkDiffs->value() || chan.sinkVanished->value();
-        if (non_clean) {
-            obs::DivergenceInput in;
-            in.recorder = &*recorder;
-            in.sysName = [](std::int64_t no) {
-                return os::sysName(no);
-            };
-            if (!res.findings.empty())
-                in.outcome = causeKindName(res.findings.front().kind);
-            else if (res.deadlocked)
-                in.outcome = "deadlock";
-            else if (chan.watchdogExpired->value())
-                in.outcome = "watchdog-expiry";
-            else
-                in.outcome = "decouple";
-            in.mutatedKeys = mutated.taintKeys;
-            in.taintedKeys.assign(res.taintedResources.begin(),
-                                  res.taintedResources.end());
-            // Both VMs have finished and the driver threads are
-            // joined, so the channels are quiescent: read them
-            // without their mutexes (locking here would perturb the
-            // chan.mutex_acquisitions tally).
-            chan.forEachChannel([&in](int tid, ThreadChannel &ch) {
-                obs::ChannelSnapshot snap;
-                snap.tid = tid;
-                for (int side = 0; side < 2; ++side) {
-                    snap.cnt[side] = ch.pos[side].cnt;
-                    snap.site[side] = ch.pos[side].site;
-                    snap.posKind[side] =
-                        static_cast<std::uint8_t>(ch.pos[side].kind);
-                    snap.cntStack[side] = ch.cntStack[side];
-                    snap.threadDone[side] = ch.threadDone[side];
-                }
-                snap.queueDepth = ch.queue.size();
-                in.channels.push_back(std::move(snap));
-            });
-            res.divergence = obs::buildDivergenceReport(in);
-        }
-    }
-    timer.end(); // verdict
-
-    publishSideStats(registry, "master", res.masterStats,
-                     master_kernel.stats());
-    publishSideStats(registry, "slave", res.slaveStats,
-                     slave_kernel.stats());
-    registry.counter("driver.steps.master")
-        .inc(chan.progress[0].load(std::memory_order_relaxed));
-    registry.counter("driver.steps.slave")
-        .inc(chan.progress[1].load(std::memory_order_relaxed));
-    registry.counter("chan.mutex_acquisitions")
-        .inc(chan.totalMutexAcquisitions());
-    registry.counter("dual.findings").inc(res.findings.size());
-    registry.gauge("dual.wall_seconds").set(res.wallSeconds);
-
-    res.metrics = registry.snapshot();
-    res.phases = timer.samples();
-    return res;
+    // One dual execution, start to finish. The resume loop only spins
+    // when a pausing snapshot trigger is attached (a paused run is
+    // simply continued — capture is the campaign executor's job, via
+    // DualRun directly); with no trigger or a probe-only trigger,
+    // drive() runs to completion on the first call.
+    DualRun run(module_, world_, cfg_);
+    while (!run.finished())
+        if (run.drive())
+            run.resume();
+    return run.finish();
 }
 
 } // namespace ldx::core

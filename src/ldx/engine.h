@@ -146,6 +146,16 @@ struct EngineConfig
      */
     obs::SiteCounters *masterSites = nullptr;
     obs::SiteCounters *slaveSites = nullptr;
+
+    /**
+     * Snapshot trigger/probe handed to both controllers (see
+     * SnapshotTrigger). The campaign's snapshot executor passes a
+     * pausing trigger to capture a fork point at the mutated source's
+     * first touch; its snapshot-off path passes a probe-only trigger
+     * to measure the same prefix without perturbing the run. Null for
+     * ordinary runs.
+     */
+    SnapshotTrigger *trigger = nullptr;
 };
 
 /** Dual-execution engine. */

@@ -137,6 +137,19 @@ class Kernel
     /** Heap segment base jitter for this execution's VM. */
     std::uint64_t heapBaseJitter() const { return spec_.heapBaseJitter; }
 
+    /**
+     * Swap this kernel's world for @p spec mid-execution (snapshot
+     * forking: the forked slave keeps the shared prefix state but its
+     * world must reflect a different mutation policy). Re-installs
+     * VFS content for files whose bytes changed and rewrites the
+     * inbound request of accepted-but-unread server connections; all
+     * other world reads (peers, env, incoming, nondet params) go
+     * through spec_ lazily and need no fixup. Sound only while no
+     * syscall has consumed a changed resource — the campaign's
+     * snapshot trigger pauses before the first such touch.
+     */
+    void patchWorld(const WorldSpec &spec);
+
   private:
     struct Fd
     {
@@ -152,6 +165,7 @@ class Kernel
         std::size_t respIdx = 0; ///< next scripted response
         std::string echoBuf;     ///< last sent payload (echo peers)
         std::string request;     ///< SocketServerConn inbound bytes
+        std::size_t incomingIdx = 0; ///< spec_.incoming slot accepted
     };
 
     std::int64_t now() const;

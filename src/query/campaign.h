@@ -118,6 +118,27 @@ struct CampaignConfig
      * cold and warm runs. Requires vmConfig.predecode.
      */
     bool siteProfile = false;
+
+    /**
+     * Snapshot/fork execution (`--snapshot`): group the plan's
+     * queries by source, run each group's shared master/slave prefix
+     * once (the carrier, paused at the source's first touch), and run
+     * the remaining policies as forks resumed from the captured
+     * snapshot — S·P full runs become S prefix runs plus S·P suffix
+     * runs (ldx/snapshot.h). Verdicts and the graph are byte-identical
+     * to the non-snapshot path, which remains the oracle
+     * (tests/snapshot_test.cc). Incompatible with siteProfile: a
+     * fork's site counters would miss the prefix's attribution.
+     */
+    bool snapshot = false;
+
+    /**
+     * Fault injection for the fuzz harness: every fork's slave-memory
+     * restore skips the Nth dirty 4096-byte page — the planted
+     * stale-snapshot bug that the snapshot-equality oracle must
+     * catch (vm::Memory::restore). 0 = off.
+     */
+    std::uint64_t chaosDropSnapshotPage = 0;
 };
 
 /**
@@ -175,6 +196,19 @@ struct CampaignResult
     std::uint64_t cancelledQueries = 0;
     std::uint64_t failedQueries = 0;
     std::uint64_t timedOutQueries = 0;
+
+    // Snapshot/fork tallies (campaign.snapshot.* in the registry;
+    // zero when CampaignConfig::snapshot is off).
+    std::uint64_t snapshotPrefixRuns = 0; ///< carrier prefixes captured
+    std::uint64_t snapshotForks = 0;      ///< suffix-only runs
+    std::uint64_t snapshotInstrsSaved = 0; ///< prefix instrs not re-run
+    /**
+     * Dual (master+slave) prefix instructions actually executed, as
+     * measured by the probe trigger at each mutated source's first
+     * touch. Reported in BOTH modes (campaign.dual.prefix_instrs) —
+     * the snapshot speedup claim is this number's on-vs-off ratio.
+     */
+    std::uint64_t prefixInstrs = 0;
 
     /** Phase timing (enumerate / plan / probe-cache / execute /
      *  aggregate), completion order. */

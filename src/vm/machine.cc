@@ -235,6 +235,8 @@ Machine::step()
     checkInvariant(started_, "Machine::step before start");
     if (finished_)
         return trap_ ? StepStatus::Trapped : StepStatus::Finished;
+    if (pausePending_)
+        return StepStatus::Stalled;
 
     int n = static_cast<int>(contexts_.size());
     std::vector<bool> tried(static_cast<std::size_t>(n), false);
@@ -270,6 +272,10 @@ Machine::step()
             --sliceLeft_;
             return StepStatus::Progress;
         }
+        // Pause before the rotate bookkeeping: the scheduler state
+        // stays exactly what it was going into this blocked attempt.
+        if (pausePending_)
+            return StepStatus::Stalled;
         // Blocked; rotate to the next candidate.
         sliceLeft_ = 0;
     }
@@ -308,6 +314,8 @@ Machine::stepMany(std::uint64_t budget, std::uint64_t &retired)
     checkInvariant(started_, "Machine::stepMany before start");
     if (finished_)
         return trap_ ? StepStatus::Trapped : StepStatus::Finished;
+    if (pausePending_)
+        return StepStatus::Stalled;
 
     if (!useFastPath()) {
         // Legacy oracle path: byte-for-byte the seed interpreter.
@@ -395,6 +403,9 @@ Machine::stepMany(std::uint64_t budget, std::uint64_t &retired)
         retired += got;
         if (finished_)
             return trap_ ? StepStatus::Trapped : StepStatus::Finished;
+        // Pause before the poll-set/slice bookkeeping (see step()).
+        if (pausePending_)
+            return StepStatus::Stalled;
         if (got > 0) {
             ++triedGen_; // progress resets the polled set
         } else {
@@ -423,6 +434,63 @@ Machine::run()
             return StepStatus::Trapped;
         }
     }
+}
+
+MachineImage
+Machine::captureImage() const
+{
+    MachineImage img;
+    img.memory = memory_->snapshot();
+    img.contexts.reserve(contexts_.size());
+    for (const auto &ctx : contexts_)
+        img.contexts.push_back(*ctx);
+    img.curCtx = curCtx_;
+    img.sliceLeft = sliceLeft_;
+    img.schedPrng = schedPrng_;
+    img.triedSeen = triedSeen_;
+    img.triedGen = triedGen_;
+    img.mutexOwner = mutexOwner_;
+    img.mutexWaiters = mutexWaiters_;
+    img.started = started_;
+    img.finished = finished_;
+    img.exitCode = exitCode_;
+    img.trap = trap_;
+    img.totalInstrs = totalInstrs_;
+    img.totalSyscalls = totalSyscalls_;
+    img.chaosCntAdds = chaosCntAdds_;
+    img.totalBarriers = totalBarriers_;
+    img.opCounts = opCounts_;
+    return img;
+}
+
+void
+Machine::restoreImage(const MachineImage &image,
+                      std::uint64_t chaos_drop_page)
+{
+    checkInvariant(image.memory != nullptr,
+                   "restoreImage on an empty MachineImage");
+    memory_->restore(*image.memory, chaos_drop_page);
+    contexts_.clear();
+    contexts_.reserve(image.contexts.size());
+    for (const Context &ctx : image.contexts)
+        contexts_.push_back(std::make_unique<Context>(ctx));
+    curCtx_ = image.curCtx;
+    sliceLeft_ = image.sliceLeft;
+    schedPrng_ = image.schedPrng;
+    triedSeen_ = image.triedSeen;
+    triedGen_ = image.triedGen;
+    mutexOwner_ = image.mutexOwner;
+    mutexWaiters_ = image.mutexWaiters;
+    started_ = image.started;
+    finished_ = image.finished;
+    exitCode_ = image.exitCode;
+    trap_ = image.trap;
+    totalInstrs_ = image.totalInstrs;
+    totalSyscalls_ = image.totalSyscalls;
+    chaosCntAdds_ = image.chaosCntAdds;
+    totalBarriers_ = image.totalBarriers;
+    opCounts_ = image.opCounts;
+    pausePending_ = false;
 }
 
 bool

@@ -1,0 +1,1007 @@
+/**
+ * @file
+ * Promoted golden-corpus programs (see corpus.h). Source text is
+ * frozen — regenerating from the seeds is NOT equivalent once the
+ * generator's grammar moves.
+ */
+#include "workloads/corpus/corpus.h"
+
+namespace ldx::workloads {
+
+const std::vector<CorpusEntry> &
+corpusEntries()
+{
+    static const std::vector<CorpusEntry> entries = {
+        {
+            "s002",
+            2,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 16;
+        unlock(0);
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    acc = (acc ^ (acc + 75));
+    {
+        int fd0 = open("/data.bin", 0);
+        char t0[8];
+        int r0 = read(fd0, t0, 7);
+        acc = acc + r0 + t0[((arr[5] - 78)) & 7];
+        close(fd0);
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper1(int p) {
+    int save = acc;
+    acc = p;
+    acc = acc + helper0((((inputv[9] - inputv[36]) * 5)) & 63);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper2(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int fd1 = open("/data.bin", 0);
+        char t1[8];
+        int r1 = read(fd1, t1, 7);
+        acc = acc + r1 + t1[(((arr[10] ^ acc) * 1)) & 7];
+        close(fd1);
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    {
+        int d2 = 7;
+        do {
+            arr[(((acc * 4) ^ (inputv[17] & 62))) & 15] = ((acc - 52) + acc);
+            acc = acc + helper2(((40 - acc)) & 63);
+            {
+                int *p3 = arr + ((((arr[12] * 2) & 197)) & 15);
+                *p3 = *p3 + 1;
+                acc = acc + *p3;
+            }
+            acc = acc;
+            d2 = d2 - 1;
+        } while (d2 > 0);
+    }
+    arr[((35 ^ (acc >> 3))) & 15] = acc;
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s006",
+            6,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 8;
+        unlock(0);
+        yield();
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int *p0 = &acc;
+        *p0 = *p0 ^ 17;
+    }
+    if (inputv[33] > 57) {
+        acc = acc + arr[(acc) & 15];
+    } else {
+        acc = acc + time() % 7;
+        inputv[(9) & 63] = (inputv[47]) & 127;
+        {
+            char ev1[16];
+            getenv("FUZZ", ev1, 15);
+            acc = acc + ev1[(((30 % 97) & 23)) & 15];
+        }
+    }
+    {
+        char *m2 = malloc(16);
+        memset(m2, (((acc ^ acc) + (60 - inputv[37]))) & 255, 16);
+        m2[(((acc ^ acc) & 163)) & 15] = (87) & 127;
+        acc = acc + m2[((arr[11] % 40)) & 15];
+        free(m2);
+    }
+    {
+        char ev3[16];
+        getenv("FUZZ", ev3, 15);
+        acc = acc + ev3[(((acc - arr[5]) ^ (arr[0] + inputv[34]))) & 15];
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper1(int p) {
+    int save = acc;
+    acc = p;
+    inputv[(arr[3]) & 63] = (acc) & 127;
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper2(int p) {
+    int save = acc;
+    acc = p;
+    if ((((arr[13] - 62) ^ (inputv[44] % 97))) < (arr[4])) {
+        acc = acc + getpid() % 13;
+        {
+            int fd4 = open("/data.bin", 0);
+            char t4[8];
+            int r4 = read(fd4, t4, 7);
+            acc = acc + r4 + t4[(inputv[21]) & 7];
+            close(fd4);
+        }
+    }
+    acc = acc + helper0((((acc - inputv[44]) & 132)) & 63);
+    inputv[((acc * 2)) & 63] = (inputv[37]) & 127;
+    acc = (7 + inputv[34]);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    if (inputv[11] > 45) {
+        {
+            int fd5 = open("/out2.log", 1);
+            itoa(acc & 65535, scratch);
+            write(fd5, scratch, strlen(scratch));
+            close(fd5);
+        }
+        {
+            char *p6 = inputv + ((arr[8]) & 63);
+            acc = acc + *p6;
+        }
+        acc = ((acc >> 2) - acc);
+        arr[(((inputv[5] - arr[2]) * 3)) & 15] = 79;
+    } else {
+        {
+            int fd7 = open("/data.bin", 0);
+            char t7[8];
+            int r7 = read(fd7, t7, 7);
+            acc = acc + r7 + t7[(((arr[15] >> 1) & 246)) & 7];
+            close(fd7);
+        }
+        {
+            char *m8 = malloc(16);
+            memset(m8, (((acc ^ arr[6]) >> 3)) & 255, 16);
+            m8[(((arr[14] & 142) - (acc % 80))) & 15] = (acc) & 127;
+            acc = acc + m8[((85 >> 4)) & 15];
+            free(m8);
+        }
+    }
+    acc = (72 - acc);
+    acc = (inputv[36] + acc);
+    if ((((37 * 5)) & 1) == 0) {
+        acc = acc + time() % 7;
+    } else {
+        {
+            int *p9 = &acc;
+            *p9 = *p9 ^ 37;
+        }
+        {
+            fn f10 = &helper0;
+            acc = acc + f10((80) & 63);
+        }
+        acc = acc ^ (rdtsc() & 255);
+        inputv[(acc) & 63] = (2) & 127;
+    }
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s007",
+            7,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 3;
+        unlock(0);
+        yield();
+        k = k + 1;
+    }
+    return 0;
+}
+
+int worker1(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(1);
+        shared1 = shared1 + p + k + 5;
+        unlock(1);
+        yield();
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    inputv[(acc) & 63] = (arr[12]) & 127;
+    if ((((inputv[40] - (arr[15] + acc))) & 1) == 0) {
+        acc = acc ^ (rdtsc() & 255);
+        acc = acc + rec1(inputv[44] & 7);
+        arr[(((33 * 4) >> 3)) & 15] = 68;
+    } else {
+        acc = (30 + (acc + 67));
+        {
+            int *p0 = &acc;
+            *p0 = *p0 ^ 39;
+        }
+        acc = acc;
+        acc = ((47 + inputv[5]) ^ (inputv[17] & 170));
+    }
+    acc = 34;
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    acc = arr[6];
+    if (inputv[8] > 81) {
+        {
+            int t1_0 = spawn(&worker1, (((acc % 27) & 1)) & 7);
+            join(t1_0);
+            acc = acc + shared0 + shared1;
+        }
+        {
+            int t2_0 = spawn(&worker0, (acc) & 7);
+            int t2_1 = spawn(&worker1, (inputv[22]) & 7);
+            join(t2_0);
+            join(t2_1);
+            acc = acc + shared0 + shared1;
+        }
+    } else {
+        {
+            int fd3 = open("/data.bin", 0);
+            char t3[8];
+            int r3 = read(fd3, t3, 7);
+            acc = acc + r3 + t3[(((shared0 >> 4) >> 4)) & 7];
+            close(fd3);
+        }
+    }
+    {
+        char ev4[16];
+        getenv("FUZZ", ev4, 15);
+        acc = acc + ev4[((arr[14] >> 3)) & 15];
+    }
+    {
+        int d5 = (inputv[1] & 7) + 1;
+        do {
+            acc = acc + helper0((((acc % 12) * 3)) & 63);
+            d5 = d5 - 1;
+        } while (d5 > 0);
+    }
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s014",
+            14,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 14;
+        unlock(0);
+        yield();
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    {
+        char *m0 = malloc(16);
+        memset(m0, (71) & 255, 16);
+        m0[(acc) & 15] = ((acc % 28)) & 127;
+        acc = acc + m0[(((acc ^ 76) * 3)) & 15];
+        free(m0);
+    }
+    acc = arr[8];
+    if (inputv[6] > 49) {
+        arr[(((acc ^ arr[15]) % 33)) & 15] = acc;
+        {
+            int fd1 = open("/data.bin", 0);
+            char t1[8];
+            int r1 = read(fd1, t1, 7);
+            acc = acc + r1 + t1[(acc) & 7];
+            close(fd1);
+        }
+    }
+    acc = acc + rec2(inputv[32] & 7);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    {
+        int fd2 = open("/data.bin", 0);
+        char t2[8];
+        int r2 = read(fd2, t2, 7);
+        acc = acc + r2 + t2[((inputv[35] + (acc + inputv[41]))) & 7];
+        close(fd2);
+    }
+    {
+        int s3 = socket();
+        connect(s3, "feed.example.com");
+        char rb3[16];
+        int r3 = recv(s3, rb3, 15);
+        acc = acc + r3;
+        if (r3 > 0) { acc = acc + rb3[(acc) & 15]; }
+        close(s3);
+    }
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s018",
+            18,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 0;
+        unlock(0);
+        yield();
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    acc = acc + rec1(inputv[38] & 7);
+    {
+        int *p0 = arr + (((inputv[13] + (acc % 30))) & 15);
+        *p0 = *p0 + 22;
+        acc = acc + *p0;
+    }
+    acc = inputv[35];
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    acc = acc + rec2(inputv[46] & 7);
+    {
+        char ev1[16];
+        getenv("FUZZ", ev1, 15);
+        acc = acc + ev1[(((42 & 61) >> 1)) & 15];
+    }
+    acc = arr[13];
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s020",
+            20,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 16;
+        unlock(0);
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    acc = inputv[12];
+    acc = acc + time() % 7;
+    if (inputv[45] > 81) {
+        {
+            int *p0 = arr + ((((inputv[7] >> 2) >> 2)) & 15);
+            *p0 = *p0 + 26;
+            acc = acc + *p0;
+        }
+        {
+            int *p1 = arr + (((arr[8] % 76)) & 15);
+            *p1 = *p1 + 12;
+            acc = acc + *p1;
+        }
+        {
+            int *p2 = &acc;
+            *p2 = *p2 ^ 59;
+        }
+        {
+            int fd3 = open("/data.bin", 0);
+            char t3[8];
+            int r3 = read(fd3, t3, 7);
+            acc = acc + r3 + t3[((acc & 64)) & 7];
+            close(fd3);
+        }
+    } else {
+        {
+            char ev4[16];
+            getenv("FUZZ", ev4, 15);
+            acc = acc + ev4[(acc) & 15];
+        }
+    }
+    arr[(19) & 15] = ((acc % 20) + (arr[15] % 77));
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper1(int p) {
+    int save = acc;
+    acc = p;
+    if (((inputv[33] >> 1)) < (17)) {
+        acc = acc + getpid() % 13;
+        {
+            char *p5 = inputv + (((acc - acc)) & 63);
+            acc = acc + *p5;
+        }
+    }
+    {
+        int fd6 = open("/out0.log", 1);
+        itoa(acc & 65535, scratch);
+        write(fd6, scratch, strlen(scratch));
+        close(fd6);
+    }
+    {
+        int s7 = socket();
+        connect(s7, "feed.example.com");
+        char rb7[16];
+        int r7 = recv(s7, rb7, 15);
+        acc = acc + r7;
+        if (r7 > 0) { acc = acc + rb7[(((56 & 154) >> 4)) & 15]; }
+        close(s7);
+    }
+    {
+        fn f8 = &helper0;
+        acc = acc + f8((arr[11]) & 63);
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper2(int p) {
+    int save = acc;
+    acc = p;
+    acc = ((acc ^ acc) + acc);
+    acc = acc + helper0((((inputv[47] >> 3) >> 1)) & 63);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    acc = acc;
+    {
+        char ev9[16];
+        getenv("FUZZ", ev9, 15);
+        acc = acc + ev9[(((inputv[13] + acc) + (acc - 97))) & 15];
+    }
+    {
+        int fd10 = open("/out2.log", 1);
+        itoa(acc & 65535, scratch);
+        write(fd10, scratch, strlen(scratch));
+        close(fd10);
+    }
+    {
+        int t11_0 = spawn(&worker0, (inputv[8]) & 7);
+        int t11_1 = spawn(&worker0, (36) & 7);
+        join(t11_0);
+        join(t11_1);
+        acc = acc + shared0 + shared1;
+    }
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s040",
+            40,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 8;
+        unlock(0);
+        yield();
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    inputv[(((acc - acc) - (acc ^ 73))) & 63] = (arr[8]) & 127;
+    acc = acc ^ (rdtsc() & 255);
+    acc = ((18 + arr[1]) - acc);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper1(int p) {
+    int save = acc;
+    acc = p;
+    acc = acc + helper0((((arr[8] * 4) >> 4)) & 63);
+    {
+        int s0 = socket();
+        connect(s0, "feed.example.com");
+        char rb0[16];
+        int r0 = recv(s0, rb0, 15);
+        acc = acc + r0;
+        if (r0 > 0) { acc = acc + rb0[(arr[12]) & 15]; }
+        close(s0);
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper2(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int fd1 = open("/data.bin", 0);
+        char t1[8];
+        int r1 = read(fd1, t1, 7);
+        acc = acc + r1 + t1[(acc) & 7];
+        close(fd1);
+    }
+    if ((acc) % 6 == 0) {
+        arr[(acc) & 15] = ((acc + inputv[1]) + (arr[8] % 18));
+        {
+            int fd2 = open("/data.bin", 0);
+            char t2[8];
+            int r2 = read(fd2, t2, 7);
+            acc = acc + r2 + t2[(inputv[33]) & 7];
+            close(fd2);
+        }
+        acc = acc + getpid() % 13;
+        acc = (acc - acc);
+    }
+    acc = acc + time() % 7;
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    {
+        int s3 = socket();
+        connect(s3, "feed.example.com");
+        char rb3[16];
+        int r3 = recv(s3, rb3, 15);
+        acc = acc + r3;
+        if (r3 > 0) { acc = acc + rb3[(((acc - acc) + 71)) & 15]; }
+        close(s3);
+    }
+    {
+        int fd4 = open("/data.bin", 0);
+        char t4[8];
+        int r4 = read(fd4, t4, 7);
+        acc = acc + r4 + t4[(((acc >> 4) ^ (acc % 55))) & 7];
+        close(fd4);
+    }
+    {
+        char ev5[16];
+        getenv("FUZZ", ev5, 15);
+        acc = acc + ev5[(inputv[0]) & 15];
+    }
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s059",
+            59,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 9;
+        unlock(0);
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int fd0 = open("/data.bin", 0);
+        char t0[8];
+        int r0 = read(fd0, t0, 7);
+        acc = acc + r0 + t0[(((inputv[18] ^ inputv[0]) * 2)) & 7];
+        close(fd0);
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper1(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int s1 = socket();
+        connect(s1, "sink.example.com");
+        itoa(acc & 4095, scratch);
+        send(s1, scratch, strlen(scratch));
+        close(s1);
+    }
+    {
+        int fd2 = open("/data.bin", 0);
+        char t2[8];
+        int r2 = read(fd2, t2, 7);
+        acc = acc + r2 + t2[(((acc * 3) & 23)) & 7];
+        close(fd2);
+    }
+    acc = acc;
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper2(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int d3 = 4;
+        do {
+            {
+                int s4 = socket();
+                connect(s4, "feed.example.com");
+                char rb4[16];
+                int r4 = recv(s4, rb4, 15);
+                acc = acc + r4;
+                if (r4 > 0) { acc = acc + rb4[(arr[11]) & 15]; }
+                close(s4);
+            }
+            acc = acc + rec1(inputv[2] & 7);
+            acc = acc ^ (rdtsc() & 255);
+            d3 = d3 - 1;
+        } while (d3 > 0);
+    }
+    if ((inputv[42]) % 6 == 1) {
+        acc = acc + arr[(64) & 15];
+        {
+            int s5 = socket();
+            connect(s5, "feed.example.com");
+            char rb5[16];
+            int r5 = recv(s5, rb5, 15);
+            acc = acc + r5;
+            if (r5 > 0) { acc = acc + rb5[(inputv[6]) & 15]; }
+            close(s5);
+        }
+        acc = acc + helper1((((inputv[8] % 95) % 43)) & 63);
+    } else {
+        {
+            int fd6 = open("/data.bin", 0);
+            char t6[8];
+            int r6 = read(fd6, t6, 7);
+            acc = acc + r6 + t6[(((acc & 2) * 4)) & 7];
+            close(fd6);
+        }
+        acc = 3;
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    {
+        int s7 = socket();
+        connect(s7, "feed.example.com");
+        char rb7[16];
+        int r7 = recv(s7, rb7, 15);
+        acc = acc + r7;
+        if (r7 > 0) { acc = acc + rb7[(acc) & 15]; }
+        close(s7);
+    }
+    {
+        int t8_0 = spawn(&worker0, ((63 % 3)) & 7);
+        int t8_1 = spawn(&worker0, ((shared1 >> 3)) & 7);
+        join(t8_0);
+        join(t8_1);
+        acc = acc + shared0 + shared1;
+    }
+    acc = ((acc ^ shared0) & 245);
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+    };
+    return entries;
+}
+
+} // namespace ldx::workloads

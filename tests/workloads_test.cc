@@ -7,11 +7,18 @@
  */
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/generator.h"
 #include "instrument/instrument.h"
 #include "ir/verifier.h"
+#include "lang/compiler.h"
 #include "ldx/engine.h"
 #include "os/kernel.h"
+#include "query/campaign.h"
 #include "vm/machine.h"
+#include "workloads/corpus/corpus.h"
 #include "workloads/workloads.h"
 
 namespace ldx {
@@ -141,6 +148,87 @@ TEST(WorkloadRegistry, NamesAreUnique)
     std::set<std::string> names;
     for (const Workload &w : workloads::allWorkloads())
         EXPECT_TRUE(names.insert(w.name).second) << w.name;
+}
+
+// ---------------------------------------------------------------
+// Promoted golden corpus (src/workloads/corpus/): each checked-in
+// fuzzer program's campaign graph must match its golden byte for
+// byte — with the snapshot/fork path off AND on. A diff means some
+// stage of the pipeline (front end, instrumentation, enumeration,
+// dual execution, aggregation, snapshot resume) changed observable
+// behaviour; regenerate the goldens only for intentional changes.
+// ---------------------------------------------------------------
+
+std::string
+readGolden(const std::string &name)
+{
+    std::ifstream in(std::string(LDX_CORPUS_DIR) + "/" + name +
+                     ".golden.json");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+class GoldenCorpus : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(GoldenCorpus, CampaignGraphMatchesGoldenBothModes)
+{
+    const workloads::CorpusEntry *entry = nullptr;
+    for (const workloads::CorpusEntry &e : workloads::corpusEntries())
+        if (e.name == GetParam())
+            entry = &e;
+    ASSERT_NE(entry, nullptr);
+
+    std::string golden = readGolden(entry->name);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden " << entry->name << ".golden.json";
+
+    auto module = lang::compileSource(entry->source);
+    instrument::CounterInstrumenter pass(*module);
+    pass.run();
+    os::WorldSpec world =
+        fuzz::ProgramGenerator::worldFor(entry->seed);
+
+    query::CampaignConfig cfg;
+    query::CampaignResult off =
+        query::runCampaign(*module, world, cfg);
+    EXPECT_EQ(off.graph.toJson(), golden);
+
+    cfg.snapshot = true;
+    query::CampaignResult on = query::runCampaign(*module, world, cfg);
+    EXPECT_EQ(on.graph.toJson(), golden);
+}
+
+std::vector<std::string>
+corpusNames()
+{
+    std::vector<std::string> names;
+    for (const workloads::CorpusEntry &e : workloads::corpusEntries())
+        names.push_back(e.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Promoted, GoldenCorpus, ::testing::ValuesIn(corpusNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(GoldenCorpus, HasEightDiverseEntries)
+{
+    const auto &entries = workloads::corpusEntries();
+    EXPECT_EQ(entries.size(), 8u);
+    std::set<std::string> names;
+    bool any_threaded = false, any_single = false;
+    for (const workloads::CorpusEntry &e : entries) {
+        EXPECT_TRUE(names.insert(e.name).second) << e.name;
+        (e.source.find("spawn(") != std::string::npos ? any_threaded
+                                                      : any_single) =
+            true;
+    }
+    EXPECT_TRUE(any_threaded);
+    EXPECT_TRUE(any_single);
 }
 
 } // namespace

@@ -6,7 +6,8 @@
  *   ldx dual <prog.mc> [options]      dual-execute, print the verdict
  *   ldx taint <prog.mc> [options]     run a taint-tracking baseline
  *   ldx dump <prog.mc> [options]      print the (instrumented) IR
- *   ldx corpus                        list the built-in workloads
+ *   ldx corpus                        list the built-in workloads and
+ *                                     the promoted golden corpus
  *   ldx bench <workload-name>         dual-execute a built-in workload
  *   ldx explain <workload|prog.mc>    dual-execute with the flight
  *                                     recorder and print the
@@ -105,9 +106,21 @@
  *   --inject-skip-cnt N  fault injection: skip every Nth CntAdd in
  *                        both VMs (oracle self-test; the sweep is
  *                        expected to fail)
+ *   --inject-drop-snapshot-page N
+ *                        fault injection: drop the Nth dirty memory
+ *                        page from every snapshot fork's slave
+ *                        restore (stale-snapshot self-test; the
+ *                        sweep's snapshot-equality oracle is
+ *                        expected to fail)
  *
  * Campaign options (campaign):
  *   --jobs N             worker threads (default 1)
+ *   --snapshot[=off]     snapshot/fork execution (default off): run
+ *                        each source's shared dual prefix once and
+ *                        fork every policy from the captured state;
+ *                        verdicts and graphs are byte-identical to
+ *                        the full-run path (docs/CAMPAIGN.md);
+ *                        incompatible with --site-profile-out
  *   --queue-cap N        max outstanding queries (default 256)
  *   --deadline-ms N      per-query deadline (default 30000)
  *   --policies LIST      comma list of off-by-one,zero,bit-flip,random
@@ -173,6 +186,7 @@
 #include "taint/tracker.h"
 #include "vm/image.h"
 #include "vm/machine.h"
+#include "workloads/corpus/corpus.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -214,6 +228,7 @@ struct CliOptions
 
     // campaign
     int jobs = 1;
+    bool snapshot = false;
     std::size_t queueCap = 256;
     double deadlineMs = 30'000.0;
     std::vector<core::MutationStrategy> policies;
@@ -246,6 +261,7 @@ struct CliOptions
     std::string fuzzReplay;
     bool fuzzShrink = true;
     std::uint64_t fuzzInjectSkipCnt = 0;
+    std::uint64_t fuzzInjectDropSnapshotPage = 0;
 };
 
 [[noreturn]] void
@@ -258,7 +274,7 @@ usage(const std::string &error = "")
         "       ldx corpus | ldx bench <workload>\n"
         "       ldx explain <workload|prog.mc> [options]\n"
         "       ldx profile <workload|prog.mc> [options]\n"
-        "       ldx campaign <workload|prog.mc> [options]\n"
+        "       ldx campaign <workload|corpus-name|prog.mc> [options]\n"
         "       ldx compile <prog.mc> --image-cache-dir DIR\n"
         "       ldx fuzz [options]\n"
         "see the file header of tools/ldx_cli.cc for options\n";
@@ -515,6 +531,14 @@ parseArgs(int argc, char **argv)
             opt.fuzzInjectSkipCnt =
                 parseUint(next("--inject-skip-cnt"),
                           "--inject-skip-cnt");
+        } else if (arg == "--inject-drop-snapshot-page") {
+            opt.fuzzInjectDropSnapshotPage =
+                parseUint(next("--inject-drop-snapshot-page"),
+                          "--inject-drop-snapshot-page", 1);
+        } else if (arg == "--snapshot") {
+            opt.snapshot = true;
+        } else if (arg == "--snapshot=off") {
+            opt.snapshot = false;
         } else if (arg == "--jobs") {
             opt.jobs = static_cast<int>(
                 parseUint(next("--jobs"), "--jobs", 1));
@@ -848,12 +872,32 @@ cmdCompile(const CliOptions &opt)
     return 0;
 }
 
+/**
+ * Resolve a promoted golden-corpus entry by name ("s002") or with
+ * the explicit "corpus:" prefix, for commands that accept program
+ * names (src/workloads/corpus/corpus.h).
+ */
+const workloads::CorpusEntry *
+findCorpusEntry(const std::string &name)
+{
+    for (const workloads::CorpusEntry &e : workloads::corpusEntries())
+        if (e.name == name || "corpus:" + e.name == name)
+            return &e;
+    return nullptr;
+}
+
 int
 cmdCorpus()
 {
     for (const workloads::Workload &w : workloads::allWorkloads()) {
         std::cout << w.name << "  [" << categoryName(w.category)
                   << "]  " << w.description << "\n";
+    }
+    for (const workloads::CorpusEntry &e : workloads::corpusEntries()) {
+        std::cout << e.name << "  [golden]  promoted fuzzer program "
+                  << "(seed " << e.seed << ", golden campaign graph "
+                  << "src/workloads/corpus/" << e.name
+                  << ".golden.json)\n";
     }
     return 0;
 }
@@ -1095,10 +1139,21 @@ cmdCampaign(const CliOptions &opt)
     query::CampaignConfig cfg;
     cfg.vmConfig.dispatch = opt.dispatch;
     const workloads::Workload *w = workloads::findWorkload(opt.program);
+    std::unique_ptr<ir::Module> corpus_module;
     if (w) {
         cfg.sinks = w->sinks;
         module = &workloads::workloadModule(*w, true);
         world = w->world(w->defaultScale);
+    } else if (const workloads::CorpusEntry *ce =
+                   findCorpusEntry(opt.program)) {
+        // Promoted golden-corpus program: checked-in source text, the
+        // world still derived from the originating generator seed.
+        cfg.sinks = opt.sinks;
+        corpus_module = lang::compileSource(ce->source);
+        instrument::CounterInstrumenter pass(*corpus_module);
+        pass.run();
+        module = corpus_module.get();
+        world = fuzz::ProgramGenerator::worldFor(ce->seed);
     } else {
         cfg.sinks = opt.sinks;
         owned = compileProgram(opt, true, &front);
@@ -1119,6 +1174,10 @@ cmdCampaign(const CliOptions &opt)
     cfg.deadlineSeconds = opt.deadlineMs / 1e3;
     cfg.cacheCapacity = opt.cacheCap;
     cfg.cacheDir = opt.cacheDir;
+    cfg.snapshot = opt.snapshot;
+    if (opt.snapshot && !opt.siteProfileOut.empty())
+        usage("--snapshot is incompatible with --site-profile-out "
+              "(a fork's site counters would miss the prefix)");
     cfg.cancel = &g_campaignCancel;
     cfg.registry = &registry;
     cfg.traceSink = sink.get();
@@ -1189,6 +1248,10 @@ cmdCampaign(const CliOptions &opt)
         << " executed, " << res.cancelledQueries << " cancelled, "
         << res.failedQueries << " failed, " << res.timedOutQueries
         << " timed out)\n";
+    if (opt.snapshot)
+        out << "snapshot: " << res.snapshotPrefixRuns
+            << " prefix runs, " << res.snapshotForks << " forks, "
+            << res.snapshotInstrsSaved << " instrs saved\n";
     out << res.graph.summaryText();
     for (std::size_t i = 0; i < res.queries.size(); ++i)
         if (res.outcomes[i].status == query::RunStatus::Failed)
@@ -1246,6 +1309,7 @@ fuzzOracleOptions(const CliOptions &opt)
     oopt.mutationSources = opt.fuzzMutations;
     oopt.fullMatrix = opt.fuzzMatrix == "full";
     oopt.chaosSkipCntAddPeriod = opt.fuzzInjectSkipCnt;
+    oopt.chaosDropSnapshotPage = opt.fuzzInjectDropSnapshotPage;
     oopt.imageCacheDir = opt.imageCacheDir;
     return oopt;
 }
