@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "ir/printer.h"
 #include "obs/recorder.h"
@@ -12,7 +13,9 @@ namespace ldx::query {
 
 namespace {
 
-constexpr const char *kRecordMagic = "ldx-campaign-cache v1";
+// v2 added the trailing `end\t<fnv1a>` sentinel; v1 records (no
+// sentinel) deliberately fail to parse and are recomputed.
+constexpr const char *kRecordMagic = "ldx-campaign-cache v2";
 
 void
 appendKv(std::string &out, const std::string &k, const std::string &v)
@@ -105,13 +108,32 @@ serializeVerdict(const QueryVerdict &v)
         appendKv(out, "edge",
                  e.sinkId + "\t" + e.kind + "\t" +
                      std::to_string(e.count));
+    // End sentinel: a checksum of the full body. A writer killed
+    // mid-record — even exactly at a line boundary — leaves a file
+    // without a matching sentinel, which parses as a clean miss.
+    appendKv(out, "end", std::to_string(obs::fnv1a(out)));
     return out;
 }
 
 std::optional<QueryVerdict>
 parseVerdict(const std::string &text)
 {
-    std::istringstream in(text);
+    // The final line must be the end sentinel, and its checksum must
+    // cover everything before it. Anything else is a torn or foreign
+    // record and reads as a miss.
+    if (text.empty() || text.back() != '\n')
+        return std::nullopt;
+    std::size_t prev = text.rfind('\n', text.size() - 2);
+    std::size_t lastStart = prev == std::string::npos ? 0 : prev + 1;
+    std::string last =
+        text.substr(lastStart, text.size() - 1 - lastStart);
+    if (last.rfind("end\t", 0) != 0)
+        return std::nullopt;
+    std::string body = text.substr(0, lastStart);
+    if (last.substr(4) != std::to_string(obs::fnv1a(body)))
+        return std::nullopt;
+
+    std::istringstream in(body);
     std::string line;
     if (!std::getline(in, line) || line != kRecordMagic)
         return std::nullopt;
@@ -187,6 +209,18 @@ ResultCache::touch(std::map<CacheKey, std::size_t>::iterator it)
 std::optional<QueryVerdict>
 ResultCache::lookup(const CacheKey &key)
 {
+    std::optional<QueryVerdict> v = peek(key);
+    if (!v) {
+        ++misses_;
+        if (registry_)
+            registry_->counter("campaign.cache.misses").inc();
+    }
+    return v;
+}
+
+std::optional<QueryVerdict>
+ResultCache::peek(const CacheKey &key)
+{
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         touch(it);
@@ -199,6 +233,7 @@ ResultCache::lookup(const CacheKey &key)
         std::optional<QueryVerdict> disk = loadFromDisk(key);
         if (disk) {
             ++hits_;
+            ++diskLoads_;
             if (registry_) {
                 registry_->counter("campaign.cache.hits").inc();
                 registry_->counter("campaign.cache.disk_loads").inc();
@@ -209,9 +244,6 @@ ResultCache::lookup(const CacheKey &key)
             return disk;
         }
     }
-    ++misses_;
-    if (registry_)
-        registry_->counter("campaign.cache.misses").inc();
     return std::nullopt;
 }
 
@@ -276,12 +308,234 @@ ResultCache::storeToDisk(const CacheKey &key, const QueryVerdict &verdict)
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     std::string path = dir_ + "/" + key.digest() + ".ldxq";
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
+    // Write-to-temp + atomic rename: a reader never observes a
+    // half-written record, and concurrent writers of the same key
+    // each land a complete record (last rename wins). The temp name
+    // is per-thread-unique so concurrent writers don't tear each
+    // other's temp files either.
+    std::string tmp =
+        path + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+                           std::this_thread::get_id()) &
+                       0xffffff);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return;
+        out << serializeVerdict(verdict);
+        if (!out) {
+            out.close();
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
         return;
-    out << serializeVerdict(verdict);
+    }
+    ++diskStores_;
     if (registry_)
         registry_->counter("campaign.cache.disk_stores").inc();
+}
+
+// ---------------------------------------------------------------
+// ShardedResultCache
+// ---------------------------------------------------------------
+
+ShardedResultCache::ShardedResultCache(std::size_t capacity,
+                                       std::size_t shards,
+                                       std::string dir,
+                                       obs::Registry *registry)
+    : registry_(registry)
+{
+    if (capacity == 0)
+        capacity = 1;
+    if (shards == 0)
+        shards = 1;
+    if (shards > capacity)
+        shards = capacity; // keep every shard cap >= 1 exact
+    // Split the global cap across shards; the remainder goes to the
+    // first shards so the caps sum to exactly `capacity`.
+    std::size_t base = capacity / shards;
+    std::size_t extra = capacity % shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>(
+            base + (i < extra ? 1 : 0), dir));
+}
+
+ShardedResultCache::Shard &
+ShardedResultCache::shardFor(const CacheKey &key)
+{
+    return *shards_[obs::fnv1a(key.digest()) % shards_.size()];
+}
+
+std::optional<QueryVerdict>
+ShardedResultCache::peekLocked(Shard &shard, const CacheKey &key,
+                               obs::Registry *tenant)
+{
+    std::uint64_t loads = shard.cache.diskLoads();
+    std::optional<QueryVerdict> v = shard.cache.peek(key);
+    if (!v)
+        return std::nullopt;
+    bool fromDisk = shard.cache.diskLoads() != loads;
+    if (registry_) {
+        registry_->counter("serve.cache.hits").inc();
+        if (fromDisk)
+            registry_->counter("serve.cache.disk_loads").inc();
+    }
+    if (tenant) {
+        tenant->counter("campaign.cache.hits").inc();
+        if (fromDisk)
+            tenant->counter("campaign.cache.disk_loads").inc();
+    }
+    return v;
+}
+
+void
+ShardedResultCache::countMiss(obs::Registry *tenant)
+{
+    missCount_.fetch_add(1, std::memory_order_relaxed);
+    if (registry_)
+        registry_->counter("serve.cache.misses").inc();
+    if (tenant)
+        tenant->counter("campaign.cache.misses").inc();
+}
+
+void
+ShardedResultCache::storeLocked(Shard &shard, const CacheKey &key,
+                                const QueryVerdict &verdict,
+                                obs::Registry *tenant)
+{
+    std::uint64_t evicts = shard.cache.evictions();
+    std::uint64_t stores = shard.cache.diskStores();
+    shard.cache.store(key, verdict);
+    if (shard.cache.evictions() != evicts) {
+        if (registry_)
+            registry_->counter("serve.cache.evictions").inc();
+        if (tenant)
+            tenant->counter("campaign.cache.evictions").inc();
+    }
+    if (shard.cache.diskStores() != stores) {
+        if (registry_)
+            registry_->counter("serve.cache.disk_stores").inc();
+        if (tenant)
+            tenant->counter("campaign.cache.disk_stores").inc();
+    }
+}
+
+std::optional<QueryVerdict>
+ShardedResultCache::lookup(const CacheKey &key, obs::Registry *tenant)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::optional<QueryVerdict> v = peekLocked(shard, key, tenant);
+    if (!v)
+        countMiss(tenant);
+    return v;
+}
+
+void
+ShardedResultCache::store(const CacheKey &key,
+                          const QueryVerdict &verdict,
+                          obs::Registry *tenant)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    storeLocked(shard, key, verdict, tenant);
+}
+
+QueryVerdict
+ShardedResultCache::getOrCompute(const CacheKey &key,
+                                 const std::function<QueryVerdict()> &fn,
+                                 bool *computed, obs::Registry *tenant)
+{
+    Shard &shard = shardFor(key);
+    std::string digest = key.digest();
+    {
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        for (;;) {
+            std::optional<QueryVerdict> v =
+                peekLocked(shard, key, tenant);
+            if (v) {
+                if (computed)
+                    *computed = false;
+                return *v;
+            }
+            if (!shard.inflight.count(digest))
+                break;
+            // Another thread is computing this exact key: wait and
+            // re-probe. The eventual probe counts as a hit; only
+            // the computing thread charges the miss.
+            shard.cv.wait(lock, [&] {
+                return !shard.inflight.count(digest);
+            });
+        }
+        countMiss(tenant);
+        shard.inflight.insert(digest);
+    }
+    QueryVerdict verdict;
+    try {
+        verdict = fn(); // outside the shard lock
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.inflight.erase(digest);
+        }
+        shard.cv.notify_all();
+        throw;
+    }
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        storeLocked(shard, key, verdict, tenant);
+        shard.inflight.erase(digest);
+    }
+    shard.cv.notify_all();
+    if (computed)
+        *computed = true;
+    return verdict;
+}
+
+std::size_t
+ShardedResultCache::size() const
+{
+    std::size_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        total += s->cache.size();
+    }
+    return total;
+}
+
+std::uint64_t
+ShardedResultCache::hits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        total += s->cache.hits();
+    }
+    return total;
+}
+
+std::uint64_t
+ShardedResultCache::misses() const
+{
+    // Shards probe via ResultCache::peek (which never counts a
+    // miss), so misses are tallied here at the sharded level.
+    return missCount_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+ShardedResultCache::evictions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        total += s->cache.evictions();
+    }
+    return total;
 }
 
 } // namespace ldx::query

@@ -19,10 +19,16 @@
  */
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -80,6 +86,13 @@ class ResultCache
     /** Verdict for @p key, or nullopt. Counts a hit or a miss. */
     std::optional<QueryVerdict> lookup(const CacheKey &key);
 
+    /**
+     * Like lookup() but a failed probe does not count as a miss.
+     * The sharded tier uses this to avoid charging a miss to a
+     * waiter that is about to be served by an in-flight compute.
+     */
+    std::optional<QueryVerdict> peek(const CacheKey &key);
+
     /** Insert (or refresh) @p verdict under @p key. */
     void store(const CacheKey &key, const QueryVerdict &verdict);
 
@@ -87,8 +100,12 @@ class ResultCache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t diskLoads() const { return diskLoads_; }
+    std::uint64_t diskStores() const { return diskStores_; }
 
   private:
+    friend class ShardedResultCache;
+
     void touch(std::map<CacheKey, std::size_t>::iterator it);
     void storeInMemory(const CacheKey &key, const QueryVerdict &verdict);
     std::optional<QueryVerdict> loadFromDisk(const CacheKey &key);
@@ -114,11 +131,95 @@ class ResultCache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t diskLoads_ = 0;
+    std::uint64_t diskStores_ = 0;
+};
+
+/**
+ * Process-wide concurrent verdict cache: N independently locked
+ * shards, each a bounded ResultCache, all sharing one disk tier.
+ * The global in-memory cap is split evenly across shards so the
+ * whole structure never holds more than @p capacity entries. Keys
+ * are routed to shards by digest hash, so every thread agrees on
+ * the owning shard and the per-shard lock serializes that key.
+ *
+ * Metrics are double-booked: every operation bumps the process-wide
+ * registry passed to the constructor under `serve.cache.*`, and the
+ * optional per-call @p tenant registry under the same
+ * `campaign.cache.*` names the single-threaded ResultCache uses —
+ * so a campaign served through the shared cache reports the exact
+ * counters an offline run of the same job would.
+ */
+class ShardedResultCache
+{
+  public:
+    /**
+     * @param capacity  global in-memory entry cap (>= 1)
+     * @param shards    shard count (clamped to [1, capacity])
+     * @param dir       shared persistence directory ("" = memory only)
+     * @param registry  process-wide metrics registry (may be null)
+     */
+    ShardedResultCache(std::size_t capacity, std::size_t shards,
+                       std::string dir, obs::Registry *registry);
+
+    /** Verdict for @p key, or nullopt. Counts a hit or a miss. */
+    std::optional<QueryVerdict> lookup(const CacheKey &key,
+                                       obs::Registry *tenant = nullptr);
+
+    /** Insert (or refresh) @p verdict under @p key. */
+    void store(const CacheKey &key, const QueryVerdict &verdict,
+               obs::Registry *tenant = nullptr);
+
+    /**
+     * Return the cached verdict for @p key, computing it via @p fn at
+     * most once per residency even when many threads ask at once:
+     * the first requester computes (outside the shard lock) while
+     * later requesters block until the result lands, then read it as
+     * a hit. @p computed reports whether this call ran @p fn.
+     */
+    QueryVerdict getOrCompute(const CacheKey &key,
+                              const std::function<QueryVerdict()> &fn,
+                              bool *computed = nullptr,
+                              obs::Registry *tenant = nullptr);
+
+    std::size_t shardCount() const { return shards_.size(); }
+    std::size_t size() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t evictions() const;
+
+  private:
+    struct Shard
+    {
+        Shard(std::size_t capacity, std::string dir)
+            : cache(capacity, std::move(dir), nullptr)
+        {}
+        std::mutex mutex;
+        std::condition_variable cv;
+        ResultCache cache;
+        std::set<std::string> inflight; ///< digests being computed
+    };
+
+    Shard &shardFor(const CacheKey &key);
+    std::optional<QueryVerdict> peekLocked(Shard &shard,
+                                           const CacheKey &key,
+                                           obs::Registry *tenant);
+    void countMiss(obs::Registry *tenant);
+    void storeLocked(Shard &shard, const CacheKey &key,
+                     const QueryVerdict &verdict, obs::Registry *tenant);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    obs::Registry *registry_;
+    std::atomic<std::uint64_t> missCount_{0};
 };
 
 /**
  * Serialize @p verdict as the versioned text record used by the disk
- * tier (docs/CAMPAIGN.md "Cache key & record format").
+ * tier (docs/CAMPAIGN.md "Cache key & record format"). Records end
+ * with an `end\t<fnv1a>` sentinel line covering everything before
+ * it, so a record truncated by a killed or crashed writer — even at
+ * a clean line boundary — parses as corrupt rather than as a
+ * shorter-but-valid verdict.
  */
 std::string serializeVerdict(const QueryVerdict &verdict);
 

@@ -110,7 +110,17 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
     // Every query's probe is a span on the pipeline lane; a hit
     // additionally emits the query's terminal `query.cached` marker.
     timer.begin("campaign.probe-cache");
-    ResultCache cache(cfg.cacheCapacity, cfg.cacheDir, reg);
+    // Private cache unless the caller provides the process-wide
+    // sharded tier (`ldx serve`); either way the probe runs on this
+    // thread so only misses reach the pool.
+    ResultCache cache(cfg.cacheCapacity,
+                      cfg.sharedCache ? std::string() : cfg.cacheDir,
+                      reg);
+    auto probe = [&](const CacheKey &key) {
+        return cfg.sharedCache ? cfg.sharedCache->lookup(key, reg)
+                               : cache.lookup(key);
+    };
+    std::uint64_t probe_hits = 0, probe_misses = 0;
     std::vector<std::size_t> misses;
     for (const CampaignQuery &q : res.queries) {
         // Site profiling bypasses the cache: a cached verdict has no
@@ -121,17 +131,21 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
             continue;
         }
         std::int64_t probe_t0 = obs::nowUs();
-        std::optional<QueryVerdict> v = cache.lookup(keyOf(res, q));
+        std::optional<QueryVerdict> v = probe(keyOf(res, q));
         obs::emitSpan(cfg.traceSink, "query.probe", q.index,
                       obs::kPipelineLane, probe_t0,
                       obs::nowUs() - probe_t0);
         if (v) {
+            ++probe_hits;
             res.verdicts[q.index] = std::move(*v);
             res.fromCache[q.index] = true;
             res.outcomes[q.index].status = RunStatus::Done;
             obs::emitSpan(cfg.traceSink, "query.cached", q.index,
                           obs::kPipelineLane, obs::nowUs(), -1);
+            if (cfg.onVerdict)
+                cfg.onVerdict(q, *res.verdicts[q.index], true);
         } else {
+            ++probe_misses;
             misses.push_back(q.index);
         }
     }
@@ -191,6 +205,8 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
                     probe.prefixInstrs[1].load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
         miss_verdicts[j] = verdictFromResult(r);
+        if (cfg.onVerdict)
+            cfg.onVerdict(q, *miss_verdicts[j], false);
         if (cfg.siteProfile) {
             // Compact the dual counters into the hot (fn, idx) set:
             // master cost plus the retired delta against the slave.
@@ -221,6 +237,7 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
     scfg.cancel = cfg.cancel;
     scfg.registry = reg;
     scfg.traceSink = cfg.traceSink;
+    scfg.shared = cfg.sharedPool;
     std::vector<RunOutcome> pool;
     if (cfg.snapshot) {
         // Snapshot mode: the pool's unit of work is a *group* — the
@@ -263,8 +280,12 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
             std::vector<core::DualResult> results =
                 core::runSnapshotGroup(module, world, ecfg, policies,
                                        gs, cfg.chaosDropSnapshotPage);
-            for (std::size_t i = 0; i < slots.size(); ++i)
+            for (std::size_t i = 0; i < slots.size(); ++i) {
                 miss_verdicts[slots[i]] = verdictFromResult(results[i]);
+                if (cfg.onVerdict)
+                    cfg.onVerdict(res.queries[misses[slots[i]]],
+                                  *miss_verdicts[slots[i]], false);
+            }
             snap_prefix_runs.fetch_add(gs.prefixRuns,
                                        std::memory_order_relaxed);
             snap_forks.fetch_add(gs.forks, std::memory_order_relaxed);
@@ -296,7 +317,12 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
         res.outcomes[qi] = pool[j];
         if (pool[j].status == RunStatus::Done && miss_verdicts[j]) {
             res.verdicts[qi] = std::move(miss_verdicts[j]);
-            cache.store(keyOf(res, res.queries[qi]), *res.verdicts[qi]);
+            if (cfg.sharedCache)
+                cfg.sharedCache->store(keyOf(res, res.queries[qi]),
+                                       *res.verdicts[qi], reg);
+            else
+                cache.store(keyOf(res, res.queries[qi]),
+                            *res.verdicts[qi]);
             res.queryProfiles[qi] = std::move(miss_profiles[j]);
         }
     }
@@ -361,9 +387,12 @@ runCampaign(const ir::Module &module, const os::WorldSpec &world,
     reg->counter("campaign.snapshot.instrs_saved")
         .inc(res.snapshotInstrsSaved);
     reg->counter("campaign.dual.prefix_instrs").inc(res.prefixInstrs);
-    res.cacheHits = cache.hits();
-    res.cacheMisses = cache.misses();
-    res.cacheEvictions = cache.evictions();
+    res.cacheHits = probe_hits;
+    res.cacheMisses = probe_misses;
+    // Evictions are per-tenant for a private cache but process-wide
+    // for the shared tier (serve.cache.evictions), so a shared-cache
+    // campaign reports none of its own.
+    res.cacheEvictions = cfg.sharedCache ? 0 : cache.evictions();
 
     std::vector<const QueryVerdict *> slots(res.queries.size(), nullptr);
     for (std::size_t i = 0; i < res.queries.size(); ++i)

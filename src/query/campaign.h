@@ -139,6 +139,37 @@ struct CampaignConfig
      * catch (vm::Memory::restore). 0 = off.
      */
     std::uint64_t chaosDropSnapshotPage = 0;
+
+    /**
+     * Process-wide sharded verdict cache (`ldx serve`). When set the
+     * campaign probes and populates it instead of constructing a
+     * private ResultCache; `cacheCapacity`/`cacheDir` are ignored
+     * (the shared cache owns both) while per-campaign
+     * campaign.cache.* counters still land in `registry`.
+     * CampaignResult::cacheEvictions reads 0 — evictions belong to
+     * the process, not to any one tenant (serve.cache.evictions).
+     */
+    ShardedResultCache *sharedCache = nullptr;
+
+    /**
+     * Process-wide worker pool (`ldx serve`). When set the campaign
+     * runs as one tenant of the pool (SchedulerConfig::shared):
+     * `jobs` is ignored, `queueCap` stays the per-tenant admission
+     * cap, and the output bytes are unchanged from a private pool.
+     */
+    SharedPool *sharedPool = nullptr;
+
+    /**
+     * Streaming hook (`ldx serve`): called once per query that
+     * produced a verdict — on the planning thread for cache hits
+     * (query-index order), from a worker thread right after each
+     * dual execution otherwise (completion order; may be called
+     * concurrently). Cancelled/failed queries never fire it; read
+     * their disposition from CampaignResult after the run.
+     */
+    std::function<void(const CampaignQuery &, const QueryVerdict &,
+                       bool fromCache)>
+        onVerdict;
 };
 
 /**

@@ -43,12 +43,15 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace ldx::query {
+
+class SharedPool;
 
 /** How one scheduled query ended. */
 enum class RunStatus
@@ -104,6 +107,16 @@ struct SchedulerConfig
      * null. Must outlive the pool and have `count` entries.
      */
     const std::vector<std::size_t> *spanIds = nullptr;
+
+    /**
+     * When set, the run executes as one *tenant* of this process-wide
+     * pool instead of spinning up private workers: `jobs` is ignored
+     * (the pool owns the thread count) while `queueCap`, `cancel`,
+     * `registry`, `traceSink` and `spanIds` keep their per-campaign
+     * meaning. Results still land in a slot array indexed by item,
+     * so campaign output stays byte-identical to a private pool run.
+     */
+    SharedPool *shared = nullptr;
 };
 
 /**
@@ -114,5 +127,73 @@ struct SchedulerConfig
 std::vector<RunOutcome> runOnPool(std::size_t count,
                                   const std::function<void(std::size_t)> &fn,
                                   const SchedulerConfig &cfg);
+
+/**
+ * Process-wide worker pool shared by many concurrent campaigns
+ * (`ldx serve`). Each campaign registers as a *tenant* with its own
+ * FIFO queue; workers draw from tenants with a rotating fair cursor,
+ * one item per visit, so a huge job cannot starve small ones — the
+ * tenant-level fair dequeue replaces intra-pool stealing (within a
+ * tenant, items run oldest-first). Per-tenant admission stays the
+ * campaign's own `queueCap`, so a tenant's submitter blocks while
+ * its backlog is at cap exactly like the private pool.
+ *
+ * Determinism: outcomes land in the tenant's slot array and each
+ * campaign aggregates only after its own drain, so the bytes a
+ * tenant produces are independent of pool size and of whatever the
+ * other tenants are doing.
+ */
+class SharedPool
+{
+  public:
+    struct Config
+    {
+        /** Worker threads shared by all tenants (>= 1). */
+        int jobs = 1;
+        /** Server-wide metrics registry (may be null): feeds the
+         *  serve.pool.* counters and serve.queries_inflight gauge. */
+        obs::Registry *registry = nullptr;
+    };
+
+    explicit SharedPool(const Config &cfg);
+    ~SharedPool();
+
+    SharedPool(const SharedPool &) = delete;
+    SharedPool &operator=(const SharedPool &) = delete;
+
+    int jobs() const { return jobs_; }
+
+    /** Tenants currently registered (drained tenants drop off). */
+    std::size_t tenantCount() const;
+
+    /**
+     * Execute one campaign's items as a tenant. Called by runOnPool
+     * when SchedulerConfig::shared is set; blocks until every
+     * submitted item finished (cancelled items are never started).
+     */
+    std::vector<RunOutcome>
+    runTenant(std::size_t count,
+              const std::function<void(std::size_t)> &fn,
+              const SchedulerConfig &cfg);
+
+  private:
+    struct Tenant;
+
+    void workerLoop(int self);
+    Tenant *pickTenant();  ///< fair rotating scan; mutex_ held
+    bool pickableWork();   ///< any tenant has queued items; mutex_ held
+
+    int jobs_;
+    obs::Registry *registry_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::vector<Tenant *> tenants_; ///< registration order
+    std::size_t cursor_ = 0;        ///< next tenant slot to serve
+    std::size_t inflight_ = 0;      ///< submitted, unfinished (all tenants)
+    std::atomic<int> activeWorkers_{0};
+    bool shutdown_ = false;
+    std::vector<std::thread> threads_;
+};
 
 } // namespace ldx::query

@@ -1,0 +1,220 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "serve/wire.h"
+
+namespace ldx::serve {
+
+namespace {
+
+/** Blocking line-framed reader over a connected socket. */
+struct LineReader
+{
+    int fd;
+    std::string buf;
+
+    /** Next line (without '\n'); false on EOF/error. */
+    bool
+    next(std::string &line)
+    {
+        for (;;) {
+            std::size_t nl = buf.find('\n');
+            if (nl != std::string::npos) {
+                line = buf.substr(0, nl);
+                buf.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                return true;
+            }
+            char chunk[4096];
+            ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            buf.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+};
+
+bool
+sendLine(int fd, const std::string &frame)
+{
+    std::string line = frame;
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+int
+runSubmit(const SubmitOptions &opts, std::ostream &out,
+          std::ostream &err)
+{
+    if (opts.socketPath.empty()) {
+        err << "[ldx] submit requires --socket PATH\n";
+        return 2;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socketPath.size() >= sizeof addr.sun_path) {
+        err << "[ldx] --socket path too long: " << opts.socketPath
+            << "\n";
+        return 2;
+    }
+    std::memcpy(addr.sun_path, opts.socketPath.c_str(),
+                opts.socketPath.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err << "[ldx] cannot create socket: " << std::strerror(errno)
+            << "\n";
+        return 2;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        err << "[ldx] cannot connect to " << opts.socketPath << ": "
+            << std::strerror(errno) << "\n";
+        ::close(fd);
+        return 2;
+    }
+
+    if (!sendLine(fd, renderHello(std::string())) ||
+        !sendLine(fd, renderSubmit(opts.request))) {
+        err << "[ldx] cannot send to " << opts.socketPath << ": "
+            << std::strerror(errno) << "\n";
+        ::close(fd);
+        return 2;
+    }
+
+    LineReader reader{fd, {}};
+    std::string line;
+    std::string graph_json;
+    bool have_graph = false;
+    bool done = false;
+    bool drained = false;
+    int exit_code = 3;
+    DoneStats stats;
+
+    while (!done && reader.next(line)) {
+        if (line.empty())
+            continue;
+        std::string perr;
+        std::optional<JsonValue> frame = parseJson(line, &perr);
+        if (!frame || !frame->isObject()) {
+            err << "[ldx] malformed server frame: " << perr << "\n";
+            ::close(fd);
+            return 2;
+        }
+        std::string type = frame->stringOr("type", "");
+        if (type == "hello") {
+            std::string proto = frame->stringOr("proto", "");
+            if (proto != kProtocol) {
+                err << "[ldx] server speaks " << proto << ", not "
+                    << kProtocol << "\n";
+                ::close(fd);
+                return 2;
+            }
+        } else if (type == "accepted") {
+            out << "accepted: job " << opts.request.id << ", "
+                << frame->uintOr("queries", 0) << " queries\n";
+        } else if (type == "rejected") {
+            err << "[ldx] job " << opts.request.id
+                << " rejected: " << frame->stringOr("reason", "?")
+                << "\n";
+            ::close(fd);
+            return 2;
+        } else if (type == "verdict") {
+            if (opts.stream)
+                out << "verdict " << frame->uintOr("query", 0) << " "
+                    << frame->stringOr("source", "?") << " ["
+                    << frame->stringOr("policy", "?")
+                    << "] causality="
+                    << (frame->boolOr("causality", false) ? "yes"
+                                                          : "no")
+                    << " quality="
+                    << frame->stringOr("quality", "?")
+                    << (frame->boolOr("cached", false) ? " (cached)"
+                                                       : "")
+                    << "\n";
+        } else if (type == "skipped") {
+            if (opts.stream)
+                out << "skipped " << frame->uintOr("query", 0) << " ("
+                    << frame->stringOr("status", "?") << ")\n";
+        } else if (type == "graph") {
+            graph_json = frame->stringOr("json", "");
+            have_graph = true;
+        } else if (type == "done") {
+            done = true;
+            exit_code = static_cast<int>(frame->uintOr("exit", 3));
+            stats.queries = frame->uintOr("queries", 0);
+            stats.cached = frame->uintOr("cached", 0);
+            stats.executed = frame->uintOr("executed", 0);
+            stats.cancelled = frame->uintOr("cancelled", 0);
+            stats.failed = frame->uintOr("failed", 0);
+            stats.timedOut = frame->uintOr("timed_out", 0);
+            stats.edges = frame->uintOr("edges", 0);
+        } else if (type == "drained") {
+            drained = true;
+            break;
+        } else if (type == "error") {
+            err << "[ldx] server error: "
+                << frame->stringOr("message", "?") << "\n";
+            ::close(fd);
+            return 2;
+        }
+    }
+    ::close(fd);
+
+    if (!done) {
+        err << "[ldx] job " << opts.request.id
+            << (drained ? " interrupted: server drained\n"
+                        : " interrupted: connection closed\n");
+        return 3;
+    }
+
+    // Mirror the offline `ldx campaign` summary line so scripts (and
+    // the CI warm-path grep) treat both paths uniformly.
+    out << "queries: " << stats.queries << " (" << stats.cached
+        << " cached, " << stats.executed << " executed, "
+        << stats.cancelled << " cancelled, " << stats.failed
+        << " failed, " << stats.timedOut << " timed out)\n";
+    out << "causality edges: " << stats.edges << "\n";
+
+    if (!opts.graphOut.empty()) {
+        if (!have_graph) {
+            err << "[ldx] no graph frame received; not writing "
+                << opts.graphOut << "\n";
+            return 3;
+        }
+        std::ofstream f(opts.graphOut, std::ios::binary);
+        f << graph_json;
+        if (!f) {
+            err << "[ldx] cannot write " << opts.graphOut << "\n";
+            return 2;
+        }
+        out << "wrote causality graph: " << opts.graphOut << " ("
+            << graph_json.size() << " bytes)\n";
+    }
+    return exit_code;
+}
+
+} // namespace ldx::serve

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * `ldx submit` — the client side of the `ldx-serve-v1` protocol
+ * (docs/SERVE.md "Submitting jobs").
+ *
+ * Connects to a running `ldx serve` daemon, submits one job, streams
+ * verdict frames as they arrive, and exits with the same code the
+ * offline `ldx campaign` would have produced (the daemon computes it
+ * from the identical campaign result). `--graph-out` writes the
+ * streamed graph verbatim — byte-identical to the offline artifact.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace ldx::serve {
+
+/** One `ldx submit` invocation. */
+struct SubmitOptions
+{
+    std::string socketPath; ///< daemon socket (required)
+    SubmitRequest request;  ///< the job to submit
+
+    /** Write the streamed graph JSON here ("" = don't). */
+    std::string graphOut;
+
+    /** Print each verdict frame as it arrives (--stream). */
+    bool stream = false;
+};
+
+/**
+ * Submit one job and wait for its terminal frame.
+ *
+ * Returns the job's campaign exit code (0 no causality, 1 causality,
+ * 3 failed queries), 2 on connect/usage/rejection, or 3 when the
+ * server drained or the connection dropped before the job finished.
+ */
+int runSubmit(const SubmitOptions &opts, std::ostream &out,
+              std::ostream &err);
+
+} // namespace ldx::serve

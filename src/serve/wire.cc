@@ -1,0 +1,314 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace ldx::serve {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/** Cursor over the input with a shared error slot. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string *error;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (error && error->empty())
+            *error = why + " at byte " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseValue(JsonValue &out, int depth);
+    bool parseString(std::string &out);
+    bool parseNumber(JsonValue &out);
+    bool parseLiteral(const char *lit, JsonValue &out,
+                      JsonValue::Kind kind, bool boolean);
+};
+
+void
+appendUtf8(std::string &out, unsigned cp)
+{
+    if (cp < 0x80) {
+        out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+        out += static_cast<char>(0xC0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+        out += static_cast<char>(0xE0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+        out += static_cast<char>(0xF0 | (cp >> 18));
+        out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+}
+
+bool
+hex4(const std::string &text, std::size_t pos, unsigned &out)
+{
+    if (pos + 4 > text.size())
+        return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+        char c = text[pos + i];
+        out <<= 4;
+        if (c >= '0' && c <= '9')
+            out |= static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            out |= static_cast<unsigned>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            out |= static_cast<unsigned>(c - 'A' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+bool
+Parser::parseString(std::string &out)
+{
+    if (!consume('"'))
+        return fail("expected string");
+    out.clear();
+    while (pos < text.size()) {
+        char c = text[pos++];
+        if (c == '"')
+            return true;
+        if (c == '\\') {
+            if (pos >= text.size())
+                return fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  unsigned cp = 0;
+                  if (!hex4(text, pos, cp))
+                      return fail("bad \\u escape");
+                  pos += 4;
+                  // Surrogate pair: a high surrogate must be followed
+                  // by \uDC00..\uDFFF; combine into one code point.
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      unsigned lo = 0;
+                      if (pos + 2 > text.size() || text[pos] != '\\' ||
+                          text[pos + 1] != 'u' ||
+                          !hex4(text, pos + 2, lo) || lo < 0xDC00 ||
+                          lo > 0xDFFF)
+                          return fail("bad surrogate pair");
+                      pos += 6;
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (lo - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                      return fail("lone low surrogate");
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+            continue;
+        }
+        if (static_cast<unsigned char>(c) < 0x20)
+            return fail("raw control character in string");
+        out += c;
+    }
+    return fail("unterminated string");
+}
+
+bool
+Parser::parseNumber(JsonValue &out)
+{
+    std::size_t start = pos;
+    if (consume('-')) {
+    }
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-'))
+        ++pos;
+    if (pos == start)
+        return fail("expected number");
+    std::string num = text.substr(start, pos - start);
+    char *end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size() || !std::isfinite(v))
+        return fail("malformed number");
+    out.kind = JsonValue::Kind::Number;
+    out.number = v;
+    return true;
+}
+
+bool
+Parser::parseLiteral(const char *lit, JsonValue &out,
+                     JsonValue::Kind kind, bool boolean)
+{
+    std::size_t n = 0;
+    while (lit[n])
+        ++n;
+    if (text.compare(pos, n, lit) != 0)
+        return fail("unknown literal");
+    pos += n;
+    out.kind = kind;
+    out.boolean = boolean;
+    return true;
+}
+
+bool
+Parser::parseValue(JsonValue &out, int depth)
+{
+    if (depth > kMaxDepth)
+        return fail("nesting too deep");
+    skipWs();
+    if (pos >= text.size())
+        return fail("unexpected end of input");
+    char c = text[pos];
+    if (c == '{') {
+        ++pos;
+        out.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+    if (c == '[') {
+        ++pos;
+        out.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+    if (c == '"') {
+        out.kind = JsonValue::Kind::String;
+        return parseString(out.str);
+    }
+    if (c == 't')
+        return parseLiteral("true", out, JsonValue::Kind::Bool, true);
+    if (c == 'f')
+        return parseLiteral("false", out, JsonValue::Kind::Bool, false);
+    if (c == 'n')
+        return parseLiteral("null", out, JsonValue::Kind::Null, false);
+    return parseNumber(out);
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::String ? v->str : fallback;
+}
+
+std::uint64_t
+JsonValue::uintOr(const std::string &key, std::uint64_t fallback) const
+{
+    const JsonValue *v = find(key);
+    if (!v || v->kind != Kind::Number)
+        return fallback;
+    if (v->number < 0 || v->number != std::floor(v->number))
+        return fallback;
+    return static_cast<std::uint64_t>(v->number);
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::Bool ? v->boolean : fallback;
+}
+
+std::optional<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser p{text, 0, error};
+    JsonValue out;
+    if (!p.parseValue(out, 0))
+        return std::nullopt;
+    p.skipWs();
+    if (p.pos != text.size()) {
+        p.fail("trailing content");
+        return std::nullopt;
+    }
+    return out;
+}
+
+} // namespace ldx::serve

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal JSON value model + parser for the `ldx serve` wire
+ * protocol (docs/SERVE.md). The rest of the repo only *writes* JSON
+ * (obs/json.h); the service daemon is the first component that must
+ * read it, so this is a deliberately small recursive-descent parser:
+ * UTF-8 pass-through, \uXXXX decoding, a depth cap against hostile
+ * nesting, and no allocation tricks. Not a general-purpose library —
+ * just enough to parse one NDJSON frame per call.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ldx::serve {
+
+/** One parsed JSON value (a small tagged tree). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    /** Object members in document order (duplicates kept; find()
+     *  returns the first). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::vector<JsonValue> items;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** First member named @p key, or nullptr (objects only). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member @p key as a string; @p fallback when absent/not one. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    /** Member @p key as a non-negative integer; @p fallback when
+     *  absent, not a number, negative, or fractional. */
+    std::uint64_t uintOr(const std::string &key,
+                         std::uint64_t fallback) const;
+
+    /** Member @p key as a bool; @p fallback when absent/not one. */
+    bool boolOr(const std::string &key, bool fallback) const;
+};
+
+/**
+ * Parse @p text as one JSON document. Trailing non-whitespace, bad
+ * escapes, unterminated structures, and nesting deeper than 64
+ * levels all fail; @p error (may be null) receives a short reason.
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *error = nullptr);
+
+} // namespace ldx::serve

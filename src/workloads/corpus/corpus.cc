@@ -1000,6 +1000,610 @@ int main() {
 
 )__corpus__",
         },
+        {
+            "s061",
+            61,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 0;
+        unlock(0);
+        k = k + 1;
+    }
+    return 0;
+}
+
+int worker1(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(1);
+        shared1 = shared1 + p + k + 16;
+        unlock(1);
+        yield();
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int s0 = socket();
+        connect(s0, "sink.example.com");
+        itoa(acc & 4095, scratch);
+        send(s0, scratch, strlen(scratch));
+        close(s0);
+    }
+    if (((inputv[31]) & 1) == 0) {
+        acc = acc + getpid() % 13;
+    } else {
+        {
+            int fd1 = open("/data.bin", 0);
+            char t1[8];
+            int r1 = read(fd1, t1, 7);
+            acc = acc + r1 + t1[((75 ^ (acc - inputv[6]))) & 7];
+            close(fd1);
+        }
+        acc = acc;
+        acc = ((acc & 9) - (inputv[42] ^ acc));
+    }
+    acc = (acc * 3);
+    acc = inputv[19];
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper1(int p) {
+    int save = acc;
+    acc = p;
+    acc = acc + helper0((((arr[7] + arr[9]) % 61)) & 63);
+    {
+        int s2 = socket();
+        connect(s2, "feed.example.com");
+        char rb2[16];
+        int r2 = recv(s2, rb2, 15);
+        acc = acc + r2;
+        if (r2 > 0) { acc = acc + rb2[(50) & 15]; }
+        close(s2);
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper2(int p) {
+    int save = acc;
+    acc = p;
+    arr[(28) & 15] = ((inputv[33] + inputv[16]) >> 4);
+    acc = (acc + (34 >> 2));
+    acc = acc ^ (random() % 1000);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    {
+        fn f3 = &helper0;
+        acc = acc + f3((inputv[6]) & 63);
+    }
+    {
+        int w4 = 4;
+        while (w4 > 0) {
+            acc = 95;
+            {
+                char *m5 = malloc(16);
+                memset(m5, (((inputv[8] ^ acc) % 18)) & 255, 16);
+                m5[((arr[2] ^ (81 ^ acc))) & 15] = ((inputv[21] & 13)) & 127;
+                acc = acc + m5[((acc + (arr[8] % 51))) & 15];
+                free(m5);
+            }
+            acc = acc + rec1(inputv[45] & 7);
+            {
+                int d6 = 7;
+                do {
+                    acc = acc + arr[(acc) & 15];
+                    acc = acc + rec1(inputv[7] & 7);
+                    d6 = d6 - 1;
+                } while (d6 > 0);
+            }
+            w4 = w4 - 1;
+        }
+    }
+    {
+        int t7_0 = spawn(&worker0, (arr[4]) & 7);
+        int t7_1 = spawn(&worker0, (shared1) & 7);
+        join(t7_0);
+        join(t7_1);
+        acc = acc + shared0 + shared1;
+    }
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s092",
+            92,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 12;
+        unlock(0);
+        k = k + 1;
+    }
+    return 0;
+}
+
+int worker1(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(1);
+        shared1 = shared1 + p + k + 19;
+        unlock(1);
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int s0 = socket();
+        connect(s0, "sink.example.com");
+        itoa(acc & 4095, scratch);
+        send(s0, scratch, strlen(scratch));
+        close(s0);
+    }
+    acc = (acc ^ (76 ^ 35));
+    acc = ((94 ^ 98) & 52);
+    {
+        int s1 = socket();
+        connect(s1, "sink.example.com");
+        itoa(acc & 4095, scratch);
+        send(s1, scratch, strlen(scratch));
+        close(s1);
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper1(int p) {
+    int save = acc;
+    acc = p;
+    acc = acc + helper0((acc) & 63);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    if ((((acc - acc)) & 1) == 0) {
+        if (((((acc * 4) >> 3)) & 1) == 0) {
+            acc = acc ^ (rdtsc() & 255);
+            acc = acc ^ (rdtsc() & 255);
+            {
+                char *m2 = malloc(16);
+                memset(m2, (((inputv[25] + inputv[7]) - arr[10])) & 255, 16);
+                m2[(((8 % 53) ^ acc)) & 15] = ((acc & 84)) & 127;
+                acc = acc + m2[((arr[9] & 77)) & 15];
+                free(m2);
+            }
+            {
+                char *m3 = malloc(16);
+                memset(m3, (99) & 255, 16);
+                m3[((acc + (acc ^ inputv[33]))) & 15] = (((acc * 3) % 86)) & 127;
+                acc = acc + m3[(arr[12]) & 15];
+                free(m3);
+            }
+        } else {
+            acc = ((acc ^ acc) + arr[2]);
+            inputv[(((acc * 1) + (inputv[44] % 68))) & 63] = ((arr[14] ^ 67)) & 127;
+            {
+                int fd4 = open("/data.bin", 0);
+                char t4[8];
+                int r4 = read(fd4, t4, 7);
+                acc = acc + r4 + t4[(acc) & 7];
+                close(fd4);
+            }
+        }
+    }
+    {
+        int s5 = socket();
+        connect(s5, "feed.example.com");
+        char rb5[16];
+        int r5 = recv(s5, rb5, 15);
+        acc = acc + r5;
+        if (r5 > 0) { acc = acc + rb5[(acc) & 15]; }
+        close(s5);
+    }
+    {
+        int fd6 = open("/data.bin", 0);
+        char t6[8];
+        int r6 = read(fd6, t6, 7);
+        acc = acc + r6 + t6[(acc) & 7];
+        close(fd6);
+    }
+    if (((((inputv[24] - acc) + acc)) & 1) == 0) {
+        {
+            int t7_0 = spawn(&worker1, ((inputv[20] % 87)) & 7);
+            int t7_1 = spawn(&worker0, ((inputv[15] - inputv[37])) & 7);
+            join(t7_0);
+            join(t7_1);
+            acc = acc + shared0 + shared1;
+        }
+        acc = ((inputv[44] >> 3) & 250);
+        if (((inputv[23]) & 1) == 0) {
+            {
+                fn f8 = &helper1;
+                acc = acc + f8((shared1) & 63);
+            }
+            {
+                int fd9 = open("/data.bin", 0);
+                char t9[8];
+                int r9 = read(fd9, t9, 7);
+                acc = acc + r9 + t9[(79) & 7];
+                close(fd9);
+            }
+            acc = acc + rec1(inputv[26] & 7);
+            {
+                fn f10 = &helper1;
+                acc = acc + f10(((inputv[12] ^ (acc ^ 48))) & 63);
+            }
+        } else {
+            acc = acc ^ (random() % 1000);
+            acc = arr[4];
+            {
+                int s11 = socket();
+                connect(s11, "sink.example.com");
+                itoa(acc & 4095, scratch);
+                send(s11, scratch, strlen(scratch));
+                close(s11);
+            }
+            {
+                int s12 = socket();
+                connect(s12, "feed.example.com");
+                char rb12[16];
+                int r12 = recv(s12, rb12, 15);
+                acc = acc + r12;
+                if (r12 > 0) { acc = acc + rb12[(acc) & 15]; }
+                close(s12);
+            }
+        }
+        if ((((acc * 5) - (inputv[18] & 183))) < (arr[0])) {
+            acc = acc + arr[(((5 * 5) ^ acc)) & 15];
+            {
+                int s13 = socket();
+                connect(s13, "feed.example.com");
+                char rb13[16];
+                int r13 = recv(s13, rb13, 15);
+                acc = acc + r13;
+                if (r13 > 0) { acc = acc + rb13[(78) & 15]; }
+                close(s13);
+            }
+            {
+                int s14 = socket();
+                connect(s14, "feed.example.com");
+                char rb14[16];
+                int r14 = recv(s14, rb14, 15);
+                acc = acc + r14;
+                if (r14 > 0) { acc = acc + rb14[(acc) & 15]; }
+                close(s14);
+            }
+            {
+                int *p15 = &acc;
+                *p15 = *p15 ^ 18;
+            }
+        } else {
+            {
+                char *m16 = malloc(16);
+                memset(m16, (acc) & 255, 16);
+                m16[(shared1) & 15] = ((inputv[1] + (arr[7] ^ arr[8]))) & 127;
+                acc = acc + m16[(((acc + 54) & 134)) & 15];
+                free(m16);
+            }
+            {
+                int s17 = socket();
+                connect(s17, "sink.example.com");
+                itoa(acc & 4095, scratch);
+                send(s17, scratch, strlen(scratch));
+                close(s17);
+            }
+        }
+    }
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s134",
+            134,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 5;
+        unlock(0);
+        yield();
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    acc = acc;
+    acc = (acc & 127);
+    acc = (9 >> 4);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper1(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int fd0 = open("/out1.log", 2);
+        itoa(acc & 65535, scratch);
+        write(fd0, scratch, strlen(scratch));
+        close(fd0);
+    }
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    if ((acc) % 5 == 1) {
+        {
+            int fd1 = open("/out2.log", 2);
+            itoa(acc & 65535, scratch);
+            write(fd1, scratch, strlen(scratch));
+            close(fd1);
+        }
+        {
+            int d2 = 3;
+            do {
+                acc = acc ^ (rdtsc() & 255);
+                acc = ((38 - acc) % 4);
+                d2 = d2 - 1;
+            } while (d2 > 0);
+        }
+        acc = ((acc - acc) * 3);
+        {
+            int t3_0 = spawn(&worker0, (arr[14]) & 7);
+            join(t3_0);
+            acc = acc + shared0 + shared1;
+        }
+    }
+    {
+        int t4_0 = spawn(&worker0, (((inputv[33] + inputv[10]) >> 1)) & 7);
+        int t4_1 = spawn(&worker0, ((inputv[0] % 96)) & 7);
+        join(t4_0);
+        join(t4_1);
+        acc = acc + shared0 + shared1;
+    }
+    {
+        int *p5 = arr + ((((acc ^ acc) % 93)) & 15);
+        *p5 = *p5 + 16;
+        acc = acc + *p5;
+    }
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
+        {
+            "s183",
+            183,
+            R"__corpus__(char inputv[64];
+int acc;
+int arr[16];
+char scratch[32];
+int shared0;
+int shared1;
+
+int worker0(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(0);
+        shared0 = shared0 + p + k + 17;
+        unlock(0);
+        k = k + 1;
+    }
+    return 0;
+}
+
+int worker1(int p) {
+    int k = 0;
+    while (k < (p & 3) + 1) {
+        lock(1);
+        shared1 = shared1 + p + k + 15;
+        unlock(1);
+        k = k + 1;
+    }
+    return 0;
+}
+
+int rec1(int n) {
+    if (n <= 0) { return 0; }
+    time();
+    return n + rec2(n - 1);
+}
+
+int rec2(int n) {
+    if (n <= 0) { return 1; }
+    return n + rec1(n - 2);
+}
+
+int helper0(int p) {
+    int save = acc;
+    acc = p;
+    {
+        int fd0 = open("/out1.log", 1);
+        itoa(acc & 65535, scratch);
+        write(fd0, scratch, strlen(scratch));
+        close(fd0);
+    }
+    acc = (inputv[34] >> 1);
+    acc = acc ^ (random() % 1000);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper1(int p) {
+    int save = acc;
+    acc = p;
+    acc = ((arr[5] >> 2) ^ (acc >> 4));
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int helper2(int p) {
+    int save = acc;
+    acc = p;
+    acc = acc + rec1(inputv[6] & 7);
+    acc = acc + rec1(inputv[34] & 7);
+    int r = acc;
+    acc = save;
+    return r % 1000;
+}
+
+int main() {
+    {
+        int fd = open("/input.txt", 0);
+        int n = read(fd, inputv, 63);
+        close(fd);
+        acc = n;
+    }
+    acc = acc + helper1((((89 * 1) & 23)) & 63);
+    if (inputv[2] > 93) {
+        acc = acc;
+        acc = acc + time() % 7;
+    } else {
+        acc = acc + rec1(inputv[1] & 7);
+        acc = acc + rec2(inputv[18] & 7);
+        acc = acc + rec1(inputv[21] & 7);
+    }
+    {
+        int t1_0 = spawn(&worker1, (((shared0 - 11) & 58)) & 7);
+        int t1_1 = spawn(&worker1, (((shared0 & 175) ^ (shared1 + acc))) & 7);
+        join(t1_0);
+        join(t1_1);
+        acc = acc + shared0 + shared1;
+    }
+    {
+        itoa(acc % 100000, scratch);
+        int s = socket();
+        connect(s, "sink.example.com");
+        send(s, scratch, strlen(scratch));
+    }
+    return 0;
+}
+
+)__corpus__",
+        },
     };
     return entries;
 }

@@ -10,8 +10,10 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "instrument/instrument.h"
 #include "lang/compiler.h"
@@ -236,6 +238,167 @@ TEST(Cache, RecordRoundTripsAndRejectsCorruption)
 
     EXPECT_FALSE(query::parseVerdict("not a record").has_value());
     EXPECT_FALSE(query::parseVerdict("").has_value());
+}
+
+// A torn write must read as a clean miss, never a partial verdict.
+// The v2 record ends with a checksummed `end` sentinel, so EVERY
+// proper prefix is invalid — including ones cut at a line boundary,
+// which v1 would have accepted silently (dropping trailing edges).
+TEST(Cache, TruncatedRecordIsRejectedAtEveryLength)
+{
+    query::QueryVerdict v = verdictN(7);
+    v.edges.push_back({"sink:ret-token", "ret-token-diff", 2});
+    std::string text = query::serializeVerdict(v);
+    ASSERT_TRUE(query::parseVerdict(text).has_value());
+
+    for (std::size_t len = 0; len < text.size(); ++len) {
+        EXPECT_FALSE(
+            query::parseVerdict(text.substr(0, len)).has_value())
+            << "prefix of " << len << " bytes parsed";
+    }
+    // Flipping any body byte breaks the checksum.
+    std::string flipped = text;
+    flipped[text.size() / 2] ^= 0x20;
+    EXPECT_FALSE(query::parseVerdict(flipped).has_value());
+}
+
+TEST(Cache, TornDiskRecordIsACleanMiss)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "ldx_torn_cache_test";
+    std::filesystem::remove_all(dir);
+    {
+        ResultCache cache(8, dir.string(), nullptr);
+        cache.store(keyN(1), verdictN(1));
+    }
+    // Tear the record mid-way, as a crash between write and rename
+    // never could (the write is to a temp file) but a short disk or
+    // an external truncation still can.
+    std::filesystem::path record;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        record = e.path();
+    ASSERT_FALSE(record.empty());
+    std::string text;
+    {
+        std::ifstream in(record, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    {
+        std::ofstream out(record,
+                          std::ios::binary | std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    }
+    ResultCache fresh(8, dir.string(), nullptr);
+    EXPECT_FALSE(fresh.lookup(keyN(1)).has_value());
+    EXPECT_EQ(fresh.hits(), 0u);
+    EXPECT_EQ(fresh.misses(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Sharded cache (the `ldx serve` process-wide tier)
+// ---------------------------------------------------------------------
+
+TEST(ShardedCache, LookupStoreAndCapacitySplit)
+{
+    query::ShardedResultCache cache(8, 3, "", nullptr);
+    EXPECT_EQ(cache.shardCount(), 3u);
+    cache.store(keyN(1), verdictN(1));
+    auto v = cache.lookup(keyN(1));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(*v == verdictN(1));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_FALSE(cache.lookup(keyN(999)).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // Shards never exceed the global capacity even when it does not
+    // divide evenly: per-shard caps sum to exactly the global cap.
+    query::ShardedResultCache tiny(2, 8, "", nullptr);
+    EXPECT_LE(tiny.shardCount(), 2u);
+    for (int n = 0; n < 64; ++n)
+        tiny.store(keyN(n), verdictN(n));
+    EXPECT_LE(tiny.size(), 2u);
+}
+
+// The serve contention contract: 8 threads hammering the same and
+// disjoint keys compute each digest exactly once, respect the global
+// LRU cap, and report hit/miss totals that add up.
+TEST(ShardedCache, ContendedGetOrComputeIsExactlyOnce)
+{
+    constexpr int kThreads = 8;
+    constexpr int kSharedKeys = 4;
+    constexpr int kPrivateKeys = 8;
+    query::ShardedResultCache cache(4096, 8, "", nullptr);
+
+    std::atomic<int> computes{0};
+    std::atomic<int> lookups{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Same keys from every thread: one compute per key.
+            for (int n = 0; n < kSharedKeys; ++n) {
+                query::QueryVerdict v = cache.getOrCompute(
+                    keyN(n), [&] {
+                        computes.fetch_add(1);
+                        return verdictN(n);
+                    });
+                EXPECT_TRUE(v == verdictN(n));
+                lookups.fetch_add(1);
+            }
+            // Disjoint keys per thread: one compute each, no waits.
+            for (int n = 0; n < kPrivateKeys; ++n) {
+                int id = 1000 + t * kPrivateKeys + n;
+                bool computed = false;
+                query::QueryVerdict v = cache.getOrCompute(
+                    keyN(id),
+                    [&] {
+                        computes.fetch_add(1);
+                        return verdictN(id);
+                    },
+                    &computed);
+                EXPECT_TRUE(computed);
+                EXPECT_TRUE(v == verdictN(id));
+                lookups.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(computes.load(),
+              kSharedKeys + kThreads * kPrivateKeys);
+    EXPECT_EQ(cache.size(),
+              static_cast<std::size_t>(kSharedKeys +
+                                       kThreads * kPrivateKeys));
+    EXPECT_EQ(cache.evictions(), 0u);
+    // Metric parity: every getOrCompute resolves as exactly one hit
+    // or one miss, and misses equal the computes.
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              static_cast<std::uint64_t>(lookups.load()));
+    EXPECT_EQ(cache.misses(),
+              static_cast<std::uint64_t>(computes.load()));
+}
+
+TEST(ShardedCache, GlobalLruCapHoldsUnderContention)
+{
+    constexpr std::size_t kCap = 16;
+    query::ShardedResultCache cache(kCap, 4, "", nullptr);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&, t] {
+            for (int n = 0; n < 100; ++n) {
+                int id = t * 1000 + n;
+                cache.getOrCompute(keyN(id),
+                                   [&] { return verdictN(id); });
+            }
+        });
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_LE(cache.size(), kCap);
+    EXPECT_GT(cache.evictions(), 0u);
 }
 
 TEST(Cache, DiskTierSurvivesANewInstance)

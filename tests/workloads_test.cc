@@ -215,10 +215,10 @@ INSTANTIATE_TEST_SUITE_P(
         return info.param;
     });
 
-TEST(GoldenCorpus, HasEightDiverseEntries)
+TEST(GoldenCorpus, HasTwelveDiverseEntries)
 {
     const auto &entries = workloads::corpusEntries();
-    EXPECT_EQ(entries.size(), 8u);
+    EXPECT_EQ(entries.size(), 12u);
     std::set<std::string> names;
     bool any_threaded = false, any_single = false;
     for (const workloads::CorpusEntry &e : entries) {
@@ -229,6 +229,35 @@ TEST(GoldenCorpus, HasEightDiverseEntries)
     }
     EXPECT_TRUE(any_threaded);
     EXPECT_TRUE(any_single);
+}
+
+// The second corpus generation (s061..s183) was promoted for call
+// depth and concurrency: every entry spawns at least two guest
+// threads on top of a >=6-function call graph.
+TEST(GoldenCorpus, SecondGenerationIsDeepAndThreaded)
+{
+    std::set<std::string> second = {"s061", "s092", "s134", "s183"};
+    std::size_t seen = 0;
+    for (const workloads::CorpusEntry &e : workloads::corpusEntries()) {
+        if (!second.count(e.name))
+            continue;
+        ++seen;
+        std::size_t spawns = 0;
+        for (std::size_t at = e.source.find("spawn(");
+             at != std::string::npos;
+             at = e.source.find("spawn(", at + 1))
+            ++spawns;
+        EXPECT_GE(spawns, 2u) << e.name;
+        std::size_t fns = 0;
+        for (std::size_t at = e.source.find("\nint ");
+             at != std::string::npos;
+             at = e.source.find("\nint ", at + 1))
+            if (e.source.find('(', at) <
+                e.source.find('\n', at + 1))
+                ++fns;
+        EXPECT_GE(fns, 5u) << e.name << " call graph too shallow";
+    }
+    EXPECT_EQ(seen, second.size());
 }
 
 } // namespace

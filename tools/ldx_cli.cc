@@ -149,6 +149,28 @@
  *                        and write the merged ldx-site-heat-v1 heat
  *                        map to FILE (bypasses the result cache so
  *                        the artifact covers every query)
+ *
+ * Service options (serve / submit — docs/SERVE.md):
+ *   ldx serve --socket PATH [options]
+ *                        run the multi-tenant causality-inference
+ *                        daemon on a Unix-domain socket; campaigns
+ *                        from every client share one worker pool and
+ *                        one sharded verdict cache; SIGINT drains
+ *   ldx submit <workload|corpus-name|prog.mc> --socket PATH
+ *                        submit one job to a running daemon, stream
+ *                        the verdicts, exit with the offline
+ *                        `ldx campaign` code
+ *   --socket PATH        Unix-domain socket path (both commands)
+ *   --max-tenants N      concurrent campaigns admitted (default 4)
+ *   --shards N           verdict-cache shards (default 8)
+ *   --max-job-queries N  reject jobs planning more queries (0 = off)
+ *   --drain-timeout-ms N wait for tenants on SIGINT before forcing
+ *                        sockets closed (default 30000)
+ *   --id NAME            job id echoed on every frame   (submit)
+ *   --stream             print each verdict frame as it arrives
+ *                        (submit; `--jobs`, `--queue-cap`,
+ *                        `--cache-cap`, `--cache-dir`, `--dispatch`
+ *                        and the exporter flags apply to serve)
  */
 #include <atomic>
 #include <cctype>
@@ -181,6 +203,8 @@
 #include "os/sysno.h"
 #include "query/campaign.h"
 #include "query/profile.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "support/diag.h"
 #include "support/strings.h"
 #include "taint/tracker.h"
@@ -251,6 +275,15 @@ struct CliOptions
     std::string annotateOut;
     std::string siteProfileOut;
 
+    // serve / submit
+    std::string socketPath;
+    std::size_t maxTenants = 4;
+    std::size_t shards = 8;
+    std::size_t maxJobQueries = 0;
+    std::uint64_t drainTimeoutMs = 30'000;
+    std::string submitId;
+    bool submitStream = false;
+
     // fuzz
     std::uint64_t fuzzSeeds = 100;
     std::uint64_t fuzzSeedStart = 1;
@@ -277,6 +310,9 @@ usage(const std::string &error = "")
         "       ldx campaign <workload|corpus-name|prog.mc> [options]\n"
         "       ldx compile <prog.mc> --image-cache-dir DIR\n"
         "       ldx fuzz [options]\n"
+        "       ldx serve --socket PATH [options]\n"
+        "       ldx submit <workload|corpus-name|prog.mc> "
+        "--socket PATH [options]\n"
         "see the file header of tools/ldx_cli.cc for options\n";
     std::exit(2);
 }
@@ -373,12 +409,13 @@ parseArgs(int argc, char **argv)
         opt.command == "taint" || opt.command == "dump" ||
         opt.command == "bench" || opt.command == "explain" ||
         opt.command == "campaign" || opt.command == "compile" ||
-        opt.command == "profile") {
+        opt.command == "profile" || opt.command == "submit") {
         if (argc < 3)
             usage(opt.command + " needs an argument");
         opt.program = argv[2];
         i = 3;
-    } else if (opt.command != "corpus" && opt.command != "fuzz") {
+    } else if (opt.command != "corpus" && opt.command != "fuzz" &&
+               opt.command != "serve") {
         usage("unknown command " + opt.command);
     }
 
@@ -564,6 +601,24 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--cache-cap") {
             opt.cacheCap = static_cast<std::size_t>(
                 parseUint(next("--cache-cap"), "--cache-cap", 1));
+        } else if (arg == "--socket") {
+            opt.socketPath = next("--socket");
+        } else if (arg == "--max-tenants") {
+            opt.maxTenants = static_cast<std::size_t>(
+                parseUint(next("--max-tenants"), "--max-tenants", 1));
+        } else if (arg == "--shards") {
+            opt.shards = static_cast<std::size_t>(
+                parseUint(next("--shards"), "--shards", 1));
+        } else if (arg == "--max-job-queries") {
+            opt.maxJobQueries = static_cast<std::size_t>(parseUint(
+                next("--max-job-queries"), "--max-job-queries"));
+        } else if (arg == "--drain-timeout-ms") {
+            opt.drainTimeoutMs = parseUint(next("--drain-timeout-ms"),
+                                           "--drain-timeout-ms", 1);
+        } else if (arg == "--id") {
+            opt.submitId = next("--id");
+        } else if (arg == "--stream") {
+            opt.submitStream = true;
         } else if (arg == "--exporter-out") {
             opt.exporterOut = next("--exporter-out");
         } else if (arg == "--exporter-prom") {
@@ -1443,6 +1498,98 @@ cmdFuzz(const CliOptions &opt)
     return failing ? 1 : 0;
 }
 
+/**
+ * `ldx serve` — run the multi-tenant daemon (docs/SERVE.md) until
+ * SIGINT, then drain. The exporter samples the server registry
+ * (serve.* gauges and counters) for the daemon's whole lifetime and
+ * takes its final sample after the drain completes, so a Prometheus
+ * file always ends with the post-drain state.
+ */
+int
+cmdServe(const CliOptions &opt)
+{
+    if (opt.socketPath.empty())
+        usage("serve requires --socket PATH");
+
+    obs::Registry registry;
+    serve::ServeConfig cfg;
+    cfg.socketPath = opt.socketPath;
+    cfg.jobs = opt.jobs;
+    cfg.maxTenants = opt.maxTenants;
+    cfg.shards = opt.shards;
+    cfg.queueCap = opt.queueCap;
+    cfg.cacheCap = opt.cacheCap;
+    cfg.cacheDir = opt.cacheDir;
+    cfg.maxJobQueries = opt.maxJobQueries;
+    cfg.drainTimeoutMs = opt.drainTimeoutMs;
+    cfg.dispatch = opt.dispatch;
+    cfg.version = kLdxVersion;
+    cfg.registry = &registry;
+    cfg.shutdown = &g_campaignCancel;
+
+    obs::ExporterConfig expcfg;
+    expcfg.jsonlPath = opt.exporterOut;
+    expcfg.promPath = opt.exporterProm;
+    expcfg.intervalMs = opt.exporterIntervalMs;
+    expcfg.build.version = kLdxVersion;
+    expcfg.build.dispatch = vm::dispatchModeName(opt.dispatch);
+    expcfg.build.computedGoto = vm::hasThreadedDispatch();
+    obs::Exporter exporter(registry, expcfg);
+    if (!opt.exporterOut.empty() || !opt.exporterProm.empty())
+        if (!exporter.start())
+            usage(exporter.error());
+
+    serve::Server server(cfg);
+    std::string err;
+    if (!server.start(&err)) {
+        std::cerr << "error: " << err << "\n";
+        return 2;
+    }
+    std::cerr << "[ldx] serving on " << opt.socketPath << " ("
+              << opt.jobs << " worker" << (opt.jobs == 1 ? "" : "s")
+              << ", " << opt.maxTenants << " tenant slots)\n";
+    auto prev = std::signal(SIGINT, campaignSigint);
+    int rc = server.serve();
+    std::cerr << "[ldx] drained: " << server.jobsAccepted()
+              << " jobs accepted, " << server.jobsRejected()
+              << " rejected\n";
+    exporter.stop();
+    std::signal(SIGINT, prev);
+    return rc;
+}
+
+/** `ldx submit` — client side; the argument resolves exactly like
+ *  `ldx campaign` (workload, corpus entry, or .mc file). */
+int
+cmdSubmit(const CliOptions &opt)
+{
+    if (opt.socketPath.empty())
+        usage("submit requires --socket PATH");
+
+    serve::SubmitOptions sopt;
+    sopt.socketPath = opt.socketPath;
+    sopt.graphOut = opt.graphOut;
+    sopt.stream = opt.submitStream;
+    serve::SubmitRequest &req = sopt.request;
+    req.id = opt.submitId.empty() ? opt.program : opt.submitId;
+    if (workloads::findWorkload(opt.program) ||
+        findCorpusEntry(opt.program)) {
+        req.workload = opt.program;
+    } else {
+        req.source = readHostFile(opt.program);
+        req.env = opt.world.env;
+        req.files = opt.world.files;
+    }
+    for (core::MutationStrategy p : opt.policies)
+        req.policies.push_back(core::mutationStrategyName(p));
+    if (opt.offsetSet)
+        req.offset = opt.offset;
+    req.snapshot = opt.snapshot;
+    req.threaded = opt.threaded;
+    req.deadlineMs = static_cast<std::uint64_t>(opt.deadlineMs);
+    return serve::runSubmit(sopt, std::cout, std::cerr);
+}
+
 } // namespace
 
 int
@@ -1472,6 +1619,10 @@ main(int argc, char **argv)
             return cmdCampaign(opt);
         if (opt.command == "fuzz")
             return cmdFuzz(opt);
+        if (opt.command == "serve")
+            return cmdServe(opt);
+        if (opt.command == "submit")
+            return cmdSubmit(opt);
         usage();
     } catch (const ldx::FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
